@@ -1,0 +1,1 @@
+bench/exp_util.ml: Array Printf String Util

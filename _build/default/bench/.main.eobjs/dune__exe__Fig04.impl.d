@@ -1,0 +1,1 @@
+bench/fig04.ml: Array Datasets Exp_util Hardq Hashtbl List Ppd Prefs Printf Rim Util

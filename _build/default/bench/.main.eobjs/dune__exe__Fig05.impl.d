@@ -1,0 +1,1 @@
+bench/fig05.ml: Datasets Exp_util Hardq Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+bench/fig06.ml: Datasets Exp_util Hardq List Option Printf

@@ -1,0 +1,1 @@
+bench/fig07.ml: Datasets Exp_util Hardq List Printf

@@ -1,0 +1,1 @@
+bench/fig08.ml: Datasets Exp_util List Ppd Util

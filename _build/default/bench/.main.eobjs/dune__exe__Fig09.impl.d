@@ -1,0 +1,1 @@
+bench/fig09.ml: Array Exp_util Hardq List Prefs Printf Rim Util

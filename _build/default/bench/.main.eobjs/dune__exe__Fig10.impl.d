@@ -1,0 +1,1 @@
+bench/fig10.ml: Datasets Exp_util Hardq List Util

@@ -1,0 +1,1 @@
+bench/fig11.ml: Datasets Exp_util Hardq List Printf Util

@@ -1,0 +1,1 @@
+bench/fig13.ml: Datasets Exp_util Hardq List Prefs Printf Util

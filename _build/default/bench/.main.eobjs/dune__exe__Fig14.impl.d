@@ -1,0 +1,1 @@
+bench/fig14.ml: Datasets Exp_util Hardq List Ppd Prefs Printf Util

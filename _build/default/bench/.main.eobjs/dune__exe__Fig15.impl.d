@@ -1,0 +1,1 @@
+bench/fig15.ml: Datasets Exp_util Hardq List Ppd Util

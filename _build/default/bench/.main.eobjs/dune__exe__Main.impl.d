@@ -1,0 +1,1 @@
+bench/main.ml: Array Fig04 Fig05 Fig06 Fig07 Fig08 Fig09 Fig10 Fig11 Fig12 Fig13 Fig14 Fig15 List Micro Printexc Printf String Sys Util

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Datasets Exp_util Hardq Hashtbl Instance List Measure Prefs Printf Rim Staged Test Time Toolkit Util

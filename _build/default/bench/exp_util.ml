@@ -1,0 +1,48 @@
+(* Shared helpers for the experiment harness. *)
+
+let line = String.make 78 '-'
+
+let header fig title =
+  Printf.printf "\n%s\n" line;
+  Printf.printf "%s: %s\n" fig title;
+  Printf.printf "%s\n" line
+
+let note fmt = Printf.printf ("  note: " ^^ fmt ^^ "\n")
+let row fmt = Printf.printf ("  " ^^ fmt ^^ "\n%!")
+
+(* Time a solver call under a budget; None = timed out or state explosion. *)
+let timed_opt ?(budget = 0.) f =
+  let t0 = Util.Timer.now () in
+  let result =
+    if budget <= 0. then (match f Util.Timer.no_limit with x -> Some x | exception Failure _ -> None)
+    else
+      match Util.Timer.with_budget budget f with
+      | Some x -> Some x
+      | None -> None
+      | exception Failure _ -> None
+  in
+  (result, Util.Timer.now () -. t0)
+
+let median_of l =
+  match l with [] -> nan | _ -> Util.Stats.median (Array.of_list l)
+
+let summary_line name values =
+  match values with
+  | [] -> row "%-28s (no data)" name
+  | _ ->
+      let a = Array.of_list values in
+      row "%-28s median %10.4fs   min %10.4fs   max %10.4fs   (n=%d)" name
+        (Util.Stats.median a) (Util.Stats.minimum a) (Util.Stats.maximum a)
+        (Array.length a)
+
+let rel_err ~exact est = Util.Stats.relative_error ~exact est
+
+(* Percentiles of a list of relative errors. *)
+let err_summary errs =
+  match errs with
+  | [] -> "(no data)"
+  | _ ->
+      let a = Array.of_list errs in
+      Printf.sprintf "median %.4g  p25 %.4g  p75 %.4g  max %.4g (n=%d)"
+        (Util.Stats.percentile a 50.) (Util.Stats.percentile a 25.)
+        (Util.Stats.percentile a 75.) (Util.Stats.maximum a) (Array.length a)

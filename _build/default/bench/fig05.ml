@@ -1,0 +1,51 @@
+(* Figure 5: general-solver (inclusion-exclusion + single-pattern solver)
+   running time as a function of the number of patterns in a conjunction,
+   over Benchmark-A.
+
+   Paper shape: exponential growth in the conjunction size (their axis
+   reaches 10^5 seconds at 3 patterns on m=15; we scale m down so the same
+   exponential shape fits a laptop budget). *)
+
+let run ~full () =
+  Exp_util.header "Figure 5"
+    "general solver: time vs #patterns in an inclusion-exclusion conjunction";
+  Exp_util.note
+    "paper: running time grows exponentially with the conjunction size";
+  let m = if full then 12 else 10 in
+  let n_unions = if full then 8 else 5 in
+  let budget = if full then 300. else 60. in
+  let insts =
+    Datasets.Bench_a.generate ~m ~items_per_label:3 ~n_unions ~seed:55 ()
+  in
+  (* Evaluate every conjunction of every union, bucketing times by size. *)
+  let buckets = Hashtbl.create 4 in
+  let timeouts = Hashtbl.create 4 in
+  List.iter
+    (fun inst ->
+      let model = Datasets.Instance.model inst in
+      let lab = inst.Datasets.Instance.labeling in
+      List.iter
+        (fun (conj, size) ->
+          let result, dt =
+            Exp_util.timed_opt ~budget (fun b ->
+                Hardq.Pattern_solver.prob ~budget:b model lab conj)
+          in
+          match result with
+          | Some _ ->
+              Hashtbl.replace buckets size
+                (dt :: Option.value ~default:[] (Hashtbl.find_opt buckets size))
+          | None ->
+              Hashtbl.replace timeouts size
+                (1 + Option.value ~default:0 (Hashtbl.find_opt timeouts size)))
+        (Hardq.General.conjunctions inst.Datasets.Instance.union))
+    insts;
+  List.iter
+    (fun size ->
+      let times = Option.value ~default:[] (Hashtbl.find_opt buckets size) in
+      let n_to = Option.value ~default:0 (Hashtbl.find_opt timeouts size) in
+      Exp_util.summary_line
+        (Printf.sprintf "%d pattern(s) in conjunction%s" size
+           (if n_to > 0 then Printf.sprintf " (%d timeouts @%.0fs)" n_to budget
+            else ""))
+        times)
+    [ 1; 2; 3 ]

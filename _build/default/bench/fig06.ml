@@ -1,0 +1,55 @@
+(* Figure 6: proportion of Benchmark-D instances the two-label solver
+   finishes within a timeout, over a grid of m (items) x z (patterns per
+   union).
+
+   Paper shape: 100% for small m/z, decaying towards the bottom-right
+   corner (m = 60, z = 5 -> 3% within 10 minutes). We shrink the timeout
+   so the same cliff appears at laptop scale. *)
+
+let run ~full () =
+  Exp_util.header "Figure 6"
+    "two-label solver: %% of Benchmark-D instances finished within the timeout";
+  Exp_util.note
+    "paper: completion rate decays with both m and #patterns (100%% -> 3%%)";
+  let ms = if full then [ 20; 30; 40; 50; 60 ] else [ 20; 30; 40 ] in
+  let zs = if full then [ 2; 3; 4; 5 ] else [ 2; 3; 4 ] in
+  let per_combo = if full then 10 else 4 in
+  let timeout = if full then 10. else 1.5 in
+  let insts =
+    Datasets.Bench_d.generate ~ms ~patterns_per_union:zs ~items_per_label:[ 3 ]
+      ~instances_per_combo:per_combo ~seed:66 ()
+  in
+  Printf.printf "  timeout per instance: %.1fs\n" timeout;
+  Printf.printf "  %-6s" "z\\m";
+  List.iter (fun m -> Printf.printf "%8d" m) ms;
+  print_newline ();
+  List.iter
+    (fun z ->
+      Printf.printf "  %-6d" z;
+      List.iter
+        (fun m ->
+          let matching =
+            List.filter
+              (fun i ->
+                Datasets.Instance.param i "m" = m && Datasets.Instance.param i "z" = z)
+              insts
+          in
+          let finished =
+            List.length
+              (List.filter
+                 (fun inst ->
+                   let r, _ =
+                     Exp_util.timed_opt ~budget:timeout (fun b ->
+                         Hardq.Two_label.prob ~budget:b
+                           (Datasets.Instance.model inst)
+                           inst.Datasets.Instance.labeling
+                           inst.Datasets.Instance.union)
+                   in
+                   Option.is_some r)
+                 matching)
+          in
+          Printf.printf "%7.0f%%"
+            (100. *. float_of_int finished /. float_of_int (List.length matching)))
+        ms;
+      print_newline ())
+    zs

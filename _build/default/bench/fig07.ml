@@ -1,0 +1,62 @@
+(* Figure 7: bipartite-solver scalability over Benchmark-C.
+   (a) time vs m for 2/3/4 labels per pattern (3 patterns/union, 3 items/label);
+   (b) time vs m for 1/2/3 patterns per union (3 labels/pattern, 3 items/label).
+
+   Paper shape: steep growth in both m and the number of labels; practical
+   for low m. *)
+
+let sweep ~name ~insts ~key ~values ~ms ~budget =
+  Exp_util.row "%s" name;
+  List.iter
+    (fun v ->
+      Exp_util.row "  %s = %d:" key v;
+      List.iter
+        (fun m ->
+          let matching =
+            List.filter
+              (fun i ->
+                Datasets.Instance.param i "m" = m && Datasets.Instance.param i key = v)
+              insts
+          in
+          let times = ref [] and timeouts = ref 0 in
+          List.iter
+            (fun inst ->
+              let r, dt =
+                Exp_util.timed_opt ~budget (fun b ->
+                    Hardq.Bipartite.prob ~budget:b (Datasets.Instance.model inst)
+                      inst.Datasets.Instance.labeling inst.Datasets.Instance.union)
+              in
+              match r with Some _ -> times := dt :: !times | None -> incr timeouts)
+            matching;
+          Exp_util.summary_line
+            (Printf.sprintf "  m=%-3d%s" m
+               (if !timeouts > 0 then Printf.sprintf " (%d timeouts)" !timeouts
+                else ""))
+            !times)
+        ms)
+    values
+
+let run ~full () =
+  Exp_util.header "Figure 7" "bipartite solver scalability over Benchmark-C";
+  Exp_util.note "paper: running time increases very fast with m and with q*z";
+  let ms = if full then [ 10; 12; 14; 16 ] else [ 10; 12; 14 ] in
+  let per_combo = if full then 5 else 3 in
+  let budget = if full then 120. else 20. in
+  (* (a) labels per pattern sweep, z = 3 fixed *)
+  let insts_a =
+    Datasets.Bench_c.generate ~ms ~patterns_per_union:[ 3 ]
+      ~labels_per_pattern:(if full then [ 2; 3; 4 ] else [ 2; 3 ])
+      ~items_per_label:[ 3 ] ~instances_per_combo:per_combo ~seed:77 ()
+  in
+  sweep ~name:"(a) 3 patterns/union, 3 items/label; varying labels/pattern"
+    ~insts:insts_a ~key:"q"
+    ~values:(if full then [ 2; 3; 4 ] else [ 2; 3 ])
+    ~ms ~budget;
+  (* (b) patterns per union sweep, q = 3 fixed *)
+  let insts_b =
+    Datasets.Bench_c.generate ~ms ~patterns_per_union:[ 1; 2; 3 ]
+      ~labels_per_pattern:[ 3 ] ~items_per_label:[ 3 ]
+      ~instances_per_combo:per_combo ~seed:78 ()
+  in
+  sweep ~name:"(b) 3 labels/pattern, 3 items/label; varying patterns/union"
+    ~insts:insts_b ~key:"z" ~values:[ 1; 2; 3 ] ~ms ~budget

@@ -1,0 +1,89 @@
+(* Figure 13: MIS-AMP-adaptive over Benchmark-B.
+   (a) proposal-construction overhead vs labels per pattern and items per
+       label (m = 100, 3 patterns/union);
+   (b) sampling (convergence) time vs m for 3/4/5 labels per pattern
+       (2 patterns/union, 5 items/label).
+
+   Paper shape: overhead rises sharply with #labels (especially with many
+   items per label); once proposals exist, sampling time grows only
+   moderately with m and barely with the query size. *)
+
+let run ~full () =
+  Exp_util.header "Figure 13" "MIS-AMP-adaptive over Benchmark-B";
+  Exp_util.note
+    "paper: construction overhead explodes with #labels; sampling time \
+     grows moderately with m";
+  (* (a) overhead. *)
+  let m_a = if full then 100 else 50 in
+  let qs = if full then [ 3; 4; 5 ] else [ 3; 4 ] in
+  let ipls = if full then [ 3; 5; 7 ] else [ 3; 5 ] in
+  let per_combo = if full then 3 else 2 in
+  Exp_util.row "(a) proposal-construction overhead, m=%d, 3 patterns/union" m_a;
+  List.iter
+    (fun q ->
+      List.iter
+        (fun ipl ->
+          let insts =
+            Datasets.Bench_b.generate ~ms:[ m_a ] ~patterns_per_union:[ 3 ]
+              ~labels_per_pattern:[ q ] ~items_per_label:[ ipl ]
+              ~instances_per_combo:per_combo ~seed:(131 + q + ipl) ()
+          in
+          let overheads = ref [] and capped = ref 0 in
+          List.iter
+            (fun inst ->
+              match
+                Hardq.Mis_amp_lite.prepare ~subrank_cap:300_000
+                  inst.Datasets.Instance.mallows inst.Datasets.Instance.labeling
+                  inst.Datasets.Instance.union
+              with
+              | plan ->
+                  (* include the modal search for the first 10 proposals *)
+                  let rng = Util.Rng.make 3 in
+                  let _ =
+                    Hardq.Mis_amp_lite.estimate_with_plan plan ~d:10 ~n_per:1 rng
+                  in
+                  overheads := Hardq.Mis_amp_lite.plan_overhead plan :: !overheads
+              | exception Prefs.Decompose.Too_many _ -> incr capped)
+            insts;
+          Exp_util.summary_line
+            (Printf.sprintf "q=%d items/label=%d%s" q ipl
+               (if !capped > 0 then
+                  Printf.sprintf " (%d hit the 300k sub-ranking cap)" !capped
+                else ""))
+            !overheads)
+        ipls)
+    qs;
+  (* (b) sampling/convergence time. *)
+  let ms_b = if full then [ 20; 50; 100; 200 ] else [ 20; 50; 100 ] in
+  Exp_util.row "(b) sampling time to convergence, 2 patterns/union, 5 items/label";
+  List.iter
+    (fun q ->
+      List.iter
+        (fun m ->
+          let insts =
+            Datasets.Bench_b.generate ~ms:[ m ] ~patterns_per_union:[ 2 ]
+              ~labels_per_pattern:[ q ] ~items_per_label:[ 5 ]
+              ~instances_per_combo:1 ~seed:(141 + q + m) ()
+          in
+          let times =
+            List.filter_map
+              (fun inst ->
+                match
+                  Hardq.Mis_amp_lite.prepare ~subrank_cap:300_000
+                    inst.Datasets.Instance.mallows inst.Datasets.Instance.labeling
+                    inst.Datasets.Instance.union
+                with
+                | plan ->
+                    let rng = Util.Rng.make 5 in
+                    let res =
+                      Hardq.Mis_amp_adaptive.estimate_with_plan
+                        ~n_per:(if full then 500 else 200)
+                        ~d_max:20 plan rng
+                    in
+                    Some res.Hardq.Mis_amp_adaptive.estimate.Hardq.Estimate.sampling_time
+                | exception Prefs.Decompose.Too_many _ -> None)
+              insts
+          in
+          Exp_util.summary_line (Printf.sprintf "q=%d m=%-4d" q m) times)
+        ms_b)
+    (if full then [ 3; 4; 5 ] else [ 3; 4 ])

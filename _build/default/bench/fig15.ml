@@ -1,0 +1,42 @@
+(* Figure 15: scalability in the number of sessions over the CrowdRank
+   surrogate — naive per-session evaluation vs grouping identical
+   (model, pattern-union) requests.
+
+   Paper shape: the naive curve is linear in the session count; grouping
+   converges once every distinct request has been seen (their 200k
+   sessions finish in ~118s). *)
+
+let run ~full () =
+  Exp_util.header "Figure 15" "session scalability over CrowdRank (grouping)";
+  Exp_util.note
+    "paper: naive evaluation is linear in #sessions; grouping flattens out";
+  let q = Ppd.Parser.parse Datasets.Crowdrank.query_fig15 in
+  let solver =
+    Hardq.Solver.Approx
+      (Hardq.Solver.Mis_lite
+         { d = 3; n_per = (if full then 300 else 150); compensate = true })
+  in
+  let counts =
+    if full then
+      [ (100, true); (1_000, true); (10_000, true); (50_000, false); (200_000, false) ]
+    else [ (100, true); (1_000, true); (10_000, false) ]
+  in
+  List.iter
+    (fun (n, naive_too) ->
+      let db = Datasets.Crowdrank.generate ~n_workers:n ~seed:151 () in
+      let rng = Util.Rng.make 9 in
+      let _, t_grouped =
+        Util.Timer.time (fun () ->
+            Ppd.Eval.count_sessions ~solver ~group:true db q (Util.Rng.copy rng))
+      in
+      if naive_too then begin
+        let _, t_naive =
+          Util.Timer.time (fun () ->
+              Ppd.Eval.count_sessions ~solver ~group:false db q (Util.Rng.copy rng))
+        in
+        Exp_util.row "%7d sessions: naive %9.2fs   grouped %8.2fs" n t_naive
+          t_grouped
+      end
+      else
+        Exp_util.row "%7d sessions: naive   (skipped)   grouped %8.2fs" n t_grouped)
+    counts

@@ -1,0 +1,220 @@
+(* hardq — command-line front end: evaluate hard CQs over the bundled
+   synthetic RIM-PPDs, run Count-Session / Most-Probable-Session, and
+   sample from Mallows models. *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let seed_arg =
+  let doc = "Random seed (controls both data generation and sampling)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let dataset_arg =
+  let doc =
+    "Dataset to generate: $(b,polls) (election polls, Figure 1), \
+     $(b,movielens) (movie catalog surrogate) or $(b,crowdrank) (crowd-worker \
+     surrogate)."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("polls", `Polls); ("movielens", `Movielens); ("crowdrank", `Crowdrank) ]) `Polls
+    & info [ "dataset" ] ~docv:"NAME" ~doc)
+
+let size_arg =
+  let doc = "Scale of the generated dataset (candidates/movies and sessions)." in
+  Arg.(value & opt int 12 & info [ "size" ] ~docv:"N" ~doc)
+
+let sessions_arg =
+  let doc = "Number of sessions (voters/workers) to generate." in
+  Arg.(value & opt int 100 & info [ "sessions" ] ~docv:"N" ~doc)
+
+let solver_arg =
+  let doc =
+    "Solver: $(b,auto), $(b,two-label), $(b,bipartite), $(b,general), \
+     $(b,brute), $(b,rejection), $(b,mis-lite), $(b,mis-adaptive)."
+  in
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("auto", Hardq.Solver.Exact `Auto);
+             ("two-label", Hardq.Solver.Exact `Two_label);
+             ("bipartite", Hardq.Solver.Exact `Bipartite);
+             ("general", Hardq.Solver.Exact `General);
+             ("brute", Hardq.Solver.Exact `Brute);
+             ("rejection", Hardq.Solver.Approx (Hardq.Solver.Rejection { n = 50_000 }));
+             ( "mis-lite",
+               Hardq.Solver.Approx
+                 (Hardq.Solver.Mis_lite { d = 10; n_per = 1000; compensate = true }) );
+             ("mis-adaptive", Hardq.Solver.default_approx);
+           ])
+        (Hardq.Solver.Exact `Auto)
+    & info [ "solver" ] ~docv:"SOLVER" ~doc)
+
+let query_arg =
+  let doc =
+    "The conjunctive query, e.g. 'Q() :- P(_, _; x; y), C(x, \"D\", _, _, e, \
+     _), C(y, \"R\", _, _, e, _).'. Defaults to the dataset's showcase query."
+  in
+  Arg.(value & opt (some string) None & info [ "query"; "q" ] ~docv:"CQ" ~doc)
+
+let make_db dataset size sessions seed =
+  match dataset with
+  | `Polls ->
+      ( Datasets.Polls.generate ~n_candidates:size ~n_voters:sessions ~seed (),
+        Datasets.Polls.query_two_label )
+  | `Movielens ->
+      ( Datasets.Movielens.generate ~n_movies:(max size 20)
+          ~n_components:(min sessions 16) ~seed (),
+        Datasets.Movielens.query_fig14 )
+  | `Crowdrank ->
+      ( Datasets.Crowdrank.generate ~n_workers:sessions ~seed (),
+        Datasets.Crowdrank.query_fig15 )
+
+let with_query dataset size sessions seed query f =
+  let db, default_q = make_db dataset size sessions seed in
+  let qtext = Option.value ~default:default_q query in
+  match Ppd.Parser.parse_result qtext with
+  | Error msg ->
+      Format.eprintf "parse error: %s@." msg;
+      1
+  | Ok q -> (
+      match f db q with
+      | () -> 0
+      | exception Ppd.Compile.Unsupported msg ->
+          Format.eprintf "unsupported query: %s@." msg;
+          1)
+
+(* ------------------------------------------------------------------ *)
+(* eval                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let eval_cmd =
+  let run dataset size sessions seed query solver verbose =
+    with_query dataset size sessions seed query (fun db q ->
+        let rng = Util.Rng.make seed in
+        Format.printf "query: %a@." Ppd.Query.pp q;
+        Format.printf "V+ = {%s}, itemwise: %b@."
+          (String.concat ", " (Ppd.Compile.v_plus db q))
+          (Ppd.Compile.is_itemwise db q);
+        let probs = Ppd.Eval.per_session ~solver db q rng in
+        if verbose then
+          List.iter
+            (fun ((s : Ppd.Database.session), p) ->
+              Format.printf "  %-18s %.6f@."
+                (String.concat "/"
+                   (Array.to_list (Array.map Ppd.Value.to_string s.Ppd.Database.key)))
+                p)
+            probs;
+        let bool_p =
+          1. -. List.fold_left (fun acc (_, p) -> acc *. (1. -. p)) 1. probs
+        in
+        let count = List.fold_left (fun acc (_, p) -> acc +. p) 0. probs in
+        Format.printf "Pr(Q | D)    = %.6f@." bool_p;
+        Format.printf "E[count(Q)]  = %.4f over %d sessions@." count
+          (List.length probs))
+  in
+  let verbose =
+    Arg.(value & flag & info [ "per-session"; "v" ] ~doc:"Print per-session probabilities.")
+  in
+  Cmd.v
+    (Cmd.info "eval" ~doc:"Evaluate a Boolean CQ and its Count-Session aggregate")
+    Term.(
+      const run $ dataset_arg $ size_arg $ sessions_arg $ seed_arg $ query_arg
+      $ solver_arg $ verbose)
+
+(* ------------------------------------------------------------------ *)
+(* topk                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let topk_cmd =
+  let run dataset size sessions seed query solver k strategy =
+    with_query dataset size sessions seed query (fun db q ->
+        let rng = Util.Rng.make seed in
+        let report = Ppd.Eval.top_k ~solver ~strategy ~k db q rng in
+        Format.printf "top-%d sessions (%d exact evaluations, bounds %.3fs, exact %.3fs):@."
+          k report.Ppd.Eval.n_exact report.Ppd.Eval.bound_time
+          report.Ppd.Eval.exact_time;
+        List.iter
+          (fun ((s : Ppd.Database.session), p) ->
+            Format.printf "  %-18s %.6f@."
+              (String.concat "/"
+                 (Array.to_list (Array.map Ppd.Value.to_string s.Ppd.Database.key)))
+              p)
+          report.Ppd.Eval.results)
+  in
+  let k_arg = Arg.(value & opt int 5 & info [ "k" ] ~docv:"K" ~doc:"How many sessions.") in
+  let strategy_arg =
+    Arg.(
+      value
+      & opt (enum [ ("naive", `Naive); ("1-edge", `Edges 1); ("2-edge", `Edges 2) ]) (`Edges 1)
+      & info [ "strategy" ] ~docv:"S" ~doc:"naive, 1-edge or 2-edge.")
+  in
+  Cmd.v
+    (Cmd.info "topk" ~doc:"Most-Probable-Session query")
+    Term.(
+      const run $ dataset_arg $ size_arg $ sessions_arg $ seed_arg $ query_arg
+      $ solver_arg $ k_arg $ strategy_arg)
+
+(* ------------------------------------------------------------------ *)
+(* answers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let answers_cmd =
+  let run dataset size sessions seed query solver k =
+    with_query dataset size sessions seed query (fun db q ->
+        match Ppd.Answers.top ~solver ~k db q (Util.Rng.make seed) with
+        | answers ->
+            Format.printf "query: %a@." Ppd.Query.pp q;
+            List.iter
+              (fun (a : Ppd.Answers.answer) ->
+                Format.printf "  (%s)  confidence %.6f@."
+                  (String.concat ", "
+                     (List.map Ppd.Value.to_string a.Ppd.Answers.values))
+                  a.Ppd.Answers.confidence)
+              answers
+        | exception Ppd.Answers.Unsupported msg ->
+            Format.eprintf "unsupported: %s@." msg)
+  in
+  let k_arg =
+    Arg.(value & opt int 10 & info [ "k" ] ~docv:"K" ~doc:"Show the K most probable answers.")
+  in
+  Cmd.v
+    (Cmd.info "answers"
+       ~doc:"Evaluate a CQ with head variables: answer tuples with confidences")
+    Term.(
+      const run $ dataset_arg $ size_arg $ sessions_arg $ seed_arg $ query_arg
+      $ solver_arg $ k_arg)
+
+(* ------------------------------------------------------------------ *)
+(* sample                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let sample_cmd =
+  let run m phi n seed =
+    let rng = Util.Rng.make seed in
+    let mal = Rim.Mallows.make ~center:(Prefs.Ranking.identity m) ~phi in
+    for _ = 1 to n do
+      Format.printf "%a@." Prefs.Ranking.pp (Rim.Mallows.sample mal rng)
+    done;
+    0
+  in
+  let m_arg = Arg.(value & opt int 8 & info [ "m" ] ~docv:"M" ~doc:"Number of items.") in
+  let phi_arg =
+    Arg.(value & opt float 0.5 & info [ "phi" ] ~docv:"PHI" ~doc:"Mallows dispersion.")
+  in
+  let n_arg = Arg.(value & opt int 10 & info [ "n" ] ~docv:"N" ~doc:"Number of samples.") in
+  Cmd.v
+    (Cmd.info "sample" ~doc:"Sample rankings from a Mallows model")
+    Term.(const run $ m_arg $ phi_arg $ n_arg $ seed_arg)
+
+let () =
+  let info =
+    Cmd.info "hardq" ~version:"1.0.0"
+      ~doc:"Hard queries over probabilistic preferences (RIM-PPD)"
+  in
+  exit (Cmd.eval' (Cmd.group info [ eval_cmd; topk_cmd; answers_cmd; sample_cmd ]))

@@ -1,0 +1,1 @@
+examples/crowd_scale.ml: Datasets Format Hardq List Ppd Util

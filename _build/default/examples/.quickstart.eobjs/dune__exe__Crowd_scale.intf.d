@@ -1,0 +1,1 @@
+examples/crowd_scale.mli:

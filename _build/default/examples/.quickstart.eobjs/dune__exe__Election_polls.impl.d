@@ -1,0 +1,1 @@
+examples/election_polls.ml: Array Datasets Format Hardq List Ppd String Util

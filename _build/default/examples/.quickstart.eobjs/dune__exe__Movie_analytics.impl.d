@@ -1,0 +1,1 @@
+examples/movie_analytics.ml: Array Datasets Format Hardq List Ppd Prefs Rim String Util

@@ -1,0 +1,1 @@
+examples/movie_analytics.mli:

@@ -1,0 +1,1 @@
+examples/portable_data.ml: Array Format Fun List Ppd Prefs Rim String Util

@@ -1,0 +1,1 @@
+examples/portable_data.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Hardq List Ppd Prefs Rim Util

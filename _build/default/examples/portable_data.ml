@@ -1,0 +1,65 @@
+(* Bring your own data: build a RIM-PPD from CSV text, answer hard queries,
+   inspect possible worlds, and learn a model from pairwise comparisons.
+
+   Run with:  dune exec examples/portable_data.exe *)
+
+let items_csv =
+  "id,cuisine,price\n\
+   noodle_bar,asian,cheap\n\
+   dumpling_house,asian,mid\n\
+   trattoria,italian,mid\n\
+   osteria,italian,fancy\n\
+   taqueria,mexican,cheap\n"
+
+let prefs_csv =
+  "critic,phi,center\n\
+   alice,0.3,noodle_bar;dumpling_house;taqueria;trattoria;osteria\n\
+   bob,0.5,osteria;trattoria;dumpling_house;noodle_bar;taqueria\n\
+   carol,0.2,taqueria;noodle_bar;trattoria;dumpling_house;osteria\n"
+
+let () =
+  let db =
+    Ppd.Csv_io.database_of_csv ~items:items_csv ~items_name:"R"
+      ~preferences:[ ("P", prefs_csv) ] ()
+  in
+  Format.printf "loaded %d restaurants, %d critics@.@." (Ppd.Database.m db)
+    (Array.length (Ppd.Database.sessions (Ppd.Database.find_p_relation db "P")));
+
+  (* A hard query: is some cheap restaurant preferred to a restaurant of the
+     same cuisine at a higher price point? (shared variable -> grounded) *)
+  let q =
+    Ppd.Parser.parse
+      "Q() :- P(_; x; y), R(x, c, \"cheap\"), R(y, c, p), p != \"cheap\"."
+  in
+  let rng = Util.Rng.make 3 in
+  Format.printf "query: %a@." Ppd.Query.pp q;
+  Format.printf "V+ = {%s}@." (String.concat ", " (Ppd.Compile.v_plus db q));
+  Format.printf "Pr(Q | D) = %.4f@." (Ppd.Eval.boolean_prob db q rng);
+  Format.printf "E[count]  = %.4f@.@." (Ppd.Eval.count_sessions db q rng);
+
+  (* Cross-check with the possible-world Monte-Carlo oracle. *)
+  let mc = Ppd.World.estimate_prob ~n:20_000 db q (Util.Rng.make 4) in
+  Format.printf "possible-world Monte Carlo (20k worlds): %.4f@.@." mc;
+
+  (* Learn a Mallows model from pairwise comparisons collected from the
+     critics' worlds. *)
+  let r = Util.Rng.make 5 in
+  let observations =
+    List.init 120 (fun _ ->
+        let w = Ppd.World.sample db r in
+        let tau = Ppd.World.ranking_of w ~prel:"P" (Util.Rng.int r 3) in
+        List.init 4 (fun _ ->
+            let a = Util.Rng.int r 5 and b = Util.Rng.int r 5 in
+            if a = b then None
+            else if Prefs.Ranking.prefers tau a b then Some (a, b)
+            else Some (b, a))
+        |> List.filter_map Fun.id)
+  in
+  let learned = Rim.Learn.fit_from_pairwise ~m:5 ~rng:r observations in
+  Format.printf "model learned from %d pairwise observations: %a@."
+    (List.length observations) Rim.Mallows.pp learned;
+  Format.printf "  (center items: %s)@."
+    (String.concat " > "
+       (List.map
+          (fun i -> Ppd.Value.to_string (Ppd.Database.id_of_item db i))
+          (Prefs.Ranking.to_list (Rim.Mallows.center learned))))

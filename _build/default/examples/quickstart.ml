@@ -1,0 +1,64 @@
+(* Quickstart: build a labeled Mallows model by hand, ask for the marginal
+   probability of a label pattern with every solver family, and see that
+   they agree.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let () =
+  (* Five items 0..4. Think of them as candidates; items 0 and 1 are
+     "progressive" (label 0), items 3 and 4 are "conservative" (label 1),
+     item 2 carries no label. *)
+  let labeling = Prefs.Labeling.make [| [ 0 ]; [ 0 ]; []; [ 1 ]; [ 1 ] |] in
+
+  (* A Mallows model: reference ranking <0,1,2,3,4>, dispersion 0.5. *)
+  let mallows = Rim.Mallows.make ~center:(Prefs.Ranking.identity 5) ~phi:0.5 in
+  let model = Rim.Mallows.to_rim mallows in
+
+  (* The pattern union {progressive > conservative}: is some progressive
+     item preferred to some conservative item? *)
+  let union =
+    Prefs.Pattern_union.singleton (Prefs.Pattern.two_label ~left:[ 0 ] ~right:[ 1 ])
+  in
+
+  Format.printf "model:   %a@." Rim.Mallows.pp mallows;
+  Format.printf "pattern: %a@.@." Prefs.Pattern_union.pp union;
+
+  (* Exact solvers. *)
+  List.iter
+    (fun which ->
+      let p = Hardq.Solver.exact_prob which model labeling union in
+      Format.printf "%-16s %.6f@." (Hardq.Solver.exact_name which) p)
+    [ `Brute; `Two_label; `Bipartite; `General ];
+
+  (* Approximate solvers. *)
+  let rng = Util.Rng.make 2024 in
+  List.iter
+    (fun approx ->
+      let est = Hardq.Solver.approx_prob approx mallows labeling union rng in
+      Format.printf "%-16s %a@." (Hardq.Solver.approx_name approx) Hardq.Estimate.pp
+        est)
+    [
+      Hardq.Solver.Rejection { n = 20_000 };
+      Hardq.Solver.Mis_lite { d = 5; n_per = 2_000; compensate = true };
+      Hardq.Solver.Mis_adaptive { n_per = 2_000; delta_d = 5; d_max = 25; tol = 0.02 };
+    ];
+
+  (* The same question phrased as a query over a tiny RIM-PPD. *)
+  let items =
+    Ppd.Relation.make ~name:"C" ~attrs:[ "id"; "wing" ]
+      [
+        [ Ppd.Value.str "c0"; Ppd.Value.str "prog" ];
+        [ Ppd.Value.str "c1"; Ppd.Value.str "prog" ];
+        [ Ppd.Value.str "c2"; Ppd.Value.str "none" ];
+        [ Ppd.Value.str "c3"; Ppd.Value.str "cons" ];
+        [ Ppd.Value.str "c4"; Ppd.Value.str "cons" ];
+      ]
+  in
+  let prel =
+    Ppd.Database.p_relation ~name:"P" ~key_attrs:[ "voter" ]
+      [ { Ppd.Database.key = [| Ppd.Value.str "ann" |]; model = mallows } ]
+  in
+  let db = Ppd.Database.make ~items ~preferences:[ prel ] () in
+  let q = Ppd.Parser.parse "Q() :- P(_; x; y), C(x, \"prog\"), C(y, \"cons\")." in
+  Format.printf "@.as a CQ:         %.6f@."
+    (Ppd.Eval.boolean_prob db q (Util.Rng.make 1))

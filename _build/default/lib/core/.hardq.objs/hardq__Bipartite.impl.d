@@ -1,0 +1,1 @@
+lib/core/bipartite.ml: Array Conj Hashtbl List Prefs Rim Util

@@ -1,0 +1,1 @@
+lib/core/bipartite.mli: Prefs Rim Util

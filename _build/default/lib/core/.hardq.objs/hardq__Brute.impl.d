@@ -1,0 +1,1 @@
+lib/core/brute.ml: Array List Prefs Rim

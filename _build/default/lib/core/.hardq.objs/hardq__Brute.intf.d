@@ -1,0 +1,1 @@
+lib/core/brute.mli: Prefs Rim

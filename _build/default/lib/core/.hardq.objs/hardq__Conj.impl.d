@@ -1,0 +1,1 @@
+lib/core/conj.ml: Array Hashtbl List Prefs Stdlib

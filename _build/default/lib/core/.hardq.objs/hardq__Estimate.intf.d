@@ -1,0 +1,1 @@
+lib/core/estimate.mli: Format

@@ -1,0 +1,1 @@
+lib/core/general.ml: List Pattern_solver Prefs Util

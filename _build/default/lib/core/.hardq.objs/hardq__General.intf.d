@@ -1,0 +1,1 @@
+lib/core/general.mli: Prefs Rim Util

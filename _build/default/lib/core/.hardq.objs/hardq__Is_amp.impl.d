@@ -1,0 +1,1 @@
+lib/core/is_amp.ml: Estimate Mis Rim Util

@@ -1,0 +1,1 @@
+lib/core/is_amp.mli: Estimate Prefs Rim Util

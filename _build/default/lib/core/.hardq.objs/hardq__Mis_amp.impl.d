@@ -1,0 +1,1 @@
+lib/core/mis_amp.ml: Array Estimate List Mis Modals Prefs Rim Util

@@ -1,0 +1,1 @@
+lib/core/mis_amp.mli: Estimate Prefs Rim Util

@@ -1,0 +1,1 @@
+lib/core/mis_amp_adaptive.ml: Estimate List Mis_amp_lite

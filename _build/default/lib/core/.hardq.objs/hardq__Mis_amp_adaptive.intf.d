@@ -1,0 +1,1 @@
+lib/core/mis_amp_adaptive.mli: Estimate Mis_amp_lite Prefs Rim Util

@@ -1,0 +1,1 @@
+lib/core/mis_amp_lite.mli: Estimate Prefs Rim Util

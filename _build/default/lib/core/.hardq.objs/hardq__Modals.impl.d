@@ -1,0 +1,1 @@
+lib/core/modals.ml: Array Hashtbl List Prefs

@@ -1,0 +1,1 @@
+lib/core/modals.mli: Prefs

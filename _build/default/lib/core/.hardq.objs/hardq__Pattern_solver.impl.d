@@ -1,0 +1,1 @@
+lib/core/pattern_solver.ml: Array Bipartite Hashtbl List Prefs Rim Util

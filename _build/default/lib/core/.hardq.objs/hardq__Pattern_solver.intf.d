@@ -1,0 +1,1 @@
+lib/core/pattern_solver.mli: Prefs Rim Util

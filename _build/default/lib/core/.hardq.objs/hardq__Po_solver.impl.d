@@ -1,0 +1,1 @@
+lib/core/po_solver.ml: Array Hashtbl List Prefs Rim Util

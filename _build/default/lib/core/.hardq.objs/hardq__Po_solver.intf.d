@@ -1,0 +1,1 @@
+lib/core/po_solver.mli: Prefs Rim Util

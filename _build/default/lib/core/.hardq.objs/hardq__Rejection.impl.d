@@ -1,0 +1,1 @@
+lib/core/rejection.ml: Estimate List Prefs Rim Util

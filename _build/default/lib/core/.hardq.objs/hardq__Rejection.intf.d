@@ -1,0 +1,1 @@
+lib/core/rejection.mli: Estimate Prefs Rim Util

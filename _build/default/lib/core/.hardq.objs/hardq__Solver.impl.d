@@ -1,0 +1,1 @@
+lib/core/solver.ml: Bipartite Brute Estimate General Mis_amp Mis_amp_adaptive Mis_amp_lite Prefs Rejection Rim Two_label

@@ -1,0 +1,1 @@
+lib/core/solver.mli: Estimate Prefs Rim Util

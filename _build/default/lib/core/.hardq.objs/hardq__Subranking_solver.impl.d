@@ -1,0 +1,1 @@
+lib/core/subranking_solver.ml: List Po_solver Prefs Rim Util

@@ -1,0 +1,1 @@
+lib/core/subranking_solver.mli: Prefs Rim Util

@@ -1,0 +1,1 @@
+lib/core/two_label.ml: Array Conj Hashtbl List Prefs Rim Util

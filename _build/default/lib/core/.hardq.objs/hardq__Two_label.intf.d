@@ -1,0 +1,1 @@
+lib/core/two_label.mli: Prefs Rim Util

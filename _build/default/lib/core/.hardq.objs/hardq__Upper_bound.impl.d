@@ -1,0 +1,1 @@
+lib/core/upper_bound.ml: Bipartite List Option Prefs Rim Two_label

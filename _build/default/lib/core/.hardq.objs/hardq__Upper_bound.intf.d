@@ -1,0 +1,1 @@
+lib/core/upper_bound.mli: Prefs Rim Util

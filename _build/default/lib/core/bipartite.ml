@@ -1,0 +1,275 @@
+exception Unsupported of string
+
+let max_states = ref 5_000_000
+
+(* Tracks are (conjunction, role) pairs; a conjunction used on both sides of
+   edges is tracked twice (min position as L, max position as R). *)
+
+type ctx = {
+  model : Rim.Model.t;
+  conj : Conj.t;
+  n_tracks : int;
+  track_conj : int array; (* track id -> conjunction id *)
+  track_is_left : bool array;
+}
+
+let build_ctx model lab pairs_per_pattern =
+  let conj = Conj.create lab (Rim.Model.sigma model) in
+  let tracks = Hashtbl.create 16 in
+  let intern_track node is_left =
+    let c = Conj.intern conj node in
+    let key = (c, is_left) in
+    match Hashtbl.find_opt tracks key with
+    | Some id -> id
+    | None ->
+        let id = Hashtbl.length tracks in
+        Hashtbl.add tracks key id;
+        id
+  in
+  let patterns =
+    List.map
+      (List.map (fun (l, r) -> (intern_track l true, intern_track r false)))
+      pairs_per_pattern
+  in
+  let n_tracks = Hashtbl.length tracks in
+  let track_conj = Array.make n_tracks 0 and track_is_left = Array.make n_tracks false in
+  Hashtbl.iter
+    (fun (c, is_left) id ->
+      track_conj.(id) <- c;
+      track_is_left.(id) <- is_left)
+    tracks;
+  ({ model; conj; n_tracks; track_conj; track_is_left }, patterns)
+
+(* An edge (l, r) given values v (position+1 per track; 0 = unset) at step i. *)
+type situation = Satisfied | Violated | Uncertain
+
+let edge_situation ctx ~value i (l, r) =
+  let lv = value l and rv = value r in
+  if lv > 0 && rv > 0 && lv < rv then Satisfied
+  else if
+    Conj.remaining ctx.conj ctx.track_conj.(l) i = 0
+    && Conj.remaining ctx.conj ctx.track_conj.(r) i = 0
+  then Violated
+  else Uncertain
+
+(* Static feasibility: an edge with an empty-side conjunction can never be
+   satisfied. Returns the surviving patterns. *)
+let statically_feasible ctx patterns =
+  List.filter
+    (fun edges ->
+      List.for_all
+        (fun (l, r) ->
+          Conj.total ctx.conj ctx.track_conj.(l) > 0
+          && Conj.total ctx.conj ctx.track_conj.(r) > 0)
+        edges)
+    patterns
+
+(* ------------------------------------------------------------------ *)
+(* Optimized solver (Algorithm 4)                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Gu: the per-state uncertain structure, interned. *)
+type gu = {
+  gu_edges : (int * int) list list; (* uncertain edges per uncertain pattern *)
+  tracked : int array; (* sorted track ids appearing in gu_edges *)
+  slot : int array; (* track id -> index into [tracked] or -1 *)
+}
+
+let run_optimized ?(budget = Util.Timer.no_limit) ctx patterns =
+  let m = Rim.Model.m ctx.model in
+  let gu_table : ((int * int) list list, gu) Hashtbl.t = Hashtbl.create 32 in
+  let intern_gu edges_per_pattern =
+    let key = List.sort compare (List.map (List.sort compare) edges_per_pattern) in
+    match Hashtbl.find_opt gu_table key with
+    | Some g -> g
+    | None ->
+        let tracks =
+          List.sort_uniq compare
+            (List.concat_map (List.concat_map (fun (l, r) -> [ l; r ])) key)
+        in
+        let tracked = Array.of_list tracks in
+        let slot = Array.make ctx.n_tracks (-1) in
+        Array.iteri (fun s t -> slot.(t) <- s) tracked;
+        let g = { gu_edges = key; tracked; slot } in
+        Hashtbl.add gu_table key g;
+        g
+  in
+  match statically_feasible ctx patterns with
+  | [] -> 0.
+  | feasible when List.exists (fun edges -> edges = []) feasible ->
+      (* A pattern with no (remaining) edge constraints is always satisfied. *)
+      1.
+  | feasible ->
+      let gu0 = intern_gu feasible in
+      let table = ref (Hashtbl.create 64) in
+      Hashtbl.add !table (gu0, Array.make (Array.length gu0.tracked) 0) 1.;
+      let prob = ref 0. in
+      for i = 0 to m - 1 do
+        Util.Timer.check budget;
+        let next = Hashtbl.create (Hashtbl.length !table * 2) in
+        Hashtbl.iter
+          (fun (g, vals) q ->
+            for j = 0 to i do
+              let p' = q *. Rim.Model.pi ctx.model i j in
+              if p' > 0. then begin
+                (* New track values for g.tracked. *)
+                let vals' =
+                  Array.mapi
+                    (fun s v ->
+                      (* shift-then-extremum; values are position+1, 0 unset *)
+                      let shifted = if v > 0 && v - 1 >= j then v + 1 else v in
+                      let t = g.tracked.(s) in
+                      if Conj.matches ctx.conj ctx.track_conj.(t) i then
+                        if ctx.track_is_left.(t) then
+                          if v = 0 then j + 1 else min shifted (j + 1)
+                        else if v = 0 then j + 1
+                        else max shifted (j + 1)
+                      else shifted)
+                    vals
+                in
+                let value t = vals'.(g.slot.(t)) in
+                (* Re-evaluate uncertain edges. *)
+                let satisfied_pattern = ref false in
+                let remaining_patterns =
+                  List.filter_map
+                    (fun edges ->
+                      let violated = ref false in
+                      let uncertain =
+                        List.filter
+                          (fun e ->
+                            match edge_situation ctx ~value i e with
+                            | Satisfied -> false
+                            | Violated ->
+                                violated := true;
+                                false
+                            | Uncertain -> true)
+                          edges
+                      in
+                      if !violated then None
+                      else if uncertain = [] then begin
+                        satisfied_pattern := true;
+                        None
+                      end
+                      else Some uncertain)
+                    g.gu_edges
+                in
+                if !satisfied_pattern then prob := !prob +. p'
+                else if remaining_patterns <> [] then begin
+                  let g' = intern_gu remaining_patterns in
+                  let vals'' = Array.map (fun t -> vals'.(g.slot.(t))) g'.tracked in
+                  let key = (g', vals'') in
+                  match Hashtbl.find_opt next key with
+                  | Some q0 -> Hashtbl.replace next key (q0 +. p')
+                  | None ->
+                      if Hashtbl.length next >= !max_states then
+                        failwith "Bipartite: state explosion";
+                      Hashtbl.add next key p'
+                end
+              end
+            done)
+          !table;
+        table := next
+      done;
+      min 1. !prob
+
+(* ------------------------------------------------------------------ *)
+(* Basic solver (§4.3.1): full tracking, classification at the end.    *)
+(* ------------------------------------------------------------------ *)
+
+let run_basic ?(budget = Util.Timer.no_limit) ctx patterns =
+  let m = Rim.Model.m ctx.model in
+  match statically_feasible ctx patterns with
+  | [] -> 0.
+  | feasible when List.exists (fun edges -> edges = []) feasible -> 1.
+  | feasible ->
+      let table = ref (Hashtbl.create 64) in
+      Hashtbl.add !table (Array.make ctx.n_tracks 0) 1.;
+      for i = 0 to m - 1 do
+        Util.Timer.check budget;
+        let next = Hashtbl.create (Hashtbl.length !table * 2) in
+        Hashtbl.iter
+          (fun vals q ->
+            for j = 0 to i do
+              let p' = q *. Rim.Model.pi ctx.model i j in
+              if p' > 0. then begin
+                let vals' =
+                  Array.mapi
+                    (fun t v ->
+                      let shifted = if v > 0 && v - 1 >= j then v + 1 else v in
+                      if Conj.matches ctx.conj ctx.track_conj.(t) i then
+                        if ctx.track_is_left.(t) then
+                          if v = 0 then j + 1 else min shifted (j + 1)
+                        else if v = 0 then j + 1
+                        else max shifted (j + 1)
+                      else shifted)
+                    vals
+                in
+                match Hashtbl.find_opt next vals' with
+                | Some q0 -> Hashtbl.replace next vals' (q0 +. p')
+                | None ->
+                    if Hashtbl.length next >= !max_states then
+                      failwith "Bipartite (basic): state explosion";
+                    Hashtbl.add next vals' p'
+              end
+            done)
+          !table;
+        table := next
+      done;
+      let satisfied vals =
+        List.exists
+          (List.for_all (fun (l, r) ->
+               let lv = vals.(l) and rv = vals.(r) in
+               lv > 0 && rv > 0 && lv < rv))
+          feasible
+      in
+      Hashtbl.fold (fun vals q acc -> if satisfied vals then acc +. q else acc) !table 0.
+
+(* ------------------------------------------------------------------ *)
+(* Public entry points                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let pairs_of_pattern g =
+  match Prefs.Pattern.bipartite_roles g with
+  | None -> raise (Unsupported "Bipartite: pattern has a node that is both source and target")
+  | Some _roles ->
+      List.map
+        (fun (a, b) -> (Prefs.Pattern.node g a, Prefs.Pattern.node g b))
+        (Prefs.Pattern.edges g)
+
+(* Isolated nodes impose only a witness-existence condition. *)
+let isolated_nodes_ok lab g =
+  match Prefs.Pattern.bipartite_roles g with
+  | None -> raise (Unsupported "Bipartite: pattern is not bipartite")
+  | Some roles ->
+      let ok = ref true in
+      Array.iteri
+        (fun v role ->
+          if role = `Iso && Prefs.Labeling.items_with_all lab (Prefs.Pattern.node g v) = []
+          then ok := false)
+        roles;
+      !ok
+
+let union_to_constraint_sets lab gu =
+  List.filter_map
+    (fun g -> if isolated_nodes_ok lab g then Some (pairs_of_pattern g) else None)
+    (Prefs.Pattern_union.patterns gu)
+
+let prob_constraint_sets ?budget model lab sets =
+  if sets = [] then 0.
+  else
+    let ctx, patterns = build_ctx model lab sets in
+    run_optimized ?budget ctx patterns
+
+let prob ?budget model lab gu =
+  match union_to_constraint_sets lab gu with
+  | [] -> 0.
+  | sets ->
+      let ctx, patterns = build_ctx model lab sets in
+      run_optimized ?budget ctx patterns
+
+let prob_basic ?budget model lab gu =
+  match union_to_constraint_sets lab gu with
+  | [] -> 0.
+  | sets ->
+      let ctx, patterns = build_ctx model lab sets in
+      run_basic ?budget ctx patterns

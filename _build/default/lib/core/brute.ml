@@ -1,0 +1,31 @@
+let sum_over model pred =
+  let m = Rim.Model.m model in
+  let total = ref 0. in
+  Prefs.Ranking.all m (fun r ->
+      if pred r then total := !total +. Rim.Model.prob model r);
+  !total
+
+(* Ranking.all enumerates permutations of 0..m-1; remap through sigma when the
+   domain is not 0..m-1. *)
+let remap model r =
+  let sigma = Rim.Model.sigma model in
+  let sorted = Array.of_list (List.sort compare (Prefs.Ranking.to_list sigma)) in
+  if Array.length sorted > 0 && sorted.(Array.length sorted - 1) = Array.length sorted - 1
+     && sorted.(0) = 0
+  then r
+  else
+    Prefs.Ranking.of_array
+      (Array.map (fun i -> sorted.(i)) (Prefs.Ranking.to_array r))
+
+let prob model lab gu =
+  sum_over model (fun r -> Prefs.Matcher.matches_union lab gu (remap model r))
+
+let prob_pattern model lab g = prob model lab (Prefs.Pattern_union.singleton g)
+
+let prob_subrankings model subs =
+  sum_over model (fun r ->
+      let r = remap model r in
+      List.exists (fun sub -> Prefs.Matcher.matches_subranking r ~sub) subs)
+
+let prob_partial_order model po =
+  sum_over model (fun r -> Prefs.Partial_order.consistent po (remap model r))

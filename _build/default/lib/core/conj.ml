@@ -1,0 +1,60 @@
+type t = {
+  lab : Prefs.Labeling.t;
+  sigma : Prefs.Ranking.t;
+  ids : (Prefs.Pattern.node, int) Hashtbl.t;
+  mutable match_rows : bool array list; (* reversed: id n-1 first *)
+  mutable remaining_rows : int array list;
+  mutable cache : (bool array array * int array array) option;
+}
+
+let create lab sigma =
+  { lab; sigma; ids = Hashtbl.create 16; match_rows = []; remaining_rows = []; cache = None }
+
+let intern t node =
+  let node = List.sort_uniq Stdlib.compare node in
+  match Hashtbl.find_opt t.ids node with
+  | Some id -> id
+  | None ->
+      let id = Hashtbl.length t.ids in
+      Hashtbl.add t.ids node id;
+      let m = Prefs.Ranking.length t.sigma in
+      let row =
+        Array.init m (fun i ->
+            Prefs.Labeling.has_all t.lab (Prefs.Ranking.item_at t.sigma i) node)
+      in
+      let rem = Array.make m 0 in
+      let acc = ref 0 in
+      for i = m - 1 downto 0 do
+        rem.(i) <- !acc;
+        if row.(i) then incr acc
+      done;
+      t.match_rows <- row :: t.match_rows;
+      t.remaining_rows <- rem :: t.remaining_rows;
+      t.cache <- None;
+      id
+
+let n t = Hashtbl.length t.ids
+
+let tables t =
+  match t.cache with
+  | Some tb -> tb
+  | None ->
+      let tb =
+        ( Array.of_list (List.rev t.match_rows),
+          Array.of_list (List.rev t.remaining_rows) )
+      in
+      t.cache <- Some tb;
+      tb
+
+let matches t c i =
+  let m, _ = tables t in
+  m.(c).(i)
+
+let remaining t c i =
+  let _, r = tables t in
+  r.(c).(i)
+
+let total t c =
+  let m, r = tables t in
+  if Array.length m.(c) = 0 then 0
+  else r.(c).(0) + if m.(c).(0) then 1 else 0

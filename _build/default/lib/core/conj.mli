@@ -1,0 +1,30 @@
+(** Internal bookkeeping shared by the exact solvers: interning of node
+    conjunctions ("composite labels") against a concrete RIM model.
+
+    A pattern node is a conjunction of labels; an item carries the
+    composite label iff it carries every label of the conjunction. The
+    solvers track min/max positions per composite label, so they need
+    fast "does the item inserted at step [i] match conjunction [c]" and
+    "how many items after step [i] match [c]" lookups. *)
+
+type t
+
+val create : Prefs.Labeling.t -> Prefs.Ranking.t -> t
+(** [create lab sigma] prepares an interning context for the reference
+    ranking [sigma]. *)
+
+val intern : t -> Prefs.Pattern.node -> int
+(** Id of a conjunction (allocating it on first use). *)
+
+val n : t -> int
+(** Number of interned conjunctions so far. *)
+
+val matches : t -> int -> int -> bool
+(** [matches t c i] — does the item inserted at step [i] (i.e. [σ_i])
+    carry conjunction [c]? *)
+
+val remaining : t -> int -> int -> int
+(** [remaining t c i] — number of steps [k > i] whose item carries [c]. *)
+
+val total : t -> int -> int
+(** Number of items in the whole domain carrying [c]. *)

@@ -1,0 +1,20 @@
+let conjunctions gu =
+  let pats = Prefs.Pattern_union.patterns gu in
+  let out = ref [] in
+  Util.Combinat.iter_nonempty_subsets pats (fun s ->
+      out := (Prefs.Pattern.conjunction s, List.length s) :: !out);
+  List.sort (fun (_, a) (_, b) -> compare a b) (List.rev !out)
+
+let prob_instrumented ?budget model lab gu =
+  let total = ref 0. and times = ref [] in
+  List.iter
+    (fun (conj, size) ->
+      let p, dt = Util.Timer.time (fun () -> Pattern_solver.prob ?budget model lab conj) in
+      times := (size, dt) :: !times;
+      let sign = if size land 1 = 1 then 1. else -1. in
+      total := !total +. (sign *. p))
+    (conjunctions gu);
+  (* Inclusion-exclusion cancellation can leave tiny negative residue. *)
+  (max 0. (min 1. !total), List.rev !times)
+
+let prob ?budget model lab gu = fst (prob_instrumented ?budget model lab gu)

@@ -1,0 +1,29 @@
+(** The general exact solver (paper §4.1): inclusion–exclusion over the
+    pattern union, delegating each pattern conjunction to the
+    single-pattern solver ({!Pattern_solver}, the paper's LTM role).
+
+    [Pr(g1 ∪ … ∪ gz) = Σ_{∅≠S⊆[z]} (-1)^(|S|+1) Pr(∧_{i∈S} g_i)]. *)
+
+val conjunctions : Prefs.Pattern_union.t -> (Prefs.Pattern.t * int) list
+(** All [2^z - 1] pattern conjunctions with their subset sizes, in
+    increasing subset-size order. The conjunction of a subset is the
+    disjoint union of its patterns' nodes and edges. *)
+
+val prob :
+  ?budget:Util.Timer.budget ->
+  Rim.Model.t ->
+  Prefs.Labeling.t ->
+  Prefs.Pattern_union.t ->
+  float
+(** Exact marginal probability of the union. Cost is dominated by the
+    largest conjunction; exponential in [z]. *)
+
+val prob_instrumented :
+  ?budget:Util.Timer.budget ->
+  Rim.Model.t ->
+  Prefs.Labeling.t ->
+  Prefs.Pattern_union.t ->
+  float * (int * float) list
+(** Like {!prob} but also returns, for every conjunction evaluated, its
+    subset size and wall-clock seconds — the measurement behind the
+    paper's Figure 5. *)

@@ -1,0 +1,12 @@
+let estimate ~n mal psi rng =
+  let t0 = Util.Timer.now () in
+  let proposal = Rim.Amp.of_subranking mal psi in
+  let t1 = Util.Timer.now () in
+  let value, n_samples = Mis.is_estimate ~target:mal ~proposal ~n rng in
+  {
+    Estimate.value = min 1. value;
+    n_samples;
+    n_proposals = 1;
+    overhead_time = t1 -. t0;
+    sampling_time = Util.Timer.now () -. t1;
+  }

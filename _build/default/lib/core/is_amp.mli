@@ -1,0 +1,12 @@
+(** IS-AMP (paper §5.3): importance sampling for a single sub-ranking ψ
+    with one proposal, AMP(σ, φ, ψ). Efficient when the posterior is
+    unimodal; Example 5.1 shows it under-estimates multi-modal
+    posteriors, which is what {!Mis_amp} fixes. *)
+
+val estimate :
+  n:int ->
+  Rim.Mallows.t ->
+  Prefs.Ranking.t ->
+  Util.Rng.t ->
+  Estimate.t
+(** [estimate ~n mal psi rng] estimates Pr(τ ⊨ ψ) for τ ~ mal. *)

@@ -1,0 +1,33 @@
+(** The Multiple Importance Sampling core (paper §5.4, Equations 5–7).
+
+    Samples are drawn from each proposal in turn and re-weighted with the
+    balance heuristic of Veach & Guibas:
+    [w(x) = p(x) / ((1/d) Σ_t q_t(x))], where [p] is the target Mallows
+    density and [q_t] the exact AMP proposal densities. All proposals
+    condition on a sub-ranking of the event, so the indicator [f ≡ 1] on
+    every sample. *)
+
+val balance_estimate :
+  target:Rim.Mallows.t ->
+  proposals:Rim.Amp.t array ->
+  n_per:int ->
+  Util.Rng.t ->
+  float * int
+(** [(estimate, total_samples)] for Equation (6) with equal sample counts
+    per proposal. Raises [Invalid_argument] on an empty proposal array. *)
+
+val is_estimate :
+  target:Rim.Mallows.t -> proposal:Rim.Amp.t -> n:int -> Util.Rng.t -> float * int
+(** Plain importance sampling — the [d = 1] special case (IS-AMP). *)
+
+val plain_is_weights_estimate :
+  target:Rim.Mallows.t ->
+  proposals:Rim.Amp.t array ->
+  n_per:int ->
+  Util.Rng.t ->
+  float * int
+(** Ablation: multiple proposals but each sample weighted only by its own
+    proposal density [p(x)/q_t(x)] and the per-proposal estimates
+    averaged. Unbiased only when every proposal alone covers the event;
+    included to demonstrate why the balance heuristic is needed
+    (Example 5.1 vs 5.2). *)

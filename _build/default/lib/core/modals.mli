@@ -1,0 +1,34 @@
+(** Greedy search for posterior modals (paper §5.4, Algorithms 5 and 6).
+
+    A modal of the posterior of MAL(σ, φ) conditioned on a sub-ranking ψ
+    is a completion of ψ with minimal Kendall-tau distance to σ. Finding
+    the true minimum is intractable (Brandenburg et al.), so the paper
+    inserts the missing items of σ greedily at distance-minimizing
+    positions, branching on ties (Algorithm 5) or picking one completion
+    to estimate the distance (Algorithm 6). *)
+
+val insertion_costs : sub:Prefs.Ranking.t -> center:Prefs.Ranking.t -> int -> int array
+(** [insertion_costs ~sub ~center x] is the array of added discordant
+    pairs when inserting item [x] at each position [j = 0..|sub|] of
+    [sub], relative to [center]. *)
+
+val greedy_modals :
+  ?cap:int ->
+  sub:Prefs.Ranking.t ->
+  center:Prefs.Ranking.t ->
+  unit ->
+  (Prefs.Ranking.t * int) list
+(** Algorithm 5: complete [sub] to full rankings over [center]'s items,
+    branching on all distance-minimizing insertion positions; returns
+    (modal, Kendall distance to center) pairs in ascending distance
+    order. [cap] (default 64) bounds the branching set, keeping the
+    closest candidates. *)
+
+val approximate_distance : sub:Prefs.Ranking.t -> center:Prefs.Ranking.t -> int
+(** Algorithm 6: the Kendall distance of one greedy completion — the
+    sub-ranking distance estimate used to sort sub-rankings in
+    MIS-AMP-lite. *)
+
+val approximate_completion :
+  sub:Prefs.Ranking.t -> center:Prefs.Ranking.t -> Prefs.Ranking.t * int
+(** The completion behind {!approximate_distance}. *)

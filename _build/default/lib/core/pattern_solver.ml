@@ -1,0 +1,130 @@
+exception Unsupported of string
+
+let max_states = ref 2_000_000
+
+(* --- Greedy embedding over a mask sequence ------------------------------
+
+   [seq] lists the node-match bitmasks of the relevant items of a partial
+   ranking in ranking order. The pattern embeds iff, processing nodes in
+   topological order, every node finds a sequence index carrying its bit
+   and strictly greater than all its parents' indices (non-injective
+   greedy matching; see Prefs.Matcher). *)
+
+let embeds ~topo ~parents ~(masks : int array) (seq : int array) =
+  let q = Array.length parents in
+  let f = Array.make q (-1) in
+  let n = Array.length seq in
+  List.for_all
+    (fun v ->
+      let bound = List.fold_left (fun b u -> max b f.(u)) (-1) parents.(v) in
+      let bit = masks.(v) in
+      let rec find k = if k >= n then None else if seq.(k) land bit <> 0 then Some k else find (k + 1) in
+      match find (bound + 1) with
+      | Some k ->
+          f.(v) <- k;
+          true
+      | None -> false)
+    topo
+
+(* State encoding: flat int array [pos0; mask0; pos1; mask1; ...] sorted by
+   position (0-based absolute positions in the current partial ranking). *)
+
+let state_masks st = Array.init (Array.length st / 2) (fun k -> st.((2 * k) + 1))
+
+let prob_general ?(budget = Util.Timer.no_limit) model lab g =
+  let q = Prefs.Pattern.n_nodes g in
+  if q > 62 then raise (Unsupported "Pattern_solver: more than 62 nodes");
+  let m = Rim.Model.m model in
+  let sigma = Rim.Model.sigma model in
+  let topo = Prefs.Pattern.topological_order g in
+  let parents = Array.init q (Prefs.Pattern.preds g) in
+  let node_bits = Array.init q (fun v -> 1 lsl v) in
+  (* mask of the item inserted at step i *)
+  let step_mask =
+    Array.init m (fun i ->
+        let item = Prefs.Ranking.item_at sigma i in
+        let mask = ref 0 in
+        for v = 0 to q - 1 do
+          if Prefs.Labeling.has_all lab item (Prefs.Pattern.node g v) then
+            mask := !mask lor (1 lsl v)
+        done;
+        !mask)
+  in
+  (* Static check: every node needs at least one matching item. *)
+  let witnessable =
+    List.init q (fun v -> Array.exists (fun mk -> mk land (1 lsl v) <> 0) step_mask)
+  in
+  if List.exists not witnessable then 0.
+  else begin
+    let table = ref (Hashtbl.create 64) in
+    Hashtbl.add !table [||] 1.;
+    let prob = ref 0. in
+    let add next st p =
+      match Hashtbl.find_opt next st with
+      | Some p0 -> Hashtbl.replace next st (p0 +. p)
+      | None ->
+          if Hashtbl.length next >= !max_states then
+            failwith "Pattern_solver: state explosion";
+          Hashtbl.add next st p
+    in
+    for i = 0 to m - 1 do
+      Util.Timer.check budget;
+      let next = Hashtbl.create (Hashtbl.length !table * 2) in
+      let mx = step_mask.(i) in
+      Hashtbl.iter
+        (fun st qprob ->
+          let t = Array.length st / 2 in
+          if mx = 0 then begin
+            (* Irrelevant item: group insertion positions by how many tracked
+               items shift. c = number of tracked items strictly before j. *)
+            for c = 0 to t do
+              let jlo = if c = 0 then 0 else st.(2 * (c - 1)) + 1 in
+              let jhi = if c = t then i else st.(2 * c) in
+              if jlo <= jhi then begin
+                let psum = ref 0. in
+                for j = jlo to jhi do
+                  psum := !psum +. Rim.Model.pi model i j
+                done;
+                if !psum > 0. then begin
+                  let st' = Array.copy st in
+                  for k = c to t - 1 do
+                    st'.(2 * k) <- st'.(2 * k) + 1
+                  done;
+                  add next st' (qprob *. !psum)
+                end
+              end
+            done
+          end
+          else
+            for j = 0 to i do
+              let p = qprob *. Rim.Model.pi model i j in
+              if p > 0. then begin
+                (* Insert (j, mx), shifting tracked positions >= j. *)
+                let c = ref 0 in
+                while !c < t && st.(2 * !c) < j do
+                  incr c
+                done;
+                let c = !c in
+                let st' = Array.make ((t + 1) * 2) 0 in
+                Array.blit st 0 st' 0 (2 * c);
+                st'.(2 * c) <- j;
+                st'.((2 * c) + 1) <- mx;
+                for k = c to t - 1 do
+                  st'.(2 * (k + 1)) <- st.(2 * k) + 1;
+                  st'.((2 * (k + 1)) + 1) <- st.((2 * k) + 1)
+                done;
+                if embeds ~topo ~parents ~masks:node_bits (state_masks st') then
+                  prob := !prob +. p
+                else add next st' p
+              end
+            done)
+        !table;
+      table := next
+    done;
+    min 1. !prob
+  end
+
+let prob ?budget model lab g =
+  if Prefs.Pattern.is_bipartite g then
+    Bipartite.prob ?budget model lab (Prefs.Pattern_union.singleton g)
+  else prob_general ?budget model lab g

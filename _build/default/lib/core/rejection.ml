@@ -1,0 +1,36 @@
+let run ~n model pred rng =
+  if n <= 0 then invalid_arg "Rejection: n <= 0";
+  let t0 = Util.Timer.now () in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if pred (Rim.Model.sample model rng) then incr hits
+  done;
+  {
+    Estimate.value = float_of_int !hits /. float_of_int n;
+    n_samples = n;
+    n_proposals = 1;
+    overhead_time = 0.;
+    sampling_time = Util.Timer.now () -. t0;
+  }
+
+let estimate ~n model lab gu rng =
+  run ~n model (fun r -> Prefs.Matcher.matches_union lab gu r) rng
+
+let estimate_subrankings ~n model subs rng =
+  run ~n model
+    (fun r -> List.exists (fun sub -> Prefs.Matcher.matches_subranking r ~sub) subs)
+    rng
+
+let samples_until ~exact ~rel_tol ~max_samples model lab gu rng =
+  if exact <= 0. then invalid_arg "Rejection.samples_until: exact must be positive";
+  let hits = ref 0 in
+  let rec go n =
+    if n > max_samples then `Exhausted
+    else begin
+      if Prefs.Matcher.matches_union lab gu (Rim.Model.sample model rng) then incr hits;
+      let est = float_of_int !hits /. float_of_int n in
+      if n >= 10 && Util.Stats.relative_error ~exact est <= rel_tol then `Converged n
+      else go (n + 1)
+    end
+  in
+  go 1

@@ -1,0 +1,29 @@
+(** Rejection sampling (§5.1): draw rankings from the model and count how
+    many match the pattern union. Simple, unbiased, and hopeless for rare
+    events — the baseline of Figure 9. *)
+
+val estimate :
+  n:int ->
+  Rim.Model.t ->
+  Prefs.Labeling.t ->
+  Prefs.Pattern_union.t ->
+  Util.Rng.t ->
+  Estimate.t
+
+val estimate_subrankings :
+  n:int -> Rim.Model.t -> Prefs.Ranking.t list -> Util.Rng.t -> Estimate.t
+(** Same, with the event "consistent with at least one sub-ranking". *)
+
+val samples_until :
+  exact:float ->
+  rel_tol:float ->
+  max_samples:int ->
+  Rim.Model.t ->
+  Prefs.Labeling.t ->
+  Prefs.Pattern_union.t ->
+  Util.Rng.t ->
+  [ `Converged of int | `Exhausted ]
+(** Number of samples until the running estimate first falls within
+    [rel_tol] relative error of the known [exact] value (and at least 10
+    samples were drawn) — the paper's optimistic stopping rule for RS in
+    Figure 9. *)

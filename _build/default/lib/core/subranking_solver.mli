@@ -1,0 +1,30 @@
+(** Exact inference through the sub-ranking view of §5.2:
+    [Pr(G) = Pr(τ ⊨ ψ₁ ∪ … ∪ ψ_w)] by inclusion–exclusion over the
+    sub-rankings, where the intersection of chain events is the event of
+    a merged partial order (empty when the merge is cyclic) solved
+    exactly by {!Po_solver}.
+
+    Exponential in [w] (2^w terms), but independent of the number of
+    items — the mirror image of the label-side exact solvers, and an
+    independent cross-check for them and for the importance samplers at
+    domain sizes far beyond brute-force enumeration. *)
+
+exception Too_many of int
+(** Raised when the union has more sub-rankings than [max_subrankings]. *)
+
+val max_subrankings : int ref
+(** Inclusion–exclusion term guard (default 16, i.e. ≤ 65535 terms). *)
+
+val prob_subrankings :
+  ?budget:Util.Timer.budget -> Rim.Model.t -> Prefs.Ranking.t list -> float
+(** Probability that a random ranking is consistent with at least one of
+    the given sub-rankings. The empty list has probability 0. *)
+
+val prob :
+  ?budget:Util.Timer.budget ->
+  Rim.Model.t ->
+  Prefs.Labeling.t ->
+  Prefs.Pattern_union.t ->
+  float
+(** Marginal probability of a pattern union, via
+    {!Prefs.Decompose.subrankings}. *)

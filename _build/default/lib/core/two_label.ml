@@ -1,0 +1,89 @@
+exception Unsupported of string
+
+let max_states = ref 5_000_000
+
+(* State encoding: an int array [lv_0..lv_{a-1}; rv_0..rv_{b-1}] where a value
+   is (position + 1) and 0 means "no item with that conjunction yet". *)
+
+let prob_edges ?(budget = Util.Timer.no_limit) model lab pairs =
+  if pairs = [] then invalid_arg "Two_label.prob_edges: empty union";
+  let sigma = Rim.Model.sigma model in
+  let m = Rim.Model.m model in
+  let conj = Conj.create lab sigma in
+  let lefts = Hashtbl.create 8 and rights = Hashtbl.create 8 in
+  let intern_role tbl node =
+    let c = Conj.intern conj node in
+    match Hashtbl.find_opt tbl c with
+    | Some k -> k
+    | None ->
+        let k = Hashtbl.length tbl in
+        Hashtbl.add tbl c k;
+        k
+  in
+  let edges =
+    List.map (fun (l, r) -> (intern_role lefts l, intern_role rights r)) pairs
+  in
+  let a = Hashtbl.length lefts and b = Hashtbl.length rights in
+  let left_conj = Array.make a 0 and right_conj = Array.make b 0 in
+  Hashtbl.iter (fun c k -> left_conj.(k) <- c) lefts;
+  Hashtbl.iter (fun c k -> right_conj.(k) <- c) rights;
+  (* A state satisfies G when some edge has min(l) < max(r). *)
+  let satisfies st =
+    List.exists
+      (fun (lk, rk) ->
+        let lv = st.(lk) and rv = st.(a + rk) in
+        lv > 0 && rv > 0 && lv < rv)
+      edges
+  in
+  let table = ref (Hashtbl.create 64) in
+  Hashtbl.add !table (Array.make (a + b) 0) 1.;
+  for i = 0 to m - 1 do
+    Util.Timer.check budget;
+    let next = Hashtbl.create (Hashtbl.length !table * 2) in
+    Hashtbl.iter
+      (fun st q ->
+        for j = 0 to i do
+          let st' = Array.copy st in
+          (* Values are stored as position+1 (0 = unset). An already-tracked
+             extremal item at position >= j shifts down by one before the
+             min/max with the new item's position is taken. *)
+          for k = 0 to a - 1 do
+            let v = st.(k) in
+            let shifted = if v > 0 && v - 1 >= j then v + 1 else v in
+            if Conj.matches conj left_conj.(k) i then
+              st'.(k) <- (if v = 0 then j + 1 else min shifted (j + 1))
+            else st'.(k) <- shifted
+          done;
+          for k = 0 to b - 1 do
+            let v = st.(a + k) in
+            let shifted = if v > 0 && v - 1 >= j then v + 1 else v in
+            if Conj.matches conj right_conj.(k) i then
+              st'.(a + k) <- (if v = 0 then j + 1 else max shifted (j + 1))
+            else st'.(a + k) <- shifted
+          done;
+          if not (satisfies st') then begin
+            let p = q *. Rim.Model.pi model i j in
+            (match Hashtbl.find_opt next st' with
+            | Some q0 -> Hashtbl.replace next st' (q0 +. p)
+            | None ->
+                if Hashtbl.length next >= !max_states then
+                  failwith "Two_label: state explosion";
+                Hashtbl.add next st' p)
+          end
+        done)
+      !table;
+    table := next
+  done;
+  let violating = Hashtbl.fold (fun _ q acc -> acc +. q) !table 0. in
+  max 0. (1. -. violating)
+
+let prob ?budget model lab gu =
+  let pairs =
+    List.map
+      (fun g ->
+        if not (Prefs.Pattern.is_two_label g) then
+          raise (Unsupported "Two_label.prob: pattern is not two-label");
+        (Prefs.Pattern.node g 0, Prefs.Pattern.node g 1))
+      (Prefs.Pattern_union.patterns gu)
+  in
+  prob_edges ?budget model lab pairs

@@ -1,0 +1,33 @@
+(** The two-label solver (paper §4.2, Algorithm 3).
+
+    Computes the marginal probability of a union of two-label patterns
+    [G = ∪_i {l_i ≻ r_i}] over a labeled RIM model by dynamic programming
+    over RIM insertions: states ⟨α, β⟩ track the minimum position of each
+    left ("L-type") conjunction and the maximum position of each right
+    ("R-type") conjunction, keeping only states that still *violate* every
+    pattern; the result is 1 minus their total mass. *)
+
+exception Unsupported of string
+(** Raised when the union is not a union of two-label patterns. *)
+
+val prob :
+  ?budget:Util.Timer.budget ->
+  Rim.Model.t ->
+  Prefs.Labeling.t ->
+  Prefs.Pattern_union.t ->
+  float
+(** Exact marginal probability. May raise [Util.Timer.Out_of_time]. *)
+
+val prob_edges :
+  ?budget:Util.Timer.budget ->
+  Rim.Model.t ->
+  Prefs.Labeling.t ->
+  (Prefs.Pattern.node * Prefs.Pattern.node) list ->
+  float
+(** Same computation on a bare list of (left, right) conjunction pairs —
+    the representation used by the upper-bound machinery (§4.3.2), where
+    each pair is read as the constraint [α(left) < β(right)]. *)
+
+val max_states : int ref
+(** Safety valve: raise [Failure] if the DP frontier exceeds this many
+    states (default 5_000_000). *)

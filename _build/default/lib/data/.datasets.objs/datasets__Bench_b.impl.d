@@ -1,0 +1,1 @@
+lib/data/bench_b.ml: Array Instance List Prefs Printf Rim Util

@@ -1,0 +1,1 @@
+lib/data/bench_b.mli: Instance

@@ -1,0 +1,1 @@
+lib/data/bench_c.ml: Array Instance List Prefs Printf Rim Util

@@ -1,0 +1,1 @@
+lib/data/crowdrank.ml: Array List Ppd Prefs Printf Rim Synthesizer Util

@@ -1,0 +1,1 @@
+lib/data/crowdrank.mli: Ppd

@@ -1,0 +1,1 @@
+lib/data/instance.ml: Format List Prefs Printf Rim String

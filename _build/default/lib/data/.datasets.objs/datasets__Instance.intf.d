@@ -1,0 +1,1 @@
+lib/data/instance.mli: Format Prefs Rim

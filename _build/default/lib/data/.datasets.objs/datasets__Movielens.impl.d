@@ -1,0 +1,1 @@
+lib/data/movielens.ml: List Ppd Prefs Printf Rim Util

@@ -1,0 +1,1 @@
+lib/data/movielens.mli: Ppd

@@ -1,0 +1,1 @@
+lib/data/polls.ml: Hashtbl List Ppd Prefs Printf Rim Util

@@ -1,0 +1,1 @@
+lib/data/polls.mli: Ppd

@@ -1,0 +1,1 @@
+lib/data/synthesizer.ml: Array List Util

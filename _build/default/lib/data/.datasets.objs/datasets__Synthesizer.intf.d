@@ -1,0 +1,1 @@
+lib/data/synthesizer.mli: Ppd Util

@@ -1,0 +1,66 @@
+(* A random partial order over q nodes: include edge (a, b), a < b, with
+   probability 1/2; guarantee at least one edge. *)
+let random_edge_structure rng q =
+  let edges = ref [] in
+  for a = 0 to q - 2 do
+    for b = a + 1 to q - 1 do
+      if Util.Rng.bool rng then edges := (a, b) :: !edges
+    done
+  done;
+  if !edges = [] then edges := [ (0, q - 1) ];
+  !edges
+
+let build_union rng ~m ~z ~q ~ipl ~edges =
+  (* z patterns, each with q fresh labels of ipl distinct items. *)
+  let n_labels = z * q in
+  let per_item = Array.make m [] in
+  let next_label = ref 0 in
+  let patterns =
+    List.init z (fun _ ->
+        let nodes =
+          List.init q (fun _ ->
+              let l = !next_label in
+              incr next_label;
+              let items =
+                Util.Rng.sample_without_replacement rng m ~weight:(fun _ -> 1.) ipl
+              in
+              List.iter (fun i -> per_item.(i) <- l :: per_item.(i)) items;
+              [ l ])
+        in
+        Prefs.Pattern.make ~nodes ~edges)
+  in
+  ignore n_labels;
+  (Prefs.Labeling.make per_item, Prefs.Pattern_union.make patterns)
+
+let generate ?(ms = [ 20; 50; 100; 200 ]) ?(phi = 0.1)
+    ?(patterns_per_union = [ 1; 2; 3 ]) ?(labels_per_pattern = [ 3; 4; 5 ])
+    ?(items_per_label = [ 3; 5; 7 ]) ?(instances_per_combo = 10) ~seed () =
+  let rng = Util.Rng.make seed in
+  List.concat_map
+    (fun m ->
+      List.concat_map
+        (fun z ->
+          List.concat_map
+            (fun q ->
+              List.concat_map
+                (fun ipl ->
+                  List.init instances_per_combo (fun k ->
+                      let r = Util.Rng.split rng in
+                      let center =
+                        Prefs.Ranking.of_array (Util.Rng.permutation r m)
+                      in
+                      let edges = random_edge_structure r q in
+                      let labeling, union = build_union r ~m ~z ~q ~ipl ~edges in
+                      {
+                        Instance.name =
+                          Printf.sprintf "bench-b/m%d-z%d-q%d-i%d/%d" m z q ipl k;
+                        mallows = Rim.Mallows.make ~center ~phi;
+                        labeling;
+                        union;
+                        params =
+                          [ ("m", m); ("z", z); ("q", q); ("items_per_label", ipl) ];
+                      }))
+                items_per_label)
+            labels_per_pattern)
+        patterns_per_union)
+    ms

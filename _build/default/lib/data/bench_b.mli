@@ -1,0 +1,19 @@
+(** Benchmark-B (paper §6.1): pattern unions with varying number of
+    patterns (1–3), labels per pattern (3–5) and items per label
+    (3, 5, 7) over MAL(σ, 0.1) with m ∈ {20, 50, 100, 200}. Patterns in a
+    union share the same random-partial-order edge structure but have
+    their own labels/items. Scalability stress for the approximate
+    solvers (Figure 13). *)
+
+val generate :
+  ?ms:int list ->
+  ?phi:float ->
+  ?patterns_per_union:int list ->
+  ?labels_per_pattern:int list ->
+  ?items_per_label:int list ->
+  ?instances_per_combo:int ->
+  seed:int ->
+  unit ->
+  Instance.t list
+(** Defaults are the paper's grid (4·3·3·3·10 = 1080 instances); pass
+    smaller lists to scale down. *)

@@ -1,0 +1,65 @@
+(* Random bipartite edge structure over q nodes: the first ceil(q/2) nodes
+   are sources, the rest targets; each source-target pair is an edge with
+   probability 1/2 (at least one edge overall). *)
+let random_bipartite_edges rng q =
+  let n_left = (q + 1) / 2 in
+  let edges = ref [] in
+  for a = 0 to n_left - 1 do
+    for b = n_left to q - 1 do
+      if Util.Rng.bool rng then edges := (a, b) :: !edges
+    done
+  done;
+  if !edges = [] then edges := [ (0, q - 1) ];
+  !edges
+
+let generate ?(ms = [ 10; 12; 14; 16 ]) ?(phi = 0.1)
+    ?(patterns_per_union = [ 1; 2; 3 ]) ?(labels_per_pattern = [ 2; 3; 4 ])
+    ?(items_per_label = [ 1; 3; 5 ]) ?(instances_per_combo = 10) ~seed () =
+  let rng = Util.Rng.make seed in
+  List.concat_map
+    (fun m ->
+      List.concat_map
+        (fun z ->
+          List.concat_map
+            (fun q ->
+              List.concat_map
+                (fun ipl ->
+                  List.init instances_per_combo (fun k ->
+                      let r = Util.Rng.split rng in
+                      let center =
+                        Prefs.Ranking.of_array (Util.Rng.permutation r m)
+                      in
+                      let edges = random_bipartite_edges r q in
+                      let per_item = Array.make m [] in
+                      let next = ref 0 in
+                      let patterns =
+                        List.init z (fun _ ->
+                            let nodes =
+                              List.init q (fun _ ->
+                                  let l = !next in
+                                  incr next;
+                                  let items =
+                                    Util.Rng.sample_without_replacement r m
+                                      ~weight:(fun _ -> 1.)
+                                      (min ipl m)
+                                  in
+                                  List.iter
+                                    (fun i -> per_item.(i) <- l :: per_item.(i))
+                                    items;
+                                  [ l ])
+                            in
+                            Prefs.Pattern.make ~nodes ~edges)
+                      in
+                      {
+                        Instance.name =
+                          Printf.sprintf "bench-c/m%d-z%d-q%d-i%d/%d" m z q ipl k;
+                        mallows = Rim.Mallows.make ~center ~phi;
+                        labeling = Prefs.Labeling.make per_item;
+                        union = Prefs.Pattern_union.make patterns;
+                        params =
+                          [ ("m", m); ("z", z); ("q", q); ("items_per_label", ipl) ];
+                      }))
+                items_per_label)
+            labels_per_pattern)
+        patterns_per_union)
+    ms

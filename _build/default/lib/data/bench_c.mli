@@ -1,0 +1,18 @@
+(** Benchmark-C (paper §6.1): unions of bipartite patterns over
+    MAL(σ, 0.1) with m ∈ {10, 12, 14, 16}; patterns per union 1–3,
+    labels per pattern 2–4, items per label 1, 3 or 5. Patterns in a
+    union share the same random bipartite edge structure. Exact bipartite
+    solver scalability (Figure 7) and approximate-solver accuracy
+    (Figures 10b, 12). *)
+
+val generate :
+  ?ms:int list ->
+  ?phi:float ->
+  ?patterns_per_union:int list ->
+  ?labels_per_pattern:int list ->
+  ?items_per_label:int list ->
+  ?instances_per_combo:int ->
+  seed:int ->
+  unit ->
+  Instance.t list
+(** Defaults are the paper's grid (1080 instances). *)

@@ -1,0 +1,42 @@
+let generate ?(ms = [ 20; 30; 40; 50; 60 ]) ?(phi = 0.5)
+    ?(patterns_per_union = [ 2; 3; 4; 5 ]) ?(items_per_label = [ 3; 5; 7 ])
+    ?(instances_per_combo = 10) ~seed () =
+  let rng = Util.Rng.make seed in
+  List.concat_map
+    (fun m ->
+      List.concat_map
+        (fun z ->
+          List.concat_map
+            (fun ipl ->
+              List.init instances_per_combo (fun k ->
+                  let r = Util.Rng.split rng in
+                  let center = Prefs.Ranking.of_array (Util.Rng.permutation r m) in
+                  let per_item = Array.make m [] in
+                  let next = ref 0 in
+                  let patterns =
+                    List.init z (fun _ ->
+                        let fresh () =
+                          let l = !next in
+                          incr next;
+                          let items =
+                            Util.Rng.sample_without_replacement r m
+                              ~weight:(fun _ -> 1.)
+                              (min ipl m)
+                          in
+                          List.iter (fun i -> per_item.(i) <- l :: per_item.(i)) items;
+                          [ l ]
+                        in
+                        let left = fresh () in
+                        let right = fresh () in
+                        Prefs.Pattern.two_label ~left ~right)
+                  in
+                  {
+                    Instance.name = Printf.sprintf "bench-d/m%d-z%d-i%d/%d" m z ipl k;
+                    mallows = Rim.Mallows.make ~center ~phi;
+                    labeling = Prefs.Labeling.make per_item;
+                    union = Prefs.Pattern_union.make patterns;
+                    params = [ ("m", m); ("z", z); ("items_per_label", ipl) ];
+                  }))
+            items_per_label)
+        patterns_per_union)
+    ms

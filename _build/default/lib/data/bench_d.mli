@@ -1,0 +1,13 @@
+(** Benchmark-D (paper §6.1): random two-label pattern unions over
+    MAL(σ, 0.5) with m ∈ {20, 30, 40, 50, 60}, 2–5 patterns per union and
+    3, 5 or 7 items per label. Two-label solver scalability (Figure 6). *)
+
+val generate :
+  ?ms:int list ->
+  ?phi:float ->
+  ?patterns_per_union:int list ->
+  ?items_per_label:int list ->
+  ?instances_per_combo:int ->
+  seed:int ->
+  unit ->
+  Instance.t list

@@ -1,0 +1,60 @@
+let v = Ppd.Value.str
+let vi = Ppd.Value.int
+
+let sexes = [ "F"; "M" ]
+let ages = [ 20; 30; 40; 50; 60 ]
+let genres = [ "Thriller"; "Comedy"; "Drama"; "Action" ]
+
+let generate ?(n_movies = 20) ?(n_models = 7) ?(n_seed_workers = 100) ~n_workers
+    ~seed () =
+  let rng = Util.Rng.make seed in
+  let pick l = Util.Rng.pick_list rng l in
+  let movies =
+    List.init n_movies (fun i ->
+        [
+          vi i;
+          v (List.nth genres (i mod List.length genres));
+          v (List.nth sexes (i mod 2));
+          vi (List.nth ages (i mod List.length ages));
+          v (if i mod 3 = 0 then "long" else "short");
+        ])
+  in
+  let item_rel =
+    Ppd.Relation.make ~name:"M"
+      ~attrs:[ "id"; "genre"; "lead_sex"; "lead_age"; "length" ]
+      movies
+  in
+  let models =
+    Array.init n_models (fun _ ->
+        let center = Prefs.Ranking.of_array (Util.Rng.permutation rng n_movies) in
+        Rim.Mallows.make ~center ~phi:(0.2 +. Util.Rng.float rng 0.6))
+  in
+  (* Seed population: worker, sex, age, model index. *)
+  let seed_rows =
+    List.init n_seed_workers (fun i ->
+        [| v (Printf.sprintf "seed%03d" i); v (pick sexes); vi (pick ages);
+           vi (Util.Rng.int rng n_models) |])
+  in
+  let synthetic =
+    Synthesizer.resample ~key_attr:0
+      ~key_of:(fun i -> v (Printf.sprintf "worker%06d" i))
+      ~n:n_workers seed_rows rng
+  in
+  let workers_rel =
+    Ppd.Relation.make ~name:"V" ~attrs:[ "worker"; "sex"; "age" ]
+      (List.map (fun row -> [ row.(0); row.(1); row.(2) ]) synthetic)
+  in
+  let sessions =
+    List.map
+      (fun row ->
+        let idx = match Ppd.Value.as_int row.(3) with Some i -> i | None -> 0 in
+        { Ppd.Database.key = [| row.(0) |]; model = models.(idx) })
+      synthetic
+  in
+  let prel = Ppd.Database.p_relation ~name:"P" ~key_attrs:[ "worker" ] sessions in
+  Ppd.Database.make ~items:item_rel ~relations:[ workers_rel ] ~preferences:[ prel ]
+    ()
+
+let query_fig15 =
+  "Q() :- P(w; m1; m2), P(w; m2; m3), V(w, sex, age), M(m1, _, sex, _, \
+   \"short\"), M(m2, _, _, age, \"short\"), M(m3, \"Thriller\", _, _, _)."

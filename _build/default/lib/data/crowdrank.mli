@@ -1,0 +1,26 @@
+(** CrowdRank surrogate (paper §6.1 / §6.4).
+
+    The real dataset is one Mechanical-Turk HIT: 20 movies ranked by 100
+    workers, mined into 7 Mallows models, then blown up to 200,000
+    synthetic worker profiles with DataSynthesizer. This generator builds
+    the same shape: movies [M(id, genre, lead_sex, lead_age, length)],
+    workers [V(worker, sex, age)] and the p-relation [P] keyed by worker,
+    where each synthetic worker inherits the demographics and model of a
+    bootstrap-resampled seed worker ({!Synthesizer}). The heavy
+    duplication of (model, pattern) pairs across sessions is exactly what
+    the §6.4 request-grouping optimization exploits (Figure 15). *)
+
+val generate :
+  ?n_movies:int ->
+  ?n_models:int ->
+  ?n_seed_workers:int ->
+  n_workers:int ->
+  seed:int ->
+  unit ->
+  Ppd.Database.t
+(** Defaults: [n_movies = 20], [n_models = 7], [n_seed_workers = 100]. *)
+
+val query_fig15 : string
+(** The §6.4 query: a short movie with a lead actor of the worker's
+    gender is preferred to a short movie with a lead actor of the
+    worker's age bracket, which is preferred to some Thriller. *)

@@ -1,0 +1,15 @@
+type t = {
+  name : string;
+  mallows : Rim.Mallows.t;
+  labeling : Prefs.Labeling.t;
+  union : Prefs.Pattern_union.t;
+  params : (string * int) list;
+}
+
+let param t key = List.assoc key t.params
+let model t = Rim.Mallows.to_rim t.mallows
+
+let pp ppf t =
+  Format.fprintf ppf "%s [%s]" t.name
+    (String.concat ", "
+       (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) t.params))

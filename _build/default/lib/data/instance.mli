@@ -1,0 +1,18 @@
+(** A self-contained inference instance: a labeled Mallows model plus a
+    pattern union. The synthetic benchmarks (A–D) produce lists of these. *)
+
+type t = {
+  name : string;
+  mallows : Rim.Mallows.t;
+  labeling : Prefs.Labeling.t;
+  union : Prefs.Pattern_union.t;
+  params : (string * int) list;  (** generator parameters, for reporting *)
+}
+
+val param : t -> string -> int
+(** Raises [Not_found]. *)
+
+val model : t -> Rim.Model.t
+(** The RIM form of the Mallows model. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,44 @@
+let all_genres =
+  [
+    "Comedy"; "Drama"; "Action"; "Thriller"; "Romance"; "SciFi"; "Horror";
+    "Animation"; "Crime";
+  ]
+
+let genres_for n_movies =
+  let k = min (List.length all_genres) (4 + (n_movies / 40)) in
+  List.filteri (fun i _ -> i < k) all_genres
+
+let v = Ppd.Value.str
+let vi = Ppd.Value.int
+
+let generate ?(n_movies = 200) ?(n_components = 16) ?(phi = 0.3) ~seed () =
+  let rng = Util.Rng.make seed in
+  let genres = genres_for n_movies in
+  let movies =
+    List.init n_movies (fun i ->
+        (* Ensure every genre has both pre-1990 and post-1990 movies once the
+           catalog is big enough. *)
+        let genre = List.nth genres (i mod List.length genres) in
+        let year =
+          if i / List.length genres mod 2 = 0 then 1990 + Util.Rng.int rng 16
+          else 1970 + Util.Rng.int rng 20
+        in
+        [ vi i; v (Printf.sprintf "movie%03d" i); vi year; v genre ])
+  in
+  let item_rel =
+    Ppd.Relation.make ~name:"M" ~attrs:[ "id"; "title"; "year"; "genre" ] movies
+  in
+  let sessions =
+    List.init n_components (fun c ->
+        let center = Prefs.Ranking.of_array (Util.Rng.permutation rng n_movies) in
+        {
+          Ppd.Database.key = [| v (Printf.sprintf "component%02d" c) |];
+          model = Rim.Mallows.make ~center ~phi;
+        })
+  in
+  let prel = Ppd.Database.p_relation ~name:"P" ~key_attrs:[ "user" ] sessions in
+  Ppd.Database.make ~items:item_rel ~preferences:[ prel ] ()
+
+let query_fig14 =
+  "Q() :- P(_; 0; 1), P(_; x; 1), P(_; x; y), M(x, _, year1, genre), year1 >= \
+   1990, M(y, _, year2, genre), year2 < 1990."

@@ -1,0 +1,22 @@
+(** MovieLens surrogate (paper §6.1 / §6.3).
+
+    The paper uses the 200 most-rated MovieLens movies and a 16-component
+    Mallows mixture learned from user ratings. The raw dataset and the
+    external learning tool are not available offline, so this generator
+    produces a synthetic movie catalog [M(id, title, year, genre)] and a
+    16-component mixture with dispersed random centers; each mixture
+    component becomes one session of the p-relation [P] (keyed by the
+    component id). The genre count grows with the catalog size, which is
+    what drives the pattern-union growth in Figure 14. *)
+
+val genres_for : int -> string list
+(** Genres used for a catalog of the given size (4 + m/40 of them). *)
+
+val generate :
+  ?n_movies:int -> ?n_components:int -> ?phi:float -> seed:int -> unit -> Ppd.Database.t
+(** Defaults: [n_movies = 200], [n_components = 16], [phi = 0.3]. *)
+
+val query_fig14 : string
+(** The §6.3 query: Clerks (id 223... here id 0) preferred to Taxi Driver
+    (id 1), and some post-1990 movie preferred both to a pre-1990 movie
+    of the same genre and to Taxi Driver. *)

@@ -1,0 +1,80 @@
+let parties = [ "D"; "R" ]
+let sexes = [ "F"; "M" ]
+let regions = [ "NE"; "MW"; "S"; "W"; "SW"; "NW" ]
+let edus = [ "HS"; "BA"; "BS"; "MS"; "JD"; "PhD" ]
+let ages = [ 20; 30; 40; 50; 60; 70 ]
+let dates = [ "5/5"; "6/5" ]
+
+let v = Ppd.Value.str
+let vi = Ppd.Value.int
+
+let generate ?(n_candidates = 16) ?(n_voters = 1000) ?(phis = [ 0.2; 0.5; 0.8 ])
+    ~seed () =
+  let rng = Util.Rng.make seed in
+  let pick l = Util.Rng.pick_list rng l in
+  (* Candidates: ensure both parties and both sexes occur. *)
+  let candidates =
+    List.init n_candidates (fun i ->
+        let party = if i < 2 then List.nth parties i else pick parties in
+        let sex = if i < 4 then List.nth sexes (i mod 2) else pick sexes in
+        [
+          v (Printf.sprintf "cand%02d" i);
+          v party;
+          v sex;
+          vi (pick ages);
+          v (pick edus);
+          v (pick regions);
+        ])
+  in
+  let item_rel =
+    Ppd.Relation.make ~name:"C"
+      ~attrs:[ "candidate"; "party"; "sex"; "age"; "edu"; "reg" ]
+      candidates
+  in
+  (* Voter demographic groups: sex x age x edu = 72; each owns 9 models. *)
+  let group_models = Hashtbl.create 72 in
+  let models_for sex age edu =
+    let key = (sex, age, edu) in
+    match Hashtbl.find_opt group_models key with
+    | Some ms -> ms
+    | None ->
+        let ms =
+          List.concat_map
+            (fun phi ->
+              List.init 3 (fun _ ->
+                  let center =
+                    Prefs.Ranking.of_array (Util.Rng.permutation rng n_candidates)
+                  in
+                  Rim.Mallows.make ~center ~phi))
+            phis
+        in
+        Hashtbl.add group_models key ms;
+        ms
+  in
+  let voters = ref [] and sessions = ref [] in
+  for i = 0 to n_voters - 1 do
+    let sex = pick sexes and age = pick ages and edu = pick edus in
+    let name = Printf.sprintf "voter%04d" i in
+    voters := [ v name; v sex; vi age; v edu ] :: !voters;
+    let model = Util.Rng.pick_list rng (models_for sex age edu) in
+    let date = pick dates in
+    sessions := { Ppd.Database.key = [| v name; v date |]; model } :: !sessions
+  done;
+  let voters_rel =
+    Ppd.Relation.make ~name:"V" ~attrs:[ "voter"; "sex"; "age"; "edu" ]
+      (List.rev !voters)
+  in
+  let polls =
+    Ppd.Database.p_relation ~name:"P" ~key_attrs:[ "voter"; "date" ]
+      (List.rev !sessions)
+  in
+  Ppd.Database.make ~items:item_rel ~relations:[ voters_rel ] ~preferences:[ polls ]
+    ()
+
+let query_two_label =
+  "Q() :- P(_, _; l; r), C(l, p, \"M\", _, _, _), C(r, p, \"F\", _, _, _)."
+
+let query_top_k =
+  "Q() :- P(_, date; c1; c2), P(_, date; c1; c3), P(_, date; c1; c4), C(c1, p, _, \
+   _, _, \"NE\"), C(c2, p, _, _, _, \"MW\"), date = \"5/5\", C(c3, _, _, age, _, \
+   \"NE\"), C(c4, _, \"M\", _, \"BA\", _), age = 50."

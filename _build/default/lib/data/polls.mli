@@ -1,0 +1,33 @@
+(** The Polls synthetic database (paper §6.1, Figure 1): a polling
+    database for an election.
+
+    - [Candidates(candidate, party, sex, age, edu, reg)] — the item
+      relation; party ∈ {D, R}, sex ∈ {F, M}, age ∈ {20..70}, six
+      education levels, six regions.
+    - [Voters(voter, sex, age, edu)] — voters fall into 72 demographic
+      groups (2 × 6 × 6).
+    - [Polls] — p-relation keyed by (voter, date): each group owns 9
+      Mallows models (3 random centers × φ ∈ {0.2, 0.5, 0.8}); every
+      voter gets a random model from her group and one of two poll
+      dates. *)
+
+val generate :
+  ?n_candidates:int -> ?n_voters:int -> ?phis:float list -> seed:int -> unit -> Ppd.Database.t
+(** Defaults: [n_candidates = 16], [n_voters = 1000],
+    [phis = [0.2; 0.5; 0.8]]. *)
+
+val query_two_label : string
+(** The Figure 4 query: is a male candidate preferred to a female
+    candidate of the same party?
+    [Q() :- P(_, _; l; r), C(l, p, "M", _, _, _), C(r, p, "F", _, _, _).] *)
+
+val query_top_k : string
+(** The Figure 8 query (§6.2), with its self-joins, date selection and
+    age/edu/region constants. *)
+
+val parties : string list
+val sexes : string list
+val regions : string list
+val edus : string list
+val ages : int list
+val dates : string list

@@ -1,0 +1,8 @@
+let resample ~key_attr ~key_of ~n seed_rows rng =
+  match Array.of_list seed_rows with
+  | [||] -> invalid_arg "Synthesizer.resample: empty seed population"
+  | rows ->
+      List.init n (fun i ->
+          let row = Array.copy (Util.Rng.pick rng rows) in
+          row.(key_attr) <- key_of i;
+          row)

@@ -1,0 +1,17 @@
+(** Synthetic-profile generator standing in for DataSynthesizer [24]:
+    given a seed population of tuples, produces [n] statistically similar
+    tuples by bootstrap-resampling rows and assigning fresh keys. The
+    CrowdRank experiment only needs the resampled population to preserve
+    the joint distribution of (demographics, assigned model), which row
+    resampling does exactly. *)
+
+val resample :
+  key_attr:int ->
+  key_of:(int -> Ppd.Value.t) ->
+  n:int ->
+  Ppd.Value.t array list ->
+  Util.Rng.t ->
+  Ppd.Value.t array list
+(** [resample ~key_attr ~key_of ~n seed_rows rng] draws [n] rows with
+    replacement and overwrites column [key_attr] of the [i]-th output
+    with [key_of i]. *)

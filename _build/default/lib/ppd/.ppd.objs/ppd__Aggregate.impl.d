@@ -1,0 +1,1 @@
+lib/ppd/aggregate.ml: Array Database Eval List Relation Value

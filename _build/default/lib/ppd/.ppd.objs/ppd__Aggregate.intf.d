@@ -1,0 +1,1 @@
+lib/ppd/aggregate.mli: Database Hardq Query Util

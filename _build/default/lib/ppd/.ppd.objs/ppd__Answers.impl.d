@@ -1,0 +1,1 @@
+lib/ppd/answers.ml: Database Eval List Printf Query Relation Util Value

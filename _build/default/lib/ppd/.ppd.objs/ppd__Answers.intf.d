@@ -1,0 +1,1 @@
+lib/ppd/answers.mli: Database Hardq Query Util Value

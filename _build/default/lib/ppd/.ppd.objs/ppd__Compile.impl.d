@@ -1,0 +1,1 @@
+lib/ppd/compile.ml: Array Database Hashtbl List Option Prefs Printf Query Relation Value

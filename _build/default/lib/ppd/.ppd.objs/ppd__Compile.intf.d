@@ -1,0 +1,1 @@
+lib/ppd/compile.mli: Database Prefs Query

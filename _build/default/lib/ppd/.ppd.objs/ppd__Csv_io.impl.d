@@ -1,0 +1,1 @@
+lib/ppd/csv_io.ml: Array Buffer Database Hashtbl List Prefs Printf Relation Rim String Value

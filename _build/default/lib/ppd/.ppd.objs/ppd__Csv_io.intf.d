@@ -1,0 +1,1 @@
+lib/ppd/csv_io.mli: Database Relation

@@ -1,0 +1,1 @@
+lib/ppd/database.ml: Array Hashtbl List Prefs Printf Relation Rim Value

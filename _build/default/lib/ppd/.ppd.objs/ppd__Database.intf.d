@@ -1,0 +1,1 @@
+lib/ppd/database.mli: Prefs Relation Rim Value

@@ -1,0 +1,1 @@
+lib/ppd/eval.ml: Compile Database Hardq Hashtbl List Prefs Rim Util

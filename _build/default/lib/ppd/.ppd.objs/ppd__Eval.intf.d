@@ -1,0 +1,1 @@
+lib/ppd/eval.mli: Database Hardq Query Util

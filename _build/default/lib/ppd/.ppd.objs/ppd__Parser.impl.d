@@ -1,0 +1,1 @@
+lib/ppd/parser.ml: Buffer List Printf Query String Value

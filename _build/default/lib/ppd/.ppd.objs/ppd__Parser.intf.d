@@ -1,0 +1,1 @@
+lib/ppd/parser.mli: Query

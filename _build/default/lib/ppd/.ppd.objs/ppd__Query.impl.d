@@ -1,0 +1,1 @@
+lib/ppd/query.ml: Format Hashtbl List Printf String Value

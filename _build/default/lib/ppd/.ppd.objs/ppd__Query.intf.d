@@ -1,0 +1,1 @@
+lib/ppd/query.mli: Format Value

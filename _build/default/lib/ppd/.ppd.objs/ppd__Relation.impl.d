@@ -1,0 +1,1 @@
+lib/ppd/relation.ml: Array Format List Printf String Value

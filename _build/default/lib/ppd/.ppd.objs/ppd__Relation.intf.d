@@ -1,0 +1,1 @@
+lib/ppd/relation.mli: Format Value

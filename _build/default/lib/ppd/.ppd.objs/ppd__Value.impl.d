@@ -1,0 +1,1 @@
+lib/ppd/value.ml: Format Hashtbl Stdlib

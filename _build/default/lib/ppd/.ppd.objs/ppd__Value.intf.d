@@ -1,0 +1,1 @@
+lib/ppd/value.mli: Format

@@ -1,0 +1,1 @@
+lib/ppd/world.ml: Array Database Hashtbl List Prefs Printf Query Relation Rim Value

@@ -1,0 +1,1 @@
+lib/ppd/world.mli: Database Prefs Query Util

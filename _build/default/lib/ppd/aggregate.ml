@@ -1,0 +1,41 @@
+type op = Sum | Avg | Count
+
+type result = { value : float; expected_count : float; n_sessions : int }
+
+let float_of_value v =
+  match v with Value.Int i -> Some (float_of_int i) | Value.Str _ -> None
+
+let session_key_value ~index (s : Database.session) =
+  if index < 0 || index >= Array.length s.Database.key then None
+  else float_of_value s.Database.key.(index)
+
+let joined_value db ~relation ~key_index ~attr (s : Database.session) =
+  match Database.find_relation db relation with
+  | rel -> (
+      let col = Relation.attr_index rel attr in
+      let key = s.Database.key.(key_index) in
+      match
+        List.find_opt (fun tup -> Value.equal tup.(0) key) (Relation.tuples rel)
+      with
+      | Some tup -> float_of_value tup.(col)
+      | None -> None)
+  | exception Not_found -> None
+
+let over_sessions ?solver ?group ~value_of op db q rng =
+  let probs = Eval.per_session ?solver ?group db q rng in
+  let expected_count = List.fold_left (fun acc (_, p) -> acc +. p) 0. probs in
+  let weighted_sum, weight =
+    List.fold_left
+      (fun (sum, w) (s, p) ->
+        match value_of s with
+        | Some v -> (sum +. (p *. v), w +. p)
+        | None -> (sum, w))
+      (0., 0.) probs
+  in
+  let value =
+    match op with
+    | Count -> expected_count
+    | Sum -> weighted_sum
+    | Avg -> if weight > 0. then weighted_sum /. weight else nan
+  in
+  { value; expected_count; n_sessions = List.length probs }

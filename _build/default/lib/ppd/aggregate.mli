@@ -1,0 +1,44 @@
+(** Aggregation queries over sessions (the extension sketched in the
+    paper's conclusions: "average age of voters who prefer a Republican
+    to a Democrat").
+
+    Under possible-world semantics, the expected sum of a per-session
+    numeric attribute over the sessions satisfying [Q] is — by linearity —
+    [Σ_s Pr(Q | s) · v_s], and the expected count is [Σ_s Pr(Q | s)]
+    (Count-Session). The average is reported as the ratio of these two
+    expectations, the standard first-order approximation of the expected
+    average (the exact expectation of a ratio has no closed form). *)
+
+type op = Sum | Avg | Count
+
+type result = {
+  value : float;
+  expected_count : float;  (** Σ_s Pr(Q | s) *)
+  n_sessions : int;  (** sessions considered *)
+}
+
+val over_sessions :
+  ?solver:Hardq.Solver.t ->
+  ?group:bool ->
+  value_of:(Database.session -> float option) ->
+  op ->
+  Database.t ->
+  Query.t ->
+  Util.Rng.t ->
+  result
+(** [value_of] extracts the numeric attribute from a session ([None]
+    sessions are skipped for [Sum]/[Avg]). *)
+
+val session_key_value : index:int -> Database.session -> float option
+(** Extractor for a numeric session-key attribute. *)
+
+val joined_value :
+  Database.t ->
+  relation:string ->
+  key_index:int ->
+  attr:string ->
+  Database.session ->
+  float option
+(** Extractor that joins the session's key attribute [key_index] against
+    the first column of [relation] and reads [attr] from the first
+    matching tuple (e.g. a voter's age from the Voters relation). *)

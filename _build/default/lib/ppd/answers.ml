@@ -1,0 +1,96 @@
+exception Unsupported of string
+
+type answer = { values : Value.t list; confidence : float }
+
+let unsupported fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
+
+(* Comparison constraints of one variable. *)
+let cmps_of q v =
+  List.filter_map
+    (fun (lhs, op, rhs) ->
+      match (lhs, rhs) with
+      | Query.Var v', Query.Const c when v' = v -> Some (op, c)
+      | Query.Const c, Query.Var v' when v' = v ->
+          let flip : Value.op -> Value.op = function
+            | Value.Eq -> Value.Eq
+            | Value.Neq -> Value.Neq
+            | Value.Lt -> Value.Gt
+            | Value.Le -> Value.Ge
+            | Value.Gt -> Value.Lt
+            | Value.Ge -> Value.Le
+          in
+          Some (flip op, c)
+      | _ -> None)
+    (Query.cmp_atoms q)
+
+let domain_of_var db q v =
+  let item_rel = Database.items db in
+  let item_rel_name = Relation.name item_rel in
+  (* Item variable? *)
+  let is_item_var =
+    List.exists (fun t -> t = Query.Var v) (Query.item_terms q)
+  in
+  let columns =
+    if is_item_var then [ Relation.column item_rel 0 ]
+    else
+      List.concat_map
+        (fun (rel_name, terms) ->
+          if rel_name <> item_rel_name then []
+          else
+            List.concat
+              (List.mapi
+                 (fun pos term ->
+                   if pos > 0 && term = Query.Var v then
+                     [ Relation.column item_rel pos ]
+                   else [])
+                 terms))
+        (Query.rel_atoms q)
+  in
+  match columns with
+  | [] ->
+      unsupported
+        "head variable %s must occur as an item variable or an item-relation \
+         attribute"
+        v
+  | first :: rest ->
+      let inter =
+        List.filter
+          (fun x -> List.for_all (List.exists (Value.equal x)) rest)
+          first
+      in
+      let cs = cmps_of q v in
+      List.filter
+        (fun x -> List.for_all (fun (op, c) -> Value.apply_op op x c) cs)
+        inter
+
+let domains db q = List.map (fun v -> (v, domain_of_var db q v)) q.Query.head
+
+let evaluate ?solver ?group ?(min_confidence = 0.) db q rng =
+  match q.Query.head with
+  | [] ->
+      let p = Eval.boolean_prob ?solver ?group db q rng in
+      if p > min_confidence then [ { values = []; confidence = p } ] else []
+  | head ->
+      let doms = domains db q in
+      let combos =
+        Util.Combinat.cartesian_product (List.map (fun (_, d) -> d) doms)
+      in
+      let answers =
+        List.filter_map
+          (fun combo ->
+            let bindings = List.combine head combo in
+            let q' = Query.substitute q bindings in
+            let p = Eval.boolean_prob ?solver ?group db q' rng in
+            if p > min_confidence then Some { values = combo; confidence = p }
+            else None)
+          combos
+      in
+      List.stable_sort (fun a b -> compare b.confidence a.confidence) answers
+
+let top ?solver ?group ~k db q rng =
+  let rec take n = function
+    | [] -> []
+    | _ when n <= 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  take k (evaluate ?solver ?group db q rng)

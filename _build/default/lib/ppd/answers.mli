@@ -1,0 +1,41 @@
+(** Non-Boolean conjunctive queries: answer tuples with confidences.
+
+    Following probabilistic-database semantics, a query with head
+    variables [Q(x̄) :- body] returns, for every grounding [ā] of [x̄]
+    over the active domain, the confidence [Pr(body[x̄ := ā] | D)] — the
+    probability that the instantiated Boolean query holds in a random
+    possible world. Head variables must occur in the body as item
+    variables or item-relation attribute variables. *)
+
+exception Unsupported of string
+
+type answer = { values : Value.t list; confidence : float }
+
+val domains : Database.t -> Query.t -> (string * Value.t list) list
+(** Active domain of each head variable, in head order: the item-id
+    column for item variables, the (intersected) attribute columns for
+    attribute variables, filtered by the query's comparisons on that
+    variable. *)
+
+val evaluate :
+  ?solver:Hardq.Solver.t ->
+  ?group:bool ->
+  ?min_confidence:float ->
+  Database.t ->
+  Query.t ->
+  Util.Rng.t ->
+  answer list
+(** All answers with confidence above [min_confidence] (default 0:
+    answers with confidence exactly 0 are dropped), sorted by descending
+    confidence. A query with an empty head returns a single answer with
+    no values (the Boolean probability). *)
+
+val top :
+  ?solver:Hardq.Solver.t ->
+  ?group:bool ->
+  k:int ->
+  Database.t ->
+  Query.t ->
+  Util.Rng.t ->
+  answer list
+(** The [k] most probable answers. *)

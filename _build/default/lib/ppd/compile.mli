@@ -1,0 +1,46 @@
+(** Query classification and rewriting (paper §3.1, Algorithm 2).
+
+    [compile] turns a sessionwise CQ into, per session, a union of label
+    patterns whose marginal probability over the session's model equals
+    the probability that the query holds in that session:
+
+    - attribute variables shared between different item variables'
+      atoms form [V⁺(Q)]; they are grounded over their active domains and
+      the query is rewritten into the union of the resulting itemwise
+      CQs (Algorithm 2, DecomposeQuery);
+    - equality comparisons substitute constants; other comparisons on a
+      single item variable's attribute become derived predicate labels
+      (e.g. "year >= 1990"), keeping the rewriting compact;
+    - relational atoms whose first term is a *session* variable join the
+      session key against an o-relation and bind their variables per
+      session (so the pattern union may differ between sessions).
+
+    Supported fragment: Boolean sessionwise CQs — every preference atom
+    uses the same p-relation and syntactically identical session terms;
+    comparisons are variable-vs-constant. [Unsupported] is raised
+    otherwise. *)
+
+exception Unsupported of string
+exception Grounding_too_large of string
+
+type request = {
+  session : Database.session;
+  union : Prefs.Pattern_union.t option;
+      (** [None]: the query is statically unsatisfiable in this session. *)
+}
+
+type t = {
+  p_rel : Database.p_relation;
+  requests : request list;  (** sessions surviving the session filters *)
+}
+
+val v_plus : Database.t -> Query.t -> string list
+(** The variables Algorithm 2 grounds, sorted. *)
+
+val is_itemwise : Database.t -> Query.t -> bool
+(** True when [v_plus] is empty: the query needs no decomposition (it is
+    one label pattern per session). *)
+
+val compile : ?grounding_cap:int -> Database.t -> Query.t -> t
+(** [grounding_cap] (default 100_000) bounds the Cartesian product of
+    [V⁺] domains per session; {!Grounding_too_large} beyond it. *)

@@ -1,0 +1,176 @@
+exception Malformed of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Malformed s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* CSV core                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let parse_csv text =
+  let rows = ref [] and row = ref [] and buf = Buffer.create 32 in
+  let n = String.length text in
+  let flush_cell () =
+    row := Buffer.contents buf :: !row;
+    Buffer.clear buf
+  in
+  let flush_row () =
+    flush_cell ();
+    rows := List.rev !row :: !rows;
+    row := []
+  in
+  let rec plain i =
+    if i >= n then ()
+    else
+      match text.[i] with
+      | ',' ->
+          flush_cell ();
+          plain (i + 1)
+      | '\n' ->
+          flush_row ();
+          plain (i + 1)
+      | '\r' -> plain (i + 1)
+      | '"' when Buffer.length buf = 0 -> quoted (i + 1)
+      | c ->
+          Buffer.add_char buf c;
+          plain (i + 1)
+  and quoted i =
+    if i >= n then fail "unterminated quoted cell"
+    else
+      match text.[i] with
+      | '"' when i + 1 < n && text.[i + 1] = '"' ->
+          Buffer.add_char buf '"';
+          quoted (i + 2)
+      | '"' -> plain (i + 1)
+      | c ->
+          Buffer.add_char buf c;
+          quoted (i + 1)
+  in
+  plain 0;
+  if Buffer.length buf > 0 || !row <> [] then flush_row ();
+  List.filter (fun r -> r <> [ "" ]) (List.rev !rows)
+
+let escape_cell s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let unparse_csv rows =
+  String.concat "\n" (List.map (fun r -> String.concat "," (List.map escape_cell r)) rows)
+  ^ "\n"
+
+let value_of_cell s =
+  match int_of_string_opt s with Some i -> Value.Int i | None -> Value.Str s
+
+(* ------------------------------------------------------------------ *)
+(* Relations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let relation_of_csv ~name text =
+  match parse_csv text with
+  | [] -> fail "relation %s: empty CSV" name
+  | header :: rows ->
+      let arity = List.length header in
+      let tuples =
+        List.mapi
+          (fun i row ->
+            if List.length row <> arity then
+              fail "relation %s: row %d has %d cells, expected %d" name (i + 2)
+                (List.length row) arity;
+            List.map value_of_cell row)
+          rows
+      in
+      Relation.make ~name ~attrs:header tuples
+
+let csv_of_relation rel =
+  unparse_csv
+    (Array.to_list (Relation.attrs rel)
+    :: List.map
+         (fun tup -> List.map Value.to_string (Array.to_list tup))
+         (Relation.tuples rel))
+
+(* ------------------------------------------------------------------ *)
+(* Preference relations                                                *)
+(* ------------------------------------------------------------------ *)
+
+let p_relation_of_csv ~name ~items text =
+  let item_index = Hashtbl.create 16 in
+  List.iteri (fun i tup -> Hashtbl.replace item_index tup.(0) i) (Relation.tuples items);
+  let m = Relation.cardinality items in
+  match parse_csv text with
+  | [] -> fail "p-relation %s: empty CSV" name
+  | header :: rows ->
+      let key_attrs, rest =
+        let rec split acc = function
+          | "phi" :: [ "center" ] -> (List.rev acc, true)
+          | x :: tl -> split (x :: acc) tl
+          | [] -> (List.rev acc, false)
+        in
+        split [] header
+      in
+      if not rest then
+        fail "p-relation %s: header must end with phi,center" name;
+      let n_keys = List.length key_attrs in
+      let sessions =
+        List.mapi
+          (fun i row ->
+            if List.length row <> n_keys + 2 then
+              fail "p-relation %s: row %d has wrong arity" name (i + 2);
+            let key = Array.of_list (List.map value_of_cell (List.filteri (fun j _ -> j < n_keys) row)) in
+            let phi_cell = List.nth row n_keys in
+            let center_cell = List.nth row (n_keys + 1) in
+            let phi =
+              match float_of_string_opt phi_cell with
+              | Some p when p >= 0. && p <= 1. -> p
+              | _ -> fail "p-relation %s: row %d: bad phi %S" name (i + 2) phi_cell
+            in
+            let ids =
+              List.filter (fun s -> s <> "") (String.split_on_char ';' center_cell)
+            in
+            let idxs =
+              List.map
+                (fun id ->
+                  match Hashtbl.find_opt item_index (value_of_cell id) with
+                  | Some k -> k
+                  | None -> fail "p-relation %s: row %d: unknown item %S" name (i + 2) id)
+                ids
+            in
+            if List.length idxs <> m then
+              fail "p-relation %s: row %d: center covers %d of %d items" name (i + 2)
+                (List.length idxs) m;
+            let center =
+              match Prefs.Ranking.of_list idxs with
+              | r -> r
+              | exception Invalid_argument _ ->
+                  fail "p-relation %s: row %d: duplicate item in center" name (i + 2)
+            in
+            { Database.key; model = Rim.Mallows.make ~center ~phi })
+          rows
+      in
+      Database.p_relation ~name ~key_attrs sessions
+
+let csv_of_p_relation ~items prel =
+  let id_of i = Value.to_string (List.nth (Relation.tuples items) i).(0) in
+  let header =
+    Array.to_list (Database.p_key_attrs prel) @ [ "phi"; "center" ]
+  in
+  let rows =
+    List.map
+      (fun (s : Database.session) ->
+        Array.to_list (Array.map Value.to_string s.Database.key)
+        @ [
+            Printf.sprintf "%g" (Rim.Mallows.phi s.Database.model);
+            String.concat ";"
+              (List.map id_of
+                 (Prefs.Ranking.to_list (Rim.Mallows.center s.Database.model)));
+          ])
+      (Array.to_list (Database.sessions prel))
+  in
+  unparse_csv (header :: rows)
+
+let database_of_csv ~items ~items_name ?(relations = []) ?(preferences = []) () =
+  let item_rel = relation_of_csv ~name:items_name items in
+  let o_rels = List.map (fun (name, text) -> relation_of_csv ~name text) relations in
+  let p_rels =
+    List.map (fun (name, text) -> p_relation_of_csv ~name ~items:item_rel text) preferences
+  in
+  Database.make ~items:item_rel ~relations:o_rels ~preferences:p_rels ()

@@ -1,0 +1,39 @@
+(** Plain-text import/export of RIM-PPD contents.
+
+    CSV dialect: comma-separated, double-quote quoting with [""] escapes,
+    first line is the header. Cells that parse as integers become
+    [Value.Int], everything else [Value.Str].
+
+    Preference relations use a CSV whose header is the session-key
+    attribute names followed by the literal columns [phi] and [center];
+    [center] is a semicolon-separated list of item ids (most preferred
+    first) that must cover the whole item domain. *)
+
+exception Malformed of string
+
+val parse_csv : string -> string list list
+(** Raw rows (including the header). Raises {!Malformed} on unbalanced
+    quotes. Empty trailing lines are ignored. *)
+
+val relation_of_csv : name:string -> string -> Relation.t
+(** Header = attribute names; remaining rows = tuples. *)
+
+val csv_of_relation : Relation.t -> string
+
+val p_relation_of_csv : name:string -> items:Relation.t -> string -> Database.p_relation
+(** Parses sessions against the given item relation (item ids in
+    [center] are resolved through the first column of [items]).
+    Raises {!Malformed} on unknown ids, bad [phi], or incomplete
+    centers. *)
+
+val csv_of_p_relation : items:Relation.t -> Database.p_relation -> string
+
+val database_of_csv :
+  items:string ->
+  items_name:string ->
+  ?relations:(string * string) list ->
+  ?preferences:(string * string) list ->
+  unit ->
+  Database.t
+(** Assemble a database from CSV strings: [items] (the item relation),
+    named o-relations and named p-relations. *)

@@ -1,0 +1,62 @@
+(** Query evaluation over a RIM-PPD (paper §3.1–§3.2).
+
+    Sessions are independent, so for a Boolean CQ
+    [Pr(Q | D) = 1 - Π_s (1 - Pr(Q | s))]; Count-Session is
+    [Σ_s Pr(Q | s)]; Most-Probable-Session returns the top-k sessions,
+    optionally pruned with the upper-bound optimization of §4.3.2.
+
+    [group:true] evaluates each distinct (model, pattern-union) request
+    once and replicates the result over the sessions sharing it — the
+    §6.4 optimization behind Figure 15. *)
+
+val per_session :
+  ?solver:Hardq.Solver.t ->
+  ?group:bool ->
+  Database.t ->
+  Query.t ->
+  Util.Rng.t ->
+  (Database.session * float) list
+(** Probability that the query holds in each surviving session, in
+    session order. Defaults: [solver] = exact auto, [group] = true. *)
+
+val boolean_prob :
+  ?solver:Hardq.Solver.t ->
+  ?group:bool ->
+  Database.t ->
+  Query.t ->
+  Util.Rng.t ->
+  float
+(** [Pr(Q | D)]. *)
+
+val count_sessions :
+  ?solver:Hardq.Solver.t ->
+  ?group:bool ->
+  Database.t ->
+  Query.t ->
+  Util.Rng.t ->
+  float
+(** Expected number of sessions satisfying [Q] (Count-Session). *)
+
+type topk_strategy =
+  [ `Naive  (** evaluate every session exactly, then sort *)
+  | `Edges of int  (** 1-edge / 2-edge upper bounds first (§3.2) *) ]
+
+type topk_report = {
+  results : (Database.session * float) list;  (** k best, descending *)
+  n_exact : int;  (** exact solver invocations *)
+  bound_time : float;  (** seconds computing upper bounds *)
+  exact_time : float;  (** seconds in exact evaluations *)
+}
+
+val top_k :
+  ?solver:Hardq.Solver.t ->
+  ?strategy:topk_strategy ->
+  k:int ->
+  Database.t ->
+  Query.t ->
+  Util.Rng.t ->
+  topk_report
+(** Most-Probable-Session. With [`Edges e], upper bounds are computed for
+    every session with the [e]-edge relaxation, sessions are evaluated
+    exactly in descending bound order, and evaluation stops as soon as
+    [k] exact probabilities dominate every remaining bound. *)

@@ -1,0 +1,208 @@
+exception Parse_error of string
+
+type token =
+  | Tident of string
+  | Tint of int
+  | Tstring of string
+  | Tlparen
+  | Trparen
+  | Tcomma
+  | Tsemi
+  | Tturnstile
+  | Tdot
+  | Tunderscore
+  | Top of Value.op
+  | Teof
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let fail pos msg =
+    raise (Parse_error (Printf.sprintf "%s at offset %d" msg pos))
+  in
+  let is_ident_char c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+    || c = '\''
+  in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '(' then (toks := Tlparen :: !toks; incr i)
+    else if c = ')' then (toks := Trparen :: !toks; incr i)
+    else if c = ',' then (toks := Tcomma :: !toks; incr i)
+    else if c = ';' then (toks := Tsemi :: !toks; incr i)
+    else if c = '.' then (toks := Tdot :: !toks; incr i)
+    else if c = ':' then
+      if !i + 1 < n && src.[!i + 1] = '-' then (toks := Tturnstile :: !toks; i := !i + 2)
+      else fail !i "expected ':-'"
+    else if c = '=' then (toks := Top Value.Eq :: !toks; incr i)
+    else if c = '!' then
+      if !i + 1 < n && src.[!i + 1] = '=' then (toks := Top Value.Neq :: !toks; i := !i + 2)
+      else fail !i "expected '!='"
+    else if c = '<' then
+      if !i + 1 < n && src.[!i + 1] = '=' then (toks := Top Value.Le :: !toks; i := !i + 2)
+      else if !i + 1 < n && src.[!i + 1] = '>' then (toks := Top Value.Neq :: !toks; i := !i + 2)
+      else (toks := Top Value.Lt :: !toks; incr i)
+    else if c = '>' then
+      if !i + 1 < n && src.[!i + 1] = '=' then (toks := Top Value.Ge :: !toks; i := !i + 2)
+      else (toks := Top Value.Gt :: !toks; incr i)
+    else if c = '"' then begin
+      let j = ref (!i + 1) in
+      let buf = Buffer.create 8 in
+      while !j < n && src.[!j] <> '"' do
+        Buffer.add_char buf src.[!j];
+        incr j
+      done;
+      if !j >= n then fail !i "unterminated string literal";
+      toks := Tstring (Buffer.contents buf) :: !toks;
+      i := !j + 1
+    end
+    else if c = '_' && (!i + 1 >= n || not (is_ident_char src.[!i + 1])) then begin
+      toks := Tunderscore :: !toks;
+      incr i
+    end
+    else if (c >= '0' && c <= '9') || (c = '-' && !i + 1 < n && src.[!i + 1] >= '0' && src.[!i + 1] <= '9')
+    then begin
+      let j = ref (!i + 1) in
+      while !j < n && src.[!j] >= '0' && src.[!j] <= '9' do
+        incr j
+      done;
+      toks := Tint (int_of_string (String.sub src !i (!j - !i))) :: !toks;
+      i := !j
+    end
+    else if is_ident_char c then begin
+      let j = ref !i in
+      while !j < n && is_ident_char src.[!j] do
+        incr j
+      done;
+      toks := Tident (String.sub src !i (!j - !i)) :: !toks;
+      i := !j
+    end
+    else fail !i (Printf.sprintf "unexpected character %C" c)
+  done;
+  List.rev (Teof :: !toks)
+
+type state = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> Teof | t :: _ -> t
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st tok what =
+  if peek st = tok then advance st
+  else raise (Parse_error (Printf.sprintf "expected %s" what))
+
+let is_capitalized s = String.length s > 0 && s.[0] >= 'A' && s.[0] <= 'Z'
+
+let parse_term st =
+  match peek st with
+  | Tunderscore ->
+      advance st;
+      Query.Wildcard
+  | Tint i ->
+      advance st;
+      Query.Const (Value.int i)
+  | Tstring s ->
+      advance st;
+      Query.Const (Value.str s)
+  | Tident s ->
+      advance st;
+      if is_capitalized s then Query.Const (Value.str s) else Query.Var s
+  | _ -> raise (Parse_error "expected a term")
+
+let rec parse_terms st acc =
+  let t = parse_term st in
+  match peek st with
+  | Tcomma ->
+      advance st;
+      parse_terms st (t :: acc)
+  | _ -> List.rev (t :: acc)
+
+(* An atom is either NAME(...) or a comparison term OP term. *)
+let parse_atom st =
+  match peek st with
+  | Tident name when (match st.toks with _ :: Tlparen :: _ -> true | _ -> false) ->
+      advance st;
+      advance st;
+      (* past '(' *)
+      let first_group = parse_terms st [] in
+      let rec groups acc =
+        match peek st with
+        | Tsemi ->
+            advance st;
+            let g = parse_terms st [] in
+            groups (g :: acc)
+        | Trparen ->
+            advance st;
+            List.rev acc
+        | _ -> raise (Parse_error "expected ';' or ')' in atom")
+      in
+      (match groups [ first_group ] with
+      | [ terms ] -> Query.Rel { rel = name; terms }
+      | [ session; [ left ]; [ right ] ] ->
+          Query.Pref { rel = name; session; left; right }
+      | _ ->
+          raise
+            (Parse_error
+               "preference atoms need exactly three ';'-separated groups with \
+                single left/right terms"))
+  | _ -> (
+      let lhs = parse_term st in
+      match peek st with
+      | Top op ->
+          advance st;
+          let rhs = parse_term st in
+          Query.Cmp { lhs; op; rhs }
+      | _ -> raise (Parse_error "expected a comparison operator"))
+
+let parse src =
+  let st = { toks = tokenize src } in
+  let name =
+    match peek st with
+    | Tident n when is_capitalized n || n <> "" ->
+        advance st;
+        n
+    | _ -> raise (Parse_error "expected query name")
+  in
+  expect st Tlparen "'('";
+  let head =
+    if peek st = Trparen then []
+    else
+      let rec go acc =
+        match peek st with
+        | Tident v when not (is_capitalized v) ->
+            advance st;
+            if peek st = Tcomma then begin
+              advance st;
+              go (v :: acc)
+            end
+            else List.rev (v :: acc)
+        | _ -> raise (Parse_error "head terms must be (lowercase) variables")
+      in
+      go []
+  in
+  expect st Trparen "')'";
+  expect st Tturnstile "':-'";
+  let rec atoms acc =
+    let a = parse_atom st in
+    match peek st with
+    | Tcomma ->
+        advance st;
+        atoms (a :: acc)
+    | Tdot ->
+        advance st;
+        List.rev (a :: acc)
+    | Teof -> List.rev (a :: acc)
+    | _ -> raise (Parse_error "expected ',' or '.' after atom")
+  in
+  let body = atoms [] in
+  (match peek st with
+  | Teof -> ()
+  | _ -> raise (Parse_error "trailing tokens after query"));
+  try Query.make ~name ~head body
+  with Invalid_argument msg -> raise (Parse_error msg)
+
+let parse_result src =
+  match parse src with q -> Ok q | exception Parse_error msg -> Error msg

@@ -1,0 +1,28 @@
+(** Concrete syntax for conjunctive queries.
+
+    Grammar (Datalog-flavoured, mirroring the paper's notation):
+
+    {v
+      query  ::= head ":-" atom ("," atom)* "."?
+      head   ::= NAME "(" ")"
+      atom   ::= NAME "(" args ")"              (* relational atom *)
+               | NAME "(" args ";" term ";" term ")"   (* preference atom *)
+               | term OP term                   (* comparison *)
+      args   ::= term ("," term)*
+      term   ::= "_" | lowercase-ident | Capitalized-ident | INT | STRING
+      OP     ::= "=" | "!=" | "<" | "<=" | ">" | ">="
+    v}
+
+    Lowercase identifiers are variables; capitalized identifiers and
+    quoted strings are string constants; integers are int constants.
+
+    Example (the paper's Q2):
+    [Q() :- P(_, _; c1; c2), C(c1, D, _, _, e, _), C(c2, R, _, _, e, _).] *)
+
+exception Parse_error of string
+(** Carries a human-readable message with position information. *)
+
+val parse : string -> Query.t
+(** Raises {!Parse_error}. *)
+
+val parse_result : string -> (Query.t, string) result

@@ -1,0 +1,114 @@
+type term = Var of string | Const of Value.t | Wildcard
+
+type atom =
+  | Pref of { rel : string; session : term list; left : term; right : term }
+  | Rel of { rel : string; terms : term list }
+  | Cmp of { lhs : term; op : Value.op; rhs : term }
+
+type t = { name : string; head : string list; body : atom list }
+
+let body_vars body =
+  let term_vars = function Var v -> [ v ] | Const _ | Wildcard -> [] in
+  List.sort_uniq compare
+    (List.concat_map
+       (function
+         | Pref { session; left; right; _ } ->
+             List.concat_map term_vars (left :: right :: session)
+         | Rel { terms; _ } -> List.concat_map term_vars terms
+         | Cmp { lhs; rhs; _ } -> term_vars lhs @ term_vars rhs)
+       body)
+
+let make ?(name = "Q") ?(head = []) body =
+  if body = [] then invalid_arg "Query.make: empty body";
+  if not (List.exists (function Pref _ -> true | _ -> false) body) then
+    invalid_arg "Query.make: no preference atom";
+  let bvars = body_vars body in
+  List.iter
+    (fun v ->
+      if not (List.mem v bvars) then
+        invalid_arg (Printf.sprintf "Query.make: head variable %s not in body" v))
+    head;
+  { name; head; body }
+
+let substitute t bindings =
+  let sub_term = function
+    | Var v as term -> (
+        match List.assoc_opt v bindings with Some c -> Const c | None -> term)
+    | (Const _ | Wildcard) as term -> term
+  in
+  let sub_atom = function
+    | Pref { rel; session; left; right } ->
+        Pref
+          {
+            rel;
+            session = List.map sub_term session;
+            left = sub_term left;
+            right = sub_term right;
+          }
+    | Rel { rel; terms } -> Rel { rel; terms = List.map sub_term terms }
+    | Cmp { lhs; op; rhs } -> Cmp { lhs = sub_term lhs; op; rhs = sub_term rhs }
+  in
+  {
+    t with
+    head = List.filter (fun v -> not (List.mem_assoc v bindings)) t.head;
+    body = List.map sub_atom t.body;
+  }
+
+let pref_atoms t =
+  List.filter_map
+    (function
+      | Pref { rel; session; left; right } -> Some (rel, session, left, right)
+      | Rel _ | Cmp _ -> None)
+    t.body
+
+let rel_atoms t =
+  List.filter_map
+    (function Rel { rel; terms } -> Some (rel, terms) | Pref _ | Cmp _ -> None)
+    t.body
+
+let cmp_atoms t =
+  List.filter_map
+    (function Cmp { lhs; op; rhs } -> Some (lhs, op, rhs) | Pref _ | Rel _ -> None)
+    t.body
+
+let vars t = body_vars t.body
+
+let item_terms t =
+  let seen = Hashtbl.create 8 in
+  List.concat_map
+    (fun (_, _, l, r) ->
+      List.filter
+        (fun term ->
+          if Hashtbl.mem seen term then false
+          else begin
+            Hashtbl.add seen term ();
+            true
+          end)
+        [ l; r ])
+    (pref_atoms t)
+
+let pp_term ppf = function
+  | Var v -> Format.pp_print_string ppf v
+  | Const c -> Value.pp ppf c
+  | Wildcard -> Format.pp_print_char ppf '_'
+
+let pp_terms ppf terms =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    pp_term ppf terms
+
+let pp_atom ppf = function
+  | Pref { rel; session; left; right } ->
+      Format.fprintf ppf "%s(%a; %a; %a)" rel pp_terms session pp_term left pp_term
+        right
+  | Rel { rel; terms } -> Format.fprintf ppf "%s(%a)" rel pp_terms terms
+  | Cmp { lhs; op; rhs } ->
+      Format.fprintf ppf "%a %s %a" pp_term lhs (Value.op_to_string op) pp_term rhs
+
+let pp ppf t =
+  Format.fprintf ppf "@[<hov 2>%s(%s) :- %a.@]" t.name
+    (String.concat ", " t.head)
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       pp_atom)
+    t.body

@@ -1,0 +1,161 @@
+type t = { rankings : (string * Prefs.Ranking.t array) list }
+
+let sample db rng =
+  {
+    rankings =
+      List.map
+        (fun prel ->
+          ( Database.p_name prel,
+            Array.map
+              (fun (s : Database.session) -> Rim.Mallows.sample s.Database.model rng)
+              (Database.sessions prel) ))
+        (Database.p_relations db);
+  }
+
+let ranking_of t ~prel i =
+  match List.assoc_opt prel t.rankings with
+  | Some arr -> arr.(i)
+  | None -> invalid_arg ("World.ranking_of: unknown p-relation " ^ prel)
+
+(* --- Backtracking join ------------------------------------------------ *)
+
+(* [unify env term value] returns [Some undo] on success, where [undo]
+   reverts any new binding. *)
+let unify env term value =
+  match term with
+  | Query.Wildcard -> Some (fun () -> ())
+  | Query.Const c -> if Value.equal c value then Some (fun () -> ()) else None
+  | Query.Var v -> (
+      match Hashtbl.find_opt env v with
+      | Some bound -> if Value.equal bound value then Some (fun () -> ()) else None
+      | None ->
+          Hashtbl.replace env v value;
+          Some (fun () -> Hashtbl.remove env v))
+
+let rec unify_all env terms values =
+  match (terms, values) with
+  | [], [] -> Some (fun () -> ())
+  | term :: ts, value :: vs -> (
+      match unify env term value with
+      | None -> None
+      | Some undo -> (
+          match unify_all env ts vs with
+          | None ->
+              undo ();
+              None
+          | Some undo_rest -> Some (fun () -> undo_rest (); undo ())))
+  | _ -> invalid_arg "World: arity mismatch"
+
+let holds db world q =
+  if q.Query.head <> [] then invalid_arg "World.holds: query has head variables";
+  (* Sessionwise convention (paper §3.1): wildcard session terms are the
+     *same* anonymous session across preference atoms that share a session
+     term list. Rewrite each such wildcard into a fresh shared variable. *)
+  let q =
+    let counter = ref 0 in
+    let shared = Hashtbl.create 4 in
+    let body =
+      List.map
+        (function
+          | Query.Pref { rel; session; left; right } ->
+              let key = (rel, session) in
+              let session' =
+                match Hashtbl.find_opt shared key with
+                | Some s -> s
+                | None ->
+                    let s =
+                      List.map
+                        (function
+                          | Query.Wildcard ->
+                              incr counter;
+                              Query.Var (Printf.sprintf "__session%d" !counter)
+                          | t -> t)
+                        session
+                    in
+                    Hashtbl.add shared key s;
+                    s
+              in
+              Query.Pref { rel; session = session'; left; right }
+          | a -> a)
+        q.Query.body
+    in
+    { q with Query.body }
+  in
+  (* Comparisons last: they only test bound variables. *)
+  let joins, cmps =
+    List.partition (function Query.Cmp _ -> false | _ -> true) q.Query.body
+  in
+  let env = Hashtbl.create 8 in
+  let eval_cmp = function
+    | Query.Cmp { lhs; op; rhs } ->
+        let value = function
+          | Query.Const c -> Some c
+          | Query.Var v -> Hashtbl.find_opt env v
+          | Query.Wildcard -> None
+        in
+        (match (value lhs, value rhs) with
+        | Some a, Some b -> Value.apply_op op a b
+        | _ -> invalid_arg "World.holds: comparison on unbound variable")
+    | Query.Pref _ | Query.Rel _ -> assert false
+  in
+  let rec go = function
+    | [] -> List.for_all eval_cmp cmps
+    | Query.Rel { rel; terms } :: rest ->
+        let relation = Database.find_relation db rel in
+        List.exists
+          (fun tup ->
+            match unify_all env terms (Array.to_list tup) with
+            | None -> false
+            | Some undo ->
+                let ok = go rest in
+                undo ();
+                ok)
+          (Relation.tuples relation)
+    | Query.Pref { rel; session; left; right } :: rest ->
+        let prel = Database.find_p_relation db rel in
+        let sessions = Database.sessions prel in
+        let arr = List.assoc rel world.rankings in
+        let m = Database.m db in
+        let try_session i =
+          let s = sessions.(i) in
+          match unify_all env session (Array.to_list s.Database.key) with
+          | None -> false
+          | Some undo_s ->
+              let tau = arr.(i) in
+              let found = ref false in
+              let pa = ref 0 in
+              while (not !found) && !pa < m do
+                let pb = ref (!pa + 1) in
+                while (not !found) && !pb < m do
+                  (* item at position pa is preferred to item at pb *)
+                  let a = Database.id_of_item db (Prefs.Ranking.item_at tau !pa) in
+                  let b = Database.id_of_item db (Prefs.Ranking.item_at tau !pb) in
+                  (match unify env left a with
+                  | None -> ()
+                  | Some undo_l ->
+                      (match unify env right b with
+                      | None -> ()
+                      | Some undo_r ->
+                          if go rest then found := true;
+                          undo_r ());
+                      undo_l ());
+                  incr pb
+                done;
+                incr pa
+              done;
+              undo_s ();
+              !found
+        in
+        let rec any i = i < Array.length sessions && (try_session i || any (i + 1)) in
+        any 0
+    | Query.Cmp _ :: _ -> assert false
+  in
+  go joins
+
+let estimate_prob ~n db q rng =
+  if n <= 0 then invalid_arg "World.estimate_prob: n <= 0";
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if holds db (sample db rng) q then incr hits
+  done;
+  float_of_int !hits /. float_of_int n

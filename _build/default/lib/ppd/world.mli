@@ -1,0 +1,30 @@
+(** Possible worlds of a RIM-PPD (paper §1: "every random possible world
+    — a deterministic database — is obtained by sampling from the stored
+    RIM models").
+
+    A world fixes one ranking per session; a preference relation then
+    materializes as the set of facts [(s; a; b)] with [a ≻_s b]. This
+    module samples worlds and evaluates conjunctive queries *directly* on
+    them (a naive backtracking join, no pattern machinery) — the
+    semantics the whole engine must agree with, used as a Monte-Carlo
+    oracle in the test suite. *)
+
+type t
+(** One ranking per session of every p-relation. *)
+
+val sample : Database.t -> Util.Rng.t -> t
+val ranking_of : t -> prel:string -> int -> Prefs.Ranking.t
+(** Ranking of the [i]-th session of p-relation [prel]. *)
+
+val holds : Database.t -> t -> Query.t -> bool
+(** Does the Boolean CQ hold in this world? Evaluates the body by
+    backtracking join over preference facts, o-relation tuples and
+    comparisons. Follows the paper's sessionwise convention: wildcard
+    session terms denote the *same* anonymous session across preference
+    atoms sharing a session term list. Raises [Invalid_argument] on a
+    query with head variables. *)
+
+val estimate_prob :
+  n:int -> Database.t -> Query.t -> Util.Rng.t -> float
+(** Monte-Carlo probability of the query: fraction of [n] sampled worlds
+    in which it holds. *)

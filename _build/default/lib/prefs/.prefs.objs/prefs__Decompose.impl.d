@@ -1,0 +1,1 @@
+lib/prefs/decompose.ml: Array Hashtbl Labeling List Partial_order Pattern Pattern_union Printf Ranking

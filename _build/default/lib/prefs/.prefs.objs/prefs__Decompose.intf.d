@@ -1,0 +1,1 @@
+lib/prefs/decompose.mli: Labeling Partial_order Pattern Pattern_union Ranking

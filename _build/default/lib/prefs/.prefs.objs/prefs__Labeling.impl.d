@@ -1,0 +1,1 @@
+lib/prefs/labeling.ml: Array Format Hashtbl List Option Stdlib

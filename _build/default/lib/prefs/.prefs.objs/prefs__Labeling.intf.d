@@ -1,0 +1,1 @@
+lib/prefs/labeling.mli: Format

@@ -1,0 +1,1 @@
+lib/prefs/matcher.ml: Array Labeling List Option Pattern Pattern_union Ranking

@@ -1,0 +1,1 @@
+lib/prefs/matcher.mli: Labeling Pattern Pattern_union Ranking

@@ -1,0 +1,1 @@
+lib/prefs/partial_order.ml: Array Format Hashtbl List Ranking Stdlib

@@ -1,0 +1,1 @@
+lib/prefs/partial_order.mli: Format Ranking

@@ -1,0 +1,1 @@
+lib/prefs/pattern.ml: Array Format List Option Stdlib

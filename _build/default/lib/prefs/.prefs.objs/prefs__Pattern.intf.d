@@ -1,0 +1,1 @@
+lib/prefs/pattern.mli: Format

@@ -1,0 +1,1 @@
+lib/prefs/pattern_union.ml: Format Hashtbl List Pattern Stdlib

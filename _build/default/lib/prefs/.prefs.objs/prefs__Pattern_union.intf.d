@@ -1,0 +1,1 @@
+lib/prefs/pattern_union.mli: Format Pattern

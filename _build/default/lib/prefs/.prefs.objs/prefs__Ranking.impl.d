@@ -1,0 +1,1 @@
+lib/prefs/ranking.ml: Array Format Hashtbl List Stdlib Util

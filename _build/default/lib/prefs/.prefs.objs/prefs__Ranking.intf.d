@@ -1,0 +1,1 @@
+lib/prefs/ranking.mli: Format

@@ -1,0 +1,61 @@
+type item = int
+type label = int
+
+type t = {
+  labels : label list array; (* per item, sorted distinct *)
+  index : (label, item list) Hashtbl.t; (* label -> items ascending *)
+}
+
+let build_index labels =
+  let index = Hashtbl.create 64 in
+  Array.iteri
+    (fun i ls ->
+      List.iter
+        (fun l ->
+          let cur = Option.value ~default:[] (Hashtbl.find_opt index l) in
+          Hashtbl.replace index l (i :: cur))
+        ls)
+    labels;
+  Hashtbl.iter (fun l items -> Hashtbl.replace index l (List.rev items)) index;
+  index
+
+let make a =
+  let labels = Array.map (List.sort_uniq Stdlib.compare) a in
+  { labels; index = build_index labels }
+
+let of_pairs ~n_items pairs =
+  let a = Array.make n_items [] in
+  List.iter
+    (fun (i, l) ->
+      if i < 0 || i >= n_items then invalid_arg "Labeling.of_pairs: item out of range";
+      a.(i) <- l :: a.(i))
+    pairs;
+  make a
+
+let n_items t = Array.length t.labels
+let labels_of t i = t.labels.(i)
+let has t i l = List.mem l t.labels.(i)
+let has_all t i ls = List.for_all (fun l -> List.mem l t.labels.(i)) ls
+let items_with t l = Option.value ~default:[] (Hashtbl.find_opt t.index l)
+
+let items_with_all t = function
+  | [] -> List.init (n_items t) (fun i -> i)
+  | l :: rest -> List.filter (fun i -> has_all t i rest) (items_with t l)
+
+let all_labels t =
+  List.sort_uniq Stdlib.compare
+    (Hashtbl.fold (fun l _ acc -> l :: acc) t.index [])
+
+let restrict_items t m =
+  if m > n_items t then invalid_arg "Labeling.restrict_items";
+  make (Array.sub t.labels 0 m)
+
+let pp ppf t =
+  Array.iteri
+    (fun i ls ->
+      Format.fprintf ppf "%d:{%a}@ " i
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+           Format.pp_print_int)
+        ls)
+    t.labels

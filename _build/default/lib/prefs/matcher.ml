@@ -1,0 +1,50 @@
+let embedding lab g r =
+  let m = Ranking.length r in
+  let q = Pattern.n_nodes g in
+  (* positions.(v) = ascending positions of items matching node v *)
+  let positions =
+    Array.init q (fun v ->
+        let node = Pattern.node g v in
+        let rec collect p acc =
+          if p = m then List.rev acc
+          else
+            let acc =
+              if Labeling.has_all lab (Ranking.item_at r p) node then p :: acc
+              else acc
+            in
+            collect (p + 1) acc
+        in
+        collect 0 [])
+  in
+  let delta = Array.make q (-1) in
+  let ok =
+    List.for_all
+      (fun v ->
+        let bound =
+          List.fold_left (fun b u -> max b delta.(u)) (-1) (Pattern.preds g v)
+        in
+        match List.find_opt (fun p -> p > bound) positions.(v) with
+        | Some p ->
+            delta.(v) <- p;
+            true
+        | None -> false)
+      (Pattern.topological_order g)
+  in
+  if ok then Some delta else None
+
+let matches lab g r = Option.is_some (embedding lab g r)
+
+let matches_union lab gu r =
+  List.exists (fun g -> matches lab g r) (Pattern_union.patterns gu)
+
+let matches_subranking r ~sub =
+  let k = Ranking.length sub in
+  if k = 0 then true
+  else
+    let rec go p next =
+      if next = k then true
+      else if p = Ranking.length r then false
+      else if Ranking.item_at r p = Ranking.item_at sub next then go (p + 1) (next + 1)
+      else go (p + 1) next
+    in
+    go 0 0

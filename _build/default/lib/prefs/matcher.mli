@@ -1,0 +1,24 @@
+(** Deciding whether a concrete ranking matches a label pattern
+    ((τ, λ) ⊨ g, paper §2.3).
+
+    Matching uses the greedy "topmost embedding": processing nodes in
+    topological order, each node takes the earliest position that carries
+    its labels and lies strictly below all its parents' positions. Because
+    embeddings need not be injective and the only inter-node constraints
+    are parent-before-child, the greedy embedding exists iff any embedding
+    exists. *)
+
+val embedding : Labeling.t -> Pattern.t -> Ranking.t -> int array option
+(** [embedding lab g r] is [Some delta] with [delta.(v)] the 0-based
+    position assigned to node [v] by the greedy embedding, or [None] when
+    [r] does not match [g]. *)
+
+val matches : Labeling.t -> Pattern.t -> Ranking.t -> bool
+(** [(r, lab) ⊨ g]. *)
+
+val matches_union : Labeling.t -> Pattern_union.t -> Ranking.t -> bool
+(** [(r, lab) ⊨ G] iff some pattern of [G] matches. *)
+
+val matches_subranking : Ranking.t -> sub:Ranking.t -> bool
+(** [matches_subranking r ~sub] iff the items of [sub] appear in [r] in
+    the same relative order (τ ⊨ ψ, §5.2). *)

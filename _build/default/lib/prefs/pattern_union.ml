@@ -1,0 +1,38 @@
+type t = Pattern.t list (* non-empty, deduplicated, order preserved *)
+
+let make = function
+  | [] -> invalid_arg "Pattern_union.make: empty union"
+  | ps ->
+      let seen = Hashtbl.create 8 in
+      List.filter
+        (fun p ->
+          let key = (Pattern.nodes p, Pattern.edges p) in
+          if Hashtbl.mem seen key then false
+          else begin
+            Hashtbl.add seen key ();
+            true
+          end)
+        ps
+
+let patterns t = t
+let size = List.length
+let singleton p = [ p ]
+
+type kind = Two_label | Bipartite | General
+
+let kind t =
+  if List.for_all Pattern.is_two_label t then Two_label
+  else if List.for_all Pattern.is_bipartite t then Bipartite
+  else General
+
+let all_labels t = List.sort_uniq Stdlib.compare (List.concat_map Pattern.labels t)
+let total_nodes t = List.fold_left (fun acc p -> acc + Pattern.n_nodes p) 0 t
+let equal t1 t2 = List.equal Pattern.equal t1 t2
+let compare = List.compare Pattern.compare
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ \u{222A} ")
+       Pattern.pp)
+    t

@@ -1,0 +1,29 @@
+(** Unions of label patterns [G = g1 ∪ … ∪ gz] (paper §3.3) and their
+    classification into the solver families of §4. *)
+
+type t
+
+val make : Pattern.t list -> t
+(** Deduplicates patterns; raises [Invalid_argument] on the empty list. *)
+
+val patterns : t -> Pattern.t list
+val size : t -> int
+(** Number of patterns [z]. *)
+
+val singleton : Pattern.t -> t
+
+type kind =
+  | Two_label  (** every pattern has exactly two nodes and one edge *)
+  | Bipartite  (** every pattern is bipartite (includes two-label) *)
+  | General    (** some pattern has a node that is both source and target *)
+
+val kind : t -> kind
+(** Most specific applicable family. *)
+
+val all_labels : t -> int list
+(** Distinct labels across all patterns. *)
+
+val total_nodes : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,140 @@
+type item = int
+type t = int array (* t.(p) = item at position p; never mutated after build *)
+
+let check_distinct a =
+  let seen = Hashtbl.create (Array.length a) in
+  Array.iter
+    (fun x ->
+      if Hashtbl.mem seen x then invalid_arg "Ranking.of_array: duplicate item";
+      Hashtbl.add seen x ())
+    a
+
+let of_array a =
+  check_distinct a;
+  Array.copy a
+
+let of_list l = of_array (Array.of_list l)
+let to_array t = Array.copy t
+let to_list = Array.to_list
+let length = Array.length
+let item_at t p = t.(p)
+
+let position_of t x =
+  let n = Array.length t in
+  let rec go p = if p = n then raise Not_found else if t.(p) = x then p else go (p + 1) in
+  go 0
+
+let mem t x = Array.exists (fun y -> y = x) t
+let prefers t a b = position_of t a < position_of t b
+let identity m = Array.init m (fun i -> i)
+
+let reverse t =
+  let n = Array.length t in
+  Array.init n (fun i -> t.(n - 1 - i))
+
+let insert t j x =
+  let n = Array.length t in
+  if j < 0 || j > n then invalid_arg "Ranking.insert: position out of range";
+  Array.init (n + 1) (fun p -> if p < j then t.(p) else if p = j then x else t.(p - 1))
+
+let remove t x =
+  let j = position_of t x in
+  let n = Array.length t in
+  Array.init (n - 1) (fun p -> if p < j then t.(p) else t.(p + 1))
+
+let prefix t k =
+  if k < 0 || k > Array.length t then invalid_arg "Ranking.prefix";
+  Array.sub t 0 k
+
+let restrict t keep = Array.of_list (List.filter keep (Array.to_list t))
+
+(* Discordant pairs via merge-sort inversion counting on positions. *)
+let count_inversions a =
+  let a = Array.copy a in
+  let n = Array.length a in
+  let buf = Array.make n 0 in
+  let inv = ref 0 in
+  let rec sort lo hi =
+    if hi - lo > 1 then begin
+      let mid = (lo + hi) / 2 in
+      sort lo mid;
+      sort mid hi;
+      let i = ref lo and j = ref mid and k = ref lo in
+      while !i < mid && !j < hi do
+        if a.(!i) <= a.(!j) then begin
+          buf.(!k) <- a.(!i);
+          incr i
+        end
+        else begin
+          buf.(!k) <- a.(!j);
+          inv := !inv + (mid - !i);
+          incr j
+        end;
+        incr k
+      done;
+      while !i < mid do
+        buf.(!k) <- a.(!i);
+        incr i;
+        incr k
+      done;
+      while !j < hi do
+        buf.(!k) <- a.(!j);
+        incr j;
+        incr k
+      done;
+      Array.blit buf lo a lo (hi - lo)
+    end
+  in
+  sort 0 n;
+  !inv
+
+let kendall_tau t1 t2 =
+  if Array.length t1 <> Array.length t2 then
+    invalid_arg "Ranking.kendall_tau: different lengths";
+  let pos2 = Hashtbl.create (Array.length t2) in
+  Array.iteri (fun p x -> Hashtbl.add pos2 x p) t2;
+  let seq =
+    Array.map
+      (fun x ->
+        match Hashtbl.find_opt pos2 x with
+        | Some p -> p
+        | None -> invalid_arg "Ranking.kendall_tau: different item sets")
+      t1
+  in
+  count_inversions seq
+
+let kendall_tau_max m = m * (m - 1) / 2
+let equal t1 t2 = t1 = t2
+let compare = Stdlib.compare
+let hash = Hashtbl.hash
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>\u{27E8}%a\u{27E9}@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Format.pp_print_int)
+    (to_list t)
+
+let pp_named name ppf t =
+  Format.fprintf ppf "@[<h>\u{27E8}%a\u{27E9}@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf x -> Format.pp_print_string ppf (name x)))
+    (to_list t)
+
+let all m f =
+  if m > 10 then invalid_arg "Ranking.all: m > 10 would enumerate > 3.6M rankings";
+  Util.Combinat.iter_permutations m (fun a -> f (Array.copy a))
+
+let discordant_with_reference ~reference t =
+  let refpos = Hashtbl.create (Array.length reference) in
+  Array.iteri (fun p x -> Hashtbl.add refpos x p) reference;
+  let seq =
+    Array.map
+      (fun x ->
+        match Hashtbl.find_opt refpos x with
+        | Some p -> p
+        | None -> invalid_arg "Ranking.discordant_with_reference: unknown item")
+      t
+  in
+  count_inversions seq

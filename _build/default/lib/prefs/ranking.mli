@@ -1,0 +1,74 @@
+(** Rankings (linear orders / permutations) over items.
+
+    Items are integers; a ranking of [m] items over a domain of size [n]
+    places each item at a 0-based position. Positions are 0-based
+    throughout the library (the paper uses 1-based ranks; only
+    pretty-printers translate). *)
+
+type item = int
+
+type t
+(** An immutable ranking. Item at position 0 is the most preferred. *)
+
+val of_array : int array -> t
+(** [of_array a] ranks [a.(0)] first. Items must be distinct.
+    Raises [Invalid_argument] otherwise. *)
+
+val of_list : int list -> t
+val to_array : t -> int array
+(** Fresh copy; safe to mutate. *)
+
+val to_list : t -> int list
+val length : t -> int
+
+val item_at : t -> int -> item
+(** [item_at r p] is the item at position [p] (0-based). *)
+
+val position_of : t -> item -> int
+(** [position_of r x] is the 0-based position of [x].
+    Raises [Not_found] if [x] does not occur. *)
+
+val mem : t -> item -> bool
+val prefers : t -> item -> item -> bool
+(** [prefers r a b] iff [a] is ranked strictly above (before) [b]. *)
+
+val identity : int -> t
+(** [identity m] ranks item [i] at position [i]. *)
+
+val reverse : t -> t
+
+val insert : t -> int -> item -> t
+(** [insert r j x] inserts item [x] at position [j] (0 <= j <= length r),
+    shifting later items down. This is the RIM insertion primitive. *)
+
+val remove : t -> item -> t
+(** [remove r x] deletes item [x]; raises [Not_found] if absent. *)
+
+val prefix : t -> int -> t
+(** [prefix r k] keeps the top-[k] items (the truncation [tau^(k)]). *)
+
+val restrict : t -> (item -> bool) -> t
+(** [restrict r keep] is the sub-sequence of items satisfying [keep],
+    in ranking order, as a (shorter) ranking. *)
+
+val kendall_tau : t -> t -> int
+(** Number of discordant pairs between two rankings over the same item
+    set. Raises [Invalid_argument] if the item sets differ.
+    O(m log m). *)
+
+val kendall_tau_max : int -> int
+(** [kendall_tau_max m = m*(m-1)/2]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val pp_named : (item -> string) -> Format.formatter -> t -> unit
+
+val all : int -> (t -> unit) -> unit
+(** [all m f] iterates over all [m!] rankings of [0..m-1]. For test
+    oracles; guarded to [m <= 10]. *)
+
+val discordant_with_reference : reference:t -> t -> int
+(** Like {!kendall_tau} but [t] may rank a subset of [reference]'s items:
+    counts pairs of [t]-items ordered differently than in [reference]. *)

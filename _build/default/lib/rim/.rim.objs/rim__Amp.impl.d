@@ -1,0 +1,1 @@
+lib/rim/amp.ml: Array Hashtbl List Mallows Option Prefs Util

@@ -1,0 +1,1 @@
+lib/rim/amp.mli: Mallows Prefs Util

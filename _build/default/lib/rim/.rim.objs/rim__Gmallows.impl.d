@@ -1,0 +1,1 @@
+lib/rim/gmallows.ml: Array Format List Model Prefs Printf String

@@ -1,0 +1,1 @@
+lib/rim/gmallows.mli: Format Model Prefs Util

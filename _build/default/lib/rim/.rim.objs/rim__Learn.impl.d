@@ -1,0 +1,1 @@
+lib/rim/learn.ml: Amp Array List Mallows Mixture Prefs Util

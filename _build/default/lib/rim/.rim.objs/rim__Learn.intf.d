@@ -1,0 +1,1 @@
+lib/rim/learn.mli: Mallows Mixture Prefs Util

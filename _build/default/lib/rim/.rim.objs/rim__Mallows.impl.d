@@ -1,0 +1,1 @@
+lib/rim/mallows.ml: Array Format Model Prefs Util

@@ -1,0 +1,1 @@
+lib/rim/mallows.mli: Format Model Prefs Util

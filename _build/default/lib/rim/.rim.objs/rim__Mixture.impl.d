@@ -1,0 +1,1 @@
+lib/rim/mixture.ml: Array Format List Mallows Util

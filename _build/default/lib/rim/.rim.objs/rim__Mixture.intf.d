@@ -1,0 +1,1 @@
+lib/rim/mixture.mli: Format Mallows Prefs Util

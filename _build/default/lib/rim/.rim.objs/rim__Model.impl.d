@@ -1,0 +1,1 @@
+lib/rim/model.ml: Array Format Prefs Util

@@ -1,0 +1,1 @@
+lib/rim/model.mli: Format Prefs Util

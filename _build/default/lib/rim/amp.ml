@@ -1,0 +1,139 @@
+type t = {
+  mal : Mallows.t;
+  cons : Prefs.Partial_order.t; (* transitively closed *)
+  preds : (int, int list) Hashtbl.t; (* item -> items that must precede it *)
+  succs : (int, int list) Hashtbl.t;
+}
+
+let make mal po =
+  let domain = Prefs.Ranking.to_list (Mallows.center mal) in
+  List.iter
+    (fun x ->
+      if not (List.mem x domain) then
+        invalid_arg "Amp.make: condition mentions an item outside the domain")
+    (Prefs.Partial_order.items po);
+  let cons = Prefs.Partial_order.transitive_closure po in
+  let preds = Hashtbl.create 16 and succs = Hashtbl.create 16 in
+  List.iter
+    (fun x ->
+      Hashtbl.replace preds x (Prefs.Partial_order.preds cons x);
+      Hashtbl.replace succs x (Prefs.Partial_order.succs cons x))
+    (Prefs.Partial_order.items cons);
+  { mal; cons; preds; succs }
+
+let of_subranking mal psi = make mal (Prefs.Partial_order.of_chain (Prefs.Ranking.to_list psi))
+let mallows t = t.mal
+let condition t = t.cons
+
+(* Valid insertion range [lo, hi] for item x when the current partial
+   ranking is [buf.(0..len-1)]: x must go after every placed predecessor and
+   at or before every placed successor. *)
+let valid_range t ~pos_of x len =
+  let lo =
+    List.fold_left
+      (fun lo y -> match pos_of y with Some p -> max lo (p + 1) | None -> lo)
+      0
+      (Option.value ~default:[] (Hashtbl.find_opt t.preds x))
+  in
+  let hi =
+    List.fold_left
+      (fun hi y -> match pos_of y with Some p -> min hi p | None -> hi)
+      len
+      (Option.value ~default:[] (Hashtbl.find_opt t.succs x))
+  in
+  (lo, hi)
+
+(* Weight of inserting at j among i+1 slots is φ^(i-j); for φ = 0 the only
+   positive-weight slot in [lo,hi] is hi. *)
+let range_weights phi i lo hi =
+  Array.init (hi - lo + 1) (fun k ->
+      let j = lo + k in
+      if phi = 0. then (if j = hi then 1. else 0.) else phi ** float_of_int (i - j))
+
+let sample t rng =
+  let sigma = Mallows.center t.mal in
+  let n = Prefs.Ranking.length sigma in
+  let phi = Mallows.phi t.mal in
+  let buf = Array.make n 0 in
+  let len = ref 0 in
+  let pos_of y =
+    let rec go p = if p = !len then None else if buf.(p) = y then Some p else go (p + 1) in
+    go 0
+  in
+  for i = 0 to n - 1 do
+    let x = Prefs.Ranking.item_at sigma i in
+    let lo, hi = valid_range t ~pos_of x !len in
+    assert (lo <= hi);
+    let w = range_weights phi i lo hi in
+    let j = lo + Util.Rng.categorical rng w in
+    Array.blit buf j buf (j + 1) (!len - j);
+    buf.(j) <- x;
+    incr len
+  done;
+  Prefs.Ranking.of_array buf
+
+let log_density t r =
+  let sigma = Mallows.center t.mal in
+  let n = Prefs.Ranking.length sigma in
+  if Prefs.Ranking.length r <> n then invalid_arg "Amp.log_density: wrong length";
+  let phi = Mallows.phi t.mal in
+  (* Replay insertions: partial ranking = r restricted to inserted items. *)
+  let r_pos = Array.init n (fun i -> Prefs.Ranking.position_of r (Prefs.Ranking.item_at sigma i)) in
+  (* Fast path: a ranking violating the condition has density 0; checking
+     the (transitively closed) constraints is much cheaper than replaying
+     all insertions, and mixtures of many proposals hit this a lot. *)
+  let consistent =
+    List.for_all
+      (fun (a, b) -> Prefs.Ranking.position_of r a < Prefs.Ranking.position_of r b)
+      (Prefs.Partial_order.edges t.cons)
+  in
+  if not consistent then Util.Logspace.neg_inf
+  else begin
+  (* inserted.(k) = true when sigma item k already inserted *)
+  let inserted = Array.make n false in
+  let sigma_index = Hashtbl.create n in
+  for i = 0 to n - 1 do
+    Hashtbl.replace sigma_index (Prefs.Ranking.item_at sigma i) i
+  done;
+  let partial_pos y =
+    (* position of y within r restricted to inserted items *)
+    match Hashtbl.find_opt sigma_index y with
+    | Some k when inserted.(k) ->
+        let py = r_pos.(k) in
+        let c = ref 0 in
+        for k' = 0 to n - 1 do
+          if inserted.(k') && r_pos.(k') < py then incr c
+        done;
+        Some !c
+    | _ -> None
+  in
+  let lp = ref 0. in
+  (try
+     for i = 0 to n - 1 do
+       let x = Prefs.Ranking.item_at sigma i in
+       let lo, hi = valid_range t ~pos_of:partial_pos x i in
+       (* actual insertion position of x in the partial ranking *)
+       let px = r_pos.(i) in
+       let j = ref 0 in
+       for k' = 0 to i - 1 do
+         if r_pos.(k') < px then incr j
+       done;
+       if !j < lo || !j > hi then begin
+         lp := Util.Logspace.neg_inf;
+         raise Exit
+       end;
+       let w = range_weights phi i lo hi in
+       let total = Array.fold_left ( +. ) 0. w in
+       let wj = w.(!j - lo) in
+       if wj = 0. then begin
+         lp := Util.Logspace.neg_inf;
+         raise Exit
+       end;
+       lp := !lp +. log (wj /. total);
+       inserted.(i) <- true
+     done
+   with Exit -> ());
+    !lp
+  end
+
+let density t r = exp (log_density t r)

@@ -1,0 +1,32 @@
+(** AMP — the Approximate Mallows Posterior sampler of Lu & Boutilier,
+    conditioned on a partial order (paper §2.2, Example 2.2).
+
+    AMP(σ, φ, υ) follows the RIM insertion procedure of MAL(σ, φ) but
+    restricts each insertion to the contiguous position range [J] that
+    keeps the partial ranking consistent with [υ]; position [j ∈ J] is
+    chosen with probability ∝ φ^(i-j). Every sample is consistent with
+    [υ], and the proposal density of any consistent ranking is exactly
+    computable, which is what the importance samplers need. *)
+
+type t
+
+val make : Mallows.t -> Prefs.Partial_order.t -> t
+(** [make mal υ] conditions [mal] on [υ]. All items of [υ] must belong
+    to the model's domain ([Invalid_argument] otherwise). The transitive
+    closure of [υ] is taken internally. *)
+
+val of_subranking : Mallows.t -> Prefs.Ranking.t -> t
+(** Condition on a sub-ranking (chain) ψ. *)
+
+val mallows : t -> Mallows.t
+val condition : t -> Prefs.Partial_order.t
+(** The (transitively closed) conditioning order. *)
+
+val sample : t -> Util.Rng.t -> Prefs.Ranking.t
+(** Draw a ranking consistent with the condition. *)
+
+val log_density : t -> Prefs.Ranking.t -> float
+(** Exact log-probability that {!sample} produces this ranking;
+    [neg_infinity] when the ranking violates the condition. *)
+
+val density : t -> Prefs.Ranking.t -> float

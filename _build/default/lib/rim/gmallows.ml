@@ -1,0 +1,47 @@
+type t = {
+  center : Prefs.Ranking.t;
+  phis : float array;
+  mutable rim : Model.t option;
+}
+
+let make ~center ~phis =
+  if Array.length phis <> Prefs.Ranking.length center then
+    invalid_arg "Gmallows.make: need one phi per item";
+  Array.iter
+    (fun p -> if p < 0. || p > 1. then invalid_arg "Gmallows.make: phi out of [0,1]")
+    phis;
+  { center; phis = Array.copy phis; rim = None }
+
+let uniform_phi ~center ~phi =
+  make ~center ~phis:(Array.make (Prefs.Ranking.length center) phi)
+
+let center t = t.center
+let phis t = Array.copy t.phis
+let m t = Prefs.Ranking.length t.center
+
+let to_rim t =
+  match t.rim with
+  | Some r -> r
+  | None ->
+      let n = m t in
+      let pi =
+        Array.init n (fun i ->
+            let phi = t.phis.(i) in
+            if phi = 0. then Array.init (i + 1) (fun j -> if j = i then 1. else 0.)
+            else begin
+              let row = Array.init (i + 1) (fun j -> phi ** float_of_int (i - j)) in
+              let sum = Array.fold_left ( +. ) 0. row in
+              Array.map (fun w -> w /. sum) row
+            end)
+      in
+      let r = Model.make ~sigma:t.center ~pi in
+      t.rim <- Some r;
+      r
+
+let prob t r = Model.prob (to_rim t) r
+let log_prob t r = Model.log_prob (to_rim t) r
+let sample t rng = Model.sample (to_rim t) rng
+
+let pp ppf t =
+  Format.fprintf ppf "GMAL(%a, [%s])" Prefs.Ranking.pp t.center
+    (String.concat "," (List.map (Printf.sprintf "%.2g") (Array.to_list t.phis)))

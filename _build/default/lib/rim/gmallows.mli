@@ -1,0 +1,27 @@
+(** The generalized Mallows model of Fligner & Verducci — the "beyond
+    plain Mallows" RIM instance the paper's conclusions point to ([9]).
+
+    GMAL(σ, φ₁…φₘ) gives each insertion step its own dispersion:
+    [Π(i, j) ∝ φᵢ^(i-j)]. With all φᵢ equal it coincides with MAL(σ, φ);
+    small φᵢ at early steps concentrate the top of the ranking while
+    leaving the tail noisy (and vice versa). Because it is a RIM, every
+    exact solver in the library applies to it unchanged. *)
+
+type t
+
+val make : center:Prefs.Ranking.t -> phis:float array -> t
+(** [phis] has one dispersion per item of [center] (the first entry is
+    unused by the insertion process but kept for uniformity); each must
+    be in [0, 1]. Raises [Invalid_argument] otherwise. *)
+
+val uniform_phi : center:Prefs.Ranking.t -> phi:float -> t
+(** The plain Mallows special case. *)
+
+val center : t -> Prefs.Ranking.t
+val phis : t -> float array
+val m : t -> int
+val to_rim : t -> Model.t
+val prob : t -> Prefs.Ranking.t -> float
+val log_prob : t -> Prefs.Ranking.t -> float
+val sample : t -> Util.Rng.t -> Prefs.Ranking.t
+val pp : Format.formatter -> t -> unit

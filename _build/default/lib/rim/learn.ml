@@ -1,0 +1,174 @@
+let check_sample = function
+  | [] -> invalid_arg "Learn: empty sample"
+  | r :: rest ->
+      let m = Prefs.Ranking.length r in
+      List.iter
+        (fun r' ->
+          if Prefs.Ranking.length r' <> m then invalid_arg "Learn: unequal lengths")
+        rest;
+      m
+
+let weights_or_ones ?weights n =
+  match weights with
+  | None -> Array.make n 1.
+  | Some w ->
+      if Array.length w <> n then invalid_arg "Learn: weights length mismatch";
+      w
+
+let borda_center ?weights sample =
+  let m = check_sample sample in
+  let n = List.length sample in
+  let w = weights_or_ones ?weights n in
+  let score = Array.make m 0. in
+  let wsum = Array.fold_left ( +. ) 0. w in
+  List.iteri
+    (fun k r ->
+      for p = 0 to m - 1 do
+        let item = Prefs.Ranking.item_at r p in
+        score.(item) <- score.(item) +. (w.(k) *. float_of_int p)
+      done)
+    sample;
+  ignore wsum;
+  let items = Array.init m (fun i -> i) in
+  Array.sort (fun a b -> compare score.(a) score.(b)) items;
+  Prefs.Ranking.of_array items
+
+let fit_phi ~center ?weights sample =
+  let m = check_sample sample in
+  let n = List.length sample in
+  let w = weights_or_ones ?weights n in
+  let wsum = Array.fold_left ( +. ) 0. w in
+  if wsum <= 0. then 0.5
+  else begin
+    let mean_d = ref 0. in
+    List.iteri
+      (fun k r ->
+        mean_d :=
+          !mean_d +. (w.(k) *. float_of_int (Prefs.Ranking.kendall_tau center r)))
+      sample;
+    let mean_d = !mean_d /. wsum in
+    if mean_d <= 0. then 0.
+    else if mean_d >= Mallows.expected_distance ~m ~phi:1. then 1.
+    else begin
+      let lo = ref 0. and hi = ref 1. in
+      for _ = 1 to 60 do
+        let mid = (!lo +. !hi) /. 2. in
+        if Mallows.expected_distance ~m ~phi:mid < mean_d then lo := mid else hi := mid
+      done;
+      (!lo +. !hi) /. 2.
+    end
+  end
+
+let fit sample =
+  let center = borda_center sample in
+  Mallows.make ~center ~phi:(fit_phi ~center sample)
+
+type em_report = {
+  mixture : Mixture.t;
+  log_likelihood : float;
+  iterations : int;
+}
+
+let log_likelihood mix sample =
+  List.fold_left (fun acc r -> acc +. Mixture.log_prob mix r) 0. sample
+
+let fit_mixture ?(max_iter = 50) ?(tol = 1e-6) ~k ~rng sample =
+  let _m = check_sample sample in
+  if k < 1 then invalid_arg "Learn.fit_mixture: k < 1";
+  let arr = Array.of_list sample in
+  let n = Array.length arr in
+  (* Initialize with k distinct observed rankings (or repeats if fewer). *)
+  let idx = Util.Rng.permutation rng n in
+  let init_centers = Array.init k (fun i -> arr.(idx.(i mod n))) in
+  let comps =
+    ref
+      (Array.map (fun c -> Mallows.make ~center:c ~phi:0.5) init_centers)
+  in
+  let weights = ref (Array.make k (1. /. float_of_int k)) in
+  let mix () = Mixture.make (List.combine (Array.to_list !weights) (Array.to_list !comps)) in
+  let prev_ll = ref neg_infinity in
+  let iters = ref 0 in
+  (try
+     for it = 1 to max_iter do
+       iters := it;
+       (* E-step: responsibilities. *)
+       let resp = Array.make_matrix k n 0. in
+       Array.iteri
+         (fun j r ->
+           let lps =
+             Array.mapi (fun c comp -> log !weights.(c) +. Mallows.log_prob comp r) !comps
+           in
+           let lse = Util.Logspace.log_sum_exp lps in
+           Array.iteri (fun c lp -> resp.(c).(j) <- exp (lp -. lse)) lps)
+         arr;
+       (* M-step. *)
+       let comps' =
+         Array.init k (fun c ->
+             let wts = resp.(c) in
+             let total = Array.fold_left ( +. ) 0. wts in
+             if total < 1e-12 then !comps.(c)
+             else
+               let center = borda_center ~weights:wts sample in
+               let phi = fit_phi ~center ~weights:wts sample in
+               Mallows.make ~center ~phi)
+       in
+       let weights' =
+         Array.init k (fun c ->
+             Array.fold_left ( +. ) 0. resp.(c) /. float_of_int n)
+       in
+       comps := comps';
+       weights := weights';
+       let ll = log_likelihood (mix ()) sample in
+       if abs_float (ll -. !prev_ll) < tol *. (1. +. abs_float ll) then begin
+         prev_ll := ll;
+         raise Exit
+       end;
+       prev_ll := ll
+     done
+   with Exit -> ());
+  let mixture = mix () in
+  { mixture; log_likelihood = log_likelihood mixture sample; iterations = !iters }
+
+let fit_from_pairwise ?(iters = 5) ?(samples_per_obs = 20) ~m ~rng observations =
+  (* Keep observations with a consistent (acyclic) pair set. *)
+  let partial_orders =
+    List.filter_map
+      (fun pairs ->
+        match Prefs.Partial_order.make_with_items ~items:[] ~edges:pairs with
+        | po -> Some po
+        | exception Invalid_argument _ -> None)
+      observations
+  in
+  if partial_orders = [] then
+    invalid_arg "Learn.fit_from_pairwise: no consistent observation";
+  List.iter
+    (fun po ->
+      List.iter
+        (fun x ->
+          if x < 0 || x >= m then
+            invalid_arg "Learn.fit_from_pairwise: item out of range")
+        (Prefs.Partial_order.items po))
+    partial_orders;
+  (* Initial center: pairwise Borda (wins minus losses). *)
+  let score = Array.make m 0 in
+  List.iter
+    (List.iter (fun (a, b) ->
+         score.(a) <- score.(a) + 1;
+         score.(b) <- score.(b) - 1))
+    observations;
+  let items = Array.init m (fun i -> i) in
+  Array.sort (fun a b -> compare score.(b) score.(a)) items;
+  let model = ref (Mallows.make ~center:(Prefs.Ranking.of_array items) ~phi:0.5) in
+  for _ = 1 to iters do
+    let completions =
+      List.concat_map
+        (fun po ->
+          let amp = Amp.make !model po in
+          List.init samples_per_obs (fun _ -> Amp.sample amp rng))
+        partial_orders
+    in
+    let center = borda_center completions in
+    let phi = fit_phi ~center completions in
+    model := Mallows.make ~center ~phi
+  done;
+  !model

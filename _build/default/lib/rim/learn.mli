@@ -1,0 +1,51 @@
+(** Fitting Mallows models and mixtures from observed rankings.
+
+    Stands in for the external learning tool the paper uses ([26]):
+    the experiments only need (σ, φ) components, which we estimate with
+    weighted Borda centers, a Kendall-distance moment match for φ, and
+    EM for mixtures. *)
+
+val borda_center : ?weights:float array -> Prefs.Ranking.t list -> Prefs.Ranking.t
+(** Center estimate: items sorted by (weighted) mean position.
+    Requires a non-empty sample of equal-length rankings. *)
+
+val fit_phi : center:Prefs.Ranking.t -> ?weights:float array -> Prefs.Ranking.t list -> float
+(** Moment estimate of φ: matches the (weighted) mean Kendall distance
+    to {!Mallows.expected_distance} by bisection. Clamped to [0, 1]. *)
+
+val fit : Prefs.Ranking.t list -> Mallows.t
+(** Single-component fit: Borda center + φ moment match. *)
+
+type em_report = {
+  mixture : Mixture.t;
+  log_likelihood : float;
+  iterations : int;
+}
+
+val fit_mixture :
+  ?max_iter:int ->
+  ?tol:float ->
+  k:int ->
+  rng:Util.Rng.t ->
+  Prefs.Ranking.t list ->
+  em_report
+(** EM for a [k]-component Mallows mixture: responsibilities from current
+    component likelihoods, then per-component weighted Borda center and
+    φ re-estimation. Initialization picks [k] distinct observed rankings
+    as centers. *)
+
+val fit_from_pairwise :
+  ?iters:int ->
+  ?samples_per_obs:int ->
+  m:int ->
+  rng:Util.Rng.t ->
+  (int * int) list list ->
+  Mallows.t
+(** Fit a single Mallows model from *pairwise* observations — each
+    observation is the set of preference pairs [(a, b)] ("a over b") one
+    judge revealed. Follows the AMP-imputation idea of Lu & Boutilier:
+    starting from a pairwise-Borda center, repeatedly (default
+    [iters = 5]) complete each observation's partial order into
+    [samples_per_obs] full rankings with AMP under the current model and
+    refit (center, φ) on the completions. Observations whose pairs are
+    cyclic are ignored; raises [Invalid_argument] when none is usable. *)

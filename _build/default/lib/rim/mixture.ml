@@ -1,0 +1,40 @@
+type t = { weights : float array; comps : Mallows.t array }
+
+let make = function
+  | [] -> invalid_arg "Mixture.make: empty"
+  | l ->
+      let weights = Array.of_list (List.map fst l) in
+      let comps = Array.of_list (List.map snd l) in
+      Array.iter (fun w -> if w < 0. then invalid_arg "Mixture.make: negative weight") weights;
+      let total = Array.fold_left ( +. ) 0. weights in
+      if total <= 0. then invalid_arg "Mixture.make: zero total weight";
+      let m0 = Mallows.m comps.(0) in
+      Array.iter
+        (fun c -> if Mallows.m c <> m0 then invalid_arg "Mixture.make: mismatched domains")
+        comps;
+      { weights = Array.map (fun w -> w /. total) weights; comps }
+
+let components t = Array.to_list (Array.map2 (fun w c -> (w, c)) t.weights t.comps)
+let n_components t = Array.length t.comps
+let m t = Mallows.m t.comps.(0)
+
+let sample_component t rng =
+  let i = Util.Rng.categorical rng t.weights in
+  (i, t.comps.(i))
+
+let sample t rng =
+  let _, c = sample_component t rng in
+  Mallows.sample c rng
+
+let log_prob t r =
+  Util.Logspace.log_sum_exp
+    (Array.mapi (fun i c -> log t.weights.(i) +. Mallows.log_prob c r) t.comps)
+
+let prob t r = exp (log_prob t r)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>mixture of %d:@ %a@]" (n_components t)
+    (Format.pp_print_list
+       ~pp_sep:Format.pp_print_cut
+       (fun ppf (w, c) -> Format.fprintf ppf "%.3f * %a" w Mallows.pp c))
+    (components t)

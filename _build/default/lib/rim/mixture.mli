@@ -1,0 +1,18 @@
+(** Finite mixtures of Mallows models, used for the MovieLens and
+    CrowdRank surrogates (paper §6.1). *)
+
+type t
+
+val make : (float * Mallows.t) list -> t
+(** [make [(w1, m1); ...]] normalizes the nonnegative weights.
+    All components must share the same item domain size.
+    Raises [Invalid_argument] on an empty list or all-zero weights. *)
+
+val components : t -> (float * Mallows.t) list
+val n_components : t -> int
+val m : t -> int
+val sample_component : t -> Util.Rng.t -> int * Mallows.t
+val sample : t -> Util.Rng.t -> Prefs.Ranking.t
+val log_prob : t -> Prefs.Ranking.t -> float
+val prob : t -> Prefs.Ranking.t -> float
+val pp : Format.formatter -> t -> unit

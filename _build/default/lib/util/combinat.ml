@@ -1,0 +1,56 @@
+let factorial n =
+  if n < 0 || n > 20 then invalid_arg "Combinat.factorial: out of range";
+  let rec go acc k = if k <= 1 then acc else go (acc * k) (k - 1) in
+  go 1 n
+
+(* Heap's algorithm: generates each permutation by a single swap. *)
+let iter_permutations n f =
+  let a = Array.init n (fun i -> i) in
+  let c = Array.make n 0 in
+  f a;
+  let i = ref 0 in
+  while !i < n do
+    if c.(!i) < !i then begin
+      let j = if !i land 1 = 0 then 0 else c.(!i) in
+      let tmp = a.(j) in
+      a.(j) <- a.(!i);
+      a.(!i) <- tmp;
+      f a;
+      c.(!i) <- c.(!i) + 1;
+      i := 0
+    end
+    else begin
+      c.(!i) <- 0;
+      incr i
+    end
+  done
+
+let iter_subsets l f =
+  let rec go acc = function
+    | [] -> f (List.rev acc)
+    | x :: rest ->
+        go acc rest;
+        go (x :: acc) rest
+  in
+  go [] l
+
+let iter_nonempty_subsets l f =
+  iter_subsets l (function [] -> () | s -> f s)
+
+let cartesian_product doms =
+  let rec go = function
+    | [] -> [ [] ]
+    | d :: rest ->
+        let tails = go rest in
+        List.concat_map (fun x -> List.map (fun t -> x :: t) tails) d
+  in
+  go doms
+
+let choose n k =
+  if k < 0 || k > n then 0
+  else
+    let k = min k (n - k) in
+    let rec go acc i = if i > k then acc else go (acc * (n - k + i) / i) (i + 1) in
+    go 1 1
+
+let interleavings_count a b = choose (a + b) a

@@ -1,0 +1,24 @@
+(** Combinatorial helpers for brute-force oracles and decompositions. *)
+
+val factorial : int -> int
+(** [factorial n]; raises [Invalid_argument] for [n < 0] or [n > 20]
+    (beyond 20 it overflows 63-bit integers). *)
+
+val iter_permutations : int -> (int array -> unit) -> unit
+(** [iter_permutations n f] calls [f] on each permutation of [0..n-1].
+    The array passed to [f] is reused; copy it if you keep it. *)
+
+val iter_subsets : 'a list -> ('a list -> unit) -> unit
+(** Calls [f] on every subset (including the empty one), preserving order. *)
+
+val iter_nonempty_subsets : 'a list -> ('a list -> unit) -> unit
+
+val cartesian_product : 'a list list -> 'a list list
+(** [cartesian_product [d1; d2; ...]] lists all tuples taking one element
+    from each [di], in lexicographic order of the input lists. *)
+
+val choose : int -> int -> int
+(** Binomial coefficient, exact in int range. *)
+
+val interleavings_count : int -> int -> int
+(** [interleavings_count a b = choose (a+b) a]. *)

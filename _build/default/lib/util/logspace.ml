@@ -1,0 +1,26 @@
+let neg_inf = neg_infinity
+
+let log_add a b =
+  if a = neg_inf then b
+  else if b = neg_inf then a
+  else if a >= b then a +. log1p (exp (b -. a))
+  else b +. log1p (exp (a -. b))
+
+let log_sum_exp a =
+  let m = Array.fold_left max neg_inf a in
+  if m = neg_inf then neg_inf
+  else m +. log (Array.fold_left (fun acc x -> acc +. exp (x -. m)) 0. a)
+
+let log_mean_exp a =
+  if Array.length a = 0 then invalid_arg "Logspace.log_mean_exp: empty";
+  log_sum_exp a -. log (float_of_int (Array.length a))
+
+let geometric_series_log phi k =
+  if k < 1 then invalid_arg "Logspace.geometric_series_log: k < 1";
+  if phi = 0. then 0.
+  else if abs_float (phi -. 1.) < 1e-12 then log (float_of_int k)
+  else if phi < 1. then log ((1. -. (phi ** float_of_int k)) /. (1. -. phi))
+  else
+    (* phi > 1: factor out the largest term for stability. *)
+    (float_of_int (k - 1) *. log phi)
+    +. log ((1. -. ((1. /. phi) ** float_of_int k)) /. (1. -. (1. /. phi)))

@@ -1,0 +1,22 @@
+(** Log-space arithmetic for tiny probabilities.
+
+    The exact solvers work in ordinary floats, but importance-ratio
+    computations over Mallows models with small dispersion can underflow;
+    those paths form products in log space. *)
+
+val neg_inf : float
+(** Log of zero. *)
+
+val log_sum_exp : float array -> float
+(** [log_sum_exp a] is [log (sum_i (exp a.(i)))], computed stably.
+    Returns {!neg_inf} on an all-[neg_inf] (or empty) input. *)
+
+val log_add : float -> float -> float
+(** Stable [log (exp a + exp b)]. *)
+
+val log_mean_exp : float array -> float
+(** [log_mean_exp a] is [log ((1/n) sum_i (exp a.(i)))]. *)
+
+val geometric_series_log : float -> int -> float
+(** [geometric_series_log phi k] is [log (1 + phi + ... + phi^(k-1))]
+    for [phi >= 0] and [k >= 1]. *)

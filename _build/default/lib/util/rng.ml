@@ -1,0 +1,61 @@
+type t = Random.State.t
+
+let make seed = Random.State.make [| seed; 0x9e3779b9; seed lxor 0x85ebca6b |]
+
+let split t =
+  let a = Random.State.bits t and b = Random.State.bits t in
+  Random.State.make [| a; b; a lxor (b lsl 1) |]
+
+let copy = Random.State.copy
+let int t n = Random.State.int t n
+let float t x = Random.State.float t x
+let bool t = Random.State.bool t
+
+let pick t a =
+  assert (Array.length a > 0);
+  a.(int t (Array.length a))
+
+let pick_list t l =
+  match l with
+  | [] -> invalid_arg "Rng.pick_list: empty list"
+  | _ -> List.nth l (int t (List.length l))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let permutation t n =
+  let a = Array.init n (fun i -> i) in
+  shuffle t a;
+  a
+
+let categorical t w =
+  let total = Array.fold_left ( +. ) 0. w in
+  if not (total > 0.) then invalid_arg "Rng.categorical: weights sum to zero";
+  let r = float t total in
+  let n = Array.length w in
+  let rec go i acc =
+    if i = n - 1 then i
+    else
+      let acc = acc +. w.(i) in
+      if r < acc then i else go (i + 1) acc
+  in
+  go 0 0.
+
+let sample_without_replacement t n ~weight k =
+  if k > n then invalid_arg "Rng.sample_without_replacement: k > n";
+  let alive = Array.init n (fun i -> i) in
+  let len = ref n in
+  let out = ref [] in
+  for _ = 1 to k do
+    let w = Array.init !len (fun i -> weight alive.(i)) in
+    let j = categorical t w in
+    out := alive.(j) :: !out;
+    alive.(j) <- alive.(!len - 1);
+    decr len
+  done;
+  List.rev !out

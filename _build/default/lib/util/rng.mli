@@ -1,0 +1,47 @@
+(** Seeded pseudo-random number generation.
+
+    Every stochastic component of the library threads an explicit [Rng.t]
+    so that experiments are reproducible from a single integer seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val make : int -> t
+(** [make seed] creates a fresh generator from an integer seed. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing [t].
+    Used to give sub-tasks their own streams without sharing state. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state (same future draws). *)
+
+val int : t -> int -> int
+(** [int t n] draws uniformly from [0, n-1]. Requires [n > 0]. *)
+
+val float : t -> float -> float
+(** [float t x] draws uniformly from [0, x). *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val pick : t -> 'a array -> 'a
+(** [pick t a] draws a uniform element of the non-empty array [a]. *)
+
+val pick_list : t -> 'a list -> 'a
+(** [pick_list t l] draws a uniform element of the non-empty list [l]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val permutation : t -> int -> int array
+(** [permutation t n] is a uniform permutation of [0..n-1]. *)
+
+val categorical : t -> float array -> int
+(** [categorical t w] draws index [i] with probability [w.(i) / sum w].
+    Weights must be nonnegative with a positive sum. *)
+
+val sample_without_replacement : t -> int -> weight:(int -> float) -> int -> int list
+(** [sample_without_replacement t n ~weight k] draws [k] distinct indices
+    from [0..n-1], each draw proportional to [weight i] among the
+    remaining indices. *)

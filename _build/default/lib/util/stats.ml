@@ -1,0 +1,72 @@
+let check_nonempty name a =
+  if Array.length a = 0 then invalid_arg ("Stats." ^ name ^ ": empty array")
+
+let mean a =
+  check_nonempty "mean" a;
+  Array.fold_left ( +. ) 0. a /. float_of_int (Array.length a)
+
+let variance a =
+  let n = Array.length a in
+  if n < 2 then 0.
+  else
+    let m = mean a in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. a in
+    ss /. float_of_int (n - 1)
+
+let stddev a = sqrt (variance a)
+let stderr_of_mean a = stddev a /. sqrt (float_of_int (Array.length a))
+
+let sorted a =
+  let b = Array.copy a in
+  Array.sort compare b;
+  b
+
+let percentile a p =
+  check_nonempty "percentile" a;
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  let b = sorted a in
+  let n = Array.length b in
+  let rank = p /. 100. *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
+  if lo = hi then b.(lo)
+  else
+    let w = rank -. float_of_int lo in
+    ((1. -. w) *. b.(lo)) +. (w *. b.(hi))
+
+let median a = percentile a 50.
+
+let relative_error ~exact est =
+  if exact = 0. then if est = 0. then 0. else infinity
+  else abs_float (est -. exact) /. abs_float exact
+
+let minimum a =
+  check_nonempty "minimum" a;
+  Array.fold_left min a.(0) a
+
+let maximum a =
+  check_nonempty "maximum" a;
+  Array.fold_left max a.(0) a
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+let summarize a =
+  check_nonempty "summarize" a;
+  {
+    n = Array.length a;
+    mean = mean a;
+    stddev = stddev a;
+    min = minimum a;
+    max = maximum a;
+    median = median a;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.6g sd=%.3g min=%.6g med=%.6g max=%.6g" s.n
+    s.mean s.stddev s.min s.median s.max

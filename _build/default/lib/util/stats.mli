@@ -1,0 +1,40 @@
+(** Small descriptive-statistics helpers used by estimators and benches. *)
+
+val mean : float array -> float
+(** Arithmetic mean. Raises [Invalid_argument] on an empty array. *)
+
+val variance : float array -> float
+(** Unbiased sample variance (0 for fewer than two points). *)
+
+val stddev : float array -> float
+(** Square root of {!variance}. *)
+
+val stderr_of_mean : float array -> float
+(** Standard error of the sample mean: [stddev / sqrt n]. *)
+
+val median : float array -> float
+(** Median (does not mutate the input). *)
+
+val percentile : float array -> float -> float
+(** [percentile a p] with [p] in [0,100], nearest-rank with linear
+    interpolation. *)
+
+val relative_error : exact:float -> float -> float
+(** [relative_error ~exact est] is [|est - exact| / |exact|]; when
+    [exact = 0.] it is [0.] if [est = 0.] and [infinity] otherwise. *)
+
+val minimum : float array -> float
+val maximum : float array -> float
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+(** One-shot summary of a sample. *)
+
+val summarize : float array -> summary
+val pp_summary : Format.formatter -> summary -> unit

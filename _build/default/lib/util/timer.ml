@@ -1,0 +1,28 @@
+(* We avoid a Unix dependency: Sys.time gives CPU seconds which is the right
+   notion for solver budgets in a single-threaded process and is what the
+   paper's timeout experiments effectively measure. *)
+
+let now () = Sys.time ()
+
+let time f =
+  let t0 = now () in
+  let x = f () in
+  (x, now () -. t0)
+
+type budget = { deadline : float; start : float }
+
+exception Out_of_time
+
+let budget s =
+  let t = now () in
+  if s <= 0. then { deadline = infinity; start = t }
+  else { deadline = t +. s; start = t }
+
+let no_limit = { deadline = infinity; start = 0. }
+let expired b = now () > b.deadline
+let elapsed b = now () -. b.start
+let check b = if expired b then raise Out_of_time
+
+let with_budget s f =
+  let b = budget s in
+  match f b with x -> Some x | exception Out_of_time -> None

@@ -1,0 +1,30 @@
+(** Wall-clock timing and time budgets for the benchmark harness and for the
+    solvers that must report "did not finish in time" (paper Figure 6). *)
+
+val now : unit -> float
+(** Process CPU seconds ([Sys.time]); Unix-free. CPU time is the right
+    notion for single-threaded solver budgets and benchmarks. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result with elapsed seconds. *)
+
+type budget
+(** A deadline carried into long-running dynamic programs. *)
+
+exception Out_of_time
+(** Raised by {!check} when the budget is exhausted. *)
+
+val budget : float -> budget
+(** [budget s] is a budget expiring [s] seconds from now.
+    A non-positive [s] means "no limit". *)
+
+val no_limit : budget
+
+val check : budget -> unit
+(** Raise {!Out_of_time} if the budget expired. Cheap; call in inner loops. *)
+
+val expired : budget -> bool
+val elapsed : budget -> float
+
+val with_budget : float -> (budget -> 'a) -> 'a option
+(** [with_budget s f] runs [f] under a budget; [None] if it timed out. *)

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Fun List Prefs QCheck QCheck_alcotest Rim Util

@@ -1,0 +1,1 @@
+test/t_data.ml: Alcotest Array Datasets Hardq Hashtbl Helpers List Ppd Prefs Printf Rim Util

@@ -1,0 +1,1 @@
+test/t_exact2.ml: Alcotest Array Hardq Helpers List Prefs QCheck Rim Util

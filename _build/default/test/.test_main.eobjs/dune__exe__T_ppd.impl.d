@@ -1,0 +1,1 @@
+test/t_ppd.ml: Alcotest Array Hardq Helpers List Option Ppd Prefs Printf Rim

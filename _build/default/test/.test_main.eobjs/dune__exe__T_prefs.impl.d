@@ -1,0 +1,1 @@
+test/t_prefs.ml: Alcotest Array Fun Helpers List Prefs QCheck String Util

@@ -1,0 +1,1 @@
+test/t_props.ml: Array Float Format Hardq Helpers List Ppd Prefs Printf QCheck Rim String Util

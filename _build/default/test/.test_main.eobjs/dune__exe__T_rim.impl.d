@@ -1,0 +1,1 @@
+test/t_rim.ml: Alcotest Array Hashtbl Helpers List Option Prefs QCheck Rim Util

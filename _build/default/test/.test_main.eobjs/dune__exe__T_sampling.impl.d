@@ -1,0 +1,1 @@
+test/t_sampling.ml: Alcotest Array Hardq Helpers List Prefs Rim Util

@@ -1,0 +1,1 @@
+test/t_solvers.ml: Alcotest Array Format Hardq Helpers List Prefs Printf QCheck Rim Util

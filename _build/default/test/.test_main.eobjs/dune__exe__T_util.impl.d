@@ -1,0 +1,1 @@
+test/t_util.ml: Alcotest Array Hashtbl Helpers List Option QCheck Util

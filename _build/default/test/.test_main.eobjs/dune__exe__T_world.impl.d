@@ -1,0 +1,1 @@
+test/t_world.ml: Alcotest Fun Hardq Helpers List Ppd Prefs Printf Rim T_ppd Util

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest T_data T_exact2 T_ppd T_prefs T_props T_rim T_sampling T_solvers T_util T_world

@@ -1,0 +1,66 @@
+(* Shared helpers for the test suite: random model/labeling/pattern
+   generators and floating-point assertions. *)
+
+let rng seed = Util.Rng.make seed
+
+let check_close ?(eps = 1e-9) what expected actual =
+  if abs_float (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.12g, got %.12g (|diff| = %.3g)" what expected
+      actual
+      (abs_float (expected -. actual))
+
+let check_rel ?(tol = 0.05) what expected actual =
+  let err = Util.Stats.relative_error ~exact:expected actual in
+  if err > tol then
+    Alcotest.failf "%s: expected ~%.6g, got %.6g (rel err %.3g > %.3g)" what expected
+      actual err tol
+
+(* A random Mallows model over items 0..m-1. *)
+let random_mallows ?phi r m =
+  let phi = match phi with Some p -> p | None -> Util.Rng.float r 1. in
+  Rim.Mallows.make ~center:(Prefs.Ranking.of_array (Util.Rng.permutation r m)) ~phi
+
+(* A random labeling of m items with n_labels labels; each item gets each
+   label independently with probability p. *)
+let random_labeling ?(p = 0.4) r ~m ~n_labels =
+  Prefs.Labeling.make
+    (Array.init m (fun _ ->
+         List.filter (fun _ -> Util.Rng.float r 1. < p) (List.init n_labels Fun.id)))
+
+(* A random two-label pattern over single-label nodes. *)
+let random_two_label_pattern r ~n_labels =
+  let l = Util.Rng.int r n_labels in
+  let rest = Util.Rng.int r (n_labels - 1) in
+  let rl = if rest >= l then rest + 1 else rest in
+  Prefs.Pattern.two_label ~left:[ l ] ~right:[ rl ]
+
+(* A random bipartite pattern: n_left sources, n_right targets, random
+   edges (at least one). *)
+let random_bipartite_pattern r ~n_labels ~n_left ~n_right =
+  let pick () = Util.Rng.int r n_labels in
+  let nodes = List.init (n_left + n_right) (fun _ -> [ pick () ]) in
+  let edges = ref [] in
+  for a = 0 to n_left - 1 do
+    for b = 0 to n_right - 1 do
+      if Util.Rng.float r 1. < 0.5 then edges := (a, n_left + b) :: !edges
+    done
+  done;
+  if !edges = [] then edges := [ (0, n_left) ];
+  Prefs.Pattern.make ~nodes ~edges:!edges
+
+(* A random DAG pattern (possibly with chains). *)
+let random_general_pattern r ~n_labels ~n_nodes =
+  let nodes = List.init n_nodes (fun _ -> [ Util.Rng.int r n_labels ]) in
+  let edges = ref [] in
+  for a = 0 to n_nodes - 2 do
+    for b = a + 1 to n_nodes - 1 do
+      if Util.Rng.float r 1. < 0.45 then edges := (a, b) :: !edges
+    done
+  done;
+  if !edges = [] then edges := [ (0, n_nodes - 1) ];
+  Prefs.Pattern.make ~nodes ~edges:!edges
+
+let random_union pat_gen r ~z = Prefs.Pattern_union.make (List.init z (fun _ -> pat_gen r))
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)

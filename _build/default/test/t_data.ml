@@ -1,0 +1,237 @@
+(* Dataset generators: determinism, parameter compliance, query compatibility. *)
+
+let tc = Alcotest.test_case
+
+let unit_bench_a_shape () =
+  let insts = Datasets.Bench_a.generate ~m:12 ~n_unions:5 ~seed:1 () in
+  Alcotest.(check int) "5 unions" 5 (List.length insts);
+  List.iter
+    (fun inst ->
+      let u = inst.Datasets.Instance.union in
+      Alcotest.(check int) "3 patterns" 3 (Prefs.Pattern_union.size u);
+      Alcotest.(check bool) "bipartite" true
+        (Prefs.Pattern_union.kind u = Prefs.Pattern_union.Bipartite);
+      List.iter
+        (fun g ->
+          Alcotest.(check int) "4 nodes" 4 (Prefs.Pattern.n_nodes g);
+          Alcotest.(check int) "3 edges" 3 (List.length (Prefs.Pattern.edges g)))
+        (Prefs.Pattern_union.patterns u);
+      (* every label has exactly 3 items *)
+      let lab = inst.Datasets.Instance.labeling in
+      List.iter
+        (fun l ->
+          Alcotest.(check int) "3 items per label" 3
+            (List.length (Prefs.Labeling.items_with lab l)))
+        (Prefs.Labeling.all_labels lab);
+      (* the three patterns share B and D labels (nodes 2 and 3) *)
+      match Prefs.Pattern_union.patterns u with
+      | [ p1; p2; p3 ] ->
+          Alcotest.(check bool) "shared B" true
+            (Prefs.Pattern.node p1 2 = Prefs.Pattern.node p2 2
+            && Prefs.Pattern.node p2 2 = Prefs.Pattern.node p3 2);
+          Alcotest.(check bool) "shared D" true
+            (Prefs.Pattern.node p1 3 = Prefs.Pattern.node p2 3
+            && Prefs.Pattern.node p2 3 = Prefs.Pattern.node p3 3)
+      | _ -> Alcotest.fail "expected 3 patterns")
+    insts
+
+let unit_bench_a_low_probability () =
+  (* "some pattern unions have low probabilities, allowing us to test the
+     accuracy of approximate solvers" — the distribution must reach far
+     below 1e-3 while staying in [0, 1]. *)
+  let insts = Datasets.Bench_a.generate ~m:15 ~n_unions:16 ~seed:2 () in
+  let probs =
+    List.map
+      (fun inst ->
+        Hardq.Bipartite.prob (Datasets.Instance.model inst)
+          inst.Datasets.Instance.labeling inst.Datasets.Instance.union)
+      insts
+  in
+  let a = Array.of_list probs in
+  Alcotest.(check bool) "all in [0,1]" true
+    (Array.for_all (fun p -> p >= 0. && p <= 1.) a);
+  Alcotest.(check bool)
+    (Printf.sprintf "min %.3g is a rare event" (Util.Stats.minimum a))
+    true
+    (Util.Stats.minimum a < 1e-3)
+
+let unit_bench_a_determinism () =
+  let a = Datasets.Bench_a.generate ~m:10 ~n_unions:3 ~seed:7 () in
+  let b = Datasets.Bench_a.generate ~m:10 ~n_unions:3 ~seed:7 () in
+  List.iter2
+    (fun x y ->
+      Alcotest.(check bool) "same union" true
+        (Prefs.Pattern_union.equal x.Datasets.Instance.union y.Datasets.Instance.union);
+      Alcotest.(check bool) "same center" true
+        (Prefs.Ranking.equal
+           (Rim.Mallows.center x.Datasets.Instance.mallows)
+           (Rim.Mallows.center y.Datasets.Instance.mallows)))
+    a b
+
+let unit_bench_b_grid () =
+  let insts =
+    Datasets.Bench_b.generate ~ms:[ 20; 50 ] ~patterns_per_union:[ 1; 2 ]
+      ~labels_per_pattern:[ 3 ] ~items_per_label:[ 3; 5 ] ~instances_per_combo:2
+      ~seed:3 ()
+  in
+  Alcotest.(check int) "2*2*1*2*2 instances" 16 (List.length insts);
+  List.iter
+    (fun inst ->
+      let z = Datasets.Instance.param inst "z" in
+      Alcotest.(check int) "z patterns" z
+        (Prefs.Pattern_union.size inst.Datasets.Instance.union);
+      (* patterns share edge structure *)
+      match Prefs.Pattern_union.patterns inst.Datasets.Instance.union with
+      | p :: rest ->
+          List.iter
+            (fun p' ->
+              Alcotest.(check (list (pair int int))) "shared edges"
+                (Prefs.Pattern.edges p) (Prefs.Pattern.edges p'))
+            rest
+      | [] -> Alcotest.fail "empty union")
+    insts
+
+let unit_bench_c_bipartite () =
+  let insts =
+    Datasets.Bench_c.generate ~ms:[ 10 ] ~patterns_per_union:[ 2 ]
+      ~labels_per_pattern:[ 3 ] ~items_per_label:[ 1; 3 ] ~instances_per_combo:3
+      ~seed:4 ()
+  in
+  List.iter
+    (fun inst ->
+      Alcotest.(check bool) "bipartite kind" true
+        (Prefs.Pattern_union.kind inst.Datasets.Instance.union
+        <> Prefs.Pattern_union.General))
+    insts
+
+let unit_bench_d_two_label () =
+  let insts =
+    Datasets.Bench_d.generate ~ms:[ 20; 30 ] ~patterns_per_union:[ 2; 5 ]
+      ~items_per_label:[ 3 ] ~instances_per_combo:2 ~seed:5 ()
+  in
+  Alcotest.(check int) "grid size" 8 (List.length insts);
+  List.iter
+    (fun inst ->
+      Alcotest.(check bool) "two-label kind" true
+        (Prefs.Pattern_union.kind inst.Datasets.Instance.union
+        = Prefs.Pattern_union.Two_label))
+    insts
+
+let unit_polls_db () =
+  let db = Datasets.Polls.generate ~n_candidates:12 ~n_voters:50 ~seed:6 () in
+  Alcotest.(check int) "12 items" 12 (Ppd.Database.m db);
+  let p = Ppd.Database.find_p_relation db "P" in
+  Alcotest.(check int) "50 sessions" 50 (Array.length (Ppd.Database.sessions p));
+  (* Both experiment queries compile against the generated schema. *)
+  let q4 = Ppd.Parser.parse Datasets.Polls.query_two_label in
+  let q8 = Ppd.Parser.parse Datasets.Polls.query_top_k in
+  let c4 = Ppd.Compile.compile db q4 in
+  Alcotest.(check int) "fig4 query covers all sessions" 50
+    (List.length c4.Ppd.Compile.requests);
+  Alcotest.(check (list string)) "fig4 grounds the party" [ "p" ]
+    (Ppd.Compile.v_plus db q4);
+  let c8 = Ppd.Compile.compile db q8 in
+  Alcotest.(check bool) "fig8 query filters by date" true
+    (List.length c8.Ppd.Compile.requests < 50
+    && List.length c8.Ppd.Compile.requests > 0);
+  Alcotest.(check (list string)) "fig8 grounds the party" [ "p" ]
+    (Ppd.Compile.v_plus db q8)
+
+let unit_polls_fig4_evaluates () =
+  let db = Datasets.Polls.generate ~n_candidates:7 ~n_voters:6 ~seed:7 () in
+  let q = Ppd.Parser.parse Datasets.Polls.query_two_label in
+  let auto =
+    Ppd.Eval.per_session ~solver:(Hardq.Solver.Exact `Auto) db q (Helpers.rng 1)
+  in
+  let brute =
+    Ppd.Eval.per_session ~solver:(Hardq.Solver.Exact `Brute) db q (Helpers.rng 1)
+  in
+  List.iter2
+    (fun (_, a) (_, b) -> Helpers.check_close ~eps:1e-9 "polls fig4" a b)
+    auto brute
+
+let unit_movielens () =
+  let db = Datasets.Movielens.generate ~n_movies:40 ~n_components:4 ~seed:8 () in
+  Alcotest.(check int) "40 movies" 40 (Ppd.Database.m db);
+  let q = Ppd.Parser.parse Datasets.Movielens.query_fig14 in
+  Alcotest.(check (list string)) "genre is grounded" [ "genre" ]
+    (Ppd.Compile.v_plus db q);
+  let compiled = Ppd.Compile.compile db q in
+  Alcotest.(check int) "4 sessions" 4 (List.length compiled.Ppd.Compile.requests);
+  List.iter
+    (fun r ->
+      match r.Ppd.Compile.union with
+      | Some u ->
+          (* One pattern per genre with pre- and post-1990 movies. *)
+          Alcotest.(check int) "patterns = genres" 5 (Prefs.Pattern_union.size u);
+          (* The fig14 query's node x sources two edges: bipartite but not
+             two-label. *)
+          Alcotest.(check bool) "bipartite, not two-label" true
+            (Prefs.Pattern_union.kind u = Prefs.Pattern_union.Bipartite)
+      | None -> Alcotest.fail "expected a union")
+    compiled.Ppd.Compile.requests
+
+let unit_crowdrank () =
+  let db = Datasets.Crowdrank.generate ~n_workers:200 ~seed:9 () in
+  Alcotest.(check int) "20 movies" 20 (Ppd.Database.m db);
+  let p = Ppd.Database.find_p_relation db "P" in
+  Alcotest.(check int) "200 sessions" 200 (Array.length (Ppd.Database.sessions p));
+  let q = Ppd.Parser.parse Datasets.Crowdrank.query_fig15 in
+  let compiled = Ppd.Compile.compile db q in
+  Alcotest.(check int) "requests for all workers" 200
+    (List.length compiled.Ppd.Compile.requests);
+  (* Distinct (model, demographics) combinations are few: grouping helps. *)
+  let distinct = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      match r.Ppd.Compile.union with
+      | Some u ->
+          let s = r.Ppd.Compile.session in
+          Hashtbl.replace distinct
+            ( Prefs.Ranking.to_array (Rim.Mallows.center s.Ppd.Database.model),
+              Rim.Mallows.phi s.Ppd.Database.model,
+              List.map Prefs.Pattern.edges (Prefs.Pattern_union.patterns u) )
+            ()
+      | None -> ())
+    compiled.Ppd.Compile.requests;
+  Alcotest.(check bool)
+    (Printf.sprintf "few distinct requests (%d)" (Hashtbl.length distinct))
+    true
+    (Hashtbl.length distinct <= 70)
+
+let unit_synthesizer () =
+  let rng = Helpers.rng 10 in
+  let seed_rows =
+    [ [| Ppd.Value.str "a"; Ppd.Value.int 1 |]; [| Ppd.Value.str "b"; Ppd.Value.int 2 |] ]
+  in
+  let out =
+    Datasets.Synthesizer.resample ~key_attr:0
+      ~key_of:(fun i -> Ppd.Value.str (Printf.sprintf "k%d" i))
+      ~n:10 seed_rows rng
+  in
+  Alcotest.(check int) "10 rows" 10 (List.length out);
+  List.iteri
+    (fun i row ->
+      Alcotest.(check string) "fresh key" (Printf.sprintf "k%d" i)
+        (Ppd.Value.to_string row.(0));
+      Alcotest.(check bool) "payload from seed" true
+        (row.(1) = Ppd.Value.int 1 || row.(1) = Ppd.Value.int 2))
+    out
+
+let suites =
+  [
+    ( "datasets",
+      [
+        tc "benchmark-A shape" `Quick unit_bench_a_shape;
+        tc "benchmark-A low probabilities" `Quick unit_bench_a_low_probability;
+        tc "benchmark-A determinism" `Quick unit_bench_a_determinism;
+        tc "benchmark-B grid and shared edges" `Quick unit_bench_b_grid;
+        tc "benchmark-C bipartite" `Quick unit_bench_c_bipartite;
+        tc "benchmark-D two-label" `Quick unit_bench_d_two_label;
+        tc "polls database and queries" `Quick unit_polls_db;
+        tc "polls fig4 query evaluates" `Quick unit_polls_fig4_evaluates;
+        tc "movielens surrogate" `Quick unit_movielens;
+        tc "crowdrank surrogate" `Quick unit_crowdrank;
+        tc "profile synthesizer" `Quick unit_synthesizer;
+      ] );
+  ]

@@ -1,0 +1,138 @@
+(* The item-side exact solvers (Po_solver, Subranking_solver): correctness
+   against brute force, and cross-validation against the label-side exact
+   solvers at domain sizes beyond brute-force enumeration. *)
+
+let tc = Alcotest.test_case
+
+let prop_po_solver_vs_brute =
+  Helpers.qtest ~count:120 "Po_solver = brute force on random partial orders"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let r = Helpers.rng seed in
+      let m = 4 + Util.Rng.int r 3 in
+      let model = Rim.Mallows.to_rim (Helpers.random_mallows r m) in
+      let k = 2 + Util.Rng.int r 3 in
+      let items = Array.to_list (Array.sub (Util.Rng.permutation r m) 0 k) in
+      let edges = ref [] in
+      List.iteri
+        (fun i a ->
+          List.iteri
+            (fun j b -> if i < j && Util.Rng.bool r then edges := (a, b) :: !edges)
+            items)
+        items;
+      let po = Prefs.Partial_order.make_with_items ~items ~edges:!edges in
+      let expected = Hardq.Brute.prob_partial_order model po in
+      let actual = Hardq.Po_solver.prob model po in
+      abs_float (expected -. actual) < 1e-9)
+
+let unit_po_solver_basics () =
+  let model = Rim.Mallows.to_rim (Helpers.random_mallows (Helpers.rng 1) 6) in
+  Helpers.check_close "empty order" 1.
+    (Hardq.Po_solver.prob model Prefs.Partial_order.empty);
+  (* A full chain over all items pins the ranking exactly. *)
+  let tau = Prefs.Ranking.of_array (Util.Rng.permutation (Helpers.rng 2) 6) in
+  Helpers.check_close ~eps:1e-12 "full chain = point probability"
+    (Rim.Model.prob model tau)
+    (Hardq.Po_solver.prob_subranking model tau);
+  (* A pair event under the uniform distribution is exactly 1/2. *)
+  let unif = Rim.Model.uniform (Prefs.Ranking.identity 6) in
+  Helpers.check_close ~eps:1e-12 "pair under uniform" 0.5
+    (Hardq.Po_solver.prob_subranking unif (Prefs.Ranking.of_list [ 4; 1 ]))
+
+let prop_subranking_solver_vs_brute =
+  Helpers.qtest ~count:80 "Subranking_solver = brute force on random unions"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let r = Helpers.rng seed in
+      let m = 6 in
+      let model = Rim.Mallows.to_rim (Helpers.random_mallows r m) in
+      let lab = Helpers.random_labeling r ~m ~n_labels:3 in
+      let gu =
+        Helpers.random_union
+          (Helpers.random_general_pattern ~n_labels:3 ~n_nodes:3)
+          r
+          ~z:(1 + (seed mod 2))
+      in
+      match Hardq.Subranking_solver.prob model lab gu with
+      | actual ->
+          let expected = Hardq.Brute.prob model lab gu in
+          abs_float (expected -. actual) < 1e-9
+      | exception Hardq.Subranking_solver.Too_many _ -> true)
+
+let unit_cross_validation_beyond_brute () =
+  (* m = 12 is far beyond Ranking.all's reach: validate the two independent
+     exact paths (label-side two-label DP vs item-side inclusion-exclusion
+     over sub-rankings) against each other. *)
+  let r = Helpers.rng 5 in
+  let m = 12 in
+  for _ = 1 to 10 do
+    let model = Rim.Mallows.to_rim (Helpers.random_mallows r m) in
+    (* Sparse labels so the sub-ranking count stays within the IE guard. *)
+    let lab = Helpers.random_labeling ~p:0.2 r ~m ~n_labels:4 in
+    let gu =
+      Helpers.random_union (Helpers.random_two_label_pattern ~n_labels:4) r ~z:2
+    in
+    match Hardq.Subranking_solver.prob model lab gu with
+    | item_side ->
+        let label_side = Hardq.Two_label.prob model lab gu in
+        Helpers.check_close ~eps:1e-9 "two exact solver families agree at m=12"
+          label_side item_side
+    | exception Hardq.Subranking_solver.Too_many _ -> ()
+  done
+
+let unit_validates_sampler_beyond_brute () =
+  (* Use the item-side exact solver as ground truth for MIS-AMP at m = 12
+     on a general (chain) pattern no other exact solver handles cheaply. *)
+  let r = Helpers.rng 7 in
+  let m = 12 in
+  let mal = Helpers.random_mallows ~phi:0.4 r m in
+  let model = Rim.Mallows.to_rim mal in
+  let lab =
+    Prefs.Labeling.make
+      (Array.init m (fun i -> if i < 2 then [ 0 ] else if i < 4 then [ 1 ] else if i < 6 then [ 2 ] else []))
+  in
+  let gu =
+    Prefs.Pattern_union.singleton (Prefs.Pattern.chain [ [ 0 ]; [ 1 ]; [ 2 ] ])
+  in
+  let exact = Hardq.Subranking_solver.prob model lab gu in
+  Alcotest.(check bool) "event is nontrivial" true (exact > 0.001 && exact < 0.999);
+  let est = Hardq.Mis_amp.estimate_union ~n_per:3000 mal lab gu r in
+  Helpers.check_rel ~tol:0.15 "MIS-AMP at m=12 vs item-side exact" exact
+    est.Hardq.Estimate.value
+
+let unit_too_many_guard () =
+  let model = Rim.Mallows.to_rim (Helpers.random_mallows (Helpers.rng 9) 8) in
+  let subs =
+    List.init 20 (fun i ->
+        Prefs.Ranking.of_list [ i mod 8; (i + 1 + (i mod 7)) mod 8 ])
+  in
+  let distinct =
+    List.filter (fun s -> Prefs.Ranking.item_at s 0 <> Prefs.Ranking.item_at s 1) subs
+  in
+  match Hardq.Subranking_solver.prob_subrankings model distinct with
+  | _ -> Alcotest.fail "expected Too_many"
+  | exception Hardq.Subranking_solver.Too_many _ -> ()
+
+let unit_disjoint_additivity () =
+  (* Sub-rankings <a,b> and <b,a> are disjoint and exhaustive. *)
+  let model = Rim.Mallows.to_rim (Helpers.random_mallows (Helpers.rng 11) 7) in
+  let ab = Prefs.Ranking.of_list [ 2; 5 ] and ba = Prefs.Ranking.of_list [ 5; 2 ] in
+  let p_ab = Hardq.Po_solver.prob_subranking model ab in
+  let p_ba = Hardq.Po_solver.prob_subranking model ba in
+  Helpers.check_close ~eps:1e-12 "complementary pair" 1. (p_ab +. p_ba);
+  Helpers.check_close ~eps:1e-12 "union of both is certain" 1.
+    (Hardq.Subranking_solver.prob_subrankings model [ ab; ba ])
+
+let suites =
+  [
+    ( "solvers.item-side",
+      [
+        tc "po solver basics" `Quick unit_po_solver_basics;
+        prop_po_solver_vs_brute;
+        prop_subranking_solver_vs_brute;
+        tc "cross-validation at m=12" `Quick unit_cross_validation_beyond_brute;
+        tc "validates MIS-AMP at m=12" `Slow unit_validates_sampler_beyond_brute;
+        tc "inclusion-exclusion guard" `Quick unit_too_many_guard;
+        tc "disjoint additivity" `Quick unit_disjoint_additivity;
+      ] );
+  ]

@@ -1,0 +1,324 @@
+(* Rankings, partial orders, patterns, matching, decomposition. *)
+
+let ranking_tc = Alcotest.test_case
+
+let unit_ranking_basics () =
+  let r = Prefs.Ranking.of_list [ 3; 1; 4; 0; 2 ] in
+  Alcotest.(check int) "length" 5 (Prefs.Ranking.length r);
+  Alcotest.(check int) "item_at 0" 3 (Prefs.Ranking.item_at r 0);
+  Alcotest.(check int) "position_of 4" 2 (Prefs.Ranking.position_of r 4);
+  Alcotest.(check bool) "prefers 3 2" true (Prefs.Ranking.prefers r 3 2);
+  Alcotest.(check bool) "prefers 2 3" false (Prefs.Ranking.prefers r 2 3);
+  Alcotest.(check (list int)) "insert" [ 3; 1; 9; 4; 0; 2 ]
+    (Prefs.Ranking.to_list (Prefs.Ranking.insert r 2 9));
+  Alcotest.(check (list int)) "remove" [ 3; 1; 0; 2 ]
+    (Prefs.Ranking.to_list (Prefs.Ranking.remove r 4));
+  Alcotest.(check (list int)) "prefix" [ 3; 1 ]
+    (Prefs.Ranking.to_list (Prefs.Ranking.prefix r 2));
+  Alcotest.(check (list int)) "restrict" [ 1; 0; 2 ]
+    (Prefs.Ranking.to_list (Prefs.Ranking.restrict r (fun x -> x < 3)))
+
+let unit_ranking_invalid () =
+  Alcotest.check_raises "duplicate items" (Invalid_argument "Ranking.of_array: duplicate item")
+    (fun () -> ignore (Prefs.Ranking.of_list [ 1; 2; 1 ]))
+
+let unit_kendall_known () =
+  let a = Prefs.Ranking.of_list [ 0; 1; 2; 3 ] in
+  let b = Prefs.Ranking.of_list [ 3; 2; 1; 0 ] in
+  Alcotest.(check int) "identity" 0 (Prefs.Ranking.kendall_tau a a);
+  Alcotest.(check int) "reverse = max" 6 (Prefs.Ranking.kendall_tau a b);
+  Alcotest.(check int) "max formula" 6 (Prefs.Ranking.kendall_tau_max 4);
+  let c = Prefs.Ranking.of_list [ 1; 0; 2; 3 ] in
+  Alcotest.(check int) "single swap" 1 (Prefs.Ranking.kendall_tau a c)
+
+let prop_kendall_symmetric =
+  Helpers.qtest ~count:200 "kendall_tau is symmetric"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let r = Helpers.rng seed in
+      let m = 2 + Util.Rng.int r 7 in
+      let a = Prefs.Ranking.of_array (Util.Rng.permutation r m) in
+      let b = Prefs.Ranking.of_array (Util.Rng.permutation r m) in
+      Prefs.Ranking.kendall_tau a b = Prefs.Ranking.kendall_tau b a)
+
+let prop_kendall_triangle =
+  Helpers.qtest ~count:200 "kendall_tau satisfies the triangle inequality"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let r = Helpers.rng seed in
+      let m = 2 + Util.Rng.int r 6 in
+      let a = Prefs.Ranking.of_array (Util.Rng.permutation r m) in
+      let b = Prefs.Ranking.of_array (Util.Rng.permutation r m) in
+      let c = Prefs.Ranking.of_array (Util.Rng.permutation r m) in
+      Prefs.Ranking.kendall_tau a c
+      <= Prefs.Ranking.kendall_tau a b + Prefs.Ranking.kendall_tau b c)
+
+let prop_kendall_brute =
+  Helpers.qtest ~count:200 "kendall_tau equals the pairwise definition"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let r = Helpers.rng seed in
+      let m = 2 + Util.Rng.int r 6 in
+      let a = Prefs.Ranking.of_array (Util.Rng.permutation r m) in
+      let b = Prefs.Ranking.of_array (Util.Rng.permutation r m) in
+      let slow = ref 0 in
+      for x = 0 to m - 1 do
+        for y = x + 1 to m - 1 do
+          let ax = Prefs.Ranking.prefers a x y and bx = Prefs.Ranking.prefers b x y in
+          if ax <> bx then incr slow
+        done
+      done;
+      Prefs.Ranking.kendall_tau a b = !slow)
+
+let unit_partial_order () =
+  let po = Prefs.Partial_order.make ~edges:[ (0, 2); (1, 2) ] in
+  Alcotest.(check (list int)) "items" [ 0; 1; 2 ] (Prefs.Partial_order.items po);
+  let exts = Prefs.Partial_order.linear_extensions po in
+  Alcotest.(check int) "two linear extensions" 2 (List.length exts);
+  Alcotest.(check int) "count agrees" 2 (Prefs.Partial_order.count_linear_extensions po);
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "extension consistent" true
+        (Prefs.Partial_order.consistent po e))
+    exts;
+  Alcotest.check_raises "cycle rejected" (Invalid_argument "Partial_order: cyclic edge set")
+    (fun () -> ignore (Prefs.Partial_order.make ~edges:[ (0, 1); (1, 0) ]))
+
+let unit_partial_order_tc () =
+  let po = Prefs.Partial_order.of_chain [ 5; 3; 1 ] in
+  let tc = Prefs.Partial_order.transitive_closure po in
+  Alcotest.(check (list (pair int int)))
+    "closure edges"
+    [ (3, 1); (5, 1); (5, 3) ]
+    (Prefs.Partial_order.edges tc)
+
+let unit_partial_order_union () =
+  let a = Prefs.Partial_order.of_chain [ 0; 1 ] in
+  let b = Prefs.Partial_order.of_chain [ 1; 2 ] in
+  (match Prefs.Partial_order.union a b with
+  | Some u ->
+      Alcotest.(check int) "merged extension count" 1
+        (Prefs.Partial_order.count_linear_extensions u)
+  | None -> Alcotest.fail "expected acyclic union");
+  let c = Prefs.Partial_order.of_chain [ 2; 0 ] in
+  (match Prefs.Partial_order.union a c with
+  | Some u ->
+      Alcotest.(check int) "chain 2>0>1" 1
+        (Prefs.Partial_order.count_linear_extensions u)
+  | None -> Alcotest.fail "expected acyclic union");
+  let d = Prefs.Partial_order.of_chain [ 1; 0 ] in
+  Alcotest.(check bool) "cyclic union detected" true
+    (Prefs.Partial_order.union a d = None)
+
+let prop_linear_extensions_consistent =
+  Helpers.qtest ~count:100 "linear extensions are exactly the consistent orderings"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let r = Helpers.rng seed in
+      let n = 3 + Util.Rng.int r 3 in
+      let edges = ref [] in
+      for a = 0 to n - 2 do
+        for b = a + 1 to n - 1 do
+          if Util.Rng.float r 1. < 0.4 then edges := (a, b) :: !edges
+        done
+      done;
+      let po = Prefs.Partial_order.make_with_items ~items:(List.init n Fun.id) ~edges:!edges in
+      let exts = Prefs.Partial_order.linear_extensions po in
+      let count = ref 0 in
+      Prefs.Ranking.all n (fun t ->
+          if Prefs.Partial_order.consistent po t then incr count);
+      List.length exts = !count
+      && List.for_all (fun e -> Prefs.Partial_order.consistent po e) exts)
+
+let unit_pattern_classification () =
+  let two = Prefs.Pattern.two_label ~left:[ 0 ] ~right:[ 1 ] in
+  Alcotest.(check bool) "two-label" true (Prefs.Pattern.is_two_label two);
+  Alcotest.(check bool) "two-label is bipartite" true (Prefs.Pattern.is_bipartite two);
+  let chain = Prefs.Pattern.chain [ [ 0 ]; [ 1 ]; [ 2 ] ] in
+  Alcotest.(check bool) "chain not bipartite" false (Prefs.Pattern.is_bipartite chain);
+  let bip =
+    Prefs.Pattern.make ~nodes:[ [ 0 ]; [ 1 ]; [ 2 ]; [ 3 ] ]
+      ~edges:[ (0, 2); (0, 3); (1, 3) ]
+  in
+  Alcotest.(check bool) "benchmark-A shape is bipartite" true
+    (Prefs.Pattern.is_bipartite bip);
+  let u = Prefs.Pattern_union.make [ two; bip ] in
+  Alcotest.(check bool) "union kind bipartite" true
+    (Prefs.Pattern_union.kind u = Prefs.Pattern_union.Bipartite);
+  let u2 = Prefs.Pattern_union.make [ two; chain ] in
+  Alcotest.(check bool) "union kind general" true
+    (Prefs.Pattern_union.kind u2 = Prefs.Pattern_union.General);
+  let u3 = Prefs.Pattern_union.make [ two ] in
+  Alcotest.(check bool) "union kind two-label" true
+    (Prefs.Pattern_union.kind u3 = Prefs.Pattern_union.Two_label)
+
+let unit_pattern_conjunction () =
+  let g1 = Prefs.Pattern.two_label ~left:[ 0 ] ~right:[ 1 ] in
+  let g2 = Prefs.Pattern.two_label ~left:[ 2 ] ~right:[ 3 ] in
+  let c = Prefs.Pattern.conjunction [ g1; g2 ] in
+  Alcotest.(check int) "4 nodes" 4 (Prefs.Pattern.n_nodes c);
+  Alcotest.(check (list (pair int int))) "edges shifted" [ (0, 1); (2, 3) ]
+    (Prefs.Pattern.edges c)
+
+let unit_pattern_invalid () =
+  Alcotest.check_raises "cyclic pattern" (Invalid_argument "Pattern.make: cyclic edges")
+    (fun () ->
+      ignore (Prefs.Pattern.make ~nodes:[ [ 0 ]; [ 1 ] ] ~edges:[ (0, 1); (1, 0) ]));
+  Alcotest.check_raises "empty node"
+    (Invalid_argument "Pattern.make: empty node conjunction") (fun () ->
+      ignore (Prefs.Pattern.make ~nodes:[ [] ] ~edges:[]))
+
+let unit_matcher_example_2_3 () =
+  (* Figure 1/2: tau0 = <Trump, Clinton, Sanders, Rubio>, F > M matches via
+     Clinton > Sanders. Items: 0 Trump(M), 1 Clinton(F), 2 Sanders(M), 3 Rubio(M);
+     labels: 0 = F, 1 = M. *)
+  let lab = Prefs.Labeling.make [| [ 1 ]; [ 0 ]; [ 1 ]; [ 1 ] |] in
+  let tau = Prefs.Ranking.of_list [ 0; 1; 2; 3 ] in
+  let g = Prefs.Pattern.two_label ~left:[ 0 ] ~right:[ 1 ] in
+  (match Prefs.Matcher.embedding lab g tau with
+  | Some delta ->
+      Alcotest.(check int) "F at position 1" 1 delta.(0);
+      Alcotest.(check int) "M at position 2" 2 delta.(1)
+  | None -> Alcotest.fail "expected a match");
+  (* A ranking with all men before Clinton does not match. *)
+  let tau2 = Prefs.Ranking.of_list [ 0; 2; 3; 1 ] in
+  Alcotest.(check bool) "no match" false (Prefs.Matcher.matches lab g tau2)
+
+let prop_matcher_equals_exhaustive =
+  Helpers.qtest ~count:200 "greedy embedding = exhaustive embedding search"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let r = Helpers.rng seed in
+      let m = 5 in
+      let lab = Helpers.random_labeling r ~m ~n_labels:3 in
+      let g = Helpers.random_general_pattern r ~n_labels:3 ~n_nodes:3 in
+      let tau = Prefs.Ranking.of_array (Util.Rng.permutation r m) in
+      let q = Prefs.Pattern.n_nodes g in
+      (* Exhaustive search over all node -> position maps. *)
+      let found = ref false in
+      let delta = Array.make q 0 in
+      let rec go v =
+        if !found then ()
+        else if v = q then begin
+          let ok_labels =
+            List.for_all
+              (fun v ->
+                Prefs.Labeling.has_all lab (Prefs.Ranking.item_at tau delta.(v))
+                  (Prefs.Pattern.node g v))
+              (List.init q Fun.id)
+          in
+          let ok_edges =
+            List.for_all (fun (a, b) -> delta.(a) < delta.(b)) (Prefs.Pattern.edges g)
+          in
+          if ok_labels && ok_edges then found := true
+        end
+        else
+          for p = 0 to m - 1 do
+            delta.(v) <- p;
+            go (v + 1)
+          done
+      in
+      go 0;
+      Prefs.Matcher.matches lab g tau = !found)
+
+let unit_decompose_figure_3 () =
+  (* Figure 3 of the paper. Items 1..4 are encoded as 0..3. g1 says
+     1 ≻ {2,3} and 1 ≻ 4 (a V with an alternative middle item); g2 says
+     {1,2} ≻ 3 and {1,2} ≻ 4. The union decomposes into three distinct
+     partial orders (υ1 = {1≻2, 1≻4}, υ2 = {1≻3, 1≻4}, υ3 = {2≻3, 2≻4})
+     and six sub-rankings ψ1..ψ6. Label 4 marks "{2,3}", label 5 marks
+     "{1,2}". *)
+  let lab = Prefs.Labeling.make [| [ 0; 5 ]; [ 1; 4; 5 ]; [ 2; 4 ]; [ 3 ] |] in
+  let g1 =
+    Prefs.Pattern.make ~nodes:[ [ 0 ]; [ 4 ]; [ 3 ] ] ~edges:[ (0, 1); (0, 2) ]
+  in
+  let g2 =
+    Prefs.Pattern.make ~nodes:[ [ 5 ]; [ 2 ]; [ 3 ] ] ~edges:[ (0, 1); (0, 2) ]
+  in
+  let gu = Prefs.Pattern_union.make [ g1; g2 ] in
+  let pos1 = Prefs.Decompose.partial_orders lab g1 in
+  Alcotest.(check int) "g1 yields 2 partial orders" 2 (List.length pos1);
+  let pos2 = Prefs.Decompose.partial_orders lab g2 in
+  Alcotest.(check int) "g2 yields 2 partial orders" 2 (List.length pos2);
+  let subs = Prefs.Decompose.subrankings lab gu in
+  Alcotest.(check int) "6 sub-rankings" 6 (List.length subs);
+  let expected =
+    [ [ 0; 1; 3 ]; [ 0; 3; 1 ]; [ 0; 2; 3 ]; [ 0; 3; 2 ]; [ 1; 2; 3 ]; [ 1; 3; 2 ] ]
+  in
+  List.iter
+    (fun e ->
+      if not (List.exists (fun s -> Prefs.Ranking.to_list s = e) subs) then
+        Alcotest.failf "missing sub-ranking %s"
+          (String.concat "," (List.map string_of_int e)))
+    expected
+
+let prop_decompose_equivalence =
+  Helpers.qtest ~count:120 "tau |= G iff tau |= some sub-ranking of G"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let r = Helpers.rng seed in
+      let m = 5 in
+      let lab = Helpers.random_labeling r ~m ~n_labels:3 in
+      let gu =
+        Helpers.random_union
+          (Helpers.random_general_pattern ~n_labels:3 ~n_nodes:3)
+          r
+          ~z:(1 + (seed mod 2))
+      in
+      let subs = Prefs.Decompose.subrankings lab gu in
+      let ok = ref true in
+      Prefs.Ranking.all m (fun tau ->
+          let direct = Prefs.Matcher.matches_union lab gu tau in
+          let via_subs =
+            List.exists (fun sub -> Prefs.Matcher.matches_subranking tau ~sub) subs
+          in
+          if direct <> via_subs then ok := false);
+      !ok)
+
+let unit_subranking_match () =
+  let tau = Prefs.Ranking.of_list [ 4; 1; 3; 0; 2 ] in
+  let yes = Prefs.Ranking.of_list [ 4; 3; 2 ] in
+  let no = Prefs.Ranking.of_list [ 3; 4 ] in
+  Alcotest.(check bool) "subsequence matches" true
+    (Prefs.Matcher.matches_subranking tau ~sub:yes);
+  Alcotest.(check bool) "wrong order rejected" false
+    (Prefs.Matcher.matches_subranking tau ~sub:no);
+  Alcotest.(check bool) "empty sub matches" true
+    (Prefs.Matcher.matches_subranking tau ~sub:(Prefs.Ranking.of_list []))
+
+let suites =
+  [
+    ( "prefs.ranking",
+      [
+        ranking_tc "basics" `Quick unit_ranking_basics;
+        ranking_tc "invalid input" `Quick unit_ranking_invalid;
+        ranking_tc "kendall known values" `Quick unit_kendall_known;
+        prop_kendall_symmetric;
+        prop_kendall_triangle;
+        prop_kendall_brute;
+      ] );
+    ( "prefs.partial_order",
+      [
+        ranking_tc "construction and extensions" `Quick unit_partial_order;
+        ranking_tc "transitive closure" `Quick unit_partial_order_tc;
+        ranking_tc "union" `Quick unit_partial_order_union;
+        prop_linear_extensions_consistent;
+      ] );
+    ( "prefs.pattern",
+      [
+        ranking_tc "classification" `Quick unit_pattern_classification;
+        ranking_tc "conjunction" `Quick unit_pattern_conjunction;
+        ranking_tc "invalid patterns" `Quick unit_pattern_invalid;
+      ] );
+    ( "prefs.matcher",
+      [
+        ranking_tc "example 2.3" `Quick unit_matcher_example_2_3;
+        prop_matcher_equals_exhaustive;
+        ranking_tc "sub-ranking matching" `Quick unit_subranking_match;
+      ] );
+    ( "prefs.decompose",
+      [
+        ranking_tc "figure 3" `Quick unit_decompose_figure_3;
+        prop_decompose_equivalence;
+      ] );
+  ]

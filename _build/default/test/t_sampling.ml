@@ -1,0 +1,239 @@
+(* Approximate solvers: rejection, IS-AMP, MIS-AMP(-lite/-adaptive),
+   modals, compensation. *)
+
+let tc = Alcotest.test_case
+
+let small_mallows seed ~m ~phi =
+  let r = Helpers.rng seed in
+  Rim.Mallows.make ~center:(Prefs.Ranking.of_array (Util.Rng.permutation r m)) ~phi
+
+let unit_rejection_estimates () =
+  let r = Helpers.rng 3 in
+  let mal = small_mallows 100 ~m:5 ~phi:0.6 in
+  let model = Rim.Mallows.to_rim mal in
+  let lab = Helpers.random_labeling (Helpers.rng 4) ~m:5 ~n_labels:3 in
+  let gu =
+    Prefs.Pattern_union.singleton (Prefs.Pattern.two_label ~left:[ 0 ] ~right:[ 1 ])
+  in
+  let exact = Hardq.Brute.prob model lab gu in
+  let est = Hardq.Rejection.estimate ~n:40_000 model lab gu r in
+  Helpers.check_rel ~tol:0.08 "rejection estimate"
+    (max exact 1e-12)
+    (max est.Hardq.Estimate.value 1e-12)
+
+let unit_modal_costs () =
+  (* center = <0,1,2,3>, sub = <3,0>: inserting 1 can go after 0 at cost 1
+     (discord with 3... compute by hand): costs for positions 0..2. *)
+  let center = Prefs.Ranking.identity 4 in
+  let sub = Prefs.Ranking.of_list [ 3; 0 ] in
+  let costs = Hardq.Modals.insertion_costs ~sub ~center 1 in
+  (* j=0: 1 before 3 and 0: discord with none? center ranks 0 before 1, so
+     pair (1 before 0) discord = 1; (1 before 3) concord; cost 1.
+     j=1: after 3, before 0: (3 before 1) discord -> 1; (1 before 0) -> 1; cost 2.
+     j=2: after both: (3 before 1) -> 1; cost 1. *)
+  Alcotest.(check (array int)) "costs" [| 1; 2; 1 |] costs
+
+let unit_greedy_modals_example_5_2 () =
+  (* Example 5.2: psi = <sigma3, sigma1> over center <sigma1, sigma2, sigma3>;
+     two modals: <sigma3, sigma1, sigma2> and <sigma2, sigma3, sigma1>. *)
+  let center = Prefs.Ranking.of_list [ 0; 1; 2 ] in
+  let sub = Prefs.Ranking.of_list [ 2; 0 ] in
+  let modals = Hardq.Modals.greedy_modals ~sub ~center () in
+  let rankings = List.map (fun (m, _) -> Prefs.Ranking.to_list m) modals in
+  Alcotest.(check int) "two modals" 2 (List.length modals);
+  Alcotest.(check bool) "modal <2,0,1>" true (List.mem [ 2; 0; 1 ] rankings);
+  Alcotest.(check bool) "modal <1,2,0>" true (List.mem [ 1; 2; 0 ] rankings);
+  List.iter (fun (_, d) -> Alcotest.(check int) "distance 2" 2 d) modals
+
+let unit_modals_consistent_and_distance () =
+  let r = Helpers.rng 31 in
+  for _ = 1 to 40 do
+    let m = 5 + Util.Rng.int r 3 in
+    let center = Prefs.Ranking.of_array (Util.Rng.permutation r m) in
+    let items = Util.Rng.permutation r m in
+    let sub = Prefs.Ranking.of_list [ items.(0); items.(1); items.(2) ] in
+    let modals = Hardq.Modals.greedy_modals ~sub ~center () in
+    List.iter
+      (fun (modal, d) ->
+        if not (Prefs.Matcher.matches_subranking modal ~sub) then
+          Alcotest.fail "modal inconsistent with sub-ranking";
+        Alcotest.(check int)
+          "reported distance is the Kendall distance"
+          (Prefs.Ranking.kendall_tau center modal) d)
+      modals;
+    (* approximate_distance equals the best greedy modal distance. *)
+    let d6 = Hardq.Modals.approximate_distance ~sub ~center in
+    let dbest = snd (List.hd modals) in
+    if d6 < dbest then Alcotest.fail "Alg 6 beat Alg 5's best modal"
+  done
+
+let unit_is_amp_single_subranking () =
+  (* IS-AMP is unbiased for a single sub-ranking: compare to brute force. *)
+  let r = Helpers.rng 37 in
+  for seed = 1 to 5 do
+    let m = 5 in
+    let mal = small_mallows (100 + seed) ~m ~phi:0.5 in
+    let model = Rim.Mallows.to_rim mal in
+    let items = Util.Rng.permutation r m in
+    let sub = Prefs.Ranking.of_list [ items.(0); items.(1) ] in
+    let exact = Hardq.Brute.prob_subrankings model [ sub ] in
+    let est = Hardq.Is_amp.estimate ~n:20_000 mal sub r in
+    Helpers.check_rel ~tol:0.1 "IS-AMP vs brute" exact est.Hardq.Estimate.value
+  done
+
+let unit_mis_amp_multimodal_example () =
+  (* Example 5.1/5.2: phi small, psi = <sigma3, sigma1>. IS-AMP is unbiased
+     (AMP's support covers every consistent ranking) but its proposal puts
+     probability ~phi on the second posterior modal, so at small sample
+     sizes it almost always misses that modal and reports roughly half the
+     true probability. MIS-AMP's two modal-centered proposals are accurate
+     at the same budget. *)
+  let phi = 0.001 in
+  let mal = Rim.Mallows.make ~center:(Prefs.Ranking.of_list [ 0; 1; 2 ]) ~phi in
+  let model = Rim.Mallows.to_rim mal in
+  let sub = Prefs.Ranking.of_list [ 2; 0 ] in
+  let exact = Hardq.Brute.prob_subrankings model [ sub ] in
+  let r = Helpers.rng 41 in
+  let n = 100 in
+  let mis = Hardq.Mis_amp.estimate ~n_per:n mal sub r in
+  Helpers.check_rel ~tol:0.05 "MIS-AMP on multi-modal posterior" exact
+    mis.Hardq.Estimate.value;
+  Alcotest.(check int) "uses two proposals" 2 mis.Hardq.Estimate.n_proposals;
+  (* Median of several small-n IS-AMP runs: with probability ~0.9 per run the
+     second modal is never sampled, so the median sits near exact/2. *)
+  let runs =
+    List.init 11 (fun _ -> (Hardq.Is_amp.estimate ~n mal sub r).Hardq.Estimate.value)
+  in
+  let median = Util.Stats.median (Array.of_list runs) in
+  if median > 0.75 *. exact then
+    Alcotest.failf "expected small-n IS-AMP to typically underestimate: %g vs exact %g"
+      median exact
+
+let unit_mis_amp_union () =
+  let r = Helpers.rng 43 in
+  for seed = 1 to 4 do
+    let m = 5 in
+    let mal = small_mallows (200 + seed) ~m ~phi:0.3 in
+    let model = Rim.Mallows.to_rim mal in
+    let lab = Helpers.random_labeling (Helpers.rng (300 + seed)) ~m ~n_labels:3 in
+    let gu =
+      Helpers.random_union
+        (Helpers.random_general_pattern ~n_labels:3 ~n_nodes:3)
+        (Helpers.rng (400 + seed))
+        ~z:2
+    in
+    let exact = Hardq.Brute.prob model lab gu in
+    if exact > 1e-6 then begin
+      let est = Hardq.Mis_amp.estimate_union ~n_per:4_000 mal lab gu r in
+      Helpers.check_rel ~tol:0.15 "MIS-AMP union vs brute" exact
+        est.Hardq.Estimate.value
+    end
+  done
+
+let unit_mis_amp_lite_with_compensation () =
+  let r = Helpers.rng 47 in
+  for seed = 1 to 4 do
+    let m = 5 in
+    let mal = small_mallows (500 + seed) ~m ~phi:0.3 in
+    let model = Rim.Mallows.to_rim mal in
+    let lab = Helpers.random_labeling (Helpers.rng (600 + seed)) ~m ~n_labels:3 in
+    let gu =
+      Helpers.random_union
+        (Helpers.random_general_pattern ~n_labels:3 ~n_nodes:3)
+        (Helpers.rng (700 + seed))
+        ~z:2
+    in
+    let exact = Hardq.Brute.prob model lab gu in
+    if exact > 1e-6 then begin
+      let est = Hardq.Mis_amp_lite.estimate ~d:20 ~n_per:4_000 mal lab gu r in
+      Helpers.check_rel ~tol:0.35 "MIS-AMP-lite (d=20)" exact est.Hardq.Estimate.value
+    end
+  done
+
+let unit_mis_amp_lite_unsatisfiable () =
+  let mal = small_mallows 51 ~m:5 ~phi:0.5 in
+  let lab = Prefs.Labeling.make (Array.make 5 [ 0 ]) in
+  let gu =
+    Prefs.Pattern_union.singleton (Prefs.Pattern.two_label ~left:[ 0 ] ~right:[ 9 ])
+  in
+  let est = Hardq.Mis_amp_lite.estimate ~d:5 ~n_per:100 mal lab gu (Helpers.rng 1) in
+  Helpers.check_close "unsatisfiable union" 0. est.Hardq.Estimate.value
+
+let unit_adaptive_converges () =
+  let r = Helpers.rng 53 in
+  let m = 6 in
+  let mal = small_mallows 900 ~m ~phi:0.4 in
+  let model = Rim.Mallows.to_rim mal in
+  let lab = Helpers.random_labeling (Helpers.rng 901) ~m ~n_labels:3 in
+  let gu =
+    Helpers.random_union
+      (Helpers.random_general_pattern ~n_labels:3 ~n_nodes:3)
+      (Helpers.rng 902) ~z:2
+  in
+  let exact = Hardq.Brute.prob model lab gu in
+  let res = Hardq.Mis_amp_adaptive.estimate ~n_per:4_000 mal lab gu r in
+  if exact > 1e-6 then
+    Helpers.check_rel ~tol:0.3 "adaptive estimate" exact
+      res.Hardq.Mis_amp_adaptive.estimate.Hardq.Estimate.value;
+  Alcotest.(check bool) "at least one round" true
+    (List.length res.Hardq.Mis_amp_adaptive.rounds >= 1)
+
+let unit_compensation_improves_rare_truncated () =
+  (* Compensation assumes the pruned sub-rankings are (near-)disjoint from
+     the kept ones. Use a V-pattern with one item per label: its two
+     sub-rankings <0,1,2> and <0,2,1> are mutually exclusive, so with d=1
+     the raw estimate covers only ~half the mass and compensation must
+     reduce the error (paper Figure 12). *)
+  let mal = Rim.Mallows.make ~center:(Prefs.Ranking.identity 6) ~phi:0.3 in
+  let model = Rim.Mallows.to_rim mal in
+  let lab =
+    Prefs.Labeling.make [| [ 0 ]; [ 1 ]; [ 2 ]; []; []; [] |]
+  in
+  let gu =
+    Prefs.Pattern_union.singleton
+      (Prefs.Pattern.make ~nodes:[ [ 0 ]; [ 1 ]; [ 2 ] ] ~edges:[ (0, 1); (0, 2) ])
+  in
+  let exact = Hardq.Brute.prob model lab gu in
+  let r = Helpers.rng 59 in
+  let on = Hardq.Mis_amp_lite.estimate ~compensate:true ~d:1 ~n_per:20_000 mal lab gu r in
+  let off = Hardq.Mis_amp_lite.estimate ~compensate:false ~d:1 ~n_per:20_000 mal lab gu r in
+  let err_on = Util.Stats.relative_error ~exact on.Hardq.Estimate.value in
+  let err_off = Util.Stats.relative_error ~exact off.Hardq.Estimate.value in
+  if err_on >= err_off then
+    Alcotest.failf "compensation did not help: on=%.3g off=%.3g (exact %.3g)" err_on
+      err_off exact
+
+let unit_solver_dispatch () =
+  let mal = small_mallows 61 ~m:5 ~phi:0.5 in
+  let model = Rim.Mallows.to_rim mal in
+  let lab = Helpers.random_labeling (Helpers.rng 62) ~m:5 ~n_labels:3 in
+  let gu =
+    Prefs.Pattern_union.singleton (Prefs.Pattern.two_label ~left:[ 0 ] ~right:[ 1 ])
+  in
+  let exact = Hardq.Brute.prob model lab gu in
+  List.iter
+    (fun which ->
+      Helpers.check_close ~eps:1e-9
+        ("dispatch " ^ Hardq.Solver.exact_name which)
+        exact
+        (Hardq.Solver.exact_prob which model lab gu))
+    [ `Auto; `Two_label; `Bipartite; `Bipartite_basic; `General; `Brute ]
+
+let suites =
+  [
+    ( "sampling",
+      [
+        tc "rejection sampling converges" `Slow unit_rejection_estimates;
+        tc "modal insertion costs" `Quick unit_modal_costs;
+        tc "greedy modals (example 5.2)" `Quick unit_greedy_modals_example_5_2;
+        tc "modals consistent; distances correct" `Quick unit_modals_consistent_and_distance;
+        tc "IS-AMP unbiased on single sub-ranking" `Slow unit_is_amp_single_subranking;
+        tc "MIS-AMP fixes multi-modality (ex 5.1/5.2)" `Slow unit_mis_amp_multimodal_example;
+        tc "MIS-AMP on unions" `Slow unit_mis_amp_union;
+        tc "MIS-AMP-lite with compensation" `Slow unit_mis_amp_lite_with_compensation;
+        tc "MIS-AMP-lite on unsatisfiable unions" `Quick unit_mis_amp_lite_unsatisfiable;
+        tc "MIS-AMP-adaptive converges" `Slow unit_adaptive_converges;
+        tc "compensation reduces error at d=1" `Slow unit_compensation_improves_rare_truncated;
+        tc "solver dispatch consistency" `Quick unit_solver_dispatch;
+      ] );
+  ]

@@ -1,0 +1,357 @@
+(* Exact solvers vs the brute-force oracle, plus solver-specific behaviour. *)
+
+let m_small = 6
+
+let oracle_vs solver_name solver r ~pat_gen ~z ~n_labels =
+  let m = m_small in
+  let model = Rim.Mallows.to_rim (Helpers.random_mallows r m) in
+  let lab = Helpers.random_labeling r ~m ~n_labels in
+  let gu = Helpers.random_union (fun r -> pat_gen r) r ~z in
+  let expected = Hardq.Brute.prob model lab gu in
+  let actual = solver model lab gu in
+  Helpers.check_close ~eps:1e-9
+    (Printf.sprintf "%s vs brute (%s)" solver_name
+       (Format.asprintf "%a" Prefs.Pattern_union.pp gu))
+    expected actual;
+  true
+
+let test_two_label_oracle =
+  Helpers.qtest ~count:150 "two-label solver = brute force on random unions"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let r = Helpers.rng seed in
+      oracle_vs "two-label" (Hardq.Two_label.prob ?budget:None) r
+        ~pat_gen:(Helpers.random_two_label_pattern ~n_labels:4)
+        ~z:(1 + (seed mod 3))
+        ~n_labels:4)
+
+let test_bipartite_oracle =
+  Helpers.qtest ~count:120 "bipartite solver = brute force on random unions"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let r = Helpers.rng seed in
+      oracle_vs "bipartite" (Hardq.Bipartite.prob ?budget:None) r
+        ~pat_gen:(Helpers.random_bipartite_pattern ~n_labels:4 ~n_left:2 ~n_right:2)
+        ~z:(1 + (seed mod 2))
+        ~n_labels:4)
+
+let test_bipartite_basic_oracle =
+  Helpers.qtest ~count:60 "basic bipartite solver = brute force"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let r = Helpers.rng seed in
+      oracle_vs "bipartite-basic" (Hardq.Bipartite.prob_basic ?budget:None) r
+        ~pat_gen:(Helpers.random_bipartite_pattern ~n_labels:4 ~n_left:2 ~n_right:2)
+        ~z:(1 + (seed mod 2))
+        ~n_labels:4)
+
+let test_bipartite_matches_two_label =
+  Helpers.qtest ~count:80 "bipartite solver handles two-label unions identically"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let r = Helpers.rng seed in
+      let m = 7 in
+      let model = Rim.Mallows.to_rim (Helpers.random_mallows r m) in
+      let lab = Helpers.random_labeling r ~m ~n_labels:4 in
+      let gu =
+        Helpers.random_union (Helpers.random_two_label_pattern ~n_labels:4) r
+          ~z:(1 + (seed mod 3))
+      in
+      let a = Hardq.Two_label.prob model lab gu in
+      let b = Hardq.Bipartite.prob model lab gu in
+      Helpers.check_close ~eps:1e-9 "two-label vs bipartite" a b;
+      true)
+
+let test_general_pattern_oracle =
+  Helpers.qtest ~count:80 "general single-pattern solver = brute force (DAGs)"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let r = Helpers.rng seed in
+      let m = m_small in
+      let model = Rim.Mallows.to_rim (Helpers.random_mallows r m) in
+      let lab = Helpers.random_labeling r ~m ~n_labels:3 in
+      let g = Helpers.random_general_pattern r ~n_labels:3 ~n_nodes:3 in
+      let expected = Hardq.Brute.prob_pattern model lab g in
+      let actual = Hardq.Pattern_solver.prob model lab g in
+      Helpers.check_close ~eps:1e-9 "pattern solver vs brute" expected actual;
+      true)
+
+let test_general_forced_vs_bipartite =
+  Helpers.qtest ~count:60 "signature DP agrees with bipartite DP on bipartite patterns"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let r = Helpers.rng seed in
+      let m = m_small in
+      let model = Rim.Mallows.to_rim (Helpers.random_mallows r m) in
+      let lab = Helpers.random_labeling r ~m ~n_labels:4 in
+      let g = Helpers.random_bipartite_pattern r ~n_labels:4 ~n_left:2 ~n_right:2 in
+      let a = Hardq.Pattern_solver.prob_general model lab g in
+      let b = Hardq.Bipartite.prob model lab (Prefs.Pattern_union.singleton g) in
+      Helpers.check_close ~eps:1e-9 "signature vs bipartite" a b;
+      true)
+
+let test_general_union_oracle =
+  Helpers.qtest ~count:60 "inclusion-exclusion general solver = brute force"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let r = Helpers.rng seed in
+      oracle_vs "general" (Hardq.General.prob ?budget:None) r
+        ~pat_gen:(Helpers.random_general_pattern ~n_labels:3 ~n_nodes:3)
+        ~z:(1 + (seed mod 2))
+        ~n_labels:3)
+
+let test_upper_bound_holds =
+  Helpers.qtest ~count:80 "k-edge relaxation upper-bounds the exact probability"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let r = Helpers.rng seed in
+      let m = m_small in
+      let mal = Helpers.random_mallows r m in
+      let model = Rim.Mallows.to_rim mal in
+      let lab = Helpers.random_labeling r ~m ~n_labels:3 in
+      let gu =
+        Helpers.random_union
+          (Helpers.random_general_pattern ~n_labels:3 ~n_nodes:3)
+          r
+          ~z:(1 + (seed mod 2))
+      in
+      let exact = Hardq.Brute.prob model lab gu in
+      let ub1 = Hardq.Upper_bound.upper_bound ~k:1 model lab gu in
+      let ub2 = Hardq.Upper_bound.upper_bound ~k:2 model lab gu in
+      if ub1 +. 1e-9 < exact then
+        Alcotest.failf "1-edge UB %.9g below exact %.9g" ub1 exact;
+      if ub2 +. 1e-9 < exact then
+        Alcotest.failf "2-edge UB %.9g below exact %.9g" ub2 exact;
+      (* More edges tighten the relaxation. *)
+      if ub2 > ub1 +. 1e-9 then
+        Alcotest.failf "2-edge UB %.9g looser than 1-edge UB %.9g" ub2 ub1;
+      true)
+
+let unit_example_4_2 () =
+  (* σ = <a,b,c>, items a,c carry l1, item b carries r1; G = {l1 > r1}.
+     Hand-checkable tiny instance: violating rankings are those where the
+     first l1 item appears after the last r1 item. *)
+  let sigma = Prefs.Ranking.of_list [ 0; 1; 2 ] in
+  let lab = Prefs.Labeling.make [| [ 0 ]; [ 1 ]; [ 0 ] |] in
+  let mal = Rim.Mallows.make ~center:sigma ~phi:0.5 in
+  let model = Rim.Mallows.to_rim mal in
+  let gu =
+    Prefs.Pattern_union.singleton (Prefs.Pattern.two_label ~left:[ 0 ] ~right:[ 1 ])
+  in
+  let expected = Hardq.Brute.prob model lab gu in
+  Helpers.check_close "two-label example" expected (Hardq.Two_label.prob model lab gu);
+  Helpers.check_close "bipartite example" expected (Hardq.Bipartite.prob model lab gu)
+
+let unit_certain_events () =
+  (* With every item labeled both 0 and 1 and phi = 1 (uniform), the pattern
+     0 > 1 is satisfied unless m < 2. *)
+  let m = 5 in
+  let sigma = Prefs.Ranking.identity m in
+  let lab = Prefs.Labeling.make (Array.make m [ 0; 1 ]) in
+  let model = Rim.Mallows.to_rim (Rim.Mallows.make ~center:sigma ~phi:1.) in
+  let gu =
+    Prefs.Pattern_union.singleton (Prefs.Pattern.two_label ~left:[ 0 ] ~right:[ 1 ])
+  in
+  Helpers.check_close "certain two-label" 1. (Hardq.Two_label.prob model lab gu);
+  Helpers.check_close "certain bipartite" 1. (Hardq.Bipartite.prob model lab gu)
+
+let unit_impossible_events () =
+  (* Label 1 appears on no item: any pattern mentioning it has probability 0. *)
+  let m = 5 in
+  let sigma = Prefs.Ranking.identity m in
+  let lab = Prefs.Labeling.make (Array.make m [ 0 ]) in
+  let model = Rim.Mallows.to_rim (Rim.Mallows.make ~center:sigma ~phi:0.5) in
+  let gu =
+    Prefs.Pattern_union.singleton (Prefs.Pattern.two_label ~left:[ 0 ] ~right:[ 1 ])
+  in
+  Helpers.check_close "impossible two-label" 0. (Hardq.Two_label.prob model lab gu);
+  Helpers.check_close "impossible bipartite" 0. (Hardq.Bipartite.prob model lab gu);
+  Helpers.check_close "impossible general" 0. (Hardq.General.prob model lab gu)
+
+let unit_phi_zero_point_mass () =
+  (* phi = 0: the model is a point mass on sigma; probability is the 0/1
+     indicator of sigma matching the pattern. *)
+  let sigma = Prefs.Ranking.of_list [ 2; 0; 1 ] in
+  let lab = Prefs.Labeling.make [| [ 0 ]; [ 1 ]; [ 2 ] |] in
+  let model = Rim.Mallows.to_rim (Rim.Mallows.make ~center:sigma ~phi:0.) in
+  (* sigma ranks item2(label 2) > item0(label 0) > item1(label 1) *)
+  let holds =
+    Prefs.Pattern_union.singleton (Prefs.Pattern.two_label ~left:[ 2 ] ~right:[ 1 ])
+  in
+  let fails =
+    Prefs.Pattern_union.singleton (Prefs.Pattern.two_label ~left:[ 1 ] ~right:[ 2 ])
+  in
+  Helpers.check_close "phi=0 holds" 1. (Hardq.Two_label.prob model lab holds);
+  Helpers.check_close "phi=0 fails" 0. (Hardq.Two_label.prob model lab fails);
+  Helpers.check_close "phi=0 bipartite holds" 1. (Hardq.Bipartite.prob model lab holds);
+  Helpers.check_close "phi=0 bipartite fails" 0. (Hardq.Bipartite.prob model lab fails)
+
+let unit_chain_needs_middle_item () =
+  (* Example 4.4 of the paper: the chain la > lb > lc is NOT implied by its
+     min/max relaxation. Ranking <b1, a, c, b2> satisfies all min/max
+     constraints but not the chain. The exact solver must see the
+     difference on a model concentrated on that ranking. *)
+  let sigma = Prefs.Ranking.of_list [ 1; 0; 3; 2 ] in
+  (* items: 0 = a(la), 1 = b1(lb), 2 = b2(lb), 3 = c(lc); sigma = <b1,a,c,b2> *)
+  let lab = Prefs.Labeling.make [| [ 0 ]; [ 1 ]; [ 1 ]; [ 2 ] |] in
+  let model = Rim.Mallows.to_rim (Rim.Mallows.make ~center:sigma ~phi:0.) in
+  let chain = Prefs.Pattern.chain [ [ 0 ]; [ 1 ]; [ 2 ] ] in
+  let p_chain = Hardq.Pattern_solver.prob model lab chain in
+  Helpers.check_close "chain on <b1,a,c,b2>" 0. p_chain;
+  let ub =
+    Hardq.Upper_bound.upper_bound ~k:3 model lab (Prefs.Pattern_union.singleton chain)
+  in
+  Helpers.check_close "min/max relaxation is satisfied" 1. ub
+
+let unit_single_item_domain () =
+  (* m = 1: a two-label pattern needs two ordered items, so it can hold only
+     if one item carries both labels... it cannot (strict order). *)
+  let model = Rim.Mallows.to_rim (Rim.Mallows.make ~center:(Prefs.Ranking.identity 1) ~phi:0.5) in
+  let lab = Prefs.Labeling.make [| [ 0; 1 ] |] in
+  let gu = Prefs.Pattern_union.singleton (Prefs.Pattern.two_label ~left:[ 0 ] ~right:[ 1 ]) in
+  Helpers.check_close "m=1 two-label" 0. (Hardq.Two_label.prob model lab gu);
+  Helpers.check_close "m=1 bipartite" 0. (Hardq.Bipartite.prob model lab gu);
+  Helpers.check_close "m=1 brute" 0. (Hardq.Brute.prob model lab gu)
+
+let unit_same_conjunction_both_sides () =
+  (* Edge {l > l}: needs two distinct items with label l in some order —
+     certain iff at least two items carry l. *)
+  let model = Rim.Mallows.to_rim (Rim.Mallows.make ~center:(Prefs.Ranking.identity 4) ~phi:0.7) in
+  let gu =
+    Prefs.Pattern_union.singleton
+      (Prefs.Pattern.make ~nodes:[ [ 0 ]; [ 0 ] ] ~edges:[ (0, 1) ])
+  in
+  let lab2 = Prefs.Labeling.make [| [ 0 ]; [ 0 ]; []; [] |] in
+  Helpers.check_close "two witnesses" 1. (Hardq.Bipartite.prob model lab2 gu);
+  Helpers.check_close "two witnesses brute" 1. (Hardq.Brute.prob model lab2 gu);
+  let lab1 = Prefs.Labeling.make [| [ 0 ]; []; []; [] |] in
+  Helpers.check_close "one witness" 0. (Hardq.Bipartite.prob model lab1 gu);
+  Helpers.check_close "one witness brute" 0. (Hardq.Brute.prob model lab1 gu)
+
+let unit_budget_timeout_raises () =
+  let r = Helpers.rng 71 in
+  let m = 40 in
+  let model = Rim.Mallows.to_rim (Helpers.random_mallows ~phi:0.5 r m) in
+  let lab = Helpers.random_labeling r ~m ~n_labels:8 in
+  let gu =
+    Helpers.random_union (Helpers.random_two_label_pattern ~n_labels:8) r ~z:5
+  in
+  (* Burn the budget before solving. *)
+  let b = Util.Timer.budget 1e-9 in
+  let spin = ref 0. in
+  while Util.Timer.elapsed b <= 1e-9 do
+    spin := !spin +. 1.
+  done;
+  match Hardq.Two_label.prob ~budget:b model lab gu with
+  | _ -> Alcotest.fail "expected Out_of_time"
+  | exception Util.Timer.Out_of_time -> ()
+
+let unit_isolated_node_patterns () =
+  (* A bipartite pattern with an isolated node: the node only demands a
+     witness somewhere in the ranking. *)
+  let model = Rim.Mallows.to_rim (Rim.Mallows.make ~center:(Prefs.Ranking.identity 4) ~phi:0.6) in
+  let lab = Prefs.Labeling.make [| [ 0 ]; [ 1 ]; [ 2 ]; [] |] in
+  let with_iso =
+    Prefs.Pattern.make ~nodes:[ [ 0 ]; [ 1 ]; [ 2 ] ] ~edges:[ (0, 1) ]
+  in
+  let without =
+    Prefs.Pattern.make ~nodes:[ [ 0 ]; [ 1 ] ] ~edges:[ (0, 1) ]
+  in
+  let p_with = Hardq.Bipartite.prob model lab (Prefs.Pattern_union.singleton with_iso) in
+  let p_without = Hardq.Bipartite.prob model lab (Prefs.Pattern_union.singleton without) in
+  Helpers.check_close "witnessable isolated node is free" p_without p_with;
+  Helpers.check_close "matches brute" (Hardq.Brute.prob model lab (Prefs.Pattern_union.singleton with_iso)) p_with;
+  (* Isolated node with no witness kills the pattern. *)
+  let doomed = Prefs.Pattern.make ~nodes:[ [ 0 ]; [ 1 ]; [ 7 ] ] ~edges:[ (0, 1) ] in
+  Helpers.check_close "unwitnessable isolated node" 0.
+    (Hardq.Bipartite.prob model lab (Prefs.Pattern_union.singleton doomed))
+
+let unit_union_dedup_and_monotone () =
+  let r = Helpers.rng 73 in
+  let m = 6 in
+  let model = Rim.Mallows.to_rim (Helpers.random_mallows r m) in
+  let lab = Helpers.random_labeling r ~m ~n_labels:4 in
+  let g1 = Helpers.random_two_label_pattern r ~n_labels:4 in
+  let g2 = Helpers.random_two_label_pattern r ~n_labels:4 in
+  (* Duplicates in a union change nothing. *)
+  let u1 = Prefs.Pattern_union.make [ g1; g1; g1 ] in
+  Alcotest.(check int) "dedup" 1 (Prefs.Pattern_union.size u1);
+  let p1 = Hardq.Two_label.prob model lab (Prefs.Pattern_union.singleton g1) in
+  Helpers.check_close "dup union" p1 (Hardq.Two_label.prob model lab u1);
+  (* Unions are monotone: Pr(g1 U g2) >= max(Pr(g1), Pr(g2)). *)
+  let p2 = Hardq.Two_label.prob model lab (Prefs.Pattern_union.singleton g2) in
+  let pu = Hardq.Two_label.prob model lab (Prefs.Pattern_union.make [ g1; g2 ]) in
+  if pu +. 1e-9 < max p1 p2 then
+    Alcotest.failf "union not monotone: %g < max(%g, %g)" pu p1 p2;
+  if pu > p1 +. p2 +. 1e-9 then
+    Alcotest.failf "union above union bound: %g > %g + %g" pu p1 p2
+
+let prop_union_bounds =
+  Helpers.qtest ~count:100 "max(Pr(gi)) <= Pr(U gi) <= sum Pr(gi)"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let r = Helpers.rng seed in
+      let m = 6 in
+      let model = Rim.Mallows.to_rim (Helpers.random_mallows r m) in
+      let lab = Helpers.random_labeling r ~m ~n_labels:4 in
+      let gs =
+        List.init 3 (fun _ -> Helpers.random_bipartite_pattern r ~n_labels:4 ~n_left:1 ~n_right:2)
+      in
+      let ps =
+        List.map
+          (fun g -> Hardq.Bipartite.prob model lab (Prefs.Pattern_union.singleton g))
+          gs
+      in
+      let pu = Hardq.Bipartite.prob model lab (Prefs.Pattern_union.make gs) in
+      let mx = List.fold_left max 0. ps and sm = List.fold_left ( +. ) 0. ps in
+      pu +. 1e-9 >= mx && pu <= sm +. 1e-9)
+
+let prop_general_matches_bipartite_on_unions =
+  Helpers.qtest ~count:50 "inclusion-exclusion = bipartite DP on bipartite unions"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let r = Helpers.rng seed in
+      let m = 6 in
+      let model = Rim.Mallows.to_rim (Helpers.random_mallows r m) in
+      let lab = Helpers.random_labeling r ~m ~n_labels:4 in
+      let gu =
+        Helpers.random_union
+          (Helpers.random_bipartite_pattern ~n_labels:4 ~n_left:1 ~n_right:2)
+          r ~z:2
+      in
+      let a = Hardq.General.prob model lab gu in
+      let b = Hardq.Bipartite.prob model lab gu in
+      abs_float (a -. b) < 1e-9)
+
+let suites =
+  [
+    ( "solvers.edge-cases",
+      [
+        Alcotest.test_case "single-item domain" `Quick unit_single_item_domain;
+        Alcotest.test_case "same conjunction on both edge ends" `Quick
+          unit_same_conjunction_both_sides;
+        Alcotest.test_case "budget timeout raises" `Quick unit_budget_timeout_raises;
+        Alcotest.test_case "isolated nodes" `Quick unit_isolated_node_patterns;
+        Alcotest.test_case "union dedup and monotonicity" `Quick
+          unit_union_dedup_and_monotone;
+        prop_union_bounds;
+        prop_general_matches_bipartite_on_unions;
+      ] );
+    ( "solvers",
+      [
+        Alcotest.test_case "example 4.2 shape" `Quick unit_example_4_2;
+        Alcotest.test_case "certain events" `Quick unit_certain_events;
+        Alcotest.test_case "impossible events" `Quick unit_impossible_events;
+        Alcotest.test_case "phi=0 point mass" `Quick unit_phi_zero_point_mass;
+        Alcotest.test_case "chain vs min/max relaxation (ex 4.4)" `Quick
+          unit_chain_needs_middle_item;
+        test_two_label_oracle;
+        test_bipartite_oracle;
+        test_bipartite_basic_oracle;
+        test_bipartite_matches_two_label;
+        test_general_pattern_oracle;
+        test_general_forced_vs_bipartite;
+        test_general_union_oracle;
+        test_upper_bound_holds;
+      ] );
+  ]

@@ -1,0 +1,184 @@
+(* util: RNG, log-space arithmetic, statistics, timers, combinatorics. *)
+
+let tc = Alcotest.test_case
+
+let unit_rng_determinism () =
+  let a = Util.Rng.make 99 and b = Util.Rng.make 99 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Util.Rng.int a 1000) (Util.Rng.int b 1000)
+  done;
+  (* split decorrelates *)
+  let c = Util.Rng.make 99 in
+  let d = Util.Rng.split c in
+  let same = ref 0 in
+  for _ = 1 to 100 do
+    if Util.Rng.int c 1000 = Util.Rng.int d 1000 then incr same
+  done;
+  Alcotest.(check bool) "split streams differ" true (!same < 50)
+
+let unit_rng_bounds () =
+  let r = Util.Rng.make 1 in
+  for _ = 1 to 1000 do
+    let x = Util.Rng.int r 7 in
+    Alcotest.(check bool) "int in range" true (x >= 0 && x < 7);
+    let f = Util.Rng.float r 2.5 in
+    Alcotest.(check bool) "float in range" true (f >= 0. && f < 2.5)
+  done
+
+let unit_rng_categorical () =
+  let r = Util.Rng.make 2 in
+  let w = [| 0.; 3.; 1.; 0. |] in
+  let counts = Array.make 4 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    let i = Util.Rng.categorical r w in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check int) "zero weight never drawn" 0 counts.(0);
+  Alcotest.(check int) "zero weight never drawn (last)" 0 counts.(3);
+  let share = float_of_int counts.(1) /. float_of_int n in
+  Alcotest.(check bool) "proportions approximately honored" true
+    (abs_float (share -. 0.75) < 0.02);
+  Alcotest.check_raises "all-zero weights rejected"
+    (Invalid_argument "Rng.categorical: weights sum to zero") (fun () ->
+      ignore (Util.Rng.categorical r [| 0.; 0. |]))
+
+let unit_rng_permutation_uniformish () =
+  let r = Util.Rng.make 3 in
+  let counts = Hashtbl.create 6 in
+  let n = 12_000 in
+  for _ = 1 to n do
+    let p = Util.Rng.permutation r 3 in
+    let key = Array.to_list p in
+    Hashtbl.replace counts key (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))
+  done;
+  Alcotest.(check int) "all 6 permutations occur" 6 (Hashtbl.length counts);
+  Hashtbl.iter
+    (fun _ c ->
+      Alcotest.(check bool) "roughly uniform" true
+        (abs_float ((float_of_int c /. float_of_int n) -. (1. /. 6.)) < 0.02))
+    counts
+
+let unit_sample_without_replacement () =
+  let r = Util.Rng.make 4 in
+  for _ = 1 to 200 do
+    let xs = Util.Rng.sample_without_replacement r 10 ~weight:(fun i -> float_of_int (i + 1)) 5 in
+    Alcotest.(check int) "5 draws" 5 (List.length xs);
+    Alcotest.(check int) "distinct" 5 (List.length (List.sort_uniq compare xs));
+    List.iter (fun x -> Alcotest.(check bool) "in range" true (x >= 0 && x < 10)) xs
+  done;
+  Alcotest.check_raises "k > n rejected"
+    (Invalid_argument "Rng.sample_without_replacement: k > n") (fun () ->
+      ignore (Util.Rng.sample_without_replacement r 3 ~weight:(fun _ -> 1.) 4))
+
+let unit_logspace () =
+  Helpers.check_close ~eps:1e-12 "log_add" (log 3.) (Util.Logspace.log_add (log 1.) (log 2.));
+  Alcotest.(check bool) "log_add with -inf" true
+    (Util.Logspace.log_add Util.Logspace.neg_inf (log 2.) = log 2.);
+  Helpers.check_close ~eps:1e-12 "log_sum_exp"
+    (log 6.)
+    (Util.Logspace.log_sum_exp [| log 1.; log 2.; log 3. |]);
+  Alcotest.(check bool) "log_sum_exp of empty" true
+    (Util.Logspace.log_sum_exp [||] = Util.Logspace.neg_inf);
+  (* stability: huge magnitudes *)
+  let v = Util.Logspace.log_sum_exp [| -1000.; -1000. |] in
+  Helpers.check_close ~eps:1e-9 "stable at tiny values" (-1000. +. log 2.) v;
+  Helpers.check_close ~eps:1e-12 "geometric series"
+    (log (1. +. 0.5 +. 0.25))
+    (Util.Logspace.geometric_series_log 0.5 3);
+  Helpers.check_close ~eps:1e-12 "geometric series at phi=1" (log 4.)
+    (Util.Logspace.geometric_series_log 1. 4);
+  Helpers.check_close ~eps:1e-12 "geometric series at phi=0" 0.
+    (Util.Logspace.geometric_series_log 0. 5)
+
+let unit_stats () =
+  let a = [| 1.; 2.; 3.; 4. |] in
+  Helpers.check_close "mean" 2.5 (Util.Stats.mean a);
+  Helpers.check_close ~eps:1e-12 "variance" (5. /. 3.) (Util.Stats.variance a);
+  Helpers.check_close "median even" 2.5 (Util.Stats.median a);
+  Helpers.check_close "median odd" 2. (Util.Stats.median [| 3.; 1.; 2. |]);
+  Helpers.check_close "p0 = min" 1. (Util.Stats.percentile a 0.);
+  Helpers.check_close "p100 = max" 4. (Util.Stats.percentile a 100.);
+  Helpers.check_close "relative error" 0.5 (Util.Stats.relative_error ~exact:2. 3.);
+  Alcotest.(check bool) "relative error at exact=0" true
+    (Util.Stats.relative_error ~exact:0. 1. = infinity);
+  Helpers.check_close "relative error 0/0" 0. (Util.Stats.relative_error ~exact:0. 0.);
+  let s = Util.Stats.summarize a in
+  Alcotest.(check int) "summary n" 4 s.Util.Stats.n
+
+let unit_timer_budget () =
+  Alcotest.(check bool) "no_limit never expires" false
+    (Util.Timer.expired Util.Timer.no_limit);
+  (match Util.Timer.with_budget 60. (fun b -> Util.Timer.check b; 42) with
+  | Some v -> Alcotest.(check int) "computation completes" 42 v
+  | None -> Alcotest.fail "should not time out");
+  (* A zero/negative budget means unlimited. *)
+  (match Util.Timer.with_budget (-1.) (fun b -> Util.Timer.check b; 7) with
+  | Some v -> Alcotest.(check int) "negative = unlimited" 7 v
+  | None -> Alcotest.fail "should not time out");
+  (* An already-expired budget raises on first check. *)
+  let b = Util.Timer.budget 1e-9 in
+  let burn = ref 0. in
+  while Util.Timer.elapsed b <= 1e-9 do
+    burn := !burn +. 1.
+  done;
+  Alcotest.(check bool) "expired detected" true (Util.Timer.expired b)
+
+let unit_combinat () =
+  Alcotest.(check int) "0!" 1 (Util.Combinat.factorial 0);
+  Alcotest.(check int) "6!" 720 (Util.Combinat.factorial 6);
+  Alcotest.check_raises "21! overflows"
+    (Invalid_argument "Combinat.factorial: out of range") (fun () ->
+      ignore (Util.Combinat.factorial 21));
+  let count = ref 0 in
+  Util.Combinat.iter_permutations 5 (fun _ -> incr count);
+  Alcotest.(check int) "5! permutations" 120 !count;
+  (* all distinct *)
+  let seen = Hashtbl.create 120 in
+  Util.Combinat.iter_permutations 4 (fun p -> Hashtbl.replace seen (Array.to_list p) ());
+  Alcotest.(check int) "4! distinct" 24 (Hashtbl.length seen);
+  let subs = ref 0 in
+  Util.Combinat.iter_subsets [ 1; 2; 3 ] (fun _ -> incr subs);
+  Alcotest.(check int) "2^3 subsets" 8 !subs;
+  let nsubs = ref [] in
+  Util.Combinat.iter_nonempty_subsets [ 1; 2 ] (fun s -> nsubs := s :: !nsubs);
+  Alcotest.(check int) "3 nonempty subsets" 3 (List.length !nsubs);
+  Alcotest.(check (list (list int)))
+    "cartesian product"
+    [ [ 1; 3 ]; [ 1; 4 ]; [ 2; 3 ]; [ 2; 4 ] ]
+    (Util.Combinat.cartesian_product [ [ 1; 2 ]; [ 3; 4 ] ]);
+  Alcotest.(check int) "C(10,3)" 120 (Util.Combinat.choose 10 3);
+  Alcotest.(check int) "C(n,0)" 1 (Util.Combinat.choose 5 0);
+  Alcotest.(check int) "C(n,k>n)" 0 (Util.Combinat.choose 3 4)
+
+let prop_percentile_monotone =
+  Helpers.qtest ~count:100 "percentiles are monotone in p"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let r = Helpers.rng seed in
+      let n = 1 + Util.Rng.int r 20 in
+      let a = Array.init n (fun _ -> Util.Rng.float r 100.) in
+      let ps = [ 0.; 10.; 25.; 50.; 75.; 90.; 100. ] in
+      let vals = List.map (Util.Stats.percentile a) ps in
+      let rec mono = function
+        | x :: (y :: _ as rest) -> x <= y +. 1e-9 && mono rest
+        | _ -> true
+      in
+      mono vals)
+
+let suites =
+  [
+    ( "util",
+      [
+        tc "rng determinism and splitting" `Quick unit_rng_determinism;
+        tc "rng bounds" `Quick unit_rng_bounds;
+        tc "rng categorical" `Quick unit_rng_categorical;
+        tc "rng permutations uniform" `Slow unit_rng_permutation_uniformish;
+        tc "weighted sampling without replacement" `Quick unit_sample_without_replacement;
+        tc "log-space arithmetic" `Quick unit_logspace;
+        tc "statistics" `Quick unit_stats;
+        tc "timer budgets" `Quick unit_timer_budget;
+        tc "combinatorics" `Quick unit_combinat;
+        prop_percentile_monotone;
+      ] );
+  ]

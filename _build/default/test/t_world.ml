@@ -1,0 +1,181 @@
+(* Possible-world semantics: the direct Monte-Carlo oracle for the whole
+   query-evaluation pipeline, plus the Gmallows and pairwise-learning
+   additions. *)
+
+let tc = Alcotest.test_case
+
+let check_abs ~tol what expected actual =
+  if abs_float (expected -. actual) > tol then
+    Alcotest.failf "%s: expected %.4f, got %.4f (tol %.3f)" what expected actual tol
+
+let unit_world_deterministic () =
+  (* With phi = 0 every world equals the centers: query answers are 0/1 and
+     World.holds must agree with direct inspection. *)
+  let db = T_ppd.figure1_db ~phis:(0., 0., 0.) () in
+  let w = Ppd.World.sample db (Helpers.rng 1) in
+  (* Ann's center is <Clinton, Sanders, Rubio, Trump>. *)
+  let tau = Ppd.World.ranking_of w ~prel:"P" 0 in
+  Alcotest.(check int) "Clinton first" 1 (Prefs.Ranking.item_at tau 0);
+  let q_yes =
+    Ppd.Parser.parse "Q() :- P(\"Ann\", _; \"Clinton\"; \"Trump\")."
+  in
+  Alcotest.(check bool) "Clinton over Trump for Ann" true (Ppd.World.holds db w q_yes);
+  let q_no = Ppd.Parser.parse "Q() :- P(\"Ann\", _; \"Trump\"; \"Clinton\")." in
+  Alcotest.(check bool) "Trump over Clinton fails" false (Ppd.World.holds db w q_no);
+  (* Join through the voters relation. *)
+  let q_join =
+    Ppd.Parser.parse
+      "Q() :- P(v, _; \"Clinton\"; \"Trump\"), V(v, \"F\", _, _)."
+  in
+  Alcotest.(check bool) "female voter prefers Clinton" true
+    (Ppd.World.holds db w q_join);
+  let q_join_no =
+    Ppd.Parser.parse
+      "Q() :- P(v, _; \"Trump\"; \"Clinton\"), V(v, \"F\", _, _)."
+  in
+  Alcotest.(check bool) "no female voter prefers Trump to Clinton" false
+    (Ppd.World.holds db w q_join_no)
+
+(* The decisive end-to-end test: the engine's exact probabilities must match
+   Monte-Carlo over possible worlds for a diverse set of hard queries. *)
+let unit_engine_matches_worlds () =
+  let db = T_ppd.figure1_db ~phis:(0.4, 0.6, 0.5) () in
+  let queries =
+    [
+      (* itemwise *)
+      "Q() :- P(_, _; c1; c2), C(c1, _, \"F\", _, _, _), C(c2, _, \"M\", _, _, _).";
+      (* non-itemwise: shared education variable *)
+      "Q() :- P(_, _; c1; c2), C(c1, \"D\", _, _, e, _), C(c2, \"R\", _, _, e, _).";
+      (* session constants + item constants, self-join *)
+      "Q() :- P(\"Ann\", \"5/5\"; \"Trump\"; \"Clinton\"), P(\"Ann\", \"5/5\"; \
+       \"Trump\"; \"Rubio\").";
+      (* session join with demographic binding *)
+      "Q() :- P(w, _; c1; c2), V(w, sex, _, _), C(c1, _, sex, _, _, _), C(c2, _, \
+       _, _, _, _).";
+      (* derived comparison labels *)
+      "Q() :- P(_, _; x; y), C(x, _, _, agex, _, _), agex >= 70, C(y, _, _, agey, \
+       _, _), agey < 70.";
+      (* chain: x over y over z (general pattern) *)
+      "Q() :- P(_, _; x; y), P(_, _; y; z), C(x, \"D\", _, _, _, _), C(y, \"R\", \
+       _, _, _, _), C(z, _, \"M\", _, _, _).";
+    ]
+  in
+  let n = 4000 in
+  List.iteri
+    (fun i qtext ->
+      let q = Ppd.Parser.parse qtext in
+      let exact =
+        Ppd.Eval.boolean_prob ~solver:(Hardq.Solver.Exact `Brute) db q (Helpers.rng 2)
+      in
+      let mc = Ppd.World.estimate_prob ~n db q (Helpers.rng (100 + i)) in
+      (* 4000 samples: |mc - p| < 4 * sqrt(p(1-p)/n) + slack *)
+      let sigma = sqrt (max 1e-4 (exact *. (1. -. exact)) /. float_of_int n) in
+      check_abs ~tol:((4. *. sigma) +. 0.01)
+        (Printf.sprintf "query %d end-to-end" i)
+        exact mc)
+    queries
+
+let unit_world_rejects_heads () =
+  let db = T_ppd.figure1_db () in
+  let w = Ppd.World.sample db (Helpers.rng 3) in
+  let q = Ppd.Parser.parse "Q(e) :- P(_, _; c1; c2), C(c1, \"D\", _, _, e, _)." in
+  Alcotest.check_raises "head vars rejected"
+    (Invalid_argument "World.holds: query has head variables") (fun () ->
+      ignore (Ppd.World.holds db w q))
+
+let unit_gmallows_reduces_to_mallows () =
+  let r = Helpers.rng 5 in
+  let m = 5 in
+  let center = Prefs.Ranking.of_array (Util.Rng.permutation r m) in
+  let gm = Rim.Gmallows.uniform_phi ~center ~phi:0.4 in
+  let mal = Rim.Mallows.make ~center ~phi:0.4 in
+  Prefs.Ranking.all m (fun tau ->
+      Helpers.check_close ~eps:1e-12 "gmallows = mallows at uniform phis"
+        (Rim.Mallows.prob mal tau) (Rim.Gmallows.prob gm tau))
+
+let unit_gmallows_normalizes_and_shapes () =
+  let center = Prefs.Ranking.identity 5 in
+  (* phi = 0 early, 1 late: top of the ranking rigid, bottom uniform. *)
+  let gm = Rim.Gmallows.make ~center ~phis:[| 0.; 0.; 0.; 1.; 1. |] in
+  let total = ref 0. in
+  Prefs.Ranking.all 5 (fun tau -> total := !total +. Rim.Gmallows.prob gm tau);
+  Helpers.check_close ~eps:1e-9 "sums to 1" 1. !total;
+  (* Items 0,1,2 keep their relative order surely; 3,4 may swap. *)
+  let r = Helpers.rng 6 in
+  for _ = 1 to 200 do
+    let tau = Rim.Gmallows.sample gm r in
+    if not (Prefs.Ranking.prefers tau 0 1 && Prefs.Ranking.prefers tau 1 2) then
+      Alcotest.fail "rigid prefix violated"
+  done;
+  (* And solvers accept the RIM form. *)
+  let lab = Prefs.Labeling.make [| [ 0 ]; []; []; []; [ 1 ] |] in
+  let gu =
+    Prefs.Pattern_union.singleton (Prefs.Pattern.two_label ~left:[ 1 ] ~right:[ 0 ])
+  in
+  let p_exact = Hardq.Two_label.prob (Rim.Gmallows.to_rim gm) lab gu in
+  let p_brute = Hardq.Brute.prob (Rim.Gmallows.to_rim gm) lab gu in
+  Helpers.check_close ~eps:1e-9 "solvers work on generalized Mallows" p_brute p_exact
+
+let unit_gmallows_invalid () =
+  Alcotest.check_raises "wrong phi count"
+    (Invalid_argument "Gmallows.make: need one phi per item") (fun () ->
+      ignore (Rim.Gmallows.make ~center:(Prefs.Ranking.identity 3) ~phis:[| 0.5 |]));
+  Alcotest.check_raises "phi out of range"
+    (Invalid_argument "Gmallows.make: phi out of [0,1]") (fun () ->
+      ignore
+        (Rim.Gmallows.make ~center:(Prefs.Ranking.identity 2) ~phis:[| 0.5; 1.5 |]))
+
+let unit_pairwise_learning_recovers_center () =
+  let r = Helpers.rng 7 in
+  let m = 7 in
+  let truth = Rim.Mallows.make ~center:(Prefs.Ranking.of_array (Util.Rng.permutation r m)) ~phi:0.2 in
+  (* Each judge reveals 6 random pairs of one sampled ranking. *)
+  let observations =
+    List.init 150 (fun _ ->
+        let tau = Rim.Mallows.sample truth r in
+        List.init 6 (fun _ ->
+            let a = Util.Rng.int r m in
+            let b = Util.Rng.int r m in
+            if a = b then None
+            else if Prefs.Ranking.prefers tau a b then Some (a, b)
+            else Some (b, a))
+        |> List.filter_map Fun.id)
+  in
+  let fitted = Rim.Learn.fit_from_pairwise ~m ~rng:r observations in
+  let d =
+    Prefs.Ranking.kendall_tau (Rim.Mallows.center fitted) (Rim.Mallows.center truth)
+  in
+  if d > 2 then
+    Alcotest.failf "center not recovered: kendall distance %d (%a vs %a)" d
+      Prefs.Ranking.pp (Rim.Mallows.center fitted) Prefs.Ranking.pp
+      (Rim.Mallows.center truth)
+
+let unit_pairwise_learning_rejects_garbage () =
+  Alcotest.check_raises "no consistent observation"
+    (Invalid_argument "Learn.fit_from_pairwise: no consistent observation")
+    (fun () ->
+      ignore
+        (Rim.Learn.fit_from_pairwise ~m:3 ~rng:(Helpers.rng 8)
+           [ [ (0, 1); (1, 0) ] ]))
+
+let suites =
+  [
+    ( "ppd.world",
+      [
+        tc "deterministic worlds" `Quick unit_world_deterministic;
+        tc "engine = possible-world Monte Carlo (6 query shapes)" `Slow
+          unit_engine_matches_worlds;
+        tc "head variables rejected" `Quick unit_world_rejects_heads;
+      ] );
+    ( "rim.gmallows",
+      [
+        tc "reduces to Mallows" `Quick unit_gmallows_reduces_to_mallows;
+        tc "normalization and rigid prefix" `Quick unit_gmallows_normalizes_and_shapes;
+        tc "invalid parameters" `Quick unit_gmallows_invalid;
+      ] );
+    ( "rim.pairwise-learning",
+      [
+        tc "recovers the center from pairs" `Slow unit_pairwise_learning_recovers_center;
+        tc "rejects inconsistent input" `Quick unit_pairwise_learning_rejects_garbage;
+      ] );
+  ]

@@ -1,0 +1,1 @@
+let () = Alcotest.run "hardq" (T_prefs.suites @ T_rim.suites @ T_solvers.suites @ T_sampling.suites @ T_ppd.suites @ T_data.suites @ T_util.suites @ T_world.suites @ T_props.suites @ T_exact2.suites)
