@@ -1,0 +1,22 @@
+.PHONY: all build test bench check fmt clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Tier-1 gate: everything compiles and the whole suite passes.
+check:
+	dune build && dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+fmt:
+	dune fmt
+
+clean:
+	dune clean

@@ -10,6 +10,32 @@ let header fig title =
 let note fmt = Printf.printf ("  note: " ^^ fmt ^^ "\n")
 let row fmt = Printf.printf ("  " ^^ fmt ^^ "\n%!")
 
+(* One JSON object per line, for machine-readable benchmark output that a
+   plotting script can slurp with `jq -s`. *)
+let json_line fields =
+  let escape s =
+    let b = Buffer.create (String.length s) in
+    String.iter
+      (function
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  in
+  let field (k, v) =
+    let value =
+      match v with
+      | `Int i -> string_of_int i
+      | `Float f -> Printf.sprintf "%.6g" f
+      | `Str s -> Printf.sprintf "\"%s\"" (escape s)
+      | `Bool b -> string_of_bool b
+    in
+    Printf.sprintf "\"%s\": %s" (escape k) value
+  in
+  Printf.printf "  {%s}\n%!" (String.concat ", " (List.map field fields))
+
 (* Time a solver call under a budget; None = timed out or state explosion. *)
 let timed_opt ?(budget = 0.) f =
   let t0 = Util.Timer.now () in

@@ -4,7 +4,9 @@
 
    Paper shape: the naive curve is linear in the session count; grouping
    converges once every distinct request has been seen (their 200k
-   sessions finish in ~118s). *)
+   sessions finish in ~118s). The engine generalizes grouping into a
+   persistent cache, so a warm second evaluation answers every distinct
+   request from the cache without touching a solver. *)
 
 let run ~full () =
   Exp_util.header "Figure 15" "session scalability over CrowdRank (grouping)";
@@ -24,19 +26,30 @@ let run ~full () =
   List.iter
     (fun (n, naive_too) ->
       let db = Datasets.Crowdrank.generate ~n_workers:n ~seed:151 () in
-      let rng = Util.Rng.make 9 in
-      let _, t_grouped =
-        Util.Timer.time (fun () ->
-            Ppd.Eval.count_sessions ~solver ~group:true db q (Util.Rng.copy rng))
-      in
-      if naive_too then begin
-        let _, t_naive =
-          Util.Timer.time (fun () ->
-              Ppd.Eval.count_sessions ~solver ~group:false db q (Util.Rng.copy rng))
-        in
-        Exp_util.row "%7d sessions: naive %9.2fs   grouped %8.2fs" n t_naive
-          t_grouped
-      end
-      else
-        Exp_util.row "%7d sessions: naive   (skipped)   grouped %8.2fs" n t_grouped)
+      Engine.with_engine ~jobs:1 (fun engine ->
+          let req = Engine.Request.make ~task:Engine.Request.Count ~solver ~seed:9 db q in
+          let eval () =
+            let t0 = Util.Timer.wall () in
+            let resp = Engine.eval engine req in
+            (resp, Util.Timer.wall () -. t0)
+          in
+          let cold, t_cold = eval () in
+          let warm, t_warm = eval () in
+          assert (warm.Engine.Response.stats.Engine.Response.cache_misses = 0);
+          if naive_too then begin
+            let _, t_naive =
+              Util.Timer.time (fun () ->
+                  Ppd.Eval.count_sessions ~solver ~group:false db q
+                    (Util.Rng.make 9))
+            in
+            Exp_util.row
+              "%7d sessions: naive %9.2fs   cold %8.2fs   warm %8.4fs (%d distinct)"
+              n t_naive t_cold t_warm
+              cold.Engine.Response.stats.Engine.Response.distinct
+          end
+          else
+            Exp_util.row
+              "%7d sessions: naive   (skipped)   cold %8.2fs   warm %8.4fs (%d distinct)"
+              n t_cold t_warm
+              cold.Engine.Response.stats.Engine.Response.distinct))
     counts

@@ -98,9 +98,45 @@ let modal_cap_ablation () =
         (Exp_util.rel_err ~exact est.Hardq.Estimate.value))
     [ 1; 2; 4; 16; 64 ]
 
+(* Engine scaling: one Boolean query over 1k polls sessions, evaluated on
+   1/2/4/8 domains with the result cache off so every point does the same
+   solver work. Deterministic answers let us assert that scaling does not
+   change the result; one JSON line per point for plotting. *)
+let engine_scaling () =
+  Printf.printf "  engine scaling (Boolean, polls, 1000 sessions, cache off):\n";
+  let db = Datasets.Polls.generate ~n_candidates:16 ~n_voters:1000 ~seed:77 () in
+  let q = Ppd.Parser.parse Datasets.Polls.query_two_label in
+  let eval_with jobs =
+    Engine.with_engine ~jobs ~cache:false (fun engine ->
+        let req = Engine.Request.make ~seed:77 db q in
+        let t0 = Util.Timer.wall () in
+        let resp = Engine.eval engine req in
+        let wall = Util.Timer.wall () -. t0 in
+        (Engine.Response.answer_float resp, resp.Engine.Response.stats, wall))
+  in
+  let _, _, _ = eval_with 1 in
+  (* warm-up: page in the dataset *)
+  let base_prob, _, base_wall = eval_with 1 in
+  List.iter
+    (fun jobs ->
+      let prob, stats, wall = eval_with jobs in
+      assert (prob = base_prob);
+      Exp_util.json_line
+        [
+          ("bench", `Str "engine-scaling");
+          ("domains", `Int jobs);
+          ("sessions", `Int stats.Engine.Response.sessions);
+          ("distinct", `Int stats.Engine.Response.distinct);
+          ("wall_s", `Float wall);
+          ("speedup", `Float (base_wall /. wall));
+          ("prob", `Float prob);
+        ])
+    [ 1; 2; 4; 8 ]
+
 let run ~full:_ () =
   Exp_util.header "Micro" "Bechamel microbenchmarks (kernels and ablations)";
   run_group "kernels" (kernel_tests ());
   run_group "exact solvers (pruning ablation)" (solver_tests ());
   run_group "MIS weighting ablation" (mis_tests ());
-  modal_cap_ablation ()
+  modal_cap_ablation ();
+  engine_scaling ()

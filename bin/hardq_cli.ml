@@ -31,29 +31,51 @@ let sessions_arg =
   let doc = "Number of sessions (voters/workers) to generate." in
   Arg.(value & opt int 100 & info [ "sessions" ] ~docv:"N" ~doc)
 
+let solver_conv =
+  let parse s =
+    match Hardq.Solver.of_string s with
+    | Ok t -> Ok t
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf t = Format.pp_print_string ppf (Hardq.Solver.to_string t) in
+  Arg.conv (parse, print)
+
 let solver_arg =
   let doc =
-    "Solver: $(b,auto), $(b,two-label), $(b,bipartite), $(b,general), \
-     $(b,brute), $(b,rejection), $(b,mis-lite), $(b,mis-adaptive)."
+    "Solver: $(b,auto), $(b,two-label), $(b,bipartite), $(b,bipartite-basic), \
+     $(b,general), $(b,brute), $(b,rejection), $(b,mis-amp-lite), \
+     $(b,mis-amp-adaptive), $(b,mis-amp)."
   in
   Arg.(
     value
-    & opt
-        (enum
-           [
-             ("auto", Hardq.Solver.Exact `Auto);
-             ("two-label", Hardq.Solver.Exact `Two_label);
-             ("bipartite", Hardq.Solver.Exact `Bipartite);
-             ("general", Hardq.Solver.Exact `General);
-             ("brute", Hardq.Solver.Exact `Brute);
-             ("rejection", Hardq.Solver.Approx (Hardq.Solver.Rejection { n = 50_000 }));
-             ( "mis-lite",
-               Hardq.Solver.Approx
-                 (Hardq.Solver.Mis_lite { d = 10; n_per = 1000; compensate = true }) );
-             ("mis-adaptive", Hardq.Solver.default_approx);
-           ])
-        (Hardq.Solver.Exact `Auto)
+    & opt solver_conv (Hardq.Solver.Exact `Auto)
     & info [ "solver" ] ~docv:"SOLVER" ~doc)
+
+let jobs_arg =
+  let doc =
+    "Domains to evaluate with (0 = one per available core). Results are \
+     bit-identical whatever the setting."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let cache_arg =
+  let doc = "Memoize per-session inference results (the paper's grouping \
+             optimization, persistent across queries of one run)." in
+  Arg.(value & opt bool true & info [ "cache" ] ~docv:"BOOL" ~doc)
+
+let budget_arg =
+  let doc = "CPU-seconds budget per solver invocation (0 = unlimited)." in
+  Arg.(value & opt float 0. & info [ "budget" ] ~docv:"SECONDS" ~doc)
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ] ~doc:"Print the engine's execution-statistics footer.")
+
+let with_jobs jobs = if jobs <= 0 then None else Some jobs
+
+let print_stats show (resp : Engine.Response.t) =
+  if show then Format.printf "%a@." Engine.Response.pp_stats resp.Engine.Response.stats
 
 let query_arg =
   let doc =
@@ -87,6 +109,11 @@ let with_query dataset size sessions seed query f =
       | () -> 0
       | exception Ppd.Compile.Unsupported msg ->
           Format.eprintf "unsupported query: %s@." msg;
+          1
+      | exception Util.Timer.Out_of_time ->
+          Format.eprintf
+            "budget exhausted: a solver invocation ran out of its --budget \
+             allowance; raise it or pick a cheaper solver@.";
           1)
 
 (* ------------------------------------------------------------------ *)
@@ -94,29 +121,31 @@ let with_query dataset size sessions seed query f =
 (* ------------------------------------------------------------------ *)
 
 let eval_cmd =
-  let run dataset size sessions seed query solver verbose =
+  let run dataset size sessions seed query solver jobs cache budget stats verbose =
     with_query dataset size sessions seed query (fun db q ->
-        let rng = Util.Rng.make seed in
         Format.printf "query: %a@." Ppd.Query.pp q;
         Format.printf "V+ = {%s}, itemwise: %b@."
           (String.concat ", " (Ppd.Compile.v_plus db q))
           (Ppd.Compile.is_itemwise db q);
-        let probs = Ppd.Eval.per_session ~solver db q rng in
-        if verbose then
-          List.iter
-            (fun ((s : Ppd.Database.session), p) ->
-              Format.printf "  %-18s %.6f@."
-                (String.concat "/"
-                   (Array.to_list (Array.map Ppd.Value.to_string s.Ppd.Database.key)))
-                p)
-            probs;
-        let bool_p =
-          1. -. List.fold_left (fun acc (_, p) -> acc *. (1. -. p)) 1. probs
-        in
-        let count = List.fold_left (fun acc (_, p) -> acc +. p) 0. probs in
-        Format.printf "Pr(Q | D)    = %.6f@." bool_p;
-        Format.printf "E[count(Q)]  = %.4f over %d sessions@." count
-          (List.length probs))
+        Engine.with_engine ?jobs:(with_jobs jobs) ~cache (fun engine ->
+            let req = Engine.Request.make ~solver ~budget ~seed db q in
+            let resp = Engine.eval engine req in
+            let probs = resp.Engine.Response.per_session in
+            if verbose then
+              List.iter
+                (fun ((s : Ppd.Database.session), p) ->
+                  Format.printf "  %-18s %.6f@."
+                    (String.concat "/"
+                       (Array.to_list
+                          (Array.map Ppd.Value.to_string s.Ppd.Database.key)))
+                    p)
+                probs;
+            let count = List.fold_left (fun acc (_, p) -> acc +. p) 0. probs in
+            Format.printf "Pr(Q | D)    = %.6f@."
+              (Engine.Response.answer_float resp);
+            Format.printf "E[count(Q)]  = %.4f over %d sessions@." count
+              (List.length probs);
+            print_stats stats resp))
   in
   let verbose =
     Arg.(value & flag & info [ "per-session"; "v" ] ~doc:"Print per-session probabilities.")
@@ -125,27 +154,36 @@ let eval_cmd =
     (Cmd.info "eval" ~doc:"Evaluate a Boolean CQ and its Count-Session aggregate")
     Term.(
       const run $ dataset_arg $ size_arg $ sessions_arg $ seed_arg $ query_arg
-      $ solver_arg $ verbose)
+      $ solver_arg $ jobs_arg $ cache_arg $ budget_arg $ stats_arg $ verbose)
 
 (* ------------------------------------------------------------------ *)
 (* topk                                                                *)
 (* ------------------------------------------------------------------ *)
 
 let topk_cmd =
-  let run dataset size sessions seed query solver k strategy =
+  let run dataset size sessions seed query solver jobs cache budget stats k strategy =
     with_query dataset size sessions seed query (fun db q ->
-        let rng = Util.Rng.make seed in
-        let report = Ppd.Eval.top_k ~solver ~strategy ~k db q rng in
-        Format.printf "top-%d sessions (%d exact evaluations, bounds %.3fs, exact %.3fs):@."
-          k report.Ppd.Eval.n_exact report.Ppd.Eval.bound_time
-          report.Ppd.Eval.exact_time;
-        List.iter
-          (fun ((s : Ppd.Database.session), p) ->
-            Format.printf "  %-18s %.6f@."
-              (String.concat "/"
-                 (Array.to_list (Array.map Ppd.Value.to_string s.Ppd.Database.key)))
-              p)
-          report.Ppd.Eval.results)
+        Engine.with_engine ?jobs:(with_jobs jobs) ~cache (fun engine ->
+            let req =
+              Engine.Request.make
+                ~task:(Engine.Request.top_k ~strategy k)
+                ~solver ~budget ~seed db q
+            in
+            let resp = Engine.eval engine req in
+            Format.printf
+              "top-%d sessions (%d solver calls, bounds %.3fs, solve %.3fs):@." k
+              resp.Engine.Response.stats.Engine.Response.solver_calls
+              resp.Engine.Response.stats.Engine.Response.bound_s
+              resp.Engine.Response.stats.Engine.Response.solve_s;
+            List.iter
+              (fun ((s : Ppd.Database.session), p) ->
+                Format.printf "  %-18s %.6f@."
+                  (String.concat "/"
+                     (Array.to_list
+                        (Array.map Ppd.Value.to_string s.Ppd.Database.key)))
+                  p)
+              (Engine.Response.ranked resp);
+            print_stats stats resp))
   in
   let k_arg = Arg.(value & opt int 5 & info [ "k" ] ~docv:"K" ~doc:"How many sessions.") in
   let strategy_arg =
@@ -158,7 +196,8 @@ let topk_cmd =
     (Cmd.info "topk" ~doc:"Most-Probable-Session query")
     Term.(
       const run $ dataset_arg $ size_arg $ sessions_arg $ seed_arg $ query_arg
-      $ solver_arg $ k_arg $ strategy_arg)
+      $ solver_arg $ jobs_arg $ cache_arg $ budget_arg $ stats_arg $ k_arg
+      $ strategy_arg)
 
 (* ------------------------------------------------------------------ *)
 (* answers                                                             *)

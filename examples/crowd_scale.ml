@@ -1,39 +1,46 @@
 (* Session scalability on the CrowdRank surrogate (paper §6.4): thousands
-   of crowd workers, few distinct (model, pattern) requests. Demonstrates
-   that grouping identical requests makes evaluation cost proportional to
-   the number of *distinct* requests, not the number of sessions.
+   of crowd workers, few distinct (model, pattern) requests. The engine's
+   content-addressed cache makes evaluation cost proportional to the
+   number of *distinct* requests, not the number of sessions — and keeps
+   the answers warm across queries.
 
    Run with:  dune exec examples/crowd_scale.exe *)
 
 let () =
-  let rng = Util.Rng.make 5 in
   let q = Ppd.Parser.parse Datasets.Crowdrank.query_fig15 in
   Format.printf "query: %a@.@." Ppd.Query.pp q;
   let solver =
     Hardq.Solver.Approx
       (Hardq.Solver.Mis_lite { d = 3; n_per = 200; compensate = true })
   in
-  List.iter
-    (fun (n_workers, run_naive) ->
-      let db = Datasets.Crowdrank.generate ~n_workers ~seed:13 () in
-      let grouped, t_grouped =
-        Util.Timer.time (fun () ->
-            Ppd.Eval.count_sessions ~solver ~group:true db q (Util.Rng.copy rng))
-      in
-      if run_naive then begin
-        let naive, t_naive =
-          Util.Timer.time (fun () ->
-              Ppd.Eval.count_sessions ~solver ~group:false db q (Util.Rng.copy rng))
-        in
-        Format.printf
-          "%7d sessions: count ~= %.1f (naive %.1f) | naive %.2fs, grouped %.2fs \
-           (%.0fx)@."
-          n_workers grouped naive t_naive t_grouped
-          (if t_grouped > 0. then t_naive /. t_grouped else nan)
-      end
-      else
-        Format.printf
-          "%7d sessions: count ~= %.1f | grouped %.2fs (naive skipped: linear \
-           in sessions)@."
-          n_workers grouped t_grouped)
-    [ (100, true); (1_000, true); (20_000, false) ]
+  Engine.with_engine ~jobs:1 (fun engine ->
+      List.iter
+        (fun (n_workers, run_naive) ->
+          let db = Datasets.Crowdrank.generate ~n_workers ~seed:13 () in
+          let req =
+            Engine.Request.make ~task:Engine.Request.Count ~solver ~seed:5 db q
+          in
+          let t0 = Util.Timer.wall () in
+          let resp = Engine.eval engine req in
+          let t_engine = Util.Timer.wall () -. t0 in
+          let stats = resp.Engine.Response.stats in
+          let count = Engine.Response.answer_float resp in
+          if run_naive then begin
+            let naive, t_naive =
+              Util.Timer.time (fun () ->
+                  Ppd.Eval.count_sessions ~solver ~group:false db q
+                    (Util.Rng.make 5))
+            in
+            Format.printf
+              "%7d sessions: count ~= %.1f (naive %.1f) | naive %.2fs, engine \
+               %.2fs (%d distinct, %d cached)@."
+              n_workers count naive t_naive t_engine
+              stats.Engine.Response.distinct stats.Engine.Response.cache_hits
+          end
+          else
+            Format.printf
+              "%7d sessions: count ~= %.1f | engine %.2fs (%d distinct, %d \
+               cached; naive skipped: linear in sessions)@."
+              n_workers count t_engine stats.Engine.Response.distinct
+              stats.Engine.Response.cache_hits)
+        [ (100, true); (1_000, true); (20_000, false) ])

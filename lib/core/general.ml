@@ -14,7 +14,8 @@ let prob_instrumented ?budget model lab gu =
       let sign = if size land 1 = 1 then 1. else -1. in
       total := !total +. (sign *. p))
     (conjunctions gu);
-  (* Inclusion-exclusion cancellation can leave tiny negative residue. *)
-  (max 0. (min 1. !total), List.rev !times)
+  (* Inclusion-exclusion cancellation can leave tiny out-of-range residue;
+     the value is returned raw and clamped at the Solver.prob boundary. *)
+  (!total, List.rev !times)
 
 let prob ?budget model lab gu = fst (prob_instrumented ?budget model lab gu)

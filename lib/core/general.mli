@@ -16,7 +16,9 @@ val prob :
   Prefs.Pattern_union.t ->
   float
 (** Exact marginal probability of the union. Cost is dominated by the
-    largest conjunction; exponential in [z]. *)
+    largest conjunction; exponential in [z]. The alternating sum is
+    returned raw: floating-point cancellation can leave residue slightly
+    outside [0, 1], which {!Solver.prob} clamps (with a debug log). *)
 
 val prob_instrumented :
   ?budget:Util.Timer.budget ->

@@ -46,14 +46,53 @@ let approx_prob which mal lab gu rng =
 type t = Exact of exact | Approx of approx
 
 let name = function Exact e -> exact_name e | Approx a -> approx_name a
+let to_string = name
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "auto" -> Ok (Exact `Auto)
+  | "two-label" | "two_label" -> Ok (Exact `Two_label)
+  | "bipartite" -> Ok (Exact `Bipartite)
+  | "bipartite-basic" | "bipartite_basic" -> Ok (Exact `Bipartite_basic)
+  | "general" -> Ok (Exact `General)
+  | "brute" -> Ok (Exact `Brute)
+  | "rejection" -> Ok (Approx (Rejection { n = 50_000 }))
+  | "mis-amp-lite" | "mis-lite" ->
+      Ok (Approx (Mis_lite { d = 10; n_per = 1000; compensate = true }))
+  | "mis-amp-adaptive" | "mis-adaptive" ->
+      Ok (Approx (Mis_adaptive { n_per = 1000; delta_d = 5; d_max = 50; tol = 0.05 }))
+  | "mis-amp" | "mis-full" -> Ok (Approx (Mis_full { n_per = 2000 }))
+  | other ->
+      Error
+        (Printf.sprintf
+           "unknown solver %S (expected auto, two-label, bipartite, \
+            bipartite-basic, general, brute, rejection, mis-amp-lite, \
+            mis-amp-adaptive or mis-amp)"
+           other)
+
+let log_src = Logs.Src.create "hardq.solver" ~doc:"Solver dispatch"
+
+module Log = (val Logs.src_log log_src)
+
+(* Query answers are probabilities. Inclusion-exclusion cancellation (and, for
+   the estimators, sampling noise) can step outside [0, 1] by floating-point
+   residue; clamp at this boundary and leave a debug trace when it fires. *)
+let clamp which raw =
+  if raw >= 0. && raw <= 1. then raw
+  else begin
+    let clamped = min 1. (max 0. raw) in
+    Log.debug (fun k ->
+        k "%s solver returned %.17g outside [0, 1]; clamped to %g" which raw
+          clamped);
+    clamped
+  end
 
 let prob ?budget t mal lab gu rng =
   match t with
-  | Exact e -> exact_prob ?budget e (Rim.Mallows.to_rim mal) lab gu
+  | Exact e -> clamp (exact_name e) (exact_prob ?budget e (Rim.Mallows.to_rim mal) lab gu)
   | Approx a ->
-      (* Raw estimates are unclamped (the accuracy experiments need them);
-         as a query answer the value is a probability, so clip to [0, 1]. *)
-      min 1. (max 0. (Estimate.value (approx_prob a mal lab gu rng)))
+      (* Raw estimates are unclamped (the accuracy experiments need them). *)
+      clamp (approx_name a) (Estimate.value (approx_prob a mal lab gu rng))
 
 let default_exact = Exact `Auto
 

@@ -39,6 +39,16 @@ type t = Exact of exact | Approx of approx
 
 val name : t -> string
 
+val to_string : t -> string
+(** Canonical name ({!exact_name} / {!approx_name}); round-trips through
+    {!of_string}. *)
+
+val of_string : string -> (t, string) result
+(** Parse a solver name (case-insensitive). Accepts every {!to_string}
+    output plus the historical CLI aliases [mis-lite] / [mis-adaptive] /
+    [mis-full]; approximate solvers get their default parameters. The
+    [Error] carries a human-readable message listing valid names. *)
+
 val prob :
   ?budget:Util.Timer.budget ->
   t ->
@@ -47,9 +57,12 @@ val prob :
   Prefs.Pattern_union.t ->
   Util.Rng.t ->
   float
-(** Convenience wrapper used by the database layer: exact solvers run on
-    the Mallows model's RIM form, approximate solvers return their
-    estimate's value. *)
+(** Convenience wrapper used by the query-evaluation layer: exact solvers
+    run on the Mallows model's RIM form, approximate solvers return their
+    estimate's value. The result is clamped to [0, 1] — inclusion-exclusion
+    cancellation ({!General.prob}) and sampling noise can both leave tiny
+    out-of-range residue — with a debug log on the [hardq.solver] source
+    when the clamp fires. *)
 
 val default_exact : t
 val default_approx : t

@@ -1,0 +1,275 @@
+module Pool = Pool
+module Lru = Lru
+module Request = Request
+module Response = Response
+
+(* Content-addressed identity of one per-session inference: the solver, the
+   session's Mallows parameters, the labeling content and the pattern union
+   determine the answer. Interned label ids are db-local, so the labeling
+   matrix (item -> label ids) is part of the key: together with the pattern
+   structure it pins down the semantics of every id, making cache entries
+   valid across queries and across databases. The labeling array is built
+   once per [eval] and shared physically by all keys, keeping structural
+   comparison cheap. *)
+type key =
+  Hardq.Solver.t
+  * int array (* center ranking *)
+  * float (* phi *)
+  * int list array (* labeling: item -> labels *)
+  * (Prefs.Pattern.node array * (int * int) list) list (* union structure *)
+
+type t = { pool : Pool.t; cache : (key, float) Lru.t option }
+
+let create ?jobs ?(cache = true) ?(cache_capacity = 8192) () =
+  {
+    pool = Pool.create ?jobs ();
+    cache = (if cache then Some (Lru.create cache_capacity) else None);
+  }
+
+let jobs t = Pool.size t.pool
+let cache_hits t = match t.cache with None -> 0 | Some c -> Lru.hits c
+let cache_misses t = match t.cache with None -> 0 | Some c -> Lru.misses c
+let cache_length t = match t.cache with None -> 0 | Some c -> Lru.length c
+let clear_cache t = match t.cache with None -> () | Some c -> Lru.clear c
+let shutdown t = Pool.shutdown t.pool
+
+let with_engine ?jobs ?cache ?cache_capacity f =
+  let t = create ?jobs ?cache ?cache_capacity () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let canonical_key solver lab_canon (s : Ppd.Database.session) union : key =
+  let mal = s.Ppd.Database.model in
+  ( solver,
+    Prefs.Ranking.to_array (Rim.Mallows.center mal),
+    Rim.Mallows.phi mal,
+    lab_canon,
+    List.map
+      (fun g -> (Prefs.Pattern.nodes g, Prefs.Pattern.edges g))
+      (Prefs.Pattern_union.patterns union) )
+
+let take k l =
+  let rec go n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: go (n - 1) rest
+  in
+  go k l
+
+let desc_by_snd l = List.stable_sort (fun (_, a) (_, b) -> compare b a) l
+
+(* Per-eval solve context. All cache bookkeeping is sequential (coordinator
+   domain only); the parallel phase works on slots preassigned here. *)
+type ctx = {
+  solver : Hardq.Solver.t;
+  lab : Prefs.Labeling.t;
+  lab_canon : int list array;
+  budget : float;
+  master : Util.Rng.t;
+  cache : (key, float) Lru.t option;
+  mutable hits : int; (* distinct requests answered by the cache *)
+  mutable misses : int; (* distinct requests that needed evaluation *)
+  mutable solver_calls : int;
+}
+
+let make_ctx (t : t) (req : Request.t) lab lab_canon =
+  {
+    solver = req.Request.solver;
+    lab;
+    lab_canon;
+    budget = req.Request.budget;
+    master = Util.Rng.make req.Request.seed;
+    cache = t.cache;
+    hits = 0;
+    misses = 0;
+    solver_calls = 0;
+  }
+
+let solve_one ctx (s : Ppd.Database.session) union rng =
+  let budget =
+    if ctx.budget > 0. then Some (Util.Timer.budget ctx.budget) else None
+  in
+  Hardq.Solver.prob ?budget ctx.solver s.Ppd.Database.model ctx.lab union rng
+
+(* The memoized Mallows -> RIM conversion mutates the model record; force it
+   before entering the parallel phase so workers only ever read it. *)
+let preforce_models jobs =
+  Array.iter
+    (fun (s, _, _) -> ignore (Rim.Mallows.to_rim s.Ppd.Database.model))
+    jobs
+
+(* Batch phase: probabilities for every request, in request order.
+
+   Determinism: requests are grouped and every distinct missing key gets its
+   RNG split from the master sequentially, in request order, BEFORE the
+   parallel phase. Workers then fill disjoint slots of a results array, so
+   the floats are bit-identical whatever the pool size. *)
+let batch_probs t ctx requests =
+  let n = Array.length requests in
+  (* resolution per request: probability if fixed, else index into jobs *)
+  let fixed = Array.make n 0. in
+  let slot = Array.make n (-1) in
+  let seen : (key, [ `Job of int | `Done of float ]) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let jobs = ref [] and n_jobs = ref 0 in
+  Array.iteri
+    (fun i { Ppd.Compile.session; union } ->
+      match union with
+      | None -> () (* statically unsatisfiable: probability 0 *)
+      | Some u -> (
+          let key = canonical_key ctx.solver ctx.lab_canon session u in
+          match Hashtbl.find_opt seen key with
+          | Some (`Done p) -> fixed.(i) <- p
+          | Some (`Job j) -> slot.(i) <- j
+          | None -> (
+              match Option.bind ctx.cache (fun c -> Lru.find_opt c key) with
+              | Some p ->
+                  ctx.hits <- ctx.hits + 1;
+                  Hashtbl.add seen key (`Done p);
+                  fixed.(i) <- p
+              | None ->
+                  ctx.misses <- ctx.misses + 1;
+                  let rng = Util.Rng.split ctx.master in
+                  let j = !n_jobs in
+                  incr n_jobs;
+                  jobs := (session, u, rng) :: !jobs;
+                  Hashtbl.add seen key (`Job j);
+                  slot.(i) <- j)))
+    requests;
+  let job_arr = Array.of_list (List.rev !jobs) in
+  preforce_models job_arr;
+  let results = Array.make (Array.length job_arr) 0. in
+  Pool.run t.pool ~n:(Array.length job_arr) (fun j ->
+      let session, u, rng = job_arr.(j) in
+      results.(j) <- solve_one ctx session u rng);
+  ctx.solver_calls <- ctx.solver_calls + Array.length job_arr;
+  (* Fill the persistent cache (sequentially) with the fresh results. *)
+  (match ctx.cache with
+  | None -> ()
+  | Some c ->
+      Hashtbl.iter
+        (fun key -> function
+          | `Job j -> Lru.put c key results.(j)
+          | `Done _ -> ())
+        seen);
+  Array.init n (fun i ->
+      let { Ppd.Compile.session; _ } = requests.(i) in
+      let p = if slot.(i) >= 0 then results.(slot.(i)) else fixed.(i) in
+      (session, p))
+
+(* Sequential cached solve for the adaptive top-k phase. Within-query
+   duplicates are resolved through the same table. *)
+let solve_cached ctx local session union =
+  let key = canonical_key ctx.solver ctx.lab_canon session union in
+  match Hashtbl.find_opt local key with
+  | Some p -> p
+  | None ->
+      let p =
+        match Option.bind ctx.cache (fun c -> Lru.find_opt c key) with
+        | Some p ->
+            ctx.hits <- ctx.hits + 1;
+            p
+        | None ->
+            ctx.misses <- ctx.misses + 1;
+            ctx.solver_calls <- ctx.solver_calls + 1;
+            let rng = Util.Rng.split ctx.master in
+            let p = solve_one ctx session union rng in
+            Option.iter (fun c -> Lru.put c key p) ctx.cache;
+            p
+      in
+      Hashtbl.add local key p;
+      p
+
+(* Most-Probable-Session with the k-edge relaxation: upper bounds for every
+   session (in parallel), then exact evaluation in descending bound order,
+   stopping when k exact probabilities dominate every remaining bound —
+   the same control flow as the legacy [Ppd.Eval.top_k]. *)
+let topk_edges t ctx requests ~k ~n_edges =
+  let n = Array.length requests in
+  Array.iter
+    (fun { Ppd.Compile.session; _ } ->
+      ignore (Rim.Mallows.to_rim session.Ppd.Database.model))
+    requests;
+  let bounds = Array.make n 0. in
+  Pool.run t.pool ~n (fun i ->
+      match requests.(i) with
+      | { Ppd.Compile.union = None; _ } -> ()
+      | { Ppd.Compile.session; union = Some u } ->
+          let model = Rim.Mallows.to_rim session.Ppd.Database.model in
+          bounds.(i) <- Hardq.Upper_bound.upper_bound ~k:n_edges model ctx.lab u);
+  let t_bounded = Util.Timer.wall () in
+  let queue =
+    List.stable_sort
+      (fun (_, _, a) (_, _, b) -> compare b a)
+      (List.init n (fun i ->
+           let { Ppd.Compile.session; union } = requests.(i) in
+           (session, union, bounds.(i))))
+  in
+  let local = Hashtbl.create 64 in
+  let rec go acc = function
+    | [] -> acc
+    | (session, union, ub) :: rest ->
+        let kth_best =
+          match List.nth_opt (desc_by_snd acc) (k - 1) with
+          | Some (_, p) -> p
+          | None -> neg_infinity
+        in
+        if kth_best >= ub then acc (* remaining bounds only get smaller *)
+        else
+          let p =
+            match union with
+            | None -> 0.
+            | Some u -> solve_cached ctx local session u
+          in
+          go ((session, p) :: acc) rest
+  in
+  let evaluated = go [] queue in
+  (take k (desc_by_snd evaluated), List.rev evaluated, t_bounded)
+
+let eval t (req : Request.t) =
+  let t_start = Util.Timer.wall () in
+  let compiled = Ppd.Compile.compile req.Request.db req.Request.query in
+  let requests = Array.of_list compiled.Ppd.Compile.requests in
+  let lab = Ppd.Database.labeling req.Request.db in
+  let lab_canon =
+    Array.init (Prefs.Labeling.n_items lab) (Prefs.Labeling.labels_of lab)
+  in
+  let t_compiled = Util.Timer.wall () in
+  let ctx = make_ctx t req lab lab_canon in
+  let answer, per_session, bound_s =
+    match req.Request.task with
+    | Request.Boolean ->
+        let probs = Array.to_list (batch_probs t ctx requests) in
+        let p =
+          1. -. List.fold_left (fun acc (_, p) -> acc *. (1. -. p)) 1. probs
+        in
+        (Response.Probability p, probs, 0.)
+    | Request.Count ->
+        let probs = Array.to_list (batch_probs t ctx requests) in
+        let c = List.fold_left (fun acc (_, p) -> acc +. p) 0. probs in
+        (Response.Expectation c, probs, 0.)
+    | Request.Top_k { k; strategy = `Naive } ->
+        let probs = Array.to_list (batch_probs t ctx requests) in
+        (Response.Ranked (take k (desc_by_snd probs)), probs, 0.)
+    | Request.Top_k { k; strategy = `Edges n_edges } ->
+        let ranked, evaluated, t_bounded = topk_edges t ctx requests ~k ~n_edges in
+        (Response.Ranked ranked, evaluated, t_bounded -. t_compiled)
+  in
+  let t_end = Util.Timer.wall () in
+  {
+    Response.answer;
+    per_session;
+    stats =
+      {
+        Response.sessions = Array.length requests;
+        distinct = ctx.hits + ctx.misses;
+        cache_hits = ctx.hits;
+        cache_misses = ctx.misses;
+        solver_calls = ctx.solver_calls;
+        jobs = Pool.size t.pool;
+        compile_s = t_compiled -. t_start;
+        bound_s;
+        solve_s = t_end -. t_compiled -. bound_s;
+        total_s = t_end -. t_start;
+      };
+  }

@@ -1,0 +1,69 @@
+(** The parallel, cached query-evaluation engine — the public entry point
+    for Boolean, Count-Session and Most-Probable-Session queries over a
+    RIM-PPD.
+
+    Every supported query reduces to many independent per-session
+    pattern-union inferences [Pr(Q | s)] (paper §3.1). The engine:
+
+    - distributes those inferences over a fixed pool of OCaml 5 domains
+      ({!Pool}), in chunks;
+    - memoizes them in a content-addressed LRU cache ({!Lru}) keyed on the
+      canonicalized (solver, RIM model, labeling, pattern union) — the
+      paper's §6.4 grouping optimization generalized so results also
+      survive across queries in a CLI or benchmark run;
+    - exposes one typed entry point, {!eval}, on {!Request.t} /
+      {!Response.t} records instead of optional-argument variants.
+
+    {b Determinism.} Results are bit-identical whatever the pool size:
+    per-inference RNGs are split deterministically from the request seed in
+    session order before the parallel phase, and each inference writes only
+    its own slot. [eval ~jobs:8] equals [eval ~jobs:1] float for float.
+
+    The legacy [Ppd.Eval] entry points remain as thin sequential shims and
+    are deprecated for new code. *)
+
+module Pool = Pool
+module Lru = Lru
+module Request = Request
+module Response = Response
+
+type t
+(** An engine: a domain pool plus (optionally) a persistent result cache.
+    Create once, evaluate many requests, then {!shutdown}. *)
+
+val create : ?jobs:int -> ?cache:bool -> ?cache_capacity:int -> unit -> t
+(** [create ()] — [jobs] is the total domain count (default
+    [Domain.recommended_domain_count () - 1], at least 1; [jobs = 1] spawns
+    no domains and evaluates inline). [cache] (default [true]) enables the
+    cross-query LRU result cache with [cache_capacity] entries (default
+    8192). *)
+
+val eval : t -> Request.t -> Response.t
+(** Evaluate one request: compile the query (Algorithm 2), group the
+    per-session inferences by canonical key, answer what the cache already
+    knows, solve the rest on the pool, and aggregate for the requested
+    task. Compilation errors ([Ppd.Compile.Unsupported],
+    [Ppd.Compile.Grounding_too_large]) and solver timeouts
+    ([Util.Timer.Out_of_time], for positive request budgets) propagate to
+    the caller. *)
+
+val jobs : t -> int
+(** Domains the engine computes with (pool size, caller included). *)
+
+val cache_hits : t -> int
+val cache_misses : t -> int
+(** Lifetime cache counters across every {!eval} on this engine (0 when the
+    cache is disabled). Per-request counters are in {!Response.stats}. *)
+
+val cache_length : t -> int
+(** Entries currently cached. *)
+
+val clear_cache : t -> unit
+
+val shutdown : t -> unit
+(** Join the pool's worker domains. The engine stays usable afterwards but
+    evaluates inline. *)
+
+val with_engine :
+  ?jobs:int -> ?cache:bool -> ?cache_capacity:int -> (t -> 'a) -> 'a
+(** [with_engine f] runs [f] on a fresh engine and always shuts it down. *)

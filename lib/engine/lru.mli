@@ -1,0 +1,33 @@
+(** A bounded least-recently-used cache with hit/miss counters.
+
+    Backs the engine's cross-query memo of (model, labeling, pattern-union)
+    inference results. Uses structural ([Hashtbl]) key equality. Not
+    thread-safe: the engine touches it only from the coordinating domain,
+    never inside the parallel phase. *)
+
+type ('k, 'v) t
+
+val create : int -> ('k, 'v) t
+(** [create capacity] — raises [Invalid_argument] unless [capacity >= 1].
+    Inserting beyond capacity evicts the least recently used entry. *)
+
+val capacity : ('k, 'v) t -> int
+val length : ('k, 'v) t -> int
+
+val find_opt : ('k, 'v) t -> 'k -> 'v option
+(** Lookup; a hit promotes the entry to most-recently-used and increments
+    {!hits}, a miss increments {!misses}. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Presence test without touching recency order or counters. *)
+
+val put : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert or overwrite, promoting to most-recently-used. *)
+
+val hits : ('k, 'v) t -> int
+val misses : ('k, 'v) t -> int
+(** Lifetime {!find_opt} counters (since creation or {!reset_counters}). *)
+
+val reset_counters : ('k, 'v) t -> unit
+val clear : ('k, 'v) t -> unit
+(** Drop every entry (counters are kept). *)

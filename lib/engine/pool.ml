@@ -1,0 +1,132 @@
+(* A fixed-size pool of worker domains executing chunked parallel-for tasks.
+
+   Workers are spawned once and block on a condition variable between tasks;
+   each [run] publishes one task and the caller participates in the work, so
+   a pool of size [j] computes with [j] domains ([j - 1] spawned workers plus
+   the calling domain). Indices are distributed in contiguous chunks claimed
+   from an atomic cursor, which keeps scheduling nondeterminism away from the
+   results: every index writes only its own slot, so the values are identical
+   to a sequential run no matter which domain claims which chunk.
+
+   Each task carries its own atomic cursors. A worker that wakes up late --
+   after its task has already been drained, or even after a newer task
+   started -- still holds the old task record, finds its cursor exhausted,
+   and simply goes back to waiting; it can never steal indices from a newer
+   task. *)
+
+type task = {
+  body : int -> unit;
+  hi : int;
+  chunk : int;
+  next : int Atomic.t;
+  completed : int Atomic.t;
+  mutable failure : exn option;
+}
+
+type t = {
+  size : int;  (* total domains, caller included *)
+  mutable domains : unit Domain.t list;
+  m : Mutex.t;
+  work_cv : Condition.t;  (* a new task was published, or shutdown *)
+  done_cv : Condition.t;  (* some task completed its last index *)
+  mutable generation : int;
+  mutable current : task;
+  mutable stop : bool;
+}
+
+let dummy_task =
+  { body = ignore; hi = 0; chunk = 1; next = Atomic.make 0;
+    completed = Atomic.make 0; failure = None }
+
+let default_size () = max 1 (Domain.recommended_domain_count () - 1)
+
+(* Drain the task: claim chunks until the cursor runs off the end. The last
+   domain to complete an index signals the caller. *)
+let drain t (task : task) =
+  let continue = ref true in
+  while !continue do
+    let lo = Atomic.fetch_and_add task.next task.chunk in
+    if lo >= task.hi then continue := false
+    else begin
+      let stop_at = min task.hi (lo + task.chunk) in
+      for i = lo to stop_at - 1 do
+        try task.body i
+        with e ->
+          Mutex.lock t.m;
+          if task.failure = None then task.failure <- Some e;
+          Mutex.unlock t.m
+      done;
+      let n = stop_at - lo in
+      if Atomic.fetch_and_add task.completed n + n >= task.hi then begin
+        Mutex.lock t.m;
+        Condition.broadcast t.done_cv;
+        Mutex.unlock t.m
+      end
+    end
+  done
+
+let rec worker t seen =
+  Mutex.lock t.m;
+  while (not t.stop) && t.generation = seen do
+    Condition.wait t.work_cv t.m
+  done;
+  if t.stop then Mutex.unlock t.m
+  else begin
+    let gen = t.generation and task = t.current in
+    Mutex.unlock t.m;
+    drain t task;
+    worker t gen
+  end
+
+let create ?jobs () =
+  let size = match jobs with Some j -> max 1 j | None -> default_size () in
+  let t =
+    {
+      size;
+      domains = [];
+      m = Mutex.create ();
+      work_cv = Condition.create ();
+      done_cv = Condition.create ();
+      generation = 0;
+      current = dummy_task;
+      stop = false;
+    }
+  in
+  t.domains <- List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker t 0));
+  t
+
+let size t = t.size
+
+let run t ~n body =
+  if n <= 0 then ()
+  else if t.size = 1 || n = 1 || t.stop then
+    for i = 0 to n - 1 do body i done
+  else begin
+    (* Several chunks per domain so an uneven task still balances. *)
+    let chunk = max 1 (n / (4 * t.size)) in
+    let task =
+      { body; hi = n; chunk; next = Atomic.make 0; completed = Atomic.make 0;
+        failure = None }
+    in
+    Mutex.lock t.m;
+    t.current <- task;
+    t.generation <- t.generation + 1;
+    Condition.broadcast t.work_cv;
+    Mutex.unlock t.m;
+    drain t task;
+    Mutex.lock t.m;
+    while Atomic.get task.completed < n do
+      Condition.wait t.done_cv t.m
+    done;
+    t.current <- dummy_task;  (* drop the closure reference *)
+    Mutex.unlock t.m;
+    match task.failure with Some e -> raise e | None -> ()
+  end
+
+let shutdown t =
+  Mutex.lock t.m;
+  t.stop <- true;
+  Condition.broadcast t.work_cv;
+  Mutex.unlock t.m;
+  List.iter Domain.join t.domains;
+  t.domains <- []

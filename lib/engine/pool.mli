@@ -1,0 +1,35 @@
+(** A fixed-size pool of OCaml 5 domains running chunked parallel-for tasks.
+
+    The pool spawns its worker domains once; between tasks they block on a
+    condition variable, so creating a pool is cheap to keep around for the
+    lifetime of a CLI invocation or benchmark run. The calling domain
+    participates in every task: a pool of size [j] computes with [j] domains
+    ([j - 1] spawned workers plus the caller), and [size = 1] spawns no
+    domains at all and runs tasks inline. *)
+
+type t
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] spawns a pool computing with [jobs] domains in total
+    (clamped to at least 1). Default: [Domain.recommended_domain_count () - 1],
+    at least 1. *)
+
+val default_size : unit -> int
+(** The default pool size used by {!create}. *)
+
+val size : t -> int
+(** Total domains the pool computes with, caller included. *)
+
+val run : t -> n:int -> (int -> unit) -> unit
+(** [run t ~n body] executes [body i] once for every [i] in [0 .. n-1],
+    distributing contiguous index chunks over the pool's domains. Returns
+    when every index completed. If some [body i] raises, one such exception
+    is re-raised in the caller after the task drains ([body] is still called
+    on the remaining indices).
+
+    [body] must only write to per-index state (e.g. slot [i] of a results
+    array): indices may run concurrently and in any order. *)
+
+val shutdown : t -> unit
+(** Terminate and join the worker domains. The pool remains usable after
+    shutdown, but runs every subsequent task inline on the caller. *)

@@ -1,0 +1,35 @@
+(* The engine's unified request record: one value describes a complete
+   evaluation job, replacing the optional-argument soup of the legacy
+   [Ppd.Eval] entry points. *)
+
+type topk_strategy =
+  [ `Naive  (* evaluate every session exactly, then sort *)
+  | `Edges of int  (* k-edge upper bounds first (paper §4.3.2) *) ]
+
+type task =
+  | Boolean  (* Pr(Q | D) = 1 - prod_s (1 - Pr(Q | s)) *)
+  | Count  (* E[#sessions satisfying Q] = sum_s Pr(Q | s) *)
+  | Top_k of { k : int; strategy : topk_strategy }
+      (* Most-Probable-Session: the k sessions likeliest to satisfy Q *)
+
+type t = {
+  db : Ppd.Database.t;
+  query : Ppd.Query.t;
+  task : task;
+  solver : Hardq.Solver.t;
+  budget : float;
+      (* CPU seconds per solver invocation; <= 0 means no limit. Budgets are
+         measured on process CPU time, which aggregates across domains, so
+         under a parallel pool they expire proportionally faster. *)
+  seed : int;
+      (* Root of the per-session RNG splits; only approximate solvers
+         consume randomness. *)
+}
+
+let make ?(task = Boolean) ?(solver = Hardq.Solver.default_exact) ?(budget = 0.)
+    ?(seed = 42) db query =
+  { db; query; task; solver; budget; seed }
+
+let boolean = Boolean
+let count = Count
+let top_k ?(strategy = `Edges 1) k = Top_k { k; strategy }

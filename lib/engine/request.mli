@@ -1,0 +1,46 @@
+(** Evaluation requests: one record describes a complete job for
+    {!Engine.eval}, replacing the optional-argument soup of the legacy
+    [Ppd.Eval] entry points. *)
+
+type topk_strategy =
+  [ `Naive  (** evaluate every session exactly, then sort *)
+  | `Edges of int  (** k-edge upper bounds first (paper §4.3.2) *) ]
+
+type task =
+  | Boolean  (** [Pr(Q | D) = 1 - Π_s (1 - Pr(Q | s))] *)
+  | Count  (** Count-Session: [Σ_s Pr(Q | s)] *)
+  | Top_k of { k : int; strategy : topk_strategy }
+      (** Most-Probable-Session: the [k] sessions likeliest to satisfy the
+          query, optionally pruned with upper bounds. *)
+
+type t = {
+  db : Ppd.Database.t;
+  query : Ppd.Query.t;
+  task : task;
+  solver : Hardq.Solver.t;
+  budget : float;
+      (** CPU seconds per solver invocation; [<= 0] means no limit. Budgets
+          are measured on process CPU time, which aggregates across domains,
+          so under a parallel pool they expire proportionally faster. *)
+  seed : int;
+      (** Root of the deterministic per-session RNG splits. Only approximate
+          solvers consume randomness; results are a pure function of the
+          request (and engine cache state), independent of the pool size. *)
+}
+
+val make :
+  ?task:task ->
+  ?solver:Hardq.Solver.t ->
+  ?budget:float ->
+  ?seed:int ->
+  Ppd.Database.t ->
+  Ppd.Query.t ->
+  t
+(** Defaults: [task = Boolean], [solver = Hardq.Solver.default_exact],
+    [budget = 0.] (no limit), [seed = 42]. *)
+
+val boolean : task
+val count : task
+
+val top_k : ?strategy:topk_strategy -> int -> task
+(** [top_k k] with the 1-edge pruning strategy by default. *)

@@ -1,0 +1,40 @@
+type stats = {
+  sessions : int;
+  distinct : int;
+  cache_hits : int;
+  cache_misses : int;
+  solver_calls : int;
+  jobs : int;
+  compile_s : float;
+  bound_s : float;
+  solve_s : float;
+  total_s : float;
+}
+
+type answer =
+  | Probability of float
+  | Expectation of float
+  | Ranked of (Ppd.Database.session * float) list
+
+type t = {
+  answer : answer;
+  per_session : (Ppd.Database.session * float) list;
+  stats : stats;
+}
+
+let answer_float r =
+  match r.answer with
+  | Probability p | Expectation p -> p
+  | Ranked ((_, p) :: _) -> p
+  | Ranked [] -> 0.
+
+let ranked r = match r.answer with Ranked l -> l | _ -> []
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "@[<v>stats: %d sessions, %d distinct requests (cache: %d hits, %d \
+     misses), %d solver calls, %d domain%s@,\
+     time:  compile %.3fs, bounds %.3fs, solve %.3fs, total %.3fs@]"
+    s.sessions s.distinct s.cache_hits s.cache_misses s.solver_calls s.jobs
+    (if s.jobs = 1 then "" else "s")
+    s.compile_s s.bound_s s.solve_s s.total_s

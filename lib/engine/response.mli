@@ -1,0 +1,42 @@
+(** Evaluation responses: the answer for the requested task plus the
+    per-session marginals and an execution-statistics record. *)
+
+type stats = {
+  sessions : int;  (** sessions surviving compilation (filters + joins) *)
+  distinct : int;
+      (** distinct (model, labeling, pattern-union, solver) inference
+          requests among them — the §6.4 grouping factor *)
+  cache_hits : int;  (** distinct requests answered by the engine cache *)
+  cache_misses : int;  (** distinct requests that had to be evaluated *)
+  solver_calls : int;  (** solver invocations actually performed *)
+  jobs : int;  (** domains the engine computes with *)
+  compile_s : float;  (** wall seconds rewriting the query (Algorithm 2) *)
+  bound_s : float;  (** wall seconds computing top-k upper bounds *)
+  solve_s : float;  (** wall seconds in the (parallel) solve phase *)
+  total_s : float;  (** wall seconds end to end *)
+}
+
+type answer =
+  | Probability of float  (** Boolean task: [Pr(Q | D)] *)
+  | Expectation of float  (** Count task: expected satisfying sessions *)
+  | Ranked of (Ppd.Database.session * float) list
+      (** Top-k task: the k best sessions, descending probability *)
+
+type t = {
+  answer : answer;
+  per_session : (Ppd.Database.session * float) list;
+      (** Per-session probabilities in session order. For a pruned top-k
+          task, only the sessions that were evaluated exactly, in
+          evaluation order. *)
+  stats : stats;
+}
+
+val answer_float : t -> float
+(** The probability/expectation, or the best ranked probability (0 when the
+    ranking is empty). *)
+
+val ranked : t -> (Ppd.Database.session * float) list
+(** The ranking of a top-k answer; [[]] for other tasks. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+(** Two-line human-readable rendering (the CLI stats footer). *)

@@ -7,7 +7,17 @@
 
     [group:true] evaluates each distinct (model, pattern-union) request
     once and replicates the result over the sessions sharing it — the
-    §6.4 optimization behind Figure 15. *)
+    §6.4 optimization behind Figure 15.
+
+    {b Deprecated.} This module is kept as the thin sequential shim layer
+    over the evaluation pipeline (compile → per-session solver dispatch)
+    for existing callers and as the single-core reference the engine is
+    tested against. New code should use the [engine] library's
+    [Engine.eval] on [Engine.Request.t]: it adds parallel evaluation over
+    a domain pool, a cross-query result cache generalizing [group:true],
+    per-phase statistics, and a typed request/response API. With an exact
+    solver, [Engine.eval] returns bit-identical floats to these entry
+    points (see the migration table in the README). *)
 
 val per_session :
   ?solver:Hardq.Solver.t ->
@@ -17,7 +27,8 @@ val per_session :
   Util.Rng.t ->
   (Database.session * float) list
 (** Probability that the query holds in each surviving session, in
-    session order. Defaults: [solver] = exact auto, [group] = true. *)
+    session order. Defaults: [solver] = exact auto, [group] = true.
+    @deprecated Use [Engine.eval] and read [Response.per_session]. *)
 
 val boolean_prob :
   ?solver:Hardq.Solver.t ->
@@ -26,7 +37,8 @@ val boolean_prob :
   Query.t ->
   Util.Rng.t ->
   float
-(** [Pr(Q | D)]. *)
+(** [Pr(Q | D)].
+    @deprecated Use [Engine.eval] with [Request.Boolean]. *)
 
 val count_sessions :
   ?solver:Hardq.Solver.t ->
@@ -35,7 +47,8 @@ val count_sessions :
   Query.t ->
   Util.Rng.t ->
   float
-(** Expected number of sessions satisfying [Q] (Count-Session). *)
+(** Expected number of sessions satisfying [Q] (Count-Session).
+    @deprecated Use [Engine.eval] with [Request.Count]. *)
 
 type topk_strategy =
   [ `Naive  (** evaluate every session exactly, then sort *)
@@ -59,4 +72,6 @@ val top_k :
 (** Most-Probable-Session. With [`Edges e], upper bounds are computed for
     every session with the [e]-edge relaxation, sessions are evaluated
     exactly in descending bound order, and evaluation stops as soon as
-    [k] exact probabilities dominate every remaining bound. *)
+    [k] exact probabilities dominate every remaining bound.
+    @deprecated Use [Engine.eval] with [Request.Top_k]; the engine also
+    computes the bounds in parallel and caches the exact evaluations. *)

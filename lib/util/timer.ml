@@ -4,6 +4,11 @@
 
 let now () = Sys.time ()
 
+(* Wall-clock time. CPU time is the right notion for solver budgets, but it
+   aggregates over every running domain, so parallel phases must be measured
+   on the wall clock. *)
+let wall () = Unix.gettimeofday ()
+
 let time f =
   let t0 = now () in
   let x = f () in

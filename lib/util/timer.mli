@@ -2,8 +2,13 @@
     solvers that must report "did not finish in time" (paper Figure 6). *)
 
 val now : unit -> float
-(** Process CPU seconds ([Sys.time]); Unix-free. CPU time is the right
-    notion for single-threaded solver budgets and benchmarks. *)
+(** Process CPU seconds ([Sys.time]). CPU time is the right notion for
+    single-threaded solver budgets and benchmarks. *)
+
+val wall : unit -> float
+(** Wall-clock seconds ([Unix.gettimeofday]). CPU time aggregates over
+    every running domain, so parallel phases (the evaluation engine, the
+    scaling benchmarks) must be measured on the wall clock. *)
 
 val time : (unit -> 'a) -> 'a * float
 (** [time f] runs [f ()] and returns its result with elapsed seconds. *)

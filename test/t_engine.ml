@@ -1,0 +1,331 @@
+(* The evaluation engine: pool and LRU primitives, bit-identity of
+   parallel/cached evaluation against the sequential [Ppd.Eval] reference,
+   cache-hit accounting and solver-name round-tripping. *)
+
+let tc = Alcotest.test_case
+
+let check_float_eq what expected actual =
+  if expected <> actual then
+    Alcotest.failf "%s: expected exactly %.17g, got %.17g" what expected actual
+
+let session_keys l =
+  List.map
+    (fun ((s : Ppd.Database.session), _) -> Array.to_list s.Ppd.Database.key)
+    l
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let unit_pool_covers_every_index () =
+  let pool = Engine.Pool.create ~jobs:4 () in
+  Fun.protect
+    ~finally:(fun () -> Engine.Pool.shutdown pool)
+    (fun () ->
+      let n = 1000 in
+      let calls = Atomic.make 0 in
+      let slots = Array.make n 0 in
+      Engine.Pool.run pool ~n (fun i ->
+          (* each slot is owned by exactly one index, so this write is
+             race-free; the atomic counts total invocations *)
+          slots.(i) <- slots.(i) + 1;
+          Atomic.incr calls);
+      Alcotest.(check int) "each index ran once" n (Atomic.get calls);
+      Array.iteri
+        (fun i c ->
+          if c <> 1 then Alcotest.failf "index %d ran %d times" i c)
+        slots;
+      (* a second task on the same pool (fresh cursor generation) *)
+      let sum = Atomic.make 0 in
+      Engine.Pool.run pool ~n:100 (fun i -> ignore (Atomic.fetch_and_add sum i));
+      Alcotest.(check int) "second task sum" 4950 (Atomic.get sum))
+
+let unit_pool_propagates_exceptions () =
+  Engine.Pool.(
+    let pool = create ~jobs:3 () in
+    Fun.protect
+      ~finally:(fun () -> shutdown pool)
+      (fun () ->
+        (match run pool ~n:64 (fun i -> if i = 17 then failwith "boom") with
+        | () -> Alcotest.fail "expected the worker exception to propagate"
+        | exception Failure m -> Alcotest.(check string) "message" "boom" m);
+        (* the pool survives a failed task *)
+        let ok = Atomic.make 0 in
+        run pool ~n:10 (fun _ -> Atomic.incr ok);
+        Alcotest.(check int) "pool usable after failure" 10 (Atomic.get ok)))
+
+let unit_pool_inline_after_shutdown () =
+  let pool = Engine.Pool.create ~jobs:4 () in
+  Engine.Pool.shutdown pool;
+  let hits = Array.make 8 false in
+  Engine.Pool.run pool ~n:8 (fun i -> hits.(i) <- true);
+  Alcotest.(check bool) "ran inline" true (Array.for_all Fun.id hits)
+
+(* ------------------------------------------------------------------ *)
+(* Lru                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let unit_lru_eviction_and_promotion () =
+  let c = Engine.Lru.create 2 in
+  Engine.Lru.put c "a" 1;
+  Engine.Lru.put c "b" 2;
+  Alcotest.(check (option int)) "a cached" (Some 1) (Engine.Lru.find_opt c "a");
+  (* "a" was just promoted, so inserting "c" must evict "b" *)
+  Engine.Lru.put c "c" 3;
+  Alcotest.(check int) "at capacity" 2 (Engine.Lru.length c);
+  Alcotest.(check bool) "b evicted" false (Engine.Lru.mem c "b");
+  Alcotest.(check bool) "a kept" true (Engine.Lru.mem c "a");
+  Alcotest.(check bool) "c kept" true (Engine.Lru.mem c "c");
+  Alcotest.(check (option int)) "miss on b" None (Engine.Lru.find_opt c "b");
+  Alcotest.(check int) "hits" 1 (Engine.Lru.hits c);
+  Alcotest.(check int) "misses" 1 (Engine.Lru.misses c);
+  Engine.Lru.put c "a" 10;
+  Alcotest.(check (option int)) "overwrite" (Some 10) (Engine.Lru.find_opt c "a");
+  Engine.Lru.clear c;
+  Alcotest.(check int) "cleared" 0 (Engine.Lru.length c);
+  Alcotest.(check int) "counters survive clear" 2 (Engine.Lru.hits c);
+  Engine.Lru.reset_counters c;
+  Alcotest.(check int) "counters reset" 0 (Engine.Lru.hits c + Engine.Lru.misses c)
+
+let unit_lru_rejects_zero_capacity () =
+  match Engine.Lru.create 0 with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Engine vs the sequential reference                                  *)
+(* ------------------------------------------------------------------ *)
+
+let polls () =
+  ( Datasets.Polls.generate ~n_candidates:10 ~n_voters:40 ~seed:3 (),
+    Ppd.Parser.parse Datasets.Polls.query_two_label )
+
+let movielens () =
+  ( Datasets.Movielens.generate ~n_movies:10 ~n_components:4 ~seed:5 (),
+    Ppd.Parser.parse Datasets.Movielens.query_fig14 )
+
+(* The crowdrank query compiles to General-kind unions on which the exact
+   solvers blow up; everything touching it below runs the cheap MIS-AMP
+   estimator, like the paper's Figure 15. *)
+let crowdrank () =
+  ( Datasets.Crowdrank.generate ~n_workers:200 ~seed:5 (),
+    Ppd.Parser.parse Datasets.Crowdrank.query_fig15 )
+
+let crowdrank_solver =
+  Hardq.Solver.Approx
+    (Hardq.Solver.Mis_lite { d = 2; n_per = 40; compensate = true })
+
+let check_matches_eval name (db, q) =
+  let solver = Hardq.Solver.Exact `Auto in
+  let ref_sessions = Ppd.Eval.per_session ~solver db q (Util.Rng.make 1) in
+  let ref_bool = Ppd.Eval.boolean_prob ~solver db q (Util.Rng.make 1) in
+  let ref_count = Ppd.Eval.count_sessions ~solver db q (Util.Rng.make 1) in
+  List.iter
+    (fun jobs ->
+      Engine.with_engine ~jobs (fun engine ->
+          let eval task =
+            Engine.eval engine (Engine.Request.make ~task ~solver db q)
+          in
+          let b = eval Engine.Request.Boolean in
+          check_float_eq
+            (Printf.sprintf "%s: Boolean, jobs=%d" name jobs)
+            ref_bool
+            (Engine.Response.answer_float b);
+          List.iter2
+            (fun (_, expected) (_, actual) ->
+              check_float_eq
+                (Printf.sprintf "%s: per-session, jobs=%d" name jobs)
+                expected actual)
+            ref_sessions b.Engine.Response.per_session;
+          Alcotest.(check (list (list string)))
+            (Printf.sprintf "%s: session order, jobs=%d" name jobs)
+            (List.map
+               (fun (l : Ppd.Value.t list) -> List.map Ppd.Value.to_string l)
+               (session_keys ref_sessions))
+            (List.map
+               (fun l -> List.map Ppd.Value.to_string l)
+               (session_keys b.Engine.Response.per_session));
+          let c = eval Engine.Request.Count in
+          check_float_eq
+            (Printf.sprintf "%s: Count, jobs=%d" name jobs)
+            ref_count
+            (Engine.Response.answer_float c)))
+    [ 1; 4 ]
+
+let unit_engine_matches_eval_polls () = check_matches_eval "polls" (polls ())
+
+let unit_engine_matches_eval_movielens () =
+  check_matches_eval "movielens" (movielens ())
+
+let unit_engine_topk_matches_eval () =
+  let db, q = polls () in
+  let solver = Hardq.Solver.Exact `Auto in
+  List.iter
+    (fun strategy ->
+      let reference =
+        Ppd.Eval.top_k ~solver ~strategy ~k:5 db q (Util.Rng.make 1)
+      in
+      List.iter
+        (fun jobs ->
+          Engine.with_engine ~jobs (fun engine ->
+              let resp =
+                Engine.eval engine
+                  (Engine.Request.make
+                     ~task:(Engine.Request.Top_k { k = 5; strategy })
+                     ~solver db q)
+              in
+              let got = Engine.Response.ranked resp in
+              Alcotest.(check int)
+                "ranking length"
+                (List.length reference.Ppd.Eval.results)
+                (List.length got);
+              List.iter2
+                (fun (rs, rp) (gs, gp) ->
+                  check_float_eq "top-k probability" rp gp;
+                  Alcotest.(check (list string))
+                    "top-k session"
+                    (Array.to_list
+                       (Array.map Ppd.Value.to_string (rs : Ppd.Database.session).Ppd.Database.key))
+                    (Array.to_list
+                       (Array.map Ppd.Value.to_string (gs : Ppd.Database.session).Ppd.Database.key)))
+                reference.Ppd.Eval.results got))
+        [ 1; 4 ])
+    [ `Naive; `Edges 1; `Edges 2 ]
+
+let unit_engine_parallel_deterministic_approx () =
+  (* Approximate solvers consume randomness; the per-request RNG splits are
+     assigned sequentially in request order, so pool size must not change a
+     single bit of the output. *)
+  let db, q = crowdrank () in
+  let solver = crowdrank_solver in
+  let eval jobs =
+    Engine.with_engine ~jobs (fun engine ->
+        let resp =
+          Engine.eval engine (Engine.Request.make ~solver ~seed:11 db q)
+        in
+        List.map snd resp.Engine.Response.per_session)
+  in
+  let seq = eval 1 and par = eval 4 in
+  List.iteri
+    (fun i (a, b) -> check_float_eq (Printf.sprintf "session %d" i) a b)
+    (List.combine seq par)
+
+(* ------------------------------------------------------------------ *)
+(* Cache accounting                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let unit_engine_cache_accounting () =
+  (* CrowdRank workers share a handful of Mallows models, so the distinct
+     request count collapses far below the session count; a second
+     evaluation on the same engine is answered entirely by the cache. *)
+  let db, q = crowdrank () in
+  Engine.with_engine ~jobs:1 (fun engine ->
+      let req = Engine.Request.make ~solver:crowdrank_solver db q in
+      let first = Engine.eval engine req in
+      let s1 = first.Engine.Response.stats in
+      Alcotest.(check bool)
+        "grouping collapses requests" true
+        (s1.Engine.Response.distinct < s1.Engine.Response.sessions / 2);
+      Alcotest.(check int)
+        "cold run: everything is a miss" s1.Engine.Response.distinct
+        s1.Engine.Response.cache_misses;
+      Alcotest.(check int) "cold run: no hits" 0 s1.Engine.Response.cache_hits;
+      Alcotest.(check int)
+        "one solver call per distinct request" s1.Engine.Response.distinct
+        s1.Engine.Response.solver_calls;
+      let second = Engine.eval engine req in
+      let s2 = second.Engine.Response.stats in
+      Alcotest.(check int) "warm run: no misses" 0 s2.Engine.Response.cache_misses;
+      Alcotest.(check int)
+        "warm run: every distinct request hits" s2.Engine.Response.distinct
+        s2.Engine.Response.cache_hits;
+      Alcotest.(check int) "warm run: no solver calls" 0 s2.Engine.Response.solver_calls;
+      check_float_eq "warm answer identical"
+        (Engine.Response.answer_float first)
+        (Engine.Response.answer_float second);
+      Alcotest.(check int)
+        "engine-lifetime counters add up"
+        (s1.Engine.Response.cache_hits + s2.Engine.Response.cache_hits)
+        (Engine.cache_hits engine))
+
+let unit_engine_cache_disabled () =
+  let db, q = crowdrank () in
+  Engine.with_engine ~jobs:1 ~cache:false (fun engine ->
+      let req = Engine.Request.make ~solver:crowdrank_solver db q in
+      let r1 = Engine.eval engine req in
+      let r2 = Engine.eval engine req in
+      Alcotest.(check int)
+        "no cache: second run misses again"
+        r1.Engine.Response.stats.Engine.Response.cache_misses
+        r2.Engine.Response.stats.Engine.Response.cache_misses;
+      Alcotest.(check int) "no hits ever" 0 (Engine.cache_hits engine);
+      check_float_eq "same answer regardless"
+        (Engine.Response.answer_float r1)
+        (Engine.Response.answer_float r2))
+
+(* ------------------------------------------------------------------ *)
+(* Solver names                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let unit_solver_name_round_trip () =
+  let all =
+    Hardq.Solver.
+      [
+        Exact `Auto;
+        Exact `Two_label;
+        Exact `Bipartite;
+        Exact `Bipartite_basic;
+        Exact `General;
+        Exact `Brute;
+        Approx (Rejection { n = 50_000 });
+        Approx (Mis_lite { d = 10; n_per = 1000; compensate = true });
+        Approx (Mis_adaptive { n_per = 1000; delta_d = 5; d_max = 50; tol = 0.05 });
+        Approx (Mis_full { n_per = 2000 });
+      ]
+  in
+  List.iter
+    (fun s ->
+      let name = Hardq.Solver.to_string s in
+      match Hardq.Solver.of_string name with
+      | Ok s' ->
+          if s' <> s then Alcotest.failf "%s does not round-trip" name
+      | Error msg -> Alcotest.failf "%s rejected: %s" name msg)
+    all;
+  (match Hardq.Solver.of_string "  MIS-Amp-Lite " with
+  | Ok (Hardq.Solver.Approx (Hardq.Solver.Mis_lite _)) -> ()
+  | _ -> Alcotest.fail "case/space-insensitive parse failed");
+  match Hardq.Solver.of_string "no-such-solver" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected an error for an unknown name"
+
+let suites =
+  [
+    ( "engine.pool",
+      [
+        tc "covers every index exactly once" `Quick unit_pool_covers_every_index;
+        tc "propagates worker exceptions" `Quick unit_pool_propagates_exceptions;
+        tc "inline after shutdown" `Quick unit_pool_inline_after_shutdown;
+      ] );
+    ( "engine.lru",
+      [
+        tc "eviction, promotion and counters" `Quick unit_lru_eviction_and_promotion;
+        tc "rejects zero capacity" `Quick unit_lru_rejects_zero_capacity;
+      ] );
+    ( "engine.eval",
+      [
+        tc "matches Eval on polls (jobs=1,4)" `Quick unit_engine_matches_eval_polls;
+        tc "matches Eval on movielens (jobs=1,4)" `Quick
+          unit_engine_matches_eval_movielens;
+        tc "top-k matches Eval for every strategy" `Quick
+          unit_engine_topk_matches_eval;
+        tc "approx results independent of pool size" `Quick
+          unit_engine_parallel_deterministic_approx;
+      ] );
+    ( "engine.cache",
+      [
+        tc "hit/miss accounting across evals" `Quick unit_engine_cache_accounting;
+        tc "disabled cache never hits" `Quick unit_engine_cache_disabled;
+      ] );
+    ( "engine.solver-names",
+      [ tc "of_string/to_string round-trip" `Quick unit_solver_name_round_trip ] );
+  ]
