@@ -1,4 +1,4 @@
-.PHONY: all build test bench check fmt clean
+.PHONY: all build test bench check ci fmt clean
 
 all: build
 
@@ -11,6 +11,20 @@ test:
 # Tier-1 gate: everything compiles and the whole suite passes.
 check:
 	dune build && dune runtest
+
+# Tier-1 CI gate: full build, the whole test suite, and a formatting
+# check over the source tree. The format step is skipped (with a notice)
+# when ocamlformat is not installed, so `make ci` works in minimal
+# containers; install ocamlformat to enforce it.
+ci:
+	dune build
+	dune runtest
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+		ocamlformat --check $$(find lib bin test bench examples -name '*.ml' -o -name '*.mli') \
+		  && echo "ci: format check passed"; \
+	else \
+		echo "ci: ocamlformat not installed -- skipping format check"; \
+	fi
 
 bench:
 	dune exec bench/main.exe

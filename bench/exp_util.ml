@@ -36,6 +36,20 @@ let json_line fields =
   in
   Printf.printf "  {%s}\n%!" (String.concat ", " (List.map field fields))
 
+(* Flatten an observability snapshot into [json_line] fields: counters as
+   ints, histograms as .count/.sum pairs, all under [prefix]. *)
+let obs_fields ?(prefix = "obs.") (snap : Obs.snapshot) =
+  List.concat_map
+    (fun (name, v) ->
+      match v with
+      | Obs.Count n -> [ (prefix ^ name, `Int n) ]
+      | Obs.Hist { count; sum; _ } ->
+          [
+            (prefix ^ name ^ ".count", `Int count);
+            (prefix ^ name ^ ".sum", `Int sum);
+          ])
+    snap
+
 (* Time a solver call under a budget; None = timed out or state explosion. *)
 let timed_opt ?(budget = 0.) f =
   let t0 = Util.Timer.now () in

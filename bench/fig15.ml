@@ -33,9 +33,21 @@ let run ~full () =
             let resp = Engine.eval engine req in
             (resp, Util.Timer.wall () -. t0)
           in
+          (* The cold evaluation runs instrumented, so its response carries
+             the sampler-draw / cache metrics delta for the JSON row; the
+             enabled overhead is a few atomic adds per inference, noise
+             against the sampler work measured here. *)
+          Obs.enable ();
           let cold, t_cold = eval () in
+          Obs.disable ();
           let warm, t_warm = eval () in
           assert (warm.Engine.Response.stats.Engine.Response.cache_misses = 0);
+          Exp_util.json_line
+            (("bench", `Str "fig15-scaling") :: ("sessions", `Int n)
+            :: ("cold_s", `Float t_cold) :: ("warm_s", `Float t_warm)
+            :: ("distinct", `Int cold.Engine.Response.stats.Engine.Response.distinct)
+            :: Exp_util.obs_fields
+                 cold.Engine.Response.stats.Engine.Response.metrics);
           if naive_too then begin
             let _, t_naive =
               Util.Timer.time (fun () ->

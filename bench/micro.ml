@@ -131,7 +131,17 @@ let engine_scaling () =
           ("speedup", `Float (base_wall /. wall));
           ("prob", `Float prob);
         ])
-    [ 1; 2; 4; 8 ]
+    [ 1; 2; 4; 8 ];
+  (* One instrumented evaluation, outside the timed runs (which stay
+     obs-disabled so the scaling numbers measure the uninstrumented path),
+     to attach solver/engine counters to the plot data. *)
+  Obs.enable ();
+  let _, stats, _ = eval_with 4 in
+  Obs.disable ();
+  Exp_util.json_line
+    (("bench", `Str "engine-scaling-metrics")
+    :: ("domains", `Int 4)
+    :: Exp_util.obs_fields stats.Engine.Response.metrics)
 
 let run ~full:_ () =
   Exp_util.header "Micro" "Bechamel microbenchmarks (kernels and ablations)";

@@ -72,6 +72,42 @@ let stats_arg =
     value & flag
     & info [ "stats" ] ~doc:"Print the engine's execution-statistics footer.")
 
+let metrics_json_arg =
+  let doc =
+    "Enable observability counters and write the run's metrics snapshot \
+     (one JSON object: per-solver DP states, prune counts, sampler draws, \
+     engine cache activity) to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-json" ] ~docv:"PATH" ~doc)
+
+let trace_arg =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:
+          "Record engine spans (compile/group/solve/bounds/aggregate) and \
+           print the span tree to stderr.")
+
+(* Run [f] with observability configured by the flags, then emit the
+   snapshot / trace — also on failure exits, so a budget-exhausted run
+   still reports how far it got. *)
+let with_obs metrics_json trace f =
+  if Option.is_some metrics_json then Obs.enable ();
+  if trace then Obs.enable_tracing ();
+  let code = f () in
+  (match metrics_json with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc
+        (Obs.json_of_snapshot
+           ~extra:[ ("schema", "\"hardq-metrics/1\"") ]
+           (Obs.snapshot ()));
+      output_char oc '\n';
+      close_out oc);
+  if trace then Format.eprintf "%a" Obs.pp_trace ();
+  code
+
 let with_jobs jobs = if jobs <= 0 then None else Some jobs
 
 let print_stats show (resp : Engine.Response.t) =
@@ -121,7 +157,9 @@ let with_query dataset size sessions seed query f =
 (* ------------------------------------------------------------------ *)
 
 let eval_cmd =
-  let run dataset size sessions seed query solver jobs cache budget stats verbose =
+  let run dataset size sessions seed query solver jobs cache budget stats verbose
+      metrics_json trace =
+    with_obs metrics_json trace @@ fun () ->
     with_query dataset size sessions seed query (fun db q ->
         Format.printf "query: %a@." Ppd.Query.pp q;
         Format.printf "V+ = {%s}, itemwise: %b@."
@@ -154,14 +192,17 @@ let eval_cmd =
     (Cmd.info "eval" ~doc:"Evaluate a Boolean CQ and its Count-Session aggregate")
     Term.(
       const run $ dataset_arg $ size_arg $ sessions_arg $ seed_arg $ query_arg
-      $ solver_arg $ jobs_arg $ cache_arg $ budget_arg $ stats_arg $ verbose)
+      $ solver_arg $ jobs_arg $ cache_arg $ budget_arg $ stats_arg $ verbose
+      $ metrics_json_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* topk                                                                *)
 (* ------------------------------------------------------------------ *)
 
 let topk_cmd =
-  let run dataset size sessions seed query solver jobs cache budget stats k strategy =
+  let run dataset size sessions seed query solver jobs cache budget stats k
+      strategy metrics_json trace =
+    with_obs metrics_json trace @@ fun () ->
     with_query dataset size sessions seed query (fun db q ->
         Engine.with_engine ?jobs:(with_jobs jobs) ~cache (fun engine ->
             let req =
@@ -197,7 +238,7 @@ let topk_cmd =
     Term.(
       const run $ dataset_arg $ size_arg $ sessions_arg $ seed_arg $ query_arg
       $ solver_arg $ jobs_arg $ cache_arg $ budget_arg $ stats_arg $ k_arg
-      $ strategy_arg)
+      $ strategy_arg $ metrics_json_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* answers                                                             *)

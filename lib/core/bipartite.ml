@@ -2,6 +2,16 @@ exception Unsupported of string
 
 let max_states = ref 5_000_000
 
+(* Observability (all no-ops unless [Obs.enable]d): counted into plain
+   local ints inside the DP and flushed once per call. *)
+let c_calls = Obs.counter "solver.bipartite.calls"
+let c_states = Obs.counter "solver.bipartite.dp_states"
+let c_edges_pruned = Obs.counter "solver.bipartite.edges_pruned"
+let c_patterns_pruned = Obs.counter "solver.bipartite.patterns_pruned"
+let h_states = Obs.histogram "solver.bipartite.dp_states_per_call"
+let c_basic_calls = Obs.counter "solver.bipartite_basic.calls"
+let c_basic_states = Obs.counter "solver.bipartite_basic.dp_states"
+
 (* Tracks are (conjunction, role) pairs; a conjunction used on both sides of
    edges is tracked twice (min position as L, max position as R). *)
 
@@ -100,12 +110,15 @@ let run_optimized ?(budget = Util.Timer.no_limit) ctx patterns =
       (* A pattern with no (remaining) edge constraints is always satisfied. *)
       1.
   | feasible ->
+      let obs = Obs.enabled () in
+      let states = ref 0 and edges_pruned = ref 0 and patterns_pruned = ref 0 in
       let gu0 = intern_gu feasible in
       let table = ref (Hashtbl.create 64) in
       Hashtbl.add !table (gu0, Array.make (Array.length gu0.tracked) 0) 1.;
       let prob = ref 0. in
       for i = 0 to m - 1 do
         Util.Timer.check budget;
+        if obs then states := !states + Hashtbl.length !table;
         let next = Hashtbl.create (Hashtbl.length !table * 2) in
         Hashtbl.iter
           (fun (g, vals) q ->
@@ -138,15 +151,22 @@ let run_optimized ?(budget = Util.Timer.no_limit) ctx patterns =
                         List.filter
                           (fun e ->
                             match edge_situation ctx ~value i e with
-                            | Satisfied -> false
+                            | Satisfied ->
+                                if obs then incr edges_pruned;
+                                false
                             | Violated ->
+                                if obs then incr edges_pruned;
                                 violated := true;
                                 false
                             | Uncertain -> true)
                           edges
                       in
-                      if !violated then None
+                      if !violated then begin
+                        if obs then incr patterns_pruned;
+                        None
+                      end
                       else if uncertain = [] then begin
+                        if obs then incr patterns_pruned;
                         satisfied_pattern := true;
                         None
                       end
@@ -170,6 +190,13 @@ let run_optimized ?(budget = Util.Timer.no_limit) ctx patterns =
           !table;
         table := next
       done;
+      if obs then begin
+        Obs.Counter.incr c_calls;
+        Obs.Counter.add c_states !states;
+        Obs.Counter.add c_edges_pruned !edges_pruned;
+        Obs.Counter.add c_patterns_pruned !patterns_pruned;
+        Obs.Histogram.observe h_states !states
+      end;
       min 1. !prob
 
 (* ------------------------------------------------------------------ *)
@@ -182,10 +209,13 @@ let run_basic ?(budget = Util.Timer.no_limit) ctx patterns =
   | [] -> 0.
   | feasible when List.exists (fun edges -> edges = []) feasible -> 1.
   | feasible ->
+      let obs = Obs.enabled () in
+      let states = ref 0 in
       let table = ref (Hashtbl.create 64) in
       Hashtbl.add !table (Array.make ctx.n_tracks 0) 1.;
       for i = 0 to m - 1 do
         Util.Timer.check budget;
+        if obs then states := !states + Hashtbl.length !table;
         let next = Hashtbl.create (Hashtbl.length !table * 2) in
         Hashtbl.iter
           (fun vals q ->
@@ -215,6 +245,10 @@ let run_basic ?(budget = Util.Timer.no_limit) ctx patterns =
           !table;
         table := next
       done;
+      if obs then begin
+        Obs.Counter.incr c_basic_calls;
+        Obs.Counter.add c_basic_states !states
+      end;
       let satisfied vals =
         List.exists
           (List.for_all (fun (l, r) ->

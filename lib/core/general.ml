@@ -1,3 +1,9 @@
+(* Observability: inclusion-exclusion terms actually evaluated (the
+   2^z - 1 subset conjunctions are the general solver's cost driver). *)
+let c_calls = Obs.counter "solver.general.calls"
+let c_terms = Obs.counter "solver.general.ie_terms"
+let h_terms = Obs.histogram "solver.general.ie_terms_per_call"
+
 let conjunctions gu =
   let pats = Prefs.Pattern_union.patterns gu in
   let out = ref [] in
@@ -6,14 +12,22 @@ let conjunctions gu =
   List.sort (fun (_, a) (_, b) -> compare a b) (List.rev !out)
 
 let prob_instrumented ?budget model lab gu =
+  let obs = Obs.enabled () in
+  let terms = ref 0 in
   let total = ref 0. and times = ref [] in
   List.iter
     (fun (conj, size) ->
       let p, dt = Util.Timer.time (fun () -> Pattern_solver.prob ?budget model lab conj) in
+      if obs then incr terms;
       times := (size, dt) :: !times;
       let sign = if size land 1 = 1 then 1. else -1. in
       total := !total +. (sign *. p))
     (conjunctions gu);
+  if obs then begin
+    Obs.Counter.incr c_calls;
+    Obs.Counter.add c_terms !terms;
+    Obs.Histogram.observe h_terms !terms
+  end;
   (* Inclusion-exclusion cancellation can leave tiny out-of-range residue;
      the value is returned raw and clamped at the Solver.prob boundary. *)
   (!total, List.rev !times)

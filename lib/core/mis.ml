@@ -1,7 +1,19 @@
+(* Observability: AMP proposal draws across the whole MIS family (every
+   estimator funnels through these two entry points). *)
+let c_draws = Obs.counter "sampler.mis.draws"
+let c_proposals = Obs.counter "sampler.mis.proposals"
+
+let record_obs ~d ~n_per =
+  if Obs.enabled () then begin
+    Obs.Counter.add c_draws (d * n_per);
+    Obs.Counter.add c_proposals d
+  end
+
 let balance_estimate ~target ~proposals ~n_per rng =
   let d = Array.length proposals in
   if d = 0 then invalid_arg "Mis.balance_estimate: no proposals";
   if n_per <= 0 then invalid_arg "Mis.balance_estimate: n_per <= 0";
+  record_obs ~d ~n_per;
   let log_d = log (float_of_int d) in
   let total = ref 0. in
   Array.iter
@@ -22,6 +34,7 @@ let is_estimate ~target ~proposal ~n rng =
 let plain_is_weights_estimate ~target ~proposals ~n_per rng =
   let d = Array.length proposals in
   if d = 0 then invalid_arg "Mis.plain_is_weights_estimate: no proposals";
+  record_obs ~d ~n_per;
   let total = ref 0. in
   Array.iter
     (fun prop ->

@@ -1,3 +1,8 @@
+(* Observability: draws from the model and draws matching the predicate.
+   Accumulated locally, flushed once per estimate. *)
+let c_draws = Obs.counter "sampler.rejection.draws"
+let c_accepts = Obs.counter "sampler.rejection.accepts"
+
 let run ~n model pred rng =
   if n <= 0 then invalid_arg "Rejection: n <= 0";
   let t0 = Util.Timer.now () in
@@ -5,6 +10,10 @@ let run ~n model pred rng =
   for _ = 1 to n do
     if pred (Rim.Model.sample model rng) then incr hits
   done;
+  if Obs.enabled () then begin
+    Obs.Counter.add c_draws n;
+    Obs.Counter.add c_accepts !hits
+  end;
   {
     Estimate.value = float_of_int !hits /. float_of_int n;
     n_samples = n;

@@ -2,6 +2,12 @@ exception Unsupported of string
 
 let max_states = ref 5_000_000
 
+(* Observability (all no-ops unless [Obs.enable]d): states are counted
+   into a plain local int and flushed once per call. *)
+let c_calls = Obs.counter "solver.two_label.calls"
+let c_states = Obs.counter "solver.two_label.dp_states"
+let h_states = Obs.histogram "solver.two_label.dp_states_per_call"
+
 (* State encoding: an int array [lv_0..lv_{a-1}; rv_0..rv_{b-1}] where a value
    is (position + 1) and 0 means "no item with that conjunction yet". *)
 
@@ -35,10 +41,13 @@ let prob_edges ?(budget = Util.Timer.no_limit) model lab pairs =
         lv > 0 && rv > 0 && lv < rv)
       edges
   in
+  let obs = Obs.enabled () in
+  let states = ref 0 in
   let table = ref (Hashtbl.create 64) in
   Hashtbl.add !table (Array.make (a + b) 0) 1.;
   for i = 0 to m - 1 do
     Util.Timer.check budget;
+    if obs then states := !states + Hashtbl.length !table;
     let next = Hashtbl.create (Hashtbl.length !table * 2) in
     Hashtbl.iter
       (fun st q ->
@@ -74,6 +83,11 @@ let prob_edges ?(budget = Util.Timer.no_limit) model lab pairs =
       !table;
     table := next
   done;
+  if obs then begin
+    Obs.Counter.incr c_calls;
+    Obs.Counter.add c_states !states;
+    Obs.Histogram.observe h_states !states
+  end;
   let violating = Hashtbl.fold (fun _ q acc -> acc +. q) !table 0. in
   max 0. (1. -. violating)
 

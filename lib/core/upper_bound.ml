@@ -44,11 +44,21 @@ let select_edges ~k lab sigma g =
     Some (List.map snd (take k sorted))
   end
 
+(* Observability: every bound evaluation and the relaxation's size. The
+   underlying two-label/bipartite DP work shows up in those solvers' own
+   counters. *)
+let c_calls = Obs.counter "solver.upper_bound.calls"
+let c_edges = Obs.counter "solver.upper_bound.edges_selected"
+
 let upper_bound ?budget ~k model lab gu =
   let sigma = Rim.Model.sigma model in
   let sets =
     List.filter_map (select_edges ~k lab sigma) (Prefs.Pattern_union.patterns gu)
   in
+  if Obs.enabled () then begin
+    Obs.Counter.incr c_calls;
+    Obs.Counter.add c_edges (List.fold_left (fun acc s -> acc + List.length s) 0 sets)
+  end;
   if sets = [] then 0.
   else if List.exists (fun s -> s = []) sets then 1.
   else if k = 1 then

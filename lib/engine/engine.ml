@@ -18,12 +18,32 @@ type key =
   * int list array (* labeling: item -> labels *)
   * (Prefs.Pattern.node array * (int * int) list) list (* union structure *)
 
-type t = { pool : Pool.t; cache : (key, float) Lru.t option }
+type t = {
+  pool : Pool.t;
+  cache : (key, float) Lru.t option;
+  mutable evictions_folded : int;
+      (* Lru evictions already folded into the Obs registry *)
+}
+
+(* Observability. Counters are engine-lifetime totals in the process-wide
+   registry; per-request deltas are what [Response.stats.metrics] carries.
+   The [Lru] keeps its own plain counters (it predates obs and is used
+   sequentially); the engine folds their deltas into the registry after
+   every eval so one snapshot shows cache behaviour next to solver work. *)
+let c_evals = Obs.counter "engine.evals"
+let c_sessions = Obs.counter "engine.sessions"
+let c_distinct = Obs.counter "engine.distinct"
+let c_solver_calls = Obs.counter "engine.solver_calls"
+let c_cache_hits = Obs.counter "engine.cache.hits"
+let c_cache_misses = Obs.counter "engine.cache.misses"
+let c_cache_evictions = Obs.counter "engine.cache.evictions"
+let h_distinct = Obs.histogram "engine.distinct_per_eval"
 
 let create ?jobs ?(cache = true) ?(cache_capacity = 8192) () =
   {
     pool = Pool.create ?jobs ();
     cache = (if cache then Some (Lru.create cache_capacity) else None);
+    evictions_folded = 0;
   }
 
 let jobs t = Pool.size t.pool
@@ -112,46 +132,50 @@ let batch_probs t ctx requests =
     Hashtbl.create 64
   in
   let jobs = ref [] and n_jobs = ref 0 in
-  Array.iteri
-    (fun i { Ppd.Compile.session; union } ->
-      match union with
-      | None -> () (* statically unsatisfiable: probability 0 *)
-      | Some u -> (
-          let key = canonical_key ctx.solver ctx.lab_canon session u in
-          match Hashtbl.find_opt seen key with
-          | Some (`Done p) -> fixed.(i) <- p
-          | Some (`Job j) -> slot.(i) <- j
-          | None -> (
-              match Option.bind ctx.cache (fun c -> Lru.find_opt c key) with
-              | Some p ->
-                  ctx.hits <- ctx.hits + 1;
-                  Hashtbl.add seen key (`Done p);
-                  fixed.(i) <- p
-              | None ->
-                  ctx.misses <- ctx.misses + 1;
-                  let rng = Util.Rng.split ctx.master in
-                  let j = !n_jobs in
-                  incr n_jobs;
-                  jobs := (session, u, rng) :: !jobs;
-                  Hashtbl.add seen key (`Job j);
-                  slot.(i) <- j)))
-    requests;
+  (* Group identical requests and answer what the cache already knows. *)
+  Obs.with_span "group" (fun () ->
+      Array.iteri
+        (fun i { Ppd.Compile.session; union } ->
+          match union with
+          | None -> () (* statically unsatisfiable: probability 0 *)
+          | Some u -> (
+              let key = canonical_key ctx.solver ctx.lab_canon session u in
+              match Hashtbl.find_opt seen key with
+              | Some (`Done p) -> fixed.(i) <- p
+              | Some (`Job j) -> slot.(i) <- j
+              | None -> (
+                  match Option.bind ctx.cache (fun c -> Lru.find_opt c key) with
+                  | Some p ->
+                      ctx.hits <- ctx.hits + 1;
+                      Hashtbl.add seen key (`Done p);
+                      fixed.(i) <- p
+                  | None ->
+                      ctx.misses <- ctx.misses + 1;
+                      let rng = Util.Rng.split ctx.master in
+                      let j = !n_jobs in
+                      incr n_jobs;
+                      jobs := (session, u, rng) :: !jobs;
+                      Hashtbl.add seen key (`Job j);
+                      slot.(i) <- j)))
+        requests);
   let job_arr = Array.of_list (List.rev !jobs) in
-  preforce_models job_arr;
   let results = Array.make (Array.length job_arr) 0. in
-  Pool.run t.pool ~n:(Array.length job_arr) (fun j ->
-      let session, u, rng = job_arr.(j) in
-      results.(j) <- solve_one ctx session u rng);
+  Obs.with_span "solve" (fun () ->
+      preforce_models job_arr;
+      Pool.run t.pool ~n:(Array.length job_arr) (fun j ->
+          let session, u, rng = job_arr.(j) in
+          results.(j) <- solve_one ctx session u rng));
   ctx.solver_calls <- ctx.solver_calls + Array.length job_arr;
   (* Fill the persistent cache (sequentially) with the fresh results. *)
-  (match ctx.cache with
-  | None -> ()
-  | Some c ->
-      Hashtbl.iter
-        (fun key -> function
-          | `Job j -> Lru.put c key results.(j)
-          | `Done _ -> ())
-        seen);
+  Obs.with_span "cache-fill" (fun () ->
+      match ctx.cache with
+      | None -> ()
+      | Some c ->
+          Hashtbl.iter
+            (fun key -> function
+              | `Job j -> Lru.put c key results.(j)
+              | `Done _ -> ())
+            seen);
   Array.init n (fun i ->
       let { Ppd.Compile.session; _ } = requests.(i) in
       let p = if slot.(i) >= 0 then results.(slot.(i)) else fixed.(i) in
@@ -186,17 +210,18 @@ let solve_cached ctx local session union =
    the same control flow as the legacy [Ppd.Eval.top_k]. *)
 let topk_edges t ctx requests ~k ~n_edges =
   let n = Array.length requests in
-  Array.iter
-    (fun { Ppd.Compile.session; _ } ->
-      ignore (Rim.Mallows.to_rim session.Ppd.Database.model))
-    requests;
   let bounds = Array.make n 0. in
-  Pool.run t.pool ~n (fun i ->
-      match requests.(i) with
-      | { Ppd.Compile.union = None; _ } -> ()
-      | { Ppd.Compile.session; union = Some u } ->
-          let model = Rim.Mallows.to_rim session.Ppd.Database.model in
-          bounds.(i) <- Hardq.Upper_bound.upper_bound ~k:n_edges model ctx.lab u);
+  Obs.with_span "bounds" (fun () ->
+      Array.iter
+        (fun { Ppd.Compile.session; _ } ->
+          ignore (Rim.Mallows.to_rim session.Ppd.Database.model))
+        requests;
+      Pool.run t.pool ~n (fun i ->
+          match requests.(i) with
+          | { Ppd.Compile.union = None; _ } -> ()
+          | { Ppd.Compile.session; union = Some u } ->
+              let model = Rim.Mallows.to_rim session.Ppd.Database.model in
+              bounds.(i) <- Hardq.Upper_bound.upper_bound ~k:n_edges model ctx.lab u));
   let t_bounded = Util.Timer.wall () in
   let queue =
     List.stable_sort
@@ -226,9 +251,32 @@ let topk_edges t ctx requests ~k ~n_edges =
   let evaluated = go [] queue in
   (take k (desc_by_snd evaluated), List.rev evaluated, t_bounded)
 
+(* Fold the ctx tallies (and the Lru's own eviction counter, which outlives
+   any single eval) into the process-wide registry. Sequential: runs on the
+   coordinator domain after the parallel phase. *)
+let fold_obs (t : t) ctx ~sessions =
+  Obs.Counter.add c_evals 1;
+  Obs.Counter.add c_sessions sessions;
+  Obs.Counter.add c_distinct (ctx.hits + ctx.misses);
+  Obs.Counter.add c_solver_calls ctx.solver_calls;
+  Obs.Counter.add c_cache_hits ctx.hits;
+  Obs.Counter.add c_cache_misses ctx.misses;
+  (match t.cache with
+  | None -> ()
+  | Some c ->
+      let ev = Lru.evictions c in
+      Obs.Counter.add c_cache_evictions (ev - t.evictions_folded);
+      t.evictions_folded <- ev);
+  Obs.Histogram.observe h_distinct (ctx.hits + ctx.misses)
+
 let eval t (req : Request.t) =
+  Obs.with_span "engine.eval" @@ fun () ->
+  let m0 = if Obs.enabled () then Obs.snapshot () else [] in
   let t_start = Util.Timer.wall () in
-  let compiled = Ppd.Compile.compile req.Request.db req.Request.query in
+  let compiled =
+    Obs.with_span "compile" (fun () ->
+        Ppd.Compile.compile req.Request.db req.Request.query)
+  in
   let requests = Array.of_list compiled.Ppd.Compile.requests in
   let lab = Ppd.Database.labeling req.Request.db in
   let lab_canon =
@@ -241,21 +289,32 @@ let eval t (req : Request.t) =
     | Request.Boolean ->
         let probs = Array.to_list (batch_probs t ctx requests) in
         let p =
-          1. -. List.fold_left (fun acc (_, p) -> acc *. (1. -. p)) 1. probs
+          Obs.with_span "aggregate" (fun () ->
+              1. -. List.fold_left (fun acc (_, p) -> acc *. (1. -. p)) 1. probs)
         in
         (Response.Probability p, probs, 0.)
     | Request.Count ->
         let probs = Array.to_list (batch_probs t ctx requests) in
-        let c = List.fold_left (fun acc (_, p) -> acc +. p) 0. probs in
+        let c =
+          Obs.with_span "aggregate" (fun () ->
+              List.fold_left (fun acc (_, p) -> acc +. p) 0. probs)
+        in
         (Response.Expectation c, probs, 0.)
     | Request.Top_k { k; strategy = `Naive } ->
         let probs = Array.to_list (batch_probs t ctx requests) in
-        (Response.Ranked (take k (desc_by_snd probs)), probs, 0.)
+        let ranked =
+          Obs.with_span "aggregate" (fun () -> take k (desc_by_snd probs))
+        in
+        (Response.Ranked ranked, probs, 0.)
     | Request.Top_k { k; strategy = `Edges n_edges } ->
         let ranked, evaluated, t_bounded = topk_edges t ctx requests ~k ~n_edges in
         (Response.Ranked ranked, evaluated, t_bounded -. t_compiled)
   in
   let t_end = Util.Timer.wall () in
+  fold_obs t ctx ~sessions:(Array.length requests);
+  let metrics =
+    if Obs.enabled () then Obs.diff m0 (Obs.snapshot ()) else []
+  in
   {
     Response.answer;
     per_session;
@@ -271,5 +330,6 @@ let eval t (req : Request.t) =
         bound_s;
         solve_s = t_end -. t_compiled -. bound_s;
         total_s = t_end -. t_start;
+        metrics;
       };
   }

@@ -17,23 +17,26 @@ type ('k, 'v) t = {
   mutable tail : ('k, 'v) node option;  (* least recently used *)
   mutable hits : int;
   mutable misses : int;
+  mutable evictions : int;
 }
 
 let create capacity =
-  if capacity < 1 then invalid_arg "Lru.create: capacity must be positive";
+  if capacity < 0 then invalid_arg "Lru.create: capacity must be nonnegative";
   {
     capacity;
-    table = Hashtbl.create (min capacity 1024);
+    table = Hashtbl.create (min (max capacity 16) 1024);
     head = None;
     tail = None;
     hits = 0;
     misses = 0;
+    evictions = 0;
   }
 
 let capacity t = t.capacity
 let length t = Hashtbl.length t.table
 let hits t = t.hits
 let misses t = t.misses
+let evictions t = t.evictions
 
 let unlink t node =
   (match node.prev with
@@ -74,18 +77,20 @@ let evict_lru t =
   | None -> ()
   | Some node ->
       unlink t node;
-      Hashtbl.remove t.table node.key
+      Hashtbl.remove t.table node.key;
+      t.evictions <- t.evictions + 1
 
 let put t key value =
-  match Hashtbl.find_opt t.table key with
-  | Some node ->
-      node.value <- value;
-      promote t node
-  | None ->
-      if Hashtbl.length t.table >= t.capacity then evict_lru t;
-      let node = { key; value; prev = None; next = None } in
-      Hashtbl.replace t.table key node;
-      push_front t node
+  if t.capacity > 0 then
+    match Hashtbl.find_opt t.table key with
+    | Some node ->
+        node.value <- value;
+        promote t node
+    | None ->
+        if Hashtbl.length t.table >= t.capacity then evict_lru t;
+        let node = { key; value; prev = None; next = None } in
+        Hashtbl.replace t.table key node;
+        push_front t node
 
 let clear t =
   Hashtbl.reset t.table;
@@ -94,4 +99,5 @@ let clear t =
 
 let reset_counters t =
   t.hits <- 0;
-  t.misses <- 0
+  t.misses <- 0;
+  t.evictions <- 0

@@ -8,8 +8,10 @@
 type ('k, 'v) t
 
 val create : int -> ('k, 'v) t
-(** [create capacity] — raises [Invalid_argument] unless [capacity >= 1].
-    Inserting beyond capacity evicts the least recently used entry. *)
+(** [create capacity] — raises [Invalid_argument] when [capacity < 0].
+    Inserting beyond capacity evicts the least recently used entry. A
+    capacity of 0 is legal and degenerate: the cache stores nothing
+    ({!put} is a no-op, every lookup is a miss). *)
 
 val capacity : ('k, 'v) t -> int
 val length : ('k, 'v) t -> int
@@ -22,11 +24,15 @@ val mem : ('k, 'v) t -> 'k -> bool
 (** Presence test without touching recency order or counters. *)
 
 val put : ('k, 'v) t -> 'k -> 'v -> unit
-(** Insert or overwrite, promoting to most-recently-used. *)
+(** Insert or overwrite, promoting to most-recently-used. A no-op at
+    capacity 0. *)
 
 val hits : ('k, 'v) t -> int
 val misses : ('k, 'v) t -> int
 (** Lifetime {!find_opt} counters (since creation or {!reset_counters}). *)
+
+val evictions : ('k, 'v) t -> int
+(** Entries dropped by capacity pressure (not by {!clear}). *)
 
 val reset_counters : ('k, 'v) t -> unit
 val clear : ('k, 'v) t -> unit

@@ -9,6 +9,7 @@ type stats = {
   bound_s : float;
   solve_s : float;
   total_s : float;
+  metrics : Obs.snapshot;
 }
 
 type answer =
@@ -37,4 +38,16 @@ let pp_stats ppf s =
      time:  compile %.3fs, bounds %.3fs, solve %.3fs, total %.3fs@]"
     s.sessions s.distinct s.cache_hits s.cache_misses s.solver_calls s.jobs
     (if s.jobs = 1 then "" else "s")
-    s.compile_s s.bound_s s.solve_s s.total_s
+    s.compile_s s.bound_s s.solve_s s.total_s;
+  match s.metrics with
+  | [] -> ()
+  | metrics ->
+      Format.fprintf ppf "@.@[<v>metrics:";
+      List.iter
+        (fun (name, v) ->
+          match v with
+          | Obs.Count n -> Format.fprintf ppf "@,  %-44s %d" name n
+          | Obs.Hist { count; sum; _ } ->
+              Format.fprintf ppf "@,  %-44s count %d, sum %d" name count sum)
+        metrics;
+      Format.fprintf ppf "@]"

@@ -14,6 +14,12 @@ type stats = {
   bound_s : float;  (** wall seconds computing top-k upper bounds *)
   solve_s : float;  (** wall seconds in the (parallel) solve phase *)
   total_s : float;  (** wall seconds end to end *)
+  metrics : Obs.snapshot;
+      (** What moved in the {!Obs} registry during this evaluation
+          (per-solver DP states, prune counts, sampler draws, cache
+          activity...). Empty unless [Obs.enabled ()] — and then it is a
+          process-wide delta, so concurrent evaluations on other engines
+          bleed into it. *)
 }
 
 type answer =
@@ -39,4 +45,5 @@ val ranked : t -> (Ppd.Database.session * float) list
 (** The ranking of a top-k answer; [[]] for other tasks. *)
 
 val pp_stats : Format.formatter -> stats -> unit
-(** Two-line human-readable rendering (the CLI stats footer). *)
+(** Human-readable rendering (the CLI stats footer): two lines, plus the
+    metrics delta when one was captured. *)

@@ -1,0 +1,42 @@
+(* Oracle property test for the k-edge upper bound (§7.2): on random
+   Mallows models, labelings and pattern unions the bound must be
+   admissible — at least the exact probability — for every k. Exactness
+   comes from the Bipartite DP, cross-checked against Two_label when the
+   union is two-label shaped. *)
+
+let prop_upper_bound_admissible =
+  Helpers.qtest ~count:220 "upper_bound is admissible vs exact DP (k=1,2)"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let r = Helpers.rng seed in
+      let m = 5 + Util.Rng.int r 3 in
+      let model = Rim.Mallows.to_rim (Helpers.random_mallows r m) in
+      let lab = Helpers.random_labeling r ~m ~n_labels:3 in
+      let z = 1 + Util.Rng.int r 2 in
+      let two_label_shaped = Util.Rng.float r 1. < 0.5 in
+      let u =
+        if two_label_shaped then
+          Helpers.random_union (Helpers.random_two_label_pattern ~n_labels:3) r ~z
+        else
+          Helpers.random_union
+            (Helpers.random_bipartite_pattern ~n_labels:3 ~n_left:1 ~n_right:2)
+            r ~z
+      in
+      let exact = Hardq.Bipartite.prob model lab u in
+      if two_label_shaped then begin
+        let tl = Hardq.Two_label.prob model lab u in
+        if abs_float (tl -. exact) > 1e-9 then
+          QCheck.Test.fail_reportf
+            "oracle disagreement: two_label %.12g vs bipartite %.12g" tl exact
+      end;
+      List.for_all
+        (fun k ->
+          let ub = Hardq.Upper_bound.upper_bound ~k model lab u in
+          if ub +. 1e-9 < exact then
+            QCheck.Test.fail_reportf
+              "inadmissible: k=%d bound %.12g < exact %.12g (m=%d, z=%d)" k ub
+              exact m z
+          else true)
+        [ 1; 2 ])
+
+let suites = [ ("bounds.admissible", [ prop_upper_bound_admissible ]) ]

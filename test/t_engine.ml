@@ -87,10 +87,57 @@ let unit_lru_eviction_and_promotion () =
   Engine.Lru.reset_counters c;
   Alcotest.(check int) "counters reset" 0 (Engine.Lru.hits c + Engine.Lru.misses c)
 
-let unit_lru_rejects_zero_capacity () =
-  match Engine.Lru.create 0 with
+let unit_lru_rejects_negative_capacity () =
+  match Engine.Lru.create (-1) with
   | _ -> Alcotest.fail "expected Invalid_argument"
   | exception Invalid_argument _ -> ()
+
+let unit_lru_capacity_zero () =
+  (* Degenerate but legal: stores nothing, every lookup is a miss. *)
+  let c = Engine.Lru.create 0 in
+  Engine.Lru.put c "a" 1;
+  Alcotest.(check int) "stores nothing" 0 (Engine.Lru.length c);
+  Alcotest.(check (option int)) "always misses" None (Engine.Lru.find_opt c "a");
+  Alcotest.(check bool) "mem false" false (Engine.Lru.mem c "a");
+  Alcotest.(check int) "miss counted" 1 (Engine.Lru.misses c);
+  Alcotest.(check int) "no hits" 0 (Engine.Lru.hits c);
+  Alcotest.(check int) "put is not an eviction" 0 (Engine.Lru.evictions c)
+
+let unit_lru_capacity_one () =
+  let c = Engine.Lru.create 1 in
+  Engine.Lru.put c "a" 1;
+  Alcotest.(check (option int)) "a stored" (Some 1) (Engine.Lru.find_opt c "a");
+  Engine.Lru.put c "b" 2;
+  Alcotest.(check int) "still one entry" 1 (Engine.Lru.length c);
+  Alcotest.(check bool) "a evicted" false (Engine.Lru.mem c "a");
+  Alcotest.(check (option int)) "b stored" (Some 2) (Engine.Lru.find_opt c "b");
+  Alcotest.(check int) "one eviction" 1 (Engine.Lru.evictions c);
+  Engine.Lru.put c "b" 3;
+  Alcotest.(check (option int)) "overwrite, no eviction" (Some 3) (Engine.Lru.find_opt c "b");
+  Alcotest.(check int) "overwrite is not an eviction" 1 (Engine.Lru.evictions c)
+
+let unit_lru_eviction_order_interleaved_hits () =
+  (* Hits promote, so the eviction order follows recency of *use*, not of
+     insertion: after touching a and b, c is the LRU victim; after touching
+     a again, b is. *)
+  let c = Engine.Lru.create 3 in
+  Engine.Lru.put c "a" 1;
+  Engine.Lru.put c "b" 2;
+  Engine.Lru.put c "c" 3;
+  ignore (Engine.Lru.find_opt c "a");
+  ignore (Engine.Lru.find_opt c "b");
+  Engine.Lru.put c "d" 4;
+  Alcotest.(check bool) "c evicted first" false (Engine.Lru.mem c "c");
+  ignore (Engine.Lru.find_opt c "a");
+  Engine.Lru.put c "e" 5;
+  Alcotest.(check bool) "then b" false (Engine.Lru.mem c "b");
+  Alcotest.(check bool) "a survives both" true (Engine.Lru.mem c "a");
+  Alcotest.(check int) "two evictions" 2 (Engine.Lru.evictions c);
+  Alcotest.(check int) "three hits" 3 (Engine.Lru.hits c);
+  Engine.Lru.clear c;
+  Alcotest.(check int) "clear does not count as eviction" 2 (Engine.Lru.evictions c);
+  Engine.Lru.reset_counters c;
+  Alcotest.(check int) "reset zeroes evictions" 0 (Engine.Lru.evictions c)
 
 (* ------------------------------------------------------------------ *)
 (* Engine vs the sequential reference                                  *)
@@ -264,6 +311,81 @@ let unit_engine_cache_disabled () =
         (Engine.Response.answer_float r2))
 
 (* ------------------------------------------------------------------ *)
+(* Budget path                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* A tiny positive CPU budget must surface [Util.Timer.Out_of_time] from
+   inside the pool without wedging a worker domain or caching partial
+   results: the engine stays reusable and the cache keeps only what
+   complete evaluations put there. *)
+let unit_engine_budget_exhaustion_recoverable () =
+  let db = Datasets.Polls.generate ~n_candidates:16 ~n_voters:6 ~seed:21 () in
+  let q = Ppd.Parser.parse Datasets.Polls.query_two_label in
+  Engine.with_engine ~jobs:2 (fun engine ->
+      (* Prime the cache with an unbudgeted evaluation. *)
+      let two_label = Hardq.Solver.Exact `Two_label in
+      let ok = Engine.eval engine (Engine.Request.make ~solver:two_label db q) in
+      let len0 = Engine.cache_length engine in
+      Alcotest.(check bool) "cache primed" true (len0 > 0);
+      (* The solver is part of the cache key, so a different solver cannot
+         be answered from the cache; its m=16 DP trips a 0.1ms budget. *)
+      let starved =
+        Engine.Request.make ~solver:(Hardq.Solver.Exact `Bipartite)
+          ~budget:1e-4 db q
+      in
+      (match Engine.eval engine starved with
+      | _ -> Alcotest.fail "expected Out_of_time"
+      | exception Util.Timer.Out_of_time -> ());
+      Alcotest.(check int)
+        "no partial results cached" len0
+        (Engine.cache_length engine);
+      (* Both the pool and the cache survive: a warm rerun of the primed
+         request is answered without a single solver call. *)
+      let again = Engine.eval engine (Engine.Request.make ~solver:two_label db q) in
+      check_float_eq "engine reusable, same answer"
+        (Engine.Response.answer_float ok)
+        (Engine.Response.answer_float again);
+      Alcotest.(check int)
+        "warm rerun: no misses" 0
+        again.Engine.Response.stats.Engine.Response.cache_misses;
+      Alcotest.(check int)
+        "warm rerun: no solver calls" 0
+        again.Engine.Response.stats.Engine.Response.solver_calls)
+
+(* ------------------------------------------------------------------ *)
+(* Counter consistency across domains                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* CrowdRank sessions collapse to a handful of distinct keys, and with
+   jobs=4 their solves run on several domains at once. Cache bookkeeping
+   stays on the coordinator, so the counters must add up exactly no matter
+   how the work was spread. *)
+let unit_engine_counters_consistent_across_domains () =
+  let db, q = crowdrank () in
+  Engine.with_engine ~jobs:4 (fun engine ->
+      let req = Engine.Request.make ~solver:crowdrank_solver db q in
+      let s1 = (Engine.eval engine req).Engine.Response.stats in
+      Alcotest.(check int)
+        "hits + misses = distinct"
+        s1.Engine.Response.distinct
+        (s1.Engine.Response.cache_hits + s1.Engine.Response.cache_misses);
+      Alcotest.(check int)
+        "one solver call per miss" s1.Engine.Response.cache_misses
+        s1.Engine.Response.solver_calls;
+      let s2 = (Engine.eval engine req).Engine.Response.stats in
+      Alcotest.(check int)
+        "same key from several domains: every hit counted once"
+        s2.Engine.Response.distinct s2.Engine.Response.cache_hits;
+      Alcotest.(check int)
+        "engine-lifetime hits = sum of per-eval hits"
+        (s1.Engine.Response.cache_hits + s2.Engine.Response.cache_hits)
+        (Engine.cache_hits engine);
+      Alcotest.(check int)
+        "engine-lifetime misses = sum of per-eval misses"
+        (s1.Engine.Response.cache_misses + s2.Engine.Response.cache_misses)
+        (Engine.cache_misses engine))
+
+(* ------------------------------------------------------------------ *)
 (* Solver names                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -309,7 +431,11 @@ let suites =
     ( "engine.lru",
       [
         tc "eviction, promotion and counters" `Quick unit_lru_eviction_and_promotion;
-        tc "rejects zero capacity" `Quick unit_lru_rejects_zero_capacity;
+        tc "rejects negative capacity" `Quick unit_lru_rejects_negative_capacity;
+        tc "capacity 0 stores nothing" `Quick unit_lru_capacity_zero;
+        tc "capacity 1 thrashes correctly" `Quick unit_lru_capacity_one;
+        tc "eviction order follows interleaved hits" `Quick
+          unit_lru_eviction_order_interleaved_hits;
       ] );
     ( "engine.eval",
       [
@@ -325,6 +451,13 @@ let suites =
       [
         tc "hit/miss accounting across evals" `Quick unit_engine_cache_accounting;
         tc "disabled cache never hits" `Quick unit_engine_cache_disabled;
+        tc "counters consistent with jobs=4" `Quick
+          unit_engine_counters_consistent_across_domains;
+      ] );
+    ( "engine.budget",
+      [
+        tc "Out_of_time surfaces; engine and cache survive" `Quick
+          unit_engine_budget_exhaustion_recoverable;
       ] );
     ( "engine.solver-names",
       [ tc "of_string/to_string round-trip" `Quick unit_solver_name_round_trip ] );

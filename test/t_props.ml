@@ -12,11 +12,9 @@ let random_db r =
   let items =
     Ppd.Relation.make ~name:"I" ~attrs:[ "id"; "color"; "size" ]
       (List.init 4 (fun i ->
-           [
-             v (Printf.sprintf "i%d" i);
-             v (Helpers.(ignore rng); Util.Rng.pick_list r colors);
-             vi (Util.Rng.pick_list r sizes);
-           ]))
+           let color = Util.Rng.pick_list r colors in
+           let size = Util.Rng.pick_list r sizes in
+           [ v (Printf.sprintf "i%d" i); v color; vi size ]))
   in
   let people =
     Ppd.Relation.make ~name:"D" ~attrs:[ "who"; "group" ]
