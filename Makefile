@@ -1,4 +1,4 @@
-.PHONY: all build test bench check ci fmt clean
+.PHONY: all build test bench check ci smoke-server fmt clean
 
 all: build
 
@@ -12,19 +12,27 @@ test:
 check:
 	dune build && dune runtest
 
-# Tier-1 CI gate: full build, the whole test suite, and a formatting
-# check over the source tree. The format step is skipped (with a notice)
-# when ocamlformat is not installed, so `make ci` works in minimal
-# containers; install ocamlformat to enforce it.
+# Tier-1 CI gate: full build, the whole test suite, the server smoke
+# test, and a formatting check over the source tree. The format step is
+# skipped (with a notice) when ocamlformat is not installed, so `make ci`
+# works in minimal containers; install ocamlformat to enforce it.
 ci:
 	dune build
 	dune runtest
+	$(MAKE) smoke-server
 	@if command -v ocamlformat >/dev/null 2>&1; then \
 		ocamlformat --check $$(find lib bin test bench examples -name '*.ml' -o -name '*.mli') \
 		  && echo "ci: format check passed"; \
 	else \
 		echo "ci: ocamlformat not installed -- skipping format check"; \
 	fi
+
+# Black-box server lifecycle check: start the real binary, query each
+# task type over the wire, SIGTERM it, assert a clean drain (exit 0 and
+# a flushed metrics snapshot).
+smoke-server:
+	dune build bin/hardq_server.exe bin/hardq_client.exe
+	sh scripts/server_smoke.sh
 
 bench:
 	dune exec bench/main.exe

@@ -1,0 +1,184 @@
+(* loadgen — closed-loop load generator for the query server.
+
+   Spawns C connections, each issuing R eval requests back to back, and
+   reports throughput and latency percentiles as ONE JSON line (written
+   to stdout and to --out, default BENCH_server.json) so a plotting
+   script can slurp it alongside the figure benchmarks.
+
+   By default it starts an in-process server on a temporary Unix-domain
+   socket (measuring the full wire path without port juggling); pass
+   --connect ADDR to target an external hardq-server.
+
+   Usage:
+     dune exec bench/loadgen.exe -- [--connections 8] [--requests 25]
+       [--dataset polls] [--size 8] [--sessions 50] [--timeout-ms MS]
+       [--queue N] [--workers N] [--connect ADDR] [--out PATH] *)
+
+let usage () =
+  prerr_endline
+    "usage: loadgen [--connections N] [--requests N] [--dataset NAME]\n\
+    \  [--size N] [--sessions N] [--timeout-ms MS] [--queue N] [--workers N]\n\
+    \  [--connect ADDR] [--out PATH]";
+  exit 2
+
+type opts = {
+  mutable connections : int;
+  mutable requests : int;
+  mutable dataset : string;
+  mutable size : int;
+  mutable sessions : int;
+  mutable timeout_ms : float;
+  mutable queue : int;
+  mutable workers : int;
+  mutable connect : string option;
+  mutable out : string;
+}
+
+let parse_args () =
+  let o =
+    {
+      connections = 8;
+      requests = 25;
+      dataset = "polls";
+      size = 8;
+      sessions = 50;
+      timeout_ms = 0.;
+      queue = 64;
+      workers = 2;
+      connect = None;
+      out = "BENCH_server.json";
+    }
+  in
+  let rec go = function
+    | [] -> o
+    | "--connections" :: v :: rest -> o.connections <- int_of_string v; go rest
+    | "--requests" :: v :: rest -> o.requests <- int_of_string v; go rest
+    | "--dataset" :: v :: rest -> o.dataset <- v; go rest
+    | "--size" :: v :: rest -> o.size <- int_of_string v; go rest
+    | "--sessions" :: v :: rest -> o.sessions <- int_of_string v; go rest
+    | "--timeout-ms" :: v :: rest -> o.timeout_ms <- float_of_string v; go rest
+    | "--queue" :: v :: rest -> o.queue <- int_of_string v; go rest
+    | "--workers" :: v :: rest -> o.workers <- int_of_string v; go rest
+    | "--connect" :: v :: rest -> o.connect <- Some v; go rest
+    | "--out" :: v :: rest -> o.out <- v; go rest
+    | arg :: _ -> Printf.eprintf "loadgen: unknown argument %s\n" arg; usage ()
+  in
+  (try go (List.tl (Array.to_list Sys.argv))
+   with Failure _ | Invalid_argument _ -> usage ())
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float (q *. float_of_int (n - 1) +. 0.5)))
+
+let () =
+  let o = parse_args () in
+  let started, address =
+    match o.connect with
+    | Some addr -> (
+        match Server.Protocol.address_of_string addr with
+        | Ok a -> (None, a)
+        | Error msg -> Printf.eprintf "loadgen: %s\n" msg; exit 2)
+    | None ->
+        let path = Filename.temp_file "hardq_loadgen" ".sock" in
+        Sys.remove path;
+        let address = Server.Protocol.Local path in
+        let config =
+          {
+            (Server.default_config address) with
+            Server.queue_capacity = o.queue;
+            workers = o.workers;
+            preload =
+              [
+                Server.Protocol.dataset ~size:o.size ~sessions:o.sessions
+                  o.dataset;
+              ];
+          }
+        in
+        (Some (Server.start config), address)
+  in
+  let query =
+    match Server.Registry.showcase_query o.dataset with
+    | Some text -> Ppd.Parser.parse text
+    | None -> Printf.eprintf "loadgen: unknown dataset %s\n" o.dataset; exit 2
+  in
+  let spec = Server.Protocol.dataset ~size:o.size ~sessions:o.sessions o.dataset in
+  let eval =
+    Server.Protocol.eval
+      ?timeout_ms:(if o.timeout_ms > 0. then Some o.timeout_ms else None)
+      spec query
+  in
+  (* Per-thread latency buckets; merged after the join. *)
+  let lat = Array.init o.connections (fun _ -> ref []) in
+  let ok = Atomic.make 0 and shed = Atomic.make 0 and failed = Atomic.make 0 in
+  let t0 = Util.Timer.now () in
+  let threads =
+    List.init o.connections (fun i ->
+        Thread.create
+          (fun () ->
+            let client = Server.Client.connect ~retries:40 address in
+            Fun.protect ~finally:(fun () -> Server.Client.close client)
+            @@ fun () ->
+            for _ = 1 to o.requests do
+              let r0 = Util.Timer.now () in
+              (match Server.Client.eval client eval with
+              | Ok (Server.Protocol.Answer _) ->
+                  Atomic.incr ok;
+                  lat.(i) := (Util.Timer.now () -. r0) :: !(lat.(i))
+              | Ok (Server.Protocol.Err { code = Server.Protocol.Overloaded; _ })
+                ->
+                  Atomic.incr shed
+              | Ok _ | Error _ -> Atomic.incr failed)
+            done)
+          ())
+  in
+  List.iter Thread.join threads;
+  let wall_s = Util.Timer.now () -. t0 in
+  (match started with Some server -> Server.drain server | None -> ());
+  let latencies =
+    Array.of_list (List.concat_map (fun l -> !l) (Array.to_list lat))
+  in
+  Array.sort compare latencies;
+  let ms x = x *. 1e3 in
+  let n_ok = Atomic.get ok in
+  let mean =
+    if n_ok = 0 then 0.
+    else Array.fold_left ( +. ) 0. latencies /. float_of_int n_ok
+  in
+  let line =
+    Server.Json.to_string
+      (Server.Json.Obj
+         [
+           ("bench", String "server_loadgen");
+           ("dataset", String o.dataset);
+           ("size", Int o.size);
+           ("sessions", Int o.sessions);
+           ("connections", Int o.connections);
+           ("requests_per_connection", Int o.requests);
+           ("ok", Int n_ok);
+           ("shed", Int (Atomic.get shed));
+           ("failed", Int (Atomic.get failed));
+           ("wall_s", Float wall_s);
+           ( "throughput_rps",
+             Float (if wall_s > 0. then float_of_int n_ok /. wall_s else 0.) );
+           ( "latency_ms",
+             Obj
+               [
+                 ("mean", Float (ms mean));
+                 ("p50", Float (ms (percentile latencies 0.50)));
+                 ("p95", Float (ms (percentile latencies 0.95)));
+                 ("p99", Float (ms (percentile latencies 0.99)));
+                 ( "max",
+                   Float
+                     (ms
+                        (if Array.length latencies = 0 then 0.
+                         else latencies.(Array.length latencies - 1))) );
+               ] );
+         ])
+  in
+  print_endline line;
+  let oc = open_out o.out in
+  output_string oc line;
+  output_char oc '\n';
+  close_out oc;
+  exit (if Atomic.get failed = 0 then 0 else 1)

@@ -1,0 +1,164 @@
+(* hardq-client — one-shot client for hardq-server: send one request,
+   print the reply JSON line on stdout. Exit 0 on an answered request,
+   1 on a typed server error, 2 on usage/transport errors. *)
+
+open Cmdliner
+
+let address_conv =
+  let parse s =
+    match Server.Protocol.address_of_string s with
+    | Ok a -> Ok a
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf a =
+    Format.pp_print_string ppf (Server.Protocol.address_to_string a)
+  in
+  Arg.conv (parse, print)
+
+let connect_arg =
+  let doc = "Server address ($(b,HOST:PORT), $(b,:PORT) or a socket path)." in
+  Arg.(
+    value
+    & opt address_conv (Server.Protocol.Tcp ("127.0.0.1", 7199))
+    & info [ "connect"; "c" ] ~docv:"ADDR" ~doc)
+
+let retries_arg =
+  let doc = "Connection attempts before giving up (50 ms apart)." in
+  Arg.(value & opt int 1 & info [ "retries" ] ~docv:"N" ~doc)
+
+let op_arg =
+  let doc = "Operation: $(b,eval), $(b,ping) or $(b,metrics)." in
+  Arg.(
+    value
+    & opt (enum [ ("eval", `Eval); ("ping", `Ping); ("metrics", `Metrics) ]) `Eval
+    & info [ "op" ] ~docv:"OP" ~doc)
+
+let dataset_arg =
+  let doc = "Dataset family: $(b,polls), $(b,movielens) or $(b,crowdrank)." in
+  Arg.(value & opt string "polls" & info [ "dataset" ] ~docv:"NAME" ~doc)
+
+let size_arg =
+  let doc = "Dataset scale (server default when omitted)." in
+  Arg.(value & opt (some int) None & info [ "size" ] ~docv:"N" ~doc)
+
+let sessions_arg =
+  let doc = "Session count (server default when omitted)." in
+  Arg.(value & opt (some int) None & info [ "sessions" ] ~docv:"N" ~doc)
+
+let gen_seed_arg =
+  let doc = "Dataset generator seed." in
+  Arg.(value & opt (some int) None & info [ "dataset-seed" ] ~docv:"SEED" ~doc)
+
+let query_arg =
+  let doc =
+    "Query text in the parser's concrete syntax; the dataset's showcase \
+     query when omitted."
+  in
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc)
+
+let task_arg =
+  let doc = "Task: $(b,boolean), $(b,count) or $(b,top-k)." in
+  Arg.(
+    value
+    & opt (enum [ ("boolean", `Boolean); ("count", `Count); ("top-k", `Top_k) ])
+        `Boolean
+    & info [ "task" ] ~docv:"TASK" ~doc)
+
+let k_arg =
+  let doc = "k for the top-k task." in
+  Arg.(value & opt int 3 & info [ "k" ] ~docv:"K" ~doc)
+
+let solver_arg =
+  let doc = "Solver name (see hardq --help for the list)." in
+  Arg.(value & opt string "auto" & info [ "solver" ] ~docv:"SOLVER" ~doc)
+
+let budget_arg =
+  let doc = "CPU-seconds budget per solver invocation (0 = unlimited)." in
+  Arg.(value & opt float 0. & info [ "budget" ] ~docv:"SECONDS" ~doc)
+
+let seed_arg =
+  let doc = "Evaluation seed (approximate solvers)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let timeout_arg =
+  let doc = "Per-request deadline in milliseconds (0 = none)." in
+  Arg.(value & opt float 0. & info [ "timeout-ms" ] ~docv:"MS" ~doc)
+
+let per_session_arg =
+  Arg.(
+    value & flag
+    & info [ "per-session" ] ~doc:"Include per-session marginals in the reply.")
+
+let fail fmt = Printf.ksprintf (fun msg -> Printf.eprintf "hardq-client: %s\n" msg; 2) fmt
+
+let run connect retries op dataset size sessions gen_seed query task k solver
+    budget seed timeout_ms per_session =
+  match Server.Client.connect ~retries (connect : Server.Protocol.address) with
+  | client -> (
+      Fun.protect ~finally:(fun () -> Server.Client.close client) @@ fun () ->
+      match op with
+      | `Ping ->
+          if Server.Client.ping client then (print_endline "pong"; 0)
+          else (Printf.eprintf "hardq-client: no pong\n"; 2)
+      | `Metrics -> (
+          match Server.Client.metrics client with
+          | Ok snap -> print_endline (Server.Json.to_string snap); 0
+          | Error msg -> fail "%s" msg)
+      | `Eval -> (
+          let query_text =
+            match query with
+            | Some q -> Some q
+            | None -> Server.Registry.showcase_query dataset
+          in
+          match query_text with
+          | None -> fail "no query given and %S has no showcase query" dataset
+          | Some text -> (
+              match Ppd.Parser.parse_result text with
+              | Error msg -> fail "query: %s" msg
+              | Ok q -> (
+                  match Hardq.Solver.of_string solver with
+                  | Error msg -> fail "%s" msg
+                  | Ok solver ->
+                  let task =
+                    match task with
+                    | `Boolean -> Engine.Request.Boolean
+                    | `Count -> Engine.Request.Count
+                    | `Top_k -> Engine.Request.top_k k
+                  in
+                  let spec =
+                    {
+                      Server.Protocol.ds_name = dataset;
+                      ds_size = size;
+                      ds_sessions = sessions;
+                      ds_seed = gen_seed;
+                    }
+                  in
+                  let e =
+                    Server.Protocol.eval ~task ~solver ~budget ~seed
+                      ?timeout_ms:(if timeout_ms > 0. then Some timeout_ms else None)
+                      ~per_session spec q
+                  in
+                  let req =
+                    { Server.Protocol.id = Some (Server.Json.Int 1); op = Eval e }
+                  in
+                  (match Server.Client.rpc_json client
+                           (Server.Protocol.request_to_json req) with
+                  | Ok json -> (
+                      print_endline (Server.Json.to_string json);
+                      match Server.Protocol.reply_of_json json with
+                      | Ok { Server.Protocol.result = Err _; _ } -> 1
+                      | Ok _ -> 0
+                      | Error msg -> fail "bad reply: %s" msg)
+                  | Error msg -> fail "%s" msg)))))
+  | exception Unix.Unix_error (e, _, _) -> fail "connect: %s" (Unix.error_message e)
+
+let cmd =
+  let doc = "query a running hardq-server" in
+  Cmd.v
+    (Cmd.info "hardq-client" ~doc)
+    Term.(
+      const run $ connect_arg $ retries_arg $ op_arg $ dataset_arg $ size_arg
+      $ sessions_arg $ gen_seed_arg $ query_arg $ task_arg $ k_arg $ solver_arg
+      $ budget_arg $ seed_arg $ timeout_arg $ per_session_arg)
+
+let () = exit (Cmd.eval' cmd)

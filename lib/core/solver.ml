@@ -48,27 +48,38 @@ type t = Exact of exact | Approx of approx
 let name = function Exact e -> exact_name e | Approx a -> approx_name a
 let to_string = name
 
+(* Name table: canonical name first, then the historical CLI aliases. Both
+   [of_string] and its error message are derived from this table, so the
+   enumeration of valid names (echoed verbatim to remote clients by the
+   server's error responses) can never drift from what is accepted. *)
+let names =
+  [
+    ([ "auto" ], Exact `Auto);
+    ([ "two-label"; "two_label" ], Exact `Two_label);
+    ([ "bipartite" ], Exact `Bipartite);
+    ([ "bipartite-basic"; "bipartite_basic" ], Exact `Bipartite_basic);
+    ([ "general" ], Exact `General);
+    ([ "brute" ], Exact `Brute);
+    ([ "rejection" ], Approx (Rejection { n = 50_000 }));
+    ( [ "mis-amp-lite"; "mis-lite" ],
+      Approx (Mis_lite { d = 10; n_per = 1000; compensate = true }) );
+    ( [ "mis-amp-adaptive"; "mis-adaptive" ],
+      Approx (Mis_adaptive { n_per = 1000; delta_d = 5; d_max = 50; tol = 0.05 }) );
+    ([ "mis-amp"; "mis-full" ], Approx (Mis_full { n_per = 2000 }))
+  ]
+
+let valid_names = List.concat_map fst names
+
 let of_string s =
-  match String.lowercase_ascii (String.trim s) with
-  | "auto" -> Ok (Exact `Auto)
-  | "two-label" | "two_label" -> Ok (Exact `Two_label)
-  | "bipartite" -> Ok (Exact `Bipartite)
-  | "bipartite-basic" | "bipartite_basic" -> Ok (Exact `Bipartite_basic)
-  | "general" -> Ok (Exact `General)
-  | "brute" -> Ok (Exact `Brute)
-  | "rejection" -> Ok (Approx (Rejection { n = 50_000 }))
-  | "mis-amp-lite" | "mis-lite" ->
-      Ok (Approx (Mis_lite { d = 10; n_per = 1000; compensate = true }))
-  | "mis-amp-adaptive" | "mis-adaptive" ->
-      Ok (Approx (Mis_adaptive { n_per = 1000; delta_d = 5; d_max = 50; tol = 0.05 }))
-  | "mis-amp" | "mis-full" -> Ok (Approx (Mis_full { n_per = 2000 }))
-  | other ->
+  let wanted = String.lowercase_ascii (String.trim s) in
+  match
+    List.find_opt (fun (aliases, _) -> List.mem wanted aliases) names
+  with
+  | Some (_, t) -> Ok t
+  | None ->
       Error
-        (Printf.sprintf
-           "unknown solver %S (expected auto, two-label, bipartite, \
-            bipartite-basic, general, brute, rejection, mis-amp-lite, \
-            mis-amp-adaptive or mis-amp)"
-           other)
+        (Printf.sprintf "unknown solver %S (valid names: %s)" wanted
+           (String.concat ", " valid_names))
 
 let log_src = Logs.Src.create "hardq.solver" ~doc:"Solver dispatch"
 

@@ -43,11 +43,15 @@ val to_string : t -> string
 (** Canonical name ({!exact_name} / {!approx_name}); round-trips through
     {!of_string}. *)
 
+val valid_names : string list
+(** Every name {!of_string} accepts: the canonical {!to_string} outputs
+    plus the historical CLI aliases. *)
+
 val of_string : string -> (t, string) result
-(** Parse a solver name (case-insensitive). Accepts every {!to_string}
-    output plus the historical CLI aliases [mis-lite] / [mis-adaptive] /
-    [mis-full]; approximate solvers get their default parameters. The
-    [Error] carries a human-readable message listing valid names. *)
+(** Parse a solver name (case-insensitive, surrounding whitespace
+    ignored). Accepts exactly {!valid_names}; approximate solvers get
+    their default parameters. The [Error] message enumerates
+    {!valid_names} — it is echoed verbatim in server error responses. *)
 
 val prob :
   ?budget:Util.Timer.budget ->

@@ -23,7 +23,10 @@ type t = {
   cache : (key, float) Lru.t option;
   mutable evictions_folded : int;
       (* Lru evictions already folded into the Obs registry *)
+  mutable stopped : bool;
 }
+
+exception Stopped
 
 (* Observability. Counters are engine-lifetime totals in the process-wide
    registry; per-request deltas are what [Response.stats.metrics] carries.
@@ -44,6 +47,7 @@ let create ?jobs ?(cache = true) ?(cache_capacity = 8192) () =
     pool = Pool.create ?jobs ();
     cache = (if cache then Some (Lru.create cache_capacity) else None);
     evictions_folded = 0;
+    stopped = false;
   }
 
 let jobs t = Pool.size t.pool
@@ -51,7 +55,14 @@ let cache_hits t = match t.cache with None -> 0 | Some c -> Lru.hits c
 let cache_misses t = match t.cache with None -> 0 | Some c -> Lru.misses c
 let cache_length t = match t.cache with None -> 0 | Some c -> Lru.length c
 let clear_cache t = match t.cache with None -> () | Some c -> Lru.clear c
-let shutdown t = Pool.shutdown t.pool
+
+let shutdown t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Pool.shutdown t.pool
+  end
+
+let stopped t = t.stopped
 
 let with_engine ?jobs ?cache ?cache_capacity f =
   let t = create ?jobs ?cache ?cache_capacity () in
@@ -84,6 +95,7 @@ type ctx = {
   lab : Prefs.Labeling.t;
   lab_canon : int list array;
   budget : float;
+  deadline : float option;
   master : Util.Rng.t;
   cache : (key, float) Lru.t option;
   mutable hits : int; (* distinct requests answered by the cache *)
@@ -97,6 +109,7 @@ let make_ctx (t : t) (req : Request.t) lab lab_canon =
     lab;
     lab_canon;
     budget = req.Request.budget;
+    deadline = req.Request.deadline;
     master = Util.Rng.make req.Request.seed;
     cache = t.cache;
     hits = 0;
@@ -105,6 +118,11 @@ let make_ctx (t : t) (req : Request.t) lab lab_canon =
   }
 
 let solve_one ctx (s : Ppd.Database.session) union rng =
+  (* The wall-clock guard between invocations: the per-invocation CPU
+     budget cannot bound a request made of many small solver calls. *)
+  (match ctx.deadline with
+  | Some d when Util.Timer.wall () > d -> raise Util.Timer.Out_of_time
+  | _ -> ());
   let budget =
     if ctx.budget > 0. then Some (Util.Timer.budget ctx.budget) else None
   in
@@ -270,6 +288,7 @@ let fold_obs (t : t) ctx ~sessions =
   Obs.Histogram.observe h_distinct (ctx.hits + ctx.misses)
 
 let eval t (req : Request.t) =
+  if t.stopped then raise Stopped;
   Obs.with_span "engine.eval" @@ fun () ->
   let m0 = if Obs.enabled () then Obs.snapshot () else [] in
   let t_start = Util.Timer.wall () in

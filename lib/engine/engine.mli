@@ -31,6 +31,12 @@ type t
 (** An engine: a domain pool plus (optionally) a persistent result cache.
     Create once, evaluate many requests, then {!shutdown}. *)
 
+exception Stopped
+(** Raised by {!eval} on an engine that has been {!shutdown} — a typed
+    error instead of silently evaluating inline on dead-pool semantics,
+    so a serving layer draining its engine can distinguish "request
+    raced past shutdown" from solver failures. *)
+
 val create : ?jobs:int -> ?cache:bool -> ?cache_capacity:int -> unit -> t
 (** [create ()] — [jobs] is the total domain count (default
     [Domain.recommended_domain_count () - 1], at least 1; [jobs = 1] spawns
@@ -45,7 +51,7 @@ val eval : t -> Request.t -> Response.t
     task. Compilation errors ([Ppd.Compile.Unsupported],
     [Ppd.Compile.Grounding_too_large]) and solver timeouts
     ([Util.Timer.Out_of_time], for positive request budgets) propagate to
-    the caller. *)
+    the caller. Raises {!Stopped} after {!shutdown}. *)
 
 val jobs : t -> int
 (** Domains the engine computes with (pool size, caller included). *)
@@ -61,8 +67,13 @@ val cache_length : t -> int
 val clear_cache : t -> unit
 
 val shutdown : t -> unit
-(** Join the pool's worker domains. The engine stays usable afterwards but
-    evaluates inline. *)
+(** Join the pool's worker domains and retire the engine: subsequent
+    {!eval} calls raise {!Stopped}. Idempotent — a second call is a
+    no-op, so a drain path and a [Fun.protect] finalizer can both call
+    it safely. *)
+
+val stopped : t -> bool
+(** [true] once {!shutdown} has run. *)
 
 val with_engine :
   ?jobs:int -> ?cache:bool -> ?cache_capacity:int -> (t -> 'a) -> 'a

@@ -24,11 +24,16 @@ type t = {
   seed : int;
       (* Root of the per-session RNG splits; only approximate solvers
          consume randomness. *)
+  deadline : float option;
+      (* Absolute wall-clock instant ([Util.Timer.wall] scale) after which
+         the evaluation aborts with [Util.Timer.Out_of_time]. The
+         per-invocation [budget] cannot bound a request made of many small
+         solver calls; the deadline is checked between them. *)
 }
 
 let make ?(task = Boolean) ?(solver = Hardq.Solver.default_exact) ?(budget = 0.)
-    ?(seed = 42) db query =
-  { db; query; task; solver; budget; seed }
+    ?(seed = 42) ?deadline db query =
+  { db; query; task; solver; budget; seed; deadline }
 
 let boolean = Boolean
 let count = Count

@@ -26,6 +26,12 @@ type t = {
       (** Root of the deterministic per-session RNG splits. Only approximate
           solvers consume randomness; results are a pure function of the
           request (and engine cache state), independent of the pool size. *)
+  deadline : float option;
+      (** Absolute wall-clock instant (on the [Util.Timer.wall] scale) after
+          which the evaluation aborts with [Util.Timer.Out_of_time]. Checked
+          between solver invocations, so it bounds requests made of many
+          small calls that the per-invocation [budget] cannot — the server
+          maps per-request deadlines onto both. *)
 }
 
 val make :
@@ -33,11 +39,12 @@ val make :
   ?solver:Hardq.Solver.t ->
   ?budget:float ->
   ?seed:int ->
+  ?deadline:float ->
   Ppd.Database.t ->
   Ppd.Query.t ->
   t
 (** Defaults: [task = Boolean], [solver = Hardq.Solver.default_exact],
-    [budget = 0.] (no limit), [seed = 42]. *)
+    [budget = 0.] (no limit), [seed = 42], no deadline. *)
 
 val boolean : task
 val count : task

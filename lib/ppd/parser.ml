@@ -14,12 +14,17 @@ type token =
   | Top of Value.op
   | Teof
 
+(* Every token carries the source offset it starts at, so errors raised
+   during parsing (not just tokenization) can point into the input — the
+   server echoes these messages to remote clients, where "expected a term"
+   without a position is useless. *)
 let tokenize src =
   let n = String.length src in
   let toks = ref [] in
   let fail pos msg =
     raise (Parse_error (Printf.sprintf "%s at offset %d" msg pos))
   in
+  let emit pos tok = toks := (tok, pos) :: !toks in
   let is_ident_char c =
     (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
     || c = '\''
@@ -28,25 +33,25 @@ let tokenize src =
   while !i < n do
     let c = src.[!i] in
     if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
-    else if c = '(' then (toks := Tlparen :: !toks; incr i)
-    else if c = ')' then (toks := Trparen :: !toks; incr i)
-    else if c = ',' then (toks := Tcomma :: !toks; incr i)
-    else if c = ';' then (toks := Tsemi :: !toks; incr i)
-    else if c = '.' then (toks := Tdot :: !toks; incr i)
+    else if c = '(' then (emit !i Tlparen; incr i)
+    else if c = ')' then (emit !i Trparen; incr i)
+    else if c = ',' then (emit !i Tcomma; incr i)
+    else if c = ';' then (emit !i Tsemi; incr i)
+    else if c = '.' then (emit !i Tdot; incr i)
     else if c = ':' then
-      if !i + 1 < n && src.[!i + 1] = '-' then (toks := Tturnstile :: !toks; i := !i + 2)
+      if !i + 1 < n && src.[!i + 1] = '-' then (emit !i Tturnstile; i := !i + 2)
       else fail !i "expected ':-'"
-    else if c = '=' then (toks := Top Value.Eq :: !toks; incr i)
+    else if c = '=' then (emit !i (Top Value.Eq); incr i)
     else if c = '!' then
-      if !i + 1 < n && src.[!i + 1] = '=' then (toks := Top Value.Neq :: !toks; i := !i + 2)
+      if !i + 1 < n && src.[!i + 1] = '=' then (emit !i (Top Value.Neq); i := !i + 2)
       else fail !i "expected '!='"
     else if c = '<' then
-      if !i + 1 < n && src.[!i + 1] = '=' then (toks := Top Value.Le :: !toks; i := !i + 2)
-      else if !i + 1 < n && src.[!i + 1] = '>' then (toks := Top Value.Neq :: !toks; i := !i + 2)
-      else (toks := Top Value.Lt :: !toks; incr i)
+      if !i + 1 < n && src.[!i + 1] = '=' then (emit !i (Top Value.Le); i := !i + 2)
+      else if !i + 1 < n && src.[!i + 1] = '>' then (emit !i (Top Value.Neq); i := !i + 2)
+      else (emit !i (Top Value.Lt); incr i)
     else if c = '>' then
-      if !i + 1 < n && src.[!i + 1] = '=' then (toks := Top Value.Ge :: !toks; i := !i + 2)
-      else (toks := Top Value.Gt :: !toks; incr i)
+      if !i + 1 < n && src.[!i + 1] = '=' then (emit !i (Top Value.Ge); i := !i + 2)
+      else (emit !i (Top Value.Gt); incr i)
     else if c = '"' then begin
       let j = ref (!i + 1) in
       let buf = Buffer.create 8 in
@@ -55,11 +60,11 @@ let tokenize src =
         incr j
       done;
       if !j >= n then fail !i "unterminated string literal";
-      toks := Tstring (Buffer.contents buf) :: !toks;
+      emit !i (Tstring (Buffer.contents buf));
       i := !j + 1
     end
     else if c = '_' && (!i + 1 >= n || not (is_ident_char src.[!i + 1])) then begin
-      toks := Tunderscore :: !toks;
+      emit !i Tunderscore;
       incr i
     end
     else if (c >= '0' && c <= '9') || (c = '-' && !i + 1 < n && src.[!i + 1] >= '0' && src.[!i + 1] <= '9')
@@ -68,7 +73,7 @@ let tokenize src =
       while !j < n && src.[!j] >= '0' && src.[!j] <= '9' do
         incr j
       done;
-      toks := Tint (int_of_string (String.sub src !i (!j - !i))) :: !toks;
+      emit !i (Tint (int_of_string (String.sub src !i (!j - !i))));
       i := !j
     end
     else if is_ident_char c then begin
@@ -76,23 +81,27 @@ let tokenize src =
       while !j < n && is_ident_char src.[!j] do
         incr j
       done;
-      toks := Tident (String.sub src !i (!j - !i)) :: !toks;
+      emit !i (Tident (String.sub src !i (!j - !i)));
       i := !j
     end
     else fail !i (Printf.sprintf "unexpected character %C" c)
   done;
-  List.rev (Teof :: !toks)
+  List.rev ((Teof, n) :: !toks)
 
-type state = { mutable toks : token list }
+type state = { mutable toks : (token * int) list; src_len : int }
 
-let peek st = match st.toks with [] -> Teof | t :: _ -> t
+let peek st = match st.toks with [] -> Teof | (t, _) :: _ -> t
+let pos st = match st.toks with [] -> st.src_len | (_, p) :: _ -> p
+
+let parse_fail st msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg (pos st)))
 
 let advance st =
   match st.toks with [] -> () | _ :: rest -> st.toks <- rest
 
 let expect st tok what =
   if peek st = tok then advance st
-  else raise (Parse_error (Printf.sprintf "expected %s" what))
+  else parse_fail st (Printf.sprintf "expected %s" what)
 
 let is_capitalized s = String.length s > 0 && s.[0] >= 'A' && s.[0] <= 'Z'
 
@@ -110,7 +119,7 @@ let parse_term st =
   | Tident s ->
       advance st;
       if is_capitalized s then Query.Const (Value.str s) else Query.Var s
-  | _ -> raise (Parse_error "expected a term")
+  | _ -> parse_fail st "expected a term"
 
 let rec parse_terms st acc =
   let t = parse_term st in
@@ -123,7 +132,8 @@ let rec parse_terms st acc =
 (* An atom is either NAME(...) or a comparison term OP term. *)
 let parse_atom st =
   match peek st with
-  | Tident name when (match st.toks with _ :: Tlparen :: _ -> true | _ -> false) ->
+  | Tident name when (match st.toks with _ :: (Tlparen, _) :: _ -> true | _ -> false)
+    ->
       advance st;
       advance st;
       (* past '(' *)
@@ -137,17 +147,16 @@ let parse_atom st =
         | Trparen ->
             advance st;
             List.rev acc
-        | _ -> raise (Parse_error "expected ';' or ')' in atom")
+        | _ -> parse_fail st "expected ';' or ')' in atom"
       in
       (match groups [ first_group ] with
       | [ terms ] -> Query.Rel { rel = name; terms }
       | [ session; [ left ]; [ right ] ] ->
           Query.Pref { rel = name; session; left; right }
       | _ ->
-          raise
-            (Parse_error
-               "preference atoms need exactly three ';'-separated groups with \
-                single left/right terms"))
+          parse_fail st
+            "preference atoms need exactly three ';'-separated groups with \
+             single left/right terms")
   | _ -> (
       let lhs = parse_term st in
       match peek st with
@@ -155,16 +164,16 @@ let parse_atom st =
           advance st;
           let rhs = parse_term st in
           Query.Cmp { lhs; op; rhs }
-      | _ -> raise (Parse_error "expected a comparison operator"))
+      | _ -> parse_fail st "expected a comparison operator")
 
 let parse src =
-  let st = { toks = tokenize src } in
+  let st = { toks = tokenize src; src_len = String.length src } in
   let name =
     match peek st with
     | Tident n when is_capitalized n || n <> "" ->
         advance st;
         n
-    | _ -> raise (Parse_error "expected query name")
+    | _ -> parse_fail st "expected query name"
   in
   expect st Tlparen "'('";
   let head =
@@ -179,7 +188,7 @@ let parse src =
               go (v :: acc)
             end
             else List.rev (v :: acc)
-        | _ -> raise (Parse_error "head terms must be (lowercase) variables")
+        | _ -> parse_fail st "head terms must be (lowercase) variables"
       in
       go []
   in
@@ -195,12 +204,12 @@ let parse src =
         advance st;
         List.rev (a :: acc)
     | Teof -> List.rev (a :: acc)
-    | _ -> raise (Parse_error "expected ',' or '.' after atom")
+    | _ -> parse_fail st "expected ',' or '.' after atom"
   in
   let body = atoms [] in
   (match peek st with
   | Teof -> ()
-  | _ -> raise (Parse_error "trailing tokens after query"));
+  | _ -> parse_fail st "trailing tokens after query");
   try Query.make ~name ~head body
   with Invalid_argument msg -> raise (Parse_error msg)
 

@@ -87,6 +87,31 @@ let item_terms t =
         [ l; r ])
     (pref_atoms t)
 
+(* Concrete syntax (the grammar of [Parser]): string constants are always
+   quoted, so lowercase constants cannot be re-read as variables and
+   [Parser.parse (to_string q)] reproduces [q] exactly. *)
+let term_to_string = function
+  | Var v -> v
+  | Wildcard -> "_"
+  | Const (Value.Int i) -> string_of_int i
+  | Const (Value.Str s) -> "\"" ^ s ^ "\""
+
+let terms_to_string terms = String.concat ", " (List.map term_to_string terms)
+
+let atom_to_string = function
+  | Pref { rel; session; left; right } ->
+      Printf.sprintf "%s(%s; %s; %s)" rel (terms_to_string session)
+        (term_to_string left) (term_to_string right)
+  | Rel { rel; terms } -> Printf.sprintf "%s(%s)" rel (terms_to_string terms)
+  | Cmp { lhs; op; rhs } ->
+      Printf.sprintf "%s %s %s" (term_to_string lhs) (Value.op_to_string op)
+        (term_to_string rhs)
+
+let to_string t =
+  Printf.sprintf "%s(%s) :- %s." t.name
+    (String.concat ", " t.head)
+    (String.concat ", " (List.map atom_to_string t.body))
+
 let pp_term ppf = function
   | Var v -> Format.pp_print_string ppf v
   | Const c -> Value.pp ppf c

@@ -42,5 +42,12 @@ val item_terms : t -> term list
 (** Distinct terms appearing as a preference-atom endpoint, in first-use
     order. *)
 
+val to_string : t -> string
+(** The query in {!Parser}'s concrete syntax. String constants are always
+    quoted, so [Parser.parse (to_string q)] reproduces [q] exactly — the
+    canonical form used by the wire codec and for logging. (Strings
+    containing a double quote or backslash have no concrete-syntax
+    representation; they cannot be produced by the parser either.) *)
+
 val pp_term : Format.formatter -> term -> unit
 val pp : Format.formatter -> t -> unit

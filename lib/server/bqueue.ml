@@ -1,0 +1,56 @@
+type 'a t = {
+  capacity : int;
+  q : 'a Queue.t;
+  m : Mutex.t;
+  nonempty : Condition.t;
+  mutable closed : bool;
+}
+
+type push_result = Pushed | Full | Closed
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Bqueue.create: capacity must be >= 1";
+  {
+    capacity;
+    q = Queue.create ();
+    m = Mutex.create ();
+    nonempty = Condition.create ();
+    closed = false;
+  }
+
+let try_push t x =
+  Mutex.lock t.m;
+  let r =
+    if t.closed then Closed
+    else if Queue.length t.q >= t.capacity then Full
+    else begin
+      Queue.push x t.q;
+      Condition.signal t.nonempty;
+      Pushed
+    end
+  in
+  Mutex.unlock t.m;
+  r
+
+let pop t =
+  Mutex.lock t.m;
+  while Queue.is_empty t.q && not t.closed do
+    Condition.wait t.nonempty t.m
+  done;
+  let r = if Queue.is_empty t.q then None else Some (Queue.pop t.q) in
+  Mutex.unlock t.m;
+  r
+
+let close t =
+  Mutex.lock t.m;
+  t.closed <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.m
+
+let length t =
+  Mutex.lock t.m;
+  let n = Queue.length t.q in
+  Mutex.unlock t.m;
+  n
+
+let capacity t = t.capacity

@@ -1,0 +1,30 @@
+(** A bounded multi-producer multi-consumer queue — the server's
+    admission queue. Producers never block: {!try_push} refuses when the
+    queue is at capacity (the caller sheds load with a typed
+    [overloaded] error) or closed (draining). Consumers block in {!pop}
+    until an item arrives or the queue is closed {e and} drained, so
+    close-then-join is the graceful-drain idiom: items accepted before
+    {!close} are all still delivered. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Raises [Invalid_argument] unless [capacity >= 1]. *)
+
+type push_result = Pushed | Full | Closed
+
+val try_push : 'a t -> 'a -> push_result
+(** Non-blocking; FIFO among pushed items. *)
+
+val pop : 'a t -> 'a option
+(** Block until an item is available ([Some]) or the queue is closed and
+    empty ([None]). *)
+
+val close : 'a t -> unit
+(** No further pushes; pending items still pop. Idempotent. Wakes every
+    blocked consumer. *)
+
+val length : 'a t -> int
+(** Items currently queued. *)
+
+val capacity : 'a t -> int

@@ -1,0 +1,279 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let add_escaped b s =
+  Buffer.add_char b '"';
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+(* Shortest decimal form that reparses to the same float: probabilities
+   cross the wire bit-identically. *)
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e16 then Printf.sprintf "%.1f" f
+  else
+    let s = Printf.sprintf "%.15g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let rec add b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f ->
+      if not (Float.is_finite f) then
+        Buffer.add_string b "null" (* non-finite: unrepresentable in JSON *)
+      else Buffer.add_string b (float_repr f)
+  | String s -> add_escaped b s
+  | List l ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char b ',';
+          add b v)
+        l;
+      Buffer.add_char b ']'
+  | Obj fields ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          add_escaped b k;
+          Buffer.add_char b ':';
+          add b v)
+        fields;
+      Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 256 in
+  add b v;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Err of string
+
+let parse_fail pos msg = raise (Err (Printf.sprintf "%s at offset %d" msg pos))
+
+let utf8_of_code b code =
+  if code < 0x80 then Buffer.add_char b (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else begin
+    Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+  end
+
+let of_string src =
+  let n = String.length src in
+  let i = ref 0 in
+  let peek () = if !i < n then Some src.[!i] else None in
+  let skip_ws () =
+    while
+      !i < n
+      && (match src.[!i] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr i
+    done
+  in
+  let expect c =
+    if !i < n && src.[!i] = c then incr i
+    else parse_fail !i (Printf.sprintf "expected %C" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !i + l <= n && String.sub src !i l = word then begin
+      i := !i + l;
+      v
+    end
+    else parse_fail !i (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let fin = ref false in
+    while not !fin do
+      if !i >= n then parse_fail !i "unterminated string";
+      match src.[!i] with
+      | '"' ->
+          incr i;
+          fin := true
+      | '\\' ->
+          if !i + 1 >= n then parse_fail !i "unterminated escape";
+          (match src.[!i + 1] with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'n' -> Buffer.add_char b '\n'
+          | 'r' -> Buffer.add_char b '\r'
+          | 't' -> Buffer.add_char b '\t'
+          | 'u' ->
+              if !i + 5 >= n then parse_fail !i "truncated \\u escape";
+              let hex = String.sub src (!i + 2) 4 in
+              let code =
+                try int_of_string ("0x" ^ hex)
+                with _ -> parse_fail !i "bad \\u escape"
+              in
+              utf8_of_code b code;
+              i := !i + 4
+          | c -> parse_fail !i (Printf.sprintf "bad escape \\%c" c));
+          i := !i + 2
+      | c ->
+          Buffer.add_char b c;
+          incr i
+    done;
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !i in
+    if peek () = Some '-' then incr i;
+    while !i < n && src.[!i] >= '0' && src.[!i] <= '9' do
+      incr i
+    done;
+    let is_float = ref false in
+    if peek () = Some '.' then begin
+      is_float := true;
+      incr i;
+      while !i < n && src.[!i] >= '0' && src.[!i] <= '9' do
+        incr i
+      done
+    end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+        is_float := true;
+        incr i;
+        (match peek () with Some ('+' | '-') -> incr i | _ -> ());
+        while !i < n && src.[!i] >= '0' && src.[!i] <= '9' do
+          incr i
+        done
+    | _ -> ());
+    let text = String.sub src start (!i - start) in
+    if text = "" || text = "-" then parse_fail start "expected a number";
+    if !is_float then Float (float_of_string text)
+    else
+      match int_of_string_opt text with
+      | Some v -> Int v
+      | None -> Float (float_of_string text)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> parse_fail !i "unexpected end of input"
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '"' -> String (parse_string ())
+    | Some '[' ->
+        incr i;
+        skip_ws ();
+        if peek () = Some ']' then begin
+          incr i;
+          List []
+        end
+        else begin
+          let items = ref [ parse_value () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            incr i;
+            items := parse_value () :: !items;
+            skip_ws ()
+          done;
+          expect ']';
+          List (List.rev !items)
+        end
+    | Some '{' ->
+        incr i;
+        skip_ws ();
+        if peek () = Some '}' then begin
+          incr i;
+          Obj []
+        end
+        else begin
+          let field () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            (k, v)
+          in
+          let fields = ref [ field () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            incr i;
+            fields := field () :: !fields;
+            skip_ws ()
+          done;
+          expect '}';
+          Obj (List.rev !fields)
+        end
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> parse_fail !i (Printf.sprintf "unexpected character %C" c)
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !i < n then parse_fail !i "trailing input after JSON value";
+    v
+  with
+  | v -> Ok v
+  | exception Err msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
+
+let to_int = function
+  | Int i -> Some i
+  | Float f when Float.is_integer f && Float.abs f <= 2. ** 52. ->
+      Some (int_of_float f)
+  | _ -> None
+
+let to_float = function Float f -> Some f | Int i -> Some (float_of_int i) | _ -> None
+let to_string_opt = function String s -> Some s | _ -> None
+let to_bool = function Bool b -> Some b | _ -> None
+let to_list = function List l -> Some l | _ -> None
+
+let rec equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Float x, Float y -> x = y
+  | Int x, Float y | Float y, Int x -> float_of_int x = y
+  | String x, String y -> x = y
+  | List x, List y -> List.length x = List.length y && List.for_all2 equal x y
+  | Obj x, Obj y ->
+      List.length x = List.length y
+      && List.for_all
+           (fun (k, v) ->
+             match List.assoc_opt k y with Some w -> equal v w | None -> false)
+           x
+  | _ -> false

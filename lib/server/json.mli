@@ -1,0 +1,49 @@
+(** A minimal JSON value type with a compact single-line printer and a
+    strict parser — the wire format of the serving layer is
+    newline-delimited JSON, and the toolchain bundles no JSON library, so
+    the server subsystem carries its own (as [Obs] does for its snapshot
+    rendering).
+
+    Numbers: integers without fraction/exponent parse as {!Int} (falling
+    back to {!Float} on overflow); everything else parses as {!Float}.
+    Floats print with round-trip precision (shortest of [%.15g] /
+    [%.17g] that reparses exactly), so probabilities survive the wire
+    bit-identically. Non-finite floats print as [null] — they are not
+    representable in JSON. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact, single line: no newlines, no trailing whitespace. Object
+    fields print in the order given. *)
+
+val of_string : string -> (t, string) result
+(** Strict parse of one JSON document (surrounding whitespace allowed).
+    [Error] carries a message with a byte offset. The standard JSON
+    backslash escapes (quote, backslash, slash, b, f, n, r, t, uXXXX)
+    are understood; [uXXXX] escapes decode to UTF-8. *)
+
+(** {1 Accessors} — total; shape mismatches yield [None]. *)
+
+val member : string -> t -> t option
+(** Field of an {!Obj}; [None] for other shapes or a missing field. *)
+
+val to_int : t -> int option
+(** {!Int}, or a {!Float} with an integral value. *)
+
+val to_float : t -> float option
+(** {!Float} or {!Int}. *)
+
+val to_string_opt : t -> string option
+val to_bool : t -> bool option
+val to_list : t -> t list option
+
+val equal : t -> t -> bool
+(** Structural, with object fields compared order-insensitively. *)

@@ -1,0 +1,553 @@
+(* Wire protocol: typed requests/replies/errors and their JSON codec.
+   See protocol.mli for the shapes; DESIGN.md §9 specifies the schemas. *)
+
+(* ------------------------------------------------------------------ *)
+(* Addresses                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type address = Tcp of string * int | Local of string
+
+let address_of_string s =
+  if s = "" then Error "empty address"
+  else if String.contains s '/' then Ok (Local s)
+  else
+    match String.rindex_opt s ':' with
+    | None -> Ok (Local s)
+    | Some i -> (
+        let host = String.sub s 0 i in
+        let port = String.sub s (i + 1) (String.length s - i - 1) in
+        match int_of_string_opt port with
+        | Some p when p >= 0 && p < 65536 ->
+            Ok (Tcp ((if host = "" then "127.0.0.1" else host), p))
+        | _ -> Error (Printf.sprintf "bad port %S in address %S" port s))
+
+let address_to_string = function
+  | Tcp (host, port) -> Printf.sprintf "%s:%d" host port
+  | Local path -> path
+
+(* ------------------------------------------------------------------ *)
+(* Errors                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type error_code =
+  | Bad_request
+  | Query_parse_error
+  | Unknown_dataset
+  | Unknown_solver
+  | Unsupported
+  | Overloaded
+  | Deadline_exceeded
+  | Budget_exhausted
+  | Shutting_down
+  | Internal
+
+type error = { code : error_code; message : string }
+
+let error_codes =
+  [
+    (Bad_request, "bad_request");
+    (Query_parse_error, "query_parse_error");
+    (Unknown_dataset, "unknown_dataset");
+    (Unknown_solver, "unknown_solver");
+    (Unsupported, "unsupported");
+    (Overloaded, "overloaded");
+    (Deadline_exceeded, "deadline_exceeded");
+    (Budget_exhausted, "budget_exhausted");
+    (Shutting_down, "shutting_down");
+    (Internal, "internal");
+  ]
+
+let error_code_to_string c = List.assoc c error_codes
+
+let error_code_of_string s =
+  List.find_map (fun (c, n) -> if n = s then Some c else None) error_codes
+
+let error code message = { code; message }
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type dataset_spec = {
+  ds_name : string;
+  ds_size : int option;
+  ds_sessions : int option;
+  ds_seed : int option;
+}
+
+let dataset ?size ?sessions ?seed name =
+  { ds_name = name; ds_size = size; ds_sessions = sessions; ds_seed = seed }
+
+type eval = {
+  dataset : dataset_spec;
+  query : Ppd.Query.t;
+  task : Engine.Request.task;
+  solver : Hardq.Solver.t;
+  budget : float;
+  seed : int;
+  timeout_ms : float option;
+  per_session : bool;
+}
+
+let eval ?(task = Engine.Request.Boolean) ?(solver = Hardq.Solver.default_exact)
+    ?(budget = 0.) ?(seed = 42) ?timeout_ms ?(per_session = false) dataset query
+    =
+  { dataset; query; task; solver; budget; seed; timeout_ms; per_session }
+
+type request = { id : Json.t option; op : op }
+and op = Eval of eval | Metrics | Ping
+
+let strategy_to_string = function
+  | `Naive -> "naive"
+  | `Edges n -> Printf.sprintf "%d-edge" n
+
+let strategy_of_string s =
+  if s = "naive" then Some `Naive
+  else
+    match String.index_opt s '-' with
+    | Some i when String.sub s i (String.length s - i) = "-edge" -> (
+        match int_of_string_opt (String.sub s 0 i) with
+        | Some n when n >= 1 -> Some (`Edges n)
+        | _ -> None)
+    | _ -> None
+
+let dataset_to_json (d : dataset_spec) =
+  Json.Obj
+    (("name", Json.String d.ds_name)
+     ::
+     (match d.ds_size with Some v -> [ ("size", Json.Int v) ] | None -> [])
+     @ (match d.ds_sessions with
+       | Some v -> [ ("sessions", Json.Int v) ]
+       | None -> [])
+     @
+     match d.ds_seed with Some v -> [ ("seed", Json.Int v) ] | None -> [])
+
+let request_to_json (r : request) =
+  let id = match r.id with Some v -> [ ("id", v) ] | None -> [] in
+  match r.op with
+  | Ping -> Json.Obj (("op", Json.String "ping") :: id)
+  | Metrics -> Json.Obj (("op", Json.String "metrics") :: id)
+  | Eval e ->
+      let task_fields =
+        match e.task with
+        | Engine.Request.Boolean -> [ ("task", Json.String "boolean") ]
+        | Engine.Request.Count -> [ ("task", Json.String "count") ]
+        | Engine.Request.Top_k { k; strategy } ->
+            [
+              ("task", Json.String "topk");
+              ("k", Json.Int k);
+              ("strategy", Json.String (strategy_to_string strategy));
+            ]
+      in
+      Json.Obj
+        (("op", Json.String "eval")
+         :: id
+        @ [
+            ("dataset", dataset_to_json e.dataset);
+            ("query", Json.String (Ppd.Query.to_string e.query));
+          ]
+        @ task_fields
+        @ [
+            ("solver", Json.String (Hardq.Solver.to_string e.solver));
+            ("budget", Json.Float e.budget);
+            ("seed", Json.Int e.seed);
+          ]
+        @ (match e.timeout_ms with
+          | Some ms -> [ ("timeout_ms", Json.Float ms) ]
+          | None -> [])
+        @ if e.per_session then [ ("per_session", Json.Bool true) ] else [])
+
+(* Decoding: every failure is a typed [error] the server can send back. *)
+
+let bad fmt = Printf.ksprintf (fun m -> Stdlib.Error (error Bad_request m)) fmt
+
+let field_int json key ~default =
+  match Json.member key json with
+  | None -> Ok default
+  | Some v -> (
+      match Json.to_int v with
+      | Some i -> Ok i
+      | None -> bad "field %S must be an integer" key)
+
+let field_float json key ~default =
+  match Json.member key json with
+  | None -> Ok default
+  | Some v -> (
+      match Json.to_float v with
+      | Some f -> Ok f
+      | None -> bad "field %S must be a number" key)
+
+let field_bool json key ~default =
+  match Json.member key json with
+  | None -> Ok default
+  | Some v -> (
+      match Json.to_bool v with
+      | Some b -> Ok b
+      | None -> bad "field %S must be a boolean" key)
+
+let opt_int json key =
+  match Json.member key json with
+  | None -> Ok None
+  | Some v -> (
+      match Json.to_int v with
+      | Some i -> Ok (Some i)
+      | None -> bad "field %S must be an integer" key)
+
+let ( let* ) = Result.bind
+
+let dataset_of_json json =
+  match Json.member "dataset" json with
+  | None -> bad "missing field \"dataset\""
+  | Some (Json.String name) ->
+      Ok { ds_name = name; ds_size = None; ds_sessions = None; ds_seed = None }
+  | Some (Json.Obj _ as d) -> (
+      match Json.member "name" d with
+      | Some (Json.String name) ->
+          let* ds_size = opt_int d "size" in
+          let* ds_sessions = opt_int d "sessions" in
+          let* ds_seed = opt_int d "seed" in
+          Ok { ds_name = name; ds_size; ds_sessions; ds_seed }
+      | _ -> bad "dataset object needs a string field \"name\"")
+  | Some _ -> bad "field \"dataset\" must be a string or an object"
+
+let task_of_json json =
+  match Json.member "task" json with
+  | None -> Ok Engine.Request.Boolean
+  | Some (Json.String "boolean") -> Ok Engine.Request.Boolean
+  | Some (Json.String "count") -> Ok Engine.Request.Count
+  | Some (Json.String "topk") -> (
+      let* k = field_int json "k" ~default:5 in
+      if k < 1 then bad "field \"k\" must be >= 1"
+      else
+        match Json.member "strategy" json with
+        | None -> Ok (Engine.Request.Top_k { k; strategy = `Edges 1 })
+        | Some (Json.String s) -> (
+            match strategy_of_string s with
+            | Some strategy -> Ok (Engine.Request.Top_k { k; strategy })
+            | None -> bad "unknown strategy %S (naive or N-edge)" s)
+        | Some _ -> bad "field \"strategy\" must be a string")
+  | Some (Json.String other) ->
+      bad "unknown task %S (boolean, count or topk)" other
+  | Some _ -> bad "field \"task\" must be a string"
+
+let eval_of_json json =
+  let* dataset = dataset_of_json json in
+  let* query =
+    match Json.member "query" json with
+    | Some (Json.String text) -> (
+        match Ppd.Parser.parse_result text with
+        | Ok q -> Ok q
+        | Stdlib.Error msg -> Stdlib.Error (error Query_parse_error msg))
+    | Some _ -> bad "field \"query\" must be a string"
+    | None -> bad "missing field \"query\""
+  in
+  let* task = task_of_json json in
+  let* solver =
+    match Json.member "solver" json with
+    | None -> Ok Hardq.Solver.default_exact
+    | Some (Json.String name) -> (
+        match Hardq.Solver.of_string name with
+        | Ok s -> Ok s
+        | Stdlib.Error msg -> Stdlib.Error (error Unknown_solver msg))
+    | Some _ -> bad "field \"solver\" must be a string"
+  in
+  let* budget = field_float json "budget" ~default:0. in
+  let* seed = field_int json "seed" ~default:42 in
+  let* timeout_ms =
+    match Json.member "timeout_ms" json with
+    | None -> Ok None
+    | Some v -> (
+        match Json.to_float v with
+        | Some f when f > 0. -> Ok (Some f)
+        | Some _ -> bad "field \"timeout_ms\" must be positive"
+        | None -> bad "field \"timeout_ms\" must be a number")
+  in
+  let* per_session = field_bool json "per_session" ~default:false in
+  Ok { dataset; query; task; solver; budget; seed; timeout_ms; per_session }
+
+let request_of_json json =
+  match json with
+  | Json.Obj _ -> (
+      let id = Json.member "id" json in
+      let* op =
+        match Json.member "op" json with
+        | Some (Json.String "ping") -> Ok Ping
+        | Some (Json.String "metrics") -> Ok Metrics
+        | Some (Json.String "eval") ->
+            let* e = eval_of_json json in
+            Ok (Eval e)
+        | Some (Json.String other) ->
+            bad "unknown op %S (eval, metrics or ping)" other
+        | Some _ -> bad "field \"op\" must be a string"
+        | None -> bad "missing field \"op\""
+      in
+      Ok { id; op })
+  | _ -> bad "request must be a JSON object"
+
+(* ------------------------------------------------------------------ *)
+(* Replies                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  sessions : int;
+  distinct : int;
+  cache_hits : int;
+  cache_misses : int;
+  solver_calls : int;
+  jobs : int;
+  compile_s : float;
+  bound_s : float;
+  solve_s : float;
+  total_s : float;
+  queue_s : float;
+  server_s : float;
+}
+
+type answer =
+  | Probability of float
+  | Expectation of float
+  | Ranked of (Ppd.Value.t list * float) list
+
+type reply = { reply_id : Json.t option; result : result_body }
+
+and result_body =
+  | Answer of {
+      answer : answer;
+      per_session : (Ppd.Value.t list * float) list option;
+      stats : stats;
+    }
+  | Metrics_snapshot of Json.t
+  | Pong
+  | Err of error
+
+let value_to_json = function
+  | Ppd.Value.Int i -> Json.Int i
+  | Ppd.Value.Str s -> Json.String s
+
+let value_of_json = function
+  | Json.Int i -> Some (Ppd.Value.Int i)
+  | Json.String s -> Some (Ppd.Value.Str s)
+  | _ -> None
+
+let session_row (key, p) =
+  Json.Obj
+    [
+      ("session", Json.List (List.map value_to_json key)); ("p", Json.Float p);
+    ]
+
+let session_row_of_json j =
+  match (Json.member "session" j, Json.member "p" j) with
+  | Some (Json.List key), Some p -> (
+      match (List.map value_of_json key, Json.to_float p) with
+      | vals, Some p when List.for_all Option.is_some vals ->
+          Some (List.map Option.get vals, p)
+      | _ -> None)
+  | _ -> None
+
+let stats_to_json (s : stats) =
+  Json.Obj
+    [
+      ("sessions", Json.Int s.sessions);
+      ("distinct", Json.Int s.distinct);
+      ("cache_hits", Json.Int s.cache_hits);
+      ("cache_misses", Json.Int s.cache_misses);
+      ("solver_calls", Json.Int s.solver_calls);
+      ("jobs", Json.Int s.jobs);
+      ("compile_s", Json.Float s.compile_s);
+      ("bound_s", Json.Float s.bound_s);
+      ("solve_s", Json.Float s.solve_s);
+      ("total_s", Json.Float s.total_s);
+      ("queue_s", Json.Float s.queue_s);
+      ("server_s", Json.Float s.server_s);
+    ]
+
+let stats_of_json j =
+  let int k = Option.bind (Json.member k j) Json.to_int in
+  let flt k = Option.bind (Json.member k j) Json.to_float in
+  match
+    ( (int "sessions", int "distinct", int "cache_hits", int "cache_misses"),
+      (int "solver_calls", int "jobs"),
+      (flt "compile_s", flt "bound_s", flt "solve_s", flt "total_s"),
+      (flt "queue_s", flt "server_s") )
+  with
+  | ( (Some sessions, Some distinct, Some cache_hits, Some cache_misses),
+      (Some solver_calls, Some jobs),
+      (Some compile_s, Some bound_s, Some solve_s, Some total_s),
+      (Some queue_s, Some server_s) ) ->
+      Some
+        {
+          sessions;
+          distinct;
+          cache_hits;
+          cache_misses;
+          solver_calls;
+          jobs;
+          compile_s;
+          bound_s;
+          solve_s;
+          total_s;
+          queue_s;
+          server_s;
+        }
+  | _ -> None
+
+let answer_to_json = function
+  | Probability p ->
+      Json.Obj [ ("kind", Json.String "probability"); ("value", Json.Float p) ]
+  | Expectation e ->
+      Json.Obj [ ("kind", Json.String "expectation"); ("value", Json.Float e) ]
+  | Ranked rows ->
+      Json.Obj
+        [
+          ("kind", Json.String "ranked");
+          ("ranked", Json.List (List.map session_row rows));
+        ]
+
+let answer_of_json j =
+  match Json.member "kind" j with
+  | Some (Json.String "probability") ->
+      Option.map
+        (fun v -> Probability v)
+        (Option.bind (Json.member "value" j) Json.to_float)
+  | Some (Json.String "expectation") ->
+      Option.map
+        (fun v -> Expectation v)
+        (Option.bind (Json.member "value" j) Json.to_float)
+  | Some (Json.String "ranked") -> (
+      match Json.member "ranked" j with
+      | Some (Json.List rows) ->
+          let parsed = List.map session_row_of_json rows in
+          if List.for_all Option.is_some parsed then
+            Some (Ranked (List.map Option.get parsed))
+          else None
+      | _ -> None)
+  | _ -> None
+
+let reply_to_json (r : reply) =
+  let id = match r.reply_id with Some v -> [ ("id", v) ] | None -> [] in
+  match r.result with
+  | Pong -> Json.Obj (id @ [ ("ok", Json.Bool true); ("pong", Json.Bool true) ])
+  | Metrics_snapshot snap ->
+      Json.Obj (id @ [ ("ok", Json.Bool true); ("metrics", snap) ])
+  | Err e ->
+      Json.Obj
+        (id
+        @ [
+            ("ok", Json.Bool false);
+            ( "error",
+              Json.Obj
+                [
+                  ("code", Json.String (error_code_to_string e.code));
+                  ("message", Json.String e.message);
+                ] );
+          ])
+  | Answer { answer; per_session; stats } ->
+      Json.Obj
+        (id
+        @ [ ("ok", Json.Bool true); ("answer", answer_to_json answer) ]
+        @ (match per_session with
+          | Some rows ->
+              [ ("per_session", Json.List (List.map session_row rows)) ]
+          | None -> [])
+        @ [ ("stats", stats_to_json stats) ])
+
+let reply_of_json j =
+  let reply_id = Json.member "id" j in
+  match Json.member "ok" j with
+  | Some (Json.Bool false) -> (
+      match Json.member "error" j with
+      | Some e -> (
+          match
+            ( Option.bind
+                (Option.bind (Json.member "code" e) Json.to_string_opt)
+                error_code_of_string,
+              Option.bind (Json.member "message" e) Json.to_string_opt )
+          with
+          | Some code, Some message ->
+              Ok { reply_id; result = Err { code; message } }
+          | _ -> Stdlib.Error "malformed error reply")
+      | None -> Stdlib.Error "error reply without \"error\" field")
+  | Some (Json.Bool true) -> (
+      match (Json.member "pong" j, Json.member "metrics" j, Json.member "answer" j) with
+      | Some (Json.Bool true), _, _ -> Ok { reply_id; result = Pong }
+      | _, Some snap, _ -> Ok { reply_id; result = Metrics_snapshot snap }
+      | _, _, Some ans -> (
+          match
+            (answer_of_json ans, Option.bind (Json.member "stats" j) stats_of_json)
+          with
+          | Some answer, Some stats ->
+              let per_session =
+                match Json.member "per_session" j with
+                | Some (Json.List rows) ->
+                    let parsed = List.map session_row_of_json rows in
+                    if List.for_all Option.is_some parsed then
+                      Some (List.map Option.get parsed)
+                    else None
+                | _ -> None
+              in
+              Ok { reply_id; result = Answer { answer; per_session; stats } }
+          | _ -> Stdlib.Error "malformed answer reply")
+      | _ -> Stdlib.Error "ok reply without pong/metrics/answer")
+  | _ -> Stdlib.Error "reply without boolean \"ok\" field"
+
+(* ------------------------------------------------------------------ *)
+(* Engine-response projection                                          *)
+(* ------------------------------------------------------------------ *)
+
+let key_of_session (s : Ppd.Database.session) =
+  Array.to_list s.Ppd.Database.key
+
+let answer_of_response (resp : Engine.Response.t) =
+  match resp.Engine.Response.answer with
+  | Engine.Response.Probability p -> Probability p
+  | Engine.Response.Expectation e -> Expectation e
+  | Engine.Response.Ranked rows ->
+      Ranked (List.map (fun (s, p) -> (key_of_session s, p)) rows)
+
+let stats_of_response ~queue_s ~server_s (resp : Engine.Response.t) =
+  let s = resp.Engine.Response.stats in
+  {
+    sessions = s.Engine.Response.sessions;
+    distinct = s.Engine.Response.distinct;
+    cache_hits = s.Engine.Response.cache_hits;
+    cache_misses = s.Engine.Response.cache_misses;
+    solver_calls = s.Engine.Response.solver_calls;
+    jobs = s.Engine.Response.jobs;
+    compile_s = s.Engine.Response.compile_s;
+    bound_s = s.Engine.Response.bound_s;
+    solve_s = s.Engine.Response.solve_s;
+    total_s = s.Engine.Response.total_s;
+    queue_s;
+    server_s;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Obs snapshot                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let snapshot_to_json (snap : Obs.snapshot) =
+  let counters =
+    List.filter_map
+      (function n, Obs.Count v -> Some (n, Json.Int v) | _ -> None)
+      snap
+  in
+  let hists =
+    List.filter_map
+      (function
+        | n, Obs.Hist { count; sum; buckets } ->
+            Some
+              ( n,
+                Json.Obj
+                  [
+                    ("count", Json.Int count);
+                    ("sum", Json.Int sum);
+                    ( "buckets",
+                      Json.List
+                        (List.map
+                           (fun (lo, c) -> Json.List [ Json.Int lo; Json.Int c ])
+                           buckets) );
+                  ] )
+        | _ -> None)
+      snap
+  in
+  Json.Obj [ ("counters", Json.Obj counters); ("histograms", Json.Obj hists) ]

@@ -1,0 +1,146 @@
+(** Wire protocol of the query server: typed requests, replies and
+    errors, and their JSON codec.
+
+    The transport is newline-delimited JSON — one request object per
+    line in, one reply object per line out. Replies echo the request's
+    ["id"] field verbatim (any JSON value), so clients may pipeline.
+
+    The codec reuses the engine's own types ([Engine.Request.task],
+    [Hardq.Solver.t], [Ppd.Query.t] via {!Ppd.Query.to_string} /
+    {!Ppd.Parser.parse}), so a decoded request evaluates to answers
+    bit-identical to a direct [Engine.eval] of the same request — floats
+    cross the wire through {!Json}'s round-trip printer. *)
+
+(** {1 Addresses} *)
+
+type address =
+  | Tcp of string * int  (** host, port; port 0 binds an ephemeral port *)
+  | Local of string  (** Unix-domain socket path *)
+
+val address_of_string : string -> (address, string) result
+(** [HOST:PORT], [:PORT] (loopback), or a filesystem path (anything
+    containing [/], or with no [:]) for a Unix-domain socket. *)
+
+val address_to_string : address -> string
+
+(** {1 Errors} *)
+
+type error_code =
+  | Bad_request  (** malformed JSON or missing/ill-typed fields *)
+  | Query_parse_error  (** query text rejected by [Ppd.Parser] *)
+  | Unknown_dataset
+  | Unknown_solver
+  | Unsupported  (** query outside the supported fragment, or grounding too large *)
+  | Overloaded  (** admission queue full — retry later *)
+  | Deadline_exceeded
+  | Budget_exhausted  (** the request's own CPU budget ran out *)
+  | Shutting_down  (** server is draining; no new work accepted *)
+  | Internal
+
+type error = { code : error_code; message : string }
+
+val error_code_to_string : error_code -> string
+val error_code_of_string : string -> error_code option
+val error : error_code -> string -> error
+
+(** {1 Requests} *)
+
+type dataset_spec = {
+  ds_name : string;  (** [polls], [movielens] or [crowdrank] *)
+  ds_size : int option;  (** item-domain scale; generator default when absent *)
+  ds_sessions : int option;  (** session count; generator default when absent *)
+  ds_seed : int option;  (** generator seed; default 42 *)
+}
+
+val dataset : ?size:int -> ?sessions:int -> ?seed:int -> string -> dataset_spec
+
+type eval = {
+  dataset : dataset_spec;
+  query : Ppd.Query.t;
+  task : Engine.Request.task;
+  solver : Hardq.Solver.t;
+  budget : float;  (** CPU seconds per solver invocation; [<= 0] = none *)
+  seed : int;
+  timeout_ms : float option;  (** wall-clock deadline for this request *)
+  per_session : bool;  (** include per-session marginals in the reply *)
+}
+
+val eval :
+  ?task:Engine.Request.task ->
+  ?solver:Hardq.Solver.t ->
+  ?budget:float ->
+  ?seed:int ->
+  ?timeout_ms:float ->
+  ?per_session:bool ->
+  dataset_spec ->
+  Ppd.Query.t ->
+  eval
+(** Defaults mirror [Engine.Request.make]: Boolean task, [`Auto] solver,
+    no budget, seed 42, no deadline, no per-session marginals. *)
+
+type request = { id : Json.t option; op : op }
+
+and op =
+  | Eval of eval
+  | Metrics  (** one-line JSON snapshot of the Obs registry *)
+  | Ping
+
+val request_to_json : request -> Json.t
+
+val request_of_json : Json.t -> (request, error) result
+(** Decode and validate: unknown ops, missing fields, bad solver names
+    (the message enumerates [Hardq.Solver.valid_names]) and query syntax
+    errors (with offsets) come back as typed errors carrying the
+    request's id semantics — the caller replies with them directly. *)
+
+(** {1 Replies} *)
+
+type stats = {
+  sessions : int;
+  distinct : int;
+  cache_hits : int;
+  cache_misses : int;
+  solver_calls : int;
+  jobs : int;
+  compile_s : float;
+  bound_s : float;
+  solve_s : float;
+  total_s : float;  (** engine wall time *)
+  queue_s : float;  (** admission-queue wait, server side *)
+  server_s : float;  (** dequeue-to-reply wall time, server side *)
+}
+
+type answer =
+  | Probability of float
+  | Expectation of float
+  | Ranked of (Ppd.Value.t list * float) list
+
+type reply = { reply_id : Json.t option; result : result_body }
+
+and result_body =
+  | Answer of {
+      answer : answer;
+      per_session : (Ppd.Value.t list * float) list option;
+      stats : stats;
+    }
+  | Metrics_snapshot of Json.t
+  | Pong
+  | Err of error
+
+val reply_to_json : reply -> Json.t
+val reply_of_json : Json.t -> (reply, string) result
+
+val key_of_session : Ppd.Database.session -> Ppd.Value.t list
+(** A session's wire identity: its key attribute values. *)
+
+val answer_of_response : Engine.Response.t -> answer
+(** Project an engine response onto the wire answer (session keys only —
+    models do not cross the wire). *)
+
+val stats_of_response :
+  queue_s:float -> server_s:float -> Engine.Response.t -> stats
+
+val snapshot_to_json : Obs.snapshot -> Json.t
+(** The Obs registry snapshot as one JSON object
+    [{"counters": {...}, "histograms": {...}}] — the single-line
+    equivalent of [Obs.json_of_snapshot]. *)

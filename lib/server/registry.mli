@@ -1,0 +1,38 @@
+(** Named, resident RIM-PPD instances.
+
+    The server's reason to exist is amortization: datasets are generated
+    once per [(name, size, sessions, seed)] specification and kept
+    resident, so every request after the first pays neither process
+    startup nor dataset synthesis — and the engine's cross-query LRU
+    cache keeps paying off across {e clients}. Parameterized specs are
+    the "synthesized instances": [polls] at [size=20, sessions=5000] is
+    generated on first use and cached like the defaults.
+
+    Thread-safe: generation of a missing entry runs under the registry
+    lock (concurrent requests for the same spec generate once). *)
+
+type t
+
+val create : ?max_size:int -> ?max_sessions:int -> unit -> t
+(** Admission bounds on generator parameters (defaults: [max_size = 64],
+    [max_sessions = 100_000]) — a registry refuses to synthesize
+    arbitrarily large instances on behalf of a remote client. *)
+
+val names : string list
+(** The known dataset families: [["polls"; "movielens"; "crowdrank"]]. *)
+
+val find :
+  t -> Protocol.dataset_spec -> (Ppd.Database.t, Protocol.error) result
+(** Resolve a spec, generating and caching on first use. Errors:
+    [Unknown_dataset] (message enumerates {!names}) and [Bad_request]
+    for out-of-bounds parameters. *)
+
+val preload : t -> Protocol.dataset_spec -> (unit, Protocol.error) result
+(** Generate now (at server start) rather than on first request. *)
+
+val showcase_query : string -> string option
+(** The dataset family's default query text, e.g. the Figure 4 query for
+    [polls] — what the CLI runs when no query is given. *)
+
+val cached : t -> string list
+(** Keys of the currently resident instances (for logging/metrics). *)

@@ -1,0 +1,524 @@
+(* The concurrent query server. See server.mli for the threading model. *)
+
+(* Re-export the subsystem's modules: [server] is both the library's
+   wrapping module and the server proper. *)
+module Json = Json
+module Protocol = Protocol
+module Registry = Registry
+module Bqueue = Bqueue
+module Client = Client
+
+type config = {
+  address : Protocol.address;
+  jobs : int option;
+  cache_capacity : int;
+  queue_capacity : int;
+  workers : int;
+  max_connections : int;
+  default_timeout_ms : float option;
+  max_request_bytes : int;
+  metrics_path : string option;
+  preload : Protocol.dataset_spec list;
+  quiet : bool;
+}
+
+let default_config address =
+  {
+    address;
+    jobs = None;
+    cache_capacity = 8192;
+    queue_capacity = 64;
+    workers = 2;
+    max_connections = 1024;
+    default_timeout_ms = None;
+    max_request_bytes = 1 lsl 20;
+    metrics_path = None;
+    preload = [];
+    quiet = true;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Observability                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let c_accepted = Obs.counter "server.connections.accepted"
+let c_refused = Obs.counter "server.connections.refused"
+let c_active = Obs.counter "server.connections.active" (* gauge *)
+let c_requests = Obs.counter "server.requests"
+let c_admitted = Obs.counter "server.requests.admitted"
+let c_shed = Obs.counter "server.requests.shed"
+let c_ok = Obs.counter "server.replies.ok"
+let c_err = Obs.counter "server.replies.error"
+let c_deadline = Obs.counter "server.deadline_exceeded"
+let c_depth = Obs.counter "server.queue.depth" (* gauge *)
+let c_write_errors = Obs.counter "server.write_errors"
+let h_queue_us = Obs.histogram "server.queue_us"
+let h_eval_us = Obs.histogram "server.eval_us"
+let h_total_us = Obs.histogram "server.total_us"
+
+let us_of_s s = int_of_float (s *. 1e6)
+
+(* ------------------------------------------------------------------ *)
+(* Connections                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type conn = {
+  cid : int;
+  fd : Unix.file_descr;
+  ic : in_channel;
+  wm : Mutex.t; (* serializes reply lines on this socket *)
+}
+
+type job = {
+  eval : Protocol.eval;
+  req_id : Json.t option;
+  conn : conn;
+  enqueued_at : float;
+  deadline : float option; (* absolute, Unix.gettimeofday clock *)
+}
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  bound : Protocol.address;
+  engine : Engine.t;
+  engine_m : Mutex.t;
+  registry : Registry.t;
+  queue : job Bqueue.t;
+  draining : bool Atomic.t;
+  stop_r : Unix.file_descr;
+  stop_w : Unix.file_descr;
+  mutable accept_thread : Thread.t option;
+  mutable worker_threads : Thread.t list;
+  conns : (int, conn) Hashtbl.t;
+  conns_m : Mutex.t;
+  conns_cv : Condition.t; (* signalled when a connection unregisters *)
+  mutable next_cid : int;
+}
+
+let log t fmt =
+  if t.cfg.quiet then Printf.ifprintf stderr fmt
+  else Printf.fprintf stderr ("hardq-server: " ^^ fmt ^^ "\n%!")
+
+let now () = Unix.gettimeofday ()
+
+(* Blocking write of a whole reply line; [Unix.write] handles short
+   writes via the loop. Raises [Unix.Unix_error] on a dead peer. *)
+let write_all fd s =
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write_substring fd s !off (n - !off)
+  done
+
+let send_reply conn (reply : Protocol.reply) =
+  let line = Json.to_string (Protocol.reply_to_json reply) ^ "\n" in
+  (match reply.Protocol.result with
+  | Protocol.Err _ -> Obs.Counter.incr c_err
+  | _ -> Obs.Counter.incr c_ok);
+  Mutex.lock conn.wm;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock conn.wm)
+    (fun () ->
+      try write_all conn.fd line
+      with Unix.Unix_error _ | Sys_error _ -> Obs.Counter.incr c_write_errors)
+
+let send_error conn req_id code message =
+  send_reply conn
+    {
+      Protocol.reply_id = req_id;
+      result = Protocol.Err (Protocol.error code message);
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Workers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Map the remaining wall time onto the engine's CPU-budget mechanism:
+   budgets are measured on process CPU time, which aggregates across the
+   pool's domains, so [remaining * jobs] caps a solver invocation at
+   roughly the request's remaining wall allowance. The tighter of that and the
+   request's own budget wins; remembering which one was tighter picks the
+   error code when the timer fires. *)
+let effective_budget t (e : Protocol.eval) deadline start =
+  match deadline with
+  | None -> (e.Protocol.budget, false)
+  | Some dl ->
+      let rem_cpu = (dl -. start) *. float_of_int (Engine.jobs t.engine) in
+      if e.Protocol.budget > 0. && e.Protocol.budget <= rem_cpu then
+        (e.Protocol.budget, false)
+      else (rem_cpu, true)
+
+let run_eval t (job : job) start =
+  let e = job.eval in
+  match Registry.find t.registry e.Protocol.dataset with
+  | Error err -> Protocol.Err err
+  | Ok db -> (
+      let budget, deadline_limited =
+        effective_budget t e job.deadline start
+      in
+      let req =
+        Engine.Request.make ~task:e.Protocol.task ~solver:e.Protocol.solver
+          ~budget ~seed:e.Protocol.seed ?deadline:job.deadline db
+          e.Protocol.query
+      in
+      match
+        Mutex.lock t.engine_m;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock t.engine_m)
+          (fun () -> Engine.eval t.engine req)
+      with
+      | resp ->
+          let fin = now () in
+          Obs.Histogram.observe h_eval_us (us_of_s (fin -. start));
+          let stats =
+            Protocol.stats_of_response
+              ~queue_s:(start -. job.enqueued_at)
+              ~server_s:(fin -. start) resp
+          in
+          let per_session =
+            if e.Protocol.per_session then
+              Some
+                (List.map
+                   (fun (s, p) -> (Protocol.key_of_session s, p))
+                   resp.Engine.Response.per_session)
+            else None
+          in
+          Protocol.Answer
+            { answer = Protocol.answer_of_response resp; per_session; stats }
+      | exception Util.Timer.Out_of_time ->
+          (* Either the deadline-derived CPU cap or the engine's wall-clock
+             guard fired; a genuinely-expired deadline wins the diagnosis
+             even when the request also carried its own (tighter) budget. *)
+          let deadline_limited =
+            deadline_limited
+            || (match job.deadline with
+               | Some dl -> Util.Timer.wall () >= dl
+               | None -> false)
+          in
+          if deadline_limited then begin
+            Obs.Counter.incr c_deadline;
+            Protocol.Err
+              (Protocol.error Protocol.Deadline_exceeded
+                 "deadline expired during evaluation")
+          end
+          else
+            Protocol.Err
+              (Protocol.error Protocol.Budget_exhausted
+                 "CPU budget exhausted; raise \"budget\" or pick a cheaper \
+                  solver")
+      | exception Ppd.Compile.Unsupported msg ->
+          Protocol.Err (Protocol.error Protocol.Unsupported msg)
+      | exception Ppd.Compile.Grounding_too_large msg ->
+          Protocol.Err (Protocol.error Protocol.Unsupported msg)
+      | exception Engine.Stopped ->
+          Protocol.Err
+            (Protocol.error Protocol.Shutting_down "server is draining")
+      | exception exn ->
+          Protocol.Err
+            (Protocol.error Protocol.Internal (Printexc.to_string exn)))
+
+let process t (job : job) =
+  let start = now () in
+  Obs.Counter.add c_depth (-1);
+  Obs.Histogram.observe h_queue_us (us_of_s (start -. job.enqueued_at));
+  let result =
+    match job.deadline with
+    | Some dl when start >= dl ->
+        Obs.Counter.incr c_deadline;
+        Protocol.Err
+          (Protocol.error Protocol.Deadline_exceeded
+             "deadline expired while queued")
+    | _ -> run_eval t job start
+  in
+  send_reply job.conn { Protocol.reply_id = job.req_id; result };
+  Obs.Histogram.observe h_total_us (us_of_s (now () -. job.enqueued_at))
+
+let worker_loop t () =
+  let rec go () =
+    match Bqueue.pop t.queue with
+    | None -> () (* closed and drained *)
+    | Some job ->
+        (* [process] catches everything evaluation can throw; anything
+           else would kill this worker, so belt-and-braces here. *)
+        (try process t job
+         with exn ->
+           send_error job.conn job.req_id Protocol.Internal
+             (Printexc.to_string exn));
+        go ()
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* Per-connection reader                                               *)
+(* ------------------------------------------------------------------ *)
+
+let handle_line t conn line =
+  Obs.Counter.incr c_requests;
+  match Json.of_string line with
+  | Error msg -> send_error conn None Protocol.Bad_request msg
+  | Ok json -> (
+      match Protocol.request_of_json json with
+      | Error err ->
+          send_reply conn
+            {
+              Protocol.reply_id = Json.member "id" json;
+              result = Protocol.Err err;
+            }
+      | Ok { Protocol.id; op = Protocol.Ping } ->
+          send_reply conn { Protocol.reply_id = id; result = Protocol.Pong }
+      | Ok { Protocol.id; op = Protocol.Metrics } ->
+          send_reply conn
+            {
+              Protocol.reply_id = id;
+              result =
+                Protocol.Metrics_snapshot
+                  (Protocol.snapshot_to_json (Obs.snapshot ()));
+            }
+      | Ok { Protocol.id; op = Protocol.Eval e } ->
+          if Atomic.get t.draining then
+            send_error conn id Protocol.Shutting_down "server is draining"
+          else
+            let enqueued_at = now () in
+            let timeout_ms =
+              match e.Protocol.timeout_ms with
+              | Some _ as s -> s
+              | None -> t.cfg.default_timeout_ms
+            in
+            let deadline =
+              Option.map (fun ms -> enqueued_at +. (ms /. 1000.)) timeout_ms
+            in
+            let job = { eval = e; req_id = id; conn; enqueued_at; deadline } in
+            (match Bqueue.try_push t.queue job with
+            | Bqueue.Pushed ->
+                Obs.Counter.incr c_admitted;
+                Obs.Counter.incr c_depth
+            | Bqueue.Full ->
+                Obs.Counter.incr c_shed;
+                send_error conn id Protocol.Overloaded
+                  (Printf.sprintf
+                     "admission queue full (%d requests); retry later"
+                     (Bqueue.capacity t.queue))
+            | Bqueue.Closed ->
+                send_error conn id Protocol.Shutting_down "server is draining"))
+
+let conn_loop t conn () =
+  let closed = ref false in
+  (try
+     while not !closed do
+       match input_line conn.ic with
+       | exception End_of_file -> closed := true
+       | exception Sys_error _ -> closed := true
+       | line ->
+           let line =
+             (* tolerate CRLF clients *)
+             let n = String.length line in
+             if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1)
+             else line
+           in
+           if String.length line > t.cfg.max_request_bytes then
+             send_error conn None Protocol.Bad_request
+               (Printf.sprintf "request line exceeds %d bytes"
+                  t.cfg.max_request_bytes)
+           else if line <> "" then handle_line t conn line
+     done
+   with _ -> ());
+  Obs.Counter.add c_active (-1);
+  Mutex.lock t.conns_m;
+  Hashtbl.remove t.conns conn.cid;
+  Condition.broadcast t.conns_cv;
+  Mutex.unlock t.conns_m;
+  (* [ic] owns the descriptor: closing it closes the socket. *)
+  try close_in conn.ic with Sys_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Accept loop                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let accept_loop t () =
+  let stop = ref false in
+  while not !stop do
+    (* The finite timeout is load-bearing: a signal may be delivered to a
+       thread parked in a condition wait that never reaches a poll point,
+       leaving the OCaml-level handler pending. Returning from [select]
+       re-enters the runtime and runs it, so drain latency is bounded by
+       this tick even when the signal lands on an unlucky thread. *)
+    match Unix.select [ t.listen_fd; t.stop_r ] [] [] 0.25 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | readable, _, _ ->
+        if Atomic.get t.draining || List.mem t.stop_r readable then
+          stop := true
+        else if List.mem t.listen_fd readable then begin
+          match Unix.accept t.listen_fd with
+          | exception Unix.Unix_error _ -> ()
+          | fd, _peer ->
+              Obs.Counter.incr c_accepted;
+              Mutex.lock t.conns_m;
+              let n_active = Hashtbl.length t.conns in
+              let cid = t.next_cid in
+              t.next_cid <- cid + 1;
+              let conn =
+                {
+                  cid;
+                  fd;
+                  ic = Unix.in_channel_of_descr fd;
+                  wm = Mutex.create ();
+                }
+              in
+              if n_active >= t.cfg.max_connections then begin
+                Mutex.unlock t.conns_m;
+                Obs.Counter.incr c_refused;
+                send_error conn None Protocol.Overloaded
+                  (Printf.sprintf "connection limit (%d) reached"
+                     t.cfg.max_connections);
+                try close_in conn.ic with Sys_error _ -> ()
+              end
+              else begin
+                Hashtbl.replace t.conns cid conn;
+                Mutex.unlock t.conns_m;
+                Obs.Counter.incr c_active;
+                ignore (Thread.create (conn_loop t conn) ())
+              end
+        end
+  done;
+  (* Stop accepting: close (and for Unix-domain sockets, unlink) the
+     listening endpoint before the drain proceeds. *)
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  match t.bound with
+  | Protocol.Local path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Protocol.Tcp _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let bind_listener = function
+  | Protocol.Local path ->
+      (match Unix.lstat path with
+      | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+      | _ -> ()
+      | exception Unix.Unix_error _ -> ());
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 64;
+      (fd, Protocol.Local path)
+  | Protocol.Tcp (host, port) ->
+      let inet =
+        try Unix.inet_addr_of_string host
+        with Failure _ ->
+          (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (inet, port));
+      Unix.listen fd 64;
+      let actual_port =
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> port
+      in
+      (fd, Protocol.Tcp (host, actual_port))
+
+let start cfg =
+  if cfg.workers < 1 then invalid_arg "Server.start: workers must be >= 1";
+  Obs.enable ();
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let listen_fd, bound = bind_listener cfg.address in
+  let stop_r, stop_w = Unix.pipe () in
+  let t =
+    {
+      cfg;
+      listen_fd;
+      bound;
+      engine =
+        Engine.create ?jobs:cfg.jobs ~cache:true
+          ~cache_capacity:cfg.cache_capacity ();
+      engine_m = Mutex.create ();
+      registry = Registry.create ();
+      queue = Bqueue.create ~capacity:cfg.queue_capacity;
+      draining = Atomic.make false;
+      stop_r;
+      stop_w;
+      accept_thread = None;
+      worker_threads = [];
+      conns = Hashtbl.create 32;
+      conns_m = Mutex.create ();
+      conns_cv = Condition.create ();
+      next_cid = 0;
+    }
+  in
+  List.iter
+    (fun spec ->
+      match Registry.preload t.registry spec with
+      | Ok () -> ()
+      | Error e ->
+          log t "preload %s failed: %s" spec.Protocol.ds_name
+            e.Protocol.message)
+    cfg.preload;
+  t.worker_threads <-
+    List.init cfg.workers (fun _ -> Thread.create (worker_loop t) ());
+  t.accept_thread <- Some (Thread.create (accept_loop t) ());
+  log t "listening on %s (jobs=%d, queue=%d, workers=%d)"
+    (Protocol.address_to_string bound)
+    (Engine.jobs t.engine) cfg.queue_capacity cfg.workers;
+  t
+
+let address t = t.bound
+
+let request_drain t =
+  if Atomic.compare_and_set t.draining false true then
+    (* Async-signal-safe: one byte on the self-pipe wakes the accept
+       loop's select. *)
+    try ignore (Unix.write t.stop_w (Bytes.of_string "x") 0 1)
+    with Unix.Unix_error _ -> ()
+
+let draining t = Atomic.get t.draining
+
+let flush_metrics t =
+  match t.cfg.metrics_path with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc
+        (Obs.json_of_snapshot
+           ~extra:[ ("schema", "\"hardq-server-metrics/1\"") ]
+           (Obs.snapshot ()));
+      output_char oc '\n';
+      close_out oc;
+      log t "metrics snapshot written to %s" path
+
+let await t =
+  (* Block until a drain is requested: the accept loop only exits then. *)
+  (match t.accept_thread with Some th -> Thread.join th | None -> ());
+  log t "draining: listener closed, finishing %d queued request(s)"
+    (Bqueue.length t.queue);
+  (* No new admissions; queued and in-flight requests still complete. *)
+  Bqueue.close t.queue;
+  List.iter Thread.join t.worker_threads;
+  (* All replies are written; hang up on the readers and wait for them
+     to unregister. [shutdown] (not [close]) wakes a thread blocked in
+     [input_line] on another thread's descriptor. *)
+  Mutex.lock t.conns_m;
+  Hashtbl.iter
+    (fun _ conn ->
+      try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL
+      with Unix.Unix_error _ -> ())
+    t.conns;
+  while Hashtbl.length t.conns > 0 do
+    Condition.wait t.conns_cv t.conns_m
+  done;
+  Mutex.unlock t.conns_m;
+  Engine.shutdown t.engine;
+  flush_metrics t;
+  (try Unix.close t.stop_r with Unix.Unix_error _ -> ());
+  (try Unix.close t.stop_w with Unix.Unix_error _ -> ());
+  log t "drained cleanly"
+
+let drain t =
+  request_drain t;
+  await t
+
+let install_signal_handlers t =
+  let handle = Sys.Signal_handle (fun _ -> request_drain t) in
+  Sys.set_signal Sys.sigterm handle;
+  Sys.set_signal Sys.sigint handle

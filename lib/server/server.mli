@@ -1,0 +1,92 @@
+(** The concurrent query server: one resident {!Engine.t} and a
+    {!Registry} of named PPDs behind a newline-delimited-JSON socket
+    ({!Protocol}).
+
+    {b Threading model.} One accept thread; one reader thread per
+    connection (decode, admission, error replies); a fixed set of worker
+    threads consuming a bounded admission queue ({!Bqueue}) and running
+    [Engine.eval] — serialized on an engine mutex, because the engine
+    parallelizes {e internally} across its domain pool; extra workers
+    only overlap serving-side work (dataset synthesis, serialization)
+    with evaluation. Replies carry the request id, so answers to one
+    connection may come back out of order under pipelining.
+
+    {b Admission.} A full queue sheds the request immediately with a
+    typed [overloaded] error — the queue bound is the knee of the
+    latency curve, not a buffer. Connections beyond [max_connections]
+    are refused the same way.
+
+    {b Deadlines.} A request's [timeout_ms] becomes (a) a rejection at
+    dequeue time if it already expired in the queue, and (b) a CPU
+    budget for the engine: the remaining wall time times the pool size
+    bounds every solver invocation, so a request cannot hold a worker
+    for long after its deadline. A request that completes is answered
+    even if slightly past its deadline — the caller paid for it.
+
+    {b Drain.} {!request_drain} (or SIGTERM/SIGINT via
+    {!install_signal_handlers}) stops the accept loop, closes the
+    admission queue (queued and in-flight requests still complete and
+    are answered; new ones get [shutting_down]), joins the workers,
+    closes the connections, shuts the engine down, and flushes an [Obs]
+    metrics snapshot to [metrics_path]. {!await} returns when all of
+    that is done; the binary then exits 0. *)
+
+(** {1 Subsystem modules} — [Server] is the library's wrapping module;
+    the protocol, codec and client live here. *)
+
+module Json = Json
+module Protocol = Protocol
+module Registry = Registry
+module Bqueue = Bqueue
+module Client = Client
+
+(** {1 The server} *)
+
+type config = {
+  address : Protocol.address;
+  jobs : int option;  (** engine pool size; [None] = engine default *)
+  cache_capacity : int;  (** engine LRU entries *)
+  queue_capacity : int;  (** admission-queue bound *)
+  workers : int;  (** evaluator threads, >= 1 *)
+  max_connections : int;
+  default_timeout_ms : float option;  (** applied when a request has none *)
+  max_request_bytes : int;  (** longest accepted request line *)
+  metrics_path : string option;  (** flush an Obs snapshot here on drain *)
+  preload : Protocol.dataset_spec list;  (** synthesized at {!start} *)
+  quiet : bool;  (** suppress the stderr lifecycle log lines *)
+}
+
+val default_config : Protocol.address -> config
+(** jobs = engine default, cache 8192, queue 64, 2 workers, 1024
+    connections, no default timeout, 1 MiB lines, no metrics path, no
+    preloads, not quiet. *)
+
+type t
+
+val start : config -> t
+(** Bind, enable [Obs] metrics, preload datasets, spawn the accept and
+    worker threads. Raises [Unix.Unix_error] if the address cannot be
+    bound. *)
+
+val address : t -> Protocol.address
+(** The bound address — with the actual port when the config said 0. *)
+
+val request_drain : t -> unit
+(** Begin a graceful drain. Async-signal-safe (an atomic flag and a
+    self-pipe write); the actual teardown runs on {!await}'s caller.
+    Idempotent. *)
+
+val draining : t -> bool
+
+val await : t -> unit
+(** Block until a drain is requested, then tear down: join accept and
+    workers (completing every admitted request), close connections,
+    [Engine.shutdown], flush metrics. Call exactly once. *)
+
+val drain : t -> unit
+(** [request_drain] + {!await} — the programmatic shutdown used by
+    tests. *)
+
+val install_signal_handlers : t -> unit
+(** SIGTERM and SIGINT call {!request_drain}. (SIGPIPE is already
+    ignored by {!start} — remote hangups must not kill the server.) *)

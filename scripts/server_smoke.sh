@@ -1,0 +1,61 @@
+#!/bin/sh
+# Server smoke test for `make ci`: start hardq-server on an ephemeral
+# Unix-domain socket, run one query of each task type plus ping and
+# metrics through hardq-client, then SIGTERM it and assert a clean drain
+# (exit 0) and a non-empty metrics snapshot.
+#
+# Usage: scripts/server_smoke.sh [path-to-server-exe [path-to-client-exe]]
+set -eu
+
+SERVER=${1:-_build/default/bin/hardq_server.exe}
+CLIENT=${2:-_build/default/bin/hardq_client.exe}
+
+[ -x "$SERVER" ] || { echo "smoke: server binary missing: $SERVER" >&2; exit 1; }
+[ -x "$CLIENT" ] || { echo "smoke: client binary missing: $CLIENT" >&2; exit 1; }
+
+DIR=$(mktemp -d "${TMPDIR:-/tmp}/hardq_smoke.XXXXXX")
+SOCK="$DIR/server.sock"
+METRICS="$DIR/metrics.json"
+
+cleanup() {
+    [ -n "${SERVER_PID:-}" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$DIR"
+}
+trap cleanup EXIT INT TERM
+
+"$SERVER" --listen "$SOCK" --metrics-json "$METRICS" --quiet \
+    --preload polls &
+SERVER_PID=$!
+
+run() {
+    desc=$1; shift
+    if out=$("$CLIENT" --connect "$SOCK" --retries 100 "$@"); then
+        echo "smoke: $desc ok"
+    else
+        echo "smoke: $desc FAILED" >&2
+        echo "$out" >&2
+        exit 1
+    fi
+}
+
+run "ping" --op ping
+run "boolean query" --dataset polls --size 6 --sessions 20 --task boolean
+run "count-session query" --dataset polls --size 6 --sessions 20 --task count
+run "most-probable-session query" \
+    --dataset polls --size 6 --sessions 20 --task top-k -k 3
+run "metrics op" --op metrics
+
+# Graceful drain: SIGTERM must produce exit 0 and flush the snapshot.
+kill -TERM "$SERVER_PID"
+if wait "$SERVER_PID"; then
+    STATUS=0
+else
+    STATUS=$?
+fi
+SERVER_PID=
+[ "$STATUS" -eq 0 ] || { echo "smoke: server exited $STATUS, want 0" >&2; exit 1; }
+[ -s "$METRICS" ] || { echo "smoke: metrics snapshot missing or empty" >&2; exit 1; }
+grep -q '"server.requests"' "$METRICS" \
+    || { echo "smoke: metrics snapshot lacks server counters" >&2; exit 1; }
+
+echo "smoke: server drained cleanly, metrics snapshot written"

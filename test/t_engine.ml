@@ -417,8 +417,44 @@ let unit_solver_name_round_trip () =
   | Ok (Hardq.Solver.Approx (Hardq.Solver.Mis_lite _)) -> ()
   | _ -> Alcotest.fail "case/space-insensitive parse failed");
   match Hardq.Solver.of_string "no-such-solver" with
-  | Error _ -> ()
+  | Error msg ->
+      (* The failure message must enumerate every valid name — it is the
+         only discoverability the wire protocol offers. *)
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+        at 0
+      in
+      List.iter
+        (fun n ->
+          if not (contains msg n) then
+            Alcotest.failf "error message omits %S: %s" n msg)
+        Hardq.Solver.valid_names
   | Ok _ -> Alcotest.fail "expected an error for an unknown name"
+
+(* ------------------------------------------------------------------ *)
+(* Shutdown                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let unit_engine_shutdown_idempotent () =
+  let engine = Engine.create ~jobs:2 () in
+  Alcotest.(check bool) "fresh engine not stopped" false (Engine.stopped engine);
+  Engine.shutdown engine;
+  Alcotest.(check bool) "stopped after shutdown" true (Engine.stopped engine);
+  (* Idempotent: repeated shutdowns are no-ops, not errors. *)
+  Engine.shutdown engine;
+  Engine.shutdown engine;
+  Alcotest.(check bool) "still stopped" true (Engine.stopped engine)
+
+let unit_engine_eval_after_shutdown_raises () =
+  let db, q = polls () in
+  let engine = Engine.create ~jobs:1 () in
+  let req = Engine.Request.make db q in
+  ignore (Engine.eval engine req);
+  Engine.shutdown engine;
+  match Engine.eval engine req with
+  | _ -> Alcotest.fail "expected Engine.Stopped"
+  | exception Engine.Stopped -> ()
 
 let suites =
   [
@@ -461,4 +497,10 @@ let suites =
       ] );
     ( "engine.solver-names",
       [ tc "of_string/to_string round-trip" `Quick unit_solver_name_round_trip ] );
+    ( "engine.shutdown",
+      [
+        tc "shutdown is idempotent" `Quick unit_engine_shutdown_idempotent;
+        tc "eval after shutdown raises Stopped" `Quick
+          unit_engine_eval_after_shutdown_raises;
+      ] );
   ]

@@ -84,6 +84,28 @@ let unit_parser_errors () =
   bad "Q() :- P(_; a; b; c; d).";
   bad "Q() :- x < ."
 
+(* Error *messages*: every failure must localize itself with a byte
+   offset — the server relays these verbatim to remote clients who never
+   see the query in a terminal. *)
+let unit_parser_error_positions () =
+  let bad_with_offset what s =
+    match Ppd.Parser.parse_result s with
+    | Ok _ -> Alcotest.failf "%s: expected a parse error for %s" what s
+    | Error msg ->
+        let has_offset =
+          let nh = String.length msg in
+          let rec at i = i + 9 <= nh && (String.sub msg i 9 = "at offset" || at (i + 1)) in
+          at 0
+        in
+        if not has_offset then
+          Alcotest.failf "%s: error message carries no offset: %s" what msg
+  in
+  bad_with_offset "unterminated string" "Q() :- C(c1, \"Democr).";
+  bad_with_offset "bad operator" "Q() :- P(_; x; y), x ! y.";
+  bad_with_offset "wrong-arity pref atom" "Q() :- P(_; x).";
+  bad_with_offset "missing body" "Q() :- ";
+  bad_with_offset "trailing garbage" "Q() :- P(_; a; b). extra"
+
 let unit_classification () =
   let db = figure1_db () in
   Alcotest.(check (list string)) "V+(Q0) empty" []
@@ -514,6 +536,8 @@ let suites =
         tc "parses Q2" `Quick unit_parser_q2;
         tc "parses comparisons" `Quick unit_parser_operators;
         tc "rejects malformed queries" `Quick unit_parser_errors;
+        tc "error messages carry byte offsets" `Quick
+          unit_parser_error_positions;
       ] );
     ( "ppd.compile",
       [

@@ -1,0 +1,778 @@
+(* The serving subsystem: JSON and protocol codecs, the bounded
+   admission queue, Query.to_string round-tripping, and end-to-end tests
+   against an in-process server — bit-identity under concurrent clients,
+   load shedding, deadlines, graceful drain, and SIGTERM on the real
+   binary. *)
+
+let tc = Alcotest.test_case
+
+module Json = Server.Json
+module Protocol = Server.Protocol
+
+let check_float_eq what expected actual =
+  if expected <> actual then
+    Alcotest.failf "%s: expected exactly %.17g, got %.17g" what expected actual
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+  at 0
+
+(* ------------------------------------------------------------------ *)
+(* Json                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let unit_json_roundtrip () =
+  let cases =
+    [
+      Json.Null;
+      Json.Bool true;
+      Json.Bool false;
+      Json.Int 0;
+      Json.Int (-42);
+      Json.Int max_int;
+      Json.Float 0.5;
+      Json.Float (-1.25e-3);
+      Json.String "";
+      Json.String "plain";
+      Json.String "esc \" \\ \n \t \r \b \012 done";
+      Json.String "caf\xc3\xa9";
+      Json.List [];
+      Json.List [ Json.Int 1; Json.String "two"; Json.Null ];
+      Json.Obj [];
+      Json.Obj
+        [
+          ("a", Json.Int 1);
+          ("nested", Json.Obj [ ("l", Json.List [ Json.Bool false ]) ]);
+        ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      let s = Json.to_string v in
+      if String.contains s '\n' then Alcotest.failf "not single-line: %s" s;
+      match Json.of_string s with
+      | Ok v' ->
+          if not (Json.equal v v') then Alcotest.failf "round-trip broke %s" s
+      | Error msg -> Alcotest.failf "re-parse of %s failed: %s" s msg)
+    cases
+
+let unit_json_float_precision () =
+  (* The serving contract is bit-identical floats across the wire. *)
+  List.iter
+    (fun f ->
+      match Json.of_string (Json.to_string (Json.Float f)) with
+      | Ok (Json.Float f') ->
+          if f <> f' && not (Float.is_nan f && Float.is_nan f') then
+            Alcotest.failf "float %.17g re-parsed as %.17g" f f'
+      | Ok (Json.Int i) ->
+          if float_of_int i <> f then
+            Alcotest.failf "float %.17g re-parsed as int %d" f i
+      | Ok _ -> Alcotest.fail "float parsed as non-number"
+      | Error msg -> Alcotest.failf "float %.17g: %s" f msg)
+    [
+      0.1 +. 0.2;
+      1. /. 3.;
+      0.99999999999999134;
+      1e-300;
+      1.7976931348623157e308;
+      4.9406564584124654e-324;
+      -0.0;
+      3.14;
+    ];
+  (* Non-finite floats are not representable; they degrade to null. *)
+  Alcotest.(check string) "nan -> null" "null" (Json.to_string (Json.Float Float.nan));
+  Alcotest.(check string)
+    "inf -> null" "null"
+    (Json.to_string (Json.Float Float.infinity))
+
+let unit_json_parse_errors () =
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Ok _ -> Alcotest.failf "expected a parse error for %s" s
+      | Error msg ->
+          if not (contains msg "offset") then
+            Alcotest.failf "error carries no offset for %s: %s" s msg)
+    [
+      "";
+      "{";
+      "[1, 2";
+      "\"unterminated";
+      "{\"a\": }";
+      "{\"a\": 1,}";
+      "nul";
+      "1 2";
+      "{\"a\" 1}";
+      "[1,]";
+    ]
+
+let unit_json_accessors () =
+  let j =
+    Json.Obj [ ("i", Json.Int 3); ("f", Json.Float 0.5); ("s", Json.String "x") ]
+  in
+  Alcotest.(check (option int)) "int field" (Some 3)
+    (Option.bind (Json.member "i" j) Json.to_int);
+  Alcotest.(check (option int)) "missing" None
+    (Option.bind (Json.member "zz" j) Json.to_int);
+  (* ints coerce to floats, floats with integral value to ints *)
+  Alcotest.(check (option (float 0.))) "int as float" (Some 3.)
+    (Option.bind (Json.member "i" j) Json.to_float);
+  Alcotest.(check (option int)) "integral float as int" (Some 2)
+    (Json.to_int (Json.Float 2.));
+  Alcotest.(check (option int)) "non-integral float is not an int" None
+    (Json.to_int (Json.Float 2.5));
+  Alcotest.(check bool) "obj equal ignores order" true
+    (Json.equal
+       (Json.Obj [ ("a", Json.Int 1); ("b", Json.Int 2) ])
+       (Json.Obj [ ("b", Json.Int 2); ("a", Json.Int 1) ]))
+
+(* ------------------------------------------------------------------ *)
+(* Protocol codec                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let sample_query = Ppd.Parser.parse Datasets.Polls.query_two_label
+
+let unit_protocol_request_roundtrip () =
+  let specs =
+    [
+      Protocol.dataset "polls";
+      Protocol.dataset ~size:8 ~sessions:50 ~seed:7 "movielens";
+    ]
+  in
+  let tasks =
+    [
+      Engine.Request.Boolean;
+      Engine.Request.Count;
+      Engine.Request.Top_k { k = 4; strategy = `Naive };
+      Engine.Request.Top_k { k = 2; strategy = `Edges 3 };
+    ]
+  in
+  List.iter
+    (fun spec ->
+      List.iter
+        (fun task ->
+          (* Solvers cross the wire by *name*; parameters re-parse to the
+             name's defaults, so the codec round-trips exactly the solvers
+             whose of_string/to_string round-trip (t_engine checks that
+             for all of them). *)
+          let e =
+            Protocol.eval ~task
+              ~solver:(Hardq.Solver.Approx (Hardq.Solver.Mis_full { n_per = 2000 }))
+              ~budget:1.5 ~seed:9 ~timeout_ms:250. ~per_session:true spec
+              sample_query
+          in
+          let req = { Protocol.id = Some (Json.Int 7); op = Protocol.Eval e } in
+          match Protocol.request_of_json (Protocol.request_to_json req) with
+          | Ok req' ->
+              if req' <> req then
+                Alcotest.failf "request round-trip broke: %s"
+                  (Json.to_string (Protocol.request_to_json req))
+          | Error e -> Alcotest.failf "request rejected: %s" e.Protocol.message)
+        tasks)
+    specs;
+  (* ping/metrics, and ids of every JSON shape *)
+  List.iter
+    (fun op ->
+      List.iter
+        (fun id ->
+          let req = { Protocol.id; op } in
+          match Protocol.request_of_json (Protocol.request_to_json req) with
+          | Ok req' when req' = req -> ()
+          | Ok _ -> Alcotest.fail "op/id round-trip broke"
+          | Error e -> Alcotest.failf "rejected: %s" e.Protocol.message)
+        [ None; Some (Json.Int 1); Some (Json.String "req-1"); Some Json.Null ])
+    [ Protocol.Ping; Protocol.Metrics ]
+
+let sample_stats =
+  {
+    Protocol.sessions = 30;
+    distinct = 12;
+    cache_hits = 3;
+    cache_misses = 9;
+    solver_calls = 9;
+    jobs = 2;
+    compile_s = 1e-4;
+    bound_s = 0.;
+    solve_s = 0.2;
+    total_s = 0.21;
+    queue_s = 1e-5;
+    server_s = 0.22;
+  }
+
+let unit_protocol_reply_roundtrip () =
+  let rows =
+    [
+      ([ Ppd.Value.Str "v1" ], 0.1 +. 0.2);
+      ([ Ppd.Value.Str "v2"; Ppd.Value.Int 3 ], 1. /. 3.);
+    ]
+  in
+  let bodies =
+    [
+      Protocol.Answer
+        {
+          answer = Protocol.Probability 0.99999999999999134;
+          per_session = None;
+          stats = sample_stats;
+        };
+      Protocol.Answer
+        {
+          answer = Protocol.Expectation 12.75;
+          per_session = Some rows;
+          stats = sample_stats;
+        };
+      Protocol.Answer
+        { answer = Protocol.Ranked rows; per_session = None; stats = sample_stats };
+      Protocol.Pong;
+      Protocol.Metrics_snapshot (Json.Obj [ ("counters", Json.Obj []) ]);
+      Protocol.Err (Protocol.error Protocol.Overloaded "queue full");
+    ]
+  in
+  List.iter
+    (fun result ->
+      let reply = { Protocol.reply_id = Some (Json.Int 3); result } in
+      match Protocol.reply_of_json (Protocol.reply_to_json reply) with
+      | Ok reply' ->
+          if reply' <> reply then
+            Alcotest.failf "reply round-trip broke: %s"
+              (Json.to_string (Protocol.reply_to_json reply))
+      | Error msg -> Alcotest.failf "reply rejected: %s" msg)
+    bodies
+
+let unit_protocol_bad_requests () =
+  let decode s =
+    match Json.of_string s with
+    | Ok j -> Protocol.request_of_json j
+    | Error msg -> Alcotest.failf "test JSON invalid: %s" msg
+  in
+  let expect_code s code what =
+    match decode s with
+    | Ok _ -> Alcotest.failf "%s: expected a typed error" what
+    | Error e ->
+        if e.Protocol.code <> code then
+          Alcotest.failf "%s: wrong code, message: %s" what e.Protocol.message;
+        e.Protocol.message
+  in
+  ignore (expect_code "[]" Protocol.Bad_request "non-object");
+  ignore (expect_code "{}" Protocol.Bad_request "missing op");
+  ignore (expect_code "{\"op\":\"nope\"}" Protocol.Bad_request "unknown op");
+  ignore
+    (expect_code "{\"op\":\"eval\",\"dataset\":\"polls\"}" Protocol.Bad_request
+       "missing query");
+  (* bad solver name: message must enumerate the valid names *)
+  let msg =
+    expect_code
+      "{\"op\":\"eval\",\"dataset\":\"polls\",\"query\":\"Q() :- P(_, _; x; \
+       y).\",\"solver\":\"nope\"}"
+      Protocol.Unknown_solver "bad solver"
+  in
+  List.iter
+    (fun n ->
+      if not (contains msg n) then
+        Alcotest.failf "solver error omits %S: %s" n msg)
+    Hardq.Solver.valid_names;
+  (* query syntax error: typed, and localized with an offset *)
+  let msg =
+    expect_code
+      "{\"op\":\"eval\",\"dataset\":\"polls\",\"query\":\"Q() :- P(_; x).\"}"
+      Protocol.Query_parse_error "bad query"
+  in
+  if not (contains msg "offset") then
+    Alcotest.failf "query error carries no offset: %s" msg
+
+(* ------------------------------------------------------------------ *)
+(* Bqueue                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let unit_bqueue_fifo_and_bound () =
+  let q = Server.Bqueue.create ~capacity:2 in
+  Alcotest.(check int) "capacity" 2 (Server.Bqueue.capacity q);
+  Alcotest.(check bool) "push 1" true (Server.Bqueue.try_push q 1 = Server.Bqueue.Pushed);
+  Alcotest.(check bool) "push 2" true (Server.Bqueue.try_push q 2 = Server.Bqueue.Pushed);
+  Alcotest.(check bool) "push 3 sheds" true
+    (Server.Bqueue.try_push q 3 = Server.Bqueue.Full);
+  Alcotest.(check int) "length" 2 (Server.Bqueue.length q);
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Server.Bqueue.pop q);
+  Alcotest.(check bool) "push 4 after pop" true
+    (Server.Bqueue.try_push q 4 = Server.Bqueue.Pushed);
+  Alcotest.(check (option int)) "pop 2" (Some 2) (Server.Bqueue.pop q);
+  Alcotest.(check (option int)) "pop 4" (Some 4) (Server.Bqueue.pop q)
+
+let unit_bqueue_close_drains () =
+  let q = Server.Bqueue.create ~capacity:4 in
+  ignore (Server.Bqueue.try_push q "a");
+  ignore (Server.Bqueue.try_push q "b");
+  Server.Bqueue.close q;
+  Alcotest.(check bool) "push after close" true
+    (Server.Bqueue.try_push q "c" = Server.Bqueue.Closed);
+  (* close-then-join drain idiom: queued items still come out, then None *)
+  Alcotest.(check (option string)) "drain a" (Some "a") (Server.Bqueue.pop q);
+  Alcotest.(check (option string)) "drain b" (Some "b") (Server.Bqueue.pop q);
+  Alcotest.(check (option string)) "then None" None (Server.Bqueue.pop q)
+
+let unit_bqueue_pop_blocks_until_push () =
+  let q = Server.Bqueue.create ~capacity:1 in
+  let got = ref None in
+  let t = Thread.create (fun () -> got := Server.Bqueue.pop q) () in
+  Thread.delay 0.02;
+  ignore (Server.Bqueue.try_push q 99);
+  Thread.join t;
+  Alcotest.(check (option int)) "blocked pop woke" (Some 99) !got
+
+(* ------------------------------------------------------------------ *)
+(* Query.to_string round-trip                                          *)
+(* ------------------------------------------------------------------ *)
+
+let unit_query_to_string_showcase () =
+  List.iter
+    (fun text ->
+      let q = Ppd.Parser.parse text in
+      let q' = Ppd.Parser.parse (Ppd.Query.to_string q) in
+      if q <> q' then
+        Alcotest.failf "showcase query does not round-trip: %s" text)
+    [
+      Datasets.Polls.query_two_label;
+      Datasets.Movielens.query_fig14;
+      Datasets.Crowdrank.query_fig15;
+      "Q() :- P(_, _; x; y), C(x, \"D\", _, _, e, _), C(y, \"R\", _, _, e, _).";
+      "Q() :- P(_; x; y), M(x, _, year1, g), year1 >= 1990, M(y, _, year2, g), \
+       year2 < 1990.";
+    ]
+
+(* Random supported queries as ASTs. Variables are lowercase; string
+   constants are arbitrary-case (to_string must quote them so that
+   [Capitalized] does not come back as a different constant and
+   [lowercase] does not come back as a variable). *)
+let query_gen =
+  let open QCheck.Gen in
+  let var = oneofl [ "x"; "y"; "z"; "w"; "s1" ] in
+  let str_const =
+    oneofl [ "D"; "R"; "red"; "Blue"; "a b"; "1990s"; "x'"; "" ]
+  in
+  let term =
+    frequency
+      [
+        (4, map (fun v -> Ppd.Query.Var v) var);
+        (2, return Ppd.Query.Wildcard);
+        (2, map (fun i -> Ppd.Query.Const (Ppd.Value.Int i)) (int_range (-50) 5000));
+        (2, map (fun s -> Ppd.Query.Const (Ppd.Value.Str s)) str_const);
+      ]
+  in
+  let pref =
+    let* rel = oneofl [ "P"; "Pref" ] in
+    let* session = list_size (int_range 1 2) term in
+    let* left = term in
+    let* right = term in
+    return (Ppd.Query.Pref { rel; session; left; right })
+  in
+  let rel_atom =
+    let* rel = oneofl [ "M"; "C"; "D2" ] in
+    let* terms = list_size (int_range 1 4) term in
+    return (Ppd.Query.Rel { rel; terms })
+  in
+  let cmp =
+    let* v = var in
+    let* op =
+      oneofl [ Ppd.Value.Eq; Ppd.Value.Neq; Ppd.Value.Lt; Ppd.Value.Le; Ppd.Value.Gt; Ppd.Value.Ge ]
+    in
+    let* i = int_range (-10) 2020 in
+    return
+      (Ppd.Query.Cmp
+         { lhs = Ppd.Query.Var v; op; rhs = Ppd.Query.Const (Ppd.Value.Int i) })
+  in
+  let* prefs = list_size (int_range 1 2) pref in
+  let* rels = list_size (int_range 0 2) rel_atom in
+  let* cmps = list_size (int_range 0 1) cmp in
+  let body = prefs @ rels @ cmps in
+  let body_vars =
+    List.concat_map
+      (fun atom ->
+        let terms =
+          match atom with
+          | Ppd.Query.Pref { session; left; right; _ } -> left :: right :: session
+          | Ppd.Query.Rel { terms; _ } -> terms
+          | Ppd.Query.Cmp { lhs; rhs; _ } -> [ lhs; rhs ]
+        in
+        List.filter_map
+          (function Ppd.Query.Var v -> Some v | _ -> None)
+          terms)
+      body
+  in
+  let* head =
+    match List.sort_uniq compare body_vars with
+    | [] -> return []
+    | vs ->
+        let* n = int_range 0 (List.length vs) in
+        return (List.filteri (fun i _ -> i < n) vs)
+  in
+  return (Ppd.Query.make ~name:"Q" ~head body)
+
+let prop_query_to_string_roundtrip =
+  Helpers.qtest ~count:300 "parse (to_string q) = q"
+    (QCheck.make ~print:Ppd.Query.to_string query_gen)
+    (fun q ->
+      match Ppd.Parser.parse_result (Ppd.Query.to_string q) with
+      | Ok q' ->
+          q' = q
+          || QCheck.Test.fail_reportf "reparsed differently: %s"
+               (Ppd.Query.to_string q')
+      | Error msg ->
+          QCheck.Test.fail_reportf "emitted unparseable text %S: %s"
+            (Ppd.Query.to_string q) msg)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: in-process server                                       *)
+(* ------------------------------------------------------------------ *)
+
+let temp_socket () =
+  let path = Filename.temp_file "hardq_test" ".sock" in
+  Sys.remove path;
+  path
+
+let with_server config f =
+  let server = Server.start config in
+  Fun.protect
+    ~finally:(fun () -> if not (Server.draining server) then Server.drain server)
+    (fun () -> f server)
+
+(* The spec the identity tests serve; small enough that eight clients
+   times three tasks stay well under a second. *)
+let fast_spec = Protocol.dataset ~size:6 ~sessions:30 ~seed:7 "polls"
+
+(* A spec slow enough (hundreds of ms per uncached eval) that load
+   shedding, deadlines and drain have an in-flight request to observe. *)
+let slow_spec = Protocol.dataset ~size:10 ~sessions:2500 ~seed:7 "polls"
+
+let reference_response spec task ~per_session:_ =
+  let registry = Server.Registry.create () in
+  let db =
+    match Server.Registry.find registry spec with
+    | Ok db -> db
+    | Error e -> Alcotest.failf "reference dataset: %s" e.Protocol.message
+  in
+  Engine.with_engine ~jobs:1 (fun engine ->
+      Engine.eval engine (Engine.Request.make ~task db sample_query))
+
+let unit_server_concurrent_bit_identity () =
+  let address = Protocol.Local (temp_socket ()) in
+  let config =
+    { (Server.default_config address) with Server.preload = [ fast_spec ] }
+  in
+  let ref_bool = reference_response fast_spec Engine.Request.Boolean ~per_session:true in
+  let ref_count = reference_response fast_spec Engine.Request.Count ~per_session:false in
+  let ref_topk =
+    reference_response fast_spec
+      (Engine.Request.Top_k { k = 5; strategy = `Edges 1 })
+      ~per_session:false
+  in
+  let ref_rows =
+    List.map
+      (fun (s, p) -> (Protocol.key_of_session s, p))
+      ref_bool.Engine.Response.per_session
+  in
+  let ref_ranked =
+    List.map
+      (fun (s, p) -> (Protocol.key_of_session s, p))
+      (Engine.Response.ranked ref_topk)
+  in
+  with_server config @@ fun server ->
+  let n_clients = 8 in
+  let failures = Server.Bqueue.create ~capacity:(n_clients * 4) in
+  let fail fmt = Printf.ksprintf (fun m -> ignore (Server.Bqueue.try_push failures m)) fmt in
+  let run_client i =
+    let client = Server.Client.connect ~retries:40 (Server.address server) in
+    Fun.protect ~finally:(fun () -> Server.Client.close client) @@ fun () ->
+    (* Boolean with per-session marginals *)
+    (match
+       Server.Client.eval client
+         (Protocol.eval ~per_session:true fast_spec sample_query)
+     with
+    | Ok (Protocol.Answer { answer = Protocol.Probability p; per_session; _ }) ->
+        if p <> Engine.Response.answer_float ref_bool then
+          fail "client %d: boolean %.17g <> %.17g" i p
+            (Engine.Response.answer_float ref_bool);
+        (match per_session with
+        | Some rows when rows = ref_rows -> ()
+        | Some _ -> fail "client %d: per-session rows differ" i
+        | None -> fail "client %d: per-session rows missing" i)
+    | Ok _ -> fail "client %d: unexpected boolean reply" i
+    | Error msg -> fail "client %d: boolean failed: %s" i msg);
+    (* Count *)
+    (match
+       Server.Client.eval client
+         (Protocol.eval ~task:Engine.Request.Count fast_spec sample_query)
+     with
+    | Ok (Protocol.Answer { answer = Protocol.Expectation e; _ }) ->
+        if e <> Engine.Response.answer_float ref_count then
+          fail "client %d: count %.17g <> %.17g" i e
+            (Engine.Response.answer_float ref_count)
+    | Ok _ -> fail "client %d: unexpected count reply" i
+    | Error msg -> fail "client %d: count failed: %s" i msg);
+    (* Most-probable-session *)
+    match
+      Server.Client.eval client
+        (Protocol.eval
+           ~task:(Engine.Request.Top_k { k = 5; strategy = `Edges 1 })
+           fast_spec sample_query)
+    with
+    | Ok (Protocol.Answer { answer = Protocol.Ranked rows; _ }) ->
+        if rows <> ref_ranked then fail "client %d: ranking differs" i
+    | Ok _ -> fail "client %d: unexpected top-k reply" i
+    | Error msg -> fail "client %d: top-k failed: %s" i msg
+  in
+  let threads = List.init n_clients (fun i -> Thread.create run_client i) in
+  List.iter Thread.join threads;
+  Server.Bqueue.close failures;
+  match Server.Bqueue.pop failures with
+  | None -> ()
+  | Some first -> Alcotest.fail first
+
+let unit_server_sheds_when_overloaded () =
+  let address = Protocol.Local (temp_socket ()) in
+  let config =
+    {
+      (Server.default_config address) with
+      Server.queue_capacity = 1;
+      workers = 1;
+      preload = [ slow_spec ];
+    }
+  in
+  with_server config @@ fun server ->
+  (* Occupy the single worker with a slow eval... *)
+  let slow_result = ref (Error "never ran") in
+  let slow_thread =
+    Thread.create
+      (fun () ->
+        let client = Server.Client.connect ~retries:40 (Server.address server) in
+        Fun.protect ~finally:(fun () -> Server.Client.close client) @@ fun () ->
+        slow_result :=
+          Server.Client.eval client (Protocol.eval slow_spec sample_query))
+      ()
+  in
+  Thread.delay 0.1;
+  (* ...then flood: with the worker busy and capacity 1, at most one of
+     these can sit in the queue; the rest must shed with the typed
+     [overloaded] error, not block and not kill the server. *)
+  let outcomes = Array.make 6 `Other in
+  let flood =
+    List.init (Array.length outcomes) (fun i ->
+        Thread.create
+          (fun () ->
+            let client =
+              Server.Client.connect ~retries:40 (Server.address server)
+            in
+            Fun.protect ~finally:(fun () -> Server.Client.close client)
+            @@ fun () ->
+            match
+              Server.Client.eval client (Protocol.eval slow_spec sample_query)
+            with
+            | Ok (Protocol.Err { code = Protocol.Overloaded; _ }) ->
+                outcomes.(i) <- `Shed
+            | Ok (Protocol.Answer _) -> outcomes.(i) <- `Answered
+            | _ -> ())
+          ())
+  in
+  List.iter Thread.join flood;
+  Thread.join slow_thread;
+  let shed =
+    Array.fold_left (fun n o -> if o = `Shed then n + 1 else n) 0 outcomes
+  in
+  if shed = 0 then Alcotest.fail "no request was shed with overloaded";
+  (* the slow request itself was never sacrificed... *)
+  (match !slow_result with
+  | Ok (Protocol.Answer _) -> ()
+  | Ok (Protocol.Err e) ->
+      Alcotest.failf "slow request errored: %s" e.Protocol.message
+  | Ok _ -> Alcotest.fail "slow request: unexpected reply"
+  | Error msg -> Alcotest.failf "slow request failed: %s" msg);
+  (* ...and the server survived the burst. *)
+  let client = Server.Client.connect ~retries:10 (Server.address server) in
+  Fun.protect ~finally:(fun () -> Server.Client.close client) @@ fun () ->
+  Alcotest.(check bool) "server still answers" true (Server.Client.ping client)
+
+let unit_server_deadline_exceeded () =
+  let address = Protocol.Local (temp_socket ()) in
+  let config =
+    { (Server.default_config address) with Server.preload = [ slow_spec ] }
+  in
+  with_server config @@ fun server ->
+  let client = Server.Client.connect ~retries:40 (Server.address server) in
+  Fun.protect ~finally:(fun () -> Server.Client.close client) @@ fun () ->
+  match
+    Server.Client.eval client
+      (Protocol.eval ~timeout_ms:1. slow_spec sample_query)
+  with
+  | Ok (Protocol.Err { code = Protocol.Deadline_exceeded; _ }) -> ()
+  | Ok (Protocol.Err e) ->
+      Alcotest.failf "wrong error code: %s" e.Protocol.message
+  | Ok (Protocol.Answer _) ->
+      Alcotest.fail "a 1 ms deadline cannot outrun a 100+ ms eval"
+  | Ok _ -> Alcotest.fail "unexpected reply"
+  | Error msg -> Alcotest.failf "transport error: %s" msg
+
+let unit_server_drain_completes_inflight () =
+  let address = Protocol.Local (temp_socket ()) in
+  let config =
+    { (Server.default_config address) with Server.preload = [ slow_spec ] }
+  in
+  let server = Server.start config in
+  let inflight = ref (Error "never ran") in
+  let t =
+    Thread.create
+      (fun () ->
+        let client = Server.Client.connect ~retries:40 (Server.address server) in
+        Fun.protect ~finally:(fun () -> Server.Client.close client) @@ fun () ->
+        inflight :=
+          Server.Client.eval client (Protocol.eval slow_spec sample_query))
+      ()
+  in
+  Thread.delay 0.1;
+  (* Drain while the request is in flight: it must still be answered. *)
+  Server.drain server;
+  Thread.join t;
+  (match !inflight with
+  | Ok (Protocol.Answer _) -> ()
+  | Ok (Protocol.Err e) ->
+      Alcotest.failf "in-flight request got %s: %s"
+        (Protocol.error_code_to_string e.Protocol.code)
+        e.Protocol.message
+  | Ok _ -> Alcotest.fail "in-flight request: unexpected reply"
+  | Error msg -> Alcotest.failf "in-flight request lost: %s" msg);
+  (* The drained server accepts nothing new. *)
+  match Server.Client.connect (Server.address server) with
+  | client ->
+      Server.Client.close client;
+      Alcotest.fail "drained server accepted a connection"
+  | exception Unix.Unix_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: the real binary under SIGTERM                           *)
+(* ------------------------------------------------------------------ *)
+
+let server_binary = "../bin/hardq_server.exe"
+
+let unit_server_binary_sigterm () =
+  if not (Sys.file_exists server_binary) then
+    Alcotest.failf "server binary not found at %s (cwd %s)" server_binary
+      (Sys.getcwd ());
+  let socket = temp_socket () in
+  let metrics = Filename.temp_file "hardq_test_metrics" ".json" in
+  let pid =
+    Unix.create_process server_binary
+      [|
+        server_binary;
+        "--listen";
+        socket;
+        "--metrics-json";
+        metrics;
+        "--quiet";
+        "--preload";
+        "polls";
+      |]
+      Unix.stdin Unix.stdout Unix.stderr
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      try Sys.remove metrics with Sys_error _ -> ())
+    (fun () ->
+      let address = Protocol.Local socket in
+      let client = Server.Client.connect ~retries:100 address in
+      Alcotest.(check bool) "binary answers ping" true (Server.Client.ping client);
+      Server.Client.close client;
+      (* SIGTERM with a request in flight: the drain must answer it,
+         flush metrics and exit 0. *)
+      let inflight = ref (Error "never ran") in
+      let t =
+        Thread.create
+          (fun () ->
+            let client = Server.Client.connect ~retries:40 address in
+            Fun.protect ~finally:(fun () -> Server.Client.close client)
+            @@ fun () ->
+            inflight :=
+              Server.Client.eval client
+                (Protocol.eval
+                   (Protocol.dataset ~size:10 ~sessions:2000 ~seed:3 "polls")
+                   sample_query))
+          ()
+      in
+      Thread.delay 0.3;
+      Unix.kill pid Sys.sigterm;
+      let _, status = Unix.waitpid [] pid in
+      (match status with
+      | Unix.WEXITED 0 -> ()
+      | Unix.WEXITED n -> Alcotest.failf "server exited %d" n
+      | Unix.WSIGNALED n -> Alcotest.failf "server killed by signal %d" n
+      | Unix.WSTOPPED n -> Alcotest.failf "server stopped by signal %d" n);
+      Thread.join t;
+      (match !inflight with
+      | Ok (Protocol.Answer _) -> ()
+      | Ok (Protocol.Err e) ->
+          Alcotest.failf "in-flight request during SIGTERM got %s"
+            e.Protocol.message
+      | Ok _ -> Alcotest.fail "in-flight request: unexpected reply"
+      | Error msg ->
+          Alcotest.failf "in-flight request lost during SIGTERM: %s" msg);
+      (* the drain flushed a non-empty, well-formed metrics snapshot *)
+      let ic = open_in metrics in
+      let len = in_channel_length ic in
+      let contents = really_input_string ic len in
+      close_in ic;
+      if String.trim contents = "" then Alcotest.fail "metrics snapshot empty";
+      if not (contains contents "server.requests") then
+        Alcotest.failf "metrics snapshot lacks server counters: %s" contents)
+
+let unit_server_metrics_op () =
+  let address = Protocol.Local (temp_socket ()) in
+  with_server (Server.default_config address) @@ fun server ->
+  let client = Server.Client.connect ~retries:40 (Server.address server) in
+  Fun.protect ~finally:(fun () -> Server.Client.close client) @@ fun () ->
+  ignore (Server.Client.ping client);
+  match Server.Client.metrics client with
+  | Ok (Json.Obj fields) ->
+      Alcotest.(check bool) "has counters" true (List.mem_assoc "counters" fields)
+  | Ok _ -> Alcotest.fail "metrics snapshot is not an object"
+  | Error msg -> Alcotest.failf "metrics failed: %s" msg
+
+let suites =
+  [
+    ( "server.json",
+      [
+        tc "value round-trips" `Quick unit_json_roundtrip;
+        tc "floats cross the wire bit-identically" `Quick
+          unit_json_float_precision;
+        tc "parse errors carry offsets" `Quick unit_json_parse_errors;
+        tc "accessors and order-insensitive equality" `Quick unit_json_accessors;
+      ] );
+    ( "server.protocol",
+      [
+        tc "requests round-trip" `Quick unit_protocol_request_roundtrip;
+        tc "replies round-trip" `Quick unit_protocol_reply_roundtrip;
+        tc "bad requests come back typed" `Quick unit_protocol_bad_requests;
+      ] );
+    ( "server.bqueue",
+      [
+        tc "FIFO order and bounded admission" `Quick unit_bqueue_fifo_and_bound;
+        tc "close drains then returns None" `Quick unit_bqueue_close_drains;
+        tc "pop blocks until a push" `Quick unit_bqueue_pop_blocks_until_push;
+      ] );
+    ( "server.query-syntax",
+      [
+        tc "showcase queries round-trip" `Quick unit_query_to_string_showcase;
+        prop_query_to_string_roundtrip;
+      ] );
+    ( "server.e2e",
+      [
+        tc "8 concurrent clients, answers bit-identical to Engine.eval" `Quick
+          unit_server_concurrent_bit_identity;
+        tc "sheds load with typed overloaded; stays up" `Quick
+          unit_server_sheds_when_overloaded;
+        tc "deadline exceeded comes back typed" `Quick
+          unit_server_deadline_exceeded;
+        tc "drain answers in-flight requests, then refuses" `Quick
+          unit_server_drain_completes_inflight;
+        tc "metrics op returns the Obs registry" `Quick unit_server_metrics_op;
+        tc "SIGTERM: binary drains, flushes metrics, exits 0" `Quick
+          unit_server_binary_sigterm;
+      ] );
+  ]
