@@ -81,8 +81,14 @@ let utf8_of_code b code =
     Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
     Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
   end
-  else begin
+  else if code < 0x10000 then begin
     Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else begin
+    Buffer.add_char b (Char.chr (0xF0 lor (code lsr 18)));
+    Buffer.add_char b (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
     Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
     Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
   end
@@ -133,14 +139,38 @@ let of_string src =
           | 'r' -> Buffer.add_char b '\r'
           | 't' -> Buffer.add_char b '\t'
           | 'u' ->
-              if !i + 5 >= n then parse_fail !i "truncated \\u escape";
-              let hex = String.sub src (!i + 2) 4 in
-              let code =
-                try int_of_string ("0x" ^ hex)
-                with _ -> parse_fail !i "bad \\u escape"
+              let hex4 at =
+                if at + 3 >= n then parse_fail !i "truncated \\u escape";
+                let hex = String.sub src at 4 in
+                let is_hex = function
+                  | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true
+                  | _ -> false
+                in
+                if not (String.for_all is_hex hex) then
+                  parse_fail !i "bad \\u escape";
+                int_of_string ("0x" ^ hex)
               in
-              utf8_of_code b code;
-              i := !i + 4
+              let code = hex4 (!i + 2) in
+              if code >= 0xD800 && code <= 0xDBFF then begin
+                (* A high surrogate must pair with the following
+                   \uDC00-\uDFFF escape into one astral code point —
+                   emitting the halves separately would produce CESU-8,
+                   not UTF-8. *)
+                if !i + 7 >= n || src.[!i + 6] <> '\\' || src.[!i + 7] <> 'u'
+                then parse_fail !i "unpaired surrogate in \\u escape";
+                let lo = hex4 (!i + 8) in
+                if lo < 0xDC00 || lo > 0xDFFF then
+                  parse_fail !i "unpaired surrogate in \\u escape";
+                utf8_of_code b
+                  (0x10000 + ((code - 0xD800) lsl 10) + (lo - 0xDC00));
+                i := !i + 10
+              end
+              else if code >= 0xDC00 && code <= 0xDFFF then
+                parse_fail !i "unpaired surrogate in \\u escape"
+              else begin
+                utf8_of_code b code;
+                i := !i + 4
+              end
           | c -> parse_fail !i (Printf.sprintf "bad escape \\%c" c));
           i := !i + 2
       | c ->
@@ -151,29 +181,32 @@ let of_string src =
   in
   let parse_number () =
     let start = !i in
+    (* Each digit run is required to be non-empty, so the slice below is
+       always valid [float_of_string] input — a malformed tail like "1e"
+       must be a parse error, not a [Failure] escaping [of_string]. *)
+    let digits () =
+      let d0 = !i in
+      while !i < n && src.[!i] >= '0' && src.[!i] <= '9' do
+        incr i
+      done;
+      !i - d0
+    in
     if peek () = Some '-' then incr i;
-    while !i < n && src.[!i] >= '0' && src.[!i] <= '9' do
-      incr i
-    done;
+    if digits () = 0 then parse_fail start "expected a number";
     let is_float = ref false in
     if peek () = Some '.' then begin
       is_float := true;
       incr i;
-      while !i < n && src.[!i] >= '0' && src.[!i] <= '9' do
-        incr i
-      done
+      if digits () = 0 then parse_fail !i "expected digits after '.'"
     end;
     (match peek () with
     | Some ('e' | 'E') ->
         is_float := true;
         incr i;
         (match peek () with Some ('+' | '-') -> incr i | _ -> ());
-        while !i < n && src.[!i] >= '0' && src.[!i] <= '9' do
-          incr i
-        done
+        if digits () = 0 then parse_fail !i "expected digits in exponent"
     | _ -> ());
     let text = String.sub src start (!i - start) in
-    if text = "" || text = "-" then parse_fail start "expected a number";
     if !is_float then Float (float_of_string text)
     else
       match int_of_string_opt text with

@@ -62,12 +62,41 @@ let us_of_s s = int_of_float (s *. 1e6)
 (* Connections                                                         *)
 (* ------------------------------------------------------------------ *)
 
+(* Read-side buffering lives in the conn (reader-thread-only fields):
+   requests are read with [Unix.read] into [rchunk] and accumulated into
+   [racc], so an unterminated line is bounded by [max_request_bytes]
+   instead of whatever [input_line] would swallow. *)
+let read_chunk_bytes = 8192
+
 type conn = {
   cid : int;
   fd : Unix.file_descr;
-  ic : in_channel;
   wm : Mutex.t; (* serializes reply lines on this socket *)
+  cm : Mutex.t; (* guards [refs] *)
+  mutable refs : int; (* reader thread + queued/in-flight jobs *)
+  rchunk : Bytes.t;
+  mutable rpos : int;
+  mutable rlen : int;
+  racc : Buffer.t;
 }
+
+(* A job can outlive its reader thread: a client that pipelines evals
+   and then shuts down its write side triggers EOF while its requests
+   are still queued. The descriptor must stay open until their replies
+   are written — otherwise the fd number can be reused by a newly
+   accepted connection and a stale reply lands on the wrong client — so
+   it is closed by whoever drops the last reference. *)
+let conn_retain conn =
+  Mutex.lock conn.cm;
+  conn.refs <- conn.refs + 1;
+  Mutex.unlock conn.cm
+
+let conn_release conn =
+  Mutex.lock conn.cm;
+  conn.refs <- conn.refs - 1;
+  let last = conn.refs = 0 in
+  Mutex.unlock conn.cm;
+  if last then try Unix.close conn.fd with Unix.Unix_error _ -> ()
 
 type job = {
   eval : Protocol.eval;
@@ -245,6 +274,7 @@ let worker_loop t () =
          with exn ->
            send_error job.conn job.req_id Protocol.Internal
              (Printexc.to_string exn));
+        conn_release job.conn;
         go ()
   in
   go ()
@@ -252,6 +282,59 @@ let worker_loop t () =
 (* ------------------------------------------------------------------ *)
 (* Per-connection reader                                               *)
 (* ------------------------------------------------------------------ *)
+
+type read_result = Line of string | Too_long | Eof
+
+(* Bounded replacement for [input_line]: accumulation stops the moment a
+   line exceeds [max], so a client streaming bytes without a newline
+   cannot exhaust server memory. The overlong line's remainder is
+   discarded up to its terminating newline and reported as [Too_long],
+   keeping the connection usable. A final unterminated line before EOF
+   is returned as a [Line], matching [input_line]. *)
+let read_line_bounded conn max =
+  let result = ref None in
+  let discarding = ref false in
+  while !result = None do
+    if conn.rpos >= conn.rlen then begin
+      match Unix.read conn.fd conn.rchunk 0 read_chunk_bytes with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | (exception Unix.Unix_error _) | 0 ->
+          if !discarding then result := Some Too_long
+          else if Buffer.length conn.racc > 0 then begin
+            let line = Buffer.contents conn.racc in
+            Buffer.clear conn.racc;
+            result := Some (Line line)
+          end
+          else result := Some Eof
+      | len ->
+          conn.rpos <- 0;
+          conn.rlen <- len
+    end
+    else begin
+      let j = ref conn.rpos in
+      while !j < conn.rlen && Bytes.get conn.rchunk !j <> '\n' do
+        incr j
+      done;
+      let seg = !j - conn.rpos in
+      if !discarding then ()
+      else if Buffer.length conn.racc + seg > max then begin
+        Buffer.clear conn.racc;
+        discarding := true
+      end
+      else Buffer.add_subbytes conn.racc conn.rchunk conn.rpos seg;
+      if !j < conn.rlen then begin
+        conn.rpos <- !j + 1;
+        if !discarding then result := Some Too_long
+        else begin
+          let line = Buffer.contents conn.racc in
+          Buffer.clear conn.racc;
+          result := Some (Line line)
+        end
+      end
+      else conn.rpos <- conn.rlen
+    end
+  done;
+  Option.get !result
 
 let handle_line t conn line =
   Obs.Counter.incr c_requests;
@@ -289,38 +372,43 @@ let handle_line t conn line =
               Option.map (fun ms -> enqueued_at +. (ms /. 1000.)) timeout_ms
             in
             let job = { eval = e; req_id = id; conn; enqueued_at; deadline } in
+            (* The queued job holds a reference (dropped by the worker
+               after its reply); retain before pushing — a worker may
+               finish the job before [try_push] even returns. *)
+            conn_retain conn;
             (match Bqueue.try_push t.queue job with
             | Bqueue.Pushed ->
                 Obs.Counter.incr c_admitted;
                 Obs.Counter.incr c_depth
             | Bqueue.Full ->
+                conn_release conn;
                 Obs.Counter.incr c_shed;
                 send_error conn id Protocol.Overloaded
                   (Printf.sprintf
                      "admission queue full (%d requests); retry later"
                      (Bqueue.capacity t.queue))
             | Bqueue.Closed ->
+                conn_release conn;
                 send_error conn id Protocol.Shutting_down "server is draining"))
 
 let conn_loop t conn () =
   let closed = ref false in
   (try
      while not !closed do
-       match input_line conn.ic with
-       | exception End_of_file -> closed := true
-       | exception Sys_error _ -> closed := true
-       | line ->
+       match read_line_bounded conn t.cfg.max_request_bytes with
+       | Eof -> closed := true
+       | Too_long ->
+           send_error conn None Protocol.Bad_request
+             (Printf.sprintf "request line exceeds %d bytes"
+                t.cfg.max_request_bytes)
+       | Line line ->
            let line =
              (* tolerate CRLF clients *)
              let n = String.length line in
              if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1)
              else line
            in
-           if String.length line > t.cfg.max_request_bytes then
-             send_error conn None Protocol.Bad_request
-               (Printf.sprintf "request line exceeds %d bytes"
-                  t.cfg.max_request_bytes)
-           else if line <> "" then handle_line t conn line
+           if line <> "" then handle_line t conn line
      done
    with _ -> ());
   Obs.Counter.add c_active (-1);
@@ -328,8 +416,9 @@ let conn_loop t conn () =
   Hashtbl.remove t.conns conn.cid;
   Condition.broadcast t.conns_cv;
   Mutex.unlock t.conns_m;
-  (* [ic] owns the descriptor: closing it closes the socket. *)
-  try close_in conn.ic with Sys_error _ -> ()
+  (* Drop the reader's reference; the descriptor closes once the last
+     queued/in-flight job for this connection has been answered. *)
+  conn_release conn
 
 (* ------------------------------------------------------------------ *)
 (* Accept loop                                                         *)
@@ -361,8 +450,13 @@ let accept_loop t () =
                 {
                   cid;
                   fd;
-                  ic = Unix.in_channel_of_descr fd;
                   wm = Mutex.create ();
+                  cm = Mutex.create ();
+                  refs = 1;
+                  rchunk = Bytes.create read_chunk_bytes;
+                  rpos = 0;
+                  rlen = 0;
+                  racc = Buffer.create 256;
                 }
               in
               if n_active >= t.cfg.max_connections then begin
@@ -371,7 +465,7 @@ let accept_loop t () =
                 send_error conn None Protocol.Overloaded
                   (Printf.sprintf "connection limit (%d) reached"
                      t.cfg.max_connections);
-                try close_in conn.ic with Sys_error _ -> ()
+                conn_release conn
               end
               else begin
                 Hashtbl.replace t.conns cid conn;

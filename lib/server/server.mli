@@ -59,7 +59,9 @@ type config = {
 val default_config : Protocol.address -> config
 (** jobs = engine default, cache 8192, queue 64, 2 workers, 1024
     connections, no default timeout, 1 MiB lines, no metrics path, no
-    preloads, not quiet. *)
+    preloads, quiet (the binary's [--quiet] flag opts into silence
+    explicitly; library embedders flip [quiet] off when they want the
+    lifecycle log). *)
 
 type t
 

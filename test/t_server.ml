@@ -105,7 +105,51 @@ let unit_json_parse_errors () =
       "1 2";
       "{\"a\" 1}";
       "[1,]";
+      (* numbers with a malformed fraction/exponent must be parse
+         errors, not a Failure escaping of_string *)
+      "1e";
+      "2E+";
+      "1.";
+      "-";
+      "-e5";
+      "{\"x\":1e}";
+      "[2E+]";
+      (* unpaired surrogates *)
+      "\"\\uD83D\"";
+      "\"\\uDC00\"";
+      "\"\\uD83D\\uD83D\"";
+      "\"\\uD83Dxx\"";
+      "\"\\uZZZZ\"";
     ]
+
+let unit_json_unicode_escapes () =
+  let expect s expected =
+    match Json.of_string s with
+    | Ok (Json.String got) ->
+        if got <> expected then
+          Alcotest.failf "%s decoded to %S, expected %S" s got expected
+    | Ok _ -> Alcotest.failf "%s parsed as a non-string" s
+    | Error msg -> Alcotest.failf "%s failed to parse: %s" s msg
+  in
+  expect "\"\\u0041\"" "A";
+  expect "\"\\u00e9\"" "\xc3\xa9";
+  expect "\"\\u20AC\"" "\xe2\x82\xac";
+  (* a surrogate pair decodes to one 4-byte UTF-8 code point, not two
+     3-byte CESU-8 halves *)
+  expect "\"\\uD83D\\uDE00\"" "\xf0\x9f\x98\x80";
+  expect "\"\\uD800\\uDC00\"" "\xf0\x90\x80\x80";
+  (* decoded astral characters survive a print/re-parse round trip *)
+  (match Json.of_string (Json.to_string (Json.String "\xf0\x9f\x98\x80")) with
+  | Ok (Json.String s) when s = "\xf0\x9f\x98\x80" -> ()
+  | _ -> Alcotest.fail "astral string did not round-trip");
+  (* well-formed exponents still parse *)
+  List.iter
+    (fun (s, f) ->
+      match Json.of_string s with
+      | Ok (Json.Float got) when got = f -> ()
+      | Ok j -> Alcotest.failf "%s parsed as %s" s (Json.to_string j)
+      | Error msg -> Alcotest.failf "%s failed to parse: %s" s msg)
+    [ ("1e5", 1e5); ("2E+3", 2e3); ("-0.5e-2", -0.005); ("10.25", 10.25) ]
 
 let unit_json_accessors () =
   let j =
@@ -722,6 +766,94 @@ let unit_server_binary_sigterm () =
       if not (contains contents "server.requests") then
         Alcotest.failf "metrics snapshot lacks server counters: %s" contents)
 
+let unit_server_bounded_request_line () =
+  let address = Protocol.Local (temp_socket ()) in
+  let config =
+    { (Server.default_config address) with Server.max_request_bytes = 512 }
+  in
+  with_server config @@ fun server ->
+  let client = Server.Client.connect ~retries:40 (Server.address server) in
+  Fun.protect ~finally:(fun () -> Server.Client.close client) @@ fun () ->
+  (* An overlong request line (far beyond max_request_bytes) must come
+     back as a typed bad_request... *)
+  let big = Json.Obj [ ("op", Json.String (String.make 4096 'x')) ] in
+  (match Server.Client.rpc_json client big with
+  | Ok reply -> (
+      match Json.member "error" reply with
+      | Some err -> (
+          match Option.bind (Json.member "code" err) Json.to_string_opt with
+          | Some "bad_request" -> ()
+          | _ -> Alcotest.failf "wrong error: %s" (Json.to_string reply))
+      | None -> Alcotest.failf "overlong line answered: %s" (Json.to_string reply))
+  | Error msg -> Alcotest.failf "overlong line dropped the connection: %s" msg);
+  (* ...and the connection must stay usable after the discard. *)
+  Alcotest.(check bool) "connection survives overlong line" true
+    (Server.Client.ping client)
+
+(* A client that pipelines a request and then shuts down its write side
+   makes the server's reader see EOF while the job is still queued; the
+   reply must still be delivered on the (still-open) read side rather
+   than the socket being closed out from under the worker. *)
+let unit_server_half_close_still_replies () =
+  let address = Protocol.Local (temp_socket ()) in
+  let config =
+    { (Server.default_config address) with Server.preload = [ fast_spec ] }
+  in
+  with_server config @@ fun server ->
+  let path =
+    match Server.address server with
+    | Protocol.Local p -> p
+    | Protocol.Tcp _ -> Alcotest.fail "expected a unix socket"
+  in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let rec connect tries =
+        try Unix.connect fd (Unix.ADDR_UNIX path)
+        with Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
+          when tries > 0 ->
+          Thread.delay 0.05;
+          connect (tries - 1)
+      in
+      connect 40;
+      let line =
+        Json.to_string
+          (Protocol.request_to_json
+             {
+               Protocol.id = Some (Json.Int 1);
+               op = Protocol.Eval (Protocol.eval fast_spec sample_query);
+             })
+        ^ "\n"
+      in
+      let off = ref 0 in
+      while !off < String.length line do
+        off := !off + Unix.write_substring fd line !off (String.length line - !off)
+      done;
+      Unix.shutdown fd Unix.SHUTDOWN_SEND;
+      let buf = Bytes.create 65536 in
+      let acc = Buffer.create 256 in
+      let rec read_reply () =
+        match Unix.read fd buf 0 (Bytes.length buf) with
+        | 0 -> ()
+        | n ->
+            Buffer.add_subbytes acc buf 0 n;
+            if not (String.contains (Buffer.contents acc) '\n') then
+              read_reply ()
+      in
+      read_reply ();
+      let reply = String.trim (Buffer.contents acc) in
+      if reply = "" then Alcotest.fail "half-closed connection got no reply";
+      match Json.of_string reply with
+      | Error msg -> Alcotest.failf "unparseable reply %S: %s" reply msg
+      | Ok j -> (
+          match Protocol.reply_of_json j with
+          | Ok { Protocol.result = Protocol.Answer _; _ } -> ()
+          | Ok { Protocol.result = Protocol.Err e; _ } ->
+              Alcotest.failf "half-closed request errored: %s" e.Protocol.message
+          | Ok _ -> Alcotest.fail "unexpected reply body"
+          | Error msg -> Alcotest.failf "undecodable reply: %s" msg))
+
 let unit_server_metrics_op () =
   let address = Protocol.Local (temp_socket ()) in
   with_server (Server.default_config address) @@ fun server ->
@@ -742,6 +874,8 @@ let suites =
         tc "floats cross the wire bit-identically" `Quick
           unit_json_float_precision;
         tc "parse errors carry offsets" `Quick unit_json_parse_errors;
+        tc "unicode escapes incl. surrogate pairs" `Quick
+          unit_json_unicode_escapes;
         tc "accessors and order-insensitive equality" `Quick unit_json_accessors;
       ] );
     ( "server.protocol",
@@ -771,6 +905,10 @@ let suites =
           unit_server_deadline_exceeded;
         tc "drain answers in-flight requests, then refuses" `Quick
           unit_server_drain_completes_inflight;
+        tc "overlong request line is bounded, typed, survivable" `Quick
+          unit_server_bounded_request_line;
+        tc "half-closed client still gets its queued reply" `Quick
+          unit_server_half_close_still_replies;
         tc "metrics op returns the Obs registry" `Quick unit_server_metrics_op;
         tc "SIGTERM: binary drains, flushes metrics, exits 0" `Quick
           unit_server_binary_sigterm;
