@@ -1,4 +1,4 @@
-.PHONY: all build test bench check ci smoke-server fmt clean
+.PHONY: all build test bench check ci smoke-server qa-replay qa-fuzz fmt clean
 
 all: build
 
@@ -20,6 +20,8 @@ ci:
 	dune build
 	dune runtest
 	$(MAKE) smoke-server
+	$(MAKE) qa-replay
+	$(MAKE) qa-fuzz
 	@if command -v ocamlformat >/dev/null 2>&1; then \
 		ocamlformat --check $$(find lib bin test bench examples -name '*.ml' -o -name '*.mli') \
 		  && echo "ci: format check passed"; \
@@ -31,8 +33,20 @@ ci:
 # task type over the wire, SIGTERM it, assert a clean drain (exit 0 and
 # a flushed metrics snapshot).
 smoke-server:
-	dune build bin/hardq_server.exe bin/hardq_client.exe
+	dune build bin/hardq_server.exe bin/hardq_client.exe bin/hardq_qa.exe
 	sh scripts/server_smoke.sh
+
+# Replay the committed regression corpus: every case must pass the full
+# differential oracle (failures print the offending check and file).
+qa-replay:
+	dune build bin/hardq_qa.exe
+	dune exec bin/hardq_qa.exe -- replay test/corpus
+
+# Time-boxed deterministic fuzzing at a fixed seed. New shrunk failures
+# land in test/corpus/ — commit them with the fix.
+qa-fuzz:
+	dune build bin/hardq_qa.exe
+	dune exec bin/hardq_qa.exe -- fuzz --seconds 30 --seed 42 --corpus test/corpus
 
 bench:
 	dune exec bench/main.exe

@@ -11,7 +11,10 @@ let note fmt = Printf.printf ("  note: " ^^ fmt ^^ "\n")
 let row fmt = Printf.printf ("  " ^^ fmt ^^ "\n%!")
 
 (* One JSON object per line, for machine-readable benchmark output that a
-   plotting script can slurp with `jq -s`. *)
+   plotting script can slurp with `jq -s`. With BENCH_JSON_OUT set the
+   same line is also appended to that file, so a harness (the bench
+   schema test, a CI collector) can read results without scraping the
+   human-oriented stdout around them. *)
 let json_line fields =
   let escape s =
     let b = Buffer.create (String.length s) in
@@ -34,7 +37,15 @@ let json_line fields =
     in
     Printf.sprintf "\"%s\": %s" (escape k) value
   in
-  Printf.printf "  {%s}\n%!" (String.concat ", " (List.map field fields))
+  let line = Printf.sprintf "{%s}" (String.concat ", " (List.map field fields)) in
+  Printf.printf "  %s\n%!" line;
+  match Sys.getenv_opt "BENCH_JSON_OUT" with
+  | None | Some "" -> ()
+  | Some path ->
+      let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+      output_string oc line;
+      output_char oc '\n';
+      close_out oc
 
 (* Flatten an observability snapshot into [json_line] fields: counters as
    ints, histograms as .count/.sum pairs, all under [prefix]. *)

@@ -1,0 +1,308 @@
+(* Case codec. See case.mli for the format; the writer and parser are
+   kept side by side so the round-trip contract is auditable locally. *)
+
+type t = { db : Database.t; query : Query.t }
+
+let make ~db ~query = { db; query }
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let add_quoted b s =
+  Buffer.add_char b '"';
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let add_value b = function
+  | Value.Int i -> Buffer.add_string b (string_of_int i)
+  | Value.Str s -> add_quoted b s
+
+let add_relation b rel =
+  Buffer.add_string b "relation ";
+  add_quoted b (Relation.name rel);
+  Array.iter
+    (fun a ->
+      Buffer.add_char b ' ';
+      add_quoted b a)
+    (Relation.attrs rel);
+  Buffer.add_char b '\n';
+  List.iter
+    (fun tup ->
+      Buffer.add_string b "tuple";
+      Array.iter
+        (fun v ->
+          Buffer.add_char b ' ';
+          add_value b v)
+        tup;
+      Buffer.add_char b '\n')
+    (Relation.tuples rel)
+
+let add_p_relation b p =
+  Buffer.add_string b "prelation ";
+  add_quoted b (Database.p_name p);
+  Array.iter
+    (fun a ->
+      Buffer.add_char b ' ';
+      add_quoted b a)
+    (Database.p_key_attrs p);
+  Buffer.add_char b '\n';
+  Array.iter
+    (fun (s : Database.session) ->
+      Buffer.add_string b "session";
+      Array.iter
+        (fun v ->
+          Buffer.add_char b ' ';
+          add_value b v)
+        s.Database.key;
+      (* %h: hexadecimal float literal — phi survives bit-identically *)
+      Buffer.add_string b (Printf.sprintf " phi %h center" (Rim.Mallows.phi s.Database.model));
+      Array.iter
+        (fun i -> Buffer.add_string b (Printf.sprintf " %d" i))
+        (Prefs.Ranking.to_array (Rim.Mallows.center s.Database.model));
+      Buffer.add_char b '\n')
+    (Database.sessions p)
+
+let to_string { db; query } =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "hardq-case v1\n";
+  add_relation b (Database.items db);
+  List.iter (add_relation b) (Database.o_relations db);
+  List.iter (add_p_relation b) (Database.p_relations db);
+  Buffer.add_string b "query ";
+  Buffer.add_string b (Query.to_string query);
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type token = Bare of string | Quoted of string
+
+exception Bad of string
+
+let tokenize line =
+  let n = String.length line in
+  let toks = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let c = line.[!i] in
+    if c = ' ' || c = '\t' then incr i
+    else if c = '"' then begin
+      let b = Buffer.create 16 in
+      incr i;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        (match line.[!i] with
+        | '"' -> closed := true
+        | '\\' ->
+            if !i + 1 >= n then raise (Bad "dangling backslash");
+            incr i;
+            Buffer.add_char b
+              (match line.[!i] with
+              | 'n' -> '\n'
+              | 't' -> '\t'
+              | ('"' | '\\') as e -> e
+              | e -> raise (Bad (Printf.sprintf "bad escape \\%c" e)))
+        | c -> Buffer.add_char b c);
+        incr i
+      done;
+      if not !closed then raise (Bad "unterminated string");
+      toks := Quoted (Buffer.contents b) :: !toks
+    end
+    else begin
+      let start = !i in
+      while !i < n && line.[!i] <> ' ' && line.[!i] <> '\t' && line.[!i] <> '"' do
+        incr i
+      done;
+      toks := Bare (String.sub line start (!i - start)) :: !toks
+    end
+  done;
+  List.rev !toks
+
+let value_of_token = function
+  | Quoted s -> Some (Value.Str s)
+  | Bare s -> Option.map Value.int (int_of_string_opt s)
+
+let quoted_of = function
+  | Quoted s -> s
+  | Bare s -> raise (Bad (Printf.sprintf "expected quoted string, got %S" s))
+
+(* Accumulator for the relation being read; flushed on the next header. *)
+type building =
+  | Nothing
+  | Rel of { name : string; attrs : string list; tuples : Value.t list list }
+  | Prel of {
+      name : string;
+      key_attrs : string list;
+      sessions : Database.session list;
+    }
+
+type state = {
+  mutable cur : building;
+  mutable rels : Relation.t list; (* reversed; head of final list = items *)
+  mutable prels : Database.p_relation list; (* reversed *)
+  mutable query : Query.t option;
+}
+
+let flush st =
+  match st.cur with
+  | Nothing -> ()
+  | Rel { name; attrs; tuples } ->
+      st.rels <- Relation.make ~name ~attrs (List.rev tuples) :: st.rels;
+      st.cur <- Nothing
+  | Prel { name; key_attrs; sessions } ->
+      st.prels <-
+        Database.p_relation ~name ~key_attrs (List.rev sessions) :: st.prels;
+      st.cur <- Nothing
+
+let parse_session toks =
+  let rec take_keys acc = function
+    | Bare "phi" :: rest -> (List.rev acc, rest)
+    | tok :: rest -> (
+        match value_of_token tok with
+        | Some v -> take_keys (v :: acc) rest
+        | None -> raise (Bad "session: expected key value or \"phi\""))
+    | [] -> raise (Bad "session: missing \"phi\"")
+  in
+  let keys, rest = take_keys [] toks in
+  match rest with
+  | phi_tok :: Bare "center" :: center ->
+      let phi =
+        match phi_tok with
+        | Bare s -> (
+            match float_of_string_opt s with
+            | Some f -> f
+            | None -> raise (Bad (Printf.sprintf "session: bad phi %S" s)))
+        | Quoted _ -> raise (Bad "session: phi must be a bare float")
+      in
+      let center =
+        List.map
+          (function
+            | Bare s -> (
+                match int_of_string_opt s with
+                | Some i -> i
+                | None -> raise (Bad (Printf.sprintf "session: bad center item %S" s)))
+            | Quoted _ -> raise (Bad "session: center items must be integers"))
+          center
+      in
+      let model =
+        Rim.Mallows.make
+          ~center:(Prefs.Ranking.of_array (Array.of_list center))
+          ~phi
+      in
+      { Database.key = Array.of_list keys; model }
+  | _ -> raise (Bad "session: expected \"phi <float> center <ints>\"")
+
+let of_string text =
+  let st = { cur = Nothing; rels = []; prels = []; query = None } in
+  let lines = String.split_on_char '\n' text in
+  let err lineno msg =
+    Error (Printf.sprintf "case: line %d: %s" lineno msg)
+  in
+  let rec go lineno seen_header = function
+    | [] -> finish ()
+    | line :: rest -> (
+        let trimmed = String.trim line in
+        if trimmed = "" || trimmed.[0] = '#' then
+          go (lineno + 1) seen_header rest
+        else if not seen_header then
+          if trimmed = "hardq-case v1" then go (lineno + 1) true rest
+          else err lineno "expected header \"hardq-case v1\""
+        else if String.length trimmed > 6 && String.sub trimmed 0 6 = "query " then
+          match Parser.parse_result (String.sub trimmed 6 (String.length trimmed - 6)) with
+          | Ok q ->
+              st.query <- Some q;
+              go (lineno + 1) seen_header rest
+          | Error msg -> err lineno ("query: " ^ msg)
+        else
+          let dispatch () =
+            match tokenize trimmed with
+            | Bare "relation" :: name :: attrs ->
+                flush st;
+                st.cur <-
+                  Rel
+                    {
+                      name = quoted_of name;
+                      attrs = List.map quoted_of attrs;
+                      tuples = [];
+                    }
+            | Bare "prelation" :: name :: attrs ->
+                flush st;
+                st.cur <-
+                  Prel
+                    {
+                      name = quoted_of name;
+                      key_attrs = List.map quoted_of attrs;
+                      sessions = [];
+                    }
+            | Bare "tuple" :: toks -> (
+                match st.cur with
+                | Rel r ->
+                    let vals =
+                      List.map
+                        (fun t ->
+                          match value_of_token t with
+                          | Some v -> v
+                          | None -> raise (Bad "tuple: bad value"))
+                        toks
+                    in
+                    st.cur <- Rel { r with tuples = vals :: r.tuples }
+                | _ -> raise (Bad "tuple outside a relation"))
+            | Bare "session" :: toks -> (
+                match st.cur with
+                | Prel p ->
+                    let s = parse_session toks in
+                    st.cur <- Prel { p with sessions = s :: p.sessions }
+                | _ -> raise (Bad "session outside a prelation"))
+            | Bare kw :: _ -> raise (Bad (Printf.sprintf "unknown directive %S" kw))
+            | _ -> raise (Bad "malformed line")
+          in
+          match dispatch () with
+          | () -> go (lineno + 1) seen_header rest
+          | exception Bad msg -> err lineno msg
+          | exception Invalid_argument msg -> err lineno msg)
+  and finish () =
+    flush st;
+    match (List.rev st.rels, st.query) with
+    | [], _ -> Error "case: no relations"
+    | _, None -> Error "case: no query"
+    | items :: relations, Some query -> (
+        match
+          Database.make ~items ~relations ~preferences:(List.rev st.prels) ()
+        with
+        | db -> Ok { db; query }
+        | exception Invalid_argument msg -> Error ("case: " ^ msg))
+  in
+  go 1 false lines
+
+let save path t =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc (to_string t);
+  close_out oc;
+  Sys.rename tmp path
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> of_string text
+  | exception Sys_error msg -> Error msg
+
+(* FNV-1a 64-bit over the canonical rendering. *)
+let digest t =
+  let s = to_string t in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    s;
+  Printf.sprintf "%016Lx" !h

@@ -1,0 +1,48 @@
+(** Self-contained QA cases: one RIM-PPD instance plus one query, with a
+    line-oriented text codec whose parse/print round trip is exact.
+
+    A case is the unit of the differential-testing corpus
+    ([test/corpus/*.case]): the fuzzer prints shrunk failures with
+    {!to_string}, CI replays them with {!of_string}, and the serving
+    smoke test exports a registry instance to a case to check that a
+    served answer is bit-identical to an offline replay.
+
+    Format (["#"] comments and blank lines ignored):
+    {v
+      hardq-case v1
+      relation <name> <attr>...      # first relation = the item relation
+      tuple <value>...
+      relation <name> <attr>...      # further relations = o-relations
+      tuple <value>...
+      prelation <name> <keyattr>...
+      session <value>... phi <float> center <int>...
+      query <query text, Parser syntax, rest of line>
+    v}
+
+    Names and string values are double-quoted with backslash escapes;
+    bare integers are [Value.Int]. [phi] prints as a hexadecimal float
+    literal ([%h]), so session models survive the round trip
+    bit-identically — a replayed case must reproduce the original
+    answer float for float. *)
+
+type t = { db : Database.t; query : Query.t }
+
+val make : db:Database.t -> query:Query.t -> t
+
+val to_string : t -> string
+(** Canonical rendering: [of_string (to_string c)] succeeds and
+    re-renders to the same bytes. *)
+
+val of_string : string -> (t, string) result
+(** Parse a case document. The [Error] message names the offending
+    line. *)
+
+val save : string -> t -> unit
+(** Write {!to_string} to a file (atomically: temp file + rename). *)
+
+val load : string -> (t, string) result
+(** Read and parse a case file; I/O errors are [Error] too. *)
+
+val digest : t -> string
+(** Short stable content fingerprint (hex) of the canonical rendering —
+    the corpus uses it for seed-addressed, deduplicated file names. *)

@@ -78,6 +78,7 @@ let find_relation t name =
 
 let find_p_relation t name = List.find (fun p -> p.pname = name) t.p_rels
 let p_relations t = t.p_rels
+let o_relations t = t.o_rels
 
 let label_key_name = function
   | Attr_eq (a, v) -> Printf.sprintf "%s=%s" a (Value.to_string v)

@@ -48,6 +48,11 @@ val find_relation : t -> string -> Relation.t
 val find_p_relation : t -> string -> p_relation
 val p_relations : t -> p_relation list
 
+val o_relations : t -> Relation.t list
+(** The ordinary (non-item, non-preference) relations, in the order they
+    were given to {!make} — the deconstruction hook the {!Case} codec
+    needs to round-trip an instance through text. *)
+
 (** {2 Label registry} *)
 
 type label_key =

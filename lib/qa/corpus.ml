@@ -1,0 +1,31 @@
+let default_dir = "test/corpus"
+
+let files dir =
+  match Sys.readdir dir with
+  | entries ->
+      List.sort String.compare
+        (List.filter
+           (fun f -> Filename.check_suffix f ".case")
+           (Array.to_list entries))
+  | exception Sys_error _ -> []
+
+let file_name ~seed ~index case =
+  Printf.sprintf "s%d-i%06d-%s.case" seed index (Ppd.Case.digest case)
+
+let add ~dir ~seed ~index case =
+  let digest = Ppd.Case.digest case in
+  let existing =
+    List.find_opt
+      (fun f -> Filename.check_suffix (Filename.remove_extension f) digest)
+      (files dir)
+  in
+  match existing with
+  | Some f -> `Duplicate (Filename.concat dir f)
+  | None ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let path = Filename.concat dir (file_name ~seed ~index case) in
+      Ppd.Case.save path case;
+      `Added path
+
+let load_all dir =
+  List.map (fun f -> (Filename.concat dir f, Ppd.Case.load (Filename.concat dir f))) (files dir)

@@ -1,0 +1,25 @@
+(** The on-disk regression corpus: seed-addressed [*.case] files.
+
+    File names are [s<seed>-i<index>-<digest>.case] — the fuzz seed and
+    case index that produced the entry (so the generator stream is
+    re-addressable) plus the {!Ppd.Case.digest} of the content (so
+    duplicates are detected without loading every file). Hand-written
+    entries may use any name ending in [.case]; replay only looks at
+    the extension. *)
+
+val default_dir : string
+(** ["test/corpus"]. *)
+
+val files : string -> string list
+(** Sorted [.case] files under a directory; [[]] when the directory
+    does not exist. *)
+
+val file_name : seed:int -> index:int -> Ppd.Case.t -> string
+
+val add :
+  dir:string -> seed:int -> index:int -> Ppd.Case.t -> [ `Added of string | `Duplicate of string ]
+(** Persist a case (creating [dir] if needed); [`Duplicate] when a file
+    with the same content digest already exists. Returns the path. *)
+
+val load_all : string -> (string * (Ppd.Case.t, string) result) list
+(** Every corpus file with its parse outcome, sorted by name. *)

@@ -1,0 +1,155 @@
+(* Random case generation. See gen.mli for the shape constraints. *)
+
+type params = {
+  max_items : int;
+  max_sessions : int;
+  approx_phi_edges : bool;
+}
+
+let default = { max_items = 6; max_sessions = 3; approx_phi_edges = true }
+
+let v = Ppd.Value.str
+let vi = Ppd.Value.int
+let cats = [ "A"; "B" ]
+let grps = [ "G1"; "G2" ]
+let tags = [ "T1"; "T2" ]
+
+(* Item population: a 4-row seed pool resampled to m rows, so attribute
+   combinations repeat with realistic correlations. *)
+let gen_items rng m =
+  let row _ =
+    [|
+      v "seed";
+      v (Util.Rng.pick_list rng cats);
+      v (Util.Rng.pick_list rng grps);
+      vi (Util.Rng.int rng 6);
+    |]
+  in
+  let pool = List.init 4 row in
+  let rows =
+    Datasets.Synthesizer.resample ~key_attr:0
+      ~key_of:(fun i -> v (Printf.sprintf "i%d" i))
+      ~n:m pool rng
+  in
+  Ppd.Relation.make ~name:"C"
+    ~attrs:[ "item"; "cat"; "grp"; "num" ]
+    (List.map Array.to_list rows)
+
+let gen_phi rng params =
+  if params.approx_phi_edges && Util.Rng.float rng 1. < 0.15 then
+    if Util.Rng.bool rng then 0. else 1.
+  else Util.Rng.float rng 1.
+
+let gen_sessions rng params m =
+  let n = 1 + Util.Rng.int rng params.max_sessions in
+  List.init n (fun j ->
+      {
+        Ppd.Database.key = [| v (Printf.sprintf "s%d" j) |];
+        model =
+          Rim.Mallows.make
+            ~center:(Prefs.Ranking.of_array (Util.Rng.permutation rng m))
+            ~phi:(gen_phi rng params);
+      })
+
+open Ppd.Query
+
+let gen_query rng m ~with_session_rel =
+  let n_vars = 1 + Util.Rng.int rng 3 in
+  let item_var i = Printf.sprintf "x%d" i in
+  let rand_item () = Const (v (Printf.sprintf "i%d" (Util.Rng.int rng m))) in
+  let session_var = with_session_rel && Util.Rng.float rng 1. < 0.7 in
+  let session = [ (if session_var then Var "s" else Wildcard) ] in
+  (* Preference DAG over the item variables (edges only i -> j with
+     i < j, so groundings cannot introduce a cycle), with occasional
+     constant endpoints. *)
+  let prefs = ref [] in
+  for i = 0 to n_vars - 2 do
+    for j = i + 1 to n_vars - 1 do
+      if Util.Rng.float rng 1. < 0.5 then
+        prefs :=
+          Pref { rel = "P"; session; left = Var (item_var i); right = Var (item_var j) }
+          :: !prefs
+    done
+  done;
+  if Util.Rng.float rng 1. < 0.15 then
+    prefs :=
+      Pref { rel = "P"; session; left = rand_item (); right = Var (item_var 0) }
+      :: !prefs;
+  if !prefs = [] then
+    prefs :=
+      [
+        (if n_vars >= 2 then
+           Pref { rel = "P"; session; left = Var (item_var 0); right = Var (item_var 1) }
+         else
+           Pref { rel = "P"; session; left = Var (item_var 0); right = rand_item () });
+      ];
+  (* Per-variable item-relation atoms; shared variables across atoms land
+     in V+(Q) and force the Algorithm 2 grounding. *)
+  let rels = ref [] and cmps = ref [] in
+  let ops = [| Ppd.Value.Eq; Neq; Lt; Le; Gt; Ge |] in
+  for i = 0 to n_vars - 1 do
+    if Util.Rng.float rng 1. < 0.85 then begin
+      let cat_t =
+        let r = Util.Rng.float rng 1. in
+        if r < 0.35 then Wildcard
+        else if r < 0.75 then Const (v (Util.Rng.pick_list rng cats))
+        else Var "c"
+      in
+      let grp_t =
+        let r = Util.Rng.float rng 1. in
+        if r < 0.5 then Wildcard
+        else if r < 0.75 then Const (v (Util.Rng.pick_list rng grps))
+        else Var "g"
+      in
+      let num_t =
+        let r = Util.Rng.float rng 1. in
+        if r < 0.5 then Wildcard
+        else if r < 0.75 then Const (vi (Util.Rng.int rng 6))
+        else begin
+          let nv = Printf.sprintf "n%d" i in
+          cmps :=
+            Cmp
+              {
+                lhs = Var nv;
+                op = Util.Rng.pick rng ops;
+                rhs = Const (vi (Util.Rng.int rng 6));
+              }
+            :: !cmps;
+          Var nv
+        end
+      in
+      rels :=
+        Rel { rel = "C"; terms = [ Var (item_var i); cat_t; grp_t; num_t ] }
+        :: !rels
+    end
+  done;
+  let session_atoms =
+    if session_var then
+      [ Rel { rel = "S"; terms = [ Var "s"; Const (v (Util.Rng.pick_list rng tags)) ] } ]
+    else []
+  in
+  make ~name:"Q" (List.rev !prefs @ List.rev !rels @ List.rev !cmps @ session_atoms)
+
+let case ?(params = default) rng =
+  let m = 2 + Util.Rng.int rng (params.max_items - 1) in
+  let items = gen_items rng m in
+  let sessions = gen_sessions rng params m in
+  let with_session_rel = Util.Rng.float rng 1. < 0.35 in
+  let relations =
+    if with_session_rel then
+      [
+        Ppd.Relation.make ~name:"S" ~attrs:[ "sid"; "tag" ]
+          (List.map
+             (fun (s : Ppd.Database.session) ->
+               [ s.Ppd.Database.key.(0); v (Util.Rng.pick_list rng tags) ])
+             sessions);
+      ]
+    else []
+  in
+  let db =
+    Ppd.Database.make ~items ~relations
+      ~preferences:[ Ppd.Database.p_relation ~name:"P" ~key_attrs:[ "sid" ] sessions ]
+      ()
+  in
+  let query = gen_query rng m ~with_session_rel in
+  Ppd.Case.make ~db ~query

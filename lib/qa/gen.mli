@@ -1,0 +1,32 @@
+(** Structured random-case generation for the differential oracle.
+
+    Every case is a pure function of the {!Util.Rng.t} it is drawn from
+    (use [Util.Rng.derive seed k] for the [k]-th case of a fuzz run),
+    sized so the brute-force [m!] oracle stays applicable, and kept
+    inside the compiler's supported fragment: sessionwise CQs over one
+    p-relation with syntactically identical session terms, comparisons
+    variable-vs-constant only.
+
+    The instance side bootstrap-resamples item tuples through
+    [Datasets.Synthesizer.resample] from a small seed population, so
+    attribute correlations (and hence label overlaps) look like real
+    data rather than independent noise. The query side draws 1–3 item
+    variables, a random preference DAG over them (occasionally with
+    constant endpoints), per-variable item-relation atoms whose
+    attribute terms mix wildcards, constants, shared join variables
+    (exercising the V⁺ grounding of Algorithm 2) and comparison-bound
+    variables, plus an optional session-joined o-relation atom. *)
+
+type params = {
+  max_items : int;  (** item-domain cap; keep ≤ 7 so [m!] enumeration is cheap *)
+  max_sessions : int;
+  approx_phi_edges : bool;
+      (** occasionally draw φ ∈ {0, 1} exactly (point mass / uniform) *)
+}
+
+val default : params
+(** [{ max_items = 6; max_sessions = 3; approx_phi_edges = true }] *)
+
+val case : ?params:params -> Util.Rng.t -> Ppd.Case.t
+(** Draw one case. The result always parses back through the
+    {!Ppd.Case} codec and always has at least one preference atom. *)

@@ -1,0 +1,240 @@
+(* Differential + metamorphic checks over one case. See oracle.mli for
+   the matrix; DESIGN.md §10 documents it prose-side. *)
+
+type solver_fn = Rim.Model.t -> Prefs.Labeling.t -> Prefs.Pattern_union.t -> float
+
+type report = {
+  sessions : int;
+  nontrivial : int;
+  checks : int;
+  answer : float;
+}
+
+type result =
+  | Pass of report
+  | Fail of { check : string; detail : string }
+  | Skip of string
+
+exception Failed of string * string
+exception Skipped of string
+
+let brute_max = 7
+
+let fail check fmt = Printf.ksprintf (fun detail -> raise (Failed (check, detail))) fmt
+
+let close eps a b = abs_float (a -. b) <= eps
+
+(* Checks must be a pure function of the case: the sampling streams are
+   keyed on the case content, not on any ambient state. *)
+let case_rng case = Util.Rng.derive (Hashtbl.hash (Ppd.Case.digest case)) 1
+
+let check ?(eps = 1e-9) ?(budget = 0.5) ?(approx = true) ?(extra = []) (case : Ppd.Case.t) =
+  let { Ppd.Case.db; query } = case in
+  let n_checks = ref 0 in
+  let ran fmt = Printf.ksprintf (fun _ -> incr n_checks) fmt in
+  let b () = Util.Timer.budget budget in
+  try
+    let compiled =
+      try Ppd.Compile.compile db query with
+      | Ppd.Compile.Unsupported msg -> raise (Skipped ("compile unsupported: " ^ msg))
+      | Ppd.Compile.Grounding_too_large msg -> raise (Skipped ("grounding: " ^ msg))
+    in
+    let lab = Ppd.Database.labeling db in
+    let m = Ppd.Database.m db in
+    let approx_rng = case_rng case in
+    let nontrivial = ref 0 in
+    List.iteri
+      (fun i { Ppd.Compile.session; union } ->
+        match union with
+        | None -> ()
+        | Some u ->
+            incr nontrivial;
+            let mal = session.Ppd.Database.model in
+            let model = Rim.Mallows.to_rim mal in
+            let kind = Prefs.Pattern_union.kind u in
+            let exact name s = (name, Hardq.Solver.exact_prob ~budget:(b ()) s model lab u) in
+            let matrix =
+              (if m <= brute_max then [ exact "brute" `Brute ] else [])
+              @ [ exact "general" `General; exact "auto" `Auto ]
+              @ (if kind = Prefs.Pattern_union.Two_label then
+                   [ exact "two_label" `Two_label ]
+                 else [])
+              @ (if kind <> Prefs.Pattern_union.General then
+                   [ exact "bipartite" `Bipartite; exact "bipartite_basic" `Bipartite_basic ]
+                 else [])
+              @ List.map (fun (name, fn) -> (name, fn model lab u)) extra
+            in
+            let ref_name, ref_p = List.hd matrix in
+            if not (ref_p >= -.eps && ref_p <= 1. +. eps) then
+              fail "probability in [0,1]" "session %d: %s returned %.17g" i ref_name ref_p;
+            ran "range";
+            List.iter
+              (fun (name, p) ->
+                if not (close eps p ref_p) then
+                  fail
+                    (Printf.sprintf "%s vs %s" name ref_name)
+                    "session %d: %s=%.17g %s=%.17g (|diff|=%.3g, eps=%.3g)" i name p
+                    ref_name ref_p (abs_float (p -. ref_p)) eps;
+                ran "agree %s" name)
+              (List.tl matrix);
+            (* k-edge relaxations upper-bound the exact value (§4.3.2). *)
+            List.iter
+              (fun k ->
+                let ub = Hardq.Upper_bound.upper_bound ~budget:(b ()) ~k model lab u in
+                if ub < ref_p -. eps then
+                  fail
+                    (Printf.sprintf "%d-edge upper bound admissible" k)
+                    "session %d: ub=%.17g < exact=%.17g" i ub ref_p;
+                ran "ub %d" k)
+              [ 1; 2 ];
+            (* Widening a union can only add satisfying worlds; the union
+               bound caps it. *)
+            if Prefs.Pattern_union.size u >= 2 then begin
+              let singletons =
+                List.map
+                  (fun g ->
+                    Hardq.Solver.exact_prob ~budget:(b ()) `Auto model lab
+                      (Prefs.Pattern_union.singleton g))
+                  (Prefs.Pattern_union.patterns u)
+              in
+              List.iter
+                (fun p_g ->
+                  if p_g > ref_p +. eps then
+                    fail "union monotone under widening"
+                      "session %d: Pr(g)=%.17g > Pr(G)=%.17g" i p_g ref_p;
+                  ran "monotone")
+                singletons;
+              let sum = List.fold_left ( +. ) 0. singletons in
+              if ref_p > sum +. eps then
+                fail "union bound" "session %d: Pr(G)=%.17g > sum of parts %.17g" i
+                  ref_p sum;
+              ran "union bound"
+            end;
+            (* Complement sanity: with unique distinct witnesses,
+               Pr(a > b) + Pr(b > a) = 1. *)
+            List.iter
+              (fun g ->
+                if Prefs.Pattern.is_two_label g then
+                  match Prefs.Pattern.edges g with
+                  | [ (l, r) ] -> (
+                      let left = Prefs.Pattern.node g l
+                      and right = Prefs.Pattern.node g r in
+                      match
+                        ( Prefs.Labeling.items_with_all lab left,
+                          Prefs.Labeling.items_with_all lab right )
+                      with
+                      | [ wa ], [ wb ] when wa <> wb ->
+                          let p_fwd =
+                            Hardq.Solver.exact_prob ~budget:(b ()) `Auto model lab
+                              (Prefs.Pattern_union.singleton g)
+                          in
+                          let p_bwd =
+                            Hardq.Solver.exact_prob ~budget:(b ()) `Auto model lab
+                              (Prefs.Pattern_union.singleton
+                                 (Prefs.Pattern.two_label ~left:right ~right:left))
+                          in
+                          if not (close (2. *. eps) (p_fwd +. p_bwd) 1.) then
+                            fail "complement sums to 1"
+                              "session %d: Pr(a>b)=%.17g + Pr(b>a)=%.17g = %.17g" i
+                              p_fwd p_bwd (p_fwd +. p_bwd);
+                          ran "complement"
+                      | _ -> ())
+                  | _ -> ())
+              (Prefs.Pattern_union.patterns u);
+            if approx then begin
+              (* Rejection sampling is a binomial draw: judge it with a
+                 wide Wilson interval (z=5, false alarms negligible). *)
+              let n_rs = 500 in
+              let est =
+                Hardq.Solver.approx_prob (Hardq.Solver.Rejection { n = n_rs }) mal lab u
+                  approx_rng
+              in
+              let p_hat = Hardq.Estimate.value est in
+              let lo, hi = Util.Stats.wilson_ci ~p_hat ~n:n_rs () in
+              if ref_p < lo -. eps || ref_p > hi +. eps then
+                fail "rejection within Wilson CI"
+                  "session %d: exact=%.17g outside [%.6g, %.6g] (p_hat=%.6g, n=%d)" i
+                  ref_p lo hi p_hat n_rs;
+              ran "rejection";
+              (* IS weights are unbounded, so the full MIS-AMP estimator
+                 only gets a flat gross-error band: it catches sign/bias
+                 bugs, not noise. Its cost is quadratic in the proposal
+                 count, so wide unions are exempt (the lite check below
+                 still covers them). *)
+              let width =
+                Hardq.Mis_amp_lite.plan_width
+                  (Hardq.Mis_amp_lite.prepare mal lab u)
+              in
+              if width <= 16 then begin
+                let est =
+                  Hardq.Solver.approx_prob
+                    (Hardq.Solver.Mis_full { n_per = 200 })
+                    mal lab u approx_rng
+                in
+                let v = Hardq.Estimate.value est in
+                if Float.is_nan v || abs_float (v -. ref_p) > 0.25 then
+                  fail "mis-amp gross error"
+                    "session %d: mis_full=%.17g exact=%.17g (band 0.25)" i v ref_p;
+                ran "mis"
+              end;
+              (* The lite variant without compensation estimates only the
+                 selected sub-rankings' mass, so it may only undershoot.
+                 (Compensated lite is documented to overshoot on heavily
+                 overlapping unions — no two-sided invariant holds.) *)
+              let est =
+                Hardq.Solver.approx_prob
+                  (Hardq.Solver.Mis_lite { d = 2; n_per = 200; compensate = false })
+                  mal lab u approx_rng
+              in
+              let v = Hardq.Estimate.value est in
+              if Float.is_nan v || v > ref_p +. 0.25 then
+                fail "mis-lite under-coverage"
+                  "session %d: uncompensated mis_lite=%.17g > exact=%.17g + 0.25" i
+                  v ref_p;
+              ran "mis-lite"
+            end)
+      compiled.Ppd.Compile.requests;
+    (* Query level: grouped, ungrouped and engine evaluation are the same
+       computation and must agree bit for bit (exact solver). *)
+    let grouped = Ppd.Eval.boolean_prob ~group:true db query (Util.Rng.make 42) in
+    let ungrouped = Ppd.Eval.boolean_prob ~group:false db query (Util.Rng.make 42) in
+    if grouped <> ungrouped then
+      fail "grouping bit-identity" "grouped=%.17g ungrouped=%.17g" grouped ungrouped;
+    ran "group";
+    let answer, count =
+      Engine.with_engine ~jobs:1 ~cache:false (fun engine ->
+          let p =
+            Engine.Response.answer_float
+              (Engine.eval engine (Engine.Request.make ~budget db query))
+          in
+          let c =
+            Engine.Response.answer_float
+              (Engine.eval engine
+                 (Engine.Request.make ~task:Engine.Request.Count ~budget db query))
+          in
+          (p, c))
+    in
+    if answer <> grouped then
+      fail "engine bit-identity" "engine=%.17g eval=%.17g" answer grouped;
+    ran "engine";
+    let count_ref = Ppd.Eval.count_sessions ~group:true db query (Util.Rng.make 42) in
+    if count <> count_ref then
+      fail "count bit-identity" "engine=%.17g eval=%.17g" count count_ref;
+    ran "count";
+    Pass
+      {
+        sessions = List.length compiled.Ppd.Compile.requests;
+        nontrivial = !nontrivial;
+        checks = !n_checks;
+        answer;
+      }
+  with
+  | Failed (check, detail) -> Fail { check; detail }
+  | Skipped msg -> Skip msg
+  | Util.Timer.Out_of_time -> Skip "solver budget exhausted"
+  | Failure msg -> Skip ("solver gave up: " ^ msg)
+
+let fails ?eps ?budget ?extra case =
+  match check ?eps ?budget ~approx:false ?extra case with
+  | Fail _ -> true
+  | Pass _ | Skip _ -> false

@@ -1,0 +1,60 @@
+(** The differential oracle: every applicable solver must agree.
+
+    The paper's five-plus evaluation strategies all compute the same
+    marginal [Pr(G)] (Eq. 2), so cross-solver divergence on any input is
+    a bug by construction. For each compiled per-session pattern union
+    the oracle runs the full applicability matrix (see DESIGN.md §10):
+
+    - brute-force [m!] enumeration (the ground truth, [m ≤ 7]);
+    - the general inclusion–exclusion solver — always;
+    - the two-label DP — unions classified [Two_label];
+    - the optimized and basic bipartite DPs — unions up to [Bipartite];
+    - [`Auto] dispatch — always (must match whatever it picked);
+    - any [extra] solvers injected by the caller (scratch copies under
+      test, future backends).
+
+    Exact answers must agree within [eps]; sampling answers are judged
+    against {!Util.Stats.wilson_ci} (rejection sampling is binomial) or
+    a flat absolute band (importance-sampling estimators). On top of
+    agreement, metamorphic invariants: answers lie in [[0,1]];
+    [k]-edge upper bounds are admissible; widening a pattern union can
+    only increase its probability (and the union bound caps it); a
+    two-label pattern with unique distinct witnesses satisfies
+    [Pr(a ≻ b) + Pr(b ≻ a) = 1]; grouped, ungrouped, and engine
+    evaluation agree bit-identically on the query level. *)
+
+type solver_fn = Rim.Model.t -> Prefs.Labeling.t -> Prefs.Pattern_union.t -> float
+(** Extra solver under test: same contract as [Hardq.Solver.exact_prob]
+    applied to one union. *)
+
+type report = {
+  sessions : int;  (** compiled per-session requests *)
+  nontrivial : int;  (** requests with a satisfiable pattern union *)
+  checks : int;  (** individual assertions that ran *)
+  answer : float;  (** canonical Boolean answer ([Engine.eval], exact) *)
+}
+
+type result =
+  | Pass of report
+  | Fail of { check : string; detail : string }
+  | Skip of string
+      (** Case outside the supported/tractable envelope (compile
+          [Unsupported], grounding cap, solver timeout or state
+          explosion) — not a verdict. *)
+
+val check :
+  ?eps:float ->
+  ?budget:float ->
+  ?approx:bool ->
+  ?extra:(string * solver_fn) list ->
+  Ppd.Case.t ->
+  result
+(** Run the matrix on one case. [eps] (default 1e-9) bounds exact
+    disagreement; [budget] (default 0.5 CPU s) bounds each solver
+    invocation; [approx:false] (default [true]) skips the sampling
+    solvers — shrinking uses that to keep iterations fast. Failure
+    details carry the session index and both values at full precision. *)
+
+val fails : ?eps:float -> ?budget:float -> ?extra:(string * solver_fn) list -> Ppd.Case.t -> bool
+(** [true] iff {!check} (without sampling solvers) returns [Fail] — the
+    shrinker's persistence predicate. *)

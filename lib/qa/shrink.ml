@@ -1,0 +1,173 @@
+(* Greedy shrinking over a deconstructed case. Each pass walks one list
+   (sessions, tuples, atoms, items) deleting elements whenever the
+   failure persists; sweeps repeat to a fixpoint. *)
+
+type rel_parts = { rname : string; rattrs : string list; rtuples : Ppd.Value.t list list }
+
+type parts = {
+  items : rel_parts;
+  orels : rel_parts list;
+  prels : (string * string list * Ppd.Database.session list) list;
+  query : Ppd.Query.t;
+}
+
+let rel_parts_of r =
+  {
+    rname = Ppd.Relation.name r;
+    rattrs = Array.to_list (Ppd.Relation.attrs r);
+    rtuples = List.map Array.to_list (Ppd.Relation.tuples r);
+  }
+
+let parts_of (case : Ppd.Case.t) =
+  let db = case.Ppd.Case.db in
+  {
+    items = rel_parts_of (Ppd.Database.items db);
+    orels = List.map rel_parts_of (Ppd.Database.o_relations db);
+    prels =
+      List.map
+        (fun p ->
+          ( Ppd.Database.p_name p,
+            Array.to_list (Ppd.Database.p_key_attrs p),
+            Array.to_list (Ppd.Database.sessions p) ))
+        (Ppd.Database.p_relations db);
+    query = case.Ppd.Case.query;
+  }
+
+let case_of parts =
+  let rel r = Ppd.Relation.make ~name:r.rname ~attrs:r.rattrs r.rtuples in
+  match
+    Ppd.Database.make ~items:(rel parts.items)
+      ~relations:(List.map rel parts.orels)
+      ~preferences:
+        (List.map
+           (fun (name, key_attrs, sessions) ->
+             Ppd.Database.p_relation ~name ~key_attrs sessions)
+           parts.prels)
+      ()
+  with
+  | db -> Some (Ppd.Case.make ~db ~query:parts.query)
+  | exception Invalid_argument _ -> None
+
+let size parts =
+  List.length parts.items.rtuples
+  + List.fold_left (fun acc r -> acc + List.length r.rtuples) 0 parts.orels
+  + List.fold_left (fun acc (_, _, s) -> acc + List.length s) 0 parts.prels
+  + List.length parts.query.Ppd.Query.body
+
+(* Keep [candidate] when it still fails; otherwise keep [cur]. *)
+let attempt still_failing cur candidate =
+  match case_of candidate with
+  | Some case when still_failing case -> candidate
+  | _ -> cur
+
+let drop_nth l n = List.filteri (fun i _ -> i <> n) l
+
+(* Greedy deletion over a list accessed through get/set: after a kept
+   deletion the same index points at the next element. *)
+let reduce_list still_failing parts ~get ~set =
+  let cur = ref parts in
+  let i = ref 0 in
+  while !i < List.length (get !cur) do
+    let candidate = set !cur (drop_nth (get !cur) !i) in
+    let kept = attempt still_failing !cur candidate in
+    if kept == candidate then cur := candidate else incr i
+  done;
+  !cur
+
+let drop_sessions still parts =
+  List.fold_left
+    (fun parts pi ->
+      reduce_list still parts
+        ~get:(fun p ->
+          let _, _, s = List.nth p.prels pi in
+          s)
+        ~set:(fun p s ->
+          {
+            p with
+            prels =
+              List.mapi
+                (fun i (n, k, old) -> if i = pi then (n, k, s) else (n, k, old))
+                p.prels;
+          }))
+    parts
+    (List.init (List.length parts.prels) Fun.id)
+
+let drop_tuples still parts =
+  List.fold_left
+    (fun parts ri ->
+      reduce_list still parts
+        ~get:(fun p -> (List.nth p.orels ri).rtuples)
+        ~set:(fun p tuples ->
+          {
+            p with
+            orels =
+              List.mapi
+                (fun i r -> if i = ri then { r with rtuples = tuples } else r)
+                p.orels;
+          }))
+    parts
+    (List.init (List.length parts.orels) Fun.id)
+
+let drop_atoms still parts =
+  let cur = ref parts in
+  let i = ref 0 in
+  while !i < List.length !cur.query.Ppd.Query.body do
+    let body = drop_nth !cur.query.Ppd.Query.body !i in
+    (match Ppd.Query.make ~name:!cur.query.Ppd.Query.name body with
+    | q ->
+        let candidate = { !cur with query = q } in
+        let kept = attempt still !cur candidate in
+        if kept == candidate then cur := candidate else incr i
+    | exception Invalid_argument _ -> incr i)
+  done;
+  !cur
+
+(* Dropping item [ii] removes its tuple and renumbers every session's
+   center ranking past it. *)
+let without_item parts ii =
+  let renumber (s : Ppd.Database.session) =
+    let center =
+      Array.of_list
+        (List.filter_map
+           (fun x -> if x = ii then None else Some (if x > ii then x - 1 else x))
+           (Array.to_list
+              (Prefs.Ranking.to_array
+                 (Rim.Mallows.center s.Ppd.Database.model))))
+    in
+    {
+      s with
+      Ppd.Database.model =
+        Rim.Mallows.make
+          ~center:(Prefs.Ranking.of_array center)
+          ~phi:(Rim.Mallows.phi s.Ppd.Database.model);
+    }
+  in
+  {
+    parts with
+    items = { parts.items with rtuples = drop_nth parts.items.rtuples ii };
+    prels =
+      List.map (fun (n, k, s) -> (n, k, List.map renumber s)) parts.prels;
+  }
+
+let drop_items still parts =
+  let cur = ref parts in
+  let i = ref 0 in
+  while List.length !cur.items.rtuples > 1 && !i < List.length !cur.items.rtuples do
+    let candidate = without_item !cur !i in
+    let kept = attempt still !cur candidate in
+    if kept == candidate then cur := candidate else incr i
+  done;
+  !cur
+
+let minimize ~still_failing case =
+  let rec fix parts =
+    let swept =
+      drop_items still_failing
+        (drop_atoms still_failing
+           (drop_tuples still_failing (drop_sessions still_failing parts)))
+    in
+    if size swept < size parts then fix swept else swept
+  in
+  match case_of (fix (parts_of case)) with
+  | Some c -> c
+  | None -> case (* unreachable: the fixpoint itself passed case_of *)

@@ -1,0 +1,16 @@
+(** Greedy case minimization: keep deleting while the failure persists.
+
+    Passes run in a fixed order — drop sessions, drop o-relation tuples,
+    drop query atoms (patterns), drop items (shrinking [m]) — and the
+    whole sequence repeats until a full sweep deletes nothing. Each
+    candidate deletion is kept only if [still_failing] holds on the
+    smaller case, so the result fails the same oracle (though possibly
+    on a different check, as is usual for greedy shrinking). Dropping an
+    item renumbers every session's center ranking; dropping an atom must
+    leave a well-formed query (at least one preference atom) or the
+    candidate is discarded. *)
+
+val minimize :
+  still_failing:(Ppd.Case.t -> bool) -> Ppd.Case.t -> Ppd.Case.t
+(** [minimize ~still_failing case] — [case] itself need not be checked;
+    the caller only invokes this on a case already known to fail. *)

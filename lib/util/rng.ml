@@ -6,6 +6,21 @@ let split t =
   let a = Random.State.bits t and b = Random.State.bits t in
   Random.State.make [| a; b; a lxor (b lsl 1) |]
 
+(* splitmix64-style finalizer: decorrelates consecutive (seed, k) pairs
+   before they feed the lagged-Fibonacci state. *)
+let mix64 x =
+  let x = Int64.logxor x (Int64.shift_right_logical x 30) in
+  let x = Int64.mul x 0xbf58476d1ce4e5b9L in
+  let x = Int64.logxor x (Int64.shift_right_logical x 27) in
+  let x = Int64.mul x 0x94d049bb133111ebL in
+  Int64.logxor x (Int64.shift_right_logical x 31)
+
+let derive seed k =
+  let h = mix64 (Int64.add (Int64.of_int seed) (mix64 (Int64.of_int k))) in
+  let lo = Int64.to_int (Int64.logand h 0x3fffffffL) in
+  let hi = Int64.to_int (Int64.logand (Int64.shift_right_logical h 30) 0x3fffffffL) in
+  Random.State.make [| seed; k; lo; hi |]
+
 let copy = Random.State.copy
 let int t n = Random.State.int t n
 let float t x = Random.State.float t x

@@ -13,6 +13,14 @@ val split : t -> t
 (** [split t] derives an independent generator from [t], advancing [t].
     Used to give sub-tasks their own streams without sharing state. *)
 
+val derive : int -> int -> t
+(** [derive seed k] is the [k]-th independent sub-stream of root [seed]:
+    a pure keyed derivation (no generator state is threaded or advanced),
+    so stream [k] can be reproduced without replaying streams
+    [0 .. k-1]. Distinct [(seed, k)] pairs give decorrelated streams;
+    the fuzzing harness uses it to make case [k] of a run addressable by
+    [(seed, k)] alone. *)
+
 val copy : t -> t
 (** [copy t] duplicates the current state (same future draws). *)
 

@@ -35,6 +35,20 @@ let percentile a p =
 
 let median a = percentile a 50.
 
+let wilson_ci ?(z = 5.0) ~p_hat ~n () =
+  if n <= 0 then (0., 1.)
+  else
+    let nf = float_of_int n in
+    let z2 = z *. z in
+    let denom = 1. +. (z2 /. nf) in
+    let center = (p_hat +. (z2 /. (2. *. nf))) /. denom in
+    let half =
+      z
+      *. sqrt (((p_hat *. (1. -. p_hat)) +. (z2 /. (4. *. nf))) /. nf)
+      /. denom
+    in
+    (max 0. (center -. half), min 1. (center +. half))
+
 let relative_error ~exact est =
   if exact = 0. then if est = 0. then 0. else infinity
   else abs_float (est -. exact) /. abs_float exact

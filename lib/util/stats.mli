@@ -19,6 +19,13 @@ val percentile : float array -> float -> float
 (** [percentile a p] with [p] in [0,100], nearest-rank with linear
     interpolation. *)
 
+val wilson_ci : ?z:float -> p_hat:float -> n:int -> unit -> float * float
+(** [wilson_ci ~p_hat ~n ()] — Wilson score interval for a binomial
+    proportion estimated as [p_hat] from [n] trials, at [z] standard
+    normal deviates (default 5.0, a deliberately wide band: the QA
+    oracle wants sampling-noise false alarms to be negligible, not a
+    95% interval). [n = 0] yields [(0, 1)]. *)
+
 val relative_error : exact:float -> float -> float
 (** [relative_error ~exact est] is [|est - exact| / |exact|]; when
     [exact = 0.] it is [0.] if [est = 0.] and [infinity] otherwise. *)

@@ -1,17 +1,21 @@
 #!/bin/sh
 # Server smoke test for `make ci`: start hardq-server on an ephemeral
 # Unix-domain socket, run one query of each task type plus ping and
-# metrics through hardq-client, then SIGTERM it and assert a clean drain
-# (exit 0) and a non-empty metrics snapshot.
+# metrics through hardq-client, check that a served Boolean answer is
+# bit-identical to an offline hardq-qa replay of the same instance, then
+# SIGTERM it and assert a clean drain (exit 0) and a non-empty metrics
+# snapshot.
 #
-# Usage: scripts/server_smoke.sh [path-to-server-exe [path-to-client-exe]]
+# Usage: scripts/server_smoke.sh [server-exe [client-exe [qa-exe]]]
 set -eu
 
 SERVER=${1:-_build/default/bin/hardq_server.exe}
 CLIENT=${2:-_build/default/bin/hardq_client.exe}
+QA=${3:-_build/default/bin/hardq_qa.exe}
 
 [ -x "$SERVER" ] || { echo "smoke: server binary missing: $SERVER" >&2; exit 1; }
 [ -x "$CLIENT" ] || { echo "smoke: client binary missing: $CLIENT" >&2; exit 1; }
+[ -x "$QA" ] || { echo "smoke: qa binary missing: $QA" >&2; exit 1; }
 
 DIR=$(mktemp -d "${TMPDIR:-/tmp}/hardq_smoke.XXXXXX")
 SOCK="$DIR/server.sock"
@@ -44,6 +48,23 @@ run "count-session query" --dataset polls --size 6 --sessions 20 --task count
 run "most-probable-session query" \
     --dataset polls --size 6 --sessions 20 --task top-k -k 3
 run "metrics op" --op metrics
+
+# Differential replay: export the served instance (registry dataset +
+# showcase query) as a case file and re-answer it offline; both sides
+# print floats through the same round-trip repr, so the served Boolean
+# answer must match the replayed one byte for byte.
+SERVED=$("$CLIENT" --connect "$SOCK" --retries 100 \
+    --dataset polls --size 6 --sessions 20 --task boolean)
+SERVED_P=$(printf '%s\n' "$SERVED" \
+    | sed -n 's/.*"kind":"probability","value":\([^,}]*\).*/\1/p')
+[ -n "$SERVED_P" ] || { echo "smoke: no served probability in: $SERVED" >&2; exit 1; }
+"$QA" export --dataset polls --size 6 --sessions 20 -o "$DIR/smoke.case"
+REPLAY=$("$QA" replay "$DIR/smoke.case")
+REPLAY_P=$(printf '%s\n' "$REPLAY" | sed -n 's/^ok .* answer=\([^ ]*\).*/\1/p')
+[ -n "$REPLAY_P" ] || { echo "smoke: replay did not answer: $REPLAY" >&2; exit 1; }
+[ "$SERVED_P" = "$REPLAY_P" ] \
+    || { echo "smoke: served $SERVED_P != replayed $REPLAY_P" >&2; exit 1; }
+echo "smoke: served answer bit-identical to offline replay ($SERVED_P)"
 
 # Graceful drain: SIGTERM must produce exit 0 and flush the snapshot.
 kill -TERM "$SERVER_PID"

@@ -62,5 +62,21 @@ let random_general_pattern r ~n_labels ~n_nodes =
 
 let random_union pat_gen r ~z = Prefs.Pattern_union.make (List.init z (fun _ -> pat_gen r))
 
+(* Every QCheck property runs from a fixed random state so failures are
+   reproducible; [SEED=n] in the environment reruns the whole suite on a
+   different stream, and the seed in use is part of the test name so a
+   failure report names its own reproduction. *)
+let qcheck_seed =
+  match Sys.getenv_opt "SEED" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n -> n
+      | None -> invalid_arg (Printf.sprintf "SEED=%S is not an integer" s))
+  | None -> 42
+
 let qtest ?(count = 100) name gen prop =
-  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+  QCheck_alcotest.to_alcotest
+    ~rand:(Random.State.make [| qcheck_seed |])
+    (QCheck.Test.make ~count
+       ~name:(Printf.sprintf "%s [SEED=%d]" name qcheck_seed)
+       gen prop)

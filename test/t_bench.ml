@@ -1,0 +1,120 @@
+(* The bench harness's machine-readable output: run the server load
+   generator and a smoke-scale fig15 pass, then validate the emitted
+   JSON against the schema the plotting/CI tooling consumes. A silent
+   field rename here breaks every downstream consumer, so the schema is
+   pinned by test. *)
+
+let tc = Alcotest.test_case
+
+let read_file path = In_channel.with_open_text path In_channel.input_all
+
+let parse_line what line =
+  match Server.Json.of_string line with
+  | Ok j -> j
+  | Error msg -> Alcotest.failf "%s: bad JSON (%s) in %S" what msg line
+
+let get what j path =
+  let rec go j = function
+    | [] -> j
+    | k :: rest -> (
+        match Server.Json.member k j with
+        | Some v -> go v rest
+        | None ->
+            Alcotest.failf "%s: missing field %s" what (String.concat "." path))
+  in
+  go j path
+
+let float_field what j path =
+  match Server.Json.to_float (get what j path) with
+  | Some f -> f
+  | None -> Alcotest.failf "%s: %s is not a number" what (String.concat "." path)
+
+let int_field what j path =
+  match Server.Json.to_int (get what j path) with
+  | Some i -> i
+  | None -> Alcotest.failf "%s: %s is not an int" what (String.concat "." path)
+
+let str_field what j path =
+  match Server.Json.to_string_opt (get what j path) with
+  | Some s -> s
+  | None -> Alcotest.failf "%s: %s is not a string" what (String.concat "." path)
+
+let unit_loadgen_schema () =
+  let out = Filename.temp_file "hardq_bench_loadgen" ".json" in
+  Fun.protect ~finally:(fun () -> try Sys.remove out with Sys_error _ -> ())
+  @@ fun () ->
+  let cmd =
+    Printf.sprintf
+      "../bench/loadgen.exe --connections 2 --requests 4 --size 6 --sessions \
+       12 --out %s >/dev/null 2>&1"
+      (Filename.quote out)
+  in
+  Alcotest.(check int) "loadgen exits 0" 0 (Sys.command cmd);
+  let j = parse_line "loadgen" (String.trim (read_file out)) in
+  Alcotest.(check string) "bench name" "server_loadgen" (str_field "loadgen" j [ "bench" ]);
+  Alcotest.(check string) "dataset" "polls" (str_field "loadgen" j [ "dataset" ]);
+  Alcotest.(check int) "size echoed" 6 (int_field "loadgen" j [ "size" ]);
+  Alcotest.(check int) "sessions echoed" 12 (int_field "loadgen" j [ "sessions" ]);
+  let ok = int_field "loadgen" j [ "ok" ]
+  and shed = int_field "loadgen" j [ "shed" ]
+  and failed = int_field "loadgen" j [ "failed" ] in
+  Alcotest.(check int) "every request accounted for" 8 (ok + shed + failed);
+  Alcotest.(check int) "no transport failures" 0 failed;
+  let wall = float_field "loadgen" j [ "wall_s" ] in
+  if not (wall > 0.) then Alcotest.failf "wall_s not positive: %g" wall;
+  if ok > 0 && not (float_field "loadgen" j [ "throughput_rps" ] > 0.) then
+    Alcotest.fail "throughput_rps not positive despite ok answers";
+  (* The latency summary: mean plus the median/percentile ladder, in
+     order. *)
+  let lat p = float_field "loadgen" j [ "latency_ms"; p ] in
+  List.iter
+    (fun p -> if not (lat p >= 0.) then Alcotest.failf "latency_ms.%s negative" p)
+    [ "mean"; "p50"; "p95"; "p99"; "max" ];
+  if lat "p50" > lat "p95" +. 1e-9 || lat "p95" > lat "p99" +. 1e-9
+     || lat "p99" > lat "max" +. 1e-9
+  then
+    Alcotest.failf "percentiles not monotone: p50=%g p95=%g p99=%g max=%g"
+      (lat "p50") (lat "p95") (lat "p99") (lat "max")
+
+let unit_fig15_schema () =
+  let out = Filename.temp_file "hardq_bench_fig15" ".json" in
+  Sys.remove out;
+  Fun.protect ~finally:(fun () -> try Sys.remove out with Sys_error _ -> ())
+  @@ fun () ->
+  let cmd =
+    Printf.sprintf
+      "HARDQ_BENCH_SMOKE=1 BENCH_JSON_OUT=%s ../bench/main.exe fig15 \
+       >/dev/null 2>&1"
+      (Filename.quote out)
+  in
+  Alcotest.(check int) "fig15 exits 0" 0 (Sys.command cmd);
+  let lines =
+    List.filter
+      (fun l -> String.trim l <> "")
+      (String.split_on_char '\n' (read_file out))
+  in
+  if lines = [] then Alcotest.fail "fig15 emitted no JSON rows";
+  List.iter
+    (fun line ->
+      let j = parse_line "fig15" line in
+      Alcotest.(check string)
+        "bench name" "fig15-scaling" (str_field "fig15" j [ "bench" ]);
+      if int_field "fig15" j [ "sessions" ] <= 0 then
+        Alcotest.fail "sessions not positive";
+      if int_field "fig15" j [ "distinct" ] < 1 then
+        Alcotest.fail "distinct < 1";
+      List.iter
+        (fun f ->
+          if not (float_field "fig15" j [ f ] >= 0.) then
+            Alcotest.failf "%s negative" f)
+        [ "cold_s"; "warm_s" ])
+    lines
+
+let suites =
+  [
+    ( "bench.schema",
+      [
+        tc "loadgen emits the documented JSON" `Quick unit_loadgen_schema;
+        tc "fig15 rows carry the scaling schema" `Quick unit_fig15_schema;
+      ] );
+  ]

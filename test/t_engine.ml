@@ -311,6 +311,115 @@ let unit_engine_cache_disabled () =
         (Engine.Response.answer_float r2))
 
 (* ------------------------------------------------------------------ *)
+(* Cache-key integrity                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The cache is content-addressed on (solver, center, phi, labeling,
+   union structure). These tests feed one engine pairs of requests that
+   are adversarially close — off by one ulp of phi, or structurally
+   different unions over the same items — and assert the second request
+   never aliases the first's entry: an aliased key would answer from the
+   cache (hits > 0, no solver call) with the wrong probability. *)
+
+let tiny_items names =
+  Ppd.Relation.make ~name:"C" ~attrs:[ "item" ]
+    (List.map (fun n -> [ Ppd.Value.Str n ]) names)
+
+let tiny_db ?(phi = [ 0.5; 0.3 ]) () =
+  let sessions =
+    List.mapi
+      (fun i phi ->
+        {
+          Ppd.Database.key = [| Ppd.Value.Str (Printf.sprintf "s%d" i) |];
+          model =
+            Rim.Mallows.make
+              ~center:
+                (Prefs.Ranking.of_array
+                   (Util.Rng.permutation (Util.Rng.make (i + 1)) 3))
+              ~phi;
+        })
+      phi
+  in
+  Ppd.Database.make ~items:(tiny_items [ "a"; "b"; "c" ])
+    ~preferences:[ Ppd.Database.p_relation ~name:"P" ~key_attrs:[ "sid" ] sessions ]
+    ()
+
+let fresh_misses (resp : Engine.Response.t) =
+  let s = resp.Engine.Response.stats in
+  ( s.Engine.Response.cache_hits,
+    s.Engine.Response.cache_misses,
+    s.Engine.Response.solver_calls )
+
+let unit_cache_key_phi_ulp () =
+  (* Two databases identical except each session's phi moved by one ulp.
+     They stringify differently (%.17g) and must occupy distinct cache
+     entries. *)
+  let q = Ppd.Parser.parse "Q() :- P(_; \"a\"; \"b\")." in
+  let db1 = tiny_db () in
+  let db2 = tiny_db ~phi:[ Float.succ 0.5; Float.pred 0.3 ] () in
+  Engine.with_engine ~jobs:1 (fun engine ->
+      let r1 = Engine.eval engine (Engine.Request.make db1 q) in
+      let h1, m1, c1 = fresh_misses r1 in
+      Alcotest.(check int) "cold run has no hits" 0 h1;
+      Alcotest.(check bool) "cold run solves" true (m1 > 0 && c1 = m1);
+      let r2 = Engine.eval engine (Engine.Request.make db2 q) in
+      let h2, m2, c2 = fresh_misses r2 in
+      Alcotest.(check int) "phi ulp twin does not alias" 0 h2;
+      Alcotest.(check bool) "phi ulp twin is re-solved" true (m2 > 0 && c2 = m2))
+
+let unit_cache_key_union_structure () =
+  (* A two-edge conjunction a>b>c and the single edge a>c relate the same
+     items; a key that hashed, say, the participating item set would
+     collapse them. The chain implies the edge, so its probability can
+     only be smaller — which the aliased cache would get wrong. *)
+  let chain = Ppd.Parser.parse "Q() :- P(s; \"a\"; \"b\"), P(s; \"b\"; \"c\")." in
+  let edge = Ppd.Parser.parse "Q() :- P(_; \"a\"; \"c\")." in
+  let db = tiny_db () in
+  Engine.with_engine ~jobs:1 (fun engine ->
+      let r1 = Engine.eval engine (Engine.Request.make db chain) in
+      let r2 = Engine.eval engine (Engine.Request.make db edge) in
+      let h2, m2, _ = fresh_misses r2 in
+      Alcotest.(check int) "different union structure does not alias" 0 h2;
+      Alcotest.(check bool) "edge query re-solved" true (m2 > 0);
+      let p_chain = Engine.Response.answer_float r1
+      and p_edge = Engine.Response.answer_float r2 in
+      if p_chain > p_edge +. 1e-9 then
+        Alcotest.failf "Pr(a>b>c)=%.17g exceeds Pr(a>c)=%.17g" p_chain p_edge)
+
+let unit_cache_key_solver_and_rerun () =
+  (* The solver is part of the key: same request under `Auto and
+     `General must not alias (their answers agree to 1e-9, but bitwise
+     caching across solvers would silently launder one into the other),
+     while an exact rerun under the same solver must hit every entry. *)
+  let q = Ppd.Parser.parse "Q() :- P(_; \"a\"; \"b\")." in
+  let db = tiny_db () in
+  Engine.with_engine ~jobs:1 (fun engine ->
+      let auto =
+        Engine.eval engine
+          (Engine.Request.make ~solver:(Hardq.Solver.Exact `Auto) db q)
+      in
+      let general =
+        Engine.eval engine
+          (Engine.Request.make ~solver:(Hardq.Solver.Exact `General) db q)
+      in
+      let hg, mg, _ = fresh_misses general in
+      Alcotest.(check int) "other solver does not alias" 0 hg;
+      Alcotest.(check bool) "other solver re-solved" true (mg > 0);
+      Helpers.check_close ~eps:1e-9 "solvers agree"
+        (Engine.Response.answer_float auto)
+        (Engine.Response.answer_float general);
+      let again =
+        Engine.eval engine
+          (Engine.Request.make ~solver:(Hardq.Solver.Exact `Auto) db q)
+      in
+      let ha, ma, ca = fresh_misses again in
+      Alcotest.(check bool) "identical request hits" true (ha > 0);
+      Alcotest.(check int) "identical request never re-solves" 0 (ma + ca);
+      check_float_eq "hit returns the identical bits"
+        (Engine.Response.answer_float auto)
+        (Engine.Response.answer_float again))
+
+(* ------------------------------------------------------------------ *)
 (* Budget path                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -489,6 +598,14 @@ let suites =
         tc "disabled cache never hits" `Quick unit_engine_cache_disabled;
         tc "counters consistent with jobs=4" `Quick
           unit_engine_counters_consistent_across_domains;
+      ] );
+    ( "engine.cache-keys",
+      [
+        tc "one-ulp phi twins stay distinct" `Quick unit_cache_key_phi_ulp;
+        tc "union structure is part of the key" `Quick
+          unit_cache_key_union_structure;
+        tc "solver in key; exact reruns hit bitwise" `Quick
+          unit_cache_key_solver_and_rerun;
       ] );
     ( "engine.budget",
       [

@@ -466,6 +466,43 @@ let unit_aggregate_avg_age () =
   in
   Helpers.check_close ~eps:1e-9 "count" den rcount.Ppd.Aggregate.value
 
+(* Linearity of aggregation on random databases: Sum with the constant
+   value 1 is exactly Count, and Avg is the ratio of the two. The DBs
+   and CQs come from the QA generator, so the property covers the same
+   instance space as the fuzzer. *)
+let prop_aggregate_linearity =
+  Helpers.qtest ~count:30 "Sum(const 1) = Count and Avg = Sum/Count"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let { Ppd.Case.db; query } = Qa.Gen.case (Util.Rng.derive seed 2) in
+      let agg ~value_of op =
+        Ppd.Aggregate.over_sessions ~value_of op db query (Helpers.rng 4)
+      in
+      match agg ~value_of:(fun _ -> Some 1.0) Ppd.Aggregate.Sum with
+      | exception Ppd.Compile.Unsupported _ -> true (* vacuous draw *)
+      | exception Ppd.Compile.Grounding_too_large _ -> true
+      | sum1 ->
+          let count = agg ~value_of:(fun _ -> Some 1.0) Ppd.Aggregate.Count in
+          if abs_float (sum1.Ppd.Aggregate.value -. count.Ppd.Aggregate.value) > 1e-9
+          then
+            QCheck.Test.fail_reportf "Sum(1)=%.17g but Count=%.17g"
+              sum1.Ppd.Aggregate.value count.Ppd.Aggregate.value;
+          (* A varying (but deterministic) per-session value for Avg. *)
+          let value_of (s : Ppd.Database.session) =
+            Some (float_of_int (1 + (Hashtbl.hash s.Ppd.Database.key mod 7)))
+          in
+          let sum = agg ~value_of Ppd.Aggregate.Sum in
+          let avg = agg ~value_of Ppd.Aggregate.Avg in
+          (if count.Ppd.Aggregate.value > 1e-12 then
+             let expected = sum.Ppd.Aggregate.value /. count.Ppd.Aggregate.value in
+             if
+               abs_float (avg.Ppd.Aggregate.value -. expected)
+               > 1e-9 *. Float.max 1. (abs_float expected)
+             then
+               QCheck.Test.fail_reportf "Avg=%.17g but Sum/Count=%.17g"
+                 avg.Ppd.Aggregate.value expected);
+          true)
+
 let unit_csv_roundtrip () =
   let rel =
     Ppd.Relation.make ~name:"C" ~attrs:[ "id"; "label"; "n" ]
@@ -566,7 +603,10 @@ let suites =
         tc "boolean eval rejects heads" `Quick unit_answers_reject_boolean_misuse;
       ] );
     ( "ppd.aggregate",
-      [ tc "avg/sum/count over sessions" `Quick unit_aggregate_avg_age ] );
+      [
+        tc "avg/sum/count over sessions" `Quick unit_aggregate_avg_age;
+        prop_aggregate_linearity;
+      ] );
     ( "ppd.csv",
       [
         tc "relation roundtrip with quoting" `Quick unit_csv_roundtrip;
