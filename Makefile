@@ -1,4 +1,4 @@
-.PHONY: all build test bench check ci smoke-server qa-replay qa-fuzz fmt clean
+.PHONY: all build test bench check ci par-matrix smoke-bench smoke-server qa-replay qa-fuzz fmt clean
 
 all: build
 
@@ -19,6 +19,8 @@ check:
 ci:
 	dune build
 	dune runtest
+	$(MAKE) par-matrix
+	$(MAKE) smoke-bench
 	$(MAKE) smoke-server
 	$(MAKE) qa-replay
 	$(MAKE) qa-fuzz
@@ -28,6 +30,24 @@ ci:
 	else \
 		echo "ci: ocamlformat not installed -- skipping format check"; \
 	fi
+
+# Cross-domain determinism matrix: the intra-query parallelism suite
+# (test/t_par.ml) re-runs with the pool pinned to 1 domain (everything
+# inline), 2 domains (the smallest real pool) and the recommended count
+# (one per core). Solver answers must be bit-identical in all three.
+par-matrix:
+	dune build test/test_main.exe
+	@for d in 1 2 recommended; do \
+		echo "par-matrix: HARDQ_TEST_DOMAINS=$$d"; \
+		HARDQ_TEST_DOMAINS=$$d ./_build/default/test/test_main.exe test par \
+		  || exit 1; \
+	done
+
+# Engine-scaling smoke: the intra-query speedup bench on a small
+# instance, mostly for its embedded bit-identity assertions.
+smoke-bench:
+	dune build bench/main.exe
+	HARDQ_BENCH_SMOKE=1 dune exec bench/main.exe -- micro
 
 # Black-box server lifecycle check: start the real binary, query each
 # task type over the wire, SIGTERM it, assert a clean drain (exit 0 and

@@ -63,6 +63,16 @@ let cache_arg =
              optimization, persistent across queries of one run)." in
   Arg.(value & opt bool true & info [ "cache" ] ~docv:"BOOL" ~doc)
 
+let intra_arg =
+  let doc =
+    "Let each solver call fan its own work (inclusion-exclusion terms, DP \
+     layers, enumeration chunks) across the --jobs pool, in addition to the \
+     across-sessions fan-out. Results are bit-identical either way."
+  in
+  Arg.(value & opt bool true & info [ "intra" ] ~docv:"BOOL" ~doc)
+
+let parallelism_of intra = if intra then `Intra else `Inter
+
 let budget_arg =
   let doc = "CPU-seconds budget per solver invocation (0 = unlimited)." in
   Arg.(value & opt float 0. & info [ "budget" ] ~docv:"SECONDS" ~doc)
@@ -157,8 +167,8 @@ let with_query dataset size sessions seed query f =
 (* ------------------------------------------------------------------ *)
 
 let eval_cmd =
-  let run dataset size sessions seed query solver jobs cache budget stats verbose
-      metrics_json trace =
+  let run dataset size sessions seed query solver jobs cache intra budget stats
+      verbose metrics_json trace =
     with_obs metrics_json trace @@ fun () ->
     with_query dataset size sessions seed query (fun db q ->
         Format.printf "query: %a@." Ppd.Query.pp q;
@@ -166,7 +176,10 @@ let eval_cmd =
           (String.concat ", " (Ppd.Compile.v_plus db q))
           (Ppd.Compile.is_itemwise db q);
         Engine.with_engine ?jobs:(with_jobs jobs) ~cache (fun engine ->
-            let req = Engine.Request.make ~solver ~budget ~seed db q in
+            let req =
+              Engine.Request.make ~solver ~budget ~seed
+                ~parallelism:(parallelism_of intra) db q
+            in
             let resp = Engine.eval engine req in
             let probs = resp.Engine.Response.per_session in
             if verbose then
@@ -192,23 +205,23 @@ let eval_cmd =
     (Cmd.info "eval" ~doc:"Evaluate a Boolean CQ and its Count-Session aggregate")
     Term.(
       const run $ dataset_arg $ size_arg $ sessions_arg $ seed_arg $ query_arg
-      $ solver_arg $ jobs_arg $ cache_arg $ budget_arg $ stats_arg $ verbose
-      $ metrics_json_arg $ trace_arg)
+      $ solver_arg $ jobs_arg $ cache_arg $ intra_arg $ budget_arg $ stats_arg
+      $ verbose $ metrics_json_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* topk                                                                *)
 (* ------------------------------------------------------------------ *)
 
 let topk_cmd =
-  let run dataset size sessions seed query solver jobs cache budget stats k
-      strategy metrics_json trace =
+  let run dataset size sessions seed query solver jobs cache intra budget stats
+      k strategy metrics_json trace =
     with_obs metrics_json trace @@ fun () ->
     with_query dataset size sessions seed query (fun db q ->
         Engine.with_engine ?jobs:(with_jobs jobs) ~cache (fun engine ->
             let req =
               Engine.Request.make
                 ~task:(Engine.Request.top_k ~strategy k)
-                ~solver ~budget ~seed db q
+                ~solver ~budget ~seed ~parallelism:(parallelism_of intra) db q
             in
             let resp = Engine.eval engine req in
             Format.printf
@@ -237,8 +250,8 @@ let topk_cmd =
     (Cmd.info "topk" ~doc:"Most-Probable-Session query")
     Term.(
       const run $ dataset_arg $ size_arg $ sessions_arg $ seed_arg $ query_arg
-      $ solver_arg $ jobs_arg $ cache_arg $ budget_arg $ stats_arg $ k_arg
-      $ strategy_arg $ metrics_json_arg $ trace_arg)
+      $ solver_arg $ jobs_arg $ cache_arg $ intra_arg $ budget_arg $ stats_arg
+      $ k_arg $ strategy_arg $ metrics_json_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* answers                                                             *)

@@ -34,6 +34,14 @@ let cache_arg =
   let doc = "Engine LRU cache capacity (entries)." in
   Arg.(value & opt int 8192 & info [ "cache" ] ~docv:"N" ~doc)
 
+let intra_arg =
+  let doc =
+    "Default intra-query parallelism for requests without a \
+     $(b,parallelism) field: solver calls may fan their own work across \
+     the engine pool. Answers are bit-identical either way."
+  in
+  Arg.(value & opt bool true & info [ "intra" ] ~docv:"BOOL" ~doc)
+
 let queue_arg =
   let doc =
     "Admission-queue bound: requests beyond it are shed immediately with \
@@ -78,13 +86,14 @@ let preload_arg =
 let quiet_arg =
   Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress lifecycle log lines.")
 
-let run listen jobs cache queue workers max_connections timeout_ms metrics_json
-    preload quiet =
+let run listen jobs cache intra queue workers max_connections timeout_ms
+    metrics_json preload quiet =
   let config =
     {
       (Server.default_config listen) with
       Server.jobs = (if jobs <= 0 then None else Some jobs);
       cache_capacity = cache;
+      intra;
       queue_capacity = queue;
       workers;
       max_connections;
@@ -119,8 +128,8 @@ let cmd =
   Cmd.v
     (Cmd.info "hardq-server" ~doc ~man)
     Term.(
-      const run $ listen_arg $ jobs_arg $ cache_arg $ queue_arg $ workers_arg
-      $ max_connections_arg $ timeout_arg $ metrics_json_arg $ preload_arg
-      $ quiet_arg)
+      const run $ listen_arg $ jobs_arg $ cache_arg $ intra_arg $ queue_arg
+      $ workers_arg $ max_connections_arg $ timeout_arg $ metrics_json_arg
+      $ preload_arg $ quiet_arg)
 
 let () = exit (Cmd.eval' cmd)

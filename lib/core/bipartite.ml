@@ -85,10 +85,12 @@ type gu = {
   slot : int array; (* track id -> index into [tracked] or -1 *)
 }
 
-let run_optimized ?(budget = Util.Timer.no_limit) ctx patterns =
-  let m = Rim.Model.m ctx.model in
+(* A fresh gu interner. States compare structurally, so chunk-local
+   interning is sound: two chunks that intern the same uncertain
+   structure produce distinct records that still collide in [next]. *)
+let make_interner ctx =
   let gu_table : ((int * int) list list, gu) Hashtbl.t = Hashtbl.create 32 in
-  let intern_gu edges_per_pattern =
+  fun edges_per_pattern ->
     let key = List.sort compare (List.map (List.sort compare) edges_per_pattern) in
     match Hashtbl.find_opt gu_table key with
     | Some g -> g
@@ -103,91 +105,134 @@ let run_optimized ?(budget = Util.Timer.no_limit) ctx patterns =
         let g = { gu_edges = key; tracked; slot } in
         Hashtbl.add gu_table key g;
         g
-  in
+
+(* Chunk-local expansion scratch for the optimized solver. *)
+type opt_scratch = {
+  intern_gu : (int * int) list list -> gu;
+  sc_edges_pruned : int ref;
+  sc_patterns_pruned : int ref;
+}
+
+let run_optimized ?(budget = Util.Timer.no_limit) ?(par = Util.Par.inline) ctx
+    patterns =
+  let m = Rim.Model.m ctx.model in
   match statically_feasible ctx patterns with
   | [] -> 0.
   | feasible when List.exists (fun edges -> edges = []) feasible ->
       (* A pattern with no (remaining) edge constraints is always satisfied. *)
       1.
   | feasible ->
+      Conj.freeze ctx.conj;
       let obs = Obs.enabled () in
       let states = ref 0 and edges_pruned = ref 0 and patterns_pruned = ref 0 in
-      let gu0 = intern_gu feasible in
+      let gu0 = make_interner ctx feasible in
       let table = ref (Hashtbl.create 64) in
       Hashtbl.add !table (gu0, Array.make (Array.length gu0.tracked) 0) 1.;
       let prob = ref 0. in
       for i = 0 to m - 1 do
         Util.Timer.check budget;
-        if obs then states := !states + Hashtbl.length !table;
-        let next = Hashtbl.create (Hashtbl.length !table * 2) in
-        Hashtbl.iter
-          (fun (g, vals) q ->
-            for j = 0 to i do
-              let p' = q *. Rim.Model.pi ctx.model i j in
-              if p' > 0. then begin
-                (* New track values for g.tracked. *)
-                let vals' =
-                  Array.mapi
-                    (fun s v ->
-                      (* shift-then-extremum; values are position+1, 0 unset *)
-                      let shifted = if v > 0 && v - 1 >= j then v + 1 else v in
-                      let t = g.tracked.(s) in
-                      if Conj.matches ctx.conj ctx.track_conj.(t) i then
-                        if ctx.track_is_left.(t) then
-                          if v = 0 then j + 1 else min shifted (j + 1)
-                        else if v = 0 then j + 1
-                        else max shifted (j + 1)
-                      else shifted)
-                    vals
-                in
-                let value t = vals'.(g.slot.(t)) in
-                (* Re-evaluate uncertain edges. *)
-                let satisfied_pattern = ref false in
-                let remaining_patterns =
-                  List.filter_map
-                    (fun edges ->
-                      let violated = ref false in
-                      let uncertain =
-                        List.filter
-                          (fun e ->
-                            match edge_situation ctx ~value i e with
-                            | Satisfied ->
-                                if obs then incr edges_pruned;
-                                false
-                            | Violated ->
-                                if obs then incr edges_pruned;
-                                violated := true;
-                                false
-                            | Uncertain -> true)
-                          edges
-                      in
-                      if !violated then begin
-                        if obs then incr patterns_pruned;
-                        None
-                      end
-                      else if uncertain = [] then begin
-                        if obs then incr patterns_pruned;
-                        satisfied_pattern := true;
-                        None
-                      end
-                      else Some uncertain)
-                    g.gu_edges
-                in
-                if !satisfied_pattern then prob := !prob +. p'
-                else if remaining_patterns <> [] then begin
-                  let g' = intern_gu remaining_patterns in
-                  let vals'' = Array.map (fun t -> vals'.(g.slot.(t))) g'.tracked in
-                  let key = (g', vals'') in
-                  match Hashtbl.find_opt next key with
-                  | Some q0 -> Hashtbl.replace next key (q0 +. p')
-                  | None ->
-                      if Hashtbl.length next >= !max_states then
-                        failwith "Bipartite: state explosion";
-                      Hashtbl.add next key p'
-                end
+        let cur = !table in
+        let n_states = Hashtbl.length cur in
+        if obs then states := !states + n_states;
+        (* Snapshot in Hashtbl.iter order (see Dp_par: keeps the stream,
+           and so the next layer's iteration order, bit-identical to the
+           direct Hashtbl.iter loop). *)
+        let sgs = Array.make n_states gu0 in
+        let svals = Array.make n_states [||] in
+        let sqs = Array.make n_states 0. in
+        (let k = ref 0 in
+         Hashtbl.iter
+           (fun (g, vals) q ->
+             sgs.(!k) <- g;
+             svals.(!k) <- vals;
+             sqs.(!k) <- q;
+             incr k)
+           cur);
+        let next = Hashtbl.create (n_states * 2) in
+        let add key p' =
+          match Hashtbl.find_opt next key with
+          | Some q0 -> Hashtbl.replace next key (q0 +. p')
+          | None ->
+              if Hashtbl.length next >= !max_states then
+                failwith "Bipartite: state explosion";
+              Hashtbl.add next key p'
+        in
+        let make_scratch () =
+          {
+            intern_gu = make_interner ctx;
+            sc_edges_pruned = ref 0;
+            sc_patterns_pruned = ref 0;
+          }
+        in
+        let expand sc s ~emit ~emit_prob =
+          let g = sgs.(s) and vals = svals.(s) and q = sqs.(s) in
+          for j = 0 to i do
+            let p' = q *. Rim.Model.pi ctx.model i j in
+            if p' > 0. then begin
+              (* New track values for g.tracked. *)
+              let vals' =
+                Array.mapi
+                  (fun s v ->
+                    (* shift-then-extremum; values are position+1, 0 unset *)
+                    let shifted = if v > 0 && v - 1 >= j then v + 1 else v in
+                    let t = g.tracked.(s) in
+                    if Conj.matches ctx.conj ctx.track_conj.(t) i then
+                      if ctx.track_is_left.(t) then
+                        if v = 0 then j + 1 else min shifted (j + 1)
+                      else if v = 0 then j + 1
+                      else max shifted (j + 1)
+                    else shifted)
+                  vals
+              in
+              let value t = vals'.(g.slot.(t)) in
+              (* Re-evaluate uncertain edges. *)
+              let satisfied_pattern = ref false in
+              let remaining_patterns =
+                List.filter_map
+                  (fun edges ->
+                    let violated = ref false in
+                    let uncertain =
+                      List.filter
+                        (fun e ->
+                          match edge_situation ctx ~value i e with
+                          | Satisfied ->
+                              if obs then incr sc.sc_edges_pruned;
+                              false
+                          | Violated ->
+                              if obs then incr sc.sc_edges_pruned;
+                              violated := true;
+                              false
+                          | Uncertain -> true)
+                        edges
+                    in
+                    if !violated then begin
+                      if obs then incr sc.sc_patterns_pruned;
+                      None
+                    end
+                    else if uncertain = [] then begin
+                      if obs then incr sc.sc_patterns_pruned;
+                      satisfied_pattern := true;
+                      None
+                    end
+                    else Some uncertain)
+                  g.gu_edges
+              in
+              if !satisfied_pattern then emit_prob p'
+              else if remaining_patterns <> [] then begin
+                let g' = sc.intern_gu remaining_patterns in
+                let vals'' = Array.map (fun t -> vals'.(g.slot.(t))) g'.tracked in
+                emit (g', vals'') p'
               end
-            done)
-          !table;
+            end
+          done
+        in
+        Dp_par.run ~par ~n:n_states ~ctx:make_scratch ~expand
+          ~finish:(fun sc ->
+            edges_pruned := !edges_pruned + !(sc.sc_edges_pruned);
+            patterns_pruned := !patterns_pruned + !(sc.sc_patterns_pruned))
+          ~add
+          ~add_prob:(fun p' -> prob := !prob +. p')
+          ();
         table := next
       done;
       if obs then begin
@@ -203,46 +248,66 @@ let run_optimized ?(budget = Util.Timer.no_limit) ctx patterns =
 (* Basic solver (§4.3.1): full tracking, classification at the end.    *)
 (* ------------------------------------------------------------------ *)
 
-let run_basic ?(budget = Util.Timer.no_limit) ctx patterns =
+let run_basic ?(budget = Util.Timer.no_limit) ?(par = Util.Par.inline) ctx
+    patterns =
   let m = Rim.Model.m ctx.model in
   match statically_feasible ctx patterns with
   | [] -> 0.
   | feasible when List.exists (fun edges -> edges = []) feasible -> 1.
   | feasible ->
+      Conj.freeze ctx.conj;
       let obs = Obs.enabled () in
       let states = ref 0 in
       let table = ref (Hashtbl.create 64) in
       Hashtbl.add !table (Array.make ctx.n_tracks 0) 1.;
       for i = 0 to m - 1 do
         Util.Timer.check budget;
-        if obs then states := !states + Hashtbl.length !table;
-        let next = Hashtbl.create (Hashtbl.length !table * 2) in
-        Hashtbl.iter
-          (fun vals q ->
-            for j = 0 to i do
-              let p' = q *. Rim.Model.pi ctx.model i j in
-              if p' > 0. then begin
-                let vals' =
-                  Array.mapi
-                    (fun t v ->
-                      let shifted = if v > 0 && v - 1 >= j then v + 1 else v in
-                      if Conj.matches ctx.conj ctx.track_conj.(t) i then
-                        if ctx.track_is_left.(t) then
-                          if v = 0 then j + 1 else min shifted (j + 1)
-                        else if v = 0 then j + 1
-                        else max shifted (j + 1)
-                      else shifted)
-                    vals
-                in
-                match Hashtbl.find_opt next vals' with
-                | Some q0 -> Hashtbl.replace next vals' (q0 +. p')
-                | None ->
-                    if Hashtbl.length next >= !max_states then
-                      failwith "Bipartite (basic): state explosion";
-                    Hashtbl.add next vals' p'
-              end
-            done)
-          !table;
+        let cur = !table in
+        let n_states = Hashtbl.length cur in
+        if obs then states := !states + n_states;
+        let skeys = Array.make n_states [||] and sqs = Array.make n_states 0. in
+        (let k = ref 0 in
+         Hashtbl.iter
+           (fun vals q ->
+             skeys.(!k) <- vals;
+             sqs.(!k) <- q;
+             incr k)
+           cur);
+        let next = Hashtbl.create (n_states * 2) in
+        let add vals' p' =
+          match Hashtbl.find_opt next vals' with
+          | Some q0 -> Hashtbl.replace next vals' (q0 +. p')
+          | None ->
+              if Hashtbl.length next >= !max_states then
+                failwith "Bipartite (basic): state explosion";
+              Hashtbl.add next vals' p'
+        in
+        let expand () s ~emit ~emit_prob:_ =
+          let vals = skeys.(s) and q = sqs.(s) in
+          for j = 0 to i do
+            let p' = q *. Rim.Model.pi ctx.model i j in
+            if p' > 0. then begin
+              let vals' =
+                Array.mapi
+                  (fun t v ->
+                    let shifted = if v > 0 && v - 1 >= j then v + 1 else v in
+                    if Conj.matches ctx.conj ctx.track_conj.(t) i then
+                      if ctx.track_is_left.(t) then
+                        if v = 0 then j + 1 else min shifted (j + 1)
+                      else if v = 0 then j + 1
+                      else max shifted (j + 1)
+                    else shifted)
+                  vals
+              in
+              emit vals' p'
+            end
+          done
+        in
+        Dp_par.run ~par ~n:n_states
+          ~ctx:(fun () -> ())
+          ~expand ~add
+          ~add_prob:(fun _ -> ())
+          ();
         table := next
       done;
       if obs then begin
@@ -288,22 +353,22 @@ let union_to_constraint_sets lab gu =
     (fun g -> if isolated_nodes_ok lab g then Some (pairs_of_pattern g) else None)
     (Prefs.Pattern_union.patterns gu)
 
-let prob_constraint_sets ?budget model lab sets =
+let prob_constraint_sets ?budget ?par model lab sets =
   if sets = [] then 0.
   else
     let ctx, patterns = build_ctx model lab sets in
-    run_optimized ?budget ctx patterns
+    run_optimized ?budget ?par ctx patterns
 
-let prob ?budget model lab gu =
+let prob ?budget ?par model lab gu =
   match union_to_constraint_sets lab gu with
   | [] -> 0.
   | sets ->
       let ctx, patterns = build_ctx model lab sets in
-      run_optimized ?budget ctx patterns
+      run_optimized ?budget ?par ctx patterns
 
-let prob_basic ?budget model lab gu =
+let prob_basic ?budget ?par model lab gu =
   match union_to_constraint_sets lab gu with
   | [] -> 0.
   | sets ->
       let ctx, patterns = build_ctx model lab sets in
-      run_basic ?budget ctx patterns
+      run_basic ?budget ?par ctx patterns

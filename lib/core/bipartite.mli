@@ -16,6 +16,7 @@ exception Unsupported of string
 
 val prob :
   ?budget:Util.Timer.budget ->
+  ?par:Util.Par.t ->
   Rim.Model.t ->
   Prefs.Labeling.t ->
   Prefs.Pattern_union.t ->
@@ -23,10 +24,13 @@ val prob :
 (** Exact marginal probability of a union of bipartite patterns.
     Isolated nodes are checked statically (a pattern whose isolated node
     has no matching item is unsatisfiable and is dropped). Raises
-    {!Unsupported} if some pattern is not bipartite. *)
+    {!Unsupported} if some pattern is not bipartite. With [par], large DP
+    layers expand in parallel; the result is bit-identical to the
+    sequential run (see {!Dp_par}). *)
 
 val prob_basic :
   ?budget:Util.Timer.budget ->
+  ?par:Util.Par.t ->
   Rim.Model.t ->
   Prefs.Labeling.t ->
   Prefs.Pattern_union.t ->
@@ -37,6 +41,7 @@ val prob_basic :
 
 val prob_constraint_sets :
   ?budget:Util.Timer.budget ->
+  ?par:Util.Par.t ->
   Rim.Model.t ->
   Prefs.Labeling.t ->
   (Prefs.Pattern.node * Prefs.Pattern.node) list list ->

@@ -1,9 +1,32 @@
-let sum_over model pred =
+(* Chunking for the parallel enumeration. Boundaries depend only on the
+   chunk width and [m!], never on the parallelism width: each chunk sums
+   its lexicographic rank range left-to-right and the partial sums
+   combine in chunk order, so the result is bit-identical for every
+   width — including width 1. Domains with m! below one chunk (m <= 7)
+   keep the original single-pass Heap's-order sum, which parallelism
+   then cannot alter either. *)
+let chunk_ranks = 5040
+
+let sum_over ?(par = Util.Par.inline) model pred =
   let m = Rim.Model.m model in
-  let total = ref 0. in
-  Prefs.Ranking.all m (fun r ->
-      if pred r then total := !total +. Rim.Model.prob model r);
-  !total
+  if m > 10 || Util.Combinat.factorial m <= chunk_ranks then begin
+    let total = ref 0. in
+    Prefs.Ranking.all m (fun r ->
+        if pred r then total := !total +. Rim.Model.prob model r);
+    !total
+  end
+  else begin
+    let total = Util.Combinat.factorial m in
+    let n_chunks = (total + chunk_ranks - 1) / chunk_ranks in
+    let partial = Array.make n_chunks 0. in
+    Util.Par.share par ~n:n_chunks (fun c ->
+        let lo = c * chunk_ranks and hi = min total ((c + 1) * chunk_ranks) in
+        let acc = ref 0. in
+        Prefs.Ranking.all_range m ~lo ~hi (fun r ->
+            if pred r then acc := !acc +. Rim.Model.prob model r);
+        partial.(c) <- !acc);
+    Array.fold_left ( +. ) 0. partial
+  end
 
 (* Ranking.all enumerates permutations of 0..m-1; remap through sigma when the
    domain is not 0..m-1. *)
@@ -17,15 +40,16 @@ let remap model r =
     Prefs.Ranking.of_array
       (Array.map (fun i -> sorted.(i)) (Prefs.Ranking.to_array r))
 
-let prob model lab gu =
-  sum_over model (fun r -> Prefs.Matcher.matches_union lab gu (remap model r))
+let prob ?par model lab gu =
+  sum_over ?par model (fun r -> Prefs.Matcher.matches_union lab gu (remap model r))
 
-let prob_pattern model lab g = prob model lab (Prefs.Pattern_union.singleton g)
+let prob_pattern ?par model lab g =
+  prob ?par model lab (Prefs.Pattern_union.singleton g)
 
-let prob_subrankings model subs =
-  sum_over model (fun r ->
+let prob_subrankings ?par model subs =
+  sum_over ?par model (fun r ->
       let r = remap model r in
       List.exists (fun sub -> Prefs.Matcher.matches_subranking r ~sub) subs)
 
-let prob_partial_order model po =
-  sum_over model (fun r -> Prefs.Partial_order.consistent po (remap model r))
+let prob_partial_order ?par model po =
+  sum_over ?par model (fun r -> Prefs.Partial_order.consistent po (remap model r))

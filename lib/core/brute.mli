@@ -1,16 +1,24 @@
 (** Brute-force exact inference by enumerating all [m!] rankings.
 
     Only usable for small domains (m ≤ 10); serves as the correctness
-    oracle for every other solver. *)
+    oracle for every other solver.
 
-val prob : Rim.Model.t -> Prefs.Labeling.t -> Prefs.Pattern_union.t -> float
+    With [par], the enumeration splits into fixed lexicographic rank
+    chunks evaluated in parallel; chunk boundaries depend only on [m],
+    so the result is bit-identical for every parallelism width
+    (including sequential). For m ≤ 7 a single Heap's-order pass is kept
+    and parallelism is a no-op. *)
+
+val prob :
+  ?par:Util.Par.t -> Rim.Model.t -> Prefs.Labeling.t -> Prefs.Pattern_union.t -> float
 (** Marginal probability of the pattern union (Equation 2). *)
 
-val prob_pattern : Rim.Model.t -> Prefs.Labeling.t -> Prefs.Pattern.t -> float
+val prob_pattern :
+  ?par:Util.Par.t -> Rim.Model.t -> Prefs.Labeling.t -> Prefs.Pattern.t -> float
 
-val prob_subrankings : Rim.Model.t -> Prefs.Ranking.t list -> float
+val prob_subrankings : ?par:Util.Par.t -> Rim.Model.t -> Prefs.Ranking.t list -> float
 (** Probability that a random ranking is consistent with at least one of
     the given sub-rankings. *)
 
-val prob_partial_order : Rim.Model.t -> Prefs.Partial_order.t -> float
+val prob_partial_order : ?par:Util.Par.t -> Rim.Model.t -> Prefs.Partial_order.t -> float
 (** Probability that a random ranking extends the partial order. *)

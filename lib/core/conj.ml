@@ -46,6 +46,8 @@ let tables t =
       t.cache <- Some tb;
       tb
 
+let freeze t = ignore (tables t)
+
 let matches t c i =
   let m, _ = tables t in
   m.(c).(i)

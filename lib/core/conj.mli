@@ -19,6 +19,12 @@ val intern : t -> Prefs.Pattern.node -> int
 val n : t -> int
 (** Number of interned conjunctions so far. *)
 
+val freeze : t -> unit
+(** Force the internal lookup tables. After [freeze] (and absent further
+    {!intern} calls) the context is safe to read from several domains
+    concurrently; without it the first {!matches}/{!remaining} lookup
+    builds the tables lazily, which would race. *)
+
 val matches : t -> int -> int -> bool
 (** [matches t c i] — does the item inserted at step [i] (i.e. [σ_i])
     carry conjunction [c]? *)

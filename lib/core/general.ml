@@ -1,7 +1,10 @@
 (* Observability: inclusion-exclusion terms actually evaluated (the
-   2^z - 1 subset conjunctions are the general solver's cost driver). *)
+   2^z - 1 subset conjunctions are the general solver's cost driver),
+   plus terms answered from the per-call conjunction memo. *)
 let c_calls = Obs.counter "solver.general.calls"
 let c_terms = Obs.counter "solver.general.ie_terms"
+let c_memo_hits = Obs.counter "solver.general.memo_hits"
+let c_par_terms = Obs.counter "solver.general.par_terms"
 let h_terms = Obs.histogram "solver.general.ie_terms_per_call"
 
 let conjunctions gu =
@@ -11,25 +14,77 @@ let conjunctions gu =
       out := (Prefs.Pattern.conjunction s, List.length s) :: !out);
   List.sort (fun (_, a) (_, b) -> compare a b) (List.rev !out)
 
-let prob_instrumented ?budget model lab gu =
+(* Structural identity of a conjunction pattern: two terms with the same
+   key run the exact same computation, so reusing the representative's
+   float is bit-identical to evaluating both. *)
+let term_key c = (Prefs.Pattern.nodes c, Prefs.Pattern.edges c)
+
+let prob_instrumented ?budget ?(par = Util.Par.inline) ?(memo = true) model lab
+    gu =
   let obs = Obs.enabled () in
-  let terms = ref 0 in
+  let terms = Array.of_list (conjunctions gu) in
+  let n = Array.length terms in
+  (* Deduplicate structurally identical conjunctions: each term points at
+     its representative slot; only representatives are evaluated. *)
+  let rep = Array.make n 0 in
+  let n_reps = ref 0 in
+  (if memo then begin
+     let seen = Hashtbl.create 16 in
+     Array.iteri
+       (fun t (c, _) ->
+         let key = term_key c in
+         match Hashtbl.find_opt seen key with
+         | Some r -> rep.(t) <- r
+         | None ->
+             Hashtbl.add seen key t;
+             rep.(t) <- t;
+             incr n_reps)
+       terms
+   end
+   else begin
+     Array.iteri (fun t _ -> rep.(t) <- t) terms;
+     n_reps := n
+   end);
+  let reps = Array.make !n_reps 0 in
+  (let k = ref 0 in
+   Array.iteri
+     (fun t r ->
+       if r = t then begin
+         reps.(!k) <- t;
+         incr k
+       end)
+     rep);
+  (* Representatives evaluate in parallel, each into its own slot; with
+     the inline capability this degenerates to the sequential loop. The
+     DP layers of each term share the same pool (nested fan-out). *)
+  let probs = Array.make n 0. and secs = Array.make n 0. in
+  Util.Par.share par ~n:!n_reps (fun k ->
+      let t = reps.(k) in
+      let c, _ = terms.(t) in
+      let p, dt =
+        Util.Timer.time (fun () -> Pattern_solver.prob ?budget ~par model lab c)
+      in
+      probs.(t) <- p;
+      secs.(t) <- dt);
   let total = ref 0. and times = ref [] in
-  List.iter
-    (fun (conj, size) ->
-      let p, dt = Util.Timer.time (fun () -> Pattern_solver.prob ?budget model lab conj) in
-      if obs then incr terms;
-      times := (size, dt) :: !times;
+  Array.iteri
+    (fun t (_, size) ->
+      let r = rep.(t) in
+      (* Memo hits report zero seconds: no evaluation happened. *)
+      times := (size, (if r = t then secs.(t) else 0.)) :: !times;
       let sign = if size land 1 = 1 then 1. else -1. in
-      total := !total +. (sign *. p))
-    (conjunctions gu);
+      total := !total +. (sign *. probs.(r)))
+    terms;
   if obs then begin
     Obs.Counter.incr c_calls;
-    Obs.Counter.add c_terms !terms;
-    Obs.Histogram.observe h_terms !terms
+    Obs.Counter.add c_terms !n_reps;
+    Obs.Counter.add c_memo_hits (n - !n_reps);
+    if Util.Par.width par > 1 then Obs.Counter.add c_par_terms !n_reps;
+    Obs.Histogram.observe h_terms !n_reps
   end;
   (* Inclusion-exclusion cancellation can leave tiny out-of-range residue;
      the value is returned raw and clamped at the Solver.prob boundary. *)
   (!total, List.rev !times)
 
-let prob ?budget model lab gu = fst (prob_instrumented ?budget model lab gu)
+let prob ?budget ?par ?memo model lab gu =
+  fst (prob_instrumented ?budget ?par ?memo model lab gu)

@@ -11,6 +11,8 @@ val conjunctions : Prefs.Pattern_union.t -> (Prefs.Pattern.t * int) list
 
 val prob :
   ?budget:Util.Timer.budget ->
+  ?par:Util.Par.t ->
+  ?memo:bool ->
   Rim.Model.t ->
   Prefs.Labeling.t ->
   Prefs.Pattern_union.t ->
@@ -18,14 +20,24 @@ val prob :
 (** Exact marginal probability of the union. Cost is dominated by the
     largest conjunction; exponential in [z]. The alternating sum is
     returned raw: floating-point cancellation can leave residue slightly
-    outside [0, 1], which {!Solver.prob} clamps (with a debug log). *)
+    outside [0, 1], which {!Solver.prob} clamps (with a debug log).
+
+    With [par], the [2^z - 1] terms evaluate concurrently (and each
+    term's DP layers may fan out further into the same pool); the
+    alternating sum is still taken in subset-size order on the calling
+    domain, so the result is bit-identical to the sequential run.
+    [memo] (default [true]) evaluates only one representative of each
+    structurally identical conjunction and reuses its probability —
+    also bit-identical, since duplicates rerun the same computation. *)
 
 val prob_instrumented :
   ?budget:Util.Timer.budget ->
+  ?par:Util.Par.t ->
+  ?memo:bool ->
   Rim.Model.t ->
   Prefs.Labeling.t ->
   Prefs.Pattern_union.t ->
   float * (int * float) list
-(** Like {!prob} but also returns, for every conjunction evaluated, its
-    subset size and wall-clock seconds — the measurement behind the
-    paper's Figure 5. *)
+(** Like {!prob} but also returns, for every conjunction, its subset
+    size and wall-clock seconds — the measurement behind the paper's
+    Figure 5. Terms answered from the memo report zero seconds. *)

@@ -31,7 +31,8 @@ let embeds ~topo ~parents ~(masks : int array) (seq : int array) =
 
 let state_masks st = Array.init (Array.length st / 2) (fun k -> st.((2 * k) + 1))
 
-let prob_general ?(budget = Util.Timer.no_limit) model lab g =
+let prob_general ?(budget = Util.Timer.no_limit) ?(par = Util.Par.inline) model
+    lab g =
   let q = Prefs.Pattern.n_nodes g in
   if q > 62 then raise (Unsupported "Pattern_solver: more than 62 nodes");
   let m = Rim.Model.m model in
@@ -59,72 +60,90 @@ let prob_general ?(budget = Util.Timer.no_limit) model lab g =
     let table = ref (Hashtbl.create 64) in
     Hashtbl.add !table [||] 1.;
     let prob = ref 0. in
-    let add next st p =
-      match Hashtbl.find_opt next st with
-      | Some p0 -> Hashtbl.replace next st (p0 +. p)
-      | None ->
-          if Hashtbl.length next >= !max_states then
-            failwith "Pattern_solver: state explosion";
-          Hashtbl.add next st p
-    in
     for i = 0 to m - 1 do
       Util.Timer.check budget;
-      let next = Hashtbl.create (Hashtbl.length !table * 2) in
+      let cur = !table in
+      let n_states = Hashtbl.length cur in
+      (* Snapshot in Hashtbl.iter order so the contribution stream (and
+         hence every float and the next table's iteration order) is the
+         one the direct Hashtbl.iter loop produced. *)
+      let keys = Array.make n_states [||] and qs = Array.make n_states 0. in
+      (let k = ref 0 in
+       Hashtbl.iter
+         (fun st q ->
+           keys.(!k) <- st;
+           qs.(!k) <- q;
+           incr k)
+         cur);
+      let next = Hashtbl.create (n_states * 2) in
+      let add st p =
+        match Hashtbl.find_opt next st with
+        | Some p0 -> Hashtbl.replace next st (p0 +. p)
+        | None ->
+            if Hashtbl.length next >= !max_states then
+              failwith "Pattern_solver: state explosion";
+            Hashtbl.add next st p
+      in
       let mx = step_mask.(i) in
-      Hashtbl.iter
-        (fun st qprob ->
-          let t = Array.length st / 2 in
-          if mx = 0 then begin
-            (* Irrelevant item: group insertion positions by how many tracked
-               items shift. c = number of tracked items strictly before j. *)
-            for c = 0 to t do
-              let jlo = if c = 0 then 0 else st.(2 * (c - 1)) + 1 in
-              let jhi = if c = t then i else st.(2 * c) in
-              if jlo <= jhi then begin
-                let psum = ref 0. in
-                for j = jlo to jhi do
-                  psum := !psum +. Rim.Model.pi model i j
-                done;
-                if !psum > 0. then begin
-                  let st' = Array.copy st in
-                  for k = c to t - 1 do
-                    st'.(2 * k) <- st'.(2 * k) + 1
-                  done;
-                  add next st' (qprob *. !psum)
-                end
-              end
-            done
-          end
-          else
-            for j = 0 to i do
-              let p = qprob *. Rim.Model.pi model i j in
-              if p > 0. then begin
-                (* Insert (j, mx), shifting tracked positions >= j. *)
-                let c = ref 0 in
-                while !c < t && st.(2 * !c) < j do
-                  incr c
-                done;
-                let c = !c in
-                let st' = Array.make ((t + 1) * 2) 0 in
-                Array.blit st 0 st' 0 (2 * c);
-                st'.(2 * c) <- j;
-                st'.((2 * c) + 1) <- mx;
+      let expand () s ~emit ~emit_prob =
+        let st = keys.(s) and qprob = qs.(s) in
+        let t = Array.length st / 2 in
+        if mx = 0 then begin
+          (* Irrelevant item: group insertion positions by how many tracked
+             items shift. c = number of tracked items strictly before j. *)
+          for c = 0 to t do
+            let jlo = if c = 0 then 0 else st.(2 * (c - 1)) + 1 in
+            let jhi = if c = t then i else st.(2 * c) in
+            if jlo <= jhi then begin
+              let psum = ref 0. in
+              for j = jlo to jhi do
+                psum := !psum +. Rim.Model.pi model i j
+              done;
+              if !psum > 0. then begin
+                let st' = Array.copy st in
                 for k = c to t - 1 do
-                  st'.(2 * (k + 1)) <- st.(2 * k) + 1;
-                  st'.((2 * (k + 1)) + 1) <- st.((2 * k) + 1)
+                  st'.(2 * k) <- st'.(2 * k) + 1
                 done;
-                if embeds ~topo ~parents ~masks:node_bits (state_masks st') then
-                  prob := !prob +. p
-                else add next st' p
+                emit st' (qprob *. !psum)
               end
-            done)
-        !table;
+            end
+          done
+        end
+        else
+          for j = 0 to i do
+            let p = qprob *. Rim.Model.pi model i j in
+            if p > 0. then begin
+              (* Insert (j, mx), shifting tracked positions >= j. *)
+              let c = ref 0 in
+              while !c < t && st.(2 * !c) < j do
+                incr c
+              done;
+              let c = !c in
+              let st' = Array.make ((t + 1) * 2) 0 in
+              Array.blit st 0 st' 0 (2 * c);
+              st'.(2 * c) <- j;
+              st'.((2 * c) + 1) <- mx;
+              for k = c to t - 1 do
+                st'.(2 * (k + 1)) <- st.(2 * k) + 1;
+                st'.((2 * (k + 1)) + 1) <- st.((2 * k) + 1)
+              done;
+              if embeds ~topo ~parents ~masks:node_bits (state_masks st') then
+                emit_prob p
+              else emit st' p
+            end
+          done
+      in
+      Dp_par.run ~par ~n:n_states
+        ~ctx:(fun () -> ())
+        ~expand ~add
+        ~add_prob:(fun p -> prob := !prob +. p)
+        ();
       table := next
     done;
     min 1. !prob
   end
 
-let prob ?budget model lab g =
+let prob ?budget ?par model lab g =
   if Prefs.Pattern.is_bipartite g then
-    Bipartite.prob ?budget model lab (Prefs.Pattern_union.singleton g)
-  else prob_general ?budget model lab g
+    Bipartite.prob ?budget ?par model lab (Prefs.Pattern_union.singleton g)
+  else prob_general ?budget ?par model lab g

@@ -18,15 +18,19 @@ exception Unsupported of string
 
 val prob :
   ?budget:Util.Timer.budget ->
+  ?par:Util.Par.t ->
   Rim.Model.t ->
   Prefs.Labeling.t ->
   Prefs.Pattern.t ->
   float
 (** Exact [Pr(g | σ, Π, λ)]. May raise [Util.Timer.Out_of_time] or
-    [Failure] on state explosion (see {!max_states}). *)
+    [Failure] on state explosion (see {!max_states}). With [par], large
+    DP layers expand in parallel; the result is bit-identical to the
+    sequential run (see {!Dp_par}). *)
 
 val prob_general :
   ?budget:Util.Timer.budget ->
+  ?par:Util.Par.t ->
   Rim.Model.t ->
   Prefs.Labeling.t ->
   Prefs.Pattern.t ->

@@ -3,15 +3,26 @@
     events — the baseline of Figure 9. *)
 
 val estimate :
+  ?par:Util.Par.t ->
   n:int ->
   Rim.Model.t ->
   Prefs.Labeling.t ->
   Prefs.Pattern_union.t ->
   Util.Rng.t ->
   Estimate.t
+(** Runs of more than 4096 samples split into fixed 4096-sample chunks,
+    each with a child RNG derived sequentially from [rng] up front; the
+    chunks may then evaluate in parallel ([par]) with an estimate that
+    depends only on the seed and [n], never on the width. Smaller runs
+    consume [rng] directly (the historical stream). *)
 
 val estimate_subrankings :
-  n:int -> Rim.Model.t -> Prefs.Ranking.t list -> Util.Rng.t -> Estimate.t
+  ?par:Util.Par.t ->
+  n:int ->
+  Rim.Model.t ->
+  Prefs.Ranking.t list ->
+  Util.Rng.t ->
+  Estimate.t
 (** Same, with the event "consistent with at least one sub-ranking". *)
 
 val samples_until :

@@ -8,18 +8,18 @@ let exact_name : exact -> string = function
   | `General -> "general"
   | `Brute -> "brute"
 
-let exact_prob ?budget which model lab gu =
+let exact_prob ?budget ?par which model lab gu =
   match which with
-  | `Two_label -> Two_label.prob ?budget model lab gu
-  | `Bipartite -> Bipartite.prob ?budget model lab gu
-  | `Bipartite_basic -> Bipartite.prob_basic ?budget model lab gu
-  | `General -> General.prob ?budget model lab gu
-  | `Brute -> Brute.prob model lab gu
+  | `Two_label -> Two_label.prob ?budget ?par model lab gu
+  | `Bipartite -> Bipartite.prob ?budget ?par model lab gu
+  | `Bipartite_basic -> Bipartite.prob_basic ?budget ?par model lab gu
+  | `General -> General.prob ?budget ?par model lab gu
+  | `Brute -> Brute.prob ?par model lab gu
   | `Auto -> (
       match Prefs.Pattern_union.kind gu with
-      | Prefs.Pattern_union.Two_label -> Two_label.prob ?budget model lab gu
-      | Prefs.Pattern_union.Bipartite -> Bipartite.prob ?budget model lab gu
-      | Prefs.Pattern_union.General -> General.prob ?budget model lab gu)
+      | Prefs.Pattern_union.Two_label -> Two_label.prob ?budget ?par model lab gu
+      | Prefs.Pattern_union.Bipartite -> Bipartite.prob ?budget ?par model lab gu
+      | Prefs.Pattern_union.General -> General.prob ?budget ?par model lab gu)
 
 type approx =
   | Rejection of { n : int }
@@ -33,9 +33,9 @@ let approx_name = function
   | Mis_adaptive _ -> "mis-amp-adaptive"
   | Mis_full _ -> "mis-amp"
 
-let approx_prob which mal lab gu rng =
+let approx_prob ?par which mal lab gu rng =
   match which with
-  | Rejection { n } -> Rejection.estimate ~n (Rim.Mallows.to_rim mal) lab gu rng
+  | Rejection { n } -> Rejection.estimate ?par ~n (Rim.Mallows.to_rim mal) lab gu rng
   | Mis_lite { d; n_per; compensate } ->
       Mis_amp_lite.estimate ~compensate ~d ~n_per mal lab gu rng
   | Mis_adaptive { n_per; delta_d; d_max; tol } ->
@@ -98,12 +98,13 @@ let clamp which raw =
     clamped
   end
 
-let prob ?budget t mal lab gu rng =
+let prob ?budget ?par t mal lab gu rng =
   match t with
-  | Exact e -> clamp (exact_name e) (exact_prob ?budget e (Rim.Mallows.to_rim mal) lab gu)
+  | Exact e ->
+      clamp (exact_name e) (exact_prob ?budget ?par e (Rim.Mallows.to_rim mal) lab gu)
   | Approx a ->
       (* Raw estimates are unclamped (the accuracy experiments need them). *)
-      clamp (approx_name a) (Estimate.value (approx_prob a mal lab gu rng))
+      clamp (approx_name a) (Estimate.value (approx_prob ?par a mal lab gu rng))
 
 let default_exact = Exact `Auto
 

@@ -9,6 +9,7 @@ val exact_name : exact -> string
 
 val exact_prob :
   ?budget:Util.Timer.budget ->
+  ?par:Util.Par.t ->
   exact ->
   Rim.Model.t ->
   Prefs.Labeling.t ->
@@ -16,7 +17,8 @@ val exact_prob :
   float
 (** Raises [Two_label.Unsupported] / [Bipartite.Unsupported] when the
     union does not fit the requested family; [`Auto] never raises for
-    shape reasons. *)
+    shape reasons. [par] lets the solver fan work out intra-query; every
+    solver's result is bit-identical to its sequential run. *)
 
 type approx =
   | Rejection of { n : int }
@@ -27,6 +29,7 @@ type approx =
 val approx_name : approx -> string
 
 val approx_prob :
+  ?par:Util.Par.t ->
   approx ->
   Rim.Mallows.t ->
   Prefs.Labeling.t ->
@@ -55,6 +58,7 @@ val of_string : string -> (t, string) result
 
 val prob :
   ?budget:Util.Timer.budget ->
+  ?par:Util.Par.t ->
   t ->
   Rim.Mallows.t ->
   Prefs.Labeling.t ->

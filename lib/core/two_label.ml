@@ -11,7 +11,8 @@ let h_states = Obs.histogram "solver.two_label.dp_states_per_call"
 (* State encoding: an int array [lv_0..lv_{a-1}; rv_0..rv_{b-1}] where a value
    is (position + 1) and 0 means "no item with that conjunction yet". *)
 
-let prob_edges ?(budget = Util.Timer.no_limit) model lab pairs =
+let prob_edges ?(budget = Util.Timer.no_limit) ?(par = Util.Par.inline) model
+    lab pairs =
   if pairs = [] then invalid_arg "Two_label.prob_edges: empty union";
   let sigma = Rim.Model.sigma model in
   let m = Rim.Model.m model in
@@ -41,46 +42,66 @@ let prob_edges ?(budget = Util.Timer.no_limit) model lab pairs =
         lv > 0 && rv > 0 && lv < rv)
       edges
   in
+  (* The lookup tables must exist before any parallel layer reads them. *)
+  Conj.freeze conj;
   let obs = Obs.enabled () in
   let states = ref 0 in
   let table = ref (Hashtbl.create 64) in
   Hashtbl.add !table (Array.make (a + b) 0) 1.;
   for i = 0 to m - 1 do
     Util.Timer.check budget;
-    if obs then states := !states + Hashtbl.length !table;
-    let next = Hashtbl.create (Hashtbl.length !table * 2) in
-    Hashtbl.iter
-      (fun st q ->
-        for j = 0 to i do
-          let st' = Array.copy st in
-          (* Values are stored as position+1 (0 = unset). An already-tracked
-             extremal item at position >= j shifts down by one before the
-             min/max with the new item's position is taken. *)
-          for k = 0 to a - 1 do
-            let v = st.(k) in
-            let shifted = if v > 0 && v - 1 >= j then v + 1 else v in
-            if Conj.matches conj left_conj.(k) i then
-              st'.(k) <- (if v = 0 then j + 1 else min shifted (j + 1))
-            else st'.(k) <- shifted
-          done;
-          for k = 0 to b - 1 do
-            let v = st.(a + k) in
-            let shifted = if v > 0 && v - 1 >= j then v + 1 else v in
-            if Conj.matches conj right_conj.(k) i then
-              st'.(a + k) <- (if v = 0 then j + 1 else max shifted (j + 1))
-            else st'.(a + k) <- shifted
-          done;
-          if not (satisfies st') then begin
-            let p = q *. Rim.Model.pi model i j in
-            (match Hashtbl.find_opt next st' with
-            | Some q0 -> Hashtbl.replace next st' (q0 +. p)
-            | None ->
-                if Hashtbl.length next >= !max_states then
-                  failwith "Two_label: state explosion";
-                Hashtbl.add next st' p)
-          end
-        done)
-      !table;
+    let cur = !table in
+    let n_states = Hashtbl.length cur in
+    if obs then states := !states + n_states;
+    (* Snapshot in Hashtbl.iter order: keeps the contribution stream, and
+       so the next layer's iteration order, identical to the direct
+       Hashtbl.iter loop. *)
+    let skeys = Array.make n_states [||] and sqs = Array.make n_states 0. in
+    (let k = ref 0 in
+     Hashtbl.iter
+       (fun st q ->
+         skeys.(!k) <- st;
+         sqs.(!k) <- q;
+         incr k)
+       cur);
+    let next = Hashtbl.create (n_states * 2) in
+    let add st' p =
+      match Hashtbl.find_opt next st' with
+      | Some q0 -> Hashtbl.replace next st' (q0 +. p)
+      | None ->
+          if Hashtbl.length next >= !max_states then
+            failwith "Two_label: state explosion";
+          Hashtbl.add next st' p
+    in
+    let expand () s ~emit ~emit_prob:_ =
+      let st = skeys.(s) and q = sqs.(s) in
+      for j = 0 to i do
+        let st' = Array.copy st in
+        (* Values are stored as position+1 (0 = unset). An already-tracked
+           extremal item at position >= j shifts down by one before the
+           min/max with the new item's position is taken. *)
+        for k = 0 to a - 1 do
+          let v = st.(k) in
+          let shifted = if v > 0 && v - 1 >= j then v + 1 else v in
+          if Conj.matches conj left_conj.(k) i then
+            st'.(k) <- (if v = 0 then j + 1 else min shifted (j + 1))
+          else st'.(k) <- shifted
+        done;
+        for k = 0 to b - 1 do
+          let v = st.(a + k) in
+          let shifted = if v > 0 && v - 1 >= j then v + 1 else v in
+          if Conj.matches conj right_conj.(k) i then
+            st'.(a + k) <- (if v = 0 then j + 1 else max shifted (j + 1))
+          else st'.(a + k) <- shifted
+        done;
+        if not (satisfies st') then emit st' (q *. Rim.Model.pi model i j)
+      done
+    in
+    Dp_par.run ~par ~n:n_states
+      ~ctx:(fun () -> ())
+      ~expand ~add
+      ~add_prob:(fun _ -> ())
+      ();
     table := next
   done;
   if obs then begin
@@ -91,7 +112,7 @@ let prob_edges ?(budget = Util.Timer.no_limit) model lab pairs =
   let violating = Hashtbl.fold (fun _ q acc -> acc +. q) !table 0. in
   max 0. (1. -. violating)
 
-let prob ?budget model lab gu =
+let prob ?budget ?par model lab gu =
   let pairs =
     List.map
       (fun g ->
@@ -100,4 +121,4 @@ let prob ?budget model lab gu =
         (Prefs.Pattern.node g 0, Prefs.Pattern.node g 1))
       (Prefs.Pattern_union.patterns gu)
   in
-  prob_edges ?budget model lab pairs
+  prob_edges ?budget ?par model lab pairs

@@ -12,14 +12,18 @@ exception Unsupported of string
 
 val prob :
   ?budget:Util.Timer.budget ->
+  ?par:Util.Par.t ->
   Rim.Model.t ->
   Prefs.Labeling.t ->
   Prefs.Pattern_union.t ->
   float
-(** Exact marginal probability. May raise [Util.Timer.Out_of_time]. *)
+(** Exact marginal probability. May raise [Util.Timer.Out_of_time].
+    With [par], large DP layers expand in parallel; the result is
+    bit-identical to the sequential run (see {!Dp_par}). *)
 
 val prob_edges :
   ?budget:Util.Timer.budget ->
+  ?par:Util.Par.t ->
   Rim.Model.t ->
   Prefs.Labeling.t ->
   (Prefs.Pattern.node * Prefs.Pattern.node) list ->

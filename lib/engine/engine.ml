@@ -96,6 +96,9 @@ type ctx = {
   lab_canon : int list array;
   budget : float;
   deadline : float option;
+  par : Util.Par.t;
+      (* intra-query capability handed to every solver call; inline when
+         the request asked for inter-session parallelism only *)
   master : Util.Rng.t;
   cache : (key, float) Lru.t option;
   mutable hits : int; (* distinct requests answered by the cache *)
@@ -110,6 +113,10 @@ let make_ctx (t : t) (req : Request.t) lab lab_canon =
     lab_canon;
     budget = req.Request.budget;
     deadline = req.Request.deadline;
+    par =
+      (match req.Request.parallelism with
+      | `Intra -> Pool.sharer t.pool
+      | `Inter -> Util.Par.inline);
     master = Util.Rng.make req.Request.seed;
     cache = t.cache;
     hits = 0;
@@ -126,7 +133,8 @@ let solve_one ctx (s : Ppd.Database.session) union rng =
   let budget =
     if ctx.budget > 0. then Some (Util.Timer.budget ctx.budget) else None
   in
-  Hardq.Solver.prob ?budget ctx.solver s.Ppd.Database.model ctx.lab union rng
+  Hardq.Solver.prob ?budget ~par:ctx.par ctx.solver s.Ppd.Database.model ctx.lab
+    union rng
 
 (* The memoized Mallows -> RIM conversion mutates the model record; force it
    before entering the parallel phase so workers only ever read it. *)

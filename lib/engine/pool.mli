@@ -1,11 +1,18 @@
-(** A fixed-size pool of OCaml 5 domains running chunked parallel-for tasks.
+(** A fixed-size pool of OCaml 5 domains running chunked parallel-for
+    tasks, with work sharing for nested parallelism.
 
-    The pool spawns its worker domains once; between tasks they block on a
-    condition variable, so creating a pool is cheap to keep around for the
-    lifetime of a CLI invocation or benchmark run. The calling domain
-    participates in every task: a pool of size [j] computes with [j] domains
-    ([j - 1] spawned workers plus the caller), and [size = 1] spawns no
-    domains at all and runs tasks inline. *)
+    The pool spawns its worker domains once; between tasks they block on
+    a condition variable, so creating a pool is cheap to keep around for
+    the lifetime of a CLI invocation, server, or benchmark run. The
+    calling domain participates in every task: a pool of size [j]
+    computes with [j] domains ([j - 1] spawned workers plus the caller),
+    and [size = 1] spawns no domains at all and runs tasks inline.
+
+    {!share} may be called from inside a task body running on the pool:
+    the sub-task is published to the same workers, the publishing domain
+    drains it too, and when every worker is busy the publisher simply
+    executes all of it itself — the inline fallback that makes nesting
+    deadlock-free under saturation. *)
 
 type t
 
@@ -29,6 +36,18 @@ val run : t -> n:int -> (int -> unit) -> unit
 
     [body] must only write to per-index state (e.g. slot [i] of a results
     array): indices may run concurrently and in any order. *)
+
+val share : t -> n:int -> (int -> unit) -> unit
+(** The work-sharing combinator: same contract as {!run}, but safe to
+    call from inside a body already executing on this pool. Sub-task
+    indices are offered to idle workers; the caller always participates
+    and completes the whole loop itself when no worker is free, so
+    nesting can never deadlock, even with every domain busy. Counted
+    separately from {!run} in the [pool.*] observability counters. *)
+
+val sharer : t -> Util.Par.t
+(** The pool as a {!Util.Par.t} capability (backed by {!share}), for
+    injection into solver kernels. *)
 
 val shutdown : t -> unit
 (** Terminate and join the worker domains. The pool remains usable after

@@ -29,11 +29,18 @@ type t = {
          the evaluation aborts with [Util.Timer.Out_of_time]. The
          per-invocation [budget] cannot bound a request made of many small
          solver calls; the deadline is checked between them. *)
+  parallelism : [ `Inter | `Intra ];
+      (* [`Inter]: the pool only fans out across sessions (one solver call
+         per domain). [`Intra] (default): solver calls may additionally
+         fan their own work (IE terms, DP layers, enumeration chunks)
+         back into the same pool. Answers are bit-identical either way;
+         [`Intra] is what keeps every domain busy when one hard session
+         dominates the request. *)
 }
 
 let make ?(task = Boolean) ?(solver = Hardq.Solver.default_exact) ?(budget = 0.)
-    ?(seed = 42) ?deadline db query =
-  { db; query; task; solver; budget; seed; deadline }
+    ?(seed = 42) ?deadline ?(parallelism = `Intra) db query =
+  { db; query; task; solver; budget; seed; deadline; parallelism }
 
 let boolean = Boolean
 let count = Count

@@ -32,6 +32,12 @@ type t = {
           between solver invocations, so it bounds requests made of many
           small calls that the per-invocation [budget] cannot — the server
           maps per-request deadlines onto both. *)
+  parallelism : [ `Inter | `Intra ];
+      (** [`Inter] fans out only across sessions; [`Intra] (the default)
+          additionally lets each solver call fan its own inclusion–
+          exclusion terms, DP layers and enumeration chunks back into the
+          engine pool. Answers are bit-identical either way — the knob
+          only trades scheduling. *)
 }
 
 val make :
@@ -40,11 +46,13 @@ val make :
   ?budget:float ->
   ?seed:int ->
   ?deadline:float ->
+  ?parallelism:[ `Inter | `Intra ] ->
   Ppd.Database.t ->
   Ppd.Query.t ->
   t
 (** Defaults: [task = Boolean], [solver = Hardq.Solver.default_exact],
-    [budget = 0.] (no limit), [seed = 42], no deadline. *)
+    [budget = 0.] (no limit), [seed = 42], no deadline,
+    [parallelism = `Intra]. *)
 
 val boolean : task
 val count : task

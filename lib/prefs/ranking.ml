@@ -126,6 +126,11 @@ let all m f =
   if m > 10 then invalid_arg "Ranking.all: m > 10 would enumerate > 3.6M rankings";
   Util.Combinat.iter_permutations m (fun a -> f (Array.copy a))
 
+let all_range m ~lo ~hi f =
+  if m > 10 then
+    invalid_arg "Ranking.all_range: m > 10 would enumerate > 3.6M rankings";
+  Util.Combinat.iter_permutations_range m ~lo ~hi (fun a -> f (Array.copy a))
+
 let discordant_with_reference ~reference t =
   let refpos = Hashtbl.create (Array.length reference) in
   Array.iteri (fun p x -> Hashtbl.add refpos x p) reference;

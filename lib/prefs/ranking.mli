@@ -69,6 +69,13 @@ val all : int -> (t -> unit) -> unit
 (** [all m f] iterates over all [m!] rankings of [0..m-1]. For test
     oracles; guarded to [m <= 10]. *)
 
+val all_range : int -> lo:int -> hi:int -> (t -> unit) -> unit
+(** [all_range m ~lo ~hi f] iterates the rankings of lexicographic ranks
+    [lo .. hi-1] (see {!Util.Combinat.iter_permutations_range}); chunking
+    [[0, m!)] into contiguous ranges visits every ranking of one full
+    enumeration exactly once, in a fixed order independent of the
+    chunking. Guarded to [m <= 10]. *)
+
 val discordant_with_reference : reference:t -> t -> int
 (** Like {!kendall_tau} but [t] may rank a subset of [reference]'s items:
     counts pairs of [t]-items ordered differently than in [reference]. *)

@@ -33,6 +33,14 @@ let check ?(eps = 1e-9) ?(budget = 0.5) ?(approx = true) ?(extra = []) (case : P
   let n_checks = ref 0 in
   let ran fmt = Printf.ksprintf (fun _ -> incr n_checks) fmt in
   let b () = Util.Timer.budget budget in
+  (* Work-sharing pool for the intra-query parallel solver rows. Created
+     lazily (most cases never get past cheaper failures) and shut down on
+     every exit path. *)
+  let pool = lazy (Engine.Pool.create ~jobs:2 ()) in
+  let par () = Engine.Pool.sharer (Lazy.force pool) in
+  Fun.protect ~finally:(fun () ->
+      if Lazy.is_val pool then Engine.Pool.shutdown (Lazy.force pool))
+  @@ fun () ->
   try
     let compiled =
       try Ppd.Compile.compile db query with
@@ -53,9 +61,13 @@ let check ?(eps = 1e-9) ?(budget = 0.5) ?(approx = true) ?(extra = []) (case : P
             let model = Rim.Mallows.to_rim mal in
             let kind = Prefs.Pattern_union.kind u in
             let exact name s = (name, Hardq.Solver.exact_prob ~budget:(b ()) s model lab u) in
+            let exact_par name s =
+              (name, Hardq.Solver.exact_prob ~budget:(b ()) ~par:(par ()) s model lab u)
+            in
             let matrix =
               (if m <= brute_max then [ exact "brute" `Brute ] else [])
               @ [ exact "general" `General; exact "auto" `Auto ]
+              @ [ exact_par "general-par" `General; exact_par "auto-par" `Auto ]
               @ (if kind = Prefs.Pattern_union.Two_label then
                    [ exact "two_label" `Two_label ]
                  else [])
@@ -64,6 +76,19 @@ let check ?(eps = 1e-9) ?(budget = 0.5) ?(approx = true) ?(extra = []) (case : P
                  else [])
               @ List.map (fun (name, fn) -> (name, fn model lab u)) extra
             in
+            (* The parallel rows also pass through the eps matrix below,
+               but their real contract is stronger: bit-identity with the
+               sequential run, whatever the pool width. *)
+            List.iter
+              (fun seq_name ->
+                let p_seq = List.assoc seq_name matrix
+                and p_par = List.assoc (seq_name ^ "-par") matrix in
+                if p_seq <> p_par then
+                  fail
+                    (Printf.sprintf "%s par bit-identity" seq_name)
+                    "session %d: seq=%.17g par=%.17g" i p_seq p_par;
+                ran "par-bit %s" seq_name)
+              [ "general"; "auto" ];
             let ref_name, ref_p = List.hd matrix in
             if not (ref_p >= -.eps && ref_p <= 1. +. eps) then
               fail "probability in [0,1]" "session %d: %s returned %.17g" i ref_name ref_p;

@@ -7,6 +7,9 @@
 
     - brute-force [m!] enumeration (the ground truth, [m ≤ 7]);
     - the general inclusion–exclusion solver — always;
+    - the general and [`Auto] solvers again under a 2-domain
+      work-sharing pool ("general-par"/"auto-par") — these must match
+      their sequential rows bit for bit, not merely within [eps];
     - the two-label DP — unions classified [Two_label];
     - the optimized and basic bipartite DPs — unions up to [Bipartite];
     - [`Auto] dispatch — always (must match whatever it picked);

@@ -87,12 +87,24 @@ type eval = {
   seed : int;
   timeout_ms : float option;
   per_session : bool;
+  parallelism : [ `Inter | `Intra ] option;
+      (* None: use the server's configured default. Either way the answer
+         is bit-identical; the knob only chooses whether one solver call
+         may fan its own work across the engine pool. *)
 }
 
 let eval ?(task = Engine.Request.Boolean) ?(solver = Hardq.Solver.default_exact)
-    ?(budget = 0.) ?(seed = 42) ?timeout_ms ?(per_session = false) dataset query
-    =
-  { dataset; query; task; solver; budget; seed; timeout_ms; per_session }
+    ?(budget = 0.) ?(seed = 42) ?timeout_ms ?(per_session = false) ?parallelism
+    dataset query =
+  { dataset; query; task; solver; budget; seed; timeout_ms; per_session;
+    parallelism }
+
+let parallelism_to_string = function `Inter -> "inter" | `Intra -> "intra"
+
+let parallelism_of_string = function
+  | "inter" -> Some `Inter
+  | "intra" -> Some `Intra
+  | _ -> None
 
 type request = { id : Json.t option; op : op }
 and op = Eval of eval | Metrics | Ping
@@ -154,6 +166,10 @@ let request_to_json (r : request) =
           ]
         @ (match e.timeout_ms with
           | Some ms -> [ ("timeout_ms", Json.Float ms) ]
+          | None -> [])
+        @ (match e.parallelism with
+          | Some p ->
+              [ ("parallelism", Json.String (parallelism_to_string p)) ]
           | None -> [])
         @ if e.per_session then [ ("per_session", Json.Bool true) ] else [])
 
@@ -263,7 +279,18 @@ let eval_of_json json =
         | None -> bad "field \"timeout_ms\" must be a number")
   in
   let* per_session = field_bool json "per_session" ~default:false in
-  Ok { dataset; query; task; solver; budget; seed; timeout_ms; per_session }
+  let* parallelism =
+    match Json.member "parallelism" json with
+    | None -> Ok None
+    | Some (Json.String s) -> (
+        match parallelism_of_string s with
+        | Some p -> Ok (Some p)
+        | None -> bad "field \"parallelism\" must be \"inter\" or \"intra\"")
+    | Some _ -> bad "field \"parallelism\" must be \"inter\" or \"intra\""
+  in
+  Ok
+    { dataset; query; task; solver; budget; seed; timeout_ms; per_session;
+      parallelism }
 
 let request_of_json json =
   match json with

@@ -63,6 +63,10 @@ type eval = {
   seed : int;
   timeout_ms : float option;  (** wall-clock deadline for this request *)
   per_session : bool;  (** include per-session marginals in the reply *)
+  parallelism : [ `Inter | `Intra ] option;
+      (** JSON field ["parallelism"]: ["inter"] or ["intra"]. [None]
+          defers to the server's configured default. Answers are
+          bit-identical either way. *)
 }
 
 val eval :
@@ -72,11 +76,13 @@ val eval :
   ?seed:int ->
   ?timeout_ms:float ->
   ?per_session:bool ->
+  ?parallelism:[ `Inter | `Intra ] ->
   dataset_spec ->
   Ppd.Query.t ->
   eval
 (** Defaults mirror [Engine.Request.make]: Boolean task, [`Auto] solver,
-    no budget, seed 42, no deadline, no per-session marginals. *)
+    no budget, seed 42, no deadline, no per-session marginals, server's
+    parallelism default. *)
 
 type request = { id : Json.t option; op : op }
 

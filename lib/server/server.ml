@@ -20,6 +20,9 @@ type config = {
   metrics_path : string option;
   preload : Protocol.dataset_spec list;
   quiet : bool;
+  intra : bool;
+      (* default Request parallelism for evals that don't specify one:
+         true = solver calls may fan intra-query work into the pool *)
 }
 
 let default_config address =
@@ -35,6 +38,7 @@ let default_config address =
     metrics_path = None;
     preload = [];
     quiet = true;
+    intra = true;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -186,9 +190,14 @@ let run_eval t (job : job) start =
       let budget, deadline_limited =
         effective_budget t e job.deadline start
       in
+      let parallelism =
+        match e.Protocol.parallelism with
+        | Some p -> p
+        | None -> if t.cfg.intra then `Intra else `Inter
+      in
       let req =
         Engine.Request.make ~task:e.Protocol.task ~solver:e.Protocol.solver
-          ~budget ~seed:e.Protocol.seed ?deadline:job.deadline db
+          ~budget ~seed:e.Protocol.seed ?deadline:job.deadline ~parallelism db
           e.Protocol.query
       in
       match

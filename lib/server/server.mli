@@ -54,6 +54,10 @@ type config = {
   metrics_path : string option;  (** flush an Obs snapshot here on drain *)
   preload : Protocol.dataset_spec list;  (** synthesized at {!start} *)
   quiet : bool;  (** suppress the stderr lifecycle log lines *)
+  intra : bool;
+      (** default parallelism for evals without a ["parallelism"] field:
+          [true] lets each solver call fan intra-query work into the
+          engine pool. Answers are bit-identical either way. *)
 }
 
 val default_config : Protocol.address -> config
@@ -61,7 +65,7 @@ val default_config : Protocol.address -> config
     connections, no default timeout, 1 MiB lines, no metrics path, no
     preloads, quiet (the binary's [--quiet] flag opts into silence
     explicitly; library embedders flip [quiet] off when they want the
-    lifecycle log). *)
+    lifecycle log), intra-query parallelism on. *)
 
 type t
 

@@ -25,6 +25,68 @@ let iter_permutations n f =
     end
   done
 
+(* Lexicographic-order enumeration with random access by rank, so a
+   permutation sum can be split into independently enumerable chunks.
+   Rank r's factorial digits select, left to right, which of the still
+   unused values comes next. *)
+let unrank_permutation n rank =
+  if n < 0 || n > 20 then invalid_arg "Combinat.unrank_permutation: out of range";
+  if rank < 0 || rank >= factorial n then
+    invalid_arg "Combinat.unrank_permutation: rank out of range";
+  let avail = Array.init n (fun i -> i) in
+  let out = Array.make n 0 in
+  let r = ref rank in
+  for i = 0 to n - 1 do
+    let f = factorial (n - 1 - i) in
+    let d = !r / f in
+    r := !r mod f;
+    out.(i) <- avail.(d);
+    (* shift the tail left to keep [avail] sorted *)
+    for k = d to n - 2 - i do
+      avail.(k) <- avail.(k + 1)
+    done
+  done;
+  out
+
+(* In-place lexicographic successor; false at the last permutation. *)
+let next_permutation a =
+  let n = Array.length a in
+  let i = ref (n - 2) in
+  while !i >= 0 && a.(!i) >= a.(!i + 1) do
+    decr i
+  done;
+  if !i < 0 then false
+  else begin
+    let j = ref (n - 1) in
+    while a.(!j) <= a.(!i) do
+      decr j
+    done;
+    let tmp = a.(!i) in
+    a.(!i) <- a.(!j);
+    a.(!j) <- tmp;
+    let lo = ref (!i + 1) and hi = ref (n - 1) in
+    while !lo < !hi do
+      let tmp = a.(!lo) in
+      a.(!lo) <- a.(!hi);
+      a.(!hi) <- tmp;
+      incr lo;
+      decr hi
+    done;
+    true
+  end
+
+let iter_permutations_range n ~lo ~hi f =
+  let total = factorial n in
+  let lo = max 0 lo and hi = min hi total in
+  if lo < hi then begin
+    let a = unrank_permutation n lo in
+    f a;
+    for _ = lo + 1 to hi - 1 do
+      ignore (next_permutation a : bool);
+      f a
+    done
+  end
+
 let iter_subsets l f =
   let rec go acc = function
     | [] -> f (List.rev acc)

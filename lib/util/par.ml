@@ -1,0 +1,27 @@
+(* A first-class parallel-for capability, injected into compute kernels.
+
+   The solver layer cannot depend on the engine's domain pool (the
+   dependency points the other way), so parallel kernels take a [Par.t]
+   describing how to fan a loop out — [inline] runs the body on the
+   calling domain, and the engine passes a pool-backed instance built
+   with [make]. Kernels must stay bit-deterministic whatever the width:
+   the contract is that [share t ~n body] runs [body i] exactly once for
+   every [i], concurrently and in any order, so bodies may only write
+   per-index state and every reduction must happen in a fixed order
+   afterwards. *)
+
+type t = { width : int; run : n:int -> (int -> unit) -> unit }
+
+let run_inline ~n body =
+  for i = 0 to n - 1 do
+    body i
+  done
+
+let inline = { width = 1; run = run_inline }
+let make ~width run = { width = max 1 width; run }
+let width t = t.width
+
+let share t ~n body =
+  if n <= 0 then ()
+  else if t.width <= 1 || n = 1 then run_inline ~n body
+  else t.run ~n body

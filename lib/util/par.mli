@@ -1,0 +1,31 @@
+(** A first-class parallel-for capability.
+
+    Compute kernels (the exact solvers, the samplers) accept a [Par.t]
+    instead of depending on a concrete thread pool: [inline] executes
+    loop bodies on the calling domain, and the engine injects a
+    pool-backed instance so one query can fan sub-tasks across domains.
+
+    Determinism contract: [share t ~n body] runs [body i] exactly once
+    for each [i] in [0 .. n-1], possibly concurrently and in any order.
+    Bodies must only write per-index state (e.g. slot [i] of a results
+    array); callers reduce the slots afterwards in a fixed order, so
+    results are bit-identical whatever [width] is. *)
+
+type t
+
+val inline : t
+(** Runs every loop on the calling domain; [width inline = 1]. *)
+
+val make : width:int -> (n:int -> (int -> unit) -> unit) -> t
+(** [make ~width run] wraps a parallel-for implementation. [run ~n body]
+    must call [body i] exactly once per index and return only when all
+    indices completed; if a body raises, it must re-raise one such
+    exception after the loop drains. [width] is clamped to at least 1
+    and is advisory: kernels use it to size and gate their fan-out. *)
+
+val width : t -> int
+(** Advisory parallelism width ([1] for {!inline}). *)
+
+val share : t -> n:int -> (int -> unit) -> unit
+(** [share t ~n body] runs the loop through [t]. [n <= 0] is a no-op;
+    [n = 1] and [width t = 1] short-circuit to the calling domain. *)

@@ -62,6 +62,28 @@ let random_general_pattern r ~n_labels ~n_nodes =
 
 let random_union pat_gen r ~z = Prefs.Pattern_union.make (List.init z (fun _ -> pat_gen r))
 
+(* Domain-count matrix: [HARDQ_TEST_DOMAINS] selects how many domains the
+   intra-query parallelism suite computes with — "1" (everything inline),
+   "2" (the smallest genuinely parallel pool), or "recommended" (one
+   domain per available core). `make ci` loops over all three; a plain
+   run uses 2 so the parallel code paths are always exercised. Test
+   names echo the setting so a failure report pins the configuration. *)
+let test_domains =
+  match Sys.getenv_opt "HARDQ_TEST_DOMAINS" with
+  | None -> 2
+  | Some s -> (
+      match String.lowercase_ascii (String.trim s) with
+      | "recommended" -> max 1 (Domain.recommended_domain_count ())
+      | s -> (
+          match int_of_string_opt s with
+          | Some n when n >= 1 -> n
+          | _ ->
+              invalid_arg
+                (Printf.sprintf
+                   "HARDQ_TEST_DOMAINS=%S: expected 1, 2 or \"recommended\"" s)))
+
+let domains_label = Printf.sprintf "[%d domains]" test_domains
+
 (* Every QCheck property runs from a fixed random state so failures are
    reproducible; [SEED=n] in the environment reruns the whole suite on a
    different stream, and the seed in use is part of the test name so a
