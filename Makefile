@@ -1,4 +1,4 @@
-.PHONY: all build test bench check ci par-matrix smoke-bench smoke-server qa-replay qa-fuzz fmt clean
+.PHONY: all build test bench check ci par-matrix smoke-bench smoke-server cache-diff bench-cache qa-replay qa-fuzz fmt clean
 
 all: build
 
@@ -22,6 +22,7 @@ ci:
 	$(MAKE) par-matrix
 	$(MAKE) smoke-bench
 	$(MAKE) smoke-server
+	$(MAKE) cache-diff
 	$(MAKE) qa-replay
 	$(MAKE) qa-fuzz
 	@if command -v ocamlformat >/dev/null 2>&1; then \
@@ -55,6 +56,21 @@ smoke-bench:
 smoke-server:
 	dune build bin/hardq_server.exe bin/hardq_client.exe bin/hardq_qa.exe
 	sh scripts/server_smoke.sh
+
+# Sub-answer cache differential: a repeated-shape load over the wire
+# must clear a 50% sub-answer hit rate with a clean warm pass (loadgen
+# exits non-zero otherwise) — the end-to-end gate on the two-tier store
+# and batch scheduler. (Answer bit-identity under the cache is asserted
+# by the QA oracle inside `dune runtest`.)
+cache-diff:
+	dune build bench/loadgen.exe
+	dune exec bench/loadgen.exe -- --connections 4 --requests 20 \
+	  --size 6 --sessions 30 --cache-out /tmp/BENCH_cache_ci.json >/dev/null
+
+# Refresh the committed cache benchmark document (BENCH_cache.json).
+bench-cache:
+	dune build bench/loadgen.exe
+	dune exec bench/loadgen.exe -- --cache-out BENCH_cache.json
 
 # Replay the committed regression corpus: every case must pass the full
 # differential oracle (failures print the offending check and file).

@@ -26,11 +26,11 @@ let run ~full () =
         (fun (name, strategy) ->
           let rng = Util.Rng.make 1 in
           let report, dt =
-            Util.Timer.time (fun () -> Ppd.Eval.top_k ~strategy ~k db q rng)
+            Util.Timer.time (fun () -> Ppd.Solve.top_k ~strategy ~k db q rng)
           in
           Exp_util.row
             "  %-8s total %9.4fs  (bounds %8.4fs + exact %8.4fs, %4d exact evals)"
-            name dt report.Ppd.Eval.bound_time report.Ppd.Eval.exact_time
-            report.Ppd.Eval.n_exact)
+            name dt report.Ppd.Solve.bound_time report.Ppd.Solve.exact_time
+            report.Ppd.Solve.n_exact)
         [ ("full", `Naive); ("1-edge", `Edges 1); ("2-edge", `Edges 2) ])
     ks

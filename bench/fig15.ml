@@ -34,7 +34,7 @@ let run ~full () =
   List.iter
     (fun (n, naive_too) ->
       let db = Datasets.Crowdrank.generate ~n_workers:n ~seed:151 () in
-      Engine.with_engine ~jobs:1 (fun engine ->
+      Engine.with_engine Engine.Config.(default |> with_jobs 1) (fun engine ->
           let req = Engine.Request.make ~task:Engine.Request.Count ~solver ~seed:9 db q in
           let eval () =
             let t0 = Util.Timer.wall () in
@@ -59,7 +59,7 @@ let run ~full () =
           if naive_too then begin
             let _, t_naive =
               Util.Timer.time (fun () ->
-                  Ppd.Eval.count_sessions ~solver ~group:false db q
+                  Ppd.Solve.count_sessions ~solver ~group:false db q
                     (Util.Rng.make 9))
             in
             Exp_util.row

@@ -9,16 +9,26 @@
    socket (measuring the full wire path without port juggling); pass
    --connect ADDR to target an external hardq-server.
 
+   With --cache-out PATH it instead measures the sub-answer cache on a
+   repeated-shape workload: the same closed loop is run twice against
+   one server — a cold pass (first touch solves, later requests hit or
+   join) and a warm pass (the store is full) — and the per-reply "cache"
+   stats blocks are aggregated into ONE JSON line with cold/warm
+   hit-rate and latency columns (written to stdout and PATH, e.g.
+   BENCH_cache.json). Exits non-zero unless the overall sub-answer hit
+   rate clears 50% — the regression gate for the reuse machinery.
+
    Usage:
      dune exec bench/loadgen.exe -- [--connections 8] [--requests 25]
        [--dataset polls] [--size 8] [--sessions 50] [--timeout-ms MS]
-       [--queue N] [--workers N] [--connect ADDR] [--out PATH] *)
+       [--queue N] [--workers N] [--connect ADDR] [--out PATH]
+       [--cache-out PATH] *)
 
 let usage () =
   prerr_endline
     "usage: loadgen [--connections N] [--requests N] [--dataset NAME]\n\
     \  [--size N] [--sessions N] [--timeout-ms MS] [--queue N] [--workers N]\n\
-    \  [--connect ADDR] [--out PATH]";
+    \  [--connect ADDR] [--out PATH] [--cache-out PATH]";
   exit 2
 
 type opts = {
@@ -32,6 +42,7 @@ type opts = {
   mutable workers : int;
   mutable connect : string option;
   mutable out : string;
+  mutable cache_out : string option;
 }
 
 let parse_args () =
@@ -47,6 +58,7 @@ let parse_args () =
       workers = 2;
       connect = None;
       out = "BENCH_server.json";
+      cache_out = None;
     }
   in
   let rec go = function
@@ -61,6 +73,7 @@ let parse_args () =
     | "--workers" :: v :: rest -> o.workers <- int_of_string v; go rest
     | "--connect" :: v :: rest -> o.connect <- Some v; go rest
     | "--out" :: v :: rest -> o.out <- v; go rest
+    | "--cache-out" :: v :: rest -> o.cache_out <- Some v; go rest
     | arg :: _ -> Printf.eprintf "loadgen: unknown argument %s\n" arg; usage ()
   in
   (try go (List.tl (Array.to_list Sys.argv))
@@ -108,77 +121,175 @@ let () =
       ?timeout_ms:(if o.timeout_ms > 0. then Some o.timeout_ms else None)
       spec query
   in
-  (* Per-thread latency buckets; merged after the join. *)
-  let lat = Array.init o.connections (fun _ -> ref []) in
-  let ok = Atomic.make 0 and shed = Atomic.make 0 and failed = Atomic.make 0 in
-  let t0 = Util.Timer.now () in
-  let threads =
-    List.init o.connections (fun i ->
-        Thread.create
-          (fun () ->
-            let client = Server.Client.connect ~retries:40 address in
-            Fun.protect ~finally:(fun () -> Server.Client.close client)
-            @@ fun () ->
-            for _ = 1 to o.requests do
-              let r0 = Util.Timer.now () in
-              (match Server.Client.eval client eval with
-              | Ok (Server.Protocol.Answer _) ->
-                  Atomic.incr ok;
-                  lat.(i) := (Util.Timer.now () -. r0) :: !(lat.(i))
-              | Ok (Server.Protocol.Err { code = Server.Protocol.Overloaded; _ })
-                ->
-                  Atomic.incr shed
-              | Ok _ | Error _ -> Atomic.incr failed)
-            done)
-          ())
+  (* One closed-loop pass: C connections x R back-to-back requests.
+     Latencies are bucketed per thread and merged after the join; the
+     per-reply "cache" stats blocks (when the server sends them) are
+     summed into the five sub-answer counters. *)
+  let run_pass () =
+    let lat = Array.init o.connections (fun _ -> ref []) in
+    let ok = Atomic.make 0 and shed = Atomic.make 0 and failed = Atomic.make 0 in
+    let a_hits = Atomic.make 0
+    and a_misses = Atomic.make 0
+    and sf_joins = Atomic.make 0
+    and t_hits = Atomic.make 0
+    and t_misses = Atomic.make 0 in
+    let t0 = Util.Timer.now () in
+    let threads =
+      List.init o.connections (fun i ->
+          Thread.create
+            (fun () ->
+              let client = Server.Client.connect ~retries:40 address in
+              Fun.protect ~finally:(fun () -> Server.Client.close client)
+              @@ fun () ->
+              for _ = 1 to o.requests do
+                let r0 = Util.Timer.now () in
+                (match Server.Client.eval client eval with
+                | Ok (Server.Protocol.Answer { stats; _ }) ->
+                    Atomic.incr ok;
+                    lat.(i) := (Util.Timer.now () -. r0) :: !(lat.(i));
+                    (match stats.Server.Protocol.cache with
+                    | Some c ->
+                        let add a n = ignore (Atomic.fetch_and_add a n) in
+                        add a_hits c.Server.Protocol.answer_hits;
+                        add a_misses c.Server.Protocol.answer_misses;
+                        add sf_joins c.Server.Protocol.sf_joins;
+                        add t_hits c.Server.Protocol.term_hits;
+                        add t_misses c.Server.Protocol.term_misses
+                    | None -> ())
+                | Ok
+                    (Server.Protocol.Err
+                      { code = Server.Protocol.Overloaded; _ }) ->
+                    Atomic.incr shed
+                | Ok _ | Error _ -> Atomic.incr failed)
+              done)
+            ())
+    in
+    List.iter Thread.join threads;
+    let wall_s = Util.Timer.now () -. t0 in
+    let latencies =
+      Array.of_list (List.concat_map (fun l -> !l) (Array.to_list lat))
+    in
+    Array.sort compare latencies;
+    ( Atomic.get ok,
+      Atomic.get shed,
+      Atomic.get failed,
+      wall_s,
+      latencies,
+      ( Atomic.get a_hits,
+        Atomic.get a_misses,
+        Atomic.get sf_joins,
+        Atomic.get t_hits,
+        Atomic.get t_misses ) )
   in
-  List.iter Thread.join threads;
-  let wall_s = Util.Timer.now () -. t0 in
-  (match started with Some server -> Server.drain server | None -> ());
-  let latencies =
-    Array.of_list (List.concat_map (fun l -> !l) (Array.to_list lat))
-  in
-  Array.sort compare latencies;
   let ms x = x *. 1e3 in
-  let n_ok = Atomic.get ok in
-  let mean =
-    if n_ok = 0 then 0.
-    else Array.fold_left ( +. ) 0. latencies /. float_of_int n_ok
+  let latency_block latencies n_ok =
+    let mean =
+      if n_ok = 0 then 0.
+      else Array.fold_left ( +. ) 0. latencies /. float_of_int n_ok
+    in
+    Server.Json.Obj
+      [
+        ("mean", Float (ms mean));
+        ("p50", Float (ms (percentile latencies 0.50)));
+        ("p95", Float (ms (percentile latencies 0.95)));
+        ("p99", Float (ms (percentile latencies 0.99)));
+        ( "max",
+          Float
+            (ms
+               (if Array.length latencies = 0 then 0.
+                else latencies.(Array.length latencies - 1))) );
+      ]
   in
-  let line =
-    Server.Json.to_string
-      (Server.Json.Obj
-         [
-           ("bench", String "server_loadgen");
-           ("dataset", String o.dataset);
-           ("size", Int o.size);
-           ("sessions", Int o.sessions);
-           ("connections", Int o.connections);
-           ("requests_per_connection", Int o.requests);
-           ("ok", Int n_ok);
-           ("shed", Int (Atomic.get shed));
-           ("failed", Int (Atomic.get failed));
-           ("wall_s", Float wall_s);
-           ( "throughput_rps",
-             Float (if wall_s > 0. then float_of_int n_ok /. wall_s else 0.) );
-           ( "latency_ms",
-             Obj
-               [
-                 ("mean", Float (ms mean));
-                 ("p50", Float (ms (percentile latencies 0.50)));
-                 ("p95", Float (ms (percentile latencies 0.95)));
-                 ("p99", Float (ms (percentile latencies 0.99)));
-                 ( "max",
-                   Float
-                     (ms
-                        (if Array.length latencies = 0 then 0.
-                         else latencies.(Array.length latencies - 1))) );
-               ] );
-         ])
+  let emit path line =
+    print_endline line;
+    let oc = open_out path in
+    output_string oc line;
+    output_char oc '\n';
+    close_out oc
   in
-  print_endline line;
-  let oc = open_out o.out in
-  output_string oc line;
-  output_char oc '\n';
-  close_out oc;
-  exit (if Atomic.get failed = 0 then 0 else 1)
+  match o.cache_out with
+  | None ->
+      let n_ok, n_shed, n_failed, wall_s, latencies, _cache = run_pass () in
+      (match started with Some server -> Server.drain server | None -> ());
+      let line =
+        Server.Json.to_string
+          (Server.Json.Obj
+             [
+               ("bench", String "server_loadgen");
+               ("dataset", String o.dataset);
+               ("size", Int o.size);
+               ("sessions", Int o.sessions);
+               ("connections", Int o.connections);
+               ("requests_per_connection", Int o.requests);
+               ("ok", Int n_ok);
+               ("shed", Int n_shed);
+               ("failed", Int n_failed);
+               ("wall_s", Float wall_s);
+               ( "throughput_rps",
+                 Float (if wall_s > 0. then float_of_int n_ok /. wall_s else 0.)
+               );
+               ("latency_ms", latency_block latencies n_ok);
+             ])
+      in
+      emit o.out line;
+      exit (if n_failed = 0 then 0 else 1)
+  | Some cache_path ->
+      (* Two passes against ONE server: the first touches every
+         sub-problem (cold), the second re-reads the full store
+         (warm). The split is what BENCH_cache.json's columns mean. *)
+      let cold = run_pass () in
+      let warm = run_pass () in
+      (match started with Some server -> Server.drain server | None -> ());
+      let hit_rate (h, m, j, _, _) =
+        let total = h + m + j in
+        if total = 0 then 0. else float_of_int (h + j) /. float_of_int total
+      in
+      let pass_block (n_ok, n_shed, n_failed, wall_s, latencies, cache) =
+        let h, m, j, th, tm = cache in
+        Server.Json.Obj
+          [
+            ("ok", Int n_ok);
+            ("shed", Int n_shed);
+            ("failed", Int n_failed);
+            ("wall_s", Float wall_s);
+            ( "throughput_rps",
+              Float (if wall_s > 0. then float_of_int n_ok /. wall_s else 0.) );
+            ("answer_hits", Int h);
+            ("answer_misses", Int m);
+            ("sf_joins", Int j);
+            ("term_hits", Int th);
+            ("term_misses", Int tm);
+            ("hit_rate", Float (hit_rate cache));
+            ("latency_ms", latency_block latencies n_ok);
+          ]
+      in
+      let cache_of (_, _, _, _, _, c) = c
+      and failed_of (_, _, f, _, _, _) = f in
+      let overall =
+        let (h1, m1, j1, _, _) = cache_of cold and (h2, m2, j2, _, _) = cache_of warm in
+        hit_rate (h1 + h2, m1 + m2, j1 + j2, 0, 0)
+      in
+      let line =
+        Server.Json.to_string
+          (Server.Json.Obj
+             [
+               ("bench", String "server_cache");
+               ("dataset", String o.dataset);
+               ("size", Int o.size);
+               ("sessions", Int o.sessions);
+               ("connections", Int o.connections);
+               ("requests_per_connection", Int o.requests);
+               ("cold", pass_block cold);
+               ("warm", pass_block warm);
+               ("overall_hit_rate", Float overall);
+             ])
+      in
+      emit cache_path line;
+      if failed_of cold + failed_of warm > 0 then exit 1;
+      (* the regression gate: a repeated-shape workload that does not
+         reuse most of its sub-answers means the cache is broken *)
+      if overall <= 0.5 then (
+        Printf.eprintf "loadgen: overall sub-answer hit rate %.3f <= 0.5\n"
+          overall;
+        exit 1);
+      exit 0

@@ -107,7 +107,7 @@ let engine_scaling () =
   let db = Datasets.Polls.generate ~n_candidates:16 ~n_voters:1000 ~seed:77 () in
   let q = Ppd.Parser.parse Datasets.Polls.query_two_label in
   let eval_with jobs =
-    Engine.with_engine ~jobs ~cache:false (fun engine ->
+    Engine.with_engine Engine.Config.(default |> with_jobs jobs |> with_cache false) (fun engine ->
         let req = Engine.Request.make ~seed:77 db q in
         let t0 = Util.Timer.wall () in
         let resp = Engine.eval engine req in

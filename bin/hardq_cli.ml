@@ -118,7 +118,10 @@ let with_obs metrics_json trace f =
   if trace then Format.eprintf "%a" Obs.pp_trace ();
   code
 
-let with_jobs jobs = if jobs <= 0 then None else Some jobs
+(* [--jobs 0] = engine default (one domain per core) = Config.default. *)
+let engine_config jobs cache =
+  let cfg = Engine.Config.(default |> with_cache cache) in
+  if jobs <= 0 then cfg else Engine.Config.with_jobs jobs cfg
 
 let print_stats show (resp : Engine.Response.t) =
   if show then Format.printf "%a@." Engine.Response.pp_stats resp.Engine.Response.stats
@@ -175,7 +178,7 @@ let eval_cmd =
         Format.printf "V+ = {%s}, itemwise: %b@."
           (String.concat ", " (Ppd.Compile.v_plus db q))
           (Ppd.Compile.is_itemwise db q);
-        Engine.with_engine ?jobs:(with_jobs jobs) ~cache (fun engine ->
+        Engine.with_engine (engine_config jobs cache) (fun engine ->
             let req =
               Engine.Request.make ~solver ~budget ~seed
                 ~parallelism:(parallelism_of intra) db q
@@ -217,7 +220,7 @@ let topk_cmd =
       k strategy metrics_json trace =
     with_obs metrics_json trace @@ fun () ->
     with_query dataset size sessions seed query (fun db q ->
-        Engine.with_engine ?jobs:(with_jobs jobs) ~cache (fun engine ->
+        Engine.with_engine (engine_config jobs cache) (fun engine ->
             let req =
               Engine.Request.make
                 ~task:(Engine.Request.top_k ~strategy k)

@@ -31,8 +31,28 @@ let jobs_arg =
   Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
 let cache_arg =
-  let doc = "Engine LRU cache capacity (entries)." in
+  let doc = "Answer-tier cache capacity (entries)." in
   Arg.(value & opt int 8192 & info [ "cache" ] ~docv:"N" ~doc)
+
+let term_cache_arg =
+  let doc =
+    "Term-tier cache capacity (solved IE conjunctions shared across \
+     queries over the same model; 0 disables the tier)."
+  in
+  Arg.(value & opt int 4096 & info [ "term-cache" ] ~docv:"N" ~doc)
+
+let batch_window_arg =
+  let doc =
+    "Batch-scheduler gather window in milliseconds: admitted requests \
+     with the same dataset, query, solver and seed wait up to this long \
+     to be evaluated as one engine batch (0 = dispatch immediately). \
+     Batching never changes answers."
+  in
+  Arg.(value & opt float 2. & info [ "batch-window-ms" ] ~docv:"MS" ~doc)
+
+let batch_max_arg =
+  let doc = "Flush a gather bucket once it holds this many requests." in
+  Arg.(value & opt int 16 & info [ "batch-max" ] ~docv:"N" ~doc)
 
 let intra_arg =
   let doc =
@@ -51,9 +71,8 @@ let queue_arg =
 
 let workers_arg =
   let doc =
-    "Evaluator threads. Evaluations are serialized on the engine (which \
-     parallelizes internally); extra workers overlap dataset synthesis \
-     and serialization with evaluation."
+    "Evaluator threads. The engine is thread-safe and single-flights \
+     duplicate sub-problems, so workers evaluate batches concurrently."
   in
   Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N" ~doc)
 
@@ -86,13 +105,16 @@ let preload_arg =
 let quiet_arg =
   Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress lifecycle log lines.")
 
-let run listen jobs cache intra queue workers max_connections timeout_ms
-    metrics_json preload quiet =
+let run listen jobs cache term_cache batch_window_ms batch_max intra queue
+    workers max_connections timeout_ms metrics_json preload quiet =
   let config =
     {
       (Server.default_config listen) with
       Server.jobs = (if jobs <= 0 then None else Some jobs);
       cache_capacity = cache;
+      term_cache_capacity = term_cache;
+      batch_window_ms;
+      batch_max;
       intra;
       queue_capacity = queue;
       workers;
@@ -128,7 +150,8 @@ let cmd =
   Cmd.v
     (Cmd.info "hardq-server" ~doc ~man)
     Term.(
-      const run $ listen_arg $ jobs_arg $ cache_arg $ intra_arg $ queue_arg
+      const run $ listen_arg $ jobs_arg $ cache_arg $ term_cache_arg
+      $ batch_window_arg $ batch_max_arg $ intra_arg $ queue_arg
       $ workers_arg $ max_connections_arg $ timeout_arg $ metrics_json_arg
       $ preload_arg $ quiet_arg)
 

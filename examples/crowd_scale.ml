@@ -13,7 +13,7 @@ let () =
     Hardq.Solver.Approx
       (Hardq.Solver.Mis_lite { d = 3; n_per = 200; compensate = true })
   in
-  Engine.with_engine ~jobs:1 (fun engine ->
+  Engine.with_engine Engine.Config.(default |> with_jobs 1) (fun engine ->
       List.iter
         (fun (n_workers, run_naive) ->
           let db = Datasets.Crowdrank.generate ~n_workers ~seed:13 () in
@@ -28,7 +28,7 @@ let () =
           if run_naive then begin
             let naive, t_naive =
               Util.Timer.time (fun () ->
-                  Ppd.Eval.count_sessions ~solver ~group:false db q
+                  Ppd.Solve.count_sessions ~solver ~group:false db q
                     (Util.Rng.make 5))
             in
             Format.printf

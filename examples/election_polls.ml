@@ -19,18 +19,18 @@ let () =
   Format.printf "Q2 (shared education, V+ = {%s}):@."
     (String.concat ", " (Ppd.Compile.v_plus db q2));
   let rng = Util.Rng.make 1 in
-  let p = Ppd.Eval.boolean_prob ~solver:(Hardq.Solver.Exact `Auto) db q2 rng in
+  let p = Ppd.Solve.boolean_prob ~solver:(Hardq.Solver.Exact `Auto) db q2 rng in
   Format.printf "  Pr(Q2 | D)          = %.6f@." p;
-  let c = Ppd.Eval.count_sessions ~solver:(Hardq.Solver.Exact `Auto) db q2 rng in
+  let c = Ppd.Solve.count_sessions ~solver:(Hardq.Solver.Exact `Auto) db q2 rng in
   Format.printf "  E[count(Q2)]        = %.2f sessions@.@." c;
 
   (* The Figure 4 query: male preferred to female of the same party. *)
   let q4 = Ppd.Parser.parse Datasets.Polls.query_two_label in
   Format.printf "Fig-4 query (same-party male over female):@.";
-  let exact = Ppd.Eval.count_sessions ~solver:(Hardq.Solver.Exact `Two_label) db q4 rng in
+  let exact = Ppd.Solve.count_sessions ~solver:(Hardq.Solver.Exact `Two_label) db q4 rng in
   Format.printf "  exact count          = %.2f@." exact;
   let approx =
-    Ppd.Eval.count_sessions ~solver:(Hardq.Solver.Approx (Hardq.Solver.Mis_adaptive { n_per = 300; delta_d = 5; d_max = 15; tol = 0.05 })) db q4 rng
+    Ppd.Solve.count_sessions ~solver:(Hardq.Solver.Approx (Hardq.Solver.Mis_adaptive { n_per = 300; delta_d = 5; d_max = 15; tol = 0.05 })) db q4 rng
   in
   Format.printf "  MIS-AMP-adaptive     = %.2f@.@." approx;
 
@@ -66,13 +66,13 @@ let () =
 
   (* Most-Probable-Session with the upper-bound optimization. *)
   Format.printf "Most-Probable-Session (top 3, 1-edge bounds):@.";
-  let report = Ppd.Eval.top_k ~strategy:(`Edges 1) ~k:3 db q4 rng in
+  let report = Ppd.Solve.top_k ~strategy:(`Edges 1) ~k:3 db q4 rng in
   List.iter
     (fun ((s : Ppd.Database.session), p) ->
       Format.printf "  %-12s %-6s Pr = %.4f@."
         (Ppd.Value.to_string s.Ppd.Database.key.(0))
         (Ppd.Value.to_string s.Ppd.Database.key.(1))
         p)
-    report.Ppd.Eval.results;
-  Format.printf "  exact evaluations: %d of %d sessions@." report.Ppd.Eval.n_exact
+    report.Ppd.Solve.results;
+  Format.printf "  exact evaluations: %d of %d sessions@." report.Ppd.Solve.n_exact
     (Array.length (Ppd.Database.sessions (Ppd.Database.find_p_relation db "P")))

@@ -44,7 +44,7 @@ let () =
   (* Evaluate per session with MIS-AMP-adaptive (the exact solvers are
      hopeless at m = 60 for this union). *)
   let probs =
-    Ppd.Eval.per_session
+    Ppd.Solve.per_session
       ~solver:
         (Hardq.Solver.Approx
            (Hardq.Solver.Mis_adaptive

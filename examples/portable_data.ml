@@ -34,8 +34,8 @@ let () =
   let rng = Util.Rng.make 3 in
   Format.printf "query: %a@." Ppd.Query.pp q;
   Format.printf "V+ = {%s}@." (String.concat ", " (Ppd.Compile.v_plus db q));
-  Format.printf "Pr(Q | D) = %.4f@." (Ppd.Eval.boolean_prob db q rng);
-  Format.printf "E[count]  = %.4f@.@." (Ppd.Eval.count_sessions db q rng);
+  Format.printf "Pr(Q | D) = %.4f@." (Ppd.Solve.boolean_prob db q rng);
+  Format.printf "E[count]  = %.4f@.@." (Ppd.Solve.count_sessions db q rng);
 
   (* Cross-check with the possible-world Monte-Carlo oracle. *)
   let mc = Ppd.World.estimate_prob ~n:20_000 db q (Util.Rng.make 4) in

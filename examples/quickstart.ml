@@ -61,4 +61,4 @@ let () =
   let db = Ppd.Database.make ~items ~preferences:[ prel ] () in
   let q = Ppd.Parser.parse "Q() :- P(_; x; y), C(x, \"prog\"), C(y, \"cons\")." in
   Format.printf "@.as a CQ:         %.6f@."
-    (Ppd.Eval.boolean_prob db q (Util.Rng.make 1))
+    (Ppd.Solve.boolean_prob db q (Util.Rng.make 1))

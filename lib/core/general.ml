@@ -19,8 +19,8 @@ let conjunctions gu =
    float is bit-identical to evaluating both. *)
 let term_key c = (Prefs.Pattern.nodes c, Prefs.Pattern.edges c)
 
-let prob_instrumented ?budget ?(par = Util.Par.inline) ?(memo = true) model lab
-    gu =
+let prob_instrumented ?budget ?(par = Util.Par.inline) ?(memo = true) ?cache
+    model lab gu =
   let obs = Obs.enabled () in
   let terms = Array.of_list (conjunctions gu) in
   let n = Array.length terms in
@@ -54,18 +54,51 @@ let prob_instrumented ?budget ?(par = Util.Par.inline) ?(memo = true) model lab
          incr k
        end)
      rep);
+  let probs = Array.make n 0. and secs = Array.make n 0. in
+  (* Cross-call term cache (capability-injected by the engine): look up
+     each representative before the parallel region, evaluate only the
+     misses, publish afterwards. [Pattern_solver.prob] is deterministic
+     and RNG-free, so a reused float is bit-identical to re-evaluating;
+     hits report zero seconds, like memo hits. Both closures run on the
+     calling domain only. *)
+  let solved = Array.make !n_reps false in
+  let n_unsolved = ref !n_reps in
+  (match cache with
+  | None -> ()
+  | Some c ->
+      Array.iteri
+        (fun k t ->
+          match c.Term_cache.find (fst terms.(t)) with
+          | Some p ->
+              probs.(t) <- p;
+              solved.(k) <- true;
+              decr n_unsolved
+          | None -> ())
+        reps);
+  let unsolved = Array.make !n_unsolved 0 in
+  (let k = ref 0 in
+   Array.iteri
+     (fun i t ->
+       if not solved.(i) then begin
+         unsolved.(!k) <- t;
+         incr k
+       end)
+     reps);
   (* Representatives evaluate in parallel, each into its own slot; with
      the inline capability this degenerates to the sequential loop. The
      DP layers of each term share the same pool (nested fan-out). *)
-  let probs = Array.make n 0. and secs = Array.make n 0. in
-  Util.Par.share par ~n:!n_reps (fun k ->
-      let t = reps.(k) in
+  Util.Par.share par ~n:!n_unsolved (fun k ->
+      let t = unsolved.(k) in
       let c, _ = terms.(t) in
       let p, dt =
         Util.Timer.time (fun () -> Pattern_solver.prob ?budget ~par model lab c)
       in
       probs.(t) <- p;
       secs.(t) <- dt);
+  (match cache with
+  | None -> ()
+  | Some c ->
+      Array.iter (fun t -> c.Term_cache.store (fst terms.(t)) probs.(t)) unsolved);
   let total = ref 0. and times = ref [] in
   Array.iteri
     (fun t (_, size) ->
@@ -77,14 +110,17 @@ let prob_instrumented ?budget ?(par = Util.Par.inline) ?(memo = true) model lab
     terms;
   if obs then begin
     Obs.Counter.incr c_calls;
-    Obs.Counter.add c_terms !n_reps;
+    (* Evaluated terms only: representatives answered by the injected
+       cross-call cache cost nothing here (the engine counts those hits
+       in its own term-tier counters). *)
+    Obs.Counter.add c_terms !n_unsolved;
     Obs.Counter.add c_memo_hits (n - !n_reps);
-    if Util.Par.width par > 1 then Obs.Counter.add c_par_terms !n_reps;
-    Obs.Histogram.observe h_terms !n_reps
+    if Util.Par.width par > 1 then Obs.Counter.add c_par_terms !n_unsolved;
+    Obs.Histogram.observe h_terms !n_unsolved
   end;
   (* Inclusion-exclusion cancellation can leave tiny out-of-range residue;
      the value is returned raw and clamped at the Solver.prob boundary. *)
   (!total, List.rev !times)
 
-let prob ?budget ?par ?memo model lab gu =
-  fst (prob_instrumented ?budget ?par ?memo model lab gu)
+let prob ?budget ?par ?memo ?cache model lab gu =
+  fst (prob_instrumented ?budget ?par ?memo ?cache model lab gu)

@@ -13,6 +13,7 @@ val prob :
   ?budget:Util.Timer.budget ->
   ?par:Util.Par.t ->
   ?memo:bool ->
+  ?cache:Term_cache.t ->
   Rim.Model.t ->
   Prefs.Labeling.t ->
   Prefs.Pattern_union.t ->
@@ -28,12 +29,18 @@ val prob :
     domain, so the result is bit-identical to the sequential run.
     [memo] (default [true]) evaluates only one representative of each
     structurally identical conjunction and reuses its probability —
-    also bit-identical, since duplicates rerun the same computation. *)
+    also bit-identical, since duplicates rerun the same computation.
+
+    [cache] extends the memo across calls: each representative is looked
+    up before evaluation and published after, on the calling domain (see
+    {!Term_cache}). The caller is responsible for scoping the cache to a
+    single (model, labeling). *)
 
 val prob_instrumented :
   ?budget:Util.Timer.budget ->
   ?par:Util.Par.t ->
   ?memo:bool ->
+  ?cache:Term_cache.t ->
   Rim.Model.t ->
   Prefs.Labeling.t ->
   Prefs.Pattern_union.t ->

@@ -10,6 +10,7 @@ val exact_name : exact -> string
 val exact_prob :
   ?budget:Util.Timer.budget ->
   ?par:Util.Par.t ->
+  ?cache:Term_cache.t ->
   exact ->
   Rim.Model.t ->
   Prefs.Labeling.t ->
@@ -18,7 +19,10 @@ val exact_prob :
 (** Raises [Two_label.Unsupported] / [Bipartite.Unsupported] when the
     union does not fit the requested family; [`Auto] never raises for
     shape reasons. [par] lets the solver fan work out intra-query; every
-    solver's result is bit-identical to its sequential run. *)
+    solver's result is bit-identical to its sequential run. [cache]
+    shares solved conjunction terms across calls on the general
+    (inclusion-exclusion) paths only — see {!Term_cache} for the
+    bit-identity contract; the other solvers ignore it. *)
 
 type approx =
   | Rejection of { n : int }
@@ -59,6 +63,7 @@ val of_string : string -> (t, string) result
 val prob :
   ?budget:Util.Timer.budget ->
   ?par:Util.Par.t ->
+  ?cache:Term_cache.t ->
   t ->
   Rim.Mallows.t ->
   Prefs.Labeling.t ->

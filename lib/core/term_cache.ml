@@ -1,0 +1,4 @@
+type t = {
+  find : Prefs.Pattern.t -> float option;
+  store : Prefs.Pattern.t -> float -> unit;
+}

@@ -1,82 +1,175 @@
 module Pool = Pool
 module Lru = Lru
+module Store = Store
 module Request = Request
 module Response = Response
+module Reference = Ppd.Solve
+
+module Config = struct
+  type t = {
+    jobs : int option;
+    cache : bool;
+    answer_capacity : int;
+    term_capacity : int;
+    batch_window : float;
+    batch_max : int;
+  }
+
+  let default =
+    {
+      jobs = None;
+      cache = true;
+      answer_capacity = 8192;
+      term_capacity = 4096;
+      batch_window = 0.002;
+      batch_max = 16;
+    }
+
+  let with_jobs jobs c = { c with jobs = Some jobs }
+  let with_cache cache c = { c with cache }
+  let with_answer_capacity answer_capacity c = { c with answer_capacity }
+  let with_term_capacity term_capacity c = { c with term_capacity }
+  let with_batch_window batch_window c = { c with batch_window }
+  let with_batch_max batch_max c = { c with batch_max }
+end
 
 (* Content-addressed identity of one per-session inference: the solver, the
    session's Mallows parameters, the labeling content and the pattern union
-   determine the answer. Interned label ids are db-local, so the labeling
-   matrix (item -> label ids) is part of the key: together with the pattern
-   structure it pins down the semantics of every id, making cache entries
-   valid across queries and across databases. The labeling array is built
-   once per [eval] and shared physically by all keys, keeping structural
-   comparison cheap. *)
+   determine the answer — plus the request seed when (and only when) the
+   solver is sampler-based, since then the estimate depends on it. Interned
+   label ids are db-local, so the labeling matrix (item -> label ids) is
+   part of the key: together with the pattern structure it pins down the
+   semantics of every id, making cache entries valid across queries and
+   across databases. The labeling array is built once per [eval] and shared
+   physically by all keys, keeping structural comparison cheap. *)
 type key =
-  Hardq.Solver.t
+  int (* seed; 0 for exact solvers *)
+  * Hardq.Solver.t
   * int array (* center ranking *)
   * float (* phi *)
   * int list array (* labeling: item -> labels *)
   * (Prefs.Pattern.node array * (int * int) list) list (* union structure *)
 
+(* Term-tier key: one inclusion-exclusion conjunction under one (model,
+   labeling). Same canonical structure as [General]'s per-call memo key,
+   scoped by the model parameters so the store can be engine-global. *)
+type term_key =
+  int array (* center *)
+  * float (* phi *)
+  * int list array (* labeling *)
+  * (Prefs.Pattern.node array * (int * int) list) (* conjunction structure *)
+
 type t = {
   pool : Pool.t;
-  cache : (key, float) Lru.t option;
-  mutable evictions_folded : int;
-      (* Lru evictions already folded into the Obs registry *)
-  mutable stopped : bool;
+  config : Config.t;
+  answers : (key, float) Store.t option;
+  terms : (term_key, float) Store.t option;
+  batch_ids : int Atomic.t;
+  obs_m : Mutex.t; (* guards the evictions-folded counters below *)
+  mutable answer_evictions_folded : int;
+  mutable term_evictions_folded : int;
+  stopped : bool Atomic.t;
 }
 
 exception Stopped
 
 (* Observability. Counters are engine-lifetime totals in the process-wide
    registry; per-request deltas are what [Response.stats.metrics] carries.
-   The [Lru] keeps its own plain counters (it predates obs and is used
-   sequentially); the engine folds their deltas into the registry after
-   every eval so one snapshot shows cache behaviour next to solver work. *)
+   [engine.cache.*] is the answer tier, [engine.cache.term.*] the shared
+   conjunction-term tier. *)
 let c_evals = Obs.counter "engine.evals"
+let c_batches = Obs.counter "engine.batches"
 let c_sessions = Obs.counter "engine.sessions"
 let c_distinct = Obs.counter "engine.distinct"
 let c_solver_calls = Obs.counter "engine.solver_calls"
 let c_cache_hits = Obs.counter "engine.cache.hits"
 let c_cache_misses = Obs.counter "engine.cache.misses"
 let c_cache_evictions = Obs.counter "engine.cache.evictions"
+let c_sf_joins = Obs.counter "engine.cache.single_flight_joins"
+let c_term_hits = Obs.counter "engine.cache.term.hits"
+let c_term_misses = Obs.counter "engine.cache.term.misses"
+let c_term_evictions = Obs.counter "engine.cache.term.evictions"
 let h_distinct = Obs.histogram "engine.distinct_per_eval"
+let h_batch = Obs.histogram "engine.batch_size"
 
-let create ?jobs ?(cache = true) ?(cache_capacity = 8192) () =
+let create (cfg : Config.t) =
   {
-    pool = Pool.create ?jobs ();
-    cache = (if cache then Some (Lru.create cache_capacity) else None);
-    evictions_folded = 0;
-    stopped = false;
+    pool = Pool.create ?jobs:cfg.Config.jobs ();
+    config = cfg;
+    answers =
+      (if cfg.Config.cache then
+         Some (Store.create ~capacity:cfg.Config.answer_capacity)
+       else None);
+    terms =
+      (if cfg.Config.cache && cfg.Config.term_capacity > 0 then
+         Some (Store.create ~capacity:cfg.Config.term_capacity)
+       else None);
+    batch_ids = Atomic.make 0;
+    obs_m = Mutex.create ();
+    answer_evictions_folded = 0;
+    term_evictions_folded = 0;
+    stopped = Atomic.make false;
   }
 
+let config t = t.config
 let jobs t = Pool.size t.pool
-let cache_hits t = match t.cache with None -> 0 | Some c -> Lru.hits c
-let cache_misses t = match t.cache with None -> 0 | Some c -> Lru.misses c
-let cache_length t = match t.cache with None -> 0 | Some c -> Lru.length c
-let clear_cache t = match t.cache with None -> () | Some c -> Lru.clear c
+let cache_hits t = match t.answers with None -> 0 | Some c -> Store.hits c
+let cache_misses t = match t.answers with None -> 0 | Some c -> Store.misses c
+let cache_length t = match t.answers with None -> 0 | Some c -> Store.length c
+let term_cache_length t = match t.terms with None -> 0 | Some c -> Store.length c
+
+let clear_cache t =
+  Option.iter Store.clear t.answers;
+  Option.iter Store.clear t.terms
 
 let shutdown t =
-  if not t.stopped then begin
-    t.stopped <- true;
-    Pool.shutdown t.pool
-  end
+  if not (Atomic.exchange t.stopped true) then Pool.shutdown t.pool
 
-let stopped t = t.stopped
+let stopped t = Atomic.get t.stopped
 
-let with_engine ?jobs ?cache ?cache_capacity f =
-  let t = create ?jobs ?cache ?cache_capacity () in
+let with_engine cfg f =
+  let t = create cfg in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
-let canonical_key solver lab_canon (s : Ppd.Database.session) union : key =
+(* Deprecated optional-argument compatibility layer (one release). *)
+let create_legacy ?jobs ?(cache = true) ?(cache_capacity = 8192) () =
+  create
+    {
+      Config.default with
+      Config.jobs;
+      cache;
+      answer_capacity = cache_capacity;
+    }
+
+let with_engine_legacy ?jobs ?cache ?cache_capacity f =
+  let t = create_legacy ?jobs ?cache ?cache_capacity () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let key_seed solver seed =
+  match solver with Hardq.Solver.Exact _ -> 0 | Hardq.Solver.Approx _ -> seed
+
+let canonical_key solver seed lab_canon (s : Ppd.Database.session) union : key =
   let mal = s.Ppd.Database.model in
-  ( solver,
+  ( key_seed solver seed,
+    solver,
     Prefs.Ranking.to_array (Rim.Mallows.center mal),
     Rim.Mallows.phi mal,
     lab_canon,
     List.map
       (fun g -> (Prefs.Pattern.nodes g, Prefs.Pattern.edges g))
       (Prefs.Pattern_union.patterns union) )
+
+(* Digest of the same canonical content the key holds. Used only to derive
+   the sub-problem's RNG stream: the solve of a key must not depend on
+   request order or cache warm state, or a cache hit could return a float a
+   cold solve would not reproduce. *)
+let key_digest solver seed lab_canon (s : Ppd.Database.session) union =
+  let module D = Hardq.Digest in
+  let h = D.int D.empty (key_seed solver seed) in
+  let h = D.solver h solver in
+  let h = D.model h s.Ppd.Database.model in
+  let h = D.labels h lab_canon in
+  D.union h union
 
 let take k l =
   let rec go n = function
@@ -88,10 +181,12 @@ let take k l =
 
 let desc_by_snd l = List.stable_sort (fun (_, a) (_, b) -> compare b a) l
 
-(* Per-eval solve context. All cache bookkeeping is sequential (coordinator
-   domain only); the parallel phase works on slots preassigned here. *)
+(* Per-eval solve context. Answer-tier bookkeeping is sequential
+   (coordinator thread of this eval only); term-tier tallies are atomics
+   because the term hooks fire on pool worker domains. *)
 type ctx = {
   solver : Hardq.Solver.t;
+  seed : int;
   lab : Prefs.Labeling.t;
   lab_canon : int list array;
   budget : float;
@@ -99,16 +194,20 @@ type ctx = {
   par : Util.Par.t;
       (* intra-query capability handed to every solver call; inline when
          the request asked for inter-session parallelism only *)
-  master : Util.Rng.t;
-  cache : (key, float) Lru.t option;
+  terms : (term_key, float) Store.t option;
+  answers : (key, float) Store.t option;
   mutable hits : int; (* distinct requests answered by the cache *)
-  mutable misses : int; (* distinct requests that needed evaluation *)
+  mutable misses : int; (* distinct requests this eval solved itself *)
+  mutable sf_joins : int; (* distinct requests joined from another eval *)
+  term_hits : int Atomic.t;
+  term_misses : int Atomic.t;
   mutable solver_calls : int;
 }
 
 let make_ctx (t : t) (req : Request.t) lab lab_canon =
   {
     solver = req.Request.solver;
+    seed = req.Request.seed;
     lab;
     lab_canon;
     budget = req.Request.budget;
@@ -117,12 +216,45 @@ let make_ctx (t : t) (req : Request.t) lab lab_canon =
       (match req.Request.parallelism with
       | `Intra -> Pool.sharer t.pool
       | `Inter -> Util.Par.inline);
-    master = Util.Rng.make req.Request.seed;
-    cache = t.cache;
+    terms = t.terms;
+    answers = t.answers;
     hits = 0;
     misses = 0;
+    sf_joins = 0;
+    term_hits = Atomic.make 0;
+    term_misses = Atomic.make 0;
     solver_calls = 0;
   }
+
+(* The term-tier hook handed to the general solver: scope the engine-global
+   store to this session's (model, labeling). Closures run on whichever
+   domain evaluates the session; the store is thread-safe and
+   [Pattern_solver.prob] is deterministic, so reuse is bit-identical. *)
+let term_hook ctx (s : Ppd.Database.session) =
+  match ctx.terms with
+  | None -> None
+  | Some st ->
+      let mal = s.Ppd.Database.model in
+      let center = Prefs.Ranking.to_array (Rim.Mallows.center mal) in
+      let phi = Rim.Mallows.phi mal in
+      let tkey c =
+        (center, phi, ctx.lab_canon, (Prefs.Pattern.nodes c, Prefs.Pattern.edges c))
+      in
+      Some
+        {
+          Hardq.Term_cache.find =
+            (fun c ->
+              match Store.find_opt st (tkey c) with
+              | Some p ->
+                  Atomic.incr ctx.term_hits;
+                  if Obs.enabled () then Obs.Counter.incr c_term_hits;
+                  Some p
+              | None ->
+                  Atomic.incr ctx.term_misses;
+                  if Obs.enabled () then Obs.Counter.incr c_term_misses;
+                  None);
+          store = (fun c p -> Store.put st (tkey c) p);
+        }
 
 let solve_one ctx (s : Ppd.Database.session) union rng =
   (* The wall-clock guard between invocations: the per-invocation CPU
@@ -133,107 +265,208 @@ let solve_one ctx (s : Ppd.Database.session) union rng =
   let budget =
     if ctx.budget > 0. then Some (Util.Timer.budget ctx.budget) else None
   in
-  Hardq.Solver.prob ?budget ~par:ctx.par ctx.solver s.Ppd.Database.model ctx.lab
-    union rng
+  Hardq.Solver.prob ?budget ~par:ctx.par
+    ?cache:(term_hook ctx s)
+    ctx.solver s.Ppd.Database.model ctx.lab union rng
+
+(* The RNG of one sub-problem is a pure function of its canonical content
+   (via the digest) and the request seed — never of request order or cache
+   state, so cache on/off and warm/cold runs draw identical streams. *)
+let job_rng ctx digest =
+  Util.Rng.derive ctx.seed (Hardq.Digest.to_int digest)
 
 (* The memoized Mallows -> RIM conversion mutates the model record; force it
    before entering the parallel phase so workers only ever read it. *)
 let preforce_models jobs =
   Array.iter
-    (fun (s, _, _) -> ignore (Rim.Mallows.to_rim s.Ppd.Database.model))
+    (fun (_, (s : Ppd.Database.session), _, _) ->
+      ignore (Rim.Mallows.to_rim s.Ppd.Database.model))
     jobs
+
+(* Resolve a key another eval was solving when we grouped. Called only
+   after this eval has published (or abandoned) everything it owns, so
+   blocking here cannot deadlock. [await -> None] means the owner failed:
+   re-claim and, if we become owner, take over the solve. *)
+let rec join_deferred ctx key digest session union =
+  match ctx.answers with
+  | None -> assert false (* deferrals only exist with a store *)
+  | Some st -> (
+      match Store.await st key with
+      | Some p -> p
+      | None -> (
+          match Store.claim st key with
+          | Store.Hit p -> p
+          | Store.Busy -> join_deferred ctx key digest session union
+          | Store.Owner ->
+              let published = ref false in
+              Fun.protect
+                ~finally:(fun () -> if not !published then Store.abandon st key)
+                (fun () ->
+                  ctx.solver_calls <- ctx.solver_calls + 1;
+                  let p = solve_one ctx session union (job_rng ctx digest) in
+                  Store.publish st key p;
+                  published := true;
+                  p)))
 
 (* Batch phase: probabilities for every request, in request order.
 
-   Determinism: requests are grouped and every distinct missing key gets its
-   RNG split from the master sequentially, in request order, BEFORE the
-   parallel phase. Workers then fill disjoint slots of a results array, so
-   the floats are bit-identical whatever the pool size. *)
+   Determinism: every distinct key's RNG is derived from (request seed,
+   structural digest) — independent of request order, pool width and cache
+   state. Workers fill disjoint slots of a results array, so the floats are
+   bit-identical whatever the pool size.
+
+   Single flight: claims are taken without ever waiting (Hit/Owner/Busy);
+   this eval solves the keys it owns, publishes them all, and only then
+   awaits the keys other in-flight evals own — so no thread waits while
+   holding a claim, and two concurrent evals never solve the same key
+   twice. *)
 let batch_probs t ctx requests =
   let n = Array.length requests in
-  (* resolution per request: probability if fixed, else index into jobs *)
+  (* resolution per request: probability if fixed, else index into jobs
+     or into the deferred (busy-elsewhere) list *)
   let fixed = Array.make n 0. in
   let slot = Array.make n (-1) in
-  let seen : (key, [ `Job of int | `Done of float ]) Hashtbl.t =
+  let defer = Array.make n (-1) in
+  let seen : (key, [ `Job of int | `Done of float | `Defer of int ]) Hashtbl.t =
     Hashtbl.create 64
   in
   let jobs = ref [] and n_jobs = ref 0 in
-  (* Group identical requests and answer what the cache already knows. *)
+  let deferred = ref [] and n_defer = ref 0 in
+  (* Group identical requests; claim every distinct key up front. *)
   Obs.with_span "group" (fun () ->
       Array.iteri
         (fun i { Ppd.Compile.session; union } ->
           match union with
           | None -> () (* statically unsatisfiable: probability 0 *)
           | Some u -> (
-              let key = canonical_key ctx.solver ctx.lab_canon session u in
+              let key = canonical_key ctx.solver ctx.seed ctx.lab_canon session u in
               match Hashtbl.find_opt seen key with
               | Some (`Done p) -> fixed.(i) <- p
               | Some (`Job j) -> slot.(i) <- j
+              | Some (`Defer d) -> defer.(i) <- d
               | None -> (
-                  match Option.bind ctx.cache (fun c -> Lru.find_opt c key) with
-                  | Some p ->
-                      ctx.hits <- ctx.hits + 1;
-                      Hashtbl.add seen key (`Done p);
-                      fixed.(i) <- p
-                  | None ->
-                      ctx.misses <- ctx.misses + 1;
-                      let rng = Util.Rng.split ctx.master in
-                      let j = !n_jobs in
-                      incr n_jobs;
-                      jobs := (session, u, rng) :: !jobs;
-                      Hashtbl.add seen key (`Job j);
-                      slot.(i) <- j)))
+                  let digest =
+                    key_digest ctx.solver ctx.seed ctx.lab_canon session u
+                  in
+                  let own () =
+                    ctx.misses <- ctx.misses + 1;
+                    let j = !n_jobs in
+                    incr n_jobs;
+                    jobs := (key, session, u, digest) :: !jobs;
+                    Hashtbl.add seen key (`Job j);
+                    slot.(i) <- j
+                  in
+                  match ctx.answers with
+                  | None -> own ()
+                  | Some st -> (
+                      match Store.claim st key with
+                      | Store.Hit p ->
+                          ctx.hits <- ctx.hits + 1;
+                          Hashtbl.add seen key (`Done p);
+                          fixed.(i) <- p
+                      | Store.Owner -> own ()
+                      | Store.Busy ->
+                          ctx.sf_joins <- ctx.sf_joins + 1;
+                          let d = !n_defer in
+                          incr n_defer;
+                          deferred := (key, session, u, digest) :: !deferred;
+                          Hashtbl.add seen key (`Defer d);
+                          defer.(i) <- d))))
         requests);
   let job_arr = Array.of_list (List.rev !jobs) in
   let results = Array.make (Array.length job_arr) 0. in
-  Obs.with_span "solve" (fun () ->
-      preforce_models job_arr;
-      Pool.run t.pool ~n:(Array.length job_arr) (fun j ->
-          let session, u, rng = job_arr.(j) in
-          results.(j) <- solve_one ctx session u rng));
-  ctx.solver_calls <- ctx.solver_calls + Array.length job_arr;
-  (* Fill the persistent cache (sequentially) with the fresh results. *)
-  Obs.with_span "cache-fill" (fun () ->
-      match ctx.cache with
+  let published = Array.make (Array.length job_arr) false in
+  (* Solve owned keys on the pool, then publish them all — under a finalizer
+     that abandons whatever was claimed but never published, so waiters on a
+     failed eval wake up and take over instead of blocking forever. *)
+  Fun.protect
+    ~finally:(fun () ->
+      match ctx.answers with
       | None -> ()
-      | Some c ->
-          Hashtbl.iter
-            (fun key -> function
-              | `Job j -> Lru.put c key results.(j)
-              | `Done _ -> ())
-            seen);
+      | Some st ->
+          Array.iteri
+            (fun j (key, _, _, _) ->
+              if not published.(j) then Store.abandon st key)
+            job_arr)
+    (fun () ->
+      Obs.with_span "solve" (fun () ->
+          preforce_models job_arr;
+          Pool.run t.pool ~n:(Array.length job_arr) (fun j ->
+              let _, session, u, digest = job_arr.(j) in
+              results.(j) <- solve_one ctx session u (job_rng ctx digest)));
+      ctx.solver_calls <- ctx.solver_calls + Array.length job_arr;
+      Obs.with_span "cache-fill" (fun () ->
+          match ctx.answers with
+          | None -> ()
+          | Some st ->
+              Array.iteri
+                (fun j (key, _, _, _) ->
+                  Store.publish st key results.(j);
+                  published.(j) <- true)
+                job_arr));
+  (* Only now — owning nothing — wait for the keys other evals claimed. *)
+  let defer_arr = Array.of_list (List.rev !deferred) in
+  let joined =
+    Obs.with_span "join" (fun () ->
+        Array.map
+          (fun (key, session, u, digest) ->
+            join_deferred ctx key digest session u)
+          defer_arr)
+  in
   Array.init n (fun i ->
       let { Ppd.Compile.session; _ } = requests.(i) in
-      let p = if slot.(i) >= 0 then results.(slot.(i)) else fixed.(i) in
+      let p =
+        if slot.(i) >= 0 then results.(slot.(i))
+        else if defer.(i) >= 0 then joined.(defer.(i))
+        else fixed.(i)
+      in
       (session, p))
 
 (* Sequential cached solve for the adaptive top-k phase. Within-query
-   duplicates are resolved through the same table. *)
+   duplicates are resolved through the same table. Claims here are solved
+   (or joined) immediately, so at most one is ever held — the no-wait-
+   while-owning rule holds trivially. *)
 let solve_cached ctx local session union =
-  let key = canonical_key ctx.solver ctx.lab_canon session union in
+  let key = canonical_key ctx.solver ctx.seed ctx.lab_canon session union in
   match Hashtbl.find_opt local key with
   | Some p -> p
   | None ->
+      let digest = key_digest ctx.solver ctx.seed ctx.lab_canon session union in
+      let solve_owned st =
+        let published = ref false in
+        Fun.protect
+          ~finally:(fun () -> if not !published then Store.abandon st key)
+          (fun () ->
+            ctx.solver_calls <- ctx.solver_calls + 1;
+            let p = solve_one ctx session union (job_rng ctx digest) in
+            Store.publish st key p;
+            published := true;
+            p)
+      in
       let p =
-        match Option.bind ctx.cache (fun c -> Lru.find_opt c key) with
-        | Some p ->
-            ctx.hits <- ctx.hits + 1;
-            p
+        match ctx.answers with
         | None ->
             ctx.misses <- ctx.misses + 1;
             ctx.solver_calls <- ctx.solver_calls + 1;
-            let rng = Util.Rng.split ctx.master in
-            let p = solve_one ctx session union rng in
-            Option.iter (fun c -> Lru.put c key p) ctx.cache;
-            p
+            solve_one ctx session union (job_rng ctx digest)
+        | Some st -> (
+            match Store.claim st key with
+            | Store.Hit p ->
+                ctx.hits <- ctx.hits + 1;
+                p
+            | Store.Owner ->
+                ctx.misses <- ctx.misses + 1;
+                solve_owned st
+            | Store.Busy ->
+                ctx.sf_joins <- ctx.sf_joins + 1;
+                join_deferred ctx key digest session union)
       in
       Hashtbl.add local key p;
       p
 
 (* Most-Probable-Session with the k-edge relaxation: upper bounds for every
    session (in parallel), then exact evaluation in descending bound order,
-   stopping when k exact probabilities dominate every remaining bound —
-   the same control flow as the legacy [Ppd.Eval.top_k]. *)
+   stopping when k exact probabilities dominate every remaining bound. *)
 let topk_edges t ctx requests ~k ~n_edges =
   let n = Array.length requests in
   let bounds = Array.make n 0. in
@@ -277,26 +510,36 @@ let topk_edges t ctx requests ~k ~n_edges =
   let evaluated = go [] queue in
   (take k (desc_by_snd evaluated), List.rev evaluated, t_bounded)
 
-(* Fold the ctx tallies (and the Lru's own eviction counter, which outlives
-   any single eval) into the process-wide registry. Sequential: runs on the
-   coordinator domain after the parallel phase. *)
+(* Fold the ctx tallies (and the stores' own eviction counters, which
+   outlive any single eval) into the process-wide registry. Concurrent
+   evals may fold at once; the folded-eviction watermarks are under a
+   mutex, everything else is atomic counters. *)
 let fold_obs (t : t) ctx ~sessions =
   Obs.Counter.add c_evals 1;
   Obs.Counter.add c_sessions sessions;
-  Obs.Counter.add c_distinct (ctx.hits + ctx.misses);
+  Obs.Counter.add c_distinct (ctx.hits + ctx.misses + ctx.sf_joins);
   Obs.Counter.add c_solver_calls ctx.solver_calls;
   Obs.Counter.add c_cache_hits ctx.hits;
   Obs.Counter.add c_cache_misses ctx.misses;
-  (match t.cache with
+  Obs.Counter.add c_sf_joins ctx.sf_joins;
+  Mutex.lock t.obs_m;
+  (match t.answers with
   | None -> ()
   | Some c ->
-      let ev = Lru.evictions c in
-      Obs.Counter.add c_cache_evictions (ev - t.evictions_folded);
-      t.evictions_folded <- ev);
-  Obs.Histogram.observe h_distinct (ctx.hits + ctx.misses)
+      let ev = Store.evictions c in
+      Obs.Counter.add c_cache_evictions (ev - t.answer_evictions_folded);
+      t.answer_evictions_folded <- ev);
+  (match t.terms with
+  | None -> ()
+  | Some c ->
+      let ev = Store.evictions c in
+      Obs.Counter.add c_term_evictions (ev - t.term_evictions_folded);
+      t.term_evictions_folded <- ev);
+  Mutex.unlock t.obs_m;
+  Obs.Histogram.observe h_distinct (ctx.hits + ctx.misses + ctx.sf_joins)
 
-let eval t (req : Request.t) =
-  if t.stopped then raise Stopped;
+let eval_one t ~batch_id ~batch_size (req : Request.t) =
+  if Atomic.get t.stopped then raise Stopped;
   Obs.with_span "engine.eval" @@ fun () ->
   let m0 = if Obs.enabled () then Obs.snapshot () else [] in
   let t_start = Util.Timer.wall () in
@@ -348,11 +591,16 @@ let eval t (req : Request.t) =
     stats =
       {
         Response.sessions = Array.length requests;
-        distinct = ctx.hits + ctx.misses;
+        distinct = ctx.hits + ctx.misses + ctx.sf_joins;
         cache_hits = ctx.hits;
         cache_misses = ctx.misses;
+        sf_joins = ctx.sf_joins;
+        term_hits = Atomic.get ctx.term_hits;
+        term_misses = Atomic.get ctx.term_misses;
         solver_calls = ctx.solver_calls;
         jobs = Pool.size t.pool;
+        batch_id;
+        batch_size;
         compile_s = t_compiled -. t_start;
         bound_s;
         solve_s = t_end -. t_compiled -. bound_s;
@@ -360,3 +608,24 @@ let eval t (req : Request.t) =
         metrics;
       };
   }
+
+let next_batch_id t = Atomic.fetch_and_add t.batch_ids 1
+
+(* A batch shares one batch id and the engine's stores: the first request
+   to claim a key solves it, the rest hit. Requests evaluate in order —
+   grouping happens through the store, so a batch interleaves correctly
+   with concurrent evals from other threads. Per-request failures are
+   per-request [Error]s, not batch failures. *)
+let eval_batch t reqs =
+  let batch_id = next_batch_id t in
+  let batch_size = Array.length reqs in
+  Obs.Counter.incr c_batches;
+  Obs.Histogram.observe h_batch batch_size;
+  Array.map
+    (fun req ->
+      match eval_one t ~batch_id ~batch_size req with
+      | resp -> Ok resp
+      | exception e -> Error e)
+    reqs
+
+let eval t req = eval_one t ~batch_id:(next_batch_id t) ~batch_size:1 req

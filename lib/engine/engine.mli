@@ -7,29 +7,77 @@
 
     - distributes those inferences over a fixed pool of OCaml 5 domains
       ({!Pool}), in chunks;
-    - memoizes them in a content-addressed LRU cache ({!Lru}) keyed on the
-      canonicalized (solver, RIM model, labeling, pattern union) — the
-      paper's §6.4 grouping optimization generalized so results also
-      survive across queries in a CLI or benchmark run;
-    - exposes one typed entry point, {!eval}, on {!Request.t} /
-      {!Response.t} records instead of optional-argument variants.
+    - memoizes them in a {b two-tier} content-addressed sub-answer store
+      ({!Store}): an answer tier keyed on the canonicalized (seed, solver,
+      RIM model, labeling, pattern union) — the paper's §6.4 grouping
+      optimization generalized so results survive across queries {e and}
+      across concurrent requests — and a term tier sharing solved
+      inclusion–exclusion conjunctions between queries on the same
+      (model, labeling);
+    - deduplicates concurrent work with single-flight claims: two
+      in-flight evaluations never solve the same key twice, the second
+      joins the first's result;
+    - exposes typed entry points, {!eval} and {!eval_batch}, on
+      {!Request.t} / {!Response.t} records, configured by a {!Config.t}
+      record instead of optional-argument sprawl.
 
-    {b Determinism.} Results are bit-identical whatever the pool size:
-    per-inference RNGs are split deterministically from the request seed in
-    session order before the parallel phase, and each inference writes only
-    its own slot. [eval ~jobs:8] equals [eval ~jobs:1] float for float.
+    {b Determinism.} Results are bit-identical whatever the pool size,
+    cache configuration or warm state: each sub-problem's RNG is derived
+    from (request seed, structural digest) — a pure function of the
+    sub-problem, never of request order — and each inference writes only
+    its own slot. A cache hit returns the very float a cold solve would
+    compute.
 
-    The legacy [Ppd.Eval] entry points remain as thin sequential shims and
-    are deprecated for new code. *)
+    {b Thread safety.} One engine may serve concurrent [eval]s from
+    multiple sys-threads (the server does): the pool accepts concurrent
+    publishers, the stores are mutex-protected, and per-eval state is
+    local. The sequential single-core reference lives in [Ppd.Solve],
+    re-exported here as {!Reference}. *)
 
 module Pool = Pool
 module Lru = Lru
+module Store = Store
 module Request = Request
 module Response = Response
 
+module Reference = Ppd.Solve
+(** The engine-independent sequential baseline ([Ppd.Solve]): what the
+    QA oracle diffs {!eval} against. *)
+
+(** Engine construction knobs. Build one with {!Config.default} and the
+    [with_*] setters (the record is public, so [{ default with cache =
+    false }] works too). *)
+module Config : sig
+  type t = {
+    jobs : int option;
+        (** total domain count; [None] = one per core (at least 1);
+            [Some 1] spawns no domains and evaluates inline *)
+    cache : bool;  (** master switch for both store tiers *)
+    answer_capacity : int;  (** answer-tier LRU entries (default 8192) *)
+    term_capacity : int;
+        (** term-tier LRU entries (default 4096); 0 disables the term
+            tier only *)
+    batch_window : float;
+        (** serving-layer gather window in seconds (default 2 ms); the
+            engine itself does not sleep — the server's batch scheduler
+            reads this *)
+    batch_max : int;
+        (** largest request group the serving layer gathers (default 16) *)
+  }
+
+  val default : t
+  val with_jobs : int -> t -> t
+  val with_cache : bool -> t -> t
+  val with_answer_capacity : int -> t -> t
+  val with_term_capacity : int -> t -> t
+  val with_batch_window : float -> t -> t
+  val with_batch_max : int -> t -> t
+end
+
 type t
-(** An engine: a domain pool plus (optionally) a persistent result cache.
-    Create once, evaluate many requests, then {!shutdown}. *)
+(** An engine: a domain pool plus (optionally) the two-tier sub-answer
+    store. Create once, evaluate many requests — concurrently if you
+    like — then {!shutdown}. *)
 
 exception Stopped
 (** Raised by {!eval} on an engine that has been {!shutdown} — a typed
@@ -37,34 +85,43 @@ exception Stopped
     so a serving layer draining its engine can distinguish "request
     raced past shutdown" from solver failures. *)
 
-val create : ?jobs:int -> ?cache:bool -> ?cache_capacity:int -> unit -> t
-(** [create ()] — [jobs] is the total domain count (default
-    [Domain.recommended_domain_count () - 1], at least 1; [jobs = 1] spawns
-    no domains and evaluates inline). [cache] (default [true]) enables the
-    cross-query LRU result cache with [cache_capacity] entries (default
-    8192). *)
+val create : Config.t -> t
+val config : t -> Config.t
 
 val eval : t -> Request.t -> Response.t
 (** Evaluate one request: compile the query (Algorithm 2), group the
-    per-session inferences by canonical key, answer what the cache already
-    knows, solve the rest on the pool, and aggregate for the requested
-    task. Compilation errors ([Ppd.Compile.Unsupported],
-    [Ppd.Compile.Grounding_too_large]) and solver timeouts
-    ([Util.Timer.Out_of_time], for positive request budgets) propagate to
-    the caller. Raises {!Stopped} after {!shutdown}. *)
+    per-session inferences by canonical key, claim each distinct key in
+    the store (hit / own / join), solve the owned ones on the pool, and
+    aggregate for the requested task. Compilation errors
+    ([Ppd.Compile.Unsupported], [Ppd.Compile.Grounding_too_large]) and
+    solver timeouts ([Util.Timer.Out_of_time], for positive request
+    budgets) propagate to the caller. Raises {!Stopped} after
+    {!shutdown}. Safe to call from concurrent threads. *)
+
+val eval_batch : t -> Request.t array -> (Response.t, exn) result array
+(** Evaluate a gathered batch under one batch id (visible in
+    [Response.stats.batch_id]): requests evaluate in order and share
+    sub-answers through the store, so a batch of same-shaped requests
+    solves each distinct key once. A request's failure is its own
+    [Error]; the rest of the batch still evaluates. *)
 
 val jobs : t -> int
 (** Domains the engine computes with (pool size, caller included). *)
 
 val cache_hits : t -> int
 val cache_misses : t -> int
-(** Lifetime cache counters across every {!eval} on this engine (0 when the
-    cache is disabled). Per-request counters are in {!Response.stats}. *)
+(** Lifetime answer-tier counters across every {!eval} on this engine (0
+    when the cache is disabled). Per-request counters are in
+    {!Response.stats}. *)
 
 val cache_length : t -> int
-(** Entries currently cached. *)
+(** Answer-tier entries currently cached. *)
+
+val term_cache_length : t -> int
+(** Term-tier entries currently cached. *)
 
 val clear_cache : t -> unit
+(** Drop both tiers. *)
 
 val shutdown : t -> unit
 (** Join the pool's worker domains and retire the engine: subsequent
@@ -75,6 +132,15 @@ val shutdown : t -> unit
 val stopped : t -> bool
 (** [true] once {!shutdown} has run. *)
 
-val with_engine :
+val with_engine : Config.t -> (t -> 'a) -> 'a
+(** [with_engine cfg f] runs [f] on a fresh engine and always shuts it
+    down. *)
+
+val create_legacy : ?jobs:int -> ?cache:bool -> ?cache_capacity:int -> unit -> t
+  [@@ocaml.deprecated "use Engine.create with an Engine.Config.t"]
+(** The pre-{!Config} constructor, kept for one release. [cache_capacity]
+    maps to [answer_capacity]; every other knob takes its default. *)
+
+val with_engine_legacy :
   ?jobs:int -> ?cache:bool -> ?cache_capacity:int -> (t -> 'a) -> 'a
-(** [with_engine f] runs [f] on a fresh engine and always shuts it down. *)
+  [@@ocaml.deprecated "use Engine.with_engine with an Engine.Config.t"]

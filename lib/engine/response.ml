@@ -3,8 +3,13 @@ type stats = {
   distinct : int;
   cache_hits : int;
   cache_misses : int;
+  sf_joins : int;
+  term_hits : int;
+  term_misses : int;
   solver_calls : int;
   jobs : int;
+  batch_id : int;
+  batch_size : int;
   compile_s : float;
   bound_s : float;
   solve_s : float;
@@ -34,10 +39,16 @@ let ranked r = match r.answer with Ranked l -> l | _ -> []
 let pp_stats ppf s =
   Format.fprintf ppf
     "@[<v>stats: %d sessions, %d distinct requests (cache: %d hits, %d \
-     misses), %d solver calls, %d domain%s@,\
+     misses%s), %d solver calls, %d domain%s%s@,\
      time:  compile %.3fs, bounds %.3fs, solve %.3fs, total %.3fs@]"
-    s.sessions s.distinct s.cache_hits s.cache_misses s.solver_calls s.jobs
+    s.sessions s.distinct s.cache_hits s.cache_misses
+    (if s.sf_joins > 0 then Printf.sprintf ", %d joined" s.sf_joins else "")
+    s.solver_calls s.jobs
     (if s.jobs = 1 then "" else "s")
+    (if s.term_hits + s.term_misses > 0 then
+       Printf.sprintf ", term cache: %d hits, %d misses" s.term_hits
+         s.term_misses
+     else "")
     s.compile_s s.bound_s s.solve_s s.total_s;
   match s.metrics with
   | [] -> ()

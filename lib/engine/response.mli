@@ -7,9 +7,20 @@ type stats = {
       (** distinct (model, labeling, pattern-union, solver) inference
           requests among them — the §6.4 grouping factor *)
   cache_hits : int;  (** distinct requests answered by the engine cache *)
-  cache_misses : int;  (** distinct requests that had to be evaluated *)
+  cache_misses : int;  (** distinct requests this request solved itself *)
+  sf_joins : int;
+      (** distinct requests answered by joining another in-flight
+          request's solve (single-flight dedup) instead of re-solving *)
+  term_hits : int;
+  term_misses : int;
+      (** term-tier traffic: inclusion-exclusion conjunction terms
+          answered by / published to the shared sub-answer store *)
   solver_calls : int;  (** solver invocations actually performed *)
   jobs : int;  (** domains the engine computes with *)
+  batch_id : int;
+      (** id of the {!Engine.eval_batch} call that carried this request
+          (every eval gets one; a solo eval is a batch of one) *)
+  batch_size : int;  (** number of requests in that batch *)
   compile_s : float;  (** wall seconds rewriting the query (Algorithm 2) *)
   bound_s : float;  (** wall seconds computing top-k upper bounds *)
   solve_s : float;  (** wall seconds in the (parallel) solve phase *)

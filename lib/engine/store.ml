@@ -1,0 +1,61 @@
+type ('k, 'v) t = {
+  m : Mutex.t;
+  cv : Condition.t;
+  lru : ('k, 'v) Lru.t;
+  inflight : ('k, unit) Hashtbl.t;
+}
+
+type 'v claim = Hit of 'v | Owner | Busy
+
+let create ~capacity =
+  {
+    m = Mutex.create ();
+    cv = Condition.create ();
+    lru = Lru.create capacity;
+    inflight = Hashtbl.create 16;
+  }
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let find_opt t k = locked t (fun () -> Lru.find_opt t.lru k)
+let put t k v = locked t (fun () -> Lru.put t.lru k v)
+
+let claim t k =
+  locked t (fun () ->
+      match Lru.find_opt t.lru k with
+      | Some v -> Hit v
+      | None ->
+          if Hashtbl.mem t.inflight k then Busy
+          else begin
+            Hashtbl.add t.inflight k ();
+            Owner
+          end)
+
+let publish t k v =
+  locked t (fun () ->
+      Lru.put t.lru k v;
+      Hashtbl.remove t.inflight k;
+      Condition.broadcast t.cv)
+
+let abandon t k =
+  locked t (fun () ->
+      if Hashtbl.mem t.inflight k then begin
+        Hashtbl.remove t.inflight k;
+        Condition.broadcast t.cv
+      end)
+
+let await t k =
+  locked t (fun () ->
+      while Hashtbl.mem t.inflight k do
+        Condition.wait t.cv t.m
+      done;
+      Lru.find_opt t.lru k)
+
+let hits t = locked t (fun () -> Lru.hits t.lru)
+let misses t = locked t (fun () -> Lru.misses t.lru)
+let evictions t = locked t (fun () -> Lru.evictions t.lru)
+let length t = locked t (fun () -> Lru.length t.lru)
+let capacity t = Lru.capacity t.lru
+let clear t = locked t (fun () -> Lru.clear t.lru)

@@ -1,0 +1,57 @@
+(** A thread-safe, single-flight LRU store: {!Lru} behind a mutex plus an
+    in-flight table, so concurrent requests share sub-answers without
+    ever solving the same key twice.
+
+    The single-flight protocol:
+
+    - {!claim} either answers from the cache ([Hit]), makes the caller
+      the {e owner} responsible for solving and then {!publish}ing /
+      {!abandon}ing the key ([Owner]), or reports another thread already
+      owns it ([Busy]).
+    - A [Busy] caller must {b not} {!await} while it still owns
+      unpublished claims of its own: publish (or abandon) everything you
+      own first, then await. Since no thread ever waits while holding a
+      claim, the wait-for graph has no cycles and deadlock is impossible.
+    - {!await} returning [None] means the owner abandoned (failed);
+      the caller should re-{!claim} and take over.
+
+    Every operation takes the store lock only briefly (no user code runs
+    under it); {!await} blocks on a condition variable. *)
+
+type ('k, 'v) t
+
+type 'v claim = Hit of 'v | Owner | Busy
+
+val create : capacity:int -> ('k, 'v) t
+(** Capacity 0 is legal and degenerate (nothing is retained — every
+    claim is [Owner] once in-flight clears). *)
+
+val find_opt : ('k, 'v) t -> 'k -> 'v option
+(** Plain lookup; never interacts with the in-flight table. *)
+
+val put : ('k, 'v) t -> 'k -> 'v -> unit
+(** Plain insert; use {!publish} for keys obtained via {!claim}. *)
+
+val claim : ('k, 'v) t -> 'k -> 'v claim
+
+val publish : ('k, 'v) t -> 'k -> 'v -> unit
+(** Store the owner's result and wake every waiter. *)
+
+val abandon : ('k, 'v) t -> 'k -> unit
+(** Release ownership without a result (the owner failed); waiters wake
+    and {!await} returns [None] so one of them can take over. No-op if
+    the key is not in flight. *)
+
+val await : ('k, 'v) t -> 'k -> 'v option
+(** Block until the key is no longer in flight, then look it up. *)
+
+val hits : ('k, 'v) t -> int
+val misses : ('k, 'v) t -> int
+(** Lifetime counters of the inner {!Lru}. Under concurrency a [Busy]
+    claim counts one miss and the subsequent {!await} lookup counts
+    again; the engine's per-request stats are the precise tallies. *)
+
+val evictions : ('k, 'v) t -> int
+val length : ('k, 'v) t -> int
+val capacity : ('k, 'v) t -> int
+val clear : ('k, 'v) t -> unit

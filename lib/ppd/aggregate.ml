@@ -22,7 +22,7 @@ let joined_value db ~relation ~key_index ~attr (s : Database.session) =
   | exception Not_found -> None
 
 let over_sessions ?solver ?group ~value_of op db q rng =
-  let probs = Eval.per_session ?solver ?group db q rng in
+  let probs = Solve.per_session ?solver ?group db q rng in
   let expected_count = List.fold_left (fun acc (_, p) -> acc +. p) 0. probs in
   let weighted_sum, weight =
     List.fold_left

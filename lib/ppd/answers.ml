@@ -68,7 +68,7 @@ let domains db q = List.map (fun v -> (v, domain_of_var db q v)) q.Query.head
 let evaluate ?solver ?group ?(min_confidence = 0.) db q rng =
   match q.Query.head with
   | [] ->
-      let p = Eval.boolean_prob ?solver ?group db q rng in
+      let p = Solve.boolean_prob ?solver ?group db q rng in
       if p > min_confidence then [ { values = []; confidence = p } ] else []
   | head ->
       let doms = domains db q in
@@ -80,7 +80,7 @@ let evaluate ?solver ?group ?(min_confidence = 0.) db q rng =
           (fun combo ->
             let bindings = List.combine head combo in
             let q' = Query.substitute q bindings in
-            let p = Eval.boolean_prob ?solver ?group db q' rng in
+            let p = Solve.boolean_prob ?solver ?group db q' rng in
             if p > min_confidence then Some { values = combo; confidence = p }
             else None)
           combos

@@ -129,9 +129,6 @@ let top_k ?(solver = default_solver) ?(strategy = `Edges 1) ~k db q rng =
       in
       let evaluated = go [] queue in
       let sorted = List.stable_sort (fun (_, a) (_, b) -> compare b a) evaluated in
-      (* Pad with unevaluated sessions at probability <= their bound if fewer
-         than k were evaluated (only possible when k exceeds the session
-         count). *)
       {
         results = take k sorted;
         n_exact = !n_exact;

@@ -221,28 +221,91 @@ let check ?(eps = 1e-9) ?(budget = 0.5) ?(approx = true) ?(extra = []) (case : P
       compiled.Ppd.Compile.requests;
     (* Query level: grouped, ungrouped and engine evaluation are the same
        computation and must agree bit for bit (exact solver). *)
-    let grouped = Ppd.Eval.boolean_prob ~group:true db query (Util.Rng.make 42) in
-    let ungrouped = Ppd.Eval.boolean_prob ~group:false db query (Util.Rng.make 42) in
+    let grouped = Ppd.Solve.boolean_prob ~group:true db query (Util.Rng.make 42) in
+    let ungrouped = Ppd.Solve.boolean_prob ~group:false db query (Util.Rng.make 42) in
     if grouped <> ungrouped then
       fail "grouping bit-identity" "grouped=%.17g ungrouped=%.17g" grouped ungrouped;
     ran "group";
-    let answer, count =
-      Engine.with_engine ~jobs:1 ~cache:false (fun engine ->
-          let p =
-            Engine.Response.answer_float
-              (Engine.eval engine (Engine.Request.make ~budget db query))
-          in
-          let c =
-            Engine.Response.answer_float
-              (Engine.eval engine
-                 (Engine.Request.make ~task:Engine.Request.Count ~budget db query))
-          in
-          (p, c))
+    (* Engine matrix: the two-tier sub-answer store must be invisible in
+       answers. For each pool width, the cache-off engine is the
+       reference; the cache-on engine must return byte-identical answers
+       both cold (claim + solve + publish) and warm (pure hits), for the
+       exact tasks and — when [approx] — for a sampler whose per-sub-
+       problem RNG is derived from the cache digest. *)
+    let engine_rows engine =
+      let shot name task solver =
+        let resp =
+          Engine.eval engine (Engine.Request.make ~task ~solver ~budget db query)
+        in
+        (name, Engine.Response.answer_float resp, resp.Engine.Response.stats)
+      in
+      (* Explicit sequencing: list literals evaluate right-to-left, and
+         the cold/warm distinction depends on execution order. *)
+      let b = shot "boolean" Engine.Request.Boolean (Hardq.Solver.Exact `Auto) in
+      let c = shot "count" Engine.Request.Count (Hardq.Solver.Exact `Auto) in
+      let rest =
+        if approx then
+          [ shot "mis-lite" Engine.Request.Boolean
+              (Hardq.Solver.Approx
+                 (Hardq.Solver.Mis_lite { d = 2; n_per = 50; compensate = false }))
+          ]
+        else []
+      in
+      b :: c :: rest
+    in
+    let run_matrix ~jobs ~cache =
+      let cfg =
+        Engine.Config.(default |> with_jobs jobs |> with_cache cache)
+      in
+      Engine.with_engine cfg (fun engine ->
+          let cold = engine_rows engine in
+          let warm = engine_rows engine in
+          (cold, warm))
+    in
+    let ref_cold, ref_warm = run_matrix ~jobs:1 ~cache:false in
+    List.iter
+      (fun jobs ->
+        let cold, warm = run_matrix ~jobs ~cache:true in
+        List.iter2
+          (fun (name, p_ref, _) (name', p, _) ->
+            assert (name = name');
+            if p <> p_ref then
+              fail
+                (Printf.sprintf "cache-cold bit-identity (%s, jobs=%d)" name jobs)
+                "cache on=%.17g off=%.17g" p p_ref;
+            ran "cache-cold %s" name)
+          ref_cold cold;
+        List.iter2
+          (fun (name, p_ref, _) (name', p, stats) ->
+            assert (name = name');
+            if p <> p_ref then
+              fail
+                (Printf.sprintf "cache-warm bit-identity (%s, jobs=%d)" name jobs)
+                "cache on=%.17g off=%.17g" p p_ref;
+            if stats.Engine.Response.cache_misses <> 0 then
+              fail
+                (Printf.sprintf "cache-warm hit rate (%s, jobs=%d)" name jobs)
+                "warm pass still missed %d sub-answer(s)"
+                stats.Engine.Response.cache_misses;
+            ran "cache-warm %s" name)
+          ref_cold warm)
+      [ 1; 2 ];
+    (* The cache-off engine is itself deterministic across repeat evals. *)
+    List.iter2
+      (fun (name, p_cold, _) (_, p_warm, _) ->
+        if p_cold <> p_warm then
+          fail
+            (Printf.sprintf "cache-off repeat bit-identity (%s)" name)
+            "first=%.17g second=%.17g" p_cold p_warm)
+      ref_cold ref_warm;
+    let answer =
+      match ref_cold with (_, p, _) :: _ -> p | [] -> assert false
     in
     if answer <> grouped then
       fail "engine bit-identity" "engine=%.17g eval=%.17g" answer grouped;
     ran "engine";
-    let count_ref = Ppd.Eval.count_sessions ~group:true db query (Util.Rng.make 42) in
+    let count = match ref_cold with _ :: (_, c, _) :: _ -> c | _ -> assert false in
+    let count_ref = Ppd.Solve.count_sessions ~group:true db query (Util.Rng.make 42) in
     if count <> count_ref then
       fail "count bit-identity" "engine=%.17g eval=%.17g" count count_ref;
     ran "count";

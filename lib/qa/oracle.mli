@@ -24,7 +24,15 @@
     only increase its probability (and the union bound caps it); a
     two-label pattern with unique distinct witnesses satisfies
     [Pr(a ≻ b) + Pr(b ≻ a) = 1]; grouped, ungrouped, and engine
-    evaluation agree bit-identically on the query level. *)
+    evaluation agree bit-identically on the query level.
+
+    The engine row is itself a matrix: with the sub-answer cache on, a
+    cold and a warm evaluation at pool widths 1 and 2 must each be
+    byte-identical to the cache-off reference — for the exact Boolean
+    and Count tasks and (when [approx]) a MIS-lite sampler, whose
+    per-sub-problem RNG is derived from the cache digest precisely so
+    cache warmth cannot shift its stream — and the warm pass must serve
+    entirely from the store (zero misses). *)
 
 type solver_fn = Rim.Model.t -> Prefs.Labeling.t -> Prefs.Pattern_union.t -> float
 (** Extra solver under test: same contract as [Hardq.Solver.exact_prob]

@@ -32,6 +32,16 @@ let try_push t x =
   Mutex.unlock t.m;
   r
 
+let try_pop t =
+  Mutex.lock t.m;
+  let r =
+    if not (Queue.is_empty t.q) then `Item (Queue.pop t.q)
+    else if t.closed then `Closed
+    else `Empty
+  in
+  Mutex.unlock t.m;
+  r
+
 let pop t =
   Mutex.lock t.m;
   while Queue.is_empty t.q && not t.closed do

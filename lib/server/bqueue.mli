@@ -20,6 +20,13 @@ val pop : 'a t -> 'a option
 (** Block until an item is available ([Some]) or the queue is closed and
     empty ([None]). *)
 
+val try_pop : 'a t -> [ `Item of 'a | `Empty | `Closed ]
+(** Non-blocking {!pop}: [`Item] when one was queued, [`Empty] when the
+    queue is (momentarily) empty but still open, [`Closed] exactly when
+    {!pop} would have returned [None] — closed {e and} drained. The
+    batch scheduler uses this to sweep the admission queue between
+    gather-window ticks without parking. *)
+
 val close : 'a t -> unit
 (** No further pushes; pending items still pop. Idempotent. Wakes every
     blocked consumer. *)

@@ -1,6 +1,13 @@
 (* Wire protocol: typed requests/replies/errors and their JSON codec.
    See protocol.mli for the shapes; DESIGN.md §9 specifies the schemas. *)
 
+(* Protocol version. Emitted as "v" on every request and reply; decoders
+   accept an absent "v" (pre-versioning peers are wire-compatible with
+   v1) and reject a different number. Unknown fields are always ignored,
+   so additive evolution — like the "cache" stats block — does not need
+   a version bump. *)
+let version = 1
+
 (* ------------------------------------------------------------------ *)
 (* Addresses                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -135,7 +142,10 @@ let dataset_to_json (d : dataset_spec) =
      match d.ds_seed with Some v -> [ ("seed", Json.Int v) ] | None -> [])
 
 let request_to_json (r : request) =
-  let id = match r.id with Some v -> [ ("id", v) ] | None -> [] in
+  let id =
+    ("v", Json.Int version)
+    :: (match r.id with Some v -> [ ("id", v) ] | None -> [])
+  in
   match r.op with
   | Ping -> Json.Obj (("op", Json.String "ping") :: id)
   | Metrics -> Json.Obj (("op", Json.String "metrics") :: id)
@@ -292,10 +302,18 @@ let eval_of_json json =
     { dataset; query; task; solver; budget; seed; timeout_ms; per_session;
       parallelism }
 
+let check_version json =
+  match Json.member "v" json with
+  | None -> Ok () (* pre-versioning peer: wire-compatible with v1 *)
+  | Some (Json.Int v) when v = version -> Ok ()
+  | Some (Json.Int v) -> bad "unsupported protocol version %d (this is v%d)" v version
+  | Some _ -> bad "field \"v\" must be an integer"
+
 let request_of_json json =
   match json with
   | Json.Obj _ -> (
       let id = Json.member "id" json in
+      let* () = check_version json in
       let* op =
         match Json.member "op" json with
         | Some (Json.String "ping") -> Ok Ping
@@ -315,6 +333,16 @@ let request_of_json json =
 (* Replies                                                             *)
 (* ------------------------------------------------------------------ *)
 
+type cache_stats = {
+  answer_hits : int;
+  answer_misses : int;
+  sf_joins : int;
+  term_hits : int;
+  term_misses : int;
+  batch_id : int;
+  batch_size : int;
+}
+
 type stats = {
   sessions : int;
   distinct : int;
@@ -328,6 +356,8 @@ type stats = {
   total_s : float;
   queue_s : float;
   server_s : float;
+  cache : cache_stats option;
+      (* v1 additive block; [None] when the peer predates it *)
 }
 
 type answer =
@@ -373,7 +403,7 @@ let session_row_of_json j =
 
 let stats_to_json (s : stats) =
   Json.Obj
-    [
+    ([
       ("sessions", Json.Int s.sessions);
       ("distinct", Json.Int s.distinct);
       ("cache_hits", Json.Int s.cache_hits);
@@ -387,6 +417,52 @@ let stats_to_json (s : stats) =
       ("queue_s", Json.Float s.queue_s);
       ("server_s", Json.Float s.server_s);
     ]
+    @
+    match s.cache with
+    | None -> []
+    | Some c ->
+        [
+          ( "cache",
+            Json.Obj
+              [
+                ("answer_hits", Json.Int c.answer_hits);
+                ("answer_misses", Json.Int c.answer_misses);
+                ("sf_joins", Json.Int c.sf_joins);
+                ("term_hits", Json.Int c.term_hits);
+                ("term_misses", Json.Int c.term_misses);
+                ("batch_id", Json.Int c.batch_id);
+                ("batch_size", Json.Int c.batch_size);
+              ] );
+        ])
+
+(* The "cache" block is optional (a pre-v1 server omits it) but, when
+   present, must be well-formed: a malformed block is a decode failure,
+   not a silent [None]. *)
+let cache_stats_of_json j =
+  match Json.member "cache" j with
+  | None -> Some None
+  | Some c ->
+      let int k = Option.bind (Json.member k c) Json.to_int in
+      (match
+         ( (int "answer_hits", int "answer_misses", int "sf_joins"),
+           (int "term_hits", int "term_misses"),
+           (int "batch_id", int "batch_size") )
+       with
+      | ( (Some answer_hits, Some answer_misses, Some sf_joins),
+          (Some term_hits, Some term_misses),
+          (Some batch_id, Some batch_size) ) ->
+          Some
+            (Some
+               {
+                 answer_hits;
+                 answer_misses;
+                 sf_joins;
+                 term_hits;
+                 term_misses;
+                 batch_id;
+                 batch_size;
+               })
+      | _ -> None)
 
 let stats_of_json j =
   let int k = Option.bind (Json.member k j) Json.to_int in
@@ -395,12 +471,12 @@ let stats_of_json j =
     ( (int "sessions", int "distinct", int "cache_hits", int "cache_misses"),
       (int "solver_calls", int "jobs"),
       (flt "compile_s", flt "bound_s", flt "solve_s", flt "total_s"),
-      (flt "queue_s", flt "server_s") )
+      (flt "queue_s", flt "server_s", cache_stats_of_json j) )
   with
   | ( (Some sessions, Some distinct, Some cache_hits, Some cache_misses),
       (Some solver_calls, Some jobs),
       (Some compile_s, Some bound_s, Some solve_s, Some total_s),
-      (Some queue_s, Some server_s) ) ->
+      (Some queue_s, Some server_s, Some cache) ) ->
       Some
         {
           sessions;
@@ -415,6 +491,7 @@ let stats_of_json j =
           total_s;
           queue_s;
           server_s;
+          cache;
         }
   | _ -> None
 
@@ -451,7 +528,10 @@ let answer_of_json j =
   | _ -> None
 
 let reply_to_json (r : reply) =
-  let id = match r.reply_id with Some v -> [ ("id", v) ] | None -> [] in
+  let id =
+    ("v", Json.Int version)
+    :: (match r.reply_id with Some v -> [ ("id", v) ] | None -> [])
+  in
   match r.result with
   | Pong -> Json.Obj (id @ [ ("ok", Json.Bool true); ("pong", Json.Bool true) ])
   | Metrics_snapshot snap ->
@@ -480,6 +560,9 @@ let reply_to_json (r : reply) =
 
 let reply_of_json j =
   let reply_id = Json.member "id" j in
+  match check_version j with
+  | Stdlib.Error e -> Stdlib.Error e.message
+  | Ok () -> (
   match Json.member "ok" j with
   | Some (Json.Bool false) -> (
       match Json.member "error" j with
@@ -515,7 +598,7 @@ let reply_of_json j =
               Ok { reply_id; result = Answer { answer; per_session; stats } }
           | _ -> Stdlib.Error "malformed answer reply")
       | _ -> Stdlib.Error "ok reply without pong/metrics/answer")
-  | _ -> Stdlib.Error "reply without boolean \"ok\" field"
+  | _ -> Stdlib.Error "reply without boolean \"ok\" field")
 
 (* ------------------------------------------------------------------ *)
 (* Engine-response projection                                          *)
@@ -546,6 +629,17 @@ let stats_of_response ~queue_s ~server_s (resp : Engine.Response.t) =
     total_s = s.Engine.Response.total_s;
     queue_s;
     server_s;
+    cache =
+      Some
+        {
+          answer_hits = s.Engine.Response.cache_hits;
+          answer_misses = s.Engine.Response.cache_misses;
+          sf_joins = s.Engine.Response.sf_joins;
+          term_hits = s.Engine.Response.term_hits;
+          term_misses = s.Engine.Response.term_misses;
+          batch_id = s.Engine.Response.batch_id;
+          batch_size = s.Engine.Response.batch_size;
+        };
   }
 
 (* ------------------------------------------------------------------ *)

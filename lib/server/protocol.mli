@@ -9,7 +9,17 @@
     [Hardq.Solver.t], [Ppd.Query.t] via {!Ppd.Query.to_string} /
     {!Ppd.Parser.parse}), so a decoded request evaluates to answers
     bit-identical to a direct [Engine.eval] of the same request — floats
-    cross the wire through {!Json}'s round-trip printer. *)
+    cross the wire through {!Json}'s round-trip printer.
+
+    {b Versioning.} Every encoded request and reply carries
+    [("v", {!version})]. Decoders accept an absent ["v"] (pre-versioning
+    peers speak the same schema) and reject a different number with
+    [Bad_request]. Decoders ignore unknown fields, so additive schema
+    evolution — like the reply's ["cache"] stats block — needs no
+    version bump; see DESIGN.md §9 for the full schema. *)
+
+val version : int
+(** The protocol version this build speaks: [1]. *)
 
 (** {1 Addresses} *)
 
@@ -101,6 +111,21 @@ val request_of_json : Json.t -> (request, error) result
 
 (** {1 Replies} *)
 
+type cache_stats = {
+  answer_hits : int;  (** distinct inferences answered by the answer tier *)
+  answer_misses : int;  (** distinct inferences this request solved *)
+  sf_joins : int;
+      (** distinct inferences joined from another in-flight request
+          (single-flight dedup) *)
+  term_hits : int;
+  term_misses : int;  (** term-tier (IE-conjunction) traffic *)
+  batch_id : int;  (** id of the engine batch that carried this request *)
+  batch_size : int;  (** requests gathered into that batch *)
+}
+(** Wire field ["cache"], added in v1 as a non-breaking extension: a
+    decoder that does not know it skips it, and decoding a reply from a
+    pre-v1 server that omitted it yields [cache = None]. *)
+
 type stats = {
   sessions : int;
   distinct : int;
@@ -114,6 +139,7 @@ type stats = {
   total_s : float;  (** engine wall time *)
   queue_s : float;  (** admission-queue wait, server side *)
   server_s : float;  (** dequeue-to-reply wall time, server side *)
+  cache : cache_stats option;
 }
 
 type answer =
@@ -134,7 +160,11 @@ and result_body =
   | Err of error
 
 val reply_to_json : reply -> Json.t
+
 val reply_of_json : Json.t -> (reply, string) result
+(** Like {!request_of_json}, tolerates an absent ["v"] and unknown
+    members but rejects a ["v"] other than {!version} or a malformed
+    ["cache"] block. *)
 
 val key_of_session : Ppd.Database.session -> Ppd.Value.t list
 (** A session's wire identity: its key attribute values. *)

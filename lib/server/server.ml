@@ -12,6 +12,7 @@ type config = {
   address : Protocol.address;
   jobs : int option;
   cache_capacity : int;
+  term_cache_capacity : int;
   queue_capacity : int;
   workers : int;
   max_connections : int;
@@ -23,6 +24,10 @@ type config = {
   intra : bool;
       (* default Request parallelism for evals that don't specify one:
          true = solver calls may fan intra-query work into the pool *)
+  batch_window_ms : float;
+      (* gather window of the batch scheduler; <= 0 dispatches every
+         admitted request as its own batch immediately *)
+  batch_max : int; (* largest request group one batch may carry *)
 }
 
 let default_config address =
@@ -30,6 +35,7 @@ let default_config address =
     address;
     jobs = None;
     cache_capacity = 8192;
+    term_cache_capacity = 4096;
     queue_capacity = 64;
     workers = 2;
     max_connections = 1024;
@@ -39,6 +45,8 @@ let default_config address =
     preload = [];
     quiet = true;
     intra = true;
+    batch_window_ms = 2.;
+    batch_max = 16;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -56,6 +64,8 @@ let c_err = Obs.counter "server.replies.error"
 let c_deadline = Obs.counter "server.deadline_exceeded"
 let c_depth = Obs.counter "server.queue.depth" (* gauge *)
 let c_write_errors = Obs.counter "server.write_errors"
+let c_batches = Obs.counter "server.batches"
+let h_batch_jobs = Obs.histogram "server.batch.jobs"
 let h_queue_us = Obs.histogram "server.queue_us"
 let h_eval_us = Obs.histogram "server.eval_us"
 let h_total_us = Obs.histogram "server.total_us"
@@ -114,14 +124,21 @@ type t = {
   cfg : config;
   listen_fd : Unix.file_descr;
   bound : Protocol.address;
-  engine : Engine.t;
-  engine_m : Mutex.t;
+  engine : Engine.t; (* thread-safe: workers eval concurrently *)
   registry : Registry.t;
-  queue : job Bqueue.t;
+  queue : job Bqueue.t; (* admission: readers -> batch scheduler *)
+  batches : job list Bqueue.t; (* gathered: batch scheduler -> workers *)
+  backlog : int Atomic.t;
+      (* jobs admitted but not yet picked up by a worker — admission
+         queue + open buckets + batch queue. The shed knee: admission
+         refuses when it reaches [queue_capacity], preserving the
+         pre-scheduler "queue full" semantics even though the scheduler
+         drains the admission queue eagerly. *)
   draining : bool Atomic.t;
   stop_r : Unix.file_descr;
   stop_w : Unix.file_descr;
   mutable accept_thread : Thread.t option;
+  mutable dispatch_thread : Thread.t option;
   mutable worker_threads : Thread.t list;
   conns : (int, conn) Hashtbl.t;
   conns_m : Mutex.t;
@@ -182,111 +199,271 @@ let effective_budget t (e : Protocol.eval) deadline start =
         (e.Protocol.budget, false)
       else (rem_cpu, true)
 
-let run_eval t (job : job) start =
+(* Build the engine request for one job (or the typed error reply when
+   the dataset cannot be resolved). *)
+let prepare t (job : job) start =
   let e = job.eval in
   match Registry.find t.registry e.Protocol.dataset with
-  | Error err -> Protocol.Err err
-  | Ok db -> (
-      let budget, deadline_limited =
-        effective_budget t e job.deadline start
-      in
+  | Error err -> Error (Protocol.Err err)
+  | Ok db ->
+      let budget, deadline_limited = effective_budget t e job.deadline start in
       let parallelism =
         match e.Protocol.parallelism with
         | Some p -> p
         | None -> if t.cfg.intra then `Intra else `Inter
       in
-      let req =
-        Engine.Request.make ~task:e.Protocol.task ~solver:e.Protocol.solver
-          ~budget ~seed:e.Protocol.seed ?deadline:job.deadline ~parallelism db
-          e.Protocol.query
-      in
-      match
-        Mutex.lock t.engine_m;
-        Fun.protect
-          ~finally:(fun () -> Mutex.unlock t.engine_m)
-          (fun () -> Engine.eval t.engine req)
-      with
-      | resp ->
-          let fin = now () in
-          Obs.Histogram.observe h_eval_us (us_of_s (fin -. start));
-          let stats =
-            Protocol.stats_of_response
-              ~queue_s:(start -. job.enqueued_at)
-              ~server_s:(fin -. start) resp
-          in
-          let per_session =
-            if e.Protocol.per_session then
-              Some
-                (List.map
-                   (fun (s, p) -> (Protocol.key_of_session s, p))
-                   resp.Engine.Response.per_session)
-            else None
-          in
-          Protocol.Answer
-            { answer = Protocol.answer_of_response resp; per_session; stats }
-      | exception Util.Timer.Out_of_time ->
-          (* Either the deadline-derived CPU cap or the engine's wall-clock
-             guard fired; a genuinely-expired deadline wins the diagnosis
-             even when the request also carried its own (tighter) budget. *)
-          let deadline_limited =
-            deadline_limited
-            || (match job.deadline with
-               | Some dl -> Util.Timer.wall () >= dl
-               | None -> false)
-          in
-          if deadline_limited then begin
-            Obs.Counter.incr c_deadline;
-            Protocol.Err
-              (Protocol.error Protocol.Deadline_exceeded
-                 "deadline expired during evaluation")
-          end
-          else
-            Protocol.Err
-              (Protocol.error Protocol.Budget_exhausted
-                 "CPU budget exhausted; raise \"budget\" or pick a cheaper \
-                  solver")
-      | exception Ppd.Compile.Unsupported msg ->
-          Protocol.Err (Protocol.error Protocol.Unsupported msg)
-      | exception Ppd.Compile.Grounding_too_large msg ->
-          Protocol.Err (Protocol.error Protocol.Unsupported msg)
-      | exception Engine.Stopped ->
-          Protocol.Err
-            (Protocol.error Protocol.Shutting_down "server is draining")
-      | exception exn ->
-          Protocol.Err
-            (Protocol.error Protocol.Internal (Printexc.to_string exn)))
+      Ok
+        ( Engine.Request.make ~task:e.Protocol.task ~solver:e.Protocol.solver
+            ~budget ~seed:e.Protocol.seed ?deadline:job.deadline ~parallelism
+            db e.Protocol.query,
+          deadline_limited )
 
-let process t (job : job) =
-  let start = now () in
-  Obs.Counter.add c_depth (-1);
-  Obs.Histogram.observe h_queue_us (us_of_s (start -. job.enqueued_at));
-  let result =
-    match job.deadline with
-    | Some dl when start >= dl ->
+(* Map one engine result for [job] onto the wire reply. *)
+let finish (job : job) start deadline_limited
+    (result : (Engine.Response.t, exn) result) =
+  let e = job.eval in
+  match result with
+  | Ok resp ->
+      let fin = now () in
+      Obs.Histogram.observe h_eval_us (us_of_s (fin -. start));
+      let stats =
+        Protocol.stats_of_response
+          ~queue_s:(start -. job.enqueued_at)
+          ~server_s:(fin -. start) resp
+      in
+      let per_session =
+        if e.Protocol.per_session then
+          Some
+            (List.map
+               (fun (s, p) -> (Protocol.key_of_session s, p))
+               resp.Engine.Response.per_session)
+        else None
+      in
+      Protocol.Answer
+        { answer = Protocol.answer_of_response resp; per_session; stats }
+  | Error Util.Timer.Out_of_time ->
+      (* Either the deadline-derived CPU cap or the engine's wall-clock
+         guard fired; a genuinely-expired deadline wins the diagnosis
+         even when the request also carried its own (tighter) budget. *)
+      let deadline_limited =
+        deadline_limited
+        || (match job.deadline with
+           | Some dl -> Util.Timer.wall () >= dl
+           | None -> false)
+      in
+      if deadline_limited then begin
         Obs.Counter.incr c_deadline;
         Protocol.Err
           (Protocol.error Protocol.Deadline_exceeded
-             "deadline expired while queued")
-    | _ -> run_eval t job start
+             "deadline expired during evaluation")
+      end
+      else
+        Protocol.Err
+          (Protocol.error Protocol.Budget_exhausted
+             "CPU budget exhausted; raise \"budget\" or pick a cheaper solver")
+  | Error (Ppd.Compile.Unsupported msg) ->
+      Protocol.Err (Protocol.error Protocol.Unsupported msg)
+  | Error (Ppd.Compile.Grounding_too_large msg) ->
+      Protocol.Err (Protocol.error Protocol.Unsupported msg)
+  | Error Engine.Stopped ->
+      Protocol.Err (Protocol.error Protocol.Shutting_down "server is draining")
+  | Error exn ->
+      Protocol.Err (Protocol.error Protocol.Internal (Printexc.to_string exn))
+
+(* One gathered batch: account, weed out queue-expired jobs, resolve the
+   rest into engine requests, evaluate them as one [Engine.eval_batch]
+   (sharing sub-answers through the store), and reply per job. The
+   engine is thread-safe, so workers run their batches concurrently with
+   no server-side serialization. *)
+let process_batch t jobs =
+  let start = now () in
+  Obs.Counter.incr c_batches;
+  Obs.Histogram.observe h_batch_jobs (List.length jobs);
+  List.iter
+    (fun job ->
+      Atomic.decr t.backlog;
+      Obs.Counter.add c_depth (-1);
+      Obs.Histogram.observe h_queue_us (us_of_s (start -. job.enqueued_at)))
+    jobs;
+  let staged =
+    List.map
+      (fun job ->
+        match job.deadline with
+        | Some dl when start >= dl ->
+            Obs.Counter.incr c_deadline;
+            ( job,
+              `Reply
+                (Protocol.Err
+                   (Protocol.error Protocol.Deadline_exceeded
+                      "deadline expired while queued")) )
+        | _ -> (
+            match prepare t job start with
+            | Error reply -> (job, `Reply reply)
+            | Ok (req, deadline_limited) ->
+                (job, `Eval (req, deadline_limited))))
+      jobs
   in
-  send_reply job.conn { Protocol.reply_id = job.req_id; result };
-  Obs.Histogram.observe h_total_us (us_of_s (now () -. job.enqueued_at))
+  let reqs =
+    Array.of_list
+      (List.filter_map
+         (function _, `Eval (req, _) -> Some req | _, `Reply _ -> None)
+         staged)
+  in
+  let results = Engine.eval_batch t.engine reqs in
+  let idx = ref 0 in
+  List.iter
+    (fun (job, stage) ->
+      let result =
+        match stage with
+        | `Reply r -> r
+        | `Eval (_, deadline_limited) ->
+            let r = results.(!idx) in
+            incr idx;
+            finish job start deadline_limited r
+      in
+      send_reply job.conn { Protocol.reply_id = job.req_id; result };
+      Obs.Histogram.observe h_total_us (us_of_s (now () -. job.enqueued_at)))
+    staged
 
 let worker_loop t () =
   let rec go () =
-    match Bqueue.pop t.queue with
+    match Bqueue.pop t.batches with
     | None -> () (* closed and drained *)
-    | Some job ->
-        (* [process] catches everything evaluation can throw; anything
-           else would kill this worker, so belt-and-braces here. *)
-        (try process t job
+    | Some jobs ->
+        (* [process_batch] catches everything evaluation can throw;
+           anything else would kill this worker, so belt-and-braces. *)
+        (try process_batch t jobs
          with exn ->
-           send_error job.conn job.req_id Protocol.Internal
-             (Printexc.to_string exn));
-        conn_release job.conn;
+           List.iter
+             (fun job ->
+               send_error job.conn job.req_id Protocol.Internal
+                 (Printexc.to_string exn))
+             jobs);
+        List.iter (fun job -> conn_release job.conn) jobs;
         go ()
   in
   go ()
+
+(* ------------------------------------------------------------------ *)
+(* Batch scheduler                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Admitted requests gather into per-shape buckets for up to one window.
+   A bucket flushes as one batch when its window closes, when it reaches
+   [batch_max], or — the starvation bound — early enough that no member
+   waits past one window before its deadline. Grouping key: dataset
+   spec, query, solver and seed — exactly the requests whose per-session
+   sub-problems share engine cache keys (tasks may differ; they share
+   sub-answers all the same). *)
+
+type bucket = {
+  mutable members_rev : job list;
+  mutable n_members : int;
+  mutable flush_at : float;
+}
+
+let bucket_key (job : job) =
+  let e = job.eval in
+  (e.Protocol.dataset, e.Protocol.query, e.Protocol.solver, e.Protocol.seed)
+
+let dispatch_loop t () =
+  let window = t.cfg.batch_window_ms /. 1000. in
+  let buckets = Hashtbl.create 8 in
+  let push_batch jobs =
+    let rec push () =
+      match Bqueue.try_push t.batches jobs with
+      | Bqueue.Pushed -> ()
+      | Bqueue.Full ->
+          (* Unreachable while the backlog bound holds (batches <= jobs
+             <= queue_capacity = batch-queue capacity); back off rather
+             than drop if it ever does. *)
+          Thread.delay 0.0005;
+          push ()
+      | Bqueue.Closed ->
+          (* A drain raced the flush: admitted jobs still get a typed
+             reply, never silence. *)
+          List.iter
+            (fun job ->
+              Atomic.decr t.backlog;
+              Obs.Counter.add c_depth (-1);
+              send_error job.conn job.req_id Protocol.Shutting_down
+                "server is draining";
+              conn_release job.conn)
+            jobs
+    in
+    push ()
+  in
+  let flush key b =
+    Hashtbl.remove buckets key;
+    push_batch (List.rev b.members_rev)
+  in
+  let flush_due now_ =
+    List.iter
+      (fun (k, b) -> flush k b)
+      (Hashtbl.fold
+         (fun k b acc -> if b.flush_at <= now_ then (k, b) :: acc else acc)
+         buckets [])
+  in
+  let flush_all () =
+    List.iter
+      (fun (k, b) -> flush k b)
+      (Hashtbl.fold (fun k b acc -> (k, b) :: acc) buckets [])
+  in
+  let admit job =
+    if window <= 0. || t.cfg.batch_max <= 1 then push_batch [ job ]
+    else begin
+      let now_ = now () in
+      let slack_bound =
+        match job.deadline with
+        | None -> infinity
+        | Some dl -> Float.max now_ (dl -. window)
+      in
+      let key = bucket_key job in
+      match Hashtbl.find_opt buckets key with
+      | Some b ->
+          b.members_rev <- job :: b.members_rev;
+          b.n_members <- b.n_members + 1;
+          b.flush_at <- Float.min b.flush_at slack_bound;
+          if b.n_members >= t.cfg.batch_max then flush key b
+      | None ->
+          Hashtbl.add buckets key
+            {
+              members_rev = [ job ];
+              n_members = 1;
+              flush_at = Float.min (now_ +. window) slack_bound;
+            }
+    end
+  in
+  let rec loop () =
+    if Hashtbl.length buckets = 0 then (
+      (* Nothing gathering: park until work or close. *)
+      match Bqueue.pop t.queue with
+      | None -> flush_all () (* closed and drained: exit *)
+      | Some job ->
+          admit job;
+          loop ())
+    else
+      match Bqueue.try_pop t.queue with
+      | `Item job ->
+          admit job;
+          loop ()
+      | `Closed -> flush_all ()
+      | `Empty ->
+          let now_ = now () in
+          flush_due now_;
+          if Hashtbl.length buckets > 0 then begin
+            let next =
+              Hashtbl.fold
+                (fun _ b acc -> Float.min acc b.flush_at)
+                buckets infinity
+            in
+            (* Short bounded ticks toward the earliest window close keep
+               the gather latency tight without busy-waiting. *)
+            Thread.delay (Float.max 0.0002 (Float.min 0.0005 (next -. now_)))
+          end;
+          loop ()
+  in
+  loop ()
 
 (* ------------------------------------------------------------------ *)
 (* Per-connection reader                                               *)
@@ -385,20 +562,38 @@ let handle_line t conn line =
                after its reply); retain before pushing — a worker may
                finish the job before [try_push] even returns. *)
             conn_retain conn;
-            (match Bqueue.try_push t.queue job with
-            | Bqueue.Pushed ->
-                Obs.Counter.incr c_admitted;
-                Obs.Counter.incr c_depth
-            | Bqueue.Full ->
-                conn_release conn;
-                Obs.Counter.incr c_shed;
-                send_error conn id Protocol.Overloaded
-                  (Printf.sprintf
-                     "admission queue full (%d requests); retry later"
-                     (Bqueue.capacity t.queue))
-            | Bqueue.Closed ->
-                conn_release conn;
-                send_error conn id Protocol.Shutting_down "server is draining"))
+            (* The shed knee is the admitted-but-unprocessed backlog, not
+               the raw queue length: the batch scheduler drains the
+               admission queue eagerly into gather buckets, so queue
+               length alone would never reach capacity. *)
+            if Atomic.get t.backlog >= t.cfg.queue_capacity then begin
+              conn_release conn;
+              Obs.Counter.incr c_shed;
+              send_error conn id Protocol.Overloaded
+                (Printf.sprintf
+                   "admission backlog full (%d requests); retry later"
+                   t.cfg.queue_capacity)
+            end
+            else begin
+              Atomic.incr t.backlog;
+              match Bqueue.try_push t.queue job with
+              | Bqueue.Pushed ->
+                  Obs.Counter.incr c_admitted;
+                  Obs.Counter.incr c_depth
+              | Bqueue.Full ->
+                  Atomic.decr t.backlog;
+                  conn_release conn;
+                  Obs.Counter.incr c_shed;
+                  send_error conn id Protocol.Overloaded
+                    (Printf.sprintf
+                       "admission queue full (%d requests); retry later"
+                       (Bqueue.capacity t.queue))
+              | Bqueue.Closed ->
+                  Atomic.decr t.backlog;
+                  conn_release conn;
+                  send_error conn id Protocol.Shutting_down
+                    "server is draining"
+            end)
 
 let conn_loop t conn () =
   let closed = ref false in
@@ -534,16 +729,25 @@ let start cfg =
       listen_fd;
       bound;
       engine =
-        Engine.create ?jobs:cfg.jobs ~cache:true
-          ~cache_capacity:cfg.cache_capacity ();
-      engine_m = Mutex.create ();
+        Engine.create
+          {
+            Engine.Config.default with
+            jobs = cfg.jobs;
+            answer_capacity = cfg.cache_capacity;
+            term_capacity = cfg.term_cache_capacity;
+            batch_window = cfg.batch_window_ms /. 1000.;
+            batch_max = cfg.batch_max;
+          };
       registry = Registry.create ();
       queue = Bqueue.create ~capacity:cfg.queue_capacity;
+      batches = Bqueue.create ~capacity:cfg.queue_capacity;
+      backlog = Atomic.make 0;
       draining = Atomic.make false;
       stop_r;
       stop_w;
       accept_thread = None;
       worker_threads = [];
+      dispatch_thread = None;
       conns = Hashtbl.create 32;
       conns_m = Mutex.create ();
       conns_cv = Condition.create ();
@@ -560,10 +764,13 @@ let start cfg =
     cfg.preload;
   t.worker_threads <-
     List.init cfg.workers (fun _ -> Thread.create (worker_loop t) ());
+  t.dispatch_thread <- Some (Thread.create (dispatch_loop t) ());
   t.accept_thread <- Some (Thread.create (accept_loop t) ());
-  log t "listening on %s (jobs=%d, queue=%d, workers=%d)"
+  log t
+    "listening on %s (jobs=%d, queue=%d, workers=%d, batch window=%gms max=%d)"
     (Protocol.address_to_string bound)
-    (Engine.jobs t.engine) cfg.queue_capacity cfg.workers;
+    (Engine.jobs t.engine) cfg.queue_capacity cfg.workers cfg.batch_window_ms
+    cfg.batch_max;
   t
 
 let address t = t.bound
@@ -593,10 +800,14 @@ let flush_metrics t =
 let await t =
   (* Block until a drain is requested: the accept loop only exits then. *)
   (match t.accept_thread with Some th -> Thread.join th | None -> ());
-  log t "draining: listener closed, finishing %d queued request(s)"
-    (Bqueue.length t.queue);
-  (* No new admissions; queued and in-flight requests still complete. *)
+  log t "draining: listener closed, finishing %d admitted request(s)"
+    (Atomic.get t.backlog);
+  (* No new admissions. Close upstream-to-downstream: the scheduler
+     drains the admission queue and flushes its gather buckets before
+     exiting, then the batch queue closes under the workers. *)
   Bqueue.close t.queue;
+  (match t.dispatch_thread with Some th -> Thread.join th | None -> ());
+  Bqueue.close t.batches;
   List.iter Thread.join t.worker_threads;
   (* All replies are written; hang up on the readers and wait for them
      to unregister. [shutdown] (not [close]) wakes a thread blocked in

@@ -3,18 +3,29 @@
     ({!Protocol}).
 
     {b Threading model.} One accept thread; one reader thread per
-    connection (decode, admission, error replies); a fixed set of worker
-    threads consuming a bounded admission queue ({!Bqueue}) and running
-    [Engine.eval] — serialized on an engine mutex, because the engine
-    parallelizes {e internally} across its domain pool; extra workers
-    only overlap serving-side work (dataset synthesis, serialization)
-    with evaluation. Replies carry the request id, so answers to one
-    connection may come back out of order under pipelining.
+    connection (decode, admission, error replies); one batch-scheduler
+    thread draining the bounded admission queue ({!Bqueue}) into
+    per-shape gather buckets; a fixed set of worker threads consuming
+    flushed batches and running [Engine.eval_batch] concurrently — the
+    engine is thread-safe, shares solved sub-answers across concurrent
+    requests through its two-tier store, and single-flights duplicate
+    sub-problems, so no server-side serialization is needed. Replies
+    carry the request id, so answers to one connection may come back out
+    of order under pipelining.
 
-    {b Admission.} A full queue sheds the request immediately with a
-    typed [overloaded] error — the queue bound is the knee of the
-    latency curve, not a buffer. Connections beyond [max_connections]
-    are refused the same way.
+    {b Batching.} Admitted requests with the same dataset, query, solver
+    and seed gather for up to [batch_window_ms] (or [batch_max]
+    requests, whichever first) and are evaluated as one engine batch, so
+    their shared sub-problems are solved once. A batched request never
+    waits more than one gather window beyond what its deadline slack
+    allows; [batch_window_ms <= 0] (or [batch_max <= 1]) dispatches
+    every request immediately. Batching never changes answers — a cache
+    hit is byte-identical to a cold solve.
+
+    {b Admission.} A full backlog — requests admitted but not yet
+    processing — sheds the request immediately with a typed [overloaded]
+    error; the bound is the knee of the latency curve, not a buffer.
+    Connections beyond [max_connections] are refused the same way.
 
     {b Deadlines.} A request's [timeout_ms] becomes (a) a rejection at
     dequeue time if it already expired in the queue, and (b) a CPU
@@ -45,8 +56,9 @@ module Client = Client
 type config = {
   address : Protocol.address;
   jobs : int option;  (** engine pool size; [None] = engine default *)
-  cache_capacity : int;  (** engine LRU entries *)
-  queue_capacity : int;  (** admission-queue bound *)
+  cache_capacity : int;  (** answer-tier store entries *)
+  term_cache_capacity : int;  (** term-tier store entries; [0] disables *)
+  queue_capacity : int;  (** admission-backlog bound *)
   workers : int;  (** evaluator threads, >= 1 *)
   max_connections : int;
   default_timeout_ms : float option;  (** applied when a request has none *)
@@ -58,14 +70,17 @@ type config = {
       (** default parallelism for evals without a ["parallelism"] field:
           [true] lets each solver call fan intra-query work into the
           engine pool. Answers are bit-identical either way. *)
+  batch_window_ms : float;  (** gather window; [<= 0] = no batching *)
+  batch_max : int;  (** flush a gather bucket at this many requests *)
 }
 
 val default_config : Protocol.address -> config
-(** jobs = engine default, cache 8192, queue 64, 2 workers, 1024
-    connections, no default timeout, 1 MiB lines, no metrics path, no
-    preloads, quiet (the binary's [--quiet] flag opts into silence
-    explicitly; library embedders flip [quiet] off when they want the
-    lifecycle log), intra-query parallelism on. *)
+(** jobs = engine default, answer cache 8192, term cache 4096, queue 64,
+    2 workers, 1024 connections, no default timeout, 1 MiB lines, no
+    metrics path, no preloads, quiet (the binary's [--quiet] flag opts
+    into silence explicitly; library embedders flip [quiet] off when
+    they want the lifecycle log), intra-query parallelism on, 2 ms
+    gather window, 16 requests per batch. *)
 
 type t
 
@@ -85,9 +100,10 @@ val request_drain : t -> unit
 val draining : t -> bool
 
 val await : t -> unit
-(** Block until a drain is requested, then tear down: join accept and
-    workers (completing every admitted request), close connections,
-    [Engine.shutdown], flush metrics. Call exactly once. *)
+(** Block until a drain is requested, then tear down: join the accept
+    loop, the batch scheduler and the workers (completing every admitted
+    request), close connections, [Engine.shutdown], flush metrics. Call
+    exactly once. *)
 
 val drain : t -> unit
 (** [request_drain] + {!await} — the programmatic shutdown used by

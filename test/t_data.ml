@@ -141,10 +141,10 @@ let unit_polls_fig4_evaluates () =
   let db = Datasets.Polls.generate ~n_candidates:7 ~n_voters:6 ~seed:7 () in
   let q = Ppd.Parser.parse Datasets.Polls.query_two_label in
   let auto =
-    Ppd.Eval.per_session ~solver:(Hardq.Solver.Exact `Auto) db q (Helpers.rng 1)
+    Ppd.Solve.per_session ~solver:(Hardq.Solver.Exact `Auto) db q (Helpers.rng 1)
   in
   let brute =
-    Ppd.Eval.per_session ~solver:(Hardq.Solver.Exact `Brute) db q (Helpers.rng 1)
+    Ppd.Solve.per_session ~solver:(Hardq.Solver.Exact `Brute) db q (Helpers.rng 1)
   in
   List.iter2
     (fun (_, a) (_, b) -> Helpers.check_close ~eps:1e-9 "polls fig4" a b)

@@ -164,12 +164,12 @@ let crowdrank_solver =
 
 let check_matches_eval name (db, q) =
   let solver = Hardq.Solver.Exact `Auto in
-  let ref_sessions = Ppd.Eval.per_session ~solver db q (Util.Rng.make 1) in
-  let ref_bool = Ppd.Eval.boolean_prob ~solver db q (Util.Rng.make 1) in
-  let ref_count = Ppd.Eval.count_sessions ~solver db q (Util.Rng.make 1) in
+  let ref_sessions = Ppd.Solve.per_session ~solver db q (Util.Rng.make 1) in
+  let ref_bool = Ppd.Solve.boolean_prob ~solver db q (Util.Rng.make 1) in
+  let ref_count = Ppd.Solve.count_sessions ~solver db q (Util.Rng.make 1) in
   List.iter
     (fun jobs ->
-      Engine.with_engine ~jobs (fun engine ->
+      Engine.with_engine Engine.Config.(default |> with_jobs jobs) (fun engine ->
           let eval task =
             Engine.eval engine (Engine.Request.make ~task ~solver db q)
           in
@@ -210,11 +210,11 @@ let unit_engine_topk_matches_eval () =
   List.iter
     (fun strategy ->
       let reference =
-        Ppd.Eval.top_k ~solver ~strategy ~k:5 db q (Util.Rng.make 1)
+        Ppd.Solve.top_k ~solver ~strategy ~k:5 db q (Util.Rng.make 1)
       in
       List.iter
         (fun jobs ->
-          Engine.with_engine ~jobs (fun engine ->
+          Engine.with_engine Engine.Config.(default |> with_jobs jobs) (fun engine ->
               let resp =
                 Engine.eval engine
                   (Engine.Request.make
@@ -224,7 +224,7 @@ let unit_engine_topk_matches_eval () =
               let got = Engine.Response.ranked resp in
               Alcotest.(check int)
                 "ranking length"
-                (List.length reference.Ppd.Eval.results)
+                (List.length reference.Ppd.Solve.results)
                 (List.length got);
               List.iter2
                 (fun (rs, rp) (gs, gp) ->
@@ -235,7 +235,7 @@ let unit_engine_topk_matches_eval () =
                        (Array.map Ppd.Value.to_string (rs : Ppd.Database.session).Ppd.Database.key))
                     (Array.to_list
                        (Array.map Ppd.Value.to_string (gs : Ppd.Database.session).Ppd.Database.key)))
-                reference.Ppd.Eval.results got))
+                reference.Ppd.Solve.results got))
         [ 1; 4 ])
     [ `Naive; `Edges 1; `Edges 2 ]
 
@@ -246,7 +246,7 @@ let unit_engine_parallel_deterministic_approx () =
   let db, q = crowdrank () in
   let solver = crowdrank_solver in
   let eval jobs =
-    Engine.with_engine ~jobs (fun engine ->
+    Engine.with_engine Engine.Config.(default |> with_jobs jobs) (fun engine ->
         let resp =
           Engine.eval engine (Engine.Request.make ~solver ~seed:11 db q)
         in
@@ -266,7 +266,7 @@ let unit_engine_cache_accounting () =
      request count collapses far below the session count; a second
      evaluation on the same engine is answered entirely by the cache. *)
   let db, q = crowdrank () in
-  Engine.with_engine ~jobs:1 (fun engine ->
+  Engine.with_engine Engine.Config.(default |> with_jobs 1) (fun engine ->
       let req = Engine.Request.make ~solver:crowdrank_solver db q in
       let first = Engine.eval engine req in
       let s1 = first.Engine.Response.stats in
@@ -297,7 +297,7 @@ let unit_engine_cache_accounting () =
 
 let unit_engine_cache_disabled () =
   let db, q = crowdrank () in
-  Engine.with_engine ~jobs:1 ~cache:false (fun engine ->
+  Engine.with_engine Engine.Config.(default |> with_jobs 1 |> with_cache false) (fun engine ->
       let req = Engine.Request.make ~solver:crowdrank_solver db q in
       let r1 = Engine.eval engine req in
       let r2 = Engine.eval engine req in
@@ -357,7 +357,7 @@ let unit_cache_key_phi_ulp () =
   let q = Ppd.Parser.parse "Q() :- P(_; \"a\"; \"b\")." in
   let db1 = tiny_db () in
   let db2 = tiny_db ~phi:[ Float.succ 0.5; Float.pred 0.3 ] () in
-  Engine.with_engine ~jobs:1 (fun engine ->
+  Engine.with_engine Engine.Config.(default |> with_jobs 1) (fun engine ->
       let r1 = Engine.eval engine (Engine.Request.make db1 q) in
       let h1, m1, c1 = fresh_misses r1 in
       Alcotest.(check int) "cold run has no hits" 0 h1;
@@ -375,7 +375,7 @@ let unit_cache_key_union_structure () =
   let chain = Ppd.Parser.parse "Q() :- P(s; \"a\"; \"b\"), P(s; \"b\"; \"c\")." in
   let edge = Ppd.Parser.parse "Q() :- P(_; \"a\"; \"c\")." in
   let db = tiny_db () in
-  Engine.with_engine ~jobs:1 (fun engine ->
+  Engine.with_engine Engine.Config.(default |> with_jobs 1) (fun engine ->
       let r1 = Engine.eval engine (Engine.Request.make db chain) in
       let r2 = Engine.eval engine (Engine.Request.make db edge) in
       let h2, m2, _ = fresh_misses r2 in
@@ -393,7 +393,7 @@ let unit_cache_key_solver_and_rerun () =
      while an exact rerun under the same solver must hit every entry. *)
   let q = Ppd.Parser.parse "Q() :- P(_; \"a\"; \"b\")." in
   let db = tiny_db () in
-  Engine.with_engine ~jobs:1 (fun engine ->
+  Engine.with_engine Engine.Config.(default |> with_jobs 1) (fun engine ->
       let auto =
         Engine.eval engine
           (Engine.Request.make ~solver:(Hardq.Solver.Exact `Auto) db q)
@@ -430,7 +430,7 @@ let unit_cache_key_solver_and_rerun () =
 let unit_engine_budget_exhaustion_recoverable () =
   let db = Datasets.Polls.generate ~n_candidates:16 ~n_voters:6 ~seed:21 () in
   let q = Ppd.Parser.parse Datasets.Polls.query_two_label in
-  Engine.with_engine ~jobs:2 (fun engine ->
+  Engine.with_engine Engine.Config.(default |> with_jobs 2) (fun engine ->
       (* Prime the cache with an unbudgeted evaluation. *)
       let two_label = Hardq.Solver.Exact `Two_label in
       let ok = Engine.eval engine (Engine.Request.make ~solver:two_label db q) in
@@ -471,7 +471,7 @@ let unit_engine_budget_exhaustion_recoverable () =
    how the work was spread. *)
 let unit_engine_counters_consistent_across_domains () =
   let db, q = crowdrank () in
-  Engine.with_engine ~jobs:4 (fun engine ->
+  Engine.with_engine Engine.Config.(default |> with_jobs 4) (fun engine ->
       let req = Engine.Request.make ~solver:crowdrank_solver db q in
       let s1 = (Engine.eval engine req).Engine.Response.stats in
       Alcotest.(check int)
@@ -546,7 +546,7 @@ let unit_solver_name_round_trip () =
 (* ------------------------------------------------------------------ *)
 
 let unit_engine_shutdown_idempotent () =
-  let engine = Engine.create ~jobs:2 () in
+  let engine = Engine.create Engine.Config.(default |> with_jobs 2) in
   Alcotest.(check bool) "fresh engine not stopped" false (Engine.stopped engine);
   Engine.shutdown engine;
   Alcotest.(check bool) "stopped after shutdown" true (Engine.stopped engine);
@@ -557,13 +557,149 @@ let unit_engine_shutdown_idempotent () =
 
 let unit_engine_eval_after_shutdown_raises () =
   let db, q = polls () in
-  let engine = Engine.create ~jobs:1 () in
+  let engine = Engine.create Engine.Config.(default |> with_jobs 1) in
   let req = Engine.Request.make db q in
   ignore (Engine.eval engine req);
   Engine.shutdown engine;
   match Engine.eval engine req with
   | _ -> Alcotest.fail "expected Engine.Stopped"
   | exception Engine.Stopped -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Store: the shared two-tier building block                           *)
+(* ------------------------------------------------------------------ *)
+
+let unit_store_claim_publish_cycle () =
+  let st = Engine.Store.create ~capacity:4 in
+  (match Engine.Store.claim st "k" with
+  | Engine.Store.Owner -> ()
+  | _ -> Alcotest.fail "first claim must own");
+  (match Engine.Store.claim st "k" with
+  | Engine.Store.Busy -> ()
+  | _ -> Alcotest.fail "claim while in flight must be Busy");
+  Engine.Store.publish st "k" 0.25;
+  (match Engine.Store.claim st "k" with
+  | Engine.Store.Hit p -> check_float_eq "published value" 0.25 p
+  | _ -> Alcotest.fail "claim after publish must hit");
+  Alcotest.(check (option (float 0.))) "find_opt sees it" (Some 0.25)
+    (Engine.Store.find_opt st "k");
+  Alcotest.(check (option (float 0.))) "await returns it immediately" (Some 0.25)
+    (Engine.Store.await st "k");
+  Alcotest.(check int) "one entry" 1 (Engine.Store.length st)
+
+let unit_store_abandon_reopens_ownership () =
+  let st = Engine.Store.create ~capacity:4 in
+  (match Engine.Store.claim st "k" with
+  | Engine.Store.Owner -> ()
+  | _ -> Alcotest.fail "first claim must own");
+  Engine.Store.abandon st "k";
+  (* The abandoned key is solvable again — the takeover path. *)
+  (match Engine.Store.claim st "k" with
+  | Engine.Store.Owner -> ()
+  | _ -> Alcotest.fail "claim after abandon must own again");
+  Alcotest.(check (option (float 0.)))
+    "await on an abandoned unpublished key returns None" None
+    (let waiter = Thread.create (fun () -> Engine.Store.await st "gone") () in
+     Thread.join waiter;
+     Engine.Store.abandon st "k";
+     Engine.Store.await st "k")
+
+let unit_store_await_blocks_until_publish () =
+  let st = Engine.Store.create ~capacity:4 in
+  (match Engine.Store.claim st "k" with
+  | Engine.Store.Owner -> ()
+  | _ -> Alcotest.fail "claim");
+  let got = ref None in
+  let waiter = Thread.create (fun () -> got := Engine.Store.await st "k") () in
+  Thread.delay 0.02;
+  Engine.Store.publish st "k" 0.75;
+  Thread.join waiter;
+  Alcotest.(check (option (float 0.))) "waiter woke with the value" (Some 0.75)
+    !got
+
+(* ------------------------------------------------------------------ *)
+(* Cross-request reuse: single flight and the term tier                *)
+(* ------------------------------------------------------------------ *)
+
+(* N threads fire the same request at one engine concurrently. The
+   single-flight invariant: across all responses, every distinct
+   sub-problem is SOLVED exactly once — misses sum to the distinct count
+   — and every other resolution is a hit or an in-flight join. All
+   answers are bit-identical to a cold solo solve. *)
+let unit_engine_single_flight_dedup () =
+  let db, q = crowdrank () in
+  let req = Engine.Request.make ~solver:crowdrank_solver db q in
+  let reference =
+    Engine.with_engine Engine.Config.(default |> with_jobs 1 |> with_cache false)
+      (fun e -> Engine.Response.answer_float (Engine.eval e req))
+  in
+  Engine.with_engine Engine.Config.(default |> with_jobs 2) (fun engine ->
+      let n = 4 in
+      let results = Array.make n None in
+      let threads =
+        List.init n (fun i ->
+            Thread.create (fun () -> results.(i) <- Some (Engine.eval engine req)) ())
+      in
+      List.iter Thread.join threads;
+      let resps =
+        Array.to_list results
+        |> List.map (function Some r -> r | None -> Alcotest.fail "no response")
+      in
+      let distinct =
+        match resps with
+        | r :: _ -> r.Engine.Response.stats.Engine.Response.distinct
+        | [] -> assert false
+      in
+      List.iter
+        (fun (r : Engine.Response.t) ->
+          check_float_eq "concurrent answer bit-identical" reference
+            (Engine.Response.answer_float r);
+          let s = r.Engine.Response.stats in
+          Alcotest.(check int) "every sub-problem accounted"
+            s.Engine.Response.distinct
+            (s.Engine.Response.cache_hits + s.Engine.Response.cache_misses
+           + s.Engine.Response.sf_joins))
+        resps;
+      let total_misses =
+        List.fold_left
+          (fun acc (r : Engine.Response.t) ->
+            acc + r.Engine.Response.stats.Engine.Response.cache_misses)
+          0 resps
+      in
+      Alcotest.(check int) "each distinct key solved exactly once across threads"
+        distinct total_misses)
+
+(* With the answer tier shrunk to nothing, repeat evaluations re-derive
+   every sub-answer — but the term tier still carries the solved IE
+   conjunctions across, and reuse is bitwise invisible. *)
+let unit_engine_term_tier_reuse () =
+  let db, q = polls () in
+  let solver = Hardq.Solver.Exact `General in
+  let req = Engine.Request.make ~solver db q in
+  let reference =
+    Engine.with_engine
+      Engine.Config.(default |> with_jobs 1 |> with_term_capacity 0)
+      (fun e -> Engine.Response.answer_float (Engine.eval e req))
+  in
+  Engine.with_engine
+    Engine.Config.(default |> with_jobs 1 |> with_answer_capacity 0)
+    (fun engine ->
+      let r1 = Engine.eval engine req in
+      let r2 = Engine.eval engine req in
+      check_float_eq "cold answer matches term-tier-off engine" reference
+        (Engine.Response.answer_float r1);
+      check_float_eq "warm answer bit-identical" reference
+        (Engine.Response.answer_float r2);
+      let s1 = r1.Engine.Response.stats and s2 = r2.Engine.Response.stats in
+      Alcotest.(check bool)
+        "cold run populates the term tier" true
+        (s1.Engine.Response.term_misses > 0);
+      Alcotest.(check int) "warm run solves no terms" 0
+        s2.Engine.Response.term_misses;
+      Alcotest.(check int) "warm run replays every term"
+        s1.Engine.Response.term_misses s2.Engine.Response.term_hits;
+      Alcotest.(check int) "answer tier held nothing" 0
+        s2.Engine.Response.cache_hits)
 
 let suites =
   [
@@ -598,6 +734,18 @@ let suites =
         tc "disabled cache never hits" `Quick unit_engine_cache_disabled;
         tc "counters consistent with jobs=4" `Quick
           unit_engine_counters_consistent_across_domains;
+      ] );
+    ( "engine.store",
+      [
+        tc "claim/publish/hit cycle" `Quick unit_store_claim_publish_cycle;
+        tc "abandon reopens ownership" `Quick unit_store_abandon_reopens_ownership;
+        tc "await blocks until publish" `Quick unit_store_await_blocks_until_publish;
+      ] );
+    ( "engine.sharing",
+      [
+        tc "concurrent single-flight dedup" `Quick unit_engine_single_flight_dedup;
+        tc "term tier reuses IE conjunctions bitwise" `Quick
+          unit_engine_term_tier_reuse;
       ] );
     ( "engine.cache-keys",
       [

@@ -148,7 +148,7 @@ let unit_engine_metrics_in_response () =
      [Response.stats.metrics], and nothing at all when obs is off. *)
   let db = Datasets.Polls.generate ~n_candidates:8 ~n_voters:10 ~seed:4 () in
   let q = Ppd.Parser.parse Datasets.Polls.query_two_label in
-  Engine.with_engine ~jobs:2 (fun engine ->
+  Engine.with_engine Engine.Config.(default |> with_jobs 2) (fun engine ->
       let req = Engine.Request.make ~solver:(Hardq.Solver.Exact `Two_label) db q in
       let dark = Engine.eval engine req in
       Alcotest.(check int)

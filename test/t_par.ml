@@ -109,7 +109,7 @@ let unit_engine_bit_identity () =
   let db = Datasets.Polls.generate ~n_candidates:10 ~n_voters:40 ~seed:3 () in
   let q = Ppd.Parser.parse Datasets.Polls.query_two_label in
   let eval ~jobs ~parallelism =
-    Engine.with_engine ~jobs ~cache:false (fun engine ->
+    Engine.with_engine Engine.Config.(default |> with_jobs jobs |> with_cache false) (fun engine ->
         Engine.Response.answer_float
           (Engine.eval engine (Engine.Request.make ~parallelism db q)))
   in

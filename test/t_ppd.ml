@@ -162,7 +162,7 @@ let unit_q2_evaluation_matches_brute () =
   let db = figure1_db () in
   let rng = Helpers.rng 5 in
   let probs =
-    Ppd.Eval.per_session ~solver:(Hardq.Solver.Exact `Auto) db (Ppd.Parser.parse q2)
+    Ppd.Solve.per_session ~solver:(Hardq.Solver.Exact `Auto) db (Ppd.Parser.parse q2)
       rng
   in
   let compiled = Ppd.Compile.compile db (Ppd.Parser.parse q2) in
@@ -176,15 +176,15 @@ let unit_q2_evaluation_matches_brute () =
     1. -. List.fold_left (fun acc (_, p) -> acc *. (1. -. p)) 1. probs
   in
   Helpers.check_close "boolean aggregation" expected_bool
-    (Ppd.Eval.boolean_prob db (Ppd.Parser.parse q2) (Helpers.rng 5));
+    (Ppd.Solve.boolean_prob db (Ppd.Parser.parse q2) (Helpers.rng 5));
   let expected_count = List.fold_left (fun acc (_, p) -> acc +. p) 0. probs in
   Helpers.check_close "count aggregation" expected_count
-    (Ppd.Eval.count_sessions db (Ppd.Parser.parse q2) (Helpers.rng 5))
+    (Ppd.Solve.count_sessions db (Ppd.Parser.parse q2) (Helpers.rng 5))
 
 let unit_q0_constants () =
   let db = figure1_db () in
   let rng = Helpers.rng 6 in
-  let probs = Ppd.Eval.per_session db (Ppd.Parser.parse q0) rng in
+  let probs = Ppd.Solve.per_session db (Ppd.Parser.parse q0) rng in
   (* Session constants restrict to Ann's 5/5 poll. *)
   Alcotest.(check int) "only Ann's session" 1 (List.length probs);
   let session, p = List.hd probs in
@@ -201,10 +201,10 @@ let unit_q0_constants () =
 let unit_solver_agreement_on_q1 () =
   let db = figure1_db () in
   let q = Ppd.Parser.parse q1 in
-  let reference = Ppd.Eval.per_session ~solver:(Hardq.Solver.Exact `Brute) db q (Helpers.rng 7) in
+  let reference = Ppd.Solve.per_session ~solver:(Hardq.Solver.Exact `Brute) db q (Helpers.rng 7) in
   List.iter
     (fun which ->
-      let got = Ppd.Eval.per_session ~solver:(Hardq.Solver.Exact which) db q (Helpers.rng 7) in
+      let got = Ppd.Solve.per_session ~solver:(Hardq.Solver.Exact which) db q (Helpers.rng 7) in
       List.iter2
         (fun (_, a) (_, b) ->
           Helpers.check_close ~eps:1e-9 ("solver " ^ Hardq.Solver.exact_name which) a b)
@@ -214,8 +214,8 @@ let unit_solver_agreement_on_q1 () =
 let unit_grouping_equivalence () =
   let db = figure1_db ~phis:(0.3, 0.3, 0.3) () in
   let q = Ppd.Parser.parse q1 in
-  let grouped = Ppd.Eval.per_session ~group:true db q (Helpers.rng 8) in
-  let naive = Ppd.Eval.per_session ~group:false db q (Helpers.rng 8) in
+  let grouped = Ppd.Solve.per_session ~group:true db q (Helpers.rng 8) in
+  let naive = Ppd.Solve.per_session ~group:false db q (Helpers.rng 8) in
   List.iter2
     (fun (_, a) (_, b) -> Helpers.check_close ~eps:1e-12 "grouping equivalence" a b)
     grouped naive;
@@ -254,7 +254,7 @@ let unit_unconstrained_item_var () =
   let db = figure1_db () in
   let q = Ppd.Parser.parse "Q() :- P(_, _; c1; c2), C(c1, _, \"F\", _, _, _)." in
   let rng = Helpers.rng 9 in
-  let probs = Ppd.Eval.per_session ~solver:(Hardq.Solver.Exact `Brute) db q rng in
+  let probs = Ppd.Solve.per_session ~solver:(Hardq.Solver.Exact `Brute) db q rng in
   (* "some female preferred to anything": only rankings with Clinton last
      fail. *)
   List.iter
@@ -272,16 +272,16 @@ let unit_impossible_query () =
   (* party = "X" matches no candidate. *)
   let q = Ppd.Parser.parse "Q() :- P(_, _; c1; c2), C(c1, \"X\", _, _, _, _)." in
   Helpers.check_close "impossible query" 0.
-    (Ppd.Eval.boolean_prob db q (Helpers.rng 10));
+    (Ppd.Solve.boolean_prob db q (Helpers.rng 10));
   (* x preferred to itself is unsatisfiable. *)
   let q2 = Ppd.Parser.parse "Q() :- P(_, _; x; x)." in
-  Helpers.check_close "x over x" 0. (Ppd.Eval.boolean_prob db q2 (Helpers.rng 10))
+  Helpers.check_close "x over x" 0. (Ppd.Solve.boolean_prob db q2 (Helpers.rng 10))
 
 let unit_cyclic_preferences_unsat () =
   let db = figure1_db () in
   let q = Ppd.Parser.parse "Q() :- P(_, _; x; y), P(_, _; y; x)." in
   Helpers.check_close "cyclic preference" 0.
-    (Ppd.Eval.boolean_prob db q (Helpers.rng 11))
+    (Ppd.Solve.boolean_prob db q (Helpers.rng 11))
 
 let unit_unsupported_queries () =
   let db = figure1_db () in
@@ -300,17 +300,17 @@ let unit_unsupported_queries () =
 let unit_topk_strategies_agree () =
   let db = figure1_db ~phis:(0.2, 0.6, 0.8) () in
   let q = Ppd.Parser.parse q1 in
-  let naive = Ppd.Eval.top_k ~strategy:`Naive ~k:2 db q (Helpers.rng 12) in
-  let e1 = Ppd.Eval.top_k ~strategy:(`Edges 1) ~k:2 db q (Helpers.rng 12) in
-  let e2 = Ppd.Eval.top_k ~strategy:(`Edges 2) ~k:2 db q (Helpers.rng 12) in
-  let probs r = List.map snd r.Ppd.Eval.results in
+  let naive = Ppd.Solve.top_k ~strategy:`Naive ~k:2 db q (Helpers.rng 12) in
+  let e1 = Ppd.Solve.top_k ~strategy:(`Edges 1) ~k:2 db q (Helpers.rng 12) in
+  let e2 = Ppd.Solve.top_k ~strategy:(`Edges 2) ~k:2 db q (Helpers.rng 12) in
+  let probs r = List.map snd r.Ppd.Solve.results in
   Alcotest.(check int) "k results" 2 (List.length (probs naive));
   List.iter2 (fun a b -> Helpers.check_close ~eps:1e-9 "naive vs 1-edge" a b)
     (probs naive) (probs e1);
   List.iter2 (fun a b -> Helpers.check_close ~eps:1e-9 "naive vs 2-edge" a b)
     (probs naive) (probs e2);
   Alcotest.(check bool) "1-edge prunes or matches naive" true
-    (e1.Ppd.Eval.n_exact <= naive.Ppd.Eval.n_exact)
+    (e1.Ppd.Solve.n_exact <= naive.Ppd.Solve.n_exact)
 
 let unit_topk_prunes () =
   (* With one sharp session (phi=0) that satisfies the query and several
@@ -347,12 +347,12 @@ let unit_topk_prunes () =
   let q =
     Ppd.Parser.parse "Q() :- P(_; x; y), C(x, _, \"F\", _, _, _), C(y, _, \"M\", _, _, _)."
   in
-  let naive = Ppd.Eval.top_k ~strategy:`Naive ~k:1 db q (Helpers.rng 13) in
-  let pruned = Ppd.Eval.top_k ~strategy:(`Edges 1) ~k:1 db q (Helpers.rng 13) in
-  Helpers.check_close ~eps:1e-9 "same winner prob" (snd (List.hd naive.Ppd.Eval.results))
-    (snd (List.hd pruned.Ppd.Eval.results));
+  let naive = Ppd.Solve.top_k ~strategy:`Naive ~k:1 db q (Helpers.rng 13) in
+  let pruned = Ppd.Solve.top_k ~strategy:(`Edges 1) ~k:1 db q (Helpers.rng 13) in
+  Helpers.check_close ~eps:1e-9 "same winner prob" (snd (List.hd naive.Ppd.Solve.results))
+    (snd (List.hd pruned.Ppd.Solve.results));
   Alcotest.(check bool) "bounds pruned work" true
-    (pruned.Ppd.Eval.n_exact < naive.Ppd.Eval.n_exact)
+    (pruned.Ppd.Solve.n_exact < naive.Ppd.Solve.n_exact)
 
 let unit_derived_labels () =
   let db = figure1_db () in
@@ -362,7 +362,7 @@ let unit_derived_labels () =
        _, _), agey < 70."
   in
   Alcotest.(check (list string)) "no grounding needed" [] (Ppd.Compile.v_plus db q);
-  let probs = Ppd.Eval.per_session ~solver:(Hardq.Solver.Exact `Brute) db q (Helpers.rng 14) in
+  let probs = Ppd.Solve.per_session ~solver:(Hardq.Solver.Exact `Brute) db q (Helpers.rng 14) in
   (* age >= 70: Trump (70), Sanders (75); age < 70: Clinton (69), Rubio (45). *)
   List.iter
     (fun ((s : Ppd.Database.session), p) ->
@@ -399,7 +399,7 @@ let unit_answers_head_variable () =
               _, _, \"%s\", _)."
              (Ppd.Value.to_string e) (Ppd.Value.to_string e))
       in
-      let expected = Ppd.Eval.boolean_prob db boolean (Helpers.rng 21) in
+      let expected = Ppd.Solve.boolean_prob db boolean (Helpers.rng 21) in
       Helpers.check_close ~eps:1e-9 "answer confidence" expected a.Ppd.Answers.confidence)
     answers;
   Alcotest.(check int) "two answers" 2 (List.length answers);
@@ -431,7 +431,7 @@ let unit_answers_reject_boolean_misuse () =
   let q =
     Ppd.Parser.parse "Q(e) :- P(_, _; c1; c2), C(c1, \"D\", _, _, e, _)."
   in
-  match Ppd.Eval.boolean_prob db q (Helpers.rng 23) with
+  match Ppd.Solve.boolean_prob db q (Helpers.rng 23) with
   | _ -> Alcotest.fail "expected Unsupported for head variables in Boolean eval"
   | exception Ppd.Compile.Unsupported _ -> ()
 
@@ -446,7 +446,7 @@ let unit_aggregate_avg_age () =
   let value_of = Ppd.Aggregate.joined_value db ~relation:"V" ~key_index:0 ~attr:"age" in
   let r = Ppd.Aggregate.over_sessions ~value_of Ppd.Aggregate.Avg db q (Helpers.rng 24) in
   (* Cross-check against per-session probabilities. *)
-  let probs = Ppd.Eval.per_session db q (Helpers.rng 24) in
+  let probs = Ppd.Solve.per_session db q (Helpers.rng 24) in
   let num =
     List.fold_left
       (fun acc ((s : Ppd.Database.session), p) ->
@@ -540,7 +540,7 @@ let unit_csv_database () =
   Alcotest.(check int) "roundtrip sessions" 2 (Array.length (Ppd.Database.sessions p'));
   (* And the whole database answers queries. *)
   let q = Ppd.Parser.parse "Q() :- P(_; x; y), C(x, \"prog\"), C(y, \"cons\")." in
-  let pr = Ppd.Eval.boolean_prob db q (Helpers.rng 25) in
+  let pr = Ppd.Solve.boolean_prob db q (Helpers.rng 25) in
   Alcotest.(check bool) "probability in (0,1]" true (pr > 0. && pr <= 1.)
 
 let unit_csv_malformed () =

@@ -64,7 +64,7 @@ let fuzz_engine_vs_worlds =
       let db = random_db r in
       let q = Ppd.Parser.parse (random_query r) in
       let exact =
-        Ppd.Eval.boolean_prob ~solver:(Hardq.Solver.Exact `Brute) db q
+        Ppd.Solve.boolean_prob ~solver:(Hardq.Solver.Exact `Brute) db q
           (Helpers.rng 1)
       in
       let n = 3000 in
@@ -84,10 +84,10 @@ let fuzz_solver_agreement =
       let db = random_db r in
       let q = Ppd.Parser.parse (random_query r) in
       let a =
-        Ppd.Eval.boolean_prob ~solver:(Hardq.Solver.Exact `Auto) db q (Helpers.rng 1)
+        Ppd.Solve.boolean_prob ~solver:(Hardq.Solver.Exact `Auto) db q (Helpers.rng 1)
       in
       let b =
-        Ppd.Eval.boolean_prob ~solver:(Hardq.Solver.Exact `Brute) db q (Helpers.rng 1)
+        Ppd.Solve.boolean_prob ~solver:(Hardq.Solver.Exact `Brute) db q (Helpers.rng 1)
       in
       abs_float (a -. b) < 1e-9)
 

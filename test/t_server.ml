@@ -242,6 +242,17 @@ let sample_stats =
     total_s = 0.21;
     queue_s = 1e-5;
     server_s = 0.22;
+    cache =
+      Some
+        {
+          Protocol.answer_hits = 3;
+          answer_misses = 9;
+          sf_joins = 0;
+          term_hits = 4;
+          term_misses = 2;
+          batch_id = 7;
+          batch_size = 1;
+        };
   }
 
 let unit_protocol_reply_roundtrip () =
@@ -323,6 +334,113 @@ let unit_protocol_bad_requests () =
   in
   if not (contains msg "offset") then
     Alcotest.failf "query error carries no offset: %s" msg
+
+(* JSON surgery for the versioning tests. *)
+let drop_field name = function
+  | Json.Obj fields -> Json.Obj (List.filter (fun (k, _) -> k <> name) fields)
+  | j -> j
+
+let with_field name v = function
+  | Json.Obj fields ->
+      Json.Obj (List.filter (fun (k, _) -> k <> name) fields @ [ (name, v) ])
+  | j -> j
+
+let map_field name f = function
+  | Json.Obj fields ->
+      Json.Obj (List.map (fun (k, v) -> if k = name then (k, f v) else (k, v)) fields)
+  | j -> j
+
+let unit_protocol_versioning () =
+  let req = { Protocol.id = Some (Json.Int 1); op = Protocol.Ping } in
+  let req_json = Protocol.request_to_json req in
+  let reply = { Protocol.reply_id = Some (Json.Int 1); result = Protocol.Pong } in
+  let reply_json = Protocol.reply_to_json reply in
+  (* encoders stamp ["v"] on both directions *)
+  List.iter
+    (fun (what, j) ->
+      match Json.member "v" j with
+      | Some (Json.Int v) when v = Protocol.version -> ()
+      | _ -> Alcotest.failf "%s does not carry \"v\": %s" what (Json.to_string j))
+    [ ("request", req_json); ("reply", reply_json) ];
+  (* a pre-versioning peer (no "v") stays wire-compatible *)
+  (match Protocol.request_of_json (drop_field "v" req_json) with
+  | Ok req' when req' = req -> ()
+  | Ok _ -> Alcotest.fail "versionless request decoded differently"
+  | Error e -> Alcotest.failf "versionless request rejected: %s" e.Protocol.message);
+  (match Protocol.reply_of_json (drop_field "v" reply_json) with
+  | Ok reply' when reply' = reply -> ()
+  | Ok _ -> Alcotest.fail "versionless reply decoded differently"
+  | Error msg -> Alcotest.failf "versionless reply rejected: %s" msg);
+  (* a future version is refused, with a message naming both versions *)
+  (match Protocol.request_of_json (with_field "v" (Json.Int 2) req_json) with
+  | Ok _ -> Alcotest.fail "v2 request accepted"
+  | Error e ->
+      if e.Protocol.code <> Protocol.Bad_request then
+        Alcotest.failf "v2 request: wrong code: %s" e.Protocol.message;
+      if not (contains e.Protocol.message "2" && contains e.Protocol.message "1")
+      then Alcotest.failf "version mismatch unnamed: %s" e.Protocol.message);
+  (match Protocol.reply_of_json (with_field "v" (Json.Int 2) reply_json) with
+  | Ok _ -> Alcotest.fail "v2 reply accepted"
+  | Error _ -> ());
+  (* and a non-integer "v" is malformed, not silently tolerated *)
+  match Protocol.request_of_json (with_field "v" (Json.String "1") req_json) with
+  | Ok _ -> Alcotest.fail "string \"v\" accepted"
+  | Error _ -> ()
+
+let unit_protocol_forward_compat () =
+  (* unknown members are skipped on both directions — the rule that let
+     the "cache" block (and "v" itself) land without a version bump *)
+  let req =
+    {
+      Protocol.id = Some (Json.Int 2);
+      op = Protocol.Eval (Protocol.eval (Protocol.dataset "polls") sample_query);
+    }
+  in
+  let noisy =
+    with_field "zz_future" (Json.Obj [ ("x", Json.Int 1) ])
+      (Protocol.request_to_json req)
+  in
+  (match Protocol.request_of_json noisy with
+  | Ok req' when req' = req -> ()
+  | Ok _ -> Alcotest.fail "unknown request member changed the decode"
+  | Error e -> Alcotest.failf "unknown request member rejected: %s" e.Protocol.message);
+  let reply =
+    {
+      Protocol.reply_id = Some (Json.Int 2);
+      result =
+        Protocol.Answer
+          {
+            answer = Protocol.Probability 0.5;
+            per_session = None;
+            stats = sample_stats;
+          };
+    }
+  in
+  let j = Protocol.reply_to_json reply in
+  (match Protocol.reply_of_json (with_field "zz_future" (Json.String "?") j) with
+  | Ok reply' when reply' = reply -> ()
+  | Ok _ -> Alcotest.fail "unknown reply member changed the decode"
+  | Error msg -> Alcotest.failf "unknown reply member rejected: %s" msg);
+  (* the "cache" stats block is additive: a pre-v1 server that omits it
+     decodes to [cache = None]... *)
+  (match Protocol.reply_of_json (map_field "stats" (drop_field "cache") j) with
+  | Ok
+      {
+        Protocol.result =
+          Protocol.Answer { stats = { Protocol.cache = None; _ }; _ };
+        _;
+      } ->
+      ()
+  | Ok { Protocol.result = Protocol.Answer _; _ } ->
+      Alcotest.fail "stripped cache block still decoded as Some"
+  | Ok _ -> Alcotest.fail "unexpected reply body"
+  | Error msg -> Alcotest.failf "cacheless reply rejected: %s" msg);
+  (* ...but a malformed block is a decode failure, not a silent None *)
+  match
+    Protocol.reply_of_json (map_field "stats" (with_field "cache" (Json.Int 5)) j)
+  with
+  | Ok _ -> Alcotest.fail "malformed cache block decoded"
+  | Error _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Bqueue                                                              *)
@@ -494,7 +612,7 @@ let reference_response spec task ~per_session:_ =
     | Ok db -> db
     | Error e -> Alcotest.failf "reference dataset: %s" e.Protocol.message
   in
-  Engine.with_engine ~jobs:1 (fun engine ->
+  Engine.with_engine Engine.Config.(default |> with_jobs 1) (fun engine ->
       Engine.eval engine (Engine.Request.make ~task db sample_query))
 
 let unit_server_concurrent_bit_identity () =
@@ -688,6 +806,117 @@ let unit_server_drain_completes_inflight () =
       Server.Client.close client;
       Alcotest.fail "drained server accepted a connection"
   | exception Unix.Unix_error _ -> ()
+
+(* Six concurrent identical requests under a generous gather window must
+   coalesce: the scheduler groups same-shape requests into one engine
+   batch, and single-flight dedup solves the shared sub-problems exactly
+   once for the whole burst. *)
+let unit_server_batching_single_flight () =
+  let address = Protocol.Local (temp_socket ()) in
+  let config =
+    {
+      (Server.default_config address) with
+      Server.preload = [ fast_spec ];
+      batch_window_ms = 250.;
+      batch_max = 8;
+    }
+  in
+  with_server config @@ fun server ->
+  let n = 6 in
+  let replies = Array.make n (Error "never ran") in
+  let clients =
+    Array.init n (fun _ -> Server.Client.connect ~retries:40 (Server.address server))
+  in
+  Fun.protect ~finally:(fun () -> Array.iter Server.Client.close clients)
+  @@ fun () ->
+  let threads =
+    Array.mapi
+      (fun i client ->
+        Thread.create
+          (fun () ->
+            replies.(i) <-
+              Server.Client.eval client (Protocol.eval fast_spec sample_query))
+          ())
+      clients
+  in
+  Array.iter Thread.join threads;
+  let answers =
+    Array.map
+      (function
+        | Ok (Protocol.Answer { answer = Protocol.Probability p; stats; _ }) ->
+            (p, stats)
+        | Ok (Protocol.Err e) -> Alcotest.failf "errored: %s" e.Protocol.message
+        | Ok _ -> Alcotest.fail "unexpected reply"
+        | Error msg -> Alcotest.failf "transport error: %s" msg)
+      replies
+  in
+  (* batching must be answer-invisible: all replies bit-identical *)
+  let p0, s0 = answers.(0) in
+  Array.iter (fun (p, _) -> check_float_eq "batched answer" p0 p) answers;
+  let caches =
+    Array.map
+      (fun (_, s) ->
+        match s.Protocol.cache with
+        | Some c -> c
+        | None -> Alcotest.fail "reply lacks the cache stats block")
+      answers
+  in
+  (* single-flight across the burst: one request's worth of distinct
+     sub-problems was solved in total; every other occurrence was an
+     answer-tier hit or an in-flight join *)
+  let total_misses =
+    Array.fold_left (fun acc c -> acc + c.Protocol.answer_misses) 0 caches
+  in
+  Alcotest.(check int) "sub-answers solved exactly once" s0.Protocol.distinct
+    total_misses;
+  (* the reported batch sizes are consistent with the replies naming
+     each batch, and the window actually gathered a real batch *)
+  Array.iter
+    (fun c ->
+      let carried =
+        Array.fold_left
+          (fun k c' -> if c'.Protocol.batch_id = c.Protocol.batch_id then k + 1 else k)
+          0 caches
+      in
+      if c.Protocol.batch_size <> carried then
+        Alcotest.failf "batch %d reports size %d but carried %d replies"
+          c.Protocol.batch_id c.Protocol.batch_size carried)
+    caches;
+  if not (Array.exists (fun c -> c.Protocol.batch_size >= 2) caches) then
+    Alcotest.fail "no batch gathered more than one request"
+
+(* The gather window must never starve a deadline: a request whose
+   deadline falls inside a pathological 30 s window is flushed early
+   (the scheduler caps every bucket's flush point by the tightest
+   member's slack) and answered, not timed out. *)
+let unit_server_batch_starvation_bound () =
+  let address = Protocol.Local (temp_socket ()) in
+  let config =
+    {
+      (Server.default_config address) with
+      Server.preload = [ fast_spec ];
+      batch_window_ms = 30_000.;
+      batch_max = 64;
+    }
+  in
+  with_server config @@ fun server ->
+  let client = Server.Client.connect ~retries:40 (Server.address server) in
+  Fun.protect ~finally:(fun () -> Server.Client.close client) @@ fun () ->
+  let t0 = Unix.gettimeofday () in
+  match
+    Server.Client.eval client
+      (Protocol.eval ~timeout_ms:2000. fast_spec sample_query)
+  with
+  | Ok (Protocol.Answer _) ->
+      let elapsed = Unix.gettimeofday () -. t0 in
+      if elapsed > 1.5 then
+        Alcotest.failf
+          "answered, but a 2 s deadline sat %.2f s behind a 30 s gather window"
+          elapsed
+  | Ok (Protocol.Err e) ->
+      Alcotest.failf "starved by the gather window: %s" e.Protocol.message
+  | Ok _ -> Alcotest.fail "unexpected reply"
+  | Error msg -> Alcotest.failf "transport error: %s" msg
 
 (* ------------------------------------------------------------------ *)
 (* End-to-end: the real binary under SIGTERM                           *)
@@ -883,6 +1112,10 @@ let suites =
         tc "requests round-trip" `Quick unit_protocol_request_roundtrip;
         tc "replies round-trip" `Quick unit_protocol_reply_roundtrip;
         tc "bad requests come back typed" `Quick unit_protocol_bad_requests;
+        tc "v1 versioning: absent ok, future refused" `Quick
+          unit_protocol_versioning;
+        tc "unknown members and the additive cache block" `Quick
+          unit_protocol_forward_compat;
       ] );
     ( "server.bqueue",
       [
@@ -905,6 +1138,10 @@ let suites =
           unit_server_deadline_exceeded;
         tc "drain answers in-flight requests, then refuses" `Quick
           unit_server_drain_completes_inflight;
+        tc "gather window batches a burst; single-flight solves once" `Quick
+          unit_server_batching_single_flight;
+        tc "a deadline inside the gather window flushes early" `Quick
+          unit_server_batch_starvation_bound;
         tc "overlong request line is bounded, typed, survivable" `Quick
           unit_server_bounded_request_line;
         tc "half-closed client still gets its queued reply" `Quick

@@ -65,7 +65,7 @@ let unit_engine_matches_worlds () =
     (fun i qtext ->
       let q = Ppd.Parser.parse qtext in
       let exact =
-        Ppd.Eval.boolean_prob ~solver:(Hardq.Solver.Exact `Brute) db q (Helpers.rng 2)
+        Ppd.Solve.boolean_prob ~solver:(Hardq.Solver.Exact `Brute) db q (Helpers.rng 2)
       in
       let mc = Ppd.World.estimate_prob ~n db q (Helpers.rng (100 + i)) in
       (* 4000 samples: |mc - p| < 4 * sqrt(p(1-p)/n) + slack *)
