@@ -1,4 +1,4 @@
-.PHONY: all build test bench check ci par-matrix smoke-bench smoke-server cache-diff bench-cache qa-replay qa-fuzz fmt clean
+.PHONY: all build test bench check ci par-matrix smoke-bench smoke-server cache-diff kernel-diff bench-cache bench-kernel qa-replay qa-fuzz fmt clean
 
 all: build
 
@@ -23,6 +23,7 @@ ci:
 	$(MAKE) smoke-bench
 	$(MAKE) smoke-server
 	$(MAKE) cache-diff
+	$(MAKE) kernel-diff
 	$(MAKE) qa-replay
 	$(MAKE) qa-fuzz
 	@if command -v ocamlformat >/dev/null 2>&1; then \
@@ -67,10 +68,25 @@ cache-diff:
 	dune exec bench/loadgen.exe -- --connections 4 --requests 20 \
 	  --size 6 --sessions 30 --cache-out /tmp/BENCH_cache_ci.json >/dev/null
 
+# Flat-vs-boxed kernel differential: every corpus case, every applicable
+# exact solver, sequential and under a 2-domain pool, both DP kernels —
+# the answers must be byte-identical (the layouts are the same
+# computation; DESIGN.md §13).
+kernel-diff:
+	dune build bin/hardq_qa.exe
+	dune exec bin/hardq_qa.exe -- kernel-diff test/corpus
+
 # Refresh the committed cache benchmark document (BENCH_cache.json).
 bench-cache:
 	dune build bench/loadgen.exe
 	dune exec bench/loadgen.exe -- --cache-out BENCH_cache.json
+
+# Refresh the committed kernel benchmark document (BENCH_kernel.json):
+# boxed-vs-flat single-thread wall time per exact DP solver.
+bench-kernel:
+	dune build bench/main.exe
+	rm -f BENCH_kernel.json
+	BENCH_JSON_OUT=BENCH_kernel.json dune exec bench/main.exe -- kernel
 
 # Replay the committed regression corpus: every case must pass the full
 # differential oracle (failures print the offending check and file).

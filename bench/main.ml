@@ -26,6 +26,7 @@ let experiments =
     ("fig14", Fig14.run);
     ("fig15", Fig15.run);
     ("micro", Micro.run);
+    ("kernel", Micro.run_kernel);
   ]
 
 let () =

@@ -103,8 +103,14 @@ let modal_cap_ablation () =
    solver work. Deterministic answers let us assert that scaling does not
    change the result; one JSON line per point for plotting. *)
 let engine_scaling () =
-  Printf.printf "  engine scaling (Boolean, polls, 1000 sessions, cache off):\n";
-  let db = Datasets.Polls.generate ~n_candidates:16 ~n_voters:1000 ~seed:77 () in
+  (* Smoke mode still emits every row — CI's schema test reads them —
+     just over a smaller dataset and width sweep. *)
+  let smoke = Sys.getenv_opt "HARDQ_BENCH_SMOKE" <> None in
+  let n_voters = if smoke then 120 else 1000 in
+  let widths = if smoke then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
+  Printf.printf "  engine scaling (Boolean, polls, %d sessions, cache off):\n"
+    n_voters;
+  let db = Datasets.Polls.generate ~n_candidates:16 ~n_voters ~seed:77 () in
   let q = Ppd.Parser.parse Datasets.Polls.query_two_label in
   let eval_with jobs =
     Engine.with_engine Engine.Config.(default |> with_jobs jobs |> with_cache false) (fun engine ->
@@ -132,16 +138,17 @@ let engine_scaling () =
           ("speedup", `Float (base_wall /. wall));
           ("prob", `Float prob);
         ])
-    [ 1; 2; 4; 8 ];
+    widths;
   (* One instrumented evaluation, outside the timed runs (which stay
      obs-disabled so the scaling numbers measure the uninstrumented path),
      to attach solver/engine counters to the plot data. *)
+  let obs_jobs = List.fold_left max 1 widths in
   Obs.enable ();
-  let _, stats, _ = eval_with 4 in
+  let _, stats, _ = eval_with obs_jobs in
   Obs.disable ();
   Exp_util.json_line
     (("bench", `Str "engine-scaling-metrics")
-    :: ("domains", `Int 4)
+    :: ("domains", `Int obs_jobs)
     :: Exp_util.obs_fields stats.Engine.Response.metrics)
 
 (* Intra-query scaling: a single z = 4 general union, so inter-session
@@ -151,37 +158,40 @@ let engine_scaling () =
    every width: the parallel reduction is ordered, so scaling is free to
    change the schedule but never the floats. HARDQ_BENCH_SMOKE shrinks
    the instance and the width sweep so CI finishes in seconds. *)
+(* A z = 4 general union at domain width [m]: the shared instance of the
+   intra-query-scaling and kernel-layout benches. *)
+let general_instance m =
+  let r = Util.Rng.make 41 in
+  let model =
+    Rim.Mallows.to_rim
+      (Rim.Mallows.make
+         ~center:(Prefs.Ranking.of_array (Util.Rng.permutation r m))
+         ~phi:0.7)
+  in
+  let lab =
+    Prefs.Labeling.make
+      (Array.init m (fun _ ->
+           List.filter (fun _ -> Util.Rng.float r 1. < 0.3) [ 0; 1; 2 ]))
+  in
+  let gu =
+    Prefs.Pattern_union.make
+      (List.init 4 (fun _ ->
+           let nodes = List.init 3 (fun _ -> [ Util.Rng.int r 3 ]) in
+           let edges = ref [] in
+           for a = 0 to 1 do
+             for b = a + 1 to 2 do
+               if Util.Rng.float r 1. < 0.6 then edges := (a, b) :: !edges
+             done
+           done;
+           if !edges = [] then edges := [ (0, 2) ];
+           Prefs.Pattern.make ~nodes ~edges:!edges))
+  in
+  (model, lab, gu)
+
 let intra_scaling () =
   let smoke = Sys.getenv_opt "HARDQ_BENCH_SMOKE" <> None in
   let widths = if smoke then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
-  let instance m =
-    let r = Util.Rng.make 41 in
-    let model =
-      Rim.Mallows.to_rim
-        (Rim.Mallows.make
-           ~center:(Prefs.Ranking.of_array (Util.Rng.permutation r m))
-           ~phi:0.7)
-    in
-    let lab =
-      Prefs.Labeling.make
-        (Array.init m (fun _ ->
-             List.filter (fun _ -> Util.Rng.float r 1. < 0.3) [ 0; 1; 2 ]))
-    in
-    let gu =
-      Prefs.Pattern_union.make
-        (List.init 4 (fun _ ->
-             let nodes = List.init 3 (fun _ -> [ Util.Rng.int r 3 ]) in
-             let edges = ref [] in
-             for a = 0 to 1 do
-               for b = a + 1 to 2 do
-                 if Util.Rng.float r 1. < 0.6 then edges := (a, b) :: !edges
-               done
-             done;
-             if !edges = [] then edges := [ (0, 2) ];
-             Prefs.Pattern.make ~nodes ~edges:!edges))
-    in
-    (model, lab, gu)
-  in
+  let instance = general_instance in
   Printf.printf "  intra-query scaling (z=4 general union, 15 IE terms):\n";
   let solve ~instance:(model, lab, gu) ~solver ~jobs =
     let pool = Engine.Pool.create ~jobs () in
@@ -218,6 +228,79 @@ let intra_scaling () =
        stays at m = 8, where its signature DP is comfortably bounded *)
     [ ("general", `General, 8); ("brute", `Brute, if smoke then 8 else 10) ]
 
+(* Kernel-layout ablation: each exact DP solved single-threaded under
+   the boxed reference kernel and the flat arena kernel on the same
+   instance. The answers are asserted byte-identical (the kernels are
+   the same computation in two memory layouts — DESIGN.md §13); the
+   interesting number is the flat row's [ratio] = boxed wall / flat
+   wall, the single-thread layout speedup that BENCH_kernel.json
+   tracks. Smoke mode still emits every row, with one repeat and a
+   smaller instance. *)
+let kernel_scaling () =
+  let smoke = Sys.getenv_opt "HARDQ_BENCH_SMOKE" <> None in
+  Printf.printf "  kernel layouts (flat vs boxed, single thread):\n";
+  let repeats = if smoke then 1 else 5 in
+  let inst =
+    List.hd
+      (Datasets.Bench_d.generate
+         ~ms:[ (if smoke then 10 else 14) ]
+         ~patterns_per_union:[ 2 ] ~items_per_label:[ 3 ]
+         ~instances_per_combo:1 ~seed:9 ())
+  in
+  let model = Datasets.Instance.model inst in
+  let lab = inst.Datasets.Instance.labeling in
+  let u = inst.Datasets.Instance.union in
+  let m_d = Rim.Model.m model in
+  let gm = if smoke then 7 else 8 in
+  let gmodel, glab, gu = general_instance gm in
+  let cases =
+    [
+      ( "two_label",
+        (fun kernel -> Hardq.Two_label.prob ~kernel model lab u),
+        m_d );
+      ("bipartite", (fun kernel -> Hardq.Bipartite.prob ~kernel model lab u), m_d);
+      ( "bipartite_basic",
+        (fun kernel -> Hardq.Bipartite.prob_basic ~kernel model lab u),
+        m_d );
+      ( "general",
+        (fun kernel -> Hardq.Solver.exact_prob ~kernel `General gmodel glab gu),
+        gm );
+    ]
+  in
+  List.iter
+    (fun (name, solve, m) ->
+      let time kernel =
+        let best = ref infinity and p = ref nan in
+        for _ = 1 to repeats do
+          let t0 = Util.Timer.wall () in
+          p := solve kernel;
+          best := min !best (Util.Timer.wall () -. t0)
+        done;
+        (!p, !best)
+      in
+      let p_boxed, w_boxed = time Hardq.Kernel.Boxed in
+      let p_flat, w_flat = time Hardq.Kernel.Flat in
+      assert (p_flat = p_boxed);
+      List.iter
+        (fun (kernel, wall) ->
+          Exp_util.json_line
+            [
+              ("bench", `Str "kernel-scaling");
+              ("mode", `Str "kernel");
+              ("solver", `Str name);
+              ("kernel", `Str (Hardq.Kernel.to_string kernel));
+              ("m", `Int m);
+              ("wall_s", `Float wall);
+              ("ratio", `Float (w_boxed /. wall));
+              ("prob", `Float p_flat);
+            ])
+        [ (Hardq.Kernel.Boxed, w_boxed); (Hardq.Kernel.Flat, w_flat) ])
+    cases
+
+let run_kernel ~full:_ () =
+  Exp_util.header "Kernel" "DP kernel layouts (boxed reference vs flat arena)";
+  kernel_scaling ()
+
 let run ~full:_ () =
   Exp_util.header "Micro" "Bechamel microbenchmarks (kernels and ablations)";
   run_group "kernels" (kernel_tests ());
@@ -225,4 +308,5 @@ let run ~full:_ () =
   run_group "MIS weighting ablation" (mis_tests ());
   modal_cap_ablation ();
   engine_scaling ();
-  intra_scaling ()
+  intra_scaling ();
+  kernel_scaling ()

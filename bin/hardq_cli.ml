@@ -73,6 +73,26 @@ let intra_arg =
 
 let parallelism_of intra = if intra then `Intra else `Inter
 
+let kernel_conv =
+  let parse s =
+    match Hardq.Kernel.of_string s with
+    | Ok t -> Ok t
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf t = Format.pp_print_string ppf (Hardq.Kernel.to_string t) in
+  Arg.conv (parse, print)
+
+let kernel_arg =
+  let doc =
+    "DP kernel of the exact solvers: $(b,flat) (arena-indexed, GC-free \
+     inner loops; the default) or $(b,boxed) (the reference layout). \
+     Answers are byte-identical either way."
+  in
+  Arg.(
+    value
+    & opt kernel_conv Hardq.Kernel.default
+    & info [ "kernel" ] ~docv:"KERNEL" ~doc)
+
 let budget_arg =
   let doc = "CPU-seconds budget per solver invocation (0 = unlimited)." in
   Arg.(value & opt float 0. & info [ "budget" ] ~docv:"SECONDS" ~doc)
@@ -119,8 +139,8 @@ let with_obs metrics_json trace f =
   code
 
 (* [--jobs 0] = engine default (one domain per core) = Config.default. *)
-let engine_config jobs cache =
-  let cfg = Engine.Config.(default |> with_cache cache) in
+let engine_config jobs cache kernel =
+  let cfg = Engine.Config.(default |> with_cache cache |> with_kernel kernel) in
   if jobs <= 0 then cfg else Engine.Config.with_jobs jobs cfg
 
 let print_stats show (resp : Engine.Response.t) =
@@ -170,15 +190,15 @@ let with_query dataset size sessions seed query f =
 (* ------------------------------------------------------------------ *)
 
 let eval_cmd =
-  let run dataset size sessions seed query solver jobs cache intra budget stats
-      verbose metrics_json trace =
+  let run dataset size sessions seed query solver jobs cache intra kernel
+      budget stats verbose metrics_json trace =
     with_obs metrics_json trace @@ fun () ->
     with_query dataset size sessions seed query (fun db q ->
         Format.printf "query: %a@." Ppd.Query.pp q;
         Format.printf "V+ = {%s}, itemwise: %b@."
           (String.concat ", " (Ppd.Compile.v_plus db q))
           (Ppd.Compile.is_itemwise db q);
-        Engine.with_engine (engine_config jobs cache) (fun engine ->
+        Engine.with_engine (engine_config jobs cache kernel) (fun engine ->
             let req =
               Engine.Request.make ~solver ~budget ~seed
                 ~parallelism:(parallelism_of intra) db q
@@ -208,19 +228,19 @@ let eval_cmd =
     (Cmd.info "eval" ~doc:"Evaluate a Boolean CQ and its Count-Session aggregate")
     Term.(
       const run $ dataset_arg $ size_arg $ sessions_arg $ seed_arg $ query_arg
-      $ solver_arg $ jobs_arg $ cache_arg $ intra_arg $ budget_arg $ stats_arg
-      $ verbose $ metrics_json_arg $ trace_arg)
+      $ solver_arg $ jobs_arg $ cache_arg $ intra_arg $ kernel_arg $ budget_arg
+      $ stats_arg $ verbose $ metrics_json_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* topk                                                                *)
 (* ------------------------------------------------------------------ *)
 
 let topk_cmd =
-  let run dataset size sessions seed query solver jobs cache intra budget stats
-      k strategy metrics_json trace =
+  let run dataset size sessions seed query solver jobs cache intra kernel
+      budget stats k strategy metrics_json trace =
     with_obs metrics_json trace @@ fun () ->
     with_query dataset size sessions seed query (fun db q ->
-        Engine.with_engine (engine_config jobs cache) (fun engine ->
+        Engine.with_engine (engine_config jobs cache kernel) (fun engine ->
             let req =
               Engine.Request.make
                 ~task:(Engine.Request.top_k ~strategy k)
@@ -253,8 +273,8 @@ let topk_cmd =
     (Cmd.info "topk" ~doc:"Most-Probable-Session query")
     Term.(
       const run $ dataset_arg $ size_arg $ sessions_arg $ seed_arg $ query_arg
-      $ solver_arg $ jobs_arg $ cache_arg $ intra_arg $ budget_arg $ stats_arg
-      $ k_arg $ strategy_arg $ metrics_json_arg $ trace_arg)
+      $ solver_arg $ jobs_arg $ cache_arg $ intra_arg $ kernel_arg $ budget_arg
+      $ stats_arg $ k_arg $ strategy_arg $ metrics_json_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* answers                                                             *)

@@ -54,6 +54,22 @@ let batch_max_arg =
   let doc = "Flush a gather bucket once it holds this many requests." in
   Arg.(value & opt int 16 & info [ "batch-max" ] ~docv:"N" ~doc)
 
+let kernel_arg =
+  let parse s =
+    match Hardq.Kernel.of_string s with
+    | Ok t -> Ok t
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf t = Format.pp_print_string ppf (Hardq.Kernel.to_string t) in
+  let kconv = Arg.conv (parse, print) in
+  let doc =
+    "DP kernel of the exact solvers: $(b,flat) (arena-indexed, GC-free \
+     inner loops; the default) or $(b,boxed) (the reference layout). \
+     Answers are byte-identical either way."
+  in
+  Arg.(
+    value & opt kconv Hardq.Kernel.default & info [ "kernel" ] ~docv:"KERNEL" ~doc)
+
 let intra_arg =
   let doc =
     "Default intra-query parallelism for requests without a \
@@ -105,7 +121,8 @@ let preload_arg =
 let quiet_arg =
   Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress lifecycle log lines.")
 
-let run listen jobs cache term_cache batch_window_ms batch_max intra queue
+let run listen jobs cache term_cache batch_window_ms batch_max intra kernel
+    queue
     workers max_connections timeout_ms metrics_json preload quiet =
   let config =
     {
@@ -116,6 +133,7 @@ let run listen jobs cache term_cache batch_window_ms batch_max intra queue
       batch_window_ms;
       batch_max;
       intra;
+      kernel;
       queue_capacity = queue;
       workers;
       max_connections;
@@ -151,7 +169,7 @@ let cmd =
     (Cmd.info "hardq-server" ~doc ~man)
     Term.(
       const run $ listen_arg $ jobs_arg $ cache_arg $ term_cache_arg
-      $ batch_window_arg $ batch_max_arg $ intra_arg $ queue_arg
+      $ batch_window_arg $ batch_max_arg $ intra_arg $ kernel_arg $ queue_arg
       $ workers_arg $ max_connections_arg $ timeout_arg $ metrics_json_arg
       $ preload_arg $ quiet_arg)
 

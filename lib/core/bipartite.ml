@@ -62,6 +62,17 @@ let edge_situation ctx ~value i (l, r) =
   then Violated
   else Uncertain
 
+(* Shift-then-extremum update of track [t]'s value [v] when item [i]
+   lands at position [j]; values are position+1, 0 unset. Shared by all
+   four kernel variants so their arithmetic cannot drift. *)
+let[@inline] update_track ctx i j t v =
+  let shifted = if v > 0 && v - 1 >= j then v + 1 else v in
+  if Conj.matches ctx.conj ctx.track_conj.(t) i then
+    if ctx.track_is_left.(t) then if v = 0 then j + 1 else min shifted (j + 1)
+    else if v = 0 then j + 1
+    else max shifted (j + 1)
+  else shifted
+
 (* Static feasibility: an edge with an empty-side conjunction can never be
    satisfied. Returns the surviving patterns. *)
 let statically_feasible ctx patterns =
@@ -75,7 +86,7 @@ let statically_feasible ctx patterns =
     patterns
 
 (* ------------------------------------------------------------------ *)
-(* Optimized solver (Algorithm 4)                                      *)
+(* Optimized solver (Algorithm 4), boxed kernel                        *)
 (* ------------------------------------------------------------------ *)
 
 (* Gu: the per-state uncertain structure, interned. *)
@@ -85,13 +96,19 @@ type gu = {
   slot : int array; (* track id -> index into [tracked] or -1 *)
 }
 
+(* The canonical form states are keyed on: patterns sorted as pair lists
+   (the flat kernel reproduces exactly this ordering on integer spans). *)
+let canonical_structure edges_per_pattern =
+  List.sort compare (List.map (List.sort compare) edges_per_pattern)
+
 (* A fresh gu interner. States compare structurally, so chunk-local
    interning is sound: two chunks that intern the same uncertain
-   structure produce distinct records that still collide in [next]. *)
+   structure produce distinct records that still collide in the next
+   layer's table. *)
 let make_interner ctx =
   let gu_table : ((int * int) list list, gu) Hashtbl.t = Hashtbl.create 32 in
   fun edges_per_pattern ->
-    let key = List.sort compare (List.map (List.sort compare) edges_per_pattern) in
+    let key = canonical_structure edges_per_pattern in
     match Hashtbl.find_opt gu_table key with
     | Some g -> g
     | None ->
@@ -106,16 +123,374 @@ let make_interner ctx =
         Hashtbl.add gu_table key g;
         g
 
-(* Chunk-local expansion scratch for the optimized solver. *)
+(* Chunk-local expansion scratch for the boxed optimized solver. *)
 type opt_scratch = {
   intern_gu : (int * int) list list -> gu;
   sc_edges_pruned : int ref;
   sc_patterns_pruned : int ref;
 }
 
-let run_optimized ?(budget = Util.Timer.no_limit) ?(par = Util.Par.inline) ctx
-    patterns =
+let run_optimized_boxed ~budget ~par ~obs ~states ~edges_pruned ~patterns_pruned
+    ctx feasible =
   let m = Rim.Model.m ctx.model in
+  let gu0 = make_interner ctx feasible in
+  let table =
+    ref (Dp_table.Boxed.create ~name:"Bipartite" ~max_states:!max_states ())
+  in
+  Dp_table.Boxed.add !table (gu0, Array.make (Array.length gu0.tracked) 0) 1.;
+  let prob = ref 0. in
+  for i = 0 to m - 1 do
+    Util.Timer.check budget;
+    let cur = !table in
+    let n_states = Dp_table.Boxed.length cur in
+    if obs then states := !states + n_states;
+    let next =
+      Dp_table.Boxed.create ~capacity:(2 * n_states) ~name:"Bipartite"
+        ~max_states:!max_states ()
+    in
+    let make_scratch () =
+      {
+        intern_gu = make_interner ctx;
+        sc_edges_pruned = ref 0;
+        sc_patterns_pruned = ref 0;
+      }
+    in
+    let expand sc s ~emit ~emit_prob =
+      let g, vals = Dp_table.Boxed.key cur s in
+      let q = Dp_table.Boxed.prob cur s in
+      for j = 0 to i do
+        let p' = q *. Rim.Model.pi ctx.model i j in
+        if p' > 0. then begin
+          (* New track values for g.tracked. *)
+          let vals' =
+            Array.mapi (fun s v -> update_track ctx i j g.tracked.(s) v) vals
+          in
+          let value t = vals'.(g.slot.(t)) in
+          (* Re-evaluate uncertain edges. *)
+          let satisfied_pattern = ref false in
+          let remaining_patterns =
+            List.filter_map
+              (fun edges ->
+                let violated = ref false in
+                let uncertain =
+                  List.filter
+                    (fun e ->
+                      match edge_situation ctx ~value i e with
+                      | Satisfied ->
+                          if obs then incr sc.sc_edges_pruned;
+                          false
+                      | Violated ->
+                          if obs then incr sc.sc_edges_pruned;
+                          violated := true;
+                          false
+                      | Uncertain -> true)
+                    edges
+                in
+                if !violated then begin
+                  if obs then incr sc.sc_patterns_pruned;
+                  None
+                end
+                else if uncertain = [] then begin
+                  if obs then incr sc.sc_patterns_pruned;
+                  satisfied_pattern := true;
+                  None
+                end
+                else Some uncertain)
+              g.gu_edges
+          in
+          if !satisfied_pattern then emit_prob p'
+          else if remaining_patterns <> [] then begin
+            let g' = sc.intern_gu remaining_patterns in
+            let vals'' = Array.map (fun t -> vals'.(g.slot.(t))) g'.tracked in
+            emit (g', vals'') p'
+          end
+        end
+      done
+    in
+    Dp_par.run ~par ~n:n_states ~ctx:make_scratch ~expand
+      ~finish:(fun sc ->
+        edges_pruned := !edges_pruned + !(sc.sc_edges_pruned);
+        patterns_pruned := !patterns_pruned + !(sc.sc_patterns_pruned))
+      ~add:(Dp_table.Boxed.add next)
+      ~add_prob:(fun p' -> prob := !prob +. p')
+      ();
+    table := next
+  done;
+  min 1. !prob
+
+(* ------------------------------------------------------------------ *)
+(* Optimized solver, flat kernel                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Flat state encoding: the uncertain structure is spelled into the
+   state words themselves, so no interner (and no cross-chunk interner
+   coordination) is needed — state equality is structure+values
+   equality on the arena words directly:
+
+     [n_pats;
+      n_edges_1; l; r; l; r; ...;      (pattern 1, pairs ascending)
+      ...;                             (patterns in ascending pair-list order)
+      v_t1; v_t2; ...]                 (values of tracked tracks, ascending id)
+
+   The pattern spans are kept in exactly the order the boxed interner's
+   [canonical_structure] sort produces, and the value suffix in
+   ascending track-id order exactly as [gu.tracked], so a flat state's
+   words are equal iff the boxed keys are equal — the two kernels build
+   identical layers in identical order. *)
+
+let encode_structure key =
+  let words = ref [] in
+  let n = ref 0 in
+  List.iter
+    (fun edges ->
+      incr n;
+      words := !words @ (List.length edges :: List.concat_map (fun (l, r) -> [ l; r ]) edges))
+    key;
+  Array.of_list (!n :: !words)
+
+(* Lexicographic order of two pattern spans (flattened (l, r) pairs in
+   [edges]), matching OCaml's polymorphic [compare] on (int * int) list:
+   pairwise pair comparison, equal prefixes order by length. *)
+let span_compare edges off1 ne1 off2 ne2 =
+  let rec cmp k =
+    if k = ne1 && k = ne2 then 0
+    else if k = ne1 then -1
+    else if k = ne2 then 1
+    else
+      let l1 = edges.(off1 + (2 * k)) and l2 = edges.(off2 + (2 * k)) in
+      if l1 <> l2 then compare l1 l2
+      else
+        let r1 = edges.(off1 + (2 * k) + 1) and r2 = edges.(off2 + (2 * k) + 1) in
+        if r1 <> r2 then compare r1 r2 else cmp (k + 1)
+  in
+  cmp 0
+
+(* Chunk-local scratch for the flat optimized solver; all arrays are
+   sized once from the initial structure (states only ever shrink). *)
+type flat_opt_scratch = {
+  fs_buf : int array; (* emission buffer: structure + vals'' *)
+  fs_edges : int array; (* surviving uncertain pairs, flattened *)
+  fs_span_off : int array; (* surviving pattern -> offset into fs_edges *)
+  fs_span_ne : int array; (* surviving pattern -> uncertain edge count *)
+  fs_order : int array; (* surviving pattern sort permutation *)
+  fs_vals : int array; (* updated values by current-state slot *)
+  fs_slot : int array; (* track -> slot in current state (stamped) *)
+  fs_slot_stamp : int array;
+  fs_tracked : int array; (* slot -> track in current state *)
+  fs_new : int array; (* stamp: track present in emitted structure *)
+  mutable fs_stamp : int;
+  fs_edges_pruned : int ref;
+  fs_patterns_pruned : int ref;
+}
+
+let run_optimized_flat ~budget ~par ~obs ~states ~edges_pruned ~patterns_pruned
+    ctx feasible =
+  let m = Rim.Model.m ctx.model in
+  let key0 = canonical_structure feasible in
+  let struct0 = encode_structure key0 in
+  let np0 = struct0.(0) in
+  let struct_len0 = Array.length struct0 in
+  let total_pairs0 = (struct_len0 - 1 - np0) / 2 in
+  let max_w = struct_len0 + ctx.n_tracks in
+  let tracked0 =
+    List.sort_uniq compare
+      (List.concat_map (List.concat_map (fun (l, r) -> [ l; r ])) key0)
+  in
+  let n_tracked0 = List.length tracked0 in
+  let t0 = Dp_table.Flat.create ~name:"Bipartite" ~max_states:!max_states () in
+  let t1 = Dp_table.Flat.create ~name:"Bipartite" ~max_states:!max_states () in
+  let cur = ref t0 and nxt = ref t1 in
+  let hwm = ref 0 and flat_states = ref 0 in
+  (let seed = Array.make (struct_len0 + n_tracked0) 0 in
+   Array.blit struct0 0 seed 0 struct_len0;
+   Dp_table.Flat.add !cur seed 0 (struct_len0 + n_tracked0) 1.);
+  let prob = ref 0. in
+  let make_scratch () =
+    {
+      fs_buf = Array.make max_w 0;
+      fs_edges = Array.make (max 1 (2 * total_pairs0)) 0;
+      fs_span_off = Array.make (max 1 np0) 0;
+      fs_span_ne = Array.make (max 1 np0) 0;
+      fs_order = Array.make (max 1 np0) 0;
+      fs_vals = Array.make (max 1 ctx.n_tracks) 0;
+      fs_slot = Array.make (max 1 ctx.n_tracks) 0;
+      fs_slot_stamp = Array.make (max 1 ctx.n_tracks) 0;
+      fs_tracked = Array.make (max 1 ctx.n_tracks) 0;
+      fs_new = Array.make (max 1 ctx.n_tracks) 0;
+      fs_stamp = 0;
+      fs_edges_pruned = ref 0;
+      fs_patterns_pruned = ref 0;
+    }
+  in
+  for i = 0 to m - 1 do
+    Util.Timer.check budget;
+    let curt = !cur and next = !nxt in
+    let n_states = Dp_table.Flat.length curt in
+    if obs then begin
+      flat_states := !flat_states + n_states;
+      states := !states + n_states;
+      Dp_table.Flat.note_layer_width n_states
+    end;
+    let data = Dp_table.Flat.data curt in
+    let expand sc s ~emit ~emit_prob =
+      let o = Dp_table.Flat.off curt s in
+      let q = Dp_table.Flat.prob curt s in
+      let np = data.(o) in
+      (* Decode the slot map of this state's tracked set (ascending id),
+         stamping instead of clearing. *)
+      sc.fs_stamp <- sc.fs_stamp + 1;
+      let stamp = sc.fs_stamp in
+      let pos = ref (o + 1) in
+      for _p = 0 to np - 1 do
+        let ne = data.(!pos) in
+        incr pos;
+        for _e = 0 to ne - 1 do
+          sc.fs_slot_stamp.(data.(!pos)) <- stamp;
+          sc.fs_slot_stamp.(data.(!pos + 1)) <- stamp;
+          pos := !pos + 2
+        done
+      done;
+      let struct_len = !pos - o in
+      let n_tracked = ref 0 in
+      for t = 0 to ctx.n_tracks - 1 do
+        if sc.fs_slot_stamp.(t) = stamp then begin
+          sc.fs_slot.(t) <- !n_tracked;
+          sc.fs_tracked.(!n_tracked) <- t;
+          incr n_tracked
+        end
+      done;
+      let n_tracked = !n_tracked in
+      let vals_base = o + struct_len in
+      for j = 0 to i do
+        let p' = q *. Rim.Model.pi ctx.model i j in
+        if p' > 0. then begin
+          for k = 0 to n_tracked - 1 do
+            sc.fs_vals.(k) <-
+              update_track ctx i j sc.fs_tracked.(k) data.(vals_base + k)
+          done;
+          (* Re-evaluate uncertain edges, writing survivors per pattern
+             into fs_edges (pairs keep their in-pattern order, which is
+             ascending — filtering a sorted span). *)
+          let satisfied_pattern = ref false in
+          let n_new = ref 0 and ew = ref 0 in
+          let pos = ref (o + 1) in
+          for _p = 0 to np - 1 do
+            let ne = data.(!pos) in
+            incr pos;
+            let violated = ref false in
+            let span_start = !ew in
+            for _e = 0 to ne - 1 do
+              let l = data.(!pos) and r = data.(!pos + 1) in
+              pos := !pos + 2;
+              let lv = sc.fs_vals.(sc.fs_slot.(l))
+              and rv = sc.fs_vals.(sc.fs_slot.(r)) in
+              if lv > 0 && rv > 0 && lv < rv then begin
+                if obs then incr sc.fs_edges_pruned
+              end
+              else if
+                Conj.remaining ctx.conj ctx.track_conj.(l) i = 0
+                && Conj.remaining ctx.conj ctx.track_conj.(r) i = 0
+              then begin
+                if obs then incr sc.fs_edges_pruned;
+                violated := true
+              end
+              else begin
+                sc.fs_edges.(!ew) <- l;
+                sc.fs_edges.(!ew + 1) <- r;
+                ew := !ew + 2
+              end
+            done;
+            if !violated then begin
+              if obs then incr sc.fs_patterns_pruned;
+              ew := span_start
+            end
+            else if !ew = span_start then begin
+              if obs then incr sc.fs_patterns_pruned;
+              satisfied_pattern := true
+            end
+            else begin
+              sc.fs_span_off.(!n_new) <- span_start;
+              sc.fs_span_ne.(!n_new) <- (!ew - span_start) / 2;
+              incr n_new
+            end
+          done;
+          if !satisfied_pattern then emit_prob p'
+          else if !n_new > 0 then begin
+            let n_new = !n_new in
+            (* Sort surviving spans into the canonical pattern order. *)
+            let order = sc.fs_order in
+            for x = 0 to n_new - 1 do
+              order.(x) <- x
+            done;
+            for x = 1 to n_new - 1 do
+              let v = order.(x) in
+              let y = ref x in
+              while
+                !y > 0
+                && span_compare sc.fs_edges
+                     sc.fs_span_off.(order.(!y - 1))
+                     sc.fs_span_ne.(order.(!y - 1))
+                     sc.fs_span_off.(v) sc.fs_span_ne.(v)
+                   > 0
+              do
+                order.(!y) <- order.(!y - 1);
+                decr y
+              done;
+              order.(!y) <- v
+            done;
+            (* New tracked set. *)
+            sc.fs_stamp <- sc.fs_stamp + 1;
+            let stamp2 = sc.fs_stamp in
+            for x = 0 to n_new - 1 do
+              let off = sc.fs_span_off.(x) and ne = sc.fs_span_ne.(x) in
+              for e = 0 to ne - 1 do
+                sc.fs_new.(sc.fs_edges.(off + (2 * e))) <- stamp2;
+                sc.fs_new.(sc.fs_edges.(off + (2 * e) + 1)) <- stamp2
+              done
+            done;
+            (* Assemble the emission: structure then values. *)
+            let buf = sc.fs_buf in
+            buf.(0) <- n_new;
+            let w = ref 1 in
+            for x = 0 to n_new - 1 do
+              let sp = order.(x) in
+              let ne = sc.fs_span_ne.(sp) in
+              buf.(!w) <- ne;
+              incr w;
+              Array.blit sc.fs_edges sc.fs_span_off.(sp) buf !w (2 * ne);
+              w := !w + (2 * ne)
+            done;
+            for t = 0 to ctx.n_tracks - 1 do
+              if sc.fs_new.(t) = stamp2 then begin
+                buf.(!w) <- sc.fs_vals.(sc.fs_slot.(t));
+                incr w
+              end
+            done;
+            emit buf 0 !w p'
+          end
+        end
+      done
+    in
+    Dp_par.run_flat ~par ~n:n_states ~ctx:make_scratch ~expand
+      ~finish:(fun sc ->
+        edges_pruned := !edges_pruned + !(sc.fs_edges_pruned);
+        patterns_pruned := !patterns_pruned + !(sc.fs_patterns_pruned))
+      ~add:(Dp_table.Flat.add next)
+      ~add_prob:(fun p' -> prob := !prob +. p')
+      ();
+    if obs then
+      hwm :=
+        max !hwm
+          (max (Dp_table.Flat.used_words curt) (Dp_table.Flat.used_words next));
+    Dp_table.Flat.clear curt;
+    cur := next;
+    nxt := curt
+  done;
+  if obs then Dp_table.Flat.flush_call ~states:!flat_states ~hwm_words:!hwm;
+  min 1. !prob
+
+let run_optimized ?(budget = Util.Timer.no_limit) ?(par = Util.Par.inline)
+    ?(kernel = Kernel.default) ctx patterns =
   match statically_feasible ctx patterns with
   | [] -> 0.
   | feasible when List.exists (fun edges -> edges = []) feasible ->
@@ -125,116 +500,15 @@ let run_optimized ?(budget = Util.Timer.no_limit) ?(par = Util.Par.inline) ctx
       Conj.freeze ctx.conj;
       let obs = Obs.enabled () in
       let states = ref 0 and edges_pruned = ref 0 and patterns_pruned = ref 0 in
-      let gu0 = make_interner ctx feasible in
-      let table = ref (Hashtbl.create 64) in
-      Hashtbl.add !table (gu0, Array.make (Array.length gu0.tracked) 0) 1.;
-      let prob = ref 0. in
-      for i = 0 to m - 1 do
-        Util.Timer.check budget;
-        let cur = !table in
-        let n_states = Hashtbl.length cur in
-        if obs then states := !states + n_states;
-        (* Snapshot in Hashtbl.iter order (see Dp_par: keeps the stream,
-           and so the next layer's iteration order, bit-identical to the
-           direct Hashtbl.iter loop). *)
-        let sgs = Array.make n_states gu0 in
-        let svals = Array.make n_states [||] in
-        let sqs = Array.make n_states 0. in
-        (let k = ref 0 in
-         Hashtbl.iter
-           (fun (g, vals) q ->
-             sgs.(!k) <- g;
-             svals.(!k) <- vals;
-             sqs.(!k) <- q;
-             incr k)
-           cur);
-        let next = Hashtbl.create (n_states * 2) in
-        let add key p' =
-          match Hashtbl.find_opt next key with
-          | Some q0 -> Hashtbl.replace next key (q0 +. p')
-          | None ->
-              if Hashtbl.length next >= !max_states then
-                failwith "Bipartite: state explosion";
-              Hashtbl.add next key p'
-        in
-        let make_scratch () =
-          {
-            intern_gu = make_interner ctx;
-            sc_edges_pruned = ref 0;
-            sc_patterns_pruned = ref 0;
-          }
-        in
-        let expand sc s ~emit ~emit_prob =
-          let g = sgs.(s) and vals = svals.(s) and q = sqs.(s) in
-          for j = 0 to i do
-            let p' = q *. Rim.Model.pi ctx.model i j in
-            if p' > 0. then begin
-              (* New track values for g.tracked. *)
-              let vals' =
-                Array.mapi
-                  (fun s v ->
-                    (* shift-then-extremum; values are position+1, 0 unset *)
-                    let shifted = if v > 0 && v - 1 >= j then v + 1 else v in
-                    let t = g.tracked.(s) in
-                    if Conj.matches ctx.conj ctx.track_conj.(t) i then
-                      if ctx.track_is_left.(t) then
-                        if v = 0 then j + 1 else min shifted (j + 1)
-                      else if v = 0 then j + 1
-                      else max shifted (j + 1)
-                    else shifted)
-                  vals
-              in
-              let value t = vals'.(g.slot.(t)) in
-              (* Re-evaluate uncertain edges. *)
-              let satisfied_pattern = ref false in
-              let remaining_patterns =
-                List.filter_map
-                  (fun edges ->
-                    let violated = ref false in
-                    let uncertain =
-                      List.filter
-                        (fun e ->
-                          match edge_situation ctx ~value i e with
-                          | Satisfied ->
-                              if obs then incr sc.sc_edges_pruned;
-                              false
-                          | Violated ->
-                              if obs then incr sc.sc_edges_pruned;
-                              violated := true;
-                              false
-                          | Uncertain -> true)
-                        edges
-                    in
-                    if !violated then begin
-                      if obs then incr sc.sc_patterns_pruned;
-                      None
-                    end
-                    else if uncertain = [] then begin
-                      if obs then incr sc.sc_patterns_pruned;
-                      satisfied_pattern := true;
-                      None
-                    end
-                    else Some uncertain)
-                  g.gu_edges
-              in
-              if !satisfied_pattern then emit_prob p'
-              else if remaining_patterns <> [] then begin
-                let g' = sc.intern_gu remaining_patterns in
-                let vals'' = Array.map (fun t -> vals'.(g.slot.(t))) g'.tracked in
-                emit (g', vals'') p'
-              end
-            end
-          done
-        in
-        Dp_par.run ~par ~n:n_states ~ctx:make_scratch ~expand
-          ~finish:(fun sc ->
-            edges_pruned := !edges_pruned + !(sc.sc_edges_pruned);
-            patterns_pruned := !patterns_pruned + !(sc.sc_patterns_pruned))
-          ~add
-          ~add_prob:(fun p' -> prob := !prob +. p')
-          ();
-        table := next
-      done;
+      let result =
+        match kernel with
+        | Kernel.Boxed ->
+            run_optimized_boxed ~budget ~par ~obs ~states ~edges_pruned
+              ~patterns_pruned ctx feasible
+        | Kernel.Flat ->
+            run_optimized_flat ~budget ~par ~obs ~states ~edges_pruned
+              ~patterns_pruned ctx feasible
+      in
       if obs then begin
         Obs.Counter.incr c_calls;
         Obs.Counter.add c_states !states;
@@ -242,15 +516,130 @@ let run_optimized ?(budget = Util.Timer.no_limit) ?(par = Util.Par.inline) ctx
         Obs.Counter.add c_patterns_pruned !patterns_pruned;
         Obs.Histogram.observe h_states !states
       end;
-      min 1. !prob
+      result
 
 (* ------------------------------------------------------------------ *)
 (* Basic solver (§4.3.1): full tracking, classification at the end.    *)
 (* ------------------------------------------------------------------ *)
 
-let run_basic ?(budget = Util.Timer.no_limit) ?(par = Util.Par.inline) ctx
-    patterns =
+let run_basic_boxed ~budget ~par ~obs ~states ctx feasible =
   let m = Rim.Model.m ctx.model in
+  let table =
+    ref
+      (Dp_table.Boxed.create ~name:"Bipartite (basic)" ~max_states:!max_states
+         ())
+  in
+  Dp_table.Boxed.add !table (Array.make ctx.n_tracks 0) 1.;
+  for i = 0 to m - 1 do
+    Util.Timer.check budget;
+    let cur = !table in
+    let n_states = Dp_table.Boxed.length cur in
+    if obs then states := !states + n_states;
+    let next =
+      Dp_table.Boxed.create ~capacity:(2 * n_states) ~name:"Bipartite (basic)"
+        ~max_states:!max_states ()
+    in
+    let expand () s ~emit ~emit_prob:_ =
+      let vals = Dp_table.Boxed.key cur s and q = Dp_table.Boxed.prob cur s in
+      for j = 0 to i do
+        let p' = q *. Rim.Model.pi ctx.model i j in
+        if p' > 0. then begin
+          let vals' = Array.mapi (fun t v -> update_track ctx i j t v) vals in
+          emit vals' p'
+        end
+      done
+    in
+    Dp_par.run ~par ~n:n_states
+      ~ctx:(fun () -> ())
+      ~expand
+      ~add:(Dp_table.Boxed.add next)
+      ~add_prob:(fun _ -> ())
+      ();
+    table := next
+  done;
+  let satisfied vals =
+    List.exists
+      (List.for_all (fun (l, r) ->
+           let lv = vals.(l) and rv = vals.(r) in
+           lv > 0 && rv > 0 && lv < rv))
+      feasible
+  in
+  let final = !table in
+  let acc = ref 0. in
+  for s = 0 to Dp_table.Boxed.length final - 1 do
+    if satisfied (Dp_table.Boxed.key final s) then
+      acc := !acc +. Dp_table.Boxed.prob final s
+  done;
+  !acc
+
+let run_basic_flat ~budget ~par ~obs ~states ctx feasible =
+  let m = Rim.Model.m ctx.model in
+  let w = ctx.n_tracks in
+  let t0 =
+    Dp_table.Flat.create ~name:"Bipartite (basic)" ~max_states:!max_states ()
+  in
+  let t1 =
+    Dp_table.Flat.create ~name:"Bipartite (basic)" ~max_states:!max_states ()
+  in
+  let cur = ref t0 and nxt = ref t1 in
+  let hwm = ref 0 and flat_states = ref 0 in
+  (let seed = Array.make w 0 in
+   Dp_table.Flat.add !cur seed 0 w 1.);
+  for i = 0 to m - 1 do
+    Util.Timer.check budget;
+    let curt = !cur and next = !nxt in
+    let n_states = Dp_table.Flat.length curt in
+    if obs then begin
+      flat_states := !flat_states + n_states;
+      states := !states + n_states;
+      Dp_table.Flat.note_layer_width n_states
+    end;
+    let data = Dp_table.Flat.data curt in
+    let expand buf s ~emit ~emit_prob:_ =
+      let off = Dp_table.Flat.off curt s and q = Dp_table.Flat.prob curt s in
+      for j = 0 to i do
+        let p' = q *. Rim.Model.pi ctx.model i j in
+        if p' > 0. then begin
+          for t = 0 to w - 1 do
+            buf.(t) <- update_track ctx i j t data.(off + t)
+          done;
+          emit buf 0 w p'
+        end
+      done
+    in
+    Dp_par.run_flat ~par ~n:n_states
+      ~ctx:(fun () -> Array.make w 0)
+      ~expand
+      ~add:(Dp_table.Flat.add next)
+      ~add_prob:(fun _ -> ())
+      ();
+    if obs then
+      hwm :=
+        max !hwm
+          (max (Dp_table.Flat.used_words curt) (Dp_table.Flat.used_words next));
+    Dp_table.Flat.clear curt;
+    cur := next;
+    nxt := curt
+  done;
+  if obs then Dp_table.Flat.flush_call ~states:!flat_states ~hwm_words:!hwm;
+  let final = !cur in
+  let data = Dp_table.Flat.data final in
+  let satisfied off =
+    List.exists
+      (List.for_all (fun (l, r) ->
+           let lv = data.(off + l) and rv = data.(off + r) in
+           lv > 0 && rv > 0 && lv < rv))
+      feasible
+  in
+  let acc = ref 0. in
+  for s = 0 to Dp_table.Flat.length final - 1 do
+    if satisfied (Dp_table.Flat.off final s) then
+      acc := !acc +. Dp_table.Flat.prob final s
+  done;
+  !acc
+
+let run_basic ?(budget = Util.Timer.no_limit) ?(par = Util.Par.inline)
+    ?(kernel = Kernel.default) ctx patterns =
   match statically_feasible ctx patterns with
   | [] -> 0.
   | feasible when List.exists (fun edges -> edges = []) feasible -> 1.
@@ -258,70 +647,16 @@ let run_basic ?(budget = Util.Timer.no_limit) ?(par = Util.Par.inline) ctx
       Conj.freeze ctx.conj;
       let obs = Obs.enabled () in
       let states = ref 0 in
-      let table = ref (Hashtbl.create 64) in
-      Hashtbl.add !table (Array.make ctx.n_tracks 0) 1.;
-      for i = 0 to m - 1 do
-        Util.Timer.check budget;
-        let cur = !table in
-        let n_states = Hashtbl.length cur in
-        if obs then states := !states + n_states;
-        let skeys = Array.make n_states [||] and sqs = Array.make n_states 0. in
-        (let k = ref 0 in
-         Hashtbl.iter
-           (fun vals q ->
-             skeys.(!k) <- vals;
-             sqs.(!k) <- q;
-             incr k)
-           cur);
-        let next = Hashtbl.create (n_states * 2) in
-        let add vals' p' =
-          match Hashtbl.find_opt next vals' with
-          | Some q0 -> Hashtbl.replace next vals' (q0 +. p')
-          | None ->
-              if Hashtbl.length next >= !max_states then
-                failwith "Bipartite (basic): state explosion";
-              Hashtbl.add next vals' p'
-        in
-        let expand () s ~emit ~emit_prob:_ =
-          let vals = skeys.(s) and q = sqs.(s) in
-          for j = 0 to i do
-            let p' = q *. Rim.Model.pi ctx.model i j in
-            if p' > 0. then begin
-              let vals' =
-                Array.mapi
-                  (fun t v ->
-                    let shifted = if v > 0 && v - 1 >= j then v + 1 else v in
-                    if Conj.matches ctx.conj ctx.track_conj.(t) i then
-                      if ctx.track_is_left.(t) then
-                        if v = 0 then j + 1 else min shifted (j + 1)
-                      else if v = 0 then j + 1
-                      else max shifted (j + 1)
-                    else shifted)
-                  vals
-              in
-              emit vals' p'
-            end
-          done
-        in
-        Dp_par.run ~par ~n:n_states
-          ~ctx:(fun () -> ())
-          ~expand ~add
-          ~add_prob:(fun _ -> ())
-          ();
-        table := next
-      done;
+      let result =
+        match kernel with
+        | Kernel.Boxed -> run_basic_boxed ~budget ~par ~obs ~states ctx feasible
+        | Kernel.Flat -> run_basic_flat ~budget ~par ~obs ~states ctx feasible
+      in
       if obs then begin
         Obs.Counter.incr c_basic_calls;
         Obs.Counter.add c_basic_states !states
       end;
-      let satisfied vals =
-        List.exists
-          (List.for_all (fun (l, r) ->
-               let lv = vals.(l) and rv = vals.(r) in
-               lv > 0 && rv > 0 && lv < rv))
-          feasible
-      in
-      Hashtbl.fold (fun vals q acc -> if satisfied vals then acc +. q else acc) !table 0.
+      result
 
 (* ------------------------------------------------------------------ *)
 (* Public entry points                                                 *)
@@ -353,22 +688,22 @@ let union_to_constraint_sets lab gu =
     (fun g -> if isolated_nodes_ok lab g then Some (pairs_of_pattern g) else None)
     (Prefs.Pattern_union.patterns gu)
 
-let prob_constraint_sets ?budget ?par model lab sets =
+let prob_constraint_sets ?budget ?par ?kernel model lab sets =
   if sets = [] then 0.
   else
     let ctx, patterns = build_ctx model lab sets in
-    run_optimized ?budget ?par ctx patterns
+    run_optimized ?budget ?par ?kernel ctx patterns
 
-let prob ?budget ?par model lab gu =
+let prob ?budget ?par ?kernel model lab gu =
   match union_to_constraint_sets lab gu with
   | [] -> 0.
   | sets ->
       let ctx, patterns = build_ctx model lab sets in
-      run_optimized ?budget ?par ctx patterns
+      run_optimized ?budget ?par ?kernel ctx patterns
 
-let prob_basic ?budget ?par model lab gu =
+let prob_basic ?budget ?par ?kernel model lab gu =
   match union_to_constraint_sets lab gu with
   | [] -> 0.
   | sets ->
       let ctx, patterns = build_ctx model lab sets in
-      run_basic ?budget ?par ctx patterns
+      run_basic ?budget ?par ?kernel ctx patterns

@@ -17,6 +17,7 @@ exception Unsupported of string
 val prob :
   ?budget:Util.Timer.budget ->
   ?par:Util.Par.t ->
+  ?kernel:Kernel.t ->
   Rim.Model.t ->
   Prefs.Labeling.t ->
   Prefs.Pattern_union.t ->
@@ -31,6 +32,7 @@ val prob :
 val prob_basic :
   ?budget:Util.Timer.budget ->
   ?par:Util.Par.t ->
+  ?kernel:Kernel.t ->
   Rim.Model.t ->
   Prefs.Labeling.t ->
   Prefs.Pattern_union.t ->
@@ -42,6 +44,7 @@ val prob_basic :
 val prob_constraint_sets :
   ?budget:Util.Timer.budget ->
   ?par:Util.Par.t ->
+  ?kernel:Kernel.t ->
   Rim.Model.t ->
   Prefs.Labeling.t ->
   (Prefs.Pattern.node * Prefs.Pattern.node) list list ->

@@ -41,6 +41,53 @@ module Vec = struct
     done
 end
 
+(* Unboxed growable vectors for the flat kernel's chunk buffers: int
+   words and float probabilities never pass through a boxed tuple. *)
+module Ivec = struct
+  type t = { mutable arr : int array; mutable len : int }
+
+  let create () = { arr = Array.make 64 0; len = 0 }
+
+  let reserve v extra =
+    let cap = Array.length v.arr in
+    if v.len + extra > cap then begin
+      let arr = Array.make (max (2 * cap) (v.len + extra)) 0 in
+      Array.blit v.arr 0 arr 0 v.len;
+      v.arr <- arr
+    end
+
+  let push v x =
+    reserve v 1;
+    v.arr.(v.len) <- x;
+    v.len <- v.len + 1
+
+  let append v buf off len =
+    reserve v len;
+    Array.blit buf off v.arr v.len len;
+    v.len <- v.len + len
+end
+
+module Fvec = struct
+  type t = { mutable arr : float array; mutable len : int }
+
+  let create () = { arr = Array.make 64 0.; len = 0 }
+
+  let push v x =
+    let cap = Array.length v.arr in
+    if v.len = cap then begin
+      let arr = Array.make (2 * cap) 0. in
+      Array.blit v.arr 0 arr 0 v.len;
+      v.arr <- arr
+    end;
+    v.arr.(v.len) <- x;
+    v.len <- v.len + 1
+
+  let iter f v =
+    for i = 0 to v.len - 1 do
+      f v.arr.(i)
+    done
+end
+
 (* Below this many states a layer is expanded on the calling domain:
    the buffering overhead would dwarf the work. The threshold is a
    constant (never a function of the width), but correctness does not
@@ -74,6 +121,58 @@ let run ~par ?(min_par = default_min_par) ~n ~ctx ~expand
     for c = 0 to n_chunks - 1 do
       Vec.iter (fun (k, p) -> add k p) kvs.(c);
       Vec.iter add_prob ps.(c);
+      match cxs.(c) with Some cx -> finish cx | None -> ()
+    done
+  end
+
+(* Flat-kernel variant of [run]: a state emission is a span of ints
+   [(buf, off, len)] plus its probability, never a boxed key. The
+   sequential path passes the caller's scratch buffer straight to [add]
+   (which copies it into the arena); parallel chunks frame emissions as
+   [len; words...] into a private int vector with probabilities in a
+   parallel float vector, and the frames replay in chunk order with
+   zero further copying ([add] reads straight out of the chunk buffer).
+   The merged stream — and hence the next arena's slot order and every
+   float addition — is the sequential stream, exactly as with [run]. *)
+let run_flat ~par ?(min_par = default_min_par) ~n ~ctx ~expand
+    ?(finish = fun _ -> ()) ~add ~add_prob () =
+  if Util.Par.width par <= 1 || n < min_par then begin
+    let c = ctx () in
+    for i = 0 to n - 1 do
+      expand c i ~emit:add ~emit_prob:add_prob
+    done;
+    finish c
+  end
+  else begin
+    let n_chunks = min n (4 * Util.Par.width par) in
+    let kws = Array.init n_chunks (fun _ -> Ivec.create ()) in
+    let kps = Array.init n_chunks (fun _ -> Fvec.create ()) in
+    let ps = Array.init n_chunks (fun _ -> Fvec.create ()) in
+    let cxs = Array.make n_chunks None in
+    Util.Par.share par ~n:n_chunks (fun c ->
+        let lo = c * n / n_chunks and hi = (c + 1) * n / n_chunks in
+        let cx = ctx () in
+        cxs.(c) <- Some cx;
+        let kw = kws.(c) and kp = kps.(c) and pv = ps.(c) in
+        let emit buf off len p =
+          Ivec.push kw len;
+          Ivec.append kw buf off len;
+          Fvec.push kp p
+        in
+        let emit_prob p = Fvec.push pv p in
+        for i = lo to hi - 1 do
+          expand cx i ~emit ~emit_prob
+        done);
+    for c = 0 to n_chunks - 1 do
+      let kw = kws.(c) and kp = kps.(c) in
+      let pos = ref 0 and k = ref 0 in
+      while !pos < kw.Ivec.len do
+        let len = kw.Ivec.arr.(!pos) in
+        add kw.Ivec.arr (!pos + 1) len kp.Fvec.arr.(!k);
+        pos := !pos + 1 + len;
+        incr k
+      done;
+      Fvec.iter add_prob ps.(c);
       match cxs.(c) with Some cx -> finish cx | None -> ()
     done
   end

@@ -31,3 +31,29 @@ val run :
   add_prob:(float -> unit) ->
   unit ->
   unit
+
+val run_flat :
+  par:Util.Par.t ->
+  ?min_par:int ->
+  n:int ->
+  ctx:(unit -> 'c) ->
+  expand:
+    ('c ->
+    int ->
+    emit:(int array -> int -> int -> float -> unit) ->
+    emit_prob:(float -> unit) ->
+    unit) ->
+  ?finish:('c -> unit) ->
+  add:(int array -> int -> int -> float -> unit) ->
+  add_prob:(float -> unit) ->
+  unit ->
+  unit
+(** [run] for the flat kernel: an emission is a span of ints
+    [(buf, off, len)] with a probability, destined for
+    {!Dp_table.Flat.add}. On the sequential path [emit] {e is} [add],
+    so the caller may pass a scratch buffer it overwrites between
+    emissions ([add] copies the words out immediately). On the parallel
+    path emissions are framed into chunk-private unboxed buffers and
+    replayed in chunk order, preserving the sequential contribution
+    stream exactly as {!run} does. The same aliasing rule applies:
+    [buf] must not be the destination table's own arena. *)

@@ -20,7 +20,7 @@ let conjunctions gu =
 let term_key c = (Prefs.Pattern.nodes c, Prefs.Pattern.edges c)
 
 let prob_instrumented ?budget ?(par = Util.Par.inline) ?(memo = true) ?cache
-    model lab gu =
+    ?kernel model lab gu =
   let obs = Obs.enabled () in
   let terms = Array.of_list (conjunctions gu) in
   let n = Array.length terms in
@@ -91,7 +91,8 @@ let prob_instrumented ?budget ?(par = Util.Par.inline) ?(memo = true) ?cache
       let t = unsolved.(k) in
       let c, _ = terms.(t) in
       let p, dt =
-        Util.Timer.time (fun () -> Pattern_solver.prob ?budget ~par model lab c)
+        Util.Timer.time (fun () ->
+            Pattern_solver.prob ?budget ~par ?kernel model lab c)
       in
       probs.(t) <- p;
       secs.(t) <- dt);
@@ -122,5 +123,5 @@ let prob_instrumented ?budget ?(par = Util.Par.inline) ?(memo = true) ?cache
      the value is returned raw and clamped at the Solver.prob boundary. *)
   (!total, List.rev !times)
 
-let prob ?budget ?par ?memo ?cache model lab gu =
-  fst (prob_instrumented ?budget ?par ?memo ?cache model lab gu)
+let prob ?budget ?par ?memo ?cache ?kernel model lab gu =
+  fst (prob_instrumented ?budget ?par ?memo ?cache ?kernel model lab gu)

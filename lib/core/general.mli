@@ -14,6 +14,7 @@ val prob :
   ?par:Util.Par.t ->
   ?memo:bool ->
   ?cache:Term_cache.t ->
+  ?kernel:Kernel.t ->
   Rim.Model.t ->
   Prefs.Labeling.t ->
   Prefs.Pattern_union.t ->
@@ -41,6 +42,7 @@ val prob_instrumented :
   ?par:Util.Par.t ->
   ?memo:bool ->
   ?cache:Term_cache.t ->
+  ?kernel:Kernel.t ->
   Rim.Model.t ->
   Prefs.Labeling.t ->
   Prefs.Pattern_union.t ->

@@ -1,0 +1,15 @@
+type t = Boxed | Flat
+
+let default = Flat
+let to_string = function Boxed -> "boxed" | Flat -> "flat"
+
+let valid_names = [ "boxed"; "flat" ]
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "boxed" -> Ok Boxed
+  | "flat" -> Ok Flat
+  | other ->
+      Error
+        (Printf.sprintf "unknown kernel %S (valid names: %s)" other
+           (String.concat ", " valid_names))

@@ -26,13 +26,47 @@ let embeds ~topo ~parents ~(masks : int array) (seq : int array) =
       | None -> false)
     topo
 
-(* State encoding: flat int array [pos0; mask0; pos1; mask1; ...] sorted by
-   position (0-based absolute positions in the current partial ranking). *)
+(* Same check reading the masks straight out of a flat state: item [k]'s
+   mask is word [off + 2k + 1] of [buf]. [f] is caller-provided scratch
+   (one slot per node), so the flat hot path allocates nothing. *)
+let embeds_flat ~topo ~parents ~f buf off t =
+  Array.fill f 0 (Array.length f) (-1);
+  List.for_all
+    (fun v ->
+      let bound = List.fold_left (fun b u -> max b f.(u)) (-1) parents.(v) in
+      let bit = 1 lsl v in
+      let rec find k =
+        if k >= t then -1
+        else if buf.(off + (2 * k) + 1) land bit <> 0 then k
+        else find (k + 1)
+      in
+      let k = find (bound + 1) in
+      if k >= 0 then begin
+        f.(v) <- k;
+        true
+      end
+      else false)
+    topo
+
+(* State encoding: flat int words [pos0; mask0; pos1; mask1; ...] sorted by
+   position (0-based absolute positions in the current partial ranking).
+   The boxed kernel stores each state as its own int array; the flat
+   kernel stores the same words in a {!Dp_table.Flat} arena. Both visit
+   states in first-insertion order with identical arithmetic, so their
+   answers are bit-identical (pinned by test/t_kernel.ml). *)
 
 let state_masks st = Array.init (Array.length st / 2) (fun k -> st.((2 * k) + 1))
 
-let prob_general ?(budget = Util.Timer.no_limit) ?(par = Util.Par.inline) model
-    lab g =
+(* Shared static preamble of the signature DP. *)
+type problem = {
+  m : int;
+  topo : int list;
+  parents : int list array;
+  node_bits : int array;
+  step_mask : int array; (* mask of the item inserted at step i *)
+}
+
+let build_problem model lab g =
   let q = Prefs.Pattern.n_nodes g in
   if q > 62 then raise (Unsupported "Pattern_solver: more than 62 nodes");
   let m = Rim.Model.m model in
@@ -40,7 +74,6 @@ let prob_general ?(budget = Util.Timer.no_limit) ?(par = Util.Par.inline) model
   let topo = Prefs.Pattern.topological_order g in
   let parents = Array.init q (Prefs.Pattern.preds g) in
   let node_bits = Array.init q (fun v -> 1 lsl v) in
-  (* mask of the item inserted at step i *)
   let step_mask =
     Array.init m (fun i ->
         let item = Prefs.Ranking.item_at sigma i in
@@ -55,95 +88,185 @@ let prob_general ?(budget = Util.Timer.no_limit) ?(par = Util.Par.inline) model
   let witnessable =
     List.init q (fun v -> Array.exists (fun mk -> mk land (1 lsl v) <> 0) step_mask)
   in
-  if List.exists not witnessable then 0.
-  else begin
-    let table = ref (Hashtbl.create 64) in
-    Hashtbl.add !table [||] 1.;
-    let prob = ref 0. in
-    for i = 0 to m - 1 do
-      Util.Timer.check budget;
-      let cur = !table in
-      let n_states = Hashtbl.length cur in
-      (* Snapshot in Hashtbl.iter order so the contribution stream (and
-         hence every float and the next table's iteration order) is the
-         one the direct Hashtbl.iter loop produced. *)
-      let keys = Array.make n_states [||] and qs = Array.make n_states 0. in
-      (let k = ref 0 in
-       Hashtbl.iter
-         (fun st q ->
-           keys.(!k) <- st;
-           qs.(!k) <- q;
-           incr k)
-         cur);
-      let next = Hashtbl.create (n_states * 2) in
-      let add st p =
-        match Hashtbl.find_opt next st with
-        | Some p0 -> Hashtbl.replace next st (p0 +. p)
-        | None ->
-            if Hashtbl.length next >= !max_states then
-              failwith "Pattern_solver: state explosion";
-            Hashtbl.add next st p
-      in
-      let mx = step_mask.(i) in
-      let expand () s ~emit ~emit_prob =
-        let st = keys.(s) and qprob = qs.(s) in
-        let t = Array.length st / 2 in
-        if mx = 0 then begin
-          (* Irrelevant item: group insertion positions by how many tracked
-             items shift. c = number of tracked items strictly before j. *)
-          for c = 0 to t do
-            let jlo = if c = 0 then 0 else st.(2 * (c - 1)) + 1 in
-            let jhi = if c = t then i else st.(2 * c) in
-            if jlo <= jhi then begin
-              let psum = ref 0. in
-              for j = jlo to jhi do
-                psum := !psum +. Rim.Model.pi model i j
-              done;
-              if !psum > 0. then begin
-                let st' = Array.copy st in
-                for k = c to t - 1 do
-                  st'.(2 * k) <- st'.(2 * k) + 1
-                done;
-                emit st' (qprob *. !psum)
-              end
-            end
-          done
-        end
-        else
-          for j = 0 to i do
-            let p = qprob *. Rim.Model.pi model i j in
-            if p > 0. then begin
-              (* Insert (j, mx), shifting tracked positions >= j. *)
-              let c = ref 0 in
-              while !c < t && st.(2 * !c) < j do
-                incr c
-              done;
-              let c = !c in
-              let st' = Array.make ((t + 1) * 2) 0 in
-              Array.blit st 0 st' 0 (2 * c);
-              st'.(2 * c) <- j;
-              st'.((2 * c) + 1) <- mx;
-              for k = c to t - 1 do
-                st'.(2 * (k + 1)) <- st.(2 * k) + 1;
-                st'.((2 * (k + 1)) + 1) <- st.((2 * k) + 1)
-              done;
-              if embeds ~topo ~parents ~masks:node_bits (state_masks st') then
-                emit_prob p
-              else emit st' p
-            end
-          done
-      in
-      Dp_par.run ~par ~n:n_states
-        ~ctx:(fun () -> ())
-        ~expand ~add
-        ~add_prob:(fun p -> prob := !prob +. p)
-        ();
-      table := next
-    done;
-    min 1. !prob
-  end
+  if List.exists not witnessable then None else Some { m; topo; parents; node_bits; step_mask }
 
-let prob ?budget ?par model lab g =
+let run_boxed ~budget ~par model pr =
+  let table =
+    ref (Dp_table.Boxed.create ~name:"Pattern_solver" ~max_states:!max_states ())
+  in
+  Dp_table.Boxed.add !table [||] 1.;
+  let prob = ref 0. in
+  for i = 0 to pr.m - 1 do
+    Util.Timer.check budget;
+    let cur = !table in
+    let n_states = Dp_table.Boxed.length cur in
+    let next =
+      Dp_table.Boxed.create ~capacity:(2 * n_states) ~name:"Pattern_solver"
+        ~max_states:!max_states ()
+    in
+    let mx = pr.step_mask.(i) in
+    let expand () s ~emit ~emit_prob =
+      let st = Dp_table.Boxed.key cur s and qprob = Dp_table.Boxed.prob cur s in
+      let t = Array.length st / 2 in
+      if mx = 0 then begin
+        (* Irrelevant item: group insertion positions by how many tracked
+           items shift. c = number of tracked items strictly before j. *)
+        for c = 0 to t do
+          let jlo = if c = 0 then 0 else st.(2 * (c - 1)) + 1 in
+          let jhi = if c = t then i else st.(2 * c) in
+          if jlo <= jhi then begin
+            let psum = ref 0. in
+            for j = jlo to jhi do
+              psum := !psum +. Rim.Model.pi model i j
+            done;
+            if !psum > 0. then begin
+              let st' = Array.copy st in
+              for k = c to t - 1 do
+                st'.(2 * k) <- st'.(2 * k) + 1
+              done;
+              emit st' (qprob *. !psum)
+            end
+          end
+        done
+      end
+      else
+        for j = 0 to i do
+          let p = qprob *. Rim.Model.pi model i j in
+          if p > 0. then begin
+            (* Insert (j, mx), shifting tracked positions >= j. *)
+            let c = ref 0 in
+            while !c < t && st.(2 * !c) < j do
+              incr c
+            done;
+            let c = !c in
+            let st' = Array.make ((t + 1) * 2) 0 in
+            Array.blit st 0 st' 0 (2 * c);
+            st'.(2 * c) <- j;
+            st'.((2 * c) + 1) <- mx;
+            for k = c to t - 1 do
+              st'.(2 * (k + 1)) <- st.(2 * k) + 1;
+              st'.((2 * (k + 1)) + 1) <- st.((2 * k) + 1)
+            done;
+            if
+              embeds ~topo:pr.topo ~parents:pr.parents ~masks:pr.node_bits
+                (state_masks st')
+            then emit_prob p
+            else emit st' p
+          end
+        done
+    in
+    Dp_par.run ~par ~n:n_states
+      ~ctx:(fun () -> ())
+      ~expand
+      ~add:(Dp_table.Boxed.add next)
+      ~add_prob:(fun p -> prob := !prob +. p)
+      ();
+    table := next
+  done;
+  min 1. !prob
+
+(* Chunk-local scratch for the flat kernel: an emission buffer wide
+   enough for any state (2 words per relevant item, at most m items) and
+   the embedding scratch. *)
+type flat_scratch = { buf : int array; f : int array }
+
+let run_flat ~budget ~par ~obs model pr =
+  let q = Array.length pr.parents in
+  let max_w = 2 * (pr.m + 1) in
+  let t0 =
+    Dp_table.Flat.create ~name:"Pattern_solver" ~max_states:!max_states ()
+  in
+  let t1 =
+    Dp_table.Flat.create ~name:"Pattern_solver" ~max_states:!max_states ()
+  in
+  let cur = ref t0 and nxt = ref t1 in
+  let hwm = ref 0 and states = ref 0 in
+  Dp_table.Flat.add !cur [||] 0 0 1.;
+  let prob = ref 0. in
+  for i = 0 to pr.m - 1 do
+    Util.Timer.check budget;
+    let curt = !cur and next = !nxt in
+    let n_states = Dp_table.Flat.length curt in
+    if obs then begin
+      states := !states + n_states;
+      Dp_table.Flat.note_layer_width n_states
+    end;
+    let data = Dp_table.Flat.data curt in
+    let mx = pr.step_mask.(i) in
+    let expand sc s ~emit ~emit_prob =
+      let off = Dp_table.Flat.off curt s in
+      let len = Dp_table.Flat.len curt s in
+      let qprob = Dp_table.Flat.prob curt s in
+      let t = len / 2 in
+      let buf = sc.buf in
+      if mx = 0 then begin
+        for c = 0 to t do
+          let jlo = if c = 0 then 0 else data.(off + (2 * (c - 1))) + 1 in
+          let jhi = if c = t then i else data.(off + (2 * c)) in
+          if jlo <= jhi then begin
+            let psum = ref 0. in
+            for j = jlo to jhi do
+              psum := !psum +. Rim.Model.pi model i j
+            done;
+            if !psum > 0. then begin
+              Array.blit data off buf 0 len;
+              for k = c to t - 1 do
+                buf.(2 * k) <- buf.(2 * k) + 1
+              done;
+              emit buf 0 len (qprob *. !psum)
+            end
+          end
+        done
+      end
+      else
+        for j = 0 to i do
+          let p = qprob *. Rim.Model.pi model i j in
+          if p > 0. then begin
+            let c = ref 0 in
+            while !c < t && data.(off + (2 * !c)) < j do
+              incr c
+            done;
+            let c = !c in
+            Array.blit data off buf 0 (2 * c);
+            buf.(2 * c) <- j;
+            buf.((2 * c) + 1) <- mx;
+            for k = c to t - 1 do
+              buf.(2 * (k + 1)) <- data.(off + (2 * k)) + 1;
+              buf.((2 * (k + 1)) + 1) <- data.(off + (2 * k) + 1)
+            done;
+            if embeds_flat ~topo:pr.topo ~parents:pr.parents ~f:sc.f buf 0 (t + 1)
+            then emit_prob p
+            else emit buf 0 (len + 2) p
+          end
+        done
+    in
+    Dp_par.run_flat ~par ~n:n_states
+      ~ctx:(fun () -> { buf = Array.make max_w 0; f = Array.make (max q 1) 0 })
+      ~expand
+      ~add:(Dp_table.Flat.add next)
+      ~add_prob:(fun p -> prob := !prob +. p)
+      ();
+    if obs then
+      hwm :=
+        max !hwm
+          (max (Dp_table.Flat.used_words curt) (Dp_table.Flat.used_words next));
+    Dp_table.Flat.clear curt;
+    cur := next;
+    nxt := curt
+  done;
+  if obs then Dp_table.Flat.flush_call ~states:!states ~hwm_words:!hwm;
+  min 1. !prob
+
+let prob_general ?(budget = Util.Timer.no_limit) ?(par = Util.Par.inline)
+    ?(kernel = Kernel.default) model lab g =
+  match build_problem model lab g with
+  | None -> 0.
+  | Some pr -> (
+      match kernel with
+      | Kernel.Boxed -> run_boxed ~budget ~par model pr
+      | Kernel.Flat -> run_flat ~budget ~par ~obs:(Obs.enabled ()) model pr)
+
+let prob ?budget ?par ?kernel model lab g =
   if Prefs.Pattern.is_bipartite g then
-    Bipartite.prob ?budget ?par model lab (Prefs.Pattern_union.singleton g)
-  else prob_general ?budget ?par model lab g
+    Bipartite.prob ?budget ?par ?kernel model lab (Prefs.Pattern_union.singleton g)
+  else prob_general ?budget ?par ?kernel model lab g

@@ -19,6 +19,7 @@ exception Unsupported of string
 val prob :
   ?budget:Util.Timer.budget ->
   ?par:Util.Par.t ->
+  ?kernel:Kernel.t ->
   Rim.Model.t ->
   Prefs.Labeling.t ->
   Prefs.Pattern.t ->
@@ -31,6 +32,7 @@ val prob :
 val prob_general :
   ?budget:Util.Timer.budget ->
   ?par:Util.Par.t ->
+  ?kernel:Kernel.t ->
   Rim.Model.t ->
   Prefs.Labeling.t ->
   Prefs.Pattern.t ->

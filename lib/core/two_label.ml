@@ -8,14 +8,26 @@ let c_calls = Obs.counter "solver.two_label.calls"
 let c_states = Obs.counter "solver.two_label.dp_states"
 let h_states = Obs.histogram "solver.two_label.dp_states_per_call"
 
-(* State encoding: an int array [lv_0..lv_{a-1}; rv_0..rv_{b-1}] where a value
-   is (position + 1) and 0 means "no item with that conjunction yet". *)
+(* State encoding: [lv_0..lv_{a-1}; rv_0..rv_{b-1}] where a value is
+   (position + 1) and 0 means "no item with that conjunction yet". The
+   boxed kernel stores each state as an int array key; the flat kernel
+   stores the same a+b words in a {!Dp_table.Flat} arena. Both kernels
+   visit states in first-insertion order and expand with identical
+   arithmetic, so their contribution streams — and answers — are
+   bit-identical (pinned by test/t_kernel.ml and the QA oracle). *)
 
-let prob_edges ?(budget = Util.Timer.no_limit) ?(par = Util.Par.inline) model
-    lab pairs =
-  if pairs = [] then invalid_arg "Two_label.prob_edges: empty union";
+(* Shared preamble output: the interned problem. *)
+type problem = {
+  conj : Conj.t;
+  a : int; (* number of left conjunctions *)
+  b : int; (* number of right conjunctions *)
+  left_conj : int array;
+  right_conj : int array;
+  edges : (int * int) list;
+}
+
+let build_problem model lab pairs =
   let sigma = Rim.Model.sigma model in
-  let m = Rim.Model.m model in
   let conj = Conj.create lab sigma in
   let lefts = Hashtbl.create 8 and rights = Hashtbl.create 8 in
   let intern_role tbl node =
@@ -34,85 +46,134 @@ let prob_edges ?(budget = Util.Timer.no_limit) ?(par = Util.Par.inline) model
   let left_conj = Array.make a 0 and right_conj = Array.make b 0 in
   Hashtbl.iter (fun c k -> left_conj.(k) <- c) lefts;
   Hashtbl.iter (fun c k -> right_conj.(k) <- c) rights;
-  (* A state satisfies G when some edge has min(l) < max(r). *)
-  let satisfies st =
-    List.exists
-      (fun (lk, rk) ->
-        let lv = st.(lk) and rv = st.(a + rk) in
-        lv > 0 && rv > 0 && lv < rv)
-      edges
-  in
   (* The lookup tables must exist before any parallel layer reads them. *)
   Conj.freeze conj;
-  let obs = Obs.enabled () in
-  let states = ref 0 in
-  let table = ref (Hashtbl.create 64) in
-  Hashtbl.add !table (Array.make (a + b) 0) 1.;
+  { conj; a; b; left_conj; right_conj; edges }
+
+(* A state satisfies G when some edge has min(l) < max(r); the a+b state
+   words live at [arr.(base ..)]. *)
+let satisfies pr arr base =
+  List.exists
+    (fun (lk, rk) ->
+      let lv = arr.(base + lk) and rv = arr.(base + pr.a + rk) in
+      lv > 0 && rv > 0 && lv < rv)
+    pr.edges
+
+(* Shift-then-extremum update of word [k] given old value [v] when item
+   [i] is inserted at position [j]. Values are position+1 (0 = unset):
+   an already-tracked extremal item at position >= j shifts down by one
+   before the min/max with the new item's position is taken. *)
+let[@inline] update pr i j k v =
+  let shifted = if v > 0 && v - 1 >= j then v + 1 else v in
+  if k < pr.a then
+    if Conj.matches pr.conj pr.left_conj.(k) i then
+      if v = 0 then j + 1 else min shifted (j + 1)
+    else shifted
+  else if Conj.matches pr.conj pr.right_conj.(k - pr.a) i then
+    if v = 0 then j + 1 else max shifted (j + 1)
+  else shifted
+
+let run_boxed ~budget ~par ~obs ~states model pr =
+  let m = Rim.Model.m model in
+  let w = pr.a + pr.b in
+  let table =
+    ref (Dp_table.Boxed.create ~name:"Two_label" ~max_states:!max_states ())
+  in
+  Dp_table.Boxed.add !table (Array.make w 0) 1.;
   for i = 0 to m - 1 do
     Util.Timer.check budget;
     let cur = !table in
-    let n_states = Hashtbl.length cur in
+    let n_states = Dp_table.Boxed.length cur in
     if obs then states := !states + n_states;
-    (* Snapshot in Hashtbl.iter order: keeps the contribution stream, and
-       so the next layer's iteration order, identical to the direct
-       Hashtbl.iter loop. *)
-    let skeys = Array.make n_states [||] and sqs = Array.make n_states 0. in
-    (let k = ref 0 in
-     Hashtbl.iter
-       (fun st q ->
-         skeys.(!k) <- st;
-         sqs.(!k) <- q;
-         incr k)
-       cur);
-    let next = Hashtbl.create (n_states * 2) in
-    let add st' p =
-      match Hashtbl.find_opt next st' with
-      | Some q0 -> Hashtbl.replace next st' (q0 +. p)
-      | None ->
-          if Hashtbl.length next >= !max_states then
-            failwith "Two_label: state explosion";
-          Hashtbl.add next st' p
+    let next =
+      Dp_table.Boxed.create ~capacity:(2 * n_states) ~name:"Two_label"
+        ~max_states:!max_states ()
     in
     let expand () s ~emit ~emit_prob:_ =
-      let st = skeys.(s) and q = sqs.(s) in
+      let st = Dp_table.Boxed.key cur s and q = Dp_table.Boxed.prob cur s in
       for j = 0 to i do
         let st' = Array.copy st in
-        (* Values are stored as position+1 (0 = unset). An already-tracked
-           extremal item at position >= j shifts down by one before the
-           min/max with the new item's position is taken. *)
-        for k = 0 to a - 1 do
-          let v = st.(k) in
-          let shifted = if v > 0 && v - 1 >= j then v + 1 else v in
-          if Conj.matches conj left_conj.(k) i then
-            st'.(k) <- (if v = 0 then j + 1 else min shifted (j + 1))
-          else st'.(k) <- shifted
+        for k = 0 to w - 1 do
+          st'.(k) <- update pr i j k st.(k)
         done;
-        for k = 0 to b - 1 do
-          let v = st.(a + k) in
-          let shifted = if v > 0 && v - 1 >= j then v + 1 else v in
-          if Conj.matches conj right_conj.(k) i then
-            st'.(a + k) <- (if v = 0 then j + 1 else max shifted (j + 1))
-          else st'.(a + k) <- shifted
-        done;
-        if not (satisfies st') then emit st' (q *. Rim.Model.pi model i j)
+        if not (satisfies pr st' 0) then
+          emit st' (q *. Rim.Model.pi model i j)
       done
     in
     Dp_par.run ~par ~n:n_states
       ~ctx:(fun () -> ())
-      ~expand ~add
+      ~expand
+      ~add:(Dp_table.Boxed.add next)
       ~add_prob:(fun _ -> ())
       ();
     table := next
   done;
+  max 0. (1. -. Dp_table.Boxed.sum !table)
+
+let run_flat ~budget ~par ~obs ~states model pr =
+  let m = Rim.Model.m model in
+  let w = pr.a + pr.b in
+  let t0 = Dp_table.Flat.create ~name:"Two_label" ~max_states:!max_states () in
+  let t1 = Dp_table.Flat.create ~name:"Two_label" ~max_states:!max_states () in
+  let cur = ref t0 and nxt = ref t1 in
+  let hwm = ref 0 in
+  let seed = Array.make w 0 in
+  Dp_table.Flat.add !cur seed 0 w 1.;
+  for i = 0 to m - 1 do
+    Util.Timer.check budget;
+    let curt = !cur and next = !nxt in
+    let n_states = Dp_table.Flat.length curt in
+    if obs then begin
+      states := !states + n_states;
+      Dp_table.Flat.note_layer_width n_states
+    end;
+    let data = Dp_table.Flat.data curt in
+    let expand buf s ~emit ~emit_prob:_ =
+      let off = Dp_table.Flat.off curt s and q = Dp_table.Flat.prob curt s in
+      for j = 0 to i do
+        for k = 0 to w - 1 do
+          buf.(k) <- update pr i j k data.(off + k)
+        done;
+        if not (satisfies pr buf 0) then
+          emit buf 0 w (q *. Rim.Model.pi model i j)
+      done
+    in
+    Dp_par.run_flat ~par ~n:n_states
+      ~ctx:(fun () -> Array.make w 0)
+      ~expand
+      ~add:(Dp_table.Flat.add next)
+      ~add_prob:(fun _ -> ())
+      ();
+    if obs then
+      hwm :=
+        max !hwm
+          (max (Dp_table.Flat.used_words curt) (Dp_table.Flat.used_words next));
+    Dp_table.Flat.clear curt;
+    cur := next;
+    nxt := curt
+  done;
+  if obs then Dp_table.Flat.flush_call ~states:!states ~hwm_words:!hwm;
+  max 0. (1. -. Dp_table.Flat.sum !cur)
+
+let prob_edges ?(budget = Util.Timer.no_limit) ?(par = Util.Par.inline)
+    ?(kernel = Kernel.default) model lab pairs =
+  if pairs = [] then invalid_arg "Two_label.prob_edges: empty union";
+  let pr = build_problem model lab pairs in
+  let obs = Obs.enabled () in
+  let states = ref 0 in
+  let result =
+    match kernel with
+    | Kernel.Boxed -> run_boxed ~budget ~par ~obs ~states model pr
+    | Kernel.Flat -> run_flat ~budget ~par ~obs ~states model pr
+  in
   if obs then begin
     Obs.Counter.incr c_calls;
     Obs.Counter.add c_states !states;
     Obs.Histogram.observe h_states !states
   end;
-  let violating = Hashtbl.fold (fun _ q acc -> acc +. q) !table 0. in
-  max 0. (1. -. violating)
+  result
 
-let prob ?budget ?par model lab gu =
+let prob ?budget ?par ?kernel model lab gu =
   let pairs =
     List.map
       (fun g ->
@@ -121,4 +182,4 @@ let prob ?budget ?par model lab gu =
         (Prefs.Pattern.node g 0, Prefs.Pattern.node g 1))
       (Prefs.Pattern_union.patterns gu)
   in
-  prob_edges ?budget ?par model lab pairs
+  prob_edges ?budget ?par ?kernel model lab pairs

@@ -13,17 +13,21 @@ exception Unsupported of string
 val prob :
   ?budget:Util.Timer.budget ->
   ?par:Util.Par.t ->
+  ?kernel:Kernel.t ->
   Rim.Model.t ->
   Prefs.Labeling.t ->
   Prefs.Pattern_union.t ->
   float
 (** Exact marginal probability. May raise [Util.Timer.Out_of_time].
     With [par], large DP layers expand in parallel; the result is
-    bit-identical to the sequential run (see {!Dp_par}). *)
+    bit-identical to the sequential run (see {!Dp_par}). [kernel]
+    selects the DP layout (default {!Kernel.Flat}); both kernels are
+    byte-identical (see {!Kernel}). *)
 
 val prob_edges :
   ?budget:Util.Timer.budget ->
   ?par:Util.Par.t ->
+  ?kernel:Kernel.t ->
   Rim.Model.t ->
   Prefs.Labeling.t ->
   (Prefs.Pattern.node * Prefs.Pattern.node) list ->

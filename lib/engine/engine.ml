@@ -13,6 +13,7 @@ module Config = struct
     term_capacity : int;
     batch_window : float;
     batch_max : int;
+    kernel : Hardq.Kernel.t;
   }
 
   let default =
@@ -23,6 +24,7 @@ module Config = struct
       term_capacity = 4096;
       batch_window = 0.002;
       batch_max = 16;
+      kernel = Hardq.Kernel.default;
     }
 
   let with_jobs jobs c = { c with jobs = Some jobs }
@@ -31,6 +33,7 @@ module Config = struct
   let with_term_capacity term_capacity c = { c with term_capacity }
   let with_batch_window batch_window c = { c with batch_window }
   let with_batch_max batch_max c = { c with batch_max }
+  let with_kernel kernel c = { c with kernel }
 end
 
 (* Content-addressed identity of one per-session inference: the solver, the
@@ -194,6 +197,9 @@ type ctx = {
   par : Util.Par.t;
       (* intra-query capability handed to every solver call; inline when
          the request asked for inter-session parallelism only *)
+  kernel : Hardq.Kernel.t;
+      (* DP layout of the exact solvers; answers are byte-identical for
+         either kernel (see Hardq.Kernel), so cache keys ignore it *)
   terms : (term_key, float) Store.t option;
   answers : (key, float) Store.t option;
   mutable hits : int; (* distinct requests answered by the cache *)
@@ -216,6 +222,7 @@ let make_ctx (t : t) (req : Request.t) lab lab_canon =
       (match req.Request.parallelism with
       | `Intra -> Pool.sharer t.pool
       | `Inter -> Util.Par.inline);
+    kernel = t.config.Config.kernel;
     terms = t.terms;
     answers = t.answers;
     hits = 0;
@@ -267,7 +274,7 @@ let solve_one ctx (s : Ppd.Database.session) union rng =
   in
   Hardq.Solver.prob ?budget ~par:ctx.par
     ?cache:(term_hook ctx s)
-    ctx.solver s.Ppd.Database.model ctx.lab union rng
+    ~kernel:ctx.kernel ctx.solver s.Ppd.Database.model ctx.lab union rng
 
 (* The RNG of one sub-problem is a pure function of its canonical content
    (via the digest) and the request seed — never of request order or cache

@@ -63,6 +63,13 @@ module Config : sig
             reads this *)
     batch_max : int;
         (** largest request group the serving layer gathers (default 16) *)
+    kernel : Hardq.Kernel.t;
+        (** DP layout of the exact solvers (default {!Hardq.Kernel.Flat}).
+            Either kernel returns byte-identical answers (see
+            {!Hardq.Kernel}), so the cache keys — and cached floats — are
+            valid across kernels; the knob trades the boxed reference
+            layout against the flat production layout for debugging and
+            differential testing. *)
   }
 
   val default : t
@@ -72,6 +79,7 @@ module Config : sig
   val with_term_capacity : int -> t -> t
   val with_batch_window : float -> t -> t
   val with_batch_max : int -> t -> t
+  val with_kernel : Hardq.Kernel.t -> t -> t
 end
 
 type t

@@ -84,7 +84,7 @@ let run ?(log = Format.std_formatter) cfg =
     (Unix.gettimeofday () -. start);
   { cases = !cases; failures = !failures; skips = !skips; added = List.rev !added }
 
-let replay ?(log = Format.std_formatter) ?(extra = []) path =
+let sweep ~log ~(check : Ppd.Case.t -> Oracle.result) path =
   let cases = ref 0 and failures = ref 0 and skips = ref 0 in
   let check_file file =
     incr cases;
@@ -93,7 +93,7 @@ let replay ?(log = Format.std_formatter) ?(extra = []) path =
         incr failures;
         Format.fprintf log "FAIL %s unparseable@.  detail: %s@." file msg
     | Ok case -> (
-        match Oracle.check ~extra case with
+        match check case with
         | Pass r ->
             Format.fprintf log "ok %s answer=%s checks=%d@." file
               (json_float r.Oracle.answer)
@@ -115,3 +115,9 @@ let replay ?(log = Format.std_formatter) ?(extra = []) path =
     Format.fprintf log "FAIL %s missing@." path
   end;
   { cases = !cases; failures = !failures; skips = !skips; added = [] }
+
+let replay ?(log = Format.std_formatter) ?(extra = []) path =
+  sweep ~log ~check:(Oracle.check ~extra) path
+
+let kernel_diff ?(log = Format.std_formatter) path =
+  sweep ~log ~check:(fun case -> Oracle.kernel_diff case) path

@@ -47,3 +47,8 @@ val replay :
     rendering of the Boolean answer ({!Server.Json}), [skip <file> —
     <reason>], or a [FAIL] record. Unparseable files count as
     failures. *)
+
+val kernel_diff : ?log:Format.formatter -> string -> outcome
+(** [kernel_diff path] runs {!Oracle.kernel_diff} — the flat-vs-boxed
+    byte-identity sweep — over one [.case] file or a directory of them,
+    with the same per-file verdict lines as {!replay}. *)

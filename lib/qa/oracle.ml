@@ -64,15 +64,33 @@ let check ?(eps = 1e-9) ?(budget = 0.5) ?(approx = true) ?(extra = []) (case : P
             let exact_par name s =
               (name, Hardq.Solver.exact_prob ~budget:(b ()) ~par:(par ()) s model lab u)
             in
+            (* The plain rows run the default (flat) kernel; the -boxed
+               rows force the boxed reference layout. *)
+            let boxed = Hardq.Kernel.Boxed in
+            let exact_boxed name s =
+              (name, Hardq.Solver.exact_prob ~budget:(b ()) ~kernel:boxed s model lab u)
+            in
+            let exact_par_boxed name s =
+              ( name,
+                Hardq.Solver.exact_prob ~budget:(b ()) ~par:(par ()) ~kernel:boxed
+                  s model lab u )
+            in
             let matrix =
               (if m <= brute_max then [ exact "brute" `Brute ] else [])
               @ [ exact "general" `General; exact "auto" `Auto ]
               @ [ exact_par "general-par" `General; exact_par "auto-par" `Auto ]
+              @ [
+                  exact_boxed "general-boxed" `General;
+                  exact_par_boxed "general-par-boxed" `General;
+                ]
               @ (if kind = Prefs.Pattern_union.Two_label then
-                   [ exact "two_label" `Two_label ]
+                   [ exact "two_label" `Two_label;
+                     exact_boxed "two_label-boxed" `Two_label ]
                  else [])
               @ (if kind <> Prefs.Pattern_union.General then
-                   [ exact "bipartite" `Bipartite; exact "bipartite_basic" `Bipartite_basic ]
+                   [ exact "bipartite" `Bipartite; exact "bipartite_basic" `Bipartite_basic;
+                     exact_boxed "bipartite-boxed" `Bipartite;
+                     exact_boxed "bipartite_basic-boxed" `Bipartite_basic ]
                  else [])
               @ List.map (fun (name, fn) -> (name, fn model lab u)) extra
             in
@@ -89,6 +107,22 @@ let check ?(eps = 1e-9) ?(budget = 0.5) ?(approx = true) ?(extra = []) (case : P
                     "session %d: seq=%.17g par=%.17g" i p_seq p_par;
                 ran "par-bit %s" seq_name)
               [ "general"; "auto" ];
+            (* The -boxed rows also pass through the eps matrix below, but
+               their real contract is byte-identity with the flat rows:
+               the two kernels are the same computation in two layouts. *)
+            List.iter
+              (fun flat_name ->
+                let boxed_name = flat_name ^ "-boxed" in
+                match List.assoc_opt boxed_name matrix with
+                | None -> ()
+                | Some p_boxed ->
+                    let p_flat = List.assoc flat_name matrix in
+                    if p_flat <> p_boxed then
+                      fail
+                        (Printf.sprintf "%s kernel bit-identity" flat_name)
+                        "session %d: flat=%.17g boxed=%.17g" i p_flat p_boxed;
+                    ran "kernel-bit %s" flat_name)
+              [ "general"; "general-par"; "two_label"; "bipartite"; "bipartite_basic" ];
             let ref_name, ref_p = List.hd matrix in
             if not (ref_p >= -.eps && ref_p <= 1. +. eps) then
               fail "probability in [0,1]" "session %d: %s returned %.17g" i ref_name ref_p;
@@ -326,3 +360,77 @@ let fails ?eps ?budget ?extra case =
   match check ?eps ?budget ~approx:false ?extra case with
   | Fail _ -> true
   | Pass _ | Skip _ -> false
+
+(* Dedicated flat-vs-boxed sweep (make kernel-diff / hardq_qa
+   kernel-diff): every applicable exact solver, sequential and under a
+   2-domain pool, with exact [=] — no eps, the kernels are the same
+   computation in two layouts. *)
+let kernel_diff ?(budget = 0.5) (case : Ppd.Case.t) =
+  let { Ppd.Case.db; query } = case in
+  let n_checks = ref 0 in
+  let b () = Util.Timer.budget budget in
+  let pool = lazy (Engine.Pool.create ~jobs:2 ()) in
+  let par () = Engine.Pool.sharer (Lazy.force pool) in
+  Fun.protect ~finally:(fun () ->
+      if Lazy.is_val pool then Engine.Pool.shutdown (Lazy.force pool))
+  @@ fun () ->
+  try
+    let compiled =
+      try Ppd.Compile.compile db query with
+      | Ppd.Compile.Unsupported msg -> raise (Skipped ("compile unsupported: " ^ msg))
+      | Ppd.Compile.Grounding_too_large msg -> raise (Skipped ("grounding: " ^ msg))
+    in
+    let lab = Ppd.Database.labeling db in
+    let nontrivial = ref 0 in
+    let answer = ref 0. in
+    List.iteri
+      (fun i { Ppd.Compile.session; union } ->
+        match union with
+        | None -> ()
+        | Some u ->
+            incr nontrivial;
+            let model = Rim.Mallows.to_rim session.Ppd.Database.model in
+            let kind = Prefs.Pattern_union.kind u in
+            let solvers =
+              [ ("general", `General); ("auto", `Auto) ]
+              @ (if kind = Prefs.Pattern_union.Two_label then
+                   [ ("two_label", `Two_label) ]
+                 else [])
+              @
+              if kind <> Prefs.Pattern_union.General then
+                [ ("bipartite", `Bipartite); ("bipartite_basic", `Bipartite_basic) ]
+              else []
+            in
+            List.iter
+              (fun (name, s) ->
+                List.iter
+                  (fun (suffix, parallel) ->
+                    let run kernel =
+                      if parallel then
+                        Hardq.Solver.exact_prob ~budget:(b ()) ~par:(par ())
+                          ~kernel s model lab u
+                      else Hardq.Solver.exact_prob ~budget:(b ()) ~kernel s model lab u
+                    in
+                    let p_flat = run Hardq.Kernel.Flat in
+                    let p_boxed = run Hardq.Kernel.Boxed in
+                    if p_flat <> p_boxed then
+                      fail
+                        (Printf.sprintf "%s%s kernel bit-identity" name suffix)
+                        "session %d: flat=%.17g boxed=%.17g" i p_flat p_boxed;
+                    incr n_checks;
+                    if name = "general" && not parallel then answer := p_flat)
+                  [ ("", false); ("-par", true) ])
+              solvers)
+      compiled.Ppd.Compile.requests;
+    Pass
+      {
+        sessions = List.length compiled.Ppd.Compile.requests;
+        nontrivial = !nontrivial;
+        checks = !n_checks;
+        answer = !answer;
+      }
+  with
+  | Failed (check, detail) -> Fail { check; detail }
+  | Skipped msg -> Skip msg
+  | Util.Timer.Out_of_time -> Skip "solver budget exhausted"
+  | Failure msg -> Skip ("solver gave up: " ^ msg)

@@ -28,6 +28,9 @@ type config = {
       (* gather window of the batch scheduler; <= 0 dispatches every
          admitted request as its own batch immediately *)
   batch_max : int; (* largest request group one batch may carry *)
+  kernel : Hardq.Kernel.t;
+      (* DP layout of the exact solvers; answers are byte-identical for
+         either kernel, so the knob is free to flip between restarts *)
 }
 
 let default_config address =
@@ -47,6 +50,7 @@ let default_config address =
     intra = true;
     batch_window_ms = 2.;
     batch_max = 16;
+    kernel = Hardq.Kernel.default;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -737,6 +741,7 @@ let start cfg =
             term_capacity = cfg.term_cache_capacity;
             batch_window = cfg.batch_window_ms /. 1000.;
             batch_max = cfg.batch_max;
+            kernel = cfg.kernel;
           };
       registry = Registry.create ();
       queue = Bqueue.create ~capacity:cfg.queue_capacity;

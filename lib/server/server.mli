@@ -72,6 +72,9 @@ type config = {
           engine pool. Answers are bit-identical either way. *)
   batch_window_ms : float;  (** gather window; [<= 0] = no batching *)
   batch_max : int;  (** flush a gather bucket at this many requests *)
+  kernel : Hardq.Kernel.t;
+      (** DP layout of the exact solvers (default {!Hardq.Kernel.Flat});
+          answers are byte-identical for either kernel *)
 }
 
 val default_config : Protocol.address -> config

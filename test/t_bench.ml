@@ -110,11 +110,66 @@ let unit_fig15_schema () =
         [ "cold_s"; "warm_s" ])
     lines
 
+(* The kernel experiment must emit its full row set in smoke mode too —
+   BENCH_kernel.json and the CI collector read the same schema. *)
+let unit_kernel_schema () =
+  let out = Filename.temp_file "hardq_bench_kernel" ".json" in
+  Sys.remove out;
+  Fun.protect ~finally:(fun () -> try Sys.remove out with Sys_error _ -> ())
+  @@ fun () ->
+  let cmd =
+    Printf.sprintf
+      "HARDQ_BENCH_SMOKE=1 BENCH_JSON_OUT=%s ../bench/main.exe kernel \
+       >/dev/null 2>&1"
+      (Filename.quote out)
+  in
+  Alcotest.(check int) "kernel exits 0" 0 (Sys.command cmd);
+  let lines =
+    List.filter
+      (fun l -> String.trim l <> "")
+      (String.split_on_char '\n' (read_file out))
+  in
+  if lines = [] then Alcotest.fail "kernel emitted no JSON rows";
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun line ->
+      let j = parse_line "kernel" line in
+      Alcotest.(check string)
+        "bench name" "kernel-scaling" (str_field "kernel" j [ "bench" ]);
+      Alcotest.(check string) "mode" "kernel" (str_field "kernel" j [ "mode" ]);
+      let solver = str_field "kernel" j [ "solver" ]
+      and kernel = str_field "kernel" j [ "kernel" ] in
+      if not (List.mem kernel [ "boxed"; "flat" ]) then
+        Alcotest.failf "unknown kernel %S" kernel;
+      Hashtbl.replace seen (solver, kernel)
+        (float_field "kernel" j [ "prob" ]);
+      if int_field "kernel" j [ "m" ] < 1 then Alcotest.fail "m < 1";
+      if not (float_field "kernel" j [ "wall_s" ] >= 0.) then
+        Alcotest.fail "wall_s negative";
+      if not (float_field "kernel" j [ "ratio" ] > 0.) then
+        Alcotest.fail "ratio not positive")
+    lines;
+  (* Every solver must appear under both kernels, with the bit-identical
+     probability the bench asserts internally surviving serialization. *)
+  List.iter
+    (fun solver ->
+      match
+        ( Hashtbl.find_opt seen (solver, "boxed"),
+          Hashtbl.find_opt seen (solver, "flat") )
+      with
+      | Some pb, Some pf ->
+          if pb <> pf then
+            Alcotest.failf "%s: boxed prob %.17g <> flat prob %.17g" solver pb pf
+      | _ -> Alcotest.failf "%s: missing a kernel row" solver)
+    [ "two_label"; "bipartite"; "bipartite_basic"; "general" ]
+
 let suites =
   [
     ( "bench.schema",
       [
         tc "loadgen emits the documented JSON" `Quick unit_loadgen_schema;
         tc "fig15 rows carry the scaling schema" `Quick unit_fig15_schema;
+        tc "kernel rows carry the layout-ablation schema" `Quick
+          unit_kernel_schema;
       ] );
   ]
