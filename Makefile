@@ -1,4 +1,4 @@
-.PHONY: all build test bench check ci par-matrix smoke-bench smoke-server cache-diff kernel-diff bench-cache bench-kernel qa-replay qa-fuzz fmt clean
+.PHONY: all build test bench check ci par-matrix smoke-bench smoke-server cache-diff kernel-diff lang-diff bench-cache bench-kernel qa-replay qa-fuzz fmt clean
 
 all: build
 
@@ -24,6 +24,7 @@ ci:
 	$(MAKE) smoke-server
 	$(MAKE) cache-diff
 	$(MAKE) kernel-diff
+	$(MAKE) lang-diff
 	$(MAKE) qa-replay
 	$(MAKE) qa-fuzz
 	@if command -v ocamlformat >/dev/null 2>&1; then \
@@ -75,6 +76,14 @@ cache-diff:
 kernel-diff:
 	dune build bin/hardq_qa.exe
 	dune exec bin/hardq_qa.exe -- kernel-diff test/corpus
+
+# Query-language/planner differential: every corpus case replayed
+# through the text frontend and the tractability planner — compiled-plan
+# answers must be bit-identical to the direct solver paths, and the
+# corpus must route at least one query to every plan node kind.
+lang-diff:
+	dune build bin/hardq_qa.exe
+	dune exec bin/hardq_qa.exe -- lang-diff test/corpus
 
 # Refresh the committed cache benchmark document (BENCH_cache.json).
 bench-cache:

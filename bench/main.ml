@@ -27,6 +27,7 @@ let experiments =
     ("fig15", Fig15.run);
     ("micro", Micro.run);
     ("kernel", Micro.run_kernel);
+    ("plan", Micro.run_plan);
   ]
 
 let () =

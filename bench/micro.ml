@@ -297,9 +297,86 @@ let kernel_scaling () =
         [ (Hardq.Kernel.Boxed, w_boxed); (Hardq.Kernel.Flat, w_flat) ])
     cases
 
+(* Planner front-end overhead: what the declarative frontend costs on
+   top of evaluation. Each row times lexing+parsing and plan compilation
+   (best of N repeats, μs — they run per query, not per session) against
+   one engine evaluation of the compiled plan; [frontend_share] is the
+   fraction of end-to-end time spent before the engine. The datalog row
+   doubles as a correctness probe: its planned answer is asserted
+   bit-identical to the direct [Ppd.Parser] + [`Auto] path. *)
+let plan_overhead () =
+  let smoke = Sys.getenv_opt "HARDQ_BENCH_SMOKE" <> None in
+  let n_voters = if smoke then 60 else 300 in
+  let repeats = if smoke then 50 else 500 in
+  Printf.printf "  planner front-end overhead (polls, %d sessions):\n" n_voters;
+  let db = Datasets.Polls.generate ~n_candidates:12 ~n_voters ~seed:77 () in
+  let queries =
+    [
+      ("datalog-two-label", Datasets.Polls.query_two_label);
+      ( "disjunctive",
+        "count Q() :- prefers(\"cand00\", \"cand01\") or prefers(\"cand02\", \
+         \"cand03\")." );
+      ("rank", "Q() :- rank(\"cand00\") <= 3.");
+      ("top-k", "top(3) Q() :- prefers(\"cand00\", \"cand01\").");
+    ]
+  in
+  let best f =
+    let best = ref infinity and out = ref None in
+    for _ = 1 to repeats do
+      let t0 = Util.Timer.wall () in
+      let v = f () in
+      best := min !best (Util.Timer.wall () -. t0);
+      out := Some v
+    done;
+    (Option.get !out, !best)
+  in
+  List.iter
+    (fun (name, text) ->
+      let ast, parse_s =
+        best (fun () ->
+            match Lang.Parser.parse text with
+            | Ok ast -> ast
+            | Error e -> failwith (Lang.Ast.error_to_string e))
+      in
+      let plan, compile_s = best (fun () -> Plan.compile db ast) in
+      Engine.with_engine Engine.Config.(default |> with_cache false)
+        (fun engine ->
+          let t0 = Util.Timer.wall () in
+          let resp = Engine.eval engine (Engine.Request.of_plan ~seed:77 plan) in
+          let eval_s = Util.Timer.wall () -. t0 in
+          let prob = Engine.Response.answer_float resp in
+          (if name = "datalog-two-label" then
+             let direct =
+               Engine.eval engine
+                 (Engine.Request.make ~seed:77 db
+                    (Ppd.Parser.parse text))
+             in
+             assert (Engine.Response.answer_float direct = prob));
+          Exp_util.json_line
+            [
+              ("bench", `Str "plan-overhead");
+              ("query", `Str name);
+              ("m", `Int (Ppd.Database.m db));
+              ("sessions", `Int resp.Engine.Response.stats.Engine.Response.sessions);
+              ("parse_us", `Float (parse_s *. 1e6));
+              ("compile_us", `Float (compile_s *. 1e6));
+              ("eval_s", `Float eval_s);
+              ( "frontend_share",
+                `Float ((parse_s +. compile_s) /. (parse_s +. compile_s +. eval_s))
+              );
+              ("verdict", `Str (Plan.verdict_string plan.Plan.verdict));
+              ("leaf", `Str (Plan.leaf_name plan.Plan.leaf));
+              ("prob", `Float prob);
+            ]))
+    queries
+
 let run_kernel ~full:_ () =
   Exp_util.header "Kernel" "DP kernel layouts (boxed reference vs flat arena)";
   kernel_scaling ()
+
+let run_plan ~full:_ () =
+  Exp_util.header "Plan" "query-language frontend and planner overhead";
+  plan_overhead ()
 
 let run ~full:_ () =
   Exp_util.header "Micro" "Bechamel microbenchmarks (kernels and ablations)";
@@ -309,4 +386,5 @@ let run ~full:_ () =
   modal_cap_ablation ();
   engine_scaling ();
   intra_scaling ();
-  kernel_scaling ()
+  kernel_scaling ();
+  plan_overhead ()

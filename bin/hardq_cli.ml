@@ -307,6 +307,117 @@ let answers_cmd =
       $ solver_arg $ k_arg)
 
 (* ------------------------------------------------------------------ *)
+(* query — the declarative language frontend                           *)
+(* ------------------------------------------------------------------ *)
+
+let query_cmd =
+  let run dataset size sessions seed text solver jobs cache intra kernel budget
+      stats explain verbose metrics_json trace =
+    with_obs metrics_json trace @@ fun () ->
+    let db, default_q = make_db dataset size sessions seed in
+    let text = Option.value ~default:default_q text in
+    match Lang.Parser.parse text with
+    | Error e ->
+        Format.eprintf "parse error: %s@." (Lang.Ast.error_to_string e);
+        1
+    | Ok ast -> (
+        let hint =
+          if solver = Hardq.Solver.Exact `Auto then None else Some solver
+        in
+        match Plan.compile ?hint db ast with
+        | exception Ppd.Compile.Unsupported msg ->
+            Format.eprintf "unsupported query: %s@." msg;
+            1
+        | exception Ppd.Compile.Grounding_too_large msg ->
+            Format.eprintf "grounding too large: %s@." msg;
+            1
+        | plan ->
+            if explain then begin
+              Format.printf "%s@." (Plan.explain plan);
+              0
+            end
+            else
+              Engine.with_engine (engine_config jobs cache kernel) (fun engine ->
+                  let req =
+                    Engine.Request.of_plan ~budget ~seed
+                      ~parallelism:(parallelism_of intra) plan
+                  in
+                  match Engine.eval engine req with
+                  | exception Util.Timer.Out_of_time ->
+                      Format.eprintf
+                        "budget exhausted: a solver invocation ran out of its \
+                         --budget allowance; raise it or pick a cheaper solver@.";
+                      1
+                  | resp ->
+                      if verbose then
+                        List.iter
+                          (fun ((s : Ppd.Database.session), p) ->
+                            Format.printf "  %-18s %.6f@."
+                              (String.concat "/"
+                                 (Array.to_list
+                                    (Array.map Ppd.Value.to_string
+                                       s.Ppd.Database.key)))
+                              p)
+                          resp.Engine.Response.per_session;
+                      (match resp.Engine.Response.answer with
+                      | Engine.Response.Probability p ->
+                          Format.printf "Pr(Q | D)    = %.6f@." p
+                      | Engine.Response.Expectation v ->
+                          Format.printf "E[%s]  = %.6f@."
+                            (match plan.Plan.task with
+                            | Lang.Ast.Count -> "count(Q)"
+                            | _ -> "aggregate")
+                            v
+                      | Engine.Response.Ranked ranked ->
+                          List.iteri
+                            (fun i ((s : Ppd.Database.session), p) ->
+                              Format.printf "%2d. %-18s %.6f@." (i + 1)
+                                (String.concat "/"
+                                   (Array.to_list
+                                      (Array.map Ppd.Value.to_string
+                                         s.Ppd.Database.key)))
+                                p)
+                            ranked);
+                      Format.printf "verdict: %s (%s)@."
+                        (Plan.verdict_string plan.Plan.verdict)
+                        (Plan.leaf_name plan.Plan.leaf);
+                      print_stats stats resp;
+                      0))
+  in
+  let text_arg =
+    let doc =
+      "Query text, e.g. 'count possibly Q() :- prefers(\"A\", \"B\") or \
+       rank(\"C\") <= 2.'. The datalog fragment is a sub-language, so any \
+       --query accepted by $(b,hardq eval) works here too. Defaults to the \
+       dataset's showcase query."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc)
+  in
+  let explain_arg =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:
+            "Print the compiled plan, its tractability verdict and the \
+             reasoning instead of evaluating.")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "per-session"; "v" ] ~doc:"Print per-session probabilities.")
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "Evaluate a declarative query (preference sugar, rank atoms, \
+          disjunction, aggregates, modals) through the tractability-aware \
+          planner")
+    Term.(
+      const run $ dataset_arg $ size_arg $ sessions_arg $ seed_arg $ text_arg
+      $ solver_arg $ jobs_arg $ cache_arg $ intra_arg $ kernel_arg $ budget_arg
+      $ stats_arg $ explain_arg $ verbose $ metrics_json_arg $ trace_arg)
+
+(* ------------------------------------------------------------------ *)
 (* sample                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -333,4 +444,6 @@ let () =
     Cmd.info "hardq" ~version:"1.0.0"
       ~doc:"Hard queries over probabilistic preferences (RIM-PPD)"
   in
-  exit (Cmd.eval' (Cmd.group info [ eval_cmd; topk_cmd; answers_cmd; sample_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ eval_cmd; query_cmd; topk_cmd; answers_cmd; sample_cmd ]))

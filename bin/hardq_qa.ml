@@ -89,6 +89,21 @@ let kernel_diff_cmd =
   in
   Cmd.v (Cmd.info "kernel-diff" ~doc) Term.(const kernel_diff $ path_arg)
 
+(* lang-diff *)
+
+let lang_diff path =
+  let o = Qa.Fuzz.lang_diff path in
+  if o.Qa.Fuzz.failures = 0 then 0 else 1
+
+let lang_diff_cmd =
+  let doc =
+    "replay recorded cases through the query-language frontend and the \
+     tractability planner and fail unless every compiled-plan answer is \
+     bit-identical to the direct solver path — and unless the corpus \
+     routes at least one query to every plan node kind"
+  in
+  Cmd.v (Cmd.info "lang-diff" ~doc) Term.(const lang_diff $ path_arg)
+
 (* gen *)
 
 let index_arg =
@@ -103,13 +118,27 @@ let write_case out case =
   if out = "-" then print_string (Ppd.Case.to_string case)
   else Ppd.Case.save out case
 
-let gen seed index out max_items max_sessions =
+let lang_arg =
+  let doc =
+    "Emit the case's query as query-language text (one line) instead of \
+     the full case file — the corpus seam for external parser fuzzers."
+  in
+  Arg.(value & flag & info [ "lang" ] ~doc)
+
+let gen seed index out max_items max_sessions lang =
   let case =
     Qa.Gen.case
       ~params:(params max_items max_sessions)
       (Util.Rng.derive seed index)
   in
-  write_case out case;
+  if lang then begin
+    let text =
+      Lang.Ast.to_string (Lang.Ast.of_query case.Ppd.Case.query) ^ "\n"
+    in
+    if out = "-" then print_string text
+    else Out_channel.with_open_text out (fun oc -> Out_channel.output_string oc text)
+  end
+  else write_case out case;
   0
 
 let gen_cmd =
@@ -117,7 +146,7 @@ let gen_cmd =
   Cmd.v (Cmd.info "gen" ~doc)
     Term.(
       const gen $ seed_arg $ index_arg $ out_arg $ max_items_arg
-      $ max_sessions_arg)
+      $ max_sessions_arg $ lang_arg)
 
 (* export *)
 
@@ -186,6 +215,6 @@ let cmd =
   let doc = "differential testing and deterministic replay for hardq" in
   Cmd.group
     (Cmd.info "hardq-qa" ~doc)
-    [ fuzz_cmd; replay_cmd; kernel_diff_cmd; gen_cmd; export_cmd ]
+    [ fuzz_cmd; replay_cmd; kernel_diff_cmd; lang_diff_cmd; gen_cmd; export_cmd ]
 
 let () = exit (Cmd.eval' cmd)

@@ -53,3 +53,5 @@ let prob_subrankings ?par model subs =
 
 let prob_partial_order ?par model po =
   sum_over ?par model (fun r -> Prefs.Partial_order.consistent po (remap model r))
+
+let prob_pred ?par model pred = sum_over ?par model (fun r -> pred (remap model r))

@@ -22,3 +22,8 @@ val prob_subrankings : ?par:Util.Par.t -> Rim.Model.t -> Prefs.Ranking.t list ->
 
 val prob_partial_order : ?par:Util.Par.t -> Rim.Model.t -> Prefs.Partial_order.t -> float
 (** Probability that a random ranking extends the partial order. *)
+
+val prob_pred : ?par:Util.Par.t -> Rim.Model.t -> (Prefs.Ranking.t -> bool) -> float
+(** Probability that a random ranking satisfies an arbitrary predicate —
+    the ground truth for the planner's mixed rank/pattern queries. The
+    predicate sees rankings over the model's item domain. *)

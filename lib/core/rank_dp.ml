@@ -1,0 +1,59 @@
+(* Exact rank marginal of one item under RIM insertion.
+
+   RIM builds a ranking by inserting sigma's items in order; step i puts
+   sigma_i at position j ∈ 0..i with probability pi(i, j), independent
+   of earlier choices. Track the position p of a fixed item x = sigma_t
+   after each step: at step t the distribution over p is pi(t, ·); at a
+   later step i the new item lands at j ≤ p with probability
+   Σ_{j≤p} pi(i, j) (pushing x right by one) and at j > p otherwise
+   (leaving x in place). One pass per step over at most m positions:
+   O(m²) total, no enumeration — the polynomial route the planner picks
+   for single rank atoms. *)
+
+let marginal model item =
+  let m = Rim.Model.m model in
+  let sigma = Rim.Model.sigma model in
+  if not (Prefs.Ranking.mem sigma item) then
+    invalid_arg (Printf.sprintf "Rank_dp.marginal: item %d not in the domain" item);
+  let t = Prefs.Ranking.position_of sigma item in
+  let dist = ref (Array.init (t + 1) (fun j -> Rim.Model.pi model t j)) in
+  for i = t + 1 to m - 1 do
+    let d = !dist in
+    let next = Array.make (i + 1) 0. in
+    (* cum.(p) = Σ_{j ≤ p} pi(i, j) *)
+    let cum = Array.make (i + 1) 0. in
+    let acc = ref 0. in
+    for j = 0 to i do
+      acc := !acc +. Rim.Model.pi model i j;
+      cum.(j) <- !acc
+    done;
+    for p = 0 to i - 1 do
+      let dp = d.(p) in
+      if dp <> 0. then begin
+        next.(p) <- next.(p) +. (dp *. (cum.(i) -. cum.(p)));
+        next.(p + 1) <- next.(p + 1) +. (dp *. cum.(p))
+      end
+    done;
+    dist := next
+  done;
+  if m = 0 then [||] else !dist
+
+(* rank(x) is 1-based: rank = final position + 1 ∈ 1..m. *)
+let prob model ~item ~op ~k =
+  let d = marginal model item in
+  let m = Array.length d in
+  let sum lo hi =
+    let lo = max lo 0 and hi = min hi (m - 1) in
+    let acc = ref 0. in
+    for p = lo to hi do
+      acc := !acc +. d.(p)
+    done;
+    !acc
+  in
+  match (op : Prefs.Rank_pred.op) with
+  | Le -> sum 0 (k - 1)
+  | Lt -> sum 0 (k - 2)
+  | Ge -> sum (k - 1) (m - 1)
+  | Gt -> sum k (m - 1)
+  | Eq -> if k >= 1 && k <= m then d.(k - 1) else 0.
+  | Neq -> if k >= 1 && k <= m then 1. -. d.(k - 1) else 1.

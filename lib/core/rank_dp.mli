@@ -1,0 +1,15 @@
+(** Exact rank marginals under RIM: the planner's polynomial route for
+    single [rank(x) ⋈ k] atoms.
+
+    The DP tracks the position of one fixed item across RIM's insertion
+    steps — a later insertion at or before the tracked position shifts
+    it right by one — giving the item's full rank distribution in O(m²)
+    arithmetic operations, with no ranking enumeration at any [m]. *)
+
+val marginal : Rim.Model.t -> int -> float array
+(** [marginal model item] is the distribution of [item]'s final
+    position: element [p] is Pr(position = p), [p ∈ 0..m-1]. Raises
+    [Invalid_argument] if [item] is not in the model's domain. *)
+
+val prob : Rim.Model.t -> item:int -> op:Prefs.Rank_pred.op -> k:int -> float
+(** Pr(rank(item) ⋈ k) with 1-based ranks (rank = position + 1). *)

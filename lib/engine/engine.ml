@@ -545,50 +545,180 @@ let fold_obs (t : t) ctx ~sessions =
   Mutex.unlock t.obs_m;
   Obs.Histogram.observe h_distinct (ctx.hits + ctx.misses + ctx.sf_joins)
 
+(* Run one engine-level task over compiled per-session requests. *)
+let run_task t ctx requests task ~t_compiled =
+  match task with
+  | Request.Boolean ->
+      let probs = Array.to_list (batch_probs t ctx requests) in
+      let p =
+        Obs.with_span "aggregate" (fun () ->
+            1. -. List.fold_left (fun acc (_, p) -> acc *. (1. -. p)) 1. probs)
+      in
+      (Response.Probability p, probs, 0.)
+  | Request.Count ->
+      let probs = Array.to_list (batch_probs t ctx requests) in
+      let c =
+        Obs.with_span "aggregate" (fun () ->
+            List.fold_left (fun acc (_, p) -> acc +. p) 0. probs)
+      in
+      (Response.Expectation c, probs, 0.)
+  | Request.Top_k { k; strategy = `Naive } ->
+      let probs = Array.to_list (batch_probs t ctx requests) in
+      let ranked =
+        Obs.with_span "aggregate" (fun () -> take k (desc_by_snd probs))
+      in
+      (Response.Ranked ranked, probs, 0.)
+  | Request.Top_k { k; strategy = `Edges n_edges } ->
+      let ranked, evaluated, t_bounded = topk_edges t ctx requests ~k ~n_edges in
+      (Response.Ranked ranked, evaluated, t_bounded -. t_compiled)
+
+(* ------------------------------------------------------------------ *)
+(* Plan execution                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The ranking-level predicate of a plan row: some disjunct's pattern
+   part matches and all its rank predicates hold. *)
+let plan_pred lab (row : Plan.pred_session) r =
+  List.exists
+    (fun (part, ranks) ->
+      (match part with
+      | Plan.Always -> true
+      | Plan.Never -> false
+      | Plan.Union u -> Prefs.Matcher.matches_union lab u r)
+      && Prefs.Rank_pred.all_hold ranks r)
+    row.Plan.parts
+
+(* One session of a [Predicates]-lowered plan. The RNG of the sampling
+   leaf is derived from (request seed, plan digest, session model) — a
+   pure function of the sub-problem, like the pattern paths. *)
+let pred_session_prob ctx (plan : Plan.t) (row : Plan.pred_session) =
+  (match ctx.deadline with
+  | Some d when Util.Timer.wall () > d -> raise Util.Timer.Out_of_time
+  | _ -> ());
+  ctx.solver_calls <- ctx.solver_calls + 1;
+  let mal = row.Plan.session.Ppd.Database.model in
+  match plan.Plan.leaf with
+  | Plan.Rank_poly -> (
+      match row.Plan.parts with
+      | [ (Plan.Always, [ p ]) ] ->
+          Hardq.Rank_dp.prob (Rim.Mallows.to_rim mal) ~item:p.Prefs.Rank_pred.item
+            ~op:p.Prefs.Rank_pred.op ~k:p.Prefs.Rank_pred.k
+      | _ -> assert false (* Rank_poly is routed only for that shape *))
+  | Plan.Sample (Hardq.Solver.Rejection { n }) ->
+      let rng = job_rng ctx (Hardq.Digest.model (Plan.digest plan) mal) in
+      let hits = ref 0 in
+      for _ = 1 to n do
+        if plan_pred ctx.lab row (Rim.Mallows.sample mal rng) then incr hits
+      done;
+      float_of_int !hits /. float_of_int n
+  | Plan.Sample _ ->
+      (* Plan.compile never routes MIS estimators over rank atoms *)
+      assert false
+  | Plan.Enumerate | Plan.Exact _ | Plan.Union_ie ->
+      Hardq.Brute.prob_pred ~par:ctx.par (Rim.Mallows.to_rim mal)
+        (plan_pred ctx.lab row)
+
+(* Fold a plan's own task over the engine answer. Aggregates replicate
+   [Ppd.Aggregate.over_sessions]'s fold order exactly (bit-identity with
+   the sequential reference); modals collapse the probability to an
+   indicator. *)
+let plan_answer (req : Request.t) (plan : Plan.t) answer per_session =
+  let aggregate op agg =
+    let value_of =
+      match agg with
+      | Lang.Ast.Key_index index -> Ppd.Aggregate.session_key_value ~index
+      | Lang.Ast.Joined { relation; attr } ->
+          Ppd.Aggregate.joined_value req.Request.db ~relation ~key_index:0 ~attr
+    in
+    let weighted_sum, weight =
+      List.fold_left
+        (fun (sum, w) (s, p) ->
+          match value_of s with
+          | Some v -> (sum +. (p *. v), w +. p)
+          | None -> (sum, w))
+        (0., 0.) per_session
+    in
+    Response.Expectation
+      (match op with
+      | `Sum -> weighted_sum
+      | `Avg -> if weight > 0. then weighted_sum /. weight else nan)
+  in
+  match (plan.Plan.task, plan.Plan.modal, answer) with
+  | Lang.Ast.Sum agg, _, _ -> aggregate `Sum agg
+  | Lang.Ast.Avg agg, _, _ -> aggregate `Avg agg
+  | _, Some modal, Response.Probability p ->
+      (* Indicators over an exactly-computed probability. [Certainly]
+         tolerates inclusion–exclusion residue around 1. *)
+      Response.Probability
+        (match modal with
+        | Lang.Ast.Possibly -> if p > 0. then 1. else 0.
+        | Lang.Ast.Certainly -> if p >= 1. -. 1e-9 then 1. else 0.)
+  | _ -> answer
+
 let eval_one t ~batch_id ~batch_size (req : Request.t) =
   if Atomic.get t.stopped then raise Stopped;
   Obs.with_span "engine.eval" @@ fun () ->
   let m0 = if Obs.enabled () then Obs.snapshot () else [] in
   let t_start = Util.Timer.wall () in
-  let compiled =
+  let work =
     Obs.with_span "compile" (fun () ->
-        Ppd.Compile.compile req.Request.db req.Request.query)
+        match req.Request.source with
+        | Request.Query q ->
+            let compiled = Ppd.Compile.compile req.Request.db q in
+            `Patterns (Array.of_list compiled.Ppd.Compile.requests)
+        | Request.Plan p -> (
+            match p.Plan.lowered with
+            | Plan.Patterns rs -> `Patterns (Array.of_list rs)
+            | Plan.Predicates rows -> `Predicates rows))
   in
-  let requests = Array.of_list compiled.Ppd.Compile.requests in
   let lab = Ppd.Database.labeling req.Request.db in
   let lab_canon =
     Array.init (Prefs.Labeling.n_items lab) (Prefs.Labeling.labels_of lab)
   in
   let t_compiled = Util.Timer.wall () in
   let ctx = make_ctx t req lab lab_canon in
-  let answer, per_session, bound_s =
-    match req.Request.task with
-    | Request.Boolean ->
-        let probs = Array.to_list (batch_probs t ctx requests) in
-        let p =
+  let n_sessions, (answer, per_session, bound_s) =
+    match work with
+    | `Patterns requests ->
+        (Array.length requests, run_task t ctx requests req.Request.task ~t_compiled)
+    | `Predicates rows ->
+        let plan =
+          match req.Request.source with
+          | Request.Plan p -> p
+          | Request.Query _ -> assert false
+        in
+        let probs =
+          Obs.with_span "solve" (fun () ->
+              List.map
+                (fun (row : Plan.pred_session) ->
+                  (row.Plan.session, pred_session_prob ctx plan row))
+                rows)
+        in
+        let res =
           Obs.with_span "aggregate" (fun () ->
-              1. -. List.fold_left (fun acc (_, p) -> acc *. (1. -. p)) 1. probs)
+              match req.Request.task with
+              | Request.Boolean ->
+                  let p =
+                    1.
+                    -. List.fold_left (fun acc (_, p) -> acc *. (1. -. p)) 1. probs
+                  in
+                  (Response.Probability p, probs, 0.)
+              | Request.Count ->
+                  let c = List.fold_left (fun acc (_, p) -> acc +. p) 0. probs in
+                  (Response.Expectation c, probs, 0.)
+              | Request.Top_k { k; _ } ->
+                  (* bounds need pattern unions; rank plans rank naively *)
+                  (Response.Ranked (take k (desc_by_snd probs)), probs, 0.))
         in
-        (Response.Probability p, probs, 0.)
-    | Request.Count ->
-        let probs = Array.to_list (batch_probs t ctx requests) in
-        let c =
-          Obs.with_span "aggregate" (fun () ->
-              List.fold_left (fun acc (_, p) -> acc +. p) 0. probs)
-        in
-        (Response.Expectation c, probs, 0.)
-    | Request.Top_k { k; strategy = `Naive } ->
-        let probs = Array.to_list (batch_probs t ctx requests) in
-        let ranked =
-          Obs.with_span "aggregate" (fun () -> take k (desc_by_snd probs))
-        in
-        (Response.Ranked ranked, probs, 0.)
-    | Request.Top_k { k; strategy = `Edges n_edges } ->
-        let ranked, evaluated, t_bounded = topk_edges t ctx requests ~k ~n_edges in
-        (Response.Ranked ranked, evaluated, t_bounded -. t_compiled)
+        (List.length rows, res)
+  in
+  let answer =
+    match req.Request.source with
+    | Request.Query _ -> answer
+    | Request.Plan plan -> plan_answer req plan answer per_session
   in
   let t_end = Util.Timer.wall () in
-  fold_obs t ctx ~sessions:(Array.length requests);
+  fold_obs t ctx ~sessions:n_sessions;
   let metrics =
     if Obs.enabled () then Obs.diff m0 (Obs.snapshot ()) else []
   in
@@ -597,7 +727,7 @@ let eval_one t ~batch_id ~batch_size (req : Request.t) =
     per_session;
     stats =
       {
-        Response.sessions = Array.length requests;
+        Response.sessions = n_sessions;
         distinct = ctx.hits + ctx.misses + ctx.sf_joins;
         cache_hits = ctx.hits;
         cache_misses = ctx.misses;

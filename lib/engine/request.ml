@@ -12,9 +12,13 @@ type task =
   | Top_k of { k : int; strategy : topk_strategy }
       (* Most-Probable-Session: the k sessions likeliest to satisfy Q *)
 
+type source =
+  | Query of Ppd.Query.t  (* compiled by the engine via [Ppd.Compile] *)
+  | Plan of Plan.t  (* pre-compiled and routed by the planner *)
+
 type t = {
   db : Ppd.Database.t;
-  query : Ppd.Query.t;
+  source : source;
   task : task;
   solver : Hardq.Solver.t;
   budget : float;
@@ -40,7 +44,38 @@ type t = {
 
 let make ?(task = Boolean) ?(solver = Hardq.Solver.default_exact) ?(budget = 0.)
     ?(seed = 42) ?deadline ?(parallelism = `Intra) db query =
-  { db; query; task; solver; budget; seed; deadline; parallelism }
+  { db; source = Query query; task; solver; budget; seed; deadline; parallelism }
+
+(* The engine task a plan's own task projects onto. Aggregates ride on
+   Count (they need the same per-session probabilities; the engine folds
+   them by [plan.task]); Top_sessions is a naive top-k, matching the
+   sequential reference. *)
+let task_of_plan (p : Plan.t) =
+  match p.Plan.task with
+  | Lang.Ast.Prob -> Boolean
+  | Lang.Ast.Count | Lang.Ast.Sum _ | Lang.Ast.Avg _ -> Count
+  | Lang.Ast.Top_sessions k -> Top_k { k; strategy = `Naive }
+
+let of_plan ?task ?(budget = 0.) ?(seed = 42) ?deadline ?(parallelism = `Intra)
+    (plan : Plan.t) =
+  (* An explicit task only composes with a plain [prob] plan (the wire
+     protocol's "task" member next to a "q" query); a plan that states
+     its own task or modal keeps it. *)
+  let task =
+    match (task, plan.Plan.task, plan.Plan.modal) with
+    | Some t, Lang.Ast.Prob, None -> t
+    | _ -> task_of_plan plan
+  in
+  {
+    db = plan.Plan.db;
+    source = Plan plan;
+    task;
+    solver = Plan.routed_solver plan;
+    budget;
+    seed;
+    deadline;
+    parallelism;
+  }
 
 let boolean = Boolean
 let count = Count

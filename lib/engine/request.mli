@@ -13,9 +13,16 @@ type task =
       (** Most-Probable-Session: the [k] sessions likeliest to satisfy the
           query, optionally pruned with upper bounds. *)
 
+type source =
+  | Query of Ppd.Query.t
+      (** a raw CQ, compiled by the engine via {!Ppd.Compile} *)
+  | Plan of Plan.t
+      (** a pre-compiled plan; the planner's task/modal/solver routing
+          governs evaluation (see {!of_plan}) *)
+
 type t = {
   db : Ppd.Database.t;
-  query : Ppd.Query.t;
+  source : source;
   task : task;
   solver : Hardq.Solver.t;
   budget : float;
@@ -53,6 +60,22 @@ val make :
 (** Defaults: [task = Boolean], [solver = Hardq.Solver.default_exact],
     [budget = 0.] (no limit), [seed = 42], no deadline,
     [parallelism = `Intra]. *)
+
+val of_plan :
+  ?task:task ->
+  ?budget:float ->
+  ?seed:int ->
+  ?deadline:float ->
+  ?parallelism:[ `Inter | `Intra ] ->
+  Plan.t ->
+  t
+(** A request carrying a compiled plan: the database and solver come
+    from the plan ({!Plan.routed_solver}), and [task] defaults to the
+    plan's own task ([count …] → [Count], [top(k) …] → naive [Top_k],
+    aggregates → [Count] with the engine folding by the plan task). An
+    explicit [task] override only takes effect when the plan's task is
+    a plain [prob] with no modal — the wire protocol's [task] member
+    composing with a [{"q": …}] query. *)
 
 val boolean : task
 val count : task

@@ -1,0 +1,132 @@
+(* The query language's abstract syntax.
+
+   The language is a strict superset of the datalog fragment accepted by
+   [Ppd.Parser]: every [Ppd.Query.to_string] rendering parses unchanged
+   (atoms [P(s; x; y)], [C(x, "A", _, _)], [n >= 3]), and adds
+
+   - [prefers(a, b)]      — preference sugar over the default p-relation;
+   - [rank(x) <= k]       — rank atoms over concrete items;
+   - [top(k, x)]          — sugar for [rank(x) <= k];
+   - [or] / [and]         — disjunction of conjunctions ([,] = [and]);
+   - task prefixes        — [count], [sum(...)], [avg(...)], [top(k)],
+                            [prob] (the default);
+   - modal prefixes       — [possibly], [certainly];
+   - [using <solver>]     — a solver hint, validated against
+                            [Hardq.Solver.of_string]'s canonical name
+                            table so every layer enumerates one set. *)
+
+type term = Ppd.Query.term
+
+type atom =
+  | Prefers of { left : term; right : term }
+      (* default p-relation, wildcard session terms *)
+  | Pref of { rel : string; session : term list; left : term; right : term }
+  | Rel of { rel : string; terms : term list }
+  | Cmp of { lhs : term; op : Ppd.Value.op; rhs : term }
+  | Rank of { item : term; op : Prefs.Rank_pred.op; k : int }
+  | Top of { k : int; item : term }
+
+type conj = atom list
+
+type agg = Key_index of int | Joined of { relation : string; attr : string }
+type task = Prob | Count | Sum of agg | Avg of agg | Top_sessions of int
+type modal = Possibly | Certainly
+
+type t = {
+  name : string;
+  head : string list;
+  task : task;
+  modal : modal option;
+  using : Hardq.Solver.t option;
+  body : conj list; (* disjuncts; non-empty, each non-empty *)
+}
+
+(* Reserved words; never parsed as variables or relation names. The
+   solver names after [using] come from [Hardq.Solver.valid_names] — the
+   single canonical list shared with the CLI and the server. *)
+let keywords =
+  [
+    "and"; "or"; "prefers"; "rank"; "top"; "count"; "sum"; "avg"; "prob";
+    "possibly"; "certainly"; "using"; "key";
+  ]
+
+type error = { pos : int; msg : string }
+
+let error_to_string { pos; msg } = Printf.sprintf "%s at offset %d" msg pos
+
+let equal (a : t) (b : t) = a = b
+
+(* ---------------------------------------------------------------- *)
+(* Embedding the datalog fragment                                    *)
+(* ---------------------------------------------------------------- *)
+
+let atom_of_query_atom = function
+  | Ppd.Query.Pref { rel; session; left; right } -> Pref { rel; session; left; right }
+  | Ppd.Query.Rel { rel; terms } -> Rel { rel; terms }
+  | Ppd.Query.Cmp { lhs; op; rhs } -> Cmp { lhs; op; rhs }
+
+let of_query (q : Ppd.Query.t) =
+  {
+    name = q.Ppd.Query.name;
+    head = q.Ppd.Query.head;
+    task = Prob;
+    modal = None;
+    using = None;
+    body = [ List.map atom_of_query_atom q.Ppd.Query.body ];
+  }
+
+(* ---------------------------------------------------------------- *)
+(* Printer (round-trips through Parser.parse)                        *)
+(* ---------------------------------------------------------------- *)
+
+let term_to_string = function
+  | Ppd.Query.Var v -> v
+  | Ppd.Query.Wildcard -> "_"
+  | Ppd.Query.Const (Ppd.Value.Int i) -> string_of_int i
+  | Ppd.Query.Const (Ppd.Value.Str s) -> "\"" ^ s ^ "\""
+
+let terms_to_string terms = String.concat ", " (List.map term_to_string terms)
+
+let atom_to_string = function
+  | Prefers { left; right } ->
+      Printf.sprintf "prefers(%s, %s)" (term_to_string left) (term_to_string right)
+  | Pref { rel; session; left; right } ->
+      Printf.sprintf "%s(%s; %s; %s)" rel (terms_to_string session)
+        (term_to_string left) (term_to_string right)
+  | Rel { rel; terms } -> Printf.sprintf "%s(%s)" rel (terms_to_string terms)
+  | Cmp { lhs; op; rhs } ->
+      Printf.sprintf "%s %s %s" (term_to_string lhs)
+        (Ppd.Value.op_to_string op) (term_to_string rhs)
+  | Rank { item; op; k } ->
+      Printf.sprintf "rank(%s) %s %d" (term_to_string item)
+        (Prefs.Rank_pred.op_to_string op) k
+  | Top { k; item } -> Printf.sprintf "top(%d, %s)" k (term_to_string item)
+
+let agg_to_string = function
+  | Key_index i -> Printf.sprintf "key %d" i
+  | Joined { relation; attr } -> Printf.sprintf "%s.%s" relation attr
+
+let task_to_string = function
+  | Prob -> ""
+  | Count -> "count "
+  | Sum a -> Printf.sprintf "sum(%s) " (agg_to_string a)
+  | Avg a -> Printf.sprintf "avg(%s) " (agg_to_string a)
+  | Top_sessions k -> Printf.sprintf "top(%d) " k
+
+let modal_to_string = function Possibly -> "possibly " | Certainly -> "certainly "
+
+let to_string t =
+  let prefix =
+    task_to_string t.task
+    ^ (match t.modal with None -> "" | Some m -> modal_to_string m)
+    ^
+    match t.using with
+    | None -> ""
+    | Some s -> Printf.sprintf "using %s " (Hardq.Solver.to_string s)
+  in
+  Printf.sprintf "%s%s(%s) :- %s." prefix t.name
+    (String.concat ", " t.head)
+    (String.concat " or "
+       (List.map
+          (fun conj -> String.concat ", " (List.map atom_to_string conj))
+          t.body))

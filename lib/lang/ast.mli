@@ -1,0 +1,66 @@
+(** Abstract syntax of the declarative query language — a strict
+    superset of {!Ppd.Parser}'s datalog fragment (every
+    [Ppd.Query.to_string] rendering parses unchanged) extended with
+    preference sugar ([prefers(a, b)]), rank atoms ([rank(x) <= k],
+    [top(k, x)]), disjunction ([or]), task prefixes ([count],
+    [sum(...)], [avg(...)], [top(k)]), modal prefixes ([possibly],
+    [certainly]) and solver hints ([using <name>]). *)
+
+type term = Ppd.Query.term
+
+type atom =
+  | Prefers of { left : term; right : term }
+      (** [prefers(a, b)]: sugar for a preference atom over the
+          database's default p-relation with wildcard session terms *)
+  | Pref of { rel : string; session : term list; left : term; right : term }
+      (** the explicit datalog form [P(s…; x; y)] *)
+  | Rel of { rel : string; terms : term list }
+  | Cmp of { lhs : term; op : Ppd.Value.op; rhs : term }
+  | Rank of { item : term; op : Prefs.Rank_pred.op; k : int }
+      (** [rank(x) ⋈ k]; ranks are 1-based *)
+  | Top of { k : int; item : term }  (** [top(k, x)] ≡ [rank(x) <= k] *)
+
+type conj = atom list
+
+type agg =
+  | Key_index of int  (** [key i]: the i-th session-key attribute *)
+  | Joined of { relation : string; attr : string }
+      (** [R.attr]: join the session key against o-relation [R] *)
+
+type task = Prob | Count | Sum of agg | Avg of agg | Top_sessions of int
+type modal = Possibly | Certainly
+
+type t = {
+  name : string;  (** defaults to ["Q"] when the header is omitted *)
+  head : string list;
+  task : task;
+  modal : modal option;
+  using : Hardq.Solver.t option;
+      (** the [using <name>] hint; names come from
+          [Hardq.Solver.valid_names] — one canonical list across CLI,
+          server and language *)
+  body : conj list;  (** disjuncts; non-empty, each non-empty *)
+}
+
+val keywords : string list
+(** Reserved words of the language (never variables or relation names). *)
+
+type error = { pos : int; msg : string }
+(** A positioned syntax error; [pos] is a byte offset into the input. *)
+
+val error_to_string : error -> string
+(** ["<msg> at offset <pos>"] — the same shape as [Ppd.Parser] errors. *)
+
+val equal : t -> t -> bool
+
+val of_query : Ppd.Query.t -> t
+(** Embed a datalog query: task [Prob], no modal, no hint, one
+    disjunct. [parse (Ppd.Query.to_string q)] equals [of_query q]. *)
+
+val term_to_string : term -> string
+val atom_to_string : atom -> string
+
+val to_string : t -> string
+(** Canonical rendering; [Parser.parse (to_string t)] reproduces [t]
+    exactly. For an embedded datalog query it coincides with
+    [Ppd.Query.to_string]. *)

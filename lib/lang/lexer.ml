@@ -1,0 +1,118 @@
+(* Hand-rolled lexer; every lexeme carries its source offset so parse
+   errors point at the offending character.
+
+   Identifiers are [A-Za-z][A-Za-z0-9_]*, extended with '-' when the
+   next character is a letter — that makes solver names like
+   [two-label] and [mis-amp-lite] single lexemes after [using] without
+   colliding with negative integer literals. *)
+
+type token =
+  | Ident of string
+  | Int of int
+  | Str of string
+  | Lparen
+  | Rparen
+  | Comma
+  | Semi
+  | Dot
+  | Turnstile
+  | Underscore
+  | Op of Ppd.Value.op
+  | Eof
+
+type lexeme = { tok : token; pos : int }
+
+let token_to_string = function
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Int i -> Printf.sprintf "integer %d" i
+  | Str s -> Printf.sprintf "string %S" s
+  | Lparen -> "'('"
+  | Rparen -> "')'"
+  | Comma -> "','"
+  | Semi -> "';'"
+  | Dot -> "'.'"
+  | Turnstile -> "':-'"
+  | Underscore -> "'_'"
+  | Op op -> Printf.sprintf "'%s'" (Ppd.Value.op_to_string op)
+  | Eof -> "end of input"
+
+let is_letter c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_char c = is_letter c || is_digit c || c = '_'
+
+let tokens src =
+  let n = String.length src in
+  let out = ref [] in
+  let err = ref None in
+  let fail pos msg = err := Some { Ast.pos; msg } in
+  let i = ref 0 in
+  let emit tok pos = out := { tok; pos } :: !out in
+  while !err = None && !i < n do
+    let pos = !i in
+    let c = src.[pos] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if is_letter c then begin
+      let j = ref (pos + 1) in
+      let continue () =
+        !j < n
+        && (is_ident_char src.[!j]
+           || (src.[!j] = '-' && !j + 1 < n && is_letter src.[!j + 1]))
+      in
+      while continue () do
+        incr j
+      done;
+      emit (Ident (String.sub src pos (!j - pos))) pos;
+      i := !j
+    end
+    else if is_digit c || (c = '-' && pos + 1 < n && is_digit src.[pos + 1]) then begin
+      let j = ref (pos + 1) in
+      while !j < n && is_digit src.[!j] do
+        incr j
+      done;
+      emit (Int (int_of_string (String.sub src pos (!j - pos)))) pos;
+      i := !j
+    end
+    else if c = '"' then begin
+      let j = ref (pos + 1) in
+      while !j < n && src.[!j] <> '"' do
+        incr j
+      done;
+      if !j >= n then fail pos "unterminated string"
+      else begin
+        emit (Str (String.sub src (pos + 1) (!j - pos - 1))) pos;
+        i := !j + 1
+      end
+    end
+    else begin
+      let two = if pos + 1 < n then String.sub src pos 2 else "" in
+      let one tok =
+        emit tok pos;
+        incr i
+      and pair tok =
+        emit tok pos;
+        i := pos + 2
+      in
+      match two with
+      | ":-" -> pair Turnstile
+      | "<=" -> pair (Op Ppd.Value.Le)
+      | ">=" -> pair (Op Ppd.Value.Ge)
+      | "!=" | "<>" -> pair (Op Ppd.Value.Neq)
+      | _ -> (
+          match c with
+          | '(' -> one Lparen
+          | ')' -> one Rparen
+          | ',' -> one Comma
+          | ';' -> one Semi
+          | '.' -> one Dot
+          | '_' -> one Underscore
+          | '<' -> one (Op Ppd.Value.Lt)
+          | '>' -> one (Op Ppd.Value.Gt)
+          | '=' -> one (Op Ppd.Value.Eq)
+          | c -> fail pos (Printf.sprintf "unexpected character %C" c))
+    end
+  done;
+  match !err with
+  | Some e -> Error e
+  | None ->
+      emit Eof n;
+      Ok (List.rev !out)

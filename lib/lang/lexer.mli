@@ -1,0 +1,27 @@
+(** Hand-rolled lexer for the query language. Every lexeme carries its
+    byte offset; identifiers admit ['-'] before a letter so solver
+    names ([two-label], [mis-amp-lite]) lex as single identifiers
+    without colliding with negative integer literals. *)
+
+type token =
+  | Ident of string
+  | Int of int
+  | Str of string
+  | Lparen
+  | Rparen
+  | Comma
+  | Semi
+  | Dot
+  | Turnstile  (** [:-] *)
+  | Underscore  (** the wildcard term *)
+  | Op of Ppd.Value.op
+  | Eof
+
+type lexeme = { tok : token; pos : int }
+
+val token_to_string : token -> string
+(** For error messages: ["identifier \"x\""], ["'('"], … *)
+
+val tokens : string -> (lexeme list, Ast.error) result
+(** The full lexeme list, ending with {!Eof}. Fails on unterminated
+    strings and characters outside the language. *)

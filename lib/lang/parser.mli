@@ -1,0 +1,15 @@
+(** Recursive-descent parser for the query language (grammar in
+    DESIGN.md §14). The accepted language is a strict superset of
+    {!Ppd.Parser}'s datalog: any [Ppd.Query.to_string] output parses to
+    [Ast.of_query] of the original query. *)
+
+val parse : string -> (Ast.t, Ast.error) result
+(** Parse one query. Errors carry the byte offset of the offending
+    lexeme; [using <name>] is validated against
+    [Hardq.Solver.of_string], so the error message enumerates exactly
+    [Hardq.Solver.valid_names]. *)
+
+exception Parse_error of string
+(** [parse_exn]'s error, rendered by {!Ast.error_to_string}. *)
+
+val parse_exn : string -> Ast.t

@@ -301,7 +301,7 @@ let union_for_env ?(grounding_cap = 100_000) db a domains env0 =
   go domains;
   match List.rev !patterns with
   | [] -> None
-  | ps -> Some (Prefs.Pattern_union.make ps)
+  | ps -> Some (Prefs.Pattern_union.canonical (Prefs.Pattern_union.make ps))
 
 (* ------------------------------------------------------------------ *)
 (* Session filtering and joins                                         *)
@@ -411,9 +411,13 @@ let compile ?grounding_cap db q =
         | envs ->
             let unions = List.filter_map union_for envs in
             let union =
+              (* Canonical per-session form: grounding/environment order is
+                 commutative, so permuted-but-equal queries compile to the
+                 same union — and hence the same content-addressed
+                 sub-answer cache key in the engine. *)
               match List.concat_map Prefs.Pattern_union.patterns unions with
               | [] -> None
-              | ps -> Some (Prefs.Pattern_union.make ps)
+              | ps -> Some (Prefs.Pattern_union.canonical (Prefs.Pattern_union.make ps))
             in
             Some { session; union })
       (Array.to_list (Database.sessions a.prel))

@@ -130,6 +130,44 @@ let conjunction ts =
 let equal t1 t2 = t1.nodes = t2.nodes && t1.edges = t2.edges
 let compare t1 t2 = Stdlib.compare (t1.nodes, t1.edges) (t2.nodes, t2.edges)
 
+(* Canonical node order: a pure index permutation (edges are remapped),
+   so the pattern's semantics — and hence any probability computed from
+   it — is exactly preserved. Nodes sort by (depth, conjunction,
+   successor conjunctions, predecessor conjunctions), ties broken by the
+   original index. Sorting on depth first keeps every edge source ahead
+   of its targets, so [is_two_label] and [bipartite_roles] classify the
+   canonical form exactly as they classify the original. Two patterns
+   that differ only by conjunct order in the source query map to the
+   same canonical form (automorphic ties may keep rare equal pairs
+   apart — that costs a cache miss, never a wrong merge). *)
+let canonical t =
+  let n = Array.length t.nodes in
+  let depth = Array.make n 0 in
+  List.iter
+    (fun i ->
+      List.iter
+        (fun (a, b) -> if a = i && depth.(b) < depth.(i) + 1 then depth.(b) <- depth.(i) + 1)
+        t.edges)
+    t.topo;
+  let key i =
+    let nbr sel = List.sort Stdlib.compare (List.filter_map sel t.edges) in
+    ( depth.(i),
+      t.nodes.(i),
+      nbr (fun (a, b) -> if a = i then Some t.nodes.(b) else None),
+      nbr (fun (a, b) -> if b = i then Some t.nodes.(a) else None) )
+  in
+  let keys = Array.init n key in
+  let order = Array.init n (fun i -> i) in
+  Array.sort
+    (fun i j ->
+      match Stdlib.compare keys.(i) keys.(j) with 0 -> Stdlib.compare i j | c -> c)
+    order;
+  let pos = Array.make n 0 in
+  Array.iteri (fun newi oldi -> pos.(oldi) <- newi) order;
+  make
+    ~nodes:(List.map (fun oldi -> t.nodes.(oldi)) (Array.to_list order))
+    ~edges:(List.map (fun (a, b) -> (pos.(a), pos.(b))) t.edges)
+
 let pp_node name ppf n =
   match n with
   | [ l ] -> Format.pp_print_string ppf (name l)

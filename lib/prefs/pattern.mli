@@ -55,5 +55,14 @@ val conjunction : t list -> t
 
 val equal : t -> t -> bool
 val compare : t -> t -> int
+
+val canonical : t -> t
+(** Deterministic node reordering (edges remapped accordingly): the same
+    partial order under a canonical index permutation, so two patterns
+    built from permuted-but-equal conjuncts compare {!equal}. Sources
+    stay ahead of their targets, so {!is_two_label} and
+    {!bipartite_roles} classify the canonical form identically. *)
+
+
 val pp : Format.formatter -> t -> unit
 val pp_named : (label -> string) -> Format.formatter -> t -> unit

@@ -18,6 +18,11 @@ let patterns t = t
 let size = List.length
 let singleton p = [ p ]
 
+(* Union order is commutative, so the canonical form sorts the
+   canonicalized member patterns; [make] then deduplicates members that
+   only differed by node order. *)
+let canonical t = make (List.sort Pattern.compare (List.map Pattern.canonical t))
+
 type kind = Two_label | Bipartite | General
 
 let kind t =

@@ -12,6 +12,14 @@ val size : t -> int
 
 val singleton : Pattern.t -> t
 
+val canonical : t -> t
+(** Sort the {!Pattern.canonical} forms of the member patterns and
+    re-deduplicate: a normal form under both conjunct order inside each
+    pattern and union member order, so semantically equal unions built
+    from permuted queries compare {!equal} (and share content-addressed
+    cache entries downstream). Never merges patterns that differ
+    semantically. *)
+
 type kind =
   | Two_label  (** every pattern has exactly two nodes and one edge *)
   | Bipartite  (** every pattern is bipartite (includes two-label) *)

@@ -1,0 +1,29 @@
+(* Rank predicates over concrete items: rank(x) ⋈ k with 1-based ranks
+   (rank 1 = most preferred). The query language's [rank]/[top] atoms
+   lower to this shared vocabulary, evaluated exactly by [Hardq.Rank_dp]
+   (single atom) or tested per ranking here (enumeration / sampling). *)
+
+type op = Le | Lt | Ge | Gt | Eq | Neq
+type t = { item : int; op : op; k : int }
+
+let op_to_string = function
+  | Le -> "<="
+  | Lt -> "<"
+  | Ge -> ">="
+  | Gt -> ">"
+  | Eq -> "="
+  | Neq -> "!="
+
+let holds { item; op; k } r =
+  if not (Ranking.mem r item) then false
+  else
+    let rank = Ranking.position_of r item + 1 in
+    match op with
+    | Le -> rank <= k
+    | Lt -> rank < k
+    | Ge -> rank >= k
+    | Gt -> rank > k
+    | Eq -> rank = k
+    | Neq -> rank <> k
+
+let all_hold ps r = List.for_all (fun p -> holds p r) ps

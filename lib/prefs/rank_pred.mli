@@ -1,0 +1,15 @@
+(** Rank predicates over concrete items: [rank(x) ⋈ k] with 1-based
+    ranks (rank 1 = most preferred). The shared vocabulary between the
+    query language's [rank]/[top] atoms, the planner, and the solvers
+    ([Hardq.Rank_dp] evaluates a single predicate in O(m²); enumeration
+    and sampling paths test each ranking with {!holds}). *)
+
+type op = Le | Lt | Ge | Gt | Eq | Neq
+type t = { item : int; op : op; k : int }
+
+val op_to_string : op -> string
+
+val holds : t -> Ranking.t -> bool
+(** [false] when the item is outside the ranking's domain. *)
+
+val all_hold : t list -> Ranking.t -> bool

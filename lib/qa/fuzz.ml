@@ -121,3 +121,36 @@ let replay ?(log = Format.std_formatter) ?(extra = []) path =
 
 let kernel_diff ?(log = Format.std_formatter) path =
   sweep ~log ~check:(fun case -> Oracle.kernel_diff case) path
+
+(* The acceptance bar for the planner: besides every per-case check
+   passing, the corpus as a whole must route at least one query to each
+   plan node kind — a corpus that never exercises, say, the sampling
+   leaf would let routing regressions through silently. *)
+let required_kinds = [ "exact"; "union-ie"; "sample"; "aggregate"; "top-k" ]
+
+let lang_diff ?(log = Format.std_formatter) path =
+  let covered = Hashtbl.create 8 in
+  let o =
+    sweep ~log
+      ~check:(fun case ->
+        let result, kinds = Oracle.lang_diff case in
+        List.iter (fun k -> Hashtbl.replace covered k ()) kinds;
+        result)
+      path
+  in
+  let missing =
+    List.filter (fun k -> not (Hashtbl.mem covered k)) required_kinds
+  in
+  if missing = [] then begin
+    Format.fprintf log "coverage: every plan node kind routed (%s)@."
+      (String.concat ", " required_kinds);
+    o
+  end
+  else begin
+    List.iter
+      (fun k ->
+        Format.fprintf log
+          "FAIL coverage — no corpus case routed to plan node kind %s@." k)
+      missing;
+    { o with failures = o.failures + List.length missing }
+  end

@@ -52,3 +52,11 @@ val kernel_diff : ?log:Format.formatter -> string -> outcome
 (** [kernel_diff path] runs {!Oracle.kernel_diff} — the flat-vs-boxed
     byte-identity sweep — over one [.case] file or a directory of them,
     with the same per-file verdict lines as {!replay}. *)
+
+val lang_diff : ?log:Format.formatter -> string -> outcome
+(** [lang_diff path] runs {!Oracle.lang_diff} — the query-language
+    frontend and planner differential sweep — over one [.case] file or
+    a directory of them, then asserts that the corpus as a whole routed
+    at least one query to every plan node kind ([exact], [union-ie],
+    [sample], [aggregate], [top-k]); each missing kind counts as one
+    failure in the outcome. *)

@@ -356,6 +356,200 @@ let check ?(eps = 1e-9) ?(budget = 0.5) ?(approx = true) ?(extra = []) (case : P
   | Util.Timer.Out_of_time -> Skip "solver budget exhausted"
   | Failure msg -> Skip ("solver gave up: " ^ msg)
 
+(* Language/planner differential sweep (make lang-diff / hardq_qa
+   lang-diff): the case's datalog query is pushed through the text
+   frontend and the tractability planner, and every compiled-plan
+   answer must be bit-identical to the direct solver path evaluating
+   the same semantics. Returns the plan node kinds exercised so the
+   corpus sweep can assert coverage. *)
+let lang_diff ?(eps = 1e-9) ?(budget = 0.5) (case : Ppd.Case.t) =
+  let { Ppd.Case.db; query } = case in
+  let n_checks = ref 0 in
+  let ran fmt = Printf.ksprintf (fun _ -> incr n_checks) fmt in
+  let kinds = ref [] in
+  try
+    let text = Ppd.Query.to_string query in
+    (* Parse + canonical-rendering round trip, for the base text and
+       every derived wrapper. *)
+    let parse what s =
+      match Lang.Parser.parse s with
+      | Ok ast ->
+          (match Lang.Parser.parse (Lang.Ast.to_string ast) with
+          | Ok ast' when Lang.Ast.equal ast' ast -> ()
+          | Ok _ ->
+              fail (what ^ " round-trip") "%S reparses to a different AST"
+                (Lang.Ast.to_string ast)
+          | Error e ->
+              fail (what ^ " round-trip") "%S: %s" (Lang.Ast.to_string ast)
+                (Lang.Ast.error_to_string e));
+          incr n_checks;
+          ast
+      | Error e -> fail what "%S: %s" s (Lang.Ast.error_to_string e)
+    in
+    let ast = parse "datalog embeds" text in
+    if not (Lang.Ast.equal ast (Lang.Ast.of_query query)) then
+      fail "embed bit-identity" "parse %S differs from of_query" text;
+    incr n_checks;
+    let compile ast =
+      let plan =
+        try Plan.compile db ast with
+        | Ppd.Compile.Unsupported msg ->
+            raise (Skipped ("plan unsupported: " ^ msg))
+        | Ppd.Compile.Grounding_too_large msg -> raise (Skipped ("grounding: " ^ msg))
+      in
+      if String.length (Plan.explain plan) = 0 then
+        fail "explain non-empty" "%S" (Lang.Ast.to_string ast);
+      incr n_checks;
+      kinds := Plan.node_kinds plan @ !kinds;
+      plan
+    in
+    Engine.with_engine Engine.Config.default @@ fun engine ->
+    let direct task = Engine.eval engine (Engine.Request.make ~task ~budget db query) in
+    let planned plan = Engine.eval engine (Engine.Request.of_plan ~budget plan) in
+    let bit name a b =
+      if a <> b then fail name "plan=%.17g direct=%.17g" a b;
+      ran "%s" name
+    in
+    (* Boolean: the base text compiles to a plan whose engine answer is
+       bit-identical to the direct [`Auto] evaluation. *)
+    let resp_dir = direct Engine.Request.Boolean in
+    let p_dir = Engine.Response.answer_float resp_dir in
+    let plan = compile ast in
+    bit "plan vs direct (boolean)"
+      (Engine.Response.answer_float (planned plan))
+      p_dir;
+    (* count: aggregate root over the same per-session marginals. *)
+    let plan_count = compile (parse "count prefix" ("count " ^ text)) in
+    bit "plan vs direct (count)"
+      (Engine.Response.answer_float (planned plan_count))
+      (Engine.Response.answer_float (direct Engine.Request.Count));
+    (* top(2): ranked answers agree session by session. *)
+    let plan_top = compile (parse "top prefix" ("top(2) " ^ text)) in
+    let ranked_plan = Engine.Response.ranked (planned plan_top) in
+    let ranked_dir =
+      Engine.Response.ranked
+        (direct (Engine.Request.Top_k { k = 2; strategy = `Naive }))
+    in
+    if List.length ranked_plan <> List.length ranked_dir then
+      fail "plan vs direct (top-k)" "plan ranked %d sessions, direct %d"
+        (List.length ranked_plan) (List.length ranked_dir);
+    List.iter2
+      (fun ((s : Ppd.Database.session), p) ((s' : Ppd.Database.session), p') ->
+        if s.Ppd.Database.key <> s'.Ppd.Database.key || p <> p' then
+          fail "plan vs direct (top-k)" "plan=%.17g direct=%.17g" p p';
+        ran "top-k row")
+      ranked_plan ranked_dir;
+    (* Modals: indicators over the exact probability. *)
+    bit "possibly indicator"
+      (Engine.Response.answer_float
+         (planned (compile (parse "possibly prefix" ("possibly " ^ text)))))
+      (if p_dir > 0. then 1. else 0.);
+    bit "certainly indicator"
+      (Engine.Response.answer_float
+         (planned (compile (parse "certainly prefix" ("certainly " ^ text)))))
+      (if p_dir >= 1. -. 1e-9 then 1. else 0.);
+    (* sum(key 0): the plan-level fold must replicate the
+       [Ppd.Aggregate.over_sessions] fold over the direct marginals. *)
+    let plan_sum = compile (parse "sum prefix" ("sum(key 0) " ^ text)) in
+    let sum_ref =
+      List.fold_left
+        (fun acc ((s : Ppd.Database.session), p) ->
+          match Ppd.Aggregate.session_key_value ~index:0 s with
+          | Some v -> acc +. (p *. v)
+          | None -> acc)
+        0. resp_dir.Engine.Response.per_session
+    in
+    bit "sum(key 0) fold" (Engine.Response.answer_float (planned plan_sum)) sum_ref;
+    (* using rejection: the sampling leaf is deterministic (digest-keyed
+       RNG), in range, and lands within a gross-error band of exact. *)
+    let plan_rs = compile (parse "using prefix" ("using rejection " ^ text)) in
+    let p_rs = Engine.Response.answer_float (planned plan_rs) in
+    let p_rs' = Engine.Response.answer_float (planned plan_rs) in
+    if p_rs <> p_rs' then
+      fail "sample determinism" "first=%.17g second=%.17g" p_rs p_rs';
+    ran "sample determinism";
+    if not (p_rs >= -.eps && p_rs <= 1. +. eps) then
+      fail "sample in [0,1]" "%.17g" p_rs;
+    ran "sample range";
+    if abs_float (p_rs -. p_dir) > 0.25 then
+      fail "sample gross error" "rejection=%.17g exact=%.17g (band 0.25)" p_rs p_dir;
+    ran "sample band";
+    (* Rank derivations (synthesized over the case's item domain): the
+       O(m²) insertion DP and the mixed-atom enumeration leaf, each
+       against brute-force enumeration of the same predicate. Skipped
+       silently when the database is outside the rank fragment (several
+       p-relations) — the pattern checks above still stand. *)
+    let m = Ppd.Database.m db in
+    (if m >= 2 && m <= brute_max then
+       try
+         let item i = Ppd.Query.Const (Ppd.Database.id_of_item db i) in
+         let k = (m + 1) / 2 in
+         let mk body =
+           {
+             Lang.Ast.name = "Q";
+             head = [];
+             task = Lang.Ast.Prob;
+             modal = None;
+             using = None;
+             body = [ body ];
+           }
+         in
+         let rank_ast =
+           mk [ Lang.Ast.Rank { item = item 0; op = Prefs.Rank_pred.Le; k } ]
+         in
+         let plan_rank = compile (parse "rank" (Lang.Ast.to_string rank_ast)) in
+         if plan_rank.Plan.leaf <> Plan.Rank_poly then
+           fail "rank routing" "rank-only query routed to %s"
+             (Plan.leaf_name plan_rank.Plan.leaf);
+         ran "rank routing";
+         let pred = { Prefs.Rank_pred.item = 0; op = Prefs.Rank_pred.Le; k } in
+         List.iter
+           (fun ((s : Ppd.Database.session), p) ->
+             let model = Rim.Mallows.to_rim s.Ppd.Database.model in
+             let p_ref = Hardq.Brute.prob_pred model (Prefs.Rank_pred.holds pred) in
+             if not (close eps p p_ref) then
+               fail "rank-dp vs brute" "dp=%.17g brute=%.17g" p p_ref;
+             ran "rank-dp")
+           (planned plan_rank).Engine.Response.per_session;
+         let mixed_ast =
+           mk
+             [
+               Lang.Ast.Prefers { left = item 0; right = item 1 };
+               Lang.Ast.Rank { item = item 1; op = Prefs.Rank_pred.Ge; k = 2 };
+             ]
+         in
+         let plan_mix = compile (parse "mixed rank" (Lang.Ast.to_string mixed_ast)) in
+         if plan_mix.Plan.leaf <> Plan.Enumerate then
+           fail "mixed rank routing" "mixed query at m=%d routed to %s" m
+             (Plan.leaf_name plan_mix.Plan.leaf);
+         ran "mixed routing";
+         let rank2 = { Prefs.Rank_pred.item = 1; op = Prefs.Rank_pred.Ge; k = 2 } in
+         let pred_ref r =
+           Prefs.Ranking.prefers r 0 1 && Prefs.Rank_pred.holds rank2 r
+         in
+         List.iter
+           (fun ((s : Ppd.Database.session), p) ->
+             let model = Rim.Mallows.to_rim s.Ppd.Database.model in
+             let p_ref = Hardq.Brute.prob_pred model pred_ref in
+             if p <> p_ref then
+               fail "enumerate vs brute" "plan=%.17g brute=%.17g" p p_ref;
+             ran "enumerate")
+           (planned plan_mix).Engine.Response.per_session
+       with Skipped _ -> ());
+    ( Pass
+        {
+          sessions = resp_dir.Engine.Response.stats.Engine.Response.sessions;
+          nontrivial = List.length resp_dir.Engine.Response.per_session;
+          checks = !n_checks;
+          answer = p_dir;
+        },
+      !kinds )
+  with
+  | Failed (check, detail) -> (Fail { check; detail }, !kinds)
+  | Skipped msg -> (Skip msg, !kinds)
+  | Util.Timer.Out_of_time -> (Skip "solver budget exhausted", !kinds)
+  | Failure msg -> (Skip ("solver gave up: " ^ msg), !kinds)
+
 let fails ?eps ?budget ?extra case =
   match check ?eps ?budget ~approx:false ?extra case with
   | Fail _ -> true

@@ -81,3 +81,18 @@ val kernel_diff : ?budget:float -> Ppd.Case.t -> result
     compared with exact [=] — byte-identity, no [eps]. [checks] counts
     (solver × parallelism) comparisons; [answer] is the sequential
     flat-kernel "general" value of the last nontrivial session. *)
+
+val lang_diff : ?eps:float -> ?budget:float -> Ppd.Case.t -> result * string list
+(** Language-frontend/planner differential sweep on one case ([make
+    lang-diff]): the case's datalog query must parse as language text,
+    round-trip through the canonical printer, match
+    {!Lang.Ast.of_query} exactly, and — for the base query plus the
+    [count], [top(2)], [possibly], [certainly] and [sum(key 0)]
+    wrappers — the compiled {!Plan.t} evaluated by the engine must
+    answer bit-identically to the direct solver path for the same
+    task ([eps] only enters the synthesized rank-atom checks, where the
+    O(m²) DP is compared against brute-force enumeration, and the
+    [using rejection] sample leaf, which is checked for determinism,
+    range and a gross-error band instead). The second component lists
+    the {!Plan.node_kinds} exercised, in no particular order — the
+    corpus sweep unions them to assert routing coverage. *)

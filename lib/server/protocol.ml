@@ -85,9 +85,15 @@ type dataset_spec = {
 let dataset ?size ?sessions ?seed name =
   { ds_name = name; ds_size = size; ds_sessions = sessions; ds_seed = seed }
 
+type query_source =
+  | Cq of Ppd.Query.t  (* wire member "query": the datalog fragment *)
+  | Lang of { text : string; ast : Lang.Ast.t }
+      (* wire member "q": the full query language, compiled by the
+         planner server-side. [text] is echoed verbatim on encode. *)
+
 type eval = {
   dataset : dataset_spec;
-  query : Ppd.Query.t;
+  query : query_source;
   task : Engine.Request.task;
   solver : Hardq.Solver.t;
   budget : float;
@@ -100,11 +106,26 @@ type eval = {
          may fan its own work across the engine pool. *)
 }
 
-let eval ?(task = Engine.Request.Boolean) ?(solver = Hardq.Solver.default_exact)
-    ?(budget = 0.) ?(seed = 42) ?timeout_ms ?(per_session = false) ?parallelism
-    dataset query =
+let eval_source ?(task = Engine.Request.Boolean)
+    ?(solver = Hardq.Solver.default_exact) ?(budget = 0.) ?(seed = 42)
+    ?timeout_ms ?(per_session = false) ?parallelism dataset query =
   { dataset; query; task; solver; budget; seed; timeout_ms; per_session;
     parallelism }
+
+let eval ?task ?solver ?budget ?seed ?timeout_ms ?per_session ?parallelism
+    dataset q =
+  eval_source ?task ?solver ?budget ?seed ?timeout_ms ?per_session ?parallelism
+    dataset (Cq q)
+
+let eval_lang ?task ?solver ?budget ?seed ?timeout_ms ?per_session ?parallelism
+    dataset text =
+  match Lang.Parser.parse text with
+  | Stdlib.Error e -> Stdlib.Error (Lang.Ast.error_to_string e)
+  | Ok ast ->
+      Ok
+        (eval_source ?task ?solver ?budget ?seed ?timeout_ms ?per_session
+           ?parallelism dataset
+           (Lang { text; ast }))
 
 let parallelism_to_string = function `Inter -> "inter" | `Intra -> "intra"
 
@@ -164,10 +185,10 @@ let request_to_json (r : request) =
       Json.Obj
         (("op", Json.String "eval")
          :: id
-        @ [
-            ("dataset", dataset_to_json e.dataset);
-            ("query", Json.String (Ppd.Query.to_string e.query));
-          ]
+        @ [ ("dataset", dataset_to_json e.dataset) ]
+        @ (match e.query with
+          | Cq q -> [ ("query", Json.String (Ppd.Query.to_string q)) ]
+          | Lang { text; _ } -> [ ("q", Json.String text) ])
         @ task_fields
         @ [
             ("solver", Json.String (Hardq.Solver.to_string e.solver));
@@ -259,13 +280,22 @@ let task_of_json json =
 let eval_of_json json =
   let* dataset = dataset_of_json json in
   let* query =
-    match Json.member "query" json with
-    | Some (Json.String text) -> (
+    (* "q" (the query language, v1 additive member) and "query" (the
+       datalog fragment, original schema) are alternatives. *)
+    match (Json.member "q" json, Json.member "query" json) with
+    | Some _, Some _ -> bad "fields \"q\" and \"query\" are mutually exclusive"
+    | Some (Json.String text), None -> (
+        match Lang.Parser.parse text with
+        | Ok ast -> Ok (Lang { text; ast })
+        | Stdlib.Error e ->
+            Stdlib.Error (error Query_parse_error (Lang.Ast.error_to_string e)))
+    | Some _, None -> bad "field \"q\" must be a string"
+    | None, Some (Json.String text) -> (
         match Ppd.Parser.parse_result text with
-        | Ok q -> Ok q
+        | Ok q -> Ok (Cq q)
         | Stdlib.Error msg -> Stdlib.Error (error Query_parse_error msg))
-    | Some _ -> bad "field \"query\" must be a string"
-    | None -> bad "missing field \"query\""
+    | None, Some _ -> bad "field \"query\" must be a string"
+    | None, None -> bad "missing field \"query\" (or \"q\")"
   in
   let* task = task_of_json json in
   let* solver =

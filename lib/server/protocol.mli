@@ -64,9 +64,18 @@ type dataset_spec = {
 
 val dataset : ?size:int -> ?sessions:int -> ?seed:int -> string -> dataset_spec
 
+type query_source =
+  | Cq of Ppd.Query.t
+      (** wire member ["query"]: the datalog fragment, evaluated by the
+          engine's direct compile path (original schema) *)
+  | Lang of { text : string; ast : Lang.Ast.t }
+      (** wire member ["q"] (additive, still v1): full query-language
+          text, compiled through the planner server-side; [text] is
+          echoed verbatim on encode so the round-trip is exact *)
+
 type eval = {
   dataset : dataset_spec;
-  query : Ppd.Query.t;
+  query : query_source;
   task : Engine.Request.task;
   solver : Hardq.Solver.t;
   budget : float;  (** CPU seconds per solver invocation; [<= 0] = none *)
@@ -93,6 +102,23 @@ val eval :
 (** Defaults mirror [Engine.Request.make]: Boolean task, [`Auto] solver,
     no budget, seed 42, no deadline, no per-session marginals, server's
     parallelism default. *)
+
+val eval_lang :
+  ?task:Engine.Request.task ->
+  ?solver:Hardq.Solver.t ->
+  ?budget:float ->
+  ?seed:int ->
+  ?timeout_ms:float ->
+  ?per_session:bool ->
+  ?parallelism:[ `Inter | `Intra ] ->
+  dataset_spec ->
+  string ->
+  (eval, string) result
+(** Like {!eval} but for query-language text (the ["q"] wire member),
+    parsed client-side so syntax errors surface before the round trip.
+    The [task] applies only when the text states no task of its own; a
+    non-[`Auto] [solver] acts as a planner hint when the text has no
+    [using] clause. *)
 
 type request = { id : Json.t option; op : op }
 

@@ -216,11 +216,29 @@ let prepare t (job : job) start =
         | Some p -> p
         | None -> if t.cfg.intra then `Intra else `Inter
       in
-      Ok
-        ( Engine.Request.make ~task:e.Protocol.task ~solver:e.Protocol.solver
-            ~budget ~seed:e.Protocol.seed ?deadline:job.deadline ~parallelism
-            db e.Protocol.query,
-          deadline_limited )
+      (match e.Protocol.query with
+      | Protocol.Cq q ->
+          Ok
+            (Engine.Request.make ~task:e.Protocol.task ~solver:e.Protocol.solver
+               ~budget ~seed:e.Protocol.seed ?deadline:job.deadline ~parallelism
+               db q)
+      | Protocol.Lang { ast; _ } -> (
+          (* A non-default wire solver acts as a planner hint; a [using]
+             clause in the text wins (Plan.compile's precedence). *)
+          let hint =
+            if e.Protocol.solver = Hardq.Solver.default_exact then None
+            else Some e.Protocol.solver
+          in
+          match Plan.compile ?hint db ast with
+          | plan ->
+              Ok
+                (Engine.Request.of_plan ~task:e.Protocol.task ~budget
+                   ~seed:e.Protocol.seed ?deadline:job.deadline ~parallelism plan)
+          | exception Ppd.Compile.Unsupported msg ->
+              Error (Protocol.Err (Protocol.error Protocol.Unsupported msg))
+          | exception Ppd.Compile.Grounding_too_large msg ->
+              Error (Protocol.Err (Protocol.error Protocol.Unsupported msg))))
+      |> Result.map (fun req -> (req, deadline_limited))
 
 (* Map one engine result for [job] onto the wire reply. *)
 let finish (job : job) start deadline_limited

@@ -3,6 +3,11 @@
 
 let rng seed = Util.Rng.make seed
 
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
 let check_close ?(eps = 1e-9) what expected actual =
   if abs_float (expected -. actual) > eps then
     Alcotest.failf "%s: expected %.12g, got %.12g (|diff| = %.3g)" what expected

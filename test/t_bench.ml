@@ -163,6 +163,55 @@ let unit_kernel_schema () =
       | _ -> Alcotest.failf "%s: missing a kernel row" solver)
     [ "two_label"; "bipartite"; "bipartite_basic"; "general" ]
 
+(* The planner-overhead experiment: all four query archetypes must emit
+   a row in smoke mode, with the schema the overhead tracking reads. *)
+let unit_plan_schema () =
+  let out = Filename.temp_file "hardq_bench_plan" ".json" in
+  Sys.remove out;
+  Fun.protect ~finally:(fun () -> try Sys.remove out with Sys_error _ -> ())
+  @@ fun () ->
+  let cmd =
+    Printf.sprintf
+      "HARDQ_BENCH_SMOKE=1 BENCH_JSON_OUT=%s ../bench/main.exe plan \
+       >/dev/null 2>&1"
+      (Filename.quote out)
+  in
+  Alcotest.(check int) "plan exits 0" 0 (Sys.command cmd);
+  let lines =
+    List.filter
+      (fun l -> String.trim l <> "")
+      (String.split_on_char '\n' (read_file out))
+  in
+  if lines = [] then Alcotest.fail "plan emitted no JSON rows";
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun line ->
+      let j = parse_line "plan" line in
+      Alcotest.(check string)
+        "bench name" "plan-overhead" (str_field "plan" j [ "bench" ]);
+      Hashtbl.replace seen (str_field "plan" j [ "query" ]) ();
+      if int_field "plan" j [ "m" ] < 1 then Alcotest.fail "m < 1";
+      if int_field "plan" j [ "sessions" ] <= 0 then
+        Alcotest.fail "sessions not positive";
+      List.iter
+        (fun f ->
+          if not (float_field "plan" j [ f ] >= 0.) then
+            Alcotest.failf "%s negative" f)
+        [ "parse_us"; "compile_us"; "eval_s"; "prob" ];
+      let share = float_field "plan" j [ "frontend_share" ] in
+      if not (share >= 0. && share <= 1.) then
+        Alcotest.failf "frontend_share outside [0,1]: %g" share;
+      let verdict = str_field "plan" j [ "verdict" ] in
+      if not (List.mem verdict [ "tractable"; "hard"; "estimated" ]) then
+        Alcotest.failf "unknown verdict %S" verdict;
+      if str_field "plan" j [ "leaf" ] = "" then Alcotest.fail "empty leaf")
+    lines;
+  List.iter
+    (fun query ->
+      if not (Hashtbl.mem seen query) then
+        Alcotest.failf "%s: no row emitted" query)
+    [ "datalog-two-label"; "disjunctive"; "rank"; "top-k" ]
+
 let suites =
   [
     ( "bench.schema",
@@ -171,5 +220,7 @@ let suites =
         tc "fig15 rows carry the scaling schema" `Quick unit_fig15_schema;
         tc "kernel rows carry the layout-ablation schema" `Quick
           unit_kernel_schema;
+        tc "plan rows carry the frontend-overhead schema" `Quick
+          unit_plan_schema;
       ] );
   ]
