@@ -1,4 +1,4 @@
-.PHONY: all build test bench check ci par-matrix smoke-bench smoke-server cache-diff kernel-diff lang-diff bench-cache bench-kernel qa-replay qa-fuzz fmt clean
+.PHONY: all build test bench check ci par-matrix smoke-bench smoke-server cache-diff kernel-diff lang-diff anytime-diff bench-cache bench-kernel bench-anytime qa-replay qa-fuzz fmt clean
 
 all: build
 
@@ -25,6 +25,7 @@ ci:
 	$(MAKE) cache-diff
 	$(MAKE) kernel-diff
 	$(MAKE) lang-diff
+	$(MAKE) anytime-diff
 	$(MAKE) qa-replay
 	$(MAKE) qa-fuzz
 	@if command -v ocamlformat >/dev/null 2>&1; then \
@@ -85,6 +86,14 @@ lang-diff:
 	dune build bin/hardq_qa.exe
 	dune exec bin/hardq_qa.exe -- lang-diff test/corpus
 
+# Anytime serving differential: every corpus case served under accuracy
+# SLOs — streamed CIs must contain the exact answer, widths must only
+# tighten, and same-seed frame sequences must be byte-identical across
+# pool widths (with looser targets a prefix of tighter ones).
+anytime-diff:
+	dune build bin/hardq_qa.exe
+	dune exec bin/hardq_qa.exe -- anytime-diff test/corpus
+
 # Refresh the committed cache benchmark document (BENCH_cache.json).
 bench-cache:
 	dune build bench/loadgen.exe
@@ -96,6 +105,13 @@ bench-kernel:
 	dune build bench/main.exe
 	rm -f BENCH_kernel.json
 	BENCH_JSON_OUT=BENCH_kernel.json dune exec bench/main.exe -- kernel
+
+# Refresh the committed anytime benchmark document (BENCH_anytime.json):
+# time-to-target-CI and frames/sec for the sampling serve path.
+bench-anytime:
+	dune build bench/main.exe
+	rm -f BENCH_anytime.json
+	BENCH_JSON_OUT=BENCH_anytime.json dune exec bench/main.exe -- anytime
 
 # Replay the committed regression corpus: every case must pass the full
 # differential oracle (failures print the offending check and file).

@@ -28,6 +28,7 @@ let experiments =
     ("micro", Micro.run);
     ("kernel", Micro.run_kernel);
     ("plan", Micro.run_plan);
+    ("anytime", Micro.run_anytime);
   ]
 
 let () =

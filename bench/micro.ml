@@ -370,9 +370,80 @@ let plan_overhead () =
             ]))
     queries
 
+(* Anytime serving: time-to-target-CI for the resumable sampler on a
+   polls Boolean query, one row per CI target plus a deadline row. The
+   forced Rejection solver routes the request to the sampling path, so
+   the numbers measure rounds/frames of the serve loop, not the exact
+   DPs. Same-seed frame sequences are deterministic, so the estimate is
+   asserted stable across the two runs each target gets (one warm-up,
+   one timed). BENCH_anytime.json tracks the emitted rows. *)
+let anytime_serving () =
+  let smoke = Sys.getenv_opt "HARDQ_BENCH_SMOKE" <> None in
+  let n_voters = if smoke then 60 else 600 in
+  Printf.printf "  anytime serving (polls, %d sessions, rejection sampler):\n"
+    n_voters;
+  let db = Datasets.Polls.generate ~n_candidates:12 ~n_voters ~seed:77 () in
+  let q = Ppd.Parser.parse Datasets.Polls.query_two_label in
+  let solver = Hardq.Solver.Approx (Hardq.Solver.Rejection { n = 1 }) in
+  let serve slo =
+    Engine.with_engine Engine.Config.(default |> with_cache false)
+      (fun engine ->
+        let frames = ref 0 in
+        let t0 = Util.Timer.wall () in
+        let served =
+          Engine.serve engine
+            ~on_frame:(fun _ -> incr frames)
+            (Engine.Request.make ~solver ~seed:77 ~slo db q)
+        in
+        let wall = Util.Timer.wall () -. t0 in
+        let a = Option.get served.Engine.anytime in
+        (Engine.Response.answer_float served.Engine.response, a, !frames, wall))
+  in
+  let status_str (a : Engine.anytime) =
+    match a.Engine.status with
+    | `Final -> "final"
+    | `Timeout -> "timeout"
+    | `Cancelled -> "cancelled"
+  in
+  let row ~mode ~slo_field slo =
+    let p0, _, _, _ = serve slo in
+    (* warm-up *)
+    let p, a, frames, wall = serve slo in
+    assert (p = p0);
+    (* same seed, same frames *)
+    Exp_util.json_line
+      ([ ("bench", `Str "anytime-serving"); ("mode", `Str mode); slo_field ]
+      @ [
+          ("sessions", `Int n_voters);
+          ("status", `Str (status_str a));
+          ("rounds", `Int a.Engine.rounds);
+          ("draws", `Int a.Engine.draws);
+          ("frames", `Int frames);
+          ("wall_s", `Float wall);
+          ("frames_per_s", `Float (float_of_int frames /. Float.max wall 1e-9));
+          ("final_width", `Float (a.Engine.ci_hi -. a.Engine.ci_lo));
+          ("estimate", `Float p);
+        ])
+  in
+  List.iter
+    (fun target ->
+      row ~mode:"target-ci"
+        ~slo_field:("target_ci", `Float target)
+        (`Ci_width target))
+    [ 0.2; 0.1; 0.05 ];
+  (* One deadline row: expiry degrades to a typed timeout mid-stream. *)
+  let deadline_s = if smoke then 0.002 else 0.05 in
+  row ~mode:"deadline"
+    ~slo_field:("deadline_ms", `Float (deadline_s *. 1e3))
+    (`Deadline deadline_s)
+
 let run_kernel ~full:_ () =
   Exp_util.header "Kernel" "DP kernel layouts (boxed reference vs flat arena)";
   kernel_scaling ()
+
+let run_anytime ~full:_ () =
+  Exp_util.header "Anytime" "anytime serving: time-to-target-CI and frames/sec";
+  anytime_serving ()
 
 let run_plan ~full:_ () =
   Exp_util.header "Plan" "query-language frontend and planner overhead";

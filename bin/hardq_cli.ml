@@ -312,8 +312,22 @@ let answers_cmd =
 
 let query_cmd =
   let run dataset size sessions seed text solver jobs cache intra kernel budget
-      stats explain verbose metrics_json trace =
+      stats explain verbose target_ci deadline_ms stream metrics_json trace =
     with_obs metrics_json trace @@ fun () ->
+    let slo =
+      match (target_ci, deadline_ms) with
+      | Some _, Some _ -> Error "--target-ci and --deadline are mutually exclusive"
+      | Some w, None when w <= 0. -> Error "--target-ci must be positive"
+      | Some w, None -> Ok (Some (`Ci_width w))
+      | None, Some ms when ms <= 0. -> Error "--deadline must be positive"
+      | None, Some ms -> Ok (Some (`Deadline (ms /. 1000.)))
+      | None, None -> Ok None
+    in
+    match slo with
+    | Error msg ->
+        Format.eprintf "%s@." msg;
+        1
+    | Ok slo -> (
     let db, default_q = make_db dataset size sessions seed in
     let text = Option.value ~default:default_q text in
     match Lang.Parser.parse text with
@@ -340,15 +354,26 @@ let query_cmd =
               Engine.with_engine (engine_config jobs cache kernel) (fun engine ->
                   let req =
                     Engine.Request.of_plan ~budget ~seed
-                      ~parallelism:(parallelism_of intra) plan
+                      ~parallelism:(parallelism_of intra) ?slo plan
                   in
-                  match Engine.eval engine req with
+                  (* [serve] without an SLO is exactly [eval]; with one, the
+                     cost model may route onto the anytime sampler, whose
+                     rounds surface here as --stream frames. *)
+                  let on_frame (f : Hardq.Anytime.frame) =
+                    if stream then
+                      Format.printf
+                        "frame %2d  draws %6d  estimate %.6f  ci [%.6f, %.6f]@."
+                        f.Hardq.Anytime.round f.Hardq.Anytime.draws
+                        f.Hardq.Anytime.estimate f.Hardq.Anytime.ci_lo
+                        f.Hardq.Anytime.ci_hi
+                  in
+                  match Engine.serve engine ~on_frame req with
                   | exception Util.Timer.Out_of_time ->
                       Format.eprintf
                         "budget exhausted: a solver invocation ran out of its \
                          --budget allowance; raise it or pick a cheaper solver@.";
                       1
-                  | resp ->
+                  | { Engine.response = resp; anytime } ->
                       if verbose then
                         List.iter
                           (fun ((s : Ppd.Database.session), p) ->
@@ -381,8 +406,21 @@ let query_cmd =
                       Format.printf "verdict: %s (%s)@."
                         (Plan.verdict_string plan.Plan.verdict)
                         (Plan.leaf_name plan.Plan.leaf);
+                      (match anytime with
+                      | None -> ()
+                      | Some a ->
+                          Format.printf
+                            "anytime: %s after %d round(s), %d draw(s), ci \
+                             [%.6f, %.6f] (width %.6f)@."
+                            (match a.Engine.status with
+                            | `Final -> "final"
+                            | `Timeout -> "timeout"
+                            | `Cancelled -> "cancelled")
+                            a.Engine.rounds a.Engine.draws a.Engine.ci_lo
+                            a.Engine.ci_hi
+                            (a.Engine.ci_hi -. a.Engine.ci_lo));
                       print_stats stats resp;
-                      0))
+                      0)))
   in
   let text_arg =
     let doc =
@@ -406,6 +444,32 @@ let query_cmd =
       value & flag
       & info [ "per-session"; "v" ] ~doc:"Print per-session probabilities.")
   in
+  let target_ci_arg =
+    let doc =
+      "Accuracy SLO: keep sampling until the answer's confidence interval is \
+       at most $(docv) wide. Hard-verdict queries stream anytime estimates; \
+       tractable ones are still answered exactly. Mutually exclusive with \
+       $(b,--deadline)."
+    in
+    Arg.(value & opt (some float) None & info [ "target-ci" ] ~docv:"W" ~doc)
+  in
+  let deadline_ms_arg =
+    let doc =
+      "Accuracy SLO: return the best estimate (and its confidence interval) \
+       reachable within $(docv) milliseconds — expiry is a typed timeout \
+       status with an answer, not an error. Mutually exclusive with \
+       $(b,--target-ci)."
+    in
+    Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"MS" ~doc)
+  in
+  let stream_arg =
+    Arg.(
+      value & flag
+      & info [ "stream" ]
+          ~doc:
+            "Print each anytime sampling round as a progress frame (round, \
+             draws, estimate, confidence interval) as it tightens.")
+  in
   Cmd.v
     (Cmd.info "query"
        ~doc:
@@ -415,7 +479,8 @@ let query_cmd =
     Term.(
       const run $ dataset_arg $ size_arg $ sessions_arg $ seed_arg $ text_arg
       $ solver_arg $ jobs_arg $ cache_arg $ intra_arg $ kernel_arg $ budget_arg
-      $ stats_arg $ explain_arg $ verbose $ metrics_json_arg $ trace_arg)
+      $ stats_arg $ explain_arg $ verbose $ target_ci_arg $ deadline_ms_arg
+      $ stream_arg $ metrics_json_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sample                                                              *)

@@ -104,6 +104,21 @@ let lang_diff_cmd =
   in
   Cmd.v (Cmd.info "lang-diff" ~doc) Term.(const lang_diff $ path_arg)
 
+(* anytime-diff *)
+
+let anytime_diff path =
+  let o = Qa.Fuzz.anytime_diff path in
+  if o.Qa.Fuzz.failures = 0 then 0 else 1
+
+let anytime_diff_cmd =
+  let doc =
+    "serve recorded cases under accuracy SLOs and fail unless every \
+     streamed confidence interval contains the exact answer, widths \
+     only tighten, and frame sequences are byte-identical across pool \
+     widths (with looser targets a prefix of tighter ones)"
+  in
+  Cmd.v (Cmd.info "anytime-diff" ~doc) Term.(const anytime_diff $ path_arg)
+
 (* gen *)
 
 let index_arg =
@@ -198,7 +213,7 @@ let export dataset size sessions ds_seed query out =
           match Server.Registry.find (Server.Registry.create ()) spec with
           | Error e -> fail "%s" e.Server.Protocol.message
           | Ok db ->
-              write_case out (Ppd.Case.make ~db ~query:q);
+              write_case out (Ppd.Case.make ~db ~query:q ());
               0))
 
 let export_cmd =
@@ -215,6 +230,14 @@ let cmd =
   let doc = "differential testing and deterministic replay for hardq" in
   Cmd.group
     (Cmd.info "hardq-qa" ~doc)
-    [ fuzz_cmd; replay_cmd; kernel_diff_cmd; lang_diff_cmd; gen_cmd; export_cmd ]
+    [
+      fuzz_cmd;
+      replay_cmd;
+      kernel_diff_cmd;
+      lang_diff_cmd;
+      anytime_diff_cmd;
+      gen_cmd;
+      export_cmd;
+    ]
 
 let () = exit (Cmd.eval' cmd)

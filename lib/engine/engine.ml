@@ -766,3 +766,285 @@ let eval_batch t reqs =
     reqs
 
 let eval t req = eval_one t ~batch_id:(next_batch_id t) ~batch_size:1 req
+
+(* ------------------------------------------------------------------ *)
+(* Anytime serving (ROADMAP item 4)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let c_serves = Obs.counter "engine.anytime.serves"
+let c_any_rounds = Obs.counter "engine.anytime.rounds"
+let c_any_draws = Obs.counter "engine.anytime.draws"
+let c_any_frames = Obs.counter "engine.anytime.frames"
+let c_any_timeouts = Obs.counter "engine.anytime.timeouts"
+let h_ci_width_bp = Obs.histogram "engine.anytime.ci_width_bp"
+
+type anytime = {
+  status : [ `Final | `Timeout | `Cancelled ];
+  frames : int;
+  rounds : int;
+  draws : int;
+  ci_lo : float;
+  ci_hi : float;
+}
+
+type served = { response : Response.t; anytime : anytime option }
+
+(* Compile a request's source into per-session work, shared by [eval_one]
+   and the serve-side cost model. *)
+let compile_work (req : Request.t) =
+  match req.Request.source with
+  | Request.Query q ->
+      let compiled = Ppd.Compile.compile req.Request.db q in
+      `Patterns (Array.of_list compiled.Ppd.Compile.requests)
+  | Request.Plan p -> (
+      match p.Plan.lowered with
+      | Plan.Patterns rs -> `Patterns (Array.of_list rs)
+      | Plan.Predicates rows -> `Predicates rows)
+
+(* Cost model: serve exactly whenever an exact answer is affordable — it
+   satisfies any SLO with a degenerate (point) interval. Plans carry the
+   planner's dichotomy verdict; raw CQs are classified by their compiled
+   unions' shape families (General is the #P-hard family of §4.4 — that
+   is what the sampler is for). Ranked, modal and aggregate answers have
+   no CI semantics, so they always route exact. An explicitly requested
+   sampler opts the request into anytime. *)
+let route_exact (req : Request.t) work =
+  match req.Request.task with
+  | Request.Top_k _ -> true
+  | Request.Boolean | Request.Count -> (
+      match req.Request.source with
+      | Request.Plan p -> (
+          match (p.Plan.modal, p.Plan.task) with
+          | Some _, _ -> true
+          | None, (Lang.Ast.Sum _ | Lang.Ast.Avg _ | Lang.Ast.Top_sessions _)
+            ->
+              true
+          | None, (Lang.Ast.Prob | Lang.Ast.Count) -> (
+              match p.Plan.verdict with
+              | Plan.Tractable _ -> true
+              | Plan.Hard _ | Plan.Estimated _ -> false))
+      | Request.Query _ -> (
+          match req.Request.solver with
+          | Hardq.Solver.Approx _ -> false
+          | Hardq.Solver.Exact _ -> (
+              match work with
+              | `Predicates _ -> assert false (* predicates come from plans *)
+              | `Patterns requests ->
+                  not
+                    (Array.exists
+                       (fun { Ppd.Compile.union; _ } ->
+                         match union with
+                         | Some u ->
+                             Prefs.Pattern_union.kind u
+                             = Prefs.Pattern_union.General
+                         | None -> false)
+                       requests))))
+
+(* The anytime sampler's sessions: one (model, event predicate) pair per
+   session whose event is not statically impossible (those contribute
+   nothing to either task's answer). *)
+let sampler_sessions lab work =
+  match work with
+  | `Patterns requests ->
+      Array.of_list
+        (List.filter_map
+           (fun { Ppd.Compile.session; union } ->
+             match union with
+             | None -> None
+             | Some u ->
+                 Some
+                   ( Rim.Mallows.to_rim session.Ppd.Database.model,
+                     fun r -> Prefs.Matcher.matches_union lab u r ))
+           (Array.to_list requests))
+  | `Predicates rows ->
+      Array.of_list
+        (List.filter_map
+           (fun (row : Plan.pred_session) ->
+             let live =
+               List.exists
+                 (fun (part, _) ->
+                   match part with Plan.Never -> false | _ -> true)
+                 row.Plan.parts
+             in
+             if live then
+               Some
+                 ( Rim.Mallows.to_rim row.Plan.session.Ppd.Database.model,
+                   plan_pred lab row )
+             else None)
+           rows)
+
+(* The base digest anytime rounds derive their RNGs from: the plan digest
+   when there is a plan, else a fold of the compiled per-session content —
+   a pure function of the request's meaning, like [key_digest]. Round [r]
+   then folds [r] on top, so frame sequences are byte-identical at any
+   pool width and any stopping target (the prefix property). *)
+let serve_digest (req : Request.t) work lab_canon =
+  match req.Request.source with
+  | Request.Plan p -> Plan.digest p
+  | Request.Query _ -> (
+      let module D = Hardq.Digest in
+      let h = D.labels D.empty lab_canon in
+      match work with
+      | `Predicates _ -> assert false
+      | `Patterns requests ->
+          Array.fold_left
+            (fun h { Ppd.Compile.session; union } ->
+              let h = D.model h session.Ppd.Database.model in
+              match union with
+              | None -> D.bool h false
+              | Some u -> D.union h u)
+            h requests)
+
+(* How many draws an anytime serve may spend before giving up on an
+   unreachable CI target: well past the point where the pooled Wilson
+   width stops moving at double precision. *)
+let max_serve_draws = 1 lsl 20
+
+let serve t ?(on_frame = fun (_ : Hardq.Anytime.frame) -> ())
+    ?(cancelled = fun () -> false) (req : Request.t) =
+  match req.Request.slo with
+  | None -> { response = eval t req; anytime = None }
+  | Some slo -> (
+      if Atomic.get t.stopped then raise Stopped;
+      Obs.with_span "engine.serve" @@ fun () ->
+      let t_start = Util.Timer.wall () in
+      let work = Obs.with_span "compile" (fun () -> compile_work req) in
+      if route_exact req work then
+        (* Exact answers satisfy any SLO; scalar ones surface as a
+           degenerate point interval so clients see a uniform shape. *)
+        let response = eval t req in
+        let anytime =
+          match response.Response.answer with
+          | Response.Probability v | Response.Expectation v ->
+              Some
+                {
+                  status = `Final;
+                  frames = 0;
+                  rounds = 0;
+                  draws = 0;
+                  ci_lo = v;
+                  ci_hi = v;
+                }
+          | Response.Ranked _ -> None
+        in
+        { response; anytime }
+      else begin
+        let m0 = if Obs.enabled () then Obs.snapshot () else [] in
+        let lab = Ppd.Database.labeling req.Request.db in
+        let lab_canon =
+          Array.init (Prefs.Labeling.n_items lab) (Prefs.Labeling.labels_of lab)
+        in
+        let t_compiled = Util.Timer.wall () in
+        let task =
+          match req.Request.task with
+          | Request.Boolean -> Hardq.Anytime.Boolean
+          | Request.Count -> Hardq.Anytime.Count
+          | Request.Top_k _ -> assert false (* routed exact above *)
+        in
+        let sessions = sampler_sessions lab work in
+        let n_sessions =
+          match work with
+          | `Patterns requests -> Array.length requests
+          | `Predicates rows -> List.length rows
+        in
+        let base = serve_digest req work lab_canon in
+        let rng_of_round r =
+          Util.Rng.derive req.Request.seed
+            (Hardq.Digest.to_int (Hardq.Digest.int base r))
+        in
+        let sampler = Hardq.Anytime.make ~task ~sessions ~rng_of_round in
+        let limit =
+          let slo_limit =
+            match slo with
+            | `Deadline span -> Some (t_start +. span)
+            | `Ci_width _ -> None
+          in
+          match (slo_limit, req.Request.deadline) with
+          | Some a, Some b -> Some (min a b)
+          | Some a, None -> Some a
+          | None, d -> d
+        in
+        let target =
+          match slo with `Ci_width w -> Some w | `Deadline _ -> None
+        in
+        let expired () =
+          match limit with
+          | Some d -> Util.Timer.wall () > d
+          | None -> false
+        in
+        (* Round 1 always runs (64 draws), so even an already-expired
+           deadline returns an estimate with a CI rather than nothing. *)
+        let frames = ref 0 in
+        let rec loop () =
+          let f = Obs.with_span "round" (fun () -> Hardq.Anytime.step sampler) in
+          incr frames;
+          on_frame f;
+          if cancelled () then (`Cancelled, f)
+          else if
+            match target with
+            | Some w -> Hardq.Anytime.width f <= w
+            | None -> false
+          then (`Final, f)
+          else if Hardq.Anytime.width f <= 0. then (`Final, f)
+          else if expired () then (`Timeout, f)
+          else if Hardq.Anytime.draws sampler >= max_serve_draws then
+            (`Timeout, f)
+          else loop ()
+        in
+        let status, last = loop () in
+        let answer =
+          match req.Request.task with
+          | Request.Boolean -> Response.Probability last.Hardq.Anytime.estimate
+          | Request.Count -> Response.Expectation last.Hardq.Anytime.estimate
+          | Request.Top_k _ -> assert false
+        in
+        let t_end = Util.Timer.wall () in
+        Obs.Counter.incr c_serves;
+        Obs.Counter.add c_any_rounds (Hardq.Anytime.rounds sampler);
+        Obs.Counter.add c_any_draws (Hardq.Anytime.draws sampler);
+        Obs.Counter.add c_any_frames !frames;
+        if status = `Timeout then Obs.Counter.incr c_any_timeouts;
+        Obs.Histogram.observe h_ci_width_bp
+          (int_of_float (Hardq.Anytime.width last *. 1e4));
+        let metrics =
+          if Obs.enabled () then Obs.diff m0 (Obs.snapshot ()) else []
+        in
+        let response =
+          {
+            Response.answer;
+            per_session = [];
+            stats =
+              {
+                Response.sessions = n_sessions;
+                distinct = Array.length sessions;
+                cache_hits = 0;
+                cache_misses = 0;
+                sf_joins = 0;
+                term_hits = 0;
+                term_misses = 0;
+                solver_calls = Hardq.Anytime.rounds sampler;
+                jobs = Pool.size t.pool;
+                batch_id = next_batch_id t;
+                batch_size = 1;
+                compile_s = t_compiled -. t_start;
+                bound_s = 0.;
+                solve_s = t_end -. t_compiled;
+                total_s = t_end -. t_start;
+                metrics;
+              };
+          }
+        in
+        {
+          response;
+          anytime =
+            Some
+              {
+                status;
+                frames = !frames;
+                rounds = Hardq.Anytime.rounds sampler;
+                draws = Hardq.Anytime.draws sampler;
+                ci_lo = last.Hardq.Anytime.ci_lo;
+                ci_hi = last.Hardq.Anytime.ci_hi;
+              };
+        }
+      end)

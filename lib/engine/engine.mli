@@ -113,6 +113,58 @@ val eval_batch : t -> Request.t array -> (Response.t, exn) result array
     solves each distinct key once. A request's failure is its own
     [Error]; the rest of the batch still evaluates. *)
 
+(** {1 Anytime serving}
+
+    Requests carrying an accuracy SLO ({!Request.slo}) are served by
+    {!serve}: a cost model picks exact solving vs. resumable sampling
+    per plan verdict, and the sampling path emits progressively
+    tightening [(estimate, ci_lo, ci_hi, draws)] frames
+    ({!Hardq.Anytime.frame}) until the SLO is met, the deadline expires
+    (best estimate so far, typed [`Timeout] — never an error), or the
+    caller cancels. Frame sequences are a pure function of the request
+    content and seed: round RNGs derive from (seed, plan digest, round
+    index), so a fixed seed replays byte-identical frames at any pool
+    width, and a tighter CI target strictly extends a looser target's
+    sequence. *)
+
+(** How one {!serve} call concluded, echoed on the wire as the terminal
+    frame's typed status. *)
+type anytime = {
+  status : [ `Final | `Timeout | `Cancelled ];
+      (** [`Final]: SLO met (or the answer is exact). [`Timeout]: the
+          SLO deadline, request deadline or draw cap expired first — the
+          response still carries the best estimate. [`Cancelled]: the
+          caller's [cancelled] hook fired. *)
+  frames : int;  (** progress frames emitted (0 on the exact route) *)
+  rounds : int;  (** sampling rounds run *)
+  draws : int;  (** cumulative world draws *)
+  ci_lo : float;
+  ci_hi : float;
+      (** final interval; degenerate ([ci_lo = ci_hi] = the answer) on
+          the exact route *)
+}
+
+type served = { response : Response.t; anytime : anytime option }
+(** [anytime] is [None] when the request had no SLO (plain {!eval}
+    semantics) or the answer is ranked (no CI shape). *)
+
+val serve :
+  t ->
+  ?on_frame:(Hardq.Anytime.frame -> unit) ->
+  ?cancelled:(unit -> bool) ->
+  Request.t ->
+  served
+(** Serve one request under its SLO. [on_frame] fires after every
+    sampling round with the cumulative frame (never on the exact
+    route); [cancelled] is polled between rounds — returning [true]
+    stops the loop with status [`Cancelled]. Hard-verdict requests run
+    the anytime sampler sequentially on the calling thread (round cost
+    is bounded, so cancellation latency is too); tractable, ranked,
+    modal and aggregate requests fall through to {!eval}, whose exact
+    answer satisfies any SLO as a point interval. The sampling path
+    never raises [Util.Timer.Out_of_time]: deadlines degrade to
+    [`Timeout] with the best estimate so far. *)
+
 val jobs : t -> int
 (** Domains the engine computes with (pool size, caller included). *)
 

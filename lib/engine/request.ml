@@ -16,6 +16,13 @@ type source =
   | Query of Ppd.Query.t  (* compiled by the engine via [Ppd.Compile] *)
   | Plan of Plan.t  (* pre-compiled and routed by the planner *)
 
+type slo =
+  [ `Deadline of float
+    (* relative wall-clock span in seconds: serve the best estimate
+       reachable within it instead of erroring at expiry *)
+  | `Ci_width of float  (* stop once the streamed CI is at most this wide *)
+  ]
+
 type t = {
   db : Ppd.Database.t;
   source : source;
@@ -40,11 +47,26 @@ type t = {
          back into the same pool. Answers are bit-identical either way;
          [`Intra] is what keeps every domain busy when one hard session
          dominates the request. *)
+  slo : slo option;
+      (* Accuracy SLO for [Engine.serve]: when present, hard-verdict
+         requests run the resumable anytime sampler (progress frames,
+         graceful deadline degradation) instead of one-shot solving.
+         Ignored by [Engine.eval]. *)
 }
 
 let make ?(task = Boolean) ?(solver = Hardq.Solver.default_exact) ?(budget = 0.)
-    ?(seed = 42) ?deadline ?(parallelism = `Intra) db query =
-  { db; source = Query query; task; solver; budget; seed; deadline; parallelism }
+    ?(seed = 42) ?deadline ?(parallelism = `Intra) ?slo db query =
+  {
+    db;
+    source = Query query;
+    task;
+    solver;
+    budget;
+    seed;
+    deadline;
+    parallelism;
+    slo;
+  }
 
 (* The engine task a plan's own task projects onto. Aggregates ride on
    Count (they need the same per-session probabilities; the engine folds
@@ -57,7 +79,7 @@ let task_of_plan (p : Plan.t) =
   | Lang.Ast.Top_sessions k -> Top_k { k; strategy = `Naive }
 
 let of_plan ?task ?(budget = 0.) ?(seed = 42) ?deadline ?(parallelism = `Intra)
-    (plan : Plan.t) =
+    ?slo (plan : Plan.t) =
   (* An explicit task only composes with a plain [prob] plan (the wire
      protocol's "task" member next to a "q" query); a plan that states
      its own task or modal keeps it. *)
@@ -75,6 +97,7 @@ let of_plan ?task ?(budget = 0.) ?(seed = 42) ?deadline ?(parallelism = `Intra)
     seed;
     deadline;
     parallelism;
+    slo;
   }
 
 let boolean = Boolean

@@ -20,6 +20,18 @@ type source =
       (** a pre-compiled plan; the planner's task/modal/solver routing
           governs evaluation (see {!of_plan}) *)
 
+type slo =
+  [ `Deadline of float
+    (** relative wall-clock span in seconds: stream whatever precision is
+        reachable within it and return the best estimate at expiry with a
+        typed [`Deadline] status instead of an error *)
+  | `Ci_width of float
+    (** target confidence-interval width: stream frames until the CI is
+        at most this wide *) ]
+(** Accuracy SLO for {!Engine.serve}. Either form routes hard-verdict
+    requests onto the resumable anytime sampler; tractable requests are
+    still answered exactly (an exact answer satisfies any SLO). *)
+
 type t = {
   db : Ppd.Database.t;
   source : source;
@@ -45,6 +57,9 @@ type t = {
           exclusion terms, DP layers and enumeration chunks back into the
           engine pool. Answers are bit-identical either way — the knob
           only trades scheduling. *)
+  slo : slo option;
+      (** Accuracy SLO honored by {!Engine.serve} (anytime frames,
+          graceful degradation); {!Engine.eval} ignores it. *)
 }
 
 val make :
@@ -54,11 +69,12 @@ val make :
   ?seed:int ->
   ?deadline:float ->
   ?parallelism:[ `Inter | `Intra ] ->
+  ?slo:slo ->
   Ppd.Database.t ->
   Ppd.Query.t ->
   t
 (** Defaults: [task = Boolean], [solver = Hardq.Solver.default_exact],
-    [budget = 0.] (no limit), [seed = 42], no deadline,
+    [budget = 0.] (no limit), [seed = 42], no deadline, no SLO,
     [parallelism = `Intra]. *)
 
 val of_plan :
@@ -67,6 +83,7 @@ val of_plan :
   ?seed:int ->
   ?deadline:float ->
   ?parallelism:[ `Inter | `Intra ] ->
+  ?slo:slo ->
   Plan.t ->
   t
 (** A request carrying a compiled plan: the database and solver come

@@ -1,9 +1,9 @@
 (* Case codec. See case.mli for the format; the writer and parser are
    kept side by side so the round-trip contract is auditable locally. *)
 
-type t = { db : Database.t; query : Query.t }
+type t = { db : Database.t; query : Query.t; deadline : float option }
 
-let make ~db ~query = { db; query }
+let make ?deadline ~db ~query () = { db; query; deadline }
 
 (* ------------------------------------------------------------------ *)
 (* Writer                                                              *)
@@ -70,12 +70,16 @@ let add_p_relation b p =
       Buffer.add_char b '\n')
     (Database.sessions p)
 
-let to_string { db; query } =
+let to_string { db; query; deadline } =
   let b = Buffer.create 1024 in
   Buffer.add_string b "hardq-case v1\n";
   add_relation b (Database.items db);
   List.iter (add_relation b) (Database.o_relations db);
   List.iter (add_p_relation b) (Database.p_relations db);
+  (* %h: like phi, the span survives the round trip bit-identically *)
+  Option.iter
+    (fun s -> Buffer.add_string b (Printf.sprintf "deadline %h\n" s))
+    deadline;
   Buffer.add_string b "query ";
   Buffer.add_string b (Query.to_string query);
   Buffer.add_char b '\n';
@@ -151,6 +155,7 @@ type state = {
   mutable rels : Relation.t list; (* reversed; head of final list = items *)
   mutable prels : Database.p_relation list; (* reversed *)
   mutable query : Query.t option;
+  mutable deadline : float option;
 }
 
 let flush st =
@@ -203,7 +208,9 @@ let parse_session toks =
   | _ -> raise (Bad "session: expected \"phi <float> center <ints>\"")
 
 let of_string text =
-  let st = { cur = Nothing; rels = []; prels = []; query = None } in
+  let st =
+    { cur = Nothing; rels = []; prels = []; query = None; deadline = None }
+  in
   let lines = String.split_on_char '\n' text in
   let err lineno msg =
     Error (Printf.sprintf "case: line %d: %s" lineno msg)
@@ -263,6 +270,11 @@ let of_string text =
                     let s = parse_session toks in
                     st.cur <- Prel { p with sessions = s :: p.sessions }
                 | _ -> raise (Bad "session outside a prelation"))
+            | [ Bare "deadline"; Bare f ] -> (
+                match float_of_string_opt f with
+                | Some s when s > 0. -> st.deadline <- Some s
+                | Some _ -> raise (Bad "deadline must be positive")
+                | None -> raise (Bad (Printf.sprintf "bad deadline %S" f)))
             | Bare kw :: _ -> raise (Bad (Printf.sprintf "unknown directive %S" kw))
             | _ -> raise (Bad "malformed line")
           in
@@ -279,7 +291,7 @@ let of_string text =
         match
           Database.make ~items ~relations ~preferences:(List.rev st.prels) ()
         with
-        | db -> Ok { db; query }
+        | db -> Ok { db; query; deadline = st.deadline }
         | exception Invalid_argument msg -> Error ("case: " ^ msg))
   in
   go 1 false lines

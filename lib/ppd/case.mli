@@ -16,6 +16,7 @@
       tuple <value>...
       prelation <name> <keyattr>...
       session <value>... phi <float> center <int>...
+      deadline <float>               # optional wall-clock SLO, seconds
       query <query text, Parser syntax, rest of line>
     v}
 
@@ -23,11 +24,15 @@
     bare integers are [Value.Int]. [phi] prints as a hexadecimal float
     literal ([%h]), so session models survive the round trip
     bit-identically — a replayed case must reproduce the original
-    answer float for float. *)
+    answer float for float. The optional [deadline] (also [%h]) drives
+    the anytime oracle rows: a case carrying one is additionally served
+    under a [`Deadline] SLO, exercising the typed-timeout path. *)
 
-type t = { db : Database.t; query : Query.t }
+type t = { db : Database.t; query : Query.t; deadline : float option }
 
-val make : db:Database.t -> query:Query.t -> t
+val make : ?deadline:float -> db:Database.t -> query:Query.t -> unit -> t
+(** [deadline] is a positive wall span in seconds; [None] (default)
+    means the case carries no serving SLO. *)
 
 val to_string : t -> string
 (** Canonical rendering: [of_string (to_string c)] succeeds and

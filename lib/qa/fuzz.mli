@@ -53,6 +53,12 @@ val kernel_diff : ?log:Format.formatter -> string -> outcome
     byte-identity sweep — over one [.case] file or a directory of them,
     with the same per-file verdict lines as {!replay}. *)
 
+val anytime_diff : ?log:Format.formatter -> string -> outcome
+(** [anytime_diff path] runs {!Oracle.anytime} — the anytime serving
+    sweep (CI containment, monotone widths, cross-pool and prefix
+    frame-byte determinism) — over one [.case] file or a directory of
+    them, with the same per-file verdict lines as {!replay}. *)
+
 val lang_diff : ?log:Format.formatter -> string -> outcome
 (** [lang_diff path] runs {!Oracle.lang_diff} — the query-language
     frontend and planner differential sweep — over one [.case] file or

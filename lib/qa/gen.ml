@@ -152,4 +152,13 @@ let case ?(params = default) rng =
       ()
   in
   let query = gen_query rng m ~with_session_rel in
-  Ppd.Case.make ~db ~query
+  (* ~25% of cases carry a serving deadline so the anytime path is in
+     every fuzz sweep. The two spans pin both outcomes: 1e-4 s expires
+     before the first sampling round completes, 5 s lets a case this
+     small answer exactly or converge. *)
+  let deadline =
+    if Util.Rng.float rng 1. < 0.25 then
+      Some (Util.Rng.pick rng [| 1e-4; 5.0 |])
+    else None
+  in
+  Ppd.Case.make ?deadline ~db ~query ()

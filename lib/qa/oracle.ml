@@ -29,7 +29,7 @@ let close eps a b = abs_float (a -. b) <= eps
 let case_rng case = Util.Rng.derive (Hashtbl.hash (Ppd.Case.digest case)) 1
 
 let check ?(eps = 1e-9) ?(budget = 0.5) ?(approx = true) ?(extra = []) (case : Ppd.Case.t) =
-  let { Ppd.Case.db; query } = case in
+  let { Ppd.Case.db; query; _ } = case in
   let n_checks = ref 0 in
   let ran fmt = Printf.ksprintf (fun _ -> incr n_checks) fmt in
   let b () = Util.Timer.budget budget in
@@ -343,6 +343,40 @@ let check ?(eps = 1e-9) ?(budget = 0.5) ?(approx = true) ?(extra = []) (case : P
     if count <> count_ref then
       fail "count bit-identity" "engine=%.17g eval=%.17g" count count_ref;
     ran "count";
+    (* Anytime deadline row: a case carrying a serving deadline must come
+       back as a normal typed answer, never an exception — bit-identical
+       to the plain evaluation when the exact route met the SLO, inside
+       the final z=5 CI when sampling (final or timed out). Out_of_time
+       is caught here, not by the outer Skip handler: an expired exact
+       route only skips this row, not the whole case. *)
+    (match case.Ppd.Case.deadline with
+    | None -> ()
+    | Some span -> (
+        match
+          Engine.with_engine Engine.Config.default (fun engine ->
+              Engine.serve engine
+                (Engine.Request.make ~budget ~slo:(`Deadline span) db query))
+        with
+        | exception Util.Timer.Out_of_time -> ()
+        | served -> (
+            match served.Engine.anytime with
+            | None -> fail "deadline row" "SLO request served without anytime block"
+            | Some a ->
+                (match a.Engine.status with
+                | `Cancelled ->
+                    fail "deadline row" "uncancelled serve reported `Cancelled"
+                | `Final when a.Engine.rounds = 0 ->
+                    let p = Engine.Response.answer_float served.Engine.response in
+                    if p <> answer then
+                      fail "deadline exact-route bit-identity"
+                        "served=%.17g eval=%.17g" p answer
+                | `Final | `Timeout ->
+                    if answer < a.Engine.ci_lo -. eps || answer > a.Engine.ci_hi +. eps
+                    then
+                      fail "deadline CI containment"
+                        "exact=%.17g outside [%.6g, %.6g]" answer a.Engine.ci_lo
+                        a.Engine.ci_hi);
+                ran "deadline")));
     Pass
       {
         sessions = List.length compiled.Ppd.Compile.requests;
@@ -363,7 +397,7 @@ let check ?(eps = 1e-9) ?(budget = 0.5) ?(approx = true) ?(extra = []) (case : P
    the same semantics. Returns the plan node kinds exercised so the
    corpus sweep can assert coverage. *)
 let lang_diff ?(eps = 1e-9) ?(budget = 0.5) (case : Ppd.Case.t) =
-  let { Ppd.Case.db; query } = case in
+  let { Ppd.Case.db; query; _ } = case in
   let n_checks = ref 0 in
   let ran fmt = Printf.ksprintf (fun _ -> incr n_checks) fmt in
   let kinds = ref [] in
@@ -560,7 +594,7 @@ let fails ?eps ?budget ?extra case =
    2-domain pool, with exact [=] — no eps, the kernels are the same
    computation in two layouts. *)
 let kernel_diff ?(budget = 0.5) (case : Ppd.Case.t) =
-  let { Ppd.Case.db; query } = case in
+  let { Ppd.Case.db; query; _ } = case in
   let n_checks = ref 0 in
   let b () = Util.Timer.budget budget in
   let pool = lazy (Engine.Pool.create ~jobs:2 ()) in
@@ -622,6 +656,138 @@ let kernel_diff ?(budget = 0.5) (case : Ppd.Case.t) =
         nontrivial = !nontrivial;
         checks = !n_checks;
         answer = !answer;
+      }
+  with
+  | Failed (check, detail) -> Fail { check; detail }
+  | Skipped msg -> Skip msg
+  | Util.Timer.Out_of_time -> Skip "solver budget exhausted"
+  | Failure msg -> Skip ("solver gave up: " ^ msg)
+
+(* Anytime serving sweep (make anytime-diff / hardq_qa anytime-diff):
+   the case is served under accuracy SLOs with a forced sampling solver
+   and every streamed frame is checked against the exact answer.
+   Frames are compared as their wire bytes (the NDJSON progress line),
+   so the determinism rows pin the whole codec, not just the floats. *)
+let anytime ?(eps = 1e-9) ?(budget = 0.5) (case : Ppd.Case.t) =
+  let { Ppd.Case.db; query; _ } = case in
+  let n_checks = ref 0 in
+  let ran fmt = Printf.ksprintf (fun _ -> incr n_checks) fmt in
+  try
+    (* Rejection with a nominal n: the SLO drives the draw count, and an
+       Approx solver routes even tractable verdicts to the sampler. *)
+    let sampling = Hardq.Solver.Approx (Hardq.Solver.Rejection { n = 1 }) in
+    let serve ~jobs ~solver slo =
+      let cfg = Engine.Config.(default |> with_jobs jobs) in
+      Engine.with_engine cfg (fun engine ->
+          let frames = ref [] in
+          let on_frame f = frames := f :: !frames in
+          let served =
+            Engine.serve engine ~on_frame
+              (Engine.Request.make ~budget ~solver ~slo db query)
+          in
+          (served, List.rev !frames))
+    in
+    (* Exact reference; cases out of reach under the budget are skipped
+       by the Out_of_time handler below, not failed. *)
+    let exact =
+      Engine.with_engine Engine.Config.default (fun engine ->
+          Engine.Response.answer_float
+            (Engine.eval engine (Engine.Request.make ~budget db query)))
+    in
+    let frame_bytes f =
+      Server.Json.to_string
+        (Server.Protocol.progress_to_json (Server.Protocol.progress_of_frame f))
+    in
+    let served1, frames1 = serve ~jobs:1 ~solver:sampling (`Ci_width 0.15) in
+    (match served1.Engine.anytime with
+    | None -> fail "anytime block" "SLO request served without anytime block"
+    | Some a ->
+        if a.Engine.status = `Cancelled then
+          fail "anytime status" "uncancelled serve reported `Cancelled");
+    if frames1 = [] then fail "anytime frames" "sampling serve emitted no frames";
+    ran "frames";
+    (* (a) Containment: every streamed z=5 CI brackets the exact answer. *)
+    List.iteri
+      (fun i (f : Hardq.Anytime.frame) ->
+        if exact < f.Hardq.Anytime.ci_lo -. eps || exact > f.Hardq.Anytime.ci_hi +. eps
+        then
+          fail "anytime CI containment" "frame %d: exact=%.17g outside [%.6g, %.6g]"
+            i exact f.Hardq.Anytime.ci_lo f.Hardq.Anytime.ci_hi;
+        ran "containment %d" i)
+      frames1;
+    (* (b) Widths non-increasing, frame to frame — exactly, the envelope
+       intersection guarantees it without tolerance. *)
+    ignore
+      (List.fold_left
+         (fun prev (f : Hardq.Anytime.frame) ->
+           let w = f.Hardq.Anytime.ci_hi -. f.Hardq.Anytime.ci_lo in
+           if w > prev then
+             fail "anytime monotone widths" "width widened %.17g -> %.17g" prev w;
+           ran "width";
+           w)
+         infinity frames1);
+    (* (c) Fixed seed => byte-identical frame sequence at any pool
+       width. *)
+    let _, frames2 = serve ~jobs:2 ~solver:sampling (`Ci_width 0.15) in
+    let bytes1 = List.map frame_bytes frames1
+    and bytes2 = List.map frame_bytes frames2 in
+    if bytes1 <> bytes2 then begin
+      let rec diverge = function
+        | a :: _, b :: _ when a <> b ->
+            Printf.sprintf "; first divergence %s vs %s" a b
+        | _ :: xs, _ :: ys -> diverge (xs, ys)
+        | _ -> ""
+      in
+      fail "anytime pool determinism" "jobs=1 emitted %d frame(s), jobs=2 %d%s"
+        (List.length bytes1) (List.length bytes2)
+        (diverge (bytes1, bytes2))
+    end;
+    ran "pool determinism";
+    (* Prefix: a tighter target extends the looser target's sequence —
+       the round schedule is target-independent, so the loose run's
+       frames are byte-for-byte the head of the tight run's. *)
+    let _, loose = serve ~jobs:1 ~solver:sampling (`Ci_width 0.3) in
+    let _, tight = serve ~jobs:1 ~solver:sampling (`Ci_width 0.1) in
+    let rec is_prefix = function
+      | [], _ -> true
+      | _, [] -> false
+      | a :: xs, b :: ys -> a = b && is_prefix (xs, ys)
+    in
+    if not (is_prefix (List.map frame_bytes loose, List.map frame_bytes tight))
+    then
+      fail "anytime prefix" "loose (0.3, %d frames) is not a prefix of tight (0.1, %d)"
+        (List.length loose) (List.length tight);
+    ran "prefix";
+    (* Exact route: under an exact solver a tractable verdict answers as
+       a point interval, zero rounds, no frames, bit-identical to eval.
+       Hard verdicts still sample; their final CI must contain exact. *)
+    let served_ex, frames_ex =
+      serve ~jobs:1 ~solver:(Hardq.Solver.Exact `Auto) (`Ci_width 0.15)
+    in
+    (match served_ex.Engine.anytime with
+    | None -> fail "anytime block" "exact-solver SLO served without anytime block"
+    | Some a when a.Engine.rounds = 0 ->
+        let p = Engine.Response.answer_float served_ex.Engine.response in
+        if frames_ex <> [] then
+          fail "exact-route frames" "emitted %d frame(s)" (List.length frames_ex);
+        if p <> exact then
+          fail "exact-route bit-identity" "served=%.17g eval=%.17g" p exact;
+        if a.Engine.ci_lo <> p || a.Engine.ci_hi <> p then
+          fail "exact-route point CI" "[%.17g, %.17g] around %.17g" a.Engine.ci_lo
+            a.Engine.ci_hi p;
+        ran "exact route"
+    | Some a ->
+        if exact < a.Engine.ci_lo -. eps || exact > a.Engine.ci_hi +. eps then
+          fail "hard-route CI containment" "exact=%.17g outside [%.6g, %.6g]" exact
+            a.Engine.ci_lo a.Engine.ci_hi;
+        ran "hard route");
+    let stats = served1.Engine.response.Engine.Response.stats in
+    Pass
+      {
+        sessions = stats.Engine.Response.sessions;
+        nontrivial = stats.Engine.Response.distinct;
+        checks = !n_checks;
+        answer = exact;
       }
   with
   | Failed (check, detail) -> Fail { check; detail }

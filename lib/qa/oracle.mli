@@ -68,7 +68,13 @@ val check :
     disagreement; [budget] (default 0.5 CPU s) bounds each solver
     invocation; [approx:false] (default [true]) skips the sampling
     solvers — shrinking uses that to keep iterations fast. Failure
-    details carry the session index and both values at full precision. *)
+    details carry the session index and both values at full precision.
+
+    A case carrying a [deadline] gets one more row: it is served under a
+    [`Deadline] SLO and must come back as a normal typed answer — never
+    an exception — bit-identical to the plain evaluation when the exact
+    route answered, inside the final CI when sampling ran (met or timed
+    out). *)
 
 val fails : ?eps:float -> ?budget:float -> ?extra:(string * solver_fn) list -> Ppd.Case.t -> bool
 (** [true] iff {!check} (without sampling solvers) returns [Fail] — the
@@ -96,3 +102,15 @@ val lang_diff : ?eps:float -> ?budget:float -> Ppd.Case.t -> result * string lis
     range and a gross-error band instead). The second component lists
     the {!Plan.node_kinds} exercised, in no particular order — the
     corpus sweep unions them to assert routing coverage. *)
+
+val anytime : ?eps:float -> ?budget:float -> Ppd.Case.t -> result
+(** Anytime serving sweep on one case ([make anytime-diff]): with a
+    forced sampling solver under a [`Ci_width] SLO, (a) every streamed
+    frame's CI contains the exact answer, (b) CI widths are
+    non-increasing frame to frame (exactly — the envelope guarantees
+    it), (c) pool widths 1 and 2 emit byte-identical frame sequences
+    (compared as wire-encoded NDJSON progress lines), and a looser
+    target's sequence is a byte-for-byte prefix of a tighter target's.
+    A final row serves with an exact solver: tractable verdicts must
+    answer as a frameless point interval bit-identical to [Engine.eval];
+    hard verdicts sample and must keep exact inside the final CI. *)

@@ -9,6 +9,7 @@ type parts = {
   orels : rel_parts list;
   prels : (string * string list * Ppd.Database.session list) list;
   query : Ppd.Query.t;
+  deadline : float option;
 }
 
 let rel_parts_of r =
@@ -31,6 +32,7 @@ let parts_of (case : Ppd.Case.t) =
             Array.to_list (Ppd.Database.sessions p) ))
         (Ppd.Database.p_relations db);
     query = case.Ppd.Case.query;
+    deadline = case.Ppd.Case.deadline;
   }
 
 let case_of parts =
@@ -45,7 +47,7 @@ let case_of parts =
            parts.prels)
       ()
   with
-  | db -> Some (Ppd.Case.make ~db ~query:parts.query)
+  | db -> Some (Ppd.Case.make ?deadline:parts.deadline ~db ~query:parts.query ())
   | exception Invalid_argument _ -> None
 
 let size parts =
@@ -53,6 +55,7 @@ let size parts =
   + List.fold_left (fun acc r -> acc + List.length r.rtuples) 0 parts.orels
   + List.fold_left (fun acc (_, _, s) -> acc + List.length s) 0 parts.prels
   + List.length parts.query.Ppd.Query.body
+  + (match parts.deadline with Some _ -> 1 | None -> 0)
 
 (* Keep [candidate] when it still fails; otherwise keep [cur]. *)
 let attempt still_failing cur candidate =
@@ -73,6 +76,14 @@ let reduce_list still_failing parts ~get ~set =
     if kept == candidate then cur := candidate else incr i
   done;
   !cur
+
+(* Tried first: a failure that persists without the deadline is a plain
+   evaluation bug, and every later pass then reruns without the anytime
+   machinery in the loop. *)
+let drop_deadline still parts =
+  match parts.deadline with
+  | None -> parts
+  | Some _ -> attempt still parts { parts with deadline = None }
 
 let drop_sessions still parts =
   List.fold_left
@@ -164,7 +175,8 @@ let minimize ~still_failing case =
     let swept =
       drop_items still_failing
         (drop_atoms still_failing
-           (drop_tuples still_failing (drop_sessions still_failing parts)))
+           (drop_tuples still_failing
+              (drop_sessions still_failing (drop_deadline still_failing parts))))
     in
     if size swept < size parts then fix swept else swept
   in

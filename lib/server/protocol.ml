@@ -104,28 +104,49 @@ type eval = {
       (* None: use the server's configured default. Either way the answer
          is bit-identical; the knob only chooses whether one solver call
          may fan its own work across the engine pool. *)
+  target_ci : float option;
+      (* v1 additive member "target_ci": accuracy SLO — serve anytime
+         until the CI is at most this wide. *)
+  deadline_ms : float option;
+      (* v1 additive member "deadline_ms": accuracy SLO — serve the best
+         estimate reachable in this wall span, degrading to a typed
+         "timeout" status instead of a deadline_exceeded error. Distinct
+         from [timeout_ms], whose expiry is still a hard error. *)
+  stream : bool;
+      (* v1 additive member "stream": emit NDJSON progress frames before
+         the terminal reply. Only SLO-carrying requests ever produce
+         frames; opt-in so pipelined non-streaming clients keep their
+         one-line-per-request framing. *)
 }
 
 let eval_source ?(task = Engine.Request.Boolean)
     ?(solver = Hardq.Solver.default_exact) ?(budget = 0.) ?(seed = 42)
-    ?timeout_ms ?(per_session = false) ?parallelism dataset query =
+    ?timeout_ms ?(per_session = false) ?parallelism ?target_ci ?deadline_ms
+    ?(stream = false) dataset query =
   { dataset; query; task; solver; budget; seed; timeout_ms; per_session;
-    parallelism }
+    parallelism; target_ci; deadline_ms; stream }
 
 let eval ?task ?solver ?budget ?seed ?timeout_ms ?per_session ?parallelism
-    dataset q =
+    ?target_ci ?deadline_ms ?stream dataset q =
   eval_source ?task ?solver ?budget ?seed ?timeout_ms ?per_session ?parallelism
-    dataset (Cq q)
+    ?target_ci ?deadline_ms ?stream dataset (Cq q)
 
 let eval_lang ?task ?solver ?budget ?seed ?timeout_ms ?per_session ?parallelism
-    dataset text =
+    ?target_ci ?deadline_ms ?stream dataset text =
   match Lang.Parser.parse text with
   | Stdlib.Error e -> Stdlib.Error (Lang.Ast.error_to_string e)
   | Ok ast ->
       Ok
         (eval_source ?task ?solver ?budget ?seed ?timeout_ms ?per_session
-           ?parallelism dataset
+           ?parallelism ?target_ci ?deadline_ms ?stream dataset
            (Lang { text; ast }))
+
+(* The engine-level SLO a request's additive members project onto. *)
+let slo_of_eval (e : eval) =
+  match (e.target_ci, e.deadline_ms) with
+  | Some w, _ -> Some (`Ci_width w)
+  | None, Some ms -> Some (`Deadline (ms /. 1000.))
+  | None, None -> None
 
 let parallelism_to_string = function `Inter -> "inter" | `Intra -> "intra"
 
@@ -202,6 +223,13 @@ let request_to_json (r : request) =
           | Some p ->
               [ ("parallelism", Json.String (parallelism_to_string p)) ]
           | None -> [])
+        @ (match e.target_ci with
+          | Some w -> [ ("target_ci", Json.Float w) ]
+          | None -> [])
+        @ (match e.deadline_ms with
+          | Some ms -> [ ("deadline_ms", Json.Float ms) ]
+          | None -> [])
+        @ (if e.stream then [ ("stream", Json.Bool true) ] else [])
         @ if e.per_session then [ ("per_session", Json.Bool true) ] else [])
 
 (* Decoding: every failure is a typed [error] the server can send back. *)
@@ -328,9 +356,34 @@ let eval_of_json json =
         | None -> bad "field \"parallelism\" must be \"inter\" or \"intra\"")
     | Some _ -> bad "field \"parallelism\" must be \"inter\" or \"intra\""
   in
+  let* target_ci =
+    match Json.member "target_ci" json with
+    | None -> Ok None
+    | Some v -> (
+        match Json.to_float v with
+        | Some w when w > 0. -> Ok (Some w)
+        | Some _ -> bad "field \"target_ci\" must be positive"
+        | None -> bad "field \"target_ci\" must be a number")
+  in
+  let* deadline_ms =
+    match Json.member "deadline_ms" json with
+    | None -> Ok None
+    | Some v -> (
+        match Json.to_float v with
+        | Some ms when ms > 0. -> Ok (Some ms)
+        | Some _ -> bad "field \"deadline_ms\" must be positive"
+        | None -> bad "field \"deadline_ms\" must be a number")
+  in
+  let* () =
+    match (target_ci, deadline_ms) with
+    | Some _, Some _ ->
+        bad "fields \"target_ci\" and \"deadline_ms\" are mutually exclusive"
+    | _ -> Ok ()
+  in
+  let* stream = field_bool json "stream" ~default:false in
   Ok
     { dataset; query; task; solver; budget; seed; timeout_ms; per_session;
-      parallelism }
+      parallelism; target_ci; deadline_ms; stream }
 
 let check_version json =
   match Json.member "v" json with
@@ -395,6 +448,21 @@ type answer =
   | Expectation of float
   | Ranked of (Ppd.Value.t list * float) list
 
+(* Anytime serving: how an SLO-carrying request concluded. "final" = the
+   SLO was met (a degenerate ci_lo = ci_hi interval when the cost model
+   answered exactly); "timeout" = the deadline or draw cap expired first
+   and the answer is the best estimate so far. A v1 additive reply
+   block — pre-anytime peers ignore it. *)
+type anytime_status = Final | Timeout
+
+type anytime = {
+  any_status : anytime_status;
+  any_rounds : int;
+  any_draws : int;
+  any_ci_lo : float;
+  any_ci_hi : float;
+}
+
 type reply = { reply_id : Json.t option; result : result_body }
 
 and result_body =
@@ -402,10 +470,26 @@ and result_body =
       answer : answer;
       per_session : (Ppd.Value.t list * float) list option;
       stats : stats;
+      anytime : anytime option;
+          (* v1 additive block; [None] on plain (no-SLO) evaluation or
+             when the peer predates it *)
     }
   | Metrics_snapshot of Json.t
   | Pong
   | Err of error
+
+(* One NDJSON progress frame of a streaming anytime evaluation: not a
+   reply (no "ok" member — the terminal reply still follows), tagged
+   "frame":"progress" and carrying the request id, so an interleaving
+   client routes it. Emitted only when the request set "stream". *)
+type progress = {
+  progress_id : Json.t option;
+  round : int;
+  draws : int;
+  estimate : float;
+  ci_lo : float;
+  ci_hi : float;
+}
 
 let value_to_json = function
   | Ppd.Value.Int i -> Json.Int i
@@ -525,6 +609,96 @@ let stats_of_json j =
         }
   | _ -> None
 
+let anytime_status_to_string = function Final -> "final" | Timeout -> "timeout"
+
+let anytime_status_of_string = function
+  | "final" -> Some Final
+  | "timeout" -> Some Timeout
+  | _ -> None
+
+let anytime_to_json (a : anytime) =
+  Json.Obj
+    [
+      ("status", Json.String (anytime_status_to_string a.any_status));
+      ("rounds", Json.Int a.any_rounds);
+      ("draws", Json.Int a.any_draws);
+      ("ci_lo", Json.Float a.any_ci_lo);
+      ("ci_hi", Json.Float a.any_ci_hi);
+    ]
+
+(* Same contract as the "cache" block: an absent "anytime" member is fine
+   (pre-anytime peer), a malformed one is a decode failure. *)
+let anytime_of_json j =
+  match Json.member "anytime" j with
+  | None -> Some None
+  | Some a -> (
+      let int k = Option.bind (Json.member k a) Json.to_int in
+      let flt k = Option.bind (Json.member k a) Json.to_float in
+      match
+        ( Option.bind
+            (Option.bind (Json.member "status" a) Json.to_string_opt)
+            anytime_status_of_string,
+          (int "rounds", int "draws"),
+          (flt "ci_lo", flt "ci_hi") )
+      with
+      | ( Some any_status,
+          (Some any_rounds, Some any_draws),
+          (Some any_ci_lo, Some any_ci_hi) ) ->
+          Some
+            (Some { any_status; any_rounds; any_draws; any_ci_lo; any_ci_hi })
+      | _ -> None)
+
+let progress_to_json (p : progress) =
+  Json.Obj
+    (("v", Json.Int version)
+     :: (match p.progress_id with Some v -> [ ("id", v) ] | None -> [])
+    @ [
+        ("frame", Json.String "progress");
+        ("round", Json.Int p.round);
+        ("draws", Json.Int p.draws);
+        ("estimate", Json.Float p.estimate);
+        ("ci_lo", Json.Float p.ci_lo);
+        ("ci_hi", Json.Float p.ci_hi);
+      ])
+
+let is_progress j =
+  match Json.member "frame" j with
+  | Some (Json.String "progress") -> true
+  | _ -> false
+
+let progress_of_json j =
+  match check_version j with
+  | Stdlib.Error e -> Stdlib.Error e.message
+  | Ok () ->
+      if not (is_progress j) then Stdlib.Error "not a progress frame"
+      else
+        let int k = Option.bind (Json.member k j) Json.to_int in
+        let flt k = Option.bind (Json.member k j) Json.to_float in
+        (match
+           (int "round", int "draws", flt "estimate", flt "ci_lo", flt "ci_hi")
+         with
+        | Some round, Some draws, Some estimate, Some ci_lo, Some ci_hi ->
+            Ok
+              {
+                progress_id = Json.member "id" j;
+                round;
+                draws;
+                estimate;
+                ci_lo;
+                ci_hi;
+              }
+        | _ -> Stdlib.Error "malformed progress frame")
+
+let progress_of_frame ?id (f : Hardq.Anytime.frame) =
+  {
+    progress_id = id;
+    round = f.Hardq.Anytime.round;
+    draws = f.Hardq.Anytime.draws;
+    estimate = f.Hardq.Anytime.estimate;
+    ci_lo = f.Hardq.Anytime.ci_lo;
+    ci_hi = f.Hardq.Anytime.ci_hi;
+  }
+
 let answer_to_json = function
   | Probability p ->
       Json.Obj [ ("kind", Json.String "probability"); ("value", Json.Float p) ]
@@ -578,10 +752,13 @@ let reply_to_json (r : reply) =
                   ("message", Json.String e.message);
                 ] );
           ])
-  | Answer { answer; per_session; stats } ->
+  | Answer { answer; per_session; stats; anytime } ->
       Json.Obj
         (id
         @ [ ("ok", Json.Bool true); ("answer", answer_to_json answer) ]
+        @ (match anytime with
+          | Some a -> [ ("anytime", anytime_to_json a) ]
+          | None -> [])
         @ (match per_session with
           | Some rows ->
               [ ("per_session", Json.List (List.map session_row rows)) ]
@@ -613,9 +790,11 @@ let reply_of_json j =
       | _, Some snap, _ -> Ok { reply_id; result = Metrics_snapshot snap }
       | _, _, Some ans -> (
           match
-            (answer_of_json ans, Option.bind (Json.member "stats" j) stats_of_json)
+            ( answer_of_json ans,
+              Option.bind (Json.member "stats" j) stats_of_json,
+              anytime_of_json j )
           with
-          | Some answer, Some stats ->
+          | Some answer, Some stats, Some anytime ->
               let per_session =
                 match Json.member "per_session" j with
                 | Some (Json.List rows) ->
@@ -625,7 +804,11 @@ let reply_of_json j =
                     else None
                 | _ -> None
               in
-              Ok { reply_id; result = Answer { answer; per_session; stats } }
+              Ok
+                {
+                  reply_id;
+                  result = Answer { answer; per_session; stats; anytime };
+                }
           | _ -> Stdlib.Error "malformed answer reply")
       | _ -> Stdlib.Error "ok reply without pong/metrics/answer")
   | _ -> Stdlib.Error "reply without boolean \"ok\" field")
@@ -643,6 +826,26 @@ let answer_of_response (resp : Engine.Response.t) =
   | Engine.Response.Expectation e -> Expectation e
   | Engine.Response.Ranked rows ->
       Ranked (List.map (fun (s, p) -> (key_of_session s, p)) rows)
+
+(* Project an engine-level serve outcome onto the wire block. [`Cancelled]
+   never reaches the wire: the client that could have read it is gone. *)
+let anytime_of_engine (a : Engine.anytime) =
+  let status =
+    match a.Engine.status with
+    | `Final -> Some Final
+    | `Timeout -> Some Timeout
+    | `Cancelled -> None
+  in
+  Option.map
+    (fun any_status ->
+      {
+        any_status;
+        any_rounds = a.Engine.rounds;
+        any_draws = a.Engine.draws;
+        any_ci_lo = a.Engine.ci_lo;
+        any_ci_hi = a.Engine.ci_hi;
+      })
+    status
 
 let stats_of_response ~queue_s ~server_s (resp : Engine.Response.t) =
   let s = resp.Engine.Response.stats in

@@ -86,6 +86,21 @@ type eval = {
       (** JSON field ["parallelism"]: ["inter"] or ["intra"]. [None]
           defers to the server's configured default. Answers are
           bit-identical either way. *)
+  target_ci : float option;
+      (** JSON field ["target_ci"] (additive, still v1): accuracy SLO —
+          serve anytime until the confidence interval is at most this
+          wide. Mutually exclusive with [deadline_ms]. *)
+  deadline_ms : float option;
+      (** JSON field ["deadline_ms"] (additive, still v1): accuracy SLO —
+          serve the best estimate reachable within this wall span; expiry
+          is a typed ["timeout"] status on a normal answer, {e not} a
+          [Deadline_exceeded] error (that remains [timeout_ms]'s
+          contract). *)
+  stream : bool;
+      (** JSON field ["stream"] (additive, still v1): emit NDJSON
+          {!progress} frames before the terminal reply. Only meaningful
+          on SLO-carrying requests; defaults to [false] so pipelined
+          clients keep one-line-per-request framing. *)
 }
 
 val eval :
@@ -96,12 +111,15 @@ val eval :
   ?timeout_ms:float ->
   ?per_session:bool ->
   ?parallelism:[ `Inter | `Intra ] ->
+  ?target_ci:float ->
+  ?deadline_ms:float ->
+  ?stream:bool ->
   dataset_spec ->
   Ppd.Query.t ->
   eval
 (** Defaults mirror [Engine.Request.make]: Boolean task, [`Auto] solver,
-    no budget, seed 42, no deadline, no per-session marginals, server's
-    parallelism default. *)
+    no budget, seed 42, no deadline, no SLO, no streaming, no
+    per-session marginals, server's parallelism default. *)
 
 val eval_lang :
   ?task:Engine.Request.task ->
@@ -111,6 +129,9 @@ val eval_lang :
   ?timeout_ms:float ->
   ?per_session:bool ->
   ?parallelism:[ `Inter | `Intra ] ->
+  ?target_ci:float ->
+  ?deadline_ms:float ->
+  ?stream:bool ->
   dataset_spec ->
   string ->
   (eval, string) result
@@ -173,6 +194,25 @@ type answer =
   | Expectation of float
   | Ranked of (Ppd.Value.t list * float) list
 
+(** How an SLO-carrying (anytime) request concluded. *)
+type anytime_status =
+  | Final  (** SLO met; degenerate [ci_lo = ci_hi] when answered exactly *)
+  | Timeout
+      (** the SLO deadline or draw cap expired first — the answer is the
+          best estimate so far, {e not} an error *)
+
+type anytime = {
+  any_status : anytime_status;
+  any_rounds : int;  (** sampling rounds run (0 on the exact route) *)
+  any_draws : int;  (** cumulative world draws *)
+  any_ci_lo : float;
+  any_ci_hi : float;
+}
+(** Wire field ["anytime"], added in v1 as a non-breaking extension with
+    the same contract as ["cache"]: absent on plain evaluations and from
+    pre-anytime servers ([None] after decode), rejected when present but
+    malformed. *)
+
 type reply = { reply_id : Json.t option; result : result_body }
 
 and result_body =
@@ -180,17 +220,53 @@ and result_body =
       answer : answer;
       per_session : (Ppd.Value.t list * float) list option;
       stats : stats;
+      anytime : anytime option;
     }
   | Metrics_snapshot of Json.t
   | Pong
   | Err of error
+
+type progress = {
+  progress_id : Json.t option;  (** the request's ["id"], echoed *)
+  round : int;
+  draws : int;
+  estimate : float;
+  ci_lo : float;
+  ci_hi : float;
+}
+(** One NDJSON progress frame of a streaming anytime evaluation: a
+    ["frame":"progress"] line emitted {e before} the terminal reply,
+    never instead of it. Not a reply (no ["ok"] member); pipelined
+    streaming clients route frames by the echoed id and keep reading
+    until the line with ["ok"] arrives. Only requests that set
+    ["stream"] receive frames. *)
 
 val reply_to_json : reply -> Json.t
 
 val reply_of_json : Json.t -> (reply, string) result
 (** Like {!request_of_json}, tolerates an absent ["v"] and unknown
     members but rejects a ["v"] other than {!version} or a malformed
-    ["cache"] block. *)
+    ["cache"]/["anytime"] block. *)
+
+val progress_to_json : progress -> Json.t
+
+val progress_of_json : Json.t -> (progress, string) result
+(** Fails on anything that is not a well-formed progress frame; use
+    {!is_progress} to route a line first. *)
+
+val is_progress : Json.t -> bool
+(** [true] iff the line is a progress frame (["frame":"progress"]). *)
+
+val progress_of_frame : ?id:Json.t -> Hardq.Anytime.frame -> progress
+(** Tag an engine sampling frame with a request id for the wire. *)
+
+val slo_of_eval : eval -> Engine.Request.slo option
+(** The engine-level SLO a request's additive members project onto
+    ([target_ci] wins when a hand-built record carries both). *)
+
+val anytime_of_engine : Engine.anytime -> anytime option
+(** Project a serve outcome onto the wire block. [None] for [`Cancelled]
+    — the client that could have read it is gone. *)
 
 val key_of_session : Ppd.Database.session -> Ppd.Value.t list
 (** A session's wire identity: its key attribute values. *)

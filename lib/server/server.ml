@@ -96,6 +96,11 @@ type conn = {
   mutable rpos : int;
   mutable rlen : int;
   racc : Buffer.t;
+  mutable eof : bool;
+      (* peer half-closed (or the reader died): queued non-streaming
+         jobs still get their replies (the write side may be open), but
+         anytime sampling loops poll this and stop wasting draws on a
+         client that can no longer send — see [serve_job] *)
 }
 
 (* A job can outlive its reader thread: a client that pipelines evals
@@ -216,12 +221,13 @@ let prepare t (job : job) start =
         | Some p -> p
         | None -> if t.cfg.intra then `Intra else `Inter
       in
+      let slo = Protocol.slo_of_eval e in
       (match e.Protocol.query with
       | Protocol.Cq q ->
           Ok
             (Engine.Request.make ~task:e.Protocol.task ~solver:e.Protocol.solver
                ~budget ~seed:e.Protocol.seed ?deadline:job.deadline ~parallelism
-               db q)
+               ?slo db q)
       | Protocol.Lang { ast; _ } -> (
           (* A non-default wire solver acts as a planner hint; a [using]
              clause in the text wins (Plan.compile's precedence). *)
@@ -233,15 +239,17 @@ let prepare t (job : job) start =
           | plan ->
               Ok
                 (Engine.Request.of_plan ~task:e.Protocol.task ~budget
-                   ~seed:e.Protocol.seed ?deadline:job.deadline ~parallelism plan)
+                   ~seed:e.Protocol.seed ?deadline:job.deadline ~parallelism
+                   ?slo plan)
           | exception Ppd.Compile.Unsupported msg ->
               Error (Protocol.Err (Protocol.error Protocol.Unsupported msg))
           | exception Ppd.Compile.Grounding_too_large msg ->
               Error (Protocol.Err (Protocol.error Protocol.Unsupported msg))))
       |> Result.map (fun req -> (req, deadline_limited))
 
-(* Map one engine result for [job] onto the wire reply. *)
-let finish (job : job) start deadline_limited
+(* Map one engine result for [job] onto the wire reply. [anytime] is the
+   wire block of an SLO-carrying serve; plain evaluations omit it. *)
+let finish ?anytime (job : job) start deadline_limited
     (result : (Engine.Response.t, exn) result) =
   let e = job.eval in
   match result with
@@ -262,7 +270,7 @@ let finish (job : job) start deadline_limited
         else None
       in
       Protocol.Answer
-        { answer = Protocol.answer_of_response resp; per_session; stats }
+        { answer = Protocol.answer_of_response resp; per_session; stats; anytime }
   | Error Util.Timer.Out_of_time ->
       (* Either the deadline-derived CPU cap or the engine's wall-clock
          guard fired; a genuinely-expired deadline wins the diagnosis
@@ -292,11 +300,47 @@ let finish (job : job) start deadline_limited
   | Error exn ->
       Protocol.Err (Protocol.error Protocol.Internal (Printexc.to_string exn))
 
+(* Serve one SLO-carrying job on the calling worker thread. Progress
+   frames go out only when the request opted into streaming; a frame
+   write failing (dead peer) or the reader reporting EOF (half-close)
+   cancels sampling between rounds instead of burning draws for a client
+   that can no longer be answered usefully — [`Cancelled] sends nothing.
+   Returns [None] when no terminal reply should be written. *)
+let serve_job t (job : job) start deadline_limited req =
+  let e = job.eval in
+  let write_failed = ref false in
+  let on_frame frame =
+    if e.Protocol.stream && not !write_failed then begin
+      let p = Protocol.progress_of_frame ?id:job.req_id frame in
+      let line = Json.to_string (Protocol.progress_to_json p) ^ "\n" in
+      Mutex.lock job.conn.wm;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock job.conn.wm)
+        (fun () ->
+          try write_all job.conn.fd line
+          with Unix.Unix_error _ | Sys_error _ ->
+            Obs.Counter.incr c_write_errors;
+            write_failed := true)
+    end
+  in
+  let cancelled () = job.conn.eof || !write_failed in
+  match Engine.serve t.engine ~on_frame ~cancelled req with
+  | { Engine.anytime = Some { Engine.status = `Cancelled; _ }; _ } -> None
+  | served ->
+      let anytime =
+        Option.bind served.Engine.anytime Protocol.anytime_of_engine
+      in
+      Some
+        (finish ?anytime job start deadline_limited (Ok served.Engine.response))
+  | exception exn -> Some (finish job start deadline_limited (Error exn))
+
 (* One gathered batch: account, weed out queue-expired jobs, resolve the
    rest into engine requests, evaluate them as one [Engine.eval_batch]
    (sharing sub-answers through the store), and reply per job. The
    engine is thread-safe, so workers run their batches concurrently with
-   no server-side serialization. *)
+   no server-side serialization. SLO-carrying jobs arrive as singleton
+   batches (the scheduler never buckets them) and run through
+   [serve_job] instead of the batch evaluator. *)
 let process_batch t jobs =
   let start = now () in
   Obs.Counter.incr c_batches;
@@ -322,13 +366,15 @@ let process_batch t jobs =
             match prepare t job start with
             | Error reply -> (job, `Reply reply)
             | Ok (req, deadline_limited) ->
-                (job, `Eval (req, deadline_limited))))
+                if req.Engine.Request.slo <> None then
+                  (job, `Serve (req, deadline_limited))
+                else (job, `Eval (req, deadline_limited))))
       jobs
   in
   let reqs =
     Array.of_list
       (List.filter_map
-         (function _, `Eval (req, _) -> Some req | _, `Reply _ -> None)
+         (function _, `Eval (req, _) -> Some req | _ -> None)
          staged)
   in
   let results = Engine.eval_batch t.engine reqs in
@@ -337,13 +383,18 @@ let process_batch t jobs =
     (fun (job, stage) ->
       let result =
         match stage with
-        | `Reply r -> r
+        | `Reply r -> Some r
+        | `Serve (req, deadline_limited) ->
+            serve_job t job start deadline_limited req
         | `Eval (_, deadline_limited) ->
             let r = results.(!idx) in
             incr idx;
-            finish job start deadline_limited r
+            Some (finish job start deadline_limited r)
       in
-      send_reply job.conn { Protocol.reply_id = job.req_id; result };
+      (match result with
+      | Some result ->
+          send_reply job.conn { Protocol.reply_id = job.req_id; result }
+      | None -> () (* cancelled mid-stream: the peer is gone *));
       Obs.Histogram.observe h_total_us (us_of_s (now () -. job.enqueued_at)))
     staged
 
@@ -432,7 +483,15 @@ let dispatch_loop t () =
       (Hashtbl.fold (fun k b acc -> (k, b) :: acc) buckets [])
   in
   let admit job =
-    if window <= 0. || t.cfg.batch_max <= 1 then push_batch [ job ]
+    (* SLO-carrying jobs never gather: each streams (or samples) on its
+       own worker immediately, as a singleton batch — holding one behind
+       a window would eat into its accuracy deadline, and frame
+       interleaving is per-connection anyway. *)
+    if
+      Protocol.slo_of_eval job.eval <> None
+      || window <= 0.
+      || t.cfg.batch_max <= 1
+    then push_batch [ job ]
     else begin
       let now_ = now () in
       let slack_bound =
@@ -637,6 +696,11 @@ let conn_loop t conn () =
            if line <> "" then handle_line t conn line
      done
    with _ -> ());
+  (* Whether EOF or a reader crash: the peer can send nothing more, so
+     in-flight anytime sampling for this connection may stop. A plain
+     write to a bool is fine under the memory model — workers only ever
+     read it, and reading it late just costs one more round. *)
+  conn.eof <- true;
   Obs.Counter.add c_active (-1);
   Mutex.lock t.conns_m;
   Hashtbl.remove t.conns conn.cid;
@@ -683,6 +747,7 @@ let accept_loop t () =
                   rpos = 0;
                   rlen = 0;
                   racc = Buffer.create 256;
+                  eof = false;
                 }
               in
               if n_active >= t.cfg.max_connections then begin

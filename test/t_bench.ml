@@ -212,6 +212,75 @@ let unit_plan_schema () =
         Alcotest.failf "%s: no row emitted" query)
     [ "datalog-two-label"; "disjunctive"; "rank"; "top-k" ]
 
+(* The anytime experiment: every CI target plus the deadline row must
+   appear in smoke mode, carrying the time-to-target/frames-per-second
+   schema BENCH_anytime.json is tracked under. *)
+let unit_anytime_schema () =
+  let out = Filename.temp_file "hardq_bench_anytime" ".json" in
+  Sys.remove out;
+  Fun.protect ~finally:(fun () -> try Sys.remove out with Sys_error _ -> ())
+  @@ fun () ->
+  let cmd =
+    Printf.sprintf
+      "HARDQ_BENCH_SMOKE=1 BENCH_JSON_OUT=%s ../bench/main.exe anytime \
+       >/dev/null 2>&1"
+      (Filename.quote out)
+  in
+  Alcotest.(check int) "anytime exits 0" 0 (Sys.command cmd);
+  let lines =
+    List.filter
+      (fun l -> String.trim l <> "")
+      (String.split_on_char '\n' (read_file out))
+  in
+  if lines = [] then Alcotest.fail "anytime emitted no JSON rows";
+  let targets = Hashtbl.create 8 and deadlines = ref 0 in
+  List.iter
+    (fun line ->
+      let j = parse_line "anytime" line in
+      Alcotest.(check string)
+        "bench name" "anytime-serving" (str_field "anytime" j [ "bench" ]);
+      let mode = str_field "anytime" j [ "mode" ] in
+      let status = str_field "anytime" j [ "status" ] in
+      (match mode with
+      | "target-ci" ->
+          let target = float_field "anytime" j [ "target_ci" ] in
+          Hashtbl.replace targets target ();
+          (* A met target pins the final width under it. *)
+          if status = "final"
+             && float_field "anytime" j [ "final_width" ] > target
+          then Alcotest.failf "final width misses the %g target" target
+      | "deadline" ->
+          incr deadlines;
+          if not (float_field "anytime" j [ "deadline_ms" ] > 0.) then
+            Alcotest.fail "deadline_ms not positive"
+      | _ -> Alcotest.failf "unknown mode %S" mode);
+      if not (List.mem status [ "final"; "timeout" ]) then
+        Alcotest.failf "unknown status %S" status;
+      if int_field "anytime" j [ "sessions" ] <= 0 then
+        Alcotest.fail "sessions not positive";
+      let rounds = int_field "anytime" j [ "rounds" ]
+      and frames = int_field "anytime" j [ "frames" ] in
+      if rounds < 1 then Alcotest.fail "rounds < 1";
+      Alcotest.(check int) "one frame per round" rounds frames;
+      if int_field "anytime" j [ "draws" ] < 64 then
+        Alcotest.fail "draws below the round-1 floor";
+      if not (float_field "anytime" j [ "wall_s" ] >= 0.) then
+        Alcotest.fail "wall_s negative";
+      if not (float_field "anytime" j [ "frames_per_s" ] > 0.) then
+        Alcotest.fail "frames_per_s not positive";
+      if not (float_field "anytime" j [ "final_width" ] > 0.) then
+        Alcotest.fail "final_width not positive";
+      let p = float_field "anytime" j [ "estimate" ] in
+      if not (p >= 0. && p <= 1.) then
+        Alcotest.failf "estimate outside [0,1]: %g" p)
+    lines;
+  List.iter
+    (fun target ->
+      if not (Hashtbl.mem targets target) then
+        Alcotest.failf "target %g: no row emitted" target)
+    [ 0.2; 0.1; 0.05 ];
+  Alcotest.(check int) "one deadline row" 1 !deadlines
+
 let suites =
   [
     ( "bench.schema",
@@ -222,5 +291,7 @@ let suites =
           unit_kernel_schema;
         tc "plan rows carry the frontend-overhead schema" `Quick
           unit_plan_schema;
+        tc "anytime rows carry the time-to-target schema" `Quick
+          unit_anytime_schema;
       ] );
   ]

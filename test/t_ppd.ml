@@ -474,7 +474,7 @@ let prop_aggregate_linearity =
   Helpers.qtest ~count:30 "Sum(const 1) = Count and Avg = Sum/Count"
     QCheck.(int_bound 1_000_000)
     (fun seed ->
-      let { Ppd.Case.db; query } = Qa.Gen.case (Util.Rng.derive seed 2) in
+      let { Ppd.Case.db; query; _ } = Qa.Gen.case (Util.Rng.derive seed 2) in
       let agg ~value_of op =
         Ppd.Aggregate.over_sessions ~value_of op db query (Helpers.rng 4)
       in

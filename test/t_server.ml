@@ -269,15 +269,30 @@ let unit_protocol_reply_roundtrip () =
           answer = Protocol.Probability 0.99999999999999134;
           per_session = None;
           stats = sample_stats;
+          anytime = None;
         };
       Protocol.Answer
         {
           answer = Protocol.Expectation 12.75;
           per_session = Some rows;
           stats = sample_stats;
+          anytime =
+            Some
+              {
+                Protocol.any_status = Protocol.Timeout;
+                any_rounds = 5;
+                any_draws = 1024;
+                any_ci_lo = 11.5;
+                any_ci_hi = 13.25;
+              };
         };
       Protocol.Answer
-        { answer = Protocol.Ranked rows; per_session = None; stats = sample_stats };
+        {
+          answer = Protocol.Ranked rows;
+          per_session = None;
+          stats = sample_stats;
+          anytime = None;
+        };
       Protocol.Pong;
       Protocol.Metrics_snapshot (Json.Obj [ ("counters", Json.Obj []) ]);
       Protocol.Err (Protocol.error Protocol.Overloaded "queue full");
@@ -413,6 +428,15 @@ let unit_protocol_forward_compat () =
             answer = Protocol.Probability 0.5;
             per_session = None;
             stats = sample_stats;
+            anytime =
+              Some
+                {
+                  Protocol.any_status = Protocol.Final;
+                  any_rounds = 3;
+                  any_draws = 448;
+                  any_ci_lo = 0.4;
+                  any_ci_hi = 0.6;
+                };
           };
     }
   in
@@ -436,10 +460,23 @@ let unit_protocol_forward_compat () =
   | Ok _ -> Alcotest.fail "unexpected reply body"
   | Error msg -> Alcotest.failf "cacheless reply rejected: %s" msg);
   (* ...but a malformed block is a decode failure, not a silent None *)
-  match
-    Protocol.reply_of_json (map_field "stats" (with_field "cache" (Json.Int 5)) j)
-  with
+  (match
+     Protocol.reply_of_json
+       (map_field "stats" (with_field "cache" (Json.Int 5)) j)
+   with
   | Ok _ -> Alcotest.fail "malformed cache block decoded"
+  | Error _ -> ());
+  (* the "anytime" block follows the same additive contract: a reply
+     from a pre-anytime server (no member) decodes to [anytime = None]... *)
+  (match Protocol.reply_of_json (drop_field "anytime" j) with
+  | Ok { Protocol.result = Protocol.Answer { anytime = None; _ }; _ } -> ()
+  | Ok { Protocol.result = Protocol.Answer _; _ } ->
+      Alcotest.fail "stripped anytime block still decoded as Some"
+  | Ok _ -> Alcotest.fail "unexpected reply body"
+  | Error msg -> Alcotest.failf "anytime-less reply rejected: %s" msg);
+  (* ...and a malformed one is a decode failure *)
+  match Protocol.reply_of_json (with_field "anytime" (Json.Int 5) j) with
+  | Ok _ -> Alcotest.fail "malformed anytime block decoded"
   | Error _ -> ()
 
 (* ------------------------------------------------------------------ *)
@@ -1083,6 +1120,270 @@ let unit_server_half_close_still_replies () =
           | Ok _ -> Alcotest.fail "unexpected reply body"
           | Error msg -> Alcotest.failf "undecodable reply: %s" msg))
 
+(* ------------------------------------------------------------------ *)
+(* Streaming (anytime SLO) over raw sockets                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Progress frames are NDJSON lines without an ["ok"] member, so
+   [Server.Client] (one reply line per request) cannot read them; these
+   tests speak the wire directly. *)
+let raw_connect server =
+  let path =
+    match Server.address server with
+    | Protocol.Local p -> p
+    | Protocol.Tcp _ -> Alcotest.fail "expected a unix socket"
+  in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let rec connect tries =
+    try Unix.connect fd (Unix.ADDR_UNIX path)
+    with Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
+      when tries > 0 ->
+      Thread.delay 0.05;
+      connect (tries - 1)
+  in
+  connect 40;
+  fd
+
+let raw_send fd (req : Protocol.request) =
+  let line = Json.to_string (Protocol.request_to_json req) ^ "\n" in
+  let off = ref 0 in
+  while !off < String.length line do
+    off := !off + Unix.write_substring fd line !off (String.length line - !off)
+  done
+
+type raw_reader = { rfd : Unix.file_descr; racc : Buffer.t; rbuf : Bytes.t }
+
+let raw_reader fd = { rfd = fd; racc = Buffer.create 4096; rbuf = Bytes.create 65536 }
+
+(* One NDJSON line, blocking; [None] at EOF. *)
+let rec raw_line r =
+  let s = Buffer.contents r.racc in
+  match String.index_opt s '\n' with
+  | Some i ->
+      Buffer.clear r.racc;
+      Buffer.add_string r.racc (String.sub s (i + 1) (String.length s - i - 1));
+      Some (String.sub s 0 i)
+  | None -> (
+      match Unix.read r.rfd r.rbuf 0 (Bytes.length r.rbuf) with
+      | 0 -> if s = "" then None else (Buffer.clear r.racc; Some s)
+      | n ->
+          Buffer.add_subbytes r.racc r.rbuf 0 n;
+          raw_line r)
+
+let sampling_solver = Hardq.Solver.Approx (Hardq.Solver.Rejection { n = 1 })
+
+let streaming_eval ?target_ci ?deadline_ms () =
+  Protocol.eval ~solver:sampling_solver ?target_ci ?deadline_ms ~stream:true
+    fast_spec sample_query
+
+let decode_json line =
+  match Json.of_string line with
+  | Ok j -> j
+  | Error msg -> Alcotest.failf "unparseable line %S: %s" line msg
+
+(* A terminal reply line (as opposed to a progress frame) carries the
+   ["ok"] member. *)
+let is_reply j = Json.member "ok" j <> None
+
+let id_of j =
+  match Json.member "id" j with
+  | Some (Json.Int i) -> i
+  | _ -> Alcotest.failf "line without an integer id: %s" (Json.to_string j)
+
+(* Two pipelined streaming requests per connection, two connections at
+   once: every progress frame and terminal reply must reach exactly the
+   client that asked, with each id's frames strictly before its reply. *)
+let unit_server_streaming_pipelined_routing () =
+  let address = Protocol.Local (temp_socket ()) in
+  let config =
+    { (Server.default_config address) with Server.preload = [ fast_spec ] }
+  in
+  with_server config @@ fun server ->
+  let per_conn = 2 and n_conns = 2 in
+  let results = Array.make n_conns [] in
+  let errors = Server.Bqueue.create ~capacity:8 in
+  let fail fmt =
+    Printf.ksprintf (fun m -> ignore (Server.Bqueue.try_push errors m)) fmt
+  in
+  let run_conn c =
+    let fd = raw_connect server in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        let ids = List.init per_conn (fun k -> (10 * (c + 1)) + k) in
+        List.iter
+          (fun id ->
+            raw_send fd
+              {
+                Protocol.id = Some (Json.Int id);
+                op = Protocol.Eval (streaming_eval ~target_ci:0.1 ());
+              })
+          ids;
+        let r = raw_reader fd in
+        let lines = ref [] in
+        let replies = ref 0 in
+        while !replies < per_conn do
+          match raw_line r with
+          | None -> fail "conn %d: eof before %d replies" c per_conn; replies := per_conn
+          | Some line ->
+              let j = decode_json line in
+              lines := j :: !lines;
+              if is_reply j then incr replies
+        done;
+        results.(c) <- List.rev !lines)
+  in
+  let threads = List.init n_conns (fun c -> Thread.create run_conn c) in
+  List.iter Thread.join threads;
+  Server.Bqueue.close errors;
+  (match Server.Bqueue.pop errors with None -> () | Some m -> Alcotest.fail m);
+  Array.iteri
+    (fun c lines ->
+      let my_ids = List.init per_conn (fun k -> (10 * (c + 1)) + k) in
+      List.iter
+        (fun j ->
+          if not (List.mem (id_of j) my_ids) then
+            Alcotest.failf "conn %d saw a foreign id %d" c (id_of j))
+        lines;
+      List.iter
+        (fun id ->
+          let mine = List.filter (fun j -> id_of j = id) lines in
+          let frames, replies = List.partition Protocol.is_progress mine in
+          (match replies with
+          | [ reply ] -> (
+              (* the reply is the last line for its id *)
+              (match List.rev mine with
+              | last :: _ when is_reply last -> ()
+              | _ -> Alcotest.failf "id %d: frames after the terminal reply" id);
+              match Protocol.reply_of_json reply with
+              | Ok
+                  {
+                    Protocol.result =
+                      Protocol.Answer { anytime = Some a; answer = Probability p; _ };
+                    _;
+                  } ->
+                  if a.Protocol.any_status <> Protocol.Final then
+                    Alcotest.failf "id %d: expected a final status" id;
+                  if a.Protocol.any_ci_hi -. a.Protocol.any_ci_lo > 0.1 then
+                    Alcotest.failf "id %d: final width %.6g misses the target" id
+                      (a.Protocol.any_ci_hi -. a.Protocol.any_ci_lo);
+                  if p < a.Protocol.any_ci_lo || p > a.Protocol.any_ci_hi then
+                    Alcotest.failf "id %d: answer outside its CI" id
+              | Ok _ -> Alcotest.failf "id %d: unexpected reply body" id
+              | Error msg -> Alcotest.failf "id %d: undecodable reply: %s" id msg)
+          | _ -> Alcotest.failf "id %d: %d terminal replies" id (List.length replies));
+          if List.length frames < 2 then
+            Alcotest.failf "id %d: only %d progress frame(s) under a 0.1 target" id
+              (List.length frames);
+          List.iter
+            (fun j ->
+              match Protocol.progress_of_json j with
+              | Ok p ->
+                  if p.Protocol.ci_lo > p.Protocol.estimate
+                     || p.Protocol.estimate > p.Protocol.ci_hi
+                  then Alcotest.failf "id %d: estimate escaped its CI" id
+              | Error msg -> Alcotest.failf "id %d: bad frame: %s" id msg)
+            frames)
+        my_ids)
+    results
+
+(* Half-closing mid-stream must cancel the sampling loop: no terminal
+   reply is written, the connection closes, and the worker is free for
+   the next client. *)
+let unit_server_streaming_half_close_cancels () =
+  let address = Protocol.Local (temp_socket ()) in
+  let config =
+    { (Server.default_config address) with Server.preload = [ fast_spec ] }
+  in
+  with_server config @@ fun server ->
+  let fd = raw_connect server in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      (* An unreachable target: sampling would run to the draw cap. *)
+      raw_send fd
+        {
+          Protocol.id = Some (Json.Int 1);
+          op = Protocol.Eval (streaming_eval ~target_ci:1e-9 ());
+        };
+      let r = raw_reader fd in
+      (match raw_line r with
+      | Some line when Protocol.is_progress (decode_json line) -> ()
+      | Some line -> Alcotest.failf "expected a progress frame, got %s" line
+      | None -> Alcotest.fail "no progress frame before half-close");
+      (* Mid-stream now. Close our write side; the server's reader sees
+         EOF and the sampling loop must stop within a round. *)
+      Unix.shutdown fd Unix.SHUTDOWN_SEND;
+      let rec drainl acc =
+        match raw_line r with None -> acc | Some l -> drainl (l :: acc)
+      in
+      List.iter
+        (fun line ->
+          if is_reply (decode_json line) then
+            Alcotest.failf "cancelled stream still got a terminal reply: %s" line)
+        (drainl []));
+  (* The worker is free again: a fresh client gets a prompt answer. *)
+  let client = Server.Client.connect ~retries:40 (Server.address server) in
+  Fun.protect ~finally:(fun () -> Server.Client.close client) @@ fun () ->
+  match Server.Client.eval client (Protocol.eval fast_spec sample_query) with
+  | Ok (Protocol.Answer _) -> ()
+  | Ok _ -> Alcotest.fail "post-cancel request: unexpected reply"
+  | Error msg -> Alcotest.failf "post-cancel request failed: %s" msg
+
+(* Deadline expiry mid-stream is a typed timeout on a normal answer
+   carrying the last streamed estimate — not an error. *)
+let unit_server_streaming_timeout_carries_estimate () =
+  let address = Protocol.Local (temp_socket ()) in
+  let config =
+    { (Server.default_config address) with Server.preload = [ fast_spec ] }
+  in
+  with_server config @@ fun server ->
+  let fd = raw_connect server in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      raw_send fd
+        {
+          Protocol.id = Some (Json.Int 7);
+          op = Protocol.Eval (streaming_eval ~deadline_ms:1. ());
+        };
+      let r = raw_reader fd in
+      let rec collect frames =
+        match raw_line r with
+        | None -> Alcotest.fail "eof before the terminal reply"
+        | Some line ->
+            let j = decode_json line in
+            if Protocol.is_progress j then
+              match Protocol.progress_of_json j with
+              | Ok p -> collect (p :: frames)
+              | Error msg -> Alcotest.failf "bad frame: %s" msg
+            else (j, List.rev frames)
+      in
+      let reply, frames = collect [] in
+      if frames = [] then
+        Alcotest.fail "timeout stream emitted no progress frame";
+      let last = List.nth frames (List.length frames - 1) in
+      match Protocol.reply_of_json reply with
+      | Ok
+          {
+            Protocol.result =
+              Protocol.Answer { anytime = Some a; answer = Probability p; _ };
+            _;
+          } ->
+          if a.Protocol.any_status <> Protocol.Timeout then
+            Alcotest.fail "expected a typed timeout status";
+          check_float_eq "answer is the last streamed estimate"
+            last.Protocol.estimate p;
+          check_float_eq "CI lo echoes the last frame" last.Protocol.ci_lo
+            a.Protocol.any_ci_lo;
+          check_float_eq "CI hi echoes the last frame" last.Protocol.ci_hi
+            a.Protocol.any_ci_hi;
+          Alcotest.(check int) "draws counted" last.Protocol.draws a.Protocol.any_draws
+      | Ok { Protocol.result = Protocol.Err e; _ } ->
+          Alcotest.failf "deadline_ms errored instead of timing out: %s"
+            e.Protocol.message
+      | Ok _ -> Alcotest.fail "unexpected reply body"
+      | Error msg -> Alcotest.failf "undecodable reply: %s" msg)
+
 let unit_server_metrics_op () =
   let address = Protocol.Local (temp_socket ()) in
   with_server (Server.default_config address) @@ fun server ->
@@ -1146,6 +1447,12 @@ let suites =
           unit_server_bounded_request_line;
         tc "half-closed client still gets its queued reply" `Quick
           unit_server_half_close_still_replies;
+        tc "streaming: pipelined frames route by id, never cross connections"
+          `Quick unit_server_streaming_pipelined_routing;
+        tc "streaming: mid-stream half-close cancels sampling" `Quick
+          unit_server_streaming_half_close_cancels;
+        tc "streaming: deadline timeout carries the last estimate" `Quick
+          unit_server_streaming_timeout_carries_estimate;
         tc "metrics op returns the Obs registry" `Quick unit_server_metrics_op;
         tc "SIGTERM: binary drains, flushes metrics, exits 0" `Quick
           unit_server_binary_sigterm;
