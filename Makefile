@@ -1,4 +1,4 @@
-.PHONY: all build test bench check ci par-matrix smoke-bench smoke-server cache-diff kernel-diff lang-diff anytime-diff bench-cache bench-kernel bench-anytime qa-replay qa-fuzz fmt clean
+.PHONY: all build test bench check ci par-matrix smoke-bench smoke-server cache-diff kernel-diff lang-diff anytime-diff shard-diff bench-cache bench-kernel bench-anytime bench-shard qa-replay qa-fuzz fmt clean
 
 all: build
 
@@ -26,6 +26,7 @@ ci:
 	$(MAKE) kernel-diff
 	$(MAKE) lang-diff
 	$(MAKE) anytime-diff
+	$(MAKE) shard-diff
 	$(MAKE) qa-replay
 	$(MAKE) qa-fuzz
 	@if command -v ocamlformat >/dev/null 2>&1; then \
@@ -94,6 +95,15 @@ anytime-diff:
 	dune build bin/hardq_qa.exe
 	dune exec bin/hardq_qa.exe -- anytime-diff test/corpus
 
+# Sharded scatter-gather differential: every corpus case replayed
+# through engines at shard counts 1, 2 and 4 — Boolean, Count-Session
+# and top-k answers must be byte-identical to the sequential reference,
+# and the two-phase top-k must have pruned exactly the shards whose
+# upper bounds fell below the k-th answer (DESIGN.md §16).
+shard-diff:
+	dune build bin/hardq_qa.exe
+	dune exec bin/hardq_qa.exe -- shard-diff test/corpus
+
 # Refresh the committed cache benchmark document (BENCH_cache.json).
 bench-cache:
 	dune build bench/loadgen.exe
@@ -112,6 +122,13 @@ bench-anytime:
 	dune build bench/main.exe
 	rm -f BENCH_anytime.json
 	BENCH_JSON_OUT=BENCH_anytime.json dune exec bench/main.exe -- anytime
+
+# Refresh the committed shard benchmark document (BENCH_shard.json):
+# open-loop scatter-gather latency (p50/p99) and cross-shard top-k
+# prune rates at shard counts 1, 2 and 4.
+bench-shard:
+	dune build bench/loadgen.exe
+	dune exec bench/loadgen.exe -- --shard-out BENCH_shard.json
 
 # Replay the committed regression corpus: every case must pass the full
 # differential oracle (failures print the offending check and file).

@@ -18,17 +18,30 @@
    BENCH_cache.json). Exits non-zero unless the overall sub-answer hit
    rate clears 50% — the regression gate for the reuse machinery.
 
+   With --shard-out PATH it instead measures the sharded session store:
+   an OPEN-loop pass (requests dispatched at --rate arrivals/second
+   regardless of completions, so queueing shows up in the latency
+   columns instead of throttling the generator) is run against a fresh
+   in-process server at each shard count in {1, 2, 4}, alternating
+   Count-Session and two-phase top-k requests. The per-reply "shards"
+   stats blocks are aggregated into p50/p99 latency and cross-shard
+   prune-rate columns, ONE JSON line (stdout and PATH, e.g.
+   BENCH_shard.json). Exits non-zero on any failed request or any
+   non-exact answer — the sharded path must stay bit-identical under
+   load.
+
    Usage:
      dune exec bench/loadgen.exe -- [--connections 8] [--requests 25]
        [--dataset polls] [--size 8] [--sessions 50] [--timeout-ms MS]
        [--queue N] [--workers N] [--connect ADDR] [--out PATH]
-       [--cache-out PATH] *)
+       [--cache-out PATH] [--shard-out PATH] [--rate RPS] *)
 
 let usage () =
   prerr_endline
     "usage: loadgen [--connections N] [--requests N] [--dataset NAME]\n\
     \  [--size N] [--sessions N] [--timeout-ms MS] [--queue N] [--workers N]\n\
-    \  [--connect ADDR] [--out PATH] [--cache-out PATH]";
+    \  [--connect ADDR] [--out PATH] [--cache-out PATH] [--shard-out PATH]\n\
+    \  [--rate RPS]";
   exit 2
 
 type opts = {
@@ -43,6 +56,8 @@ type opts = {
   mutable connect : string option;
   mutable out : string;
   mutable cache_out : string option;
+  mutable shard_out : string option;
+  mutable rate : float;
 }
 
 let parse_args () =
@@ -59,6 +74,8 @@ let parse_args () =
       connect = None;
       out = "BENCH_server.json";
       cache_out = None;
+      shard_out = None;
+      rate = 25.;
     }
   in
   let rec go = function
@@ -74,6 +91,8 @@ let parse_args () =
     | "--connect" :: v :: rest -> o.connect <- Some v; go rest
     | "--out" :: v :: rest -> o.out <- v; go rest
     | "--cache-out" :: v :: rest -> o.cache_out <- Some v; go rest
+    | "--shard-out" :: v :: rest -> o.shard_out <- Some v; go rest
+    | "--rate" :: v :: rest -> o.rate <- float_of_string v; go rest
     | arg :: _ -> Printf.eprintf "loadgen: unknown argument %s\n" arg; usage ()
   in
   (try go (List.tl (Array.to_list Sys.argv))
@@ -84,8 +103,180 @@ let percentile sorted q =
   if n = 0 then 0.
   else sorted.(min (n - 1) (int_of_float (q *. float_of_int (n - 1) +. 0.5)))
 
+let ms x = x *. 1e3
+
+let latency_block latencies n_ok =
+  let mean =
+    if n_ok = 0 then 0.
+    else Array.fold_left ( +. ) 0. latencies /. float_of_int n_ok
+  in
+  Server.Json.Obj
+    [
+      ("mean", Float (ms mean));
+      ("p50", Float (ms (percentile latencies 0.50)));
+      ("p95", Float (ms (percentile latencies 0.95)));
+      ("p99", Float (ms (percentile latencies 0.99)));
+      ( "max",
+        Float
+          (ms
+             (if Array.length latencies = 0 then 0.
+              else latencies.(Array.length latencies - 1))) );
+    ]
+
+let emit path line =
+  print_endline line;
+  let oc = open_out path in
+  output_string oc line;
+  output_char oc '\n';
+  close_out oc
+
+(* Open-loop pass at one shard count: C*R requests dispatched at --rate
+   arrivals/second wall-clock regardless of completions, each on its
+   own connection, alternating two-phase top-k (even arrivals) and
+   Count-Session (odd). Latency is measured from the SCHEDULED arrival
+   instant, so server-side queueing behind the scatter-gather
+   coordinator lands in the percentile columns instead of slowing the
+   generator down. The per-reply "shards" blocks are summed into the
+   cross-shard prune-rate column; any non-exact answer from a healthy
+   cluster is counted (and fails the run). *)
+let shard_pass o ~spec ~query ~shards =
+  let sock = Filename.temp_file "hardq_shardgen" ".sock" in
+  Sys.remove sock;
+  let address = Server.Protocol.Local sock in
+  let config =
+    {
+      (Server.default_config address) with
+      Server.queue_capacity = o.queue;
+      workers = o.workers;
+      shards;
+      preload = [ spec ];
+    }
+  in
+  let server = Server.start config in
+  Fun.protect ~finally:(fun () -> Server.drain server)
+  @@ fun () ->
+  let n = o.connections * o.requests in
+  let lat = Array.make n nan in
+  let ok = Atomic.make 0
+  and shed = Atomic.make 0
+  and failed = Atomic.make 0
+  and not_exact = Atomic.make 0
+  and pruned = Atomic.make 0
+  and deep = Atomic.make 0
+  and topk_replies = Atomic.make 0 in
+  let topk_req =
+    Server.Protocol.eval
+      ~task:(Engine.Request.Top_k { k = 3; strategy = `Edges 1 })
+      spec query
+  in
+  let count_req = Server.Protocol.eval ~task:Engine.Request.Count spec query in
+  let t0 = Util.Timer.wall () in
+  let threads =
+    List.init n (fun i ->
+        let scheduled = t0 +. (float_of_int i /. o.rate) in
+        let wait = scheduled -. Util.Timer.wall () in
+        if wait > 0. then Thread.delay wait;
+        Thread.create
+          (fun () ->
+            let client = Server.Client.connect ~retries:40 address in
+            Fun.protect ~finally:(fun () -> Server.Client.close client)
+            @@ fun () ->
+            let topk = i land 1 = 0 in
+            let req = if topk then topk_req else count_req in
+            match Server.Client.eval client req with
+            | Ok (Server.Protocol.Answer { shards = sb; _ }) ->
+                Atomic.incr ok;
+                lat.(i) <- Util.Timer.wall () -. scheduled;
+                (match sb with
+                | Some b ->
+                    if not b.Server.Protocol.sh_exact then
+                      Atomic.incr not_exact;
+                    if topk then begin
+                      Atomic.incr topk_replies;
+                      ignore
+                        (Atomic.fetch_and_add pruned b.Server.Protocol.sh_pruned);
+                      ignore
+                        (Atomic.fetch_and_add deep b.Server.Protocol.sh_deep)
+                    end
+                | None -> ())
+            | Ok (Server.Protocol.Err { code = Server.Protocol.Overloaded; _ })
+              ->
+                Atomic.incr shed
+            | Ok _ | Error _ -> Atomic.incr failed)
+          ())
+  in
+  List.iter Thread.join threads;
+  let wall_s = Util.Timer.wall () -. t0 in
+  let latencies =
+    Array.of_list
+      (List.filter (fun l -> not (Float.is_nan l)) (Array.to_list lat))
+  in
+  Array.sort compare latencies;
+  let n_ok = Atomic.get ok in
+  let p = Atomic.get pruned and d = Atomic.get deep in
+  let prune_rate =
+    if p + d = 0 then 0. else float_of_int p /. float_of_int (p + d)
+  in
+  let block =
+    Server.Json.Obj
+      [
+        ("shards", Int shards);
+        ("ok", Int n_ok);
+        ("shed", Int (Atomic.get shed));
+        ("failed", Int (Atomic.get failed));
+        ("not_exact", Int (Atomic.get not_exact));
+        ("wall_s", Float wall_s);
+        ("offered_rps", Float o.rate);
+        ( "achieved_rps",
+          Float (if wall_s > 0. then float_of_int n_ok /. wall_s else 0.) );
+        ("latency_ms", latency_block latencies n_ok);
+        ("topk_replies", Int (Atomic.get topk_replies));
+        ("topk_pruned_shards", Int p);
+        ("topk_deep_shards", Int d);
+        ("prune_rate", Float prune_rate);
+      ]
+  in
+  (block, Atomic.get failed + Atomic.get not_exact)
+
+let shard_bench o path =
+  let query =
+    match Server.Registry.showcase_query o.dataset with
+    | Some text -> Ppd.Parser.parse text
+    | None ->
+        Printf.eprintf "loadgen: unknown dataset %s\n" o.dataset;
+        exit 2
+  in
+  let spec =
+    Server.Protocol.dataset ~size:o.size ~sessions:o.sessions o.dataset
+  in
+  let rows, bad =
+    List.fold_left
+      (fun (rows, bad) shards ->
+        let row, row_bad = shard_pass o ~spec ~query ~shards in
+        (row :: rows, bad + row_bad))
+      ([], 0) [ 1; 2; 4 ]
+  in
+  let line =
+    Server.Json.to_string
+      (Server.Json.Obj
+         [
+           ("bench", String "server_shard");
+           ("dataset", String o.dataset);
+           ("size", Int o.size);
+           ("sessions", Int o.sessions);
+           ("requests", Int (o.connections * o.requests));
+           ("rate_rps", Float o.rate);
+           ("per_shards", Server.Json.List (List.rev rows));
+         ])
+  in
+  emit path line;
+  if bad > 0 then 1 else 0
+
 let () =
   let o = parse_args () in
+  (match o.shard_out with
+  | Some path -> exit (shard_bench o path)
+  | None -> ());
   let started, address =
     match o.connect with
     | Some addr -> (
@@ -180,32 +371,6 @@ let () =
         Atomic.get sf_joins,
         Atomic.get t_hits,
         Atomic.get t_misses ) )
-  in
-  let ms x = x *. 1e3 in
-  let latency_block latencies n_ok =
-    let mean =
-      if n_ok = 0 then 0.
-      else Array.fold_left ( +. ) 0. latencies /. float_of_int n_ok
-    in
-    Server.Json.Obj
-      [
-        ("mean", Float (ms mean));
-        ("p50", Float (ms (percentile latencies 0.50)));
-        ("p95", Float (ms (percentile latencies 0.95)));
-        ("p99", Float (ms (percentile latencies 0.99)));
-        ( "max",
-          Float
-            (ms
-               (if Array.length latencies = 0 then 0.
-                else latencies.(Array.length latencies - 1))) );
-      ]
-  in
-  let emit path line =
-    print_endline line;
-    let oc = open_out path in
-    output_string oc line;
-    output_char oc '\n';
-    close_out oc
   in
   match o.cache_out with
   | None ->

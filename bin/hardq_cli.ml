@@ -97,6 +97,15 @@ let budget_arg =
   let doc = "CPU-seconds budget per solver invocation (0 = unlimited)." in
   Arg.(value & opt float 0. & info [ "budget" ] ~docv:"SECONDS" ~doc)
 
+let shards_arg =
+  let doc =
+    "Session-store shard count (1 = unsharded). With more shards the \
+     engine scatters the query to in-process worker shards and gathers \
+     partial answers (two-phase bound pruning for topk). Answers are \
+     bit-identical at any shard count."
+  in
+  Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc)
+
 let stats_arg =
   Arg.(
     value & flag
@@ -139,8 +148,11 @@ let with_obs metrics_json trace f =
   code
 
 (* [--jobs 0] = engine default (one domain per core) = Config.default. *)
-let engine_config jobs cache kernel =
+let engine_config ?(shards = 1) jobs cache kernel =
   let cfg = Engine.Config.(default |> with_cache cache |> with_kernel kernel) in
+  let cfg =
+    if shards > 1 then Engine.Config.with_shards shards cfg else cfg
+  in
   if jobs <= 0 then cfg else Engine.Config.with_jobs jobs cfg
 
 let print_stats show (resp : Engine.Response.t) =
@@ -191,14 +203,15 @@ let with_query dataset size sessions seed query f =
 
 let eval_cmd =
   let run dataset size sessions seed query solver jobs cache intra kernel
-      budget stats verbose metrics_json trace =
+      budget shards stats verbose metrics_json trace =
     with_obs metrics_json trace @@ fun () ->
     with_query dataset size sessions seed query (fun db q ->
         Format.printf "query: %a@." Ppd.Query.pp q;
         Format.printf "V+ = {%s}, itemwise: %b@."
           (String.concat ", " (Ppd.Compile.v_plus db q))
           (Ppd.Compile.is_itemwise db q);
-        Engine.with_engine (engine_config jobs cache kernel) (fun engine ->
+        Engine.with_engine (engine_config ~shards jobs cache kernel)
+          (fun engine ->
             let req =
               Engine.Request.make ~solver ~budget ~seed
                 ~parallelism:(parallelism_of intra) db q
@@ -229,7 +242,7 @@ let eval_cmd =
     Term.(
       const run $ dataset_arg $ size_arg $ sessions_arg $ seed_arg $ query_arg
       $ solver_arg $ jobs_arg $ cache_arg $ intra_arg $ kernel_arg $ budget_arg
-      $ stats_arg $ verbose $ metrics_json_arg $ trace_arg)
+      $ shards_arg $ stats_arg $ verbose $ metrics_json_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* topk                                                                *)
@@ -237,10 +250,11 @@ let eval_cmd =
 
 let topk_cmd =
   let run dataset size sessions seed query solver jobs cache intra kernel
-      budget stats k strategy metrics_json trace =
+      budget shards stats k strategy metrics_json trace =
     with_obs metrics_json trace @@ fun () ->
     with_query dataset size sessions seed query (fun db q ->
-        Engine.with_engine (engine_config jobs cache kernel) (fun engine ->
+        Engine.with_engine (engine_config ~shards jobs cache kernel)
+          (fun engine ->
             let req =
               Engine.Request.make
                 ~task:(Engine.Request.top_k ~strategy k)
@@ -274,7 +288,8 @@ let topk_cmd =
     Term.(
       const run $ dataset_arg $ size_arg $ sessions_arg $ seed_arg $ query_arg
       $ solver_arg $ jobs_arg $ cache_arg $ intra_arg $ kernel_arg $ budget_arg
-      $ stats_arg $ k_arg $ strategy_arg $ metrics_json_arg $ trace_arg)
+      $ shards_arg $ stats_arg $ k_arg $ strategy_arg $ metrics_json_arg
+      $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* answers                                                             *)

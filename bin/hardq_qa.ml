@@ -119,6 +119,22 @@ let anytime_diff_cmd =
   in
   Cmd.v (Cmd.info "anytime-diff" ~doc) Term.(const anytime_diff $ path_arg)
 
+(* shard-diff *)
+
+let shard_diff path =
+  let o = Qa.Fuzz.shard_diff path in
+  if o.Qa.Fuzz.failures = 0 then 0 else 1
+
+let shard_diff_cmd =
+  let doc =
+    "replay recorded cases through sharded engines (shard counts 1, 2 \
+     and 4) and fail unless every Boolean, Count-Session and top-k \
+     answer is byte-identical to the sequential reference — and unless \
+     the two-phase top-k pruned exactly the shards whose upper bounds \
+     fell below the k-th answer"
+  in
+  Cmd.v (Cmd.info "shard-diff" ~doc) Term.(const shard_diff $ path_arg)
+
 (* gen *)
 
 let index_arg =
@@ -236,6 +252,7 @@ let cmd =
       kernel_diff_cmd;
       lang_diff_cmd;
       anytime_diff_cmd;
+      shard_diff_cmd;
       gen_cmd;
       export_cmd;
     ]

@@ -70,6 +70,17 @@ let kernel_arg =
   Arg.(
     value & opt kconv Hardq.Kernel.default & info [ "kernel" ] ~docv:"KERNEL" ~doc)
 
+let shards_arg =
+  let doc =
+    "Session-store shard count (1 = unsharded). With more than one \
+     shard the server becomes a scatter-gather coordinator over \
+     in-process worker shards: Count-Session scatters and sums, top-k \
+     runs two-phase with cross-shard bound pruning, and replies carry \
+     an additive $(b,shards) accounting block. Answers are \
+     bit-identical at any shard count."
+  in
+  Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc)
+
 let intra_arg =
   let doc =
     "Default intra-query parallelism for requests without a \
@@ -121,8 +132,8 @@ let preload_arg =
 let quiet_arg =
   Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress lifecycle log lines.")
 
-let run listen jobs cache term_cache batch_window_ms batch_max intra kernel
-    queue
+let run listen jobs cache term_cache batch_window_ms batch_max shards intra
+    kernel queue
     workers max_connections timeout_ms metrics_json preload quiet =
   let config =
     {
@@ -132,6 +143,7 @@ let run listen jobs cache term_cache batch_window_ms batch_max intra kernel
       term_cache_capacity = term_cache;
       batch_window_ms;
       batch_max;
+      shards = (if shards < 1 then 1 else shards);
       intra;
       kernel;
       queue_capacity = queue;
@@ -169,7 +181,8 @@ let cmd =
     (Cmd.info "hardq-server" ~doc ~man)
     Term.(
       const run $ listen_arg $ jobs_arg $ cache_arg $ term_cache_arg
-      $ batch_window_arg $ batch_max_arg $ intra_arg $ kernel_arg $ queue_arg
+      $ batch_window_arg $ batch_max_arg $ shards_arg $ intra_arg $ kernel_arg
+      $ queue_arg
       $ workers_arg $ max_connections_arg $ timeout_arg $ metrics_json_arg
       $ preload_arg $ quiet_arg)
 

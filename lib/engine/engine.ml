@@ -14,6 +14,7 @@ module Config = struct
     batch_window : float;
     batch_max : int;
     kernel : Hardq.Kernel.t;
+    shards : int;
   }
 
   let default =
@@ -25,6 +26,7 @@ module Config = struct
       batch_window = 0.002;
       batch_max = 16;
       kernel = Hardq.Kernel.default;
+      shards = 1;
     }
 
   let with_jobs jobs c = { c with jobs = Some jobs }
@@ -34,6 +36,7 @@ module Config = struct
   let with_batch_window batch_window c = { c with batch_window }
   let with_batch_max batch_max c = { c with batch_max }
   let with_kernel kernel c = { c with kernel }
+  let with_shards shards c = { c with shards }
 end
 
 (* Content-addressed identity of one per-session inference: the solver, the
@@ -67,6 +70,8 @@ type t = {
   config : Config.t;
   answers : (key, float) Store.t option;
   terms : (term_key, float) Store.t option;
+  cluster : Shard.t option;
+      (* the sharded session store; [Some] iff [Config.shards > 1] *)
   batch_ids : int Atomic.t;
   obs_m : Mutex.t; (* guards the evictions-folded counters below *)
   mutable answer_evictions_folded : int;
@@ -107,6 +112,10 @@ let create (cfg : Config.t) =
       (if cfg.Config.cache && cfg.Config.term_capacity > 0 then
          Some (Store.create ~capacity:cfg.Config.term_capacity)
        else None);
+    cluster =
+      (if cfg.Config.shards > 1 then
+         Some (Shard.create ~shards:cfg.Config.shards ())
+       else None);
     batch_ids = Atomic.make 0;
     obs_m = Mutex.create ();
     answer_evictions_folded = 0;
@@ -126,7 +135,10 @@ let clear_cache t =
   Option.iter Store.clear t.terms
 
 let shutdown t =
-  if not (Atomic.exchange t.stopped true) then Pool.shutdown t.pool
+  if not (Atomic.exchange t.stopped true) then begin
+    Option.iter Shard.shutdown t.cluster;
+    Pool.shutdown t.pool
+  end
 
 let stopped t = Atomic.get t.stopped
 
@@ -655,8 +667,7 @@ let plan_answer (req : Request.t) (plan : Plan.t) answer per_session =
         | Lang.Ast.Certainly -> if p >= 1. -. 1e-9 then 1. else 0.)
   | _ -> answer
 
-let eval_one t ~batch_id ~batch_size (req : Request.t) =
-  if Atomic.get t.stopped then raise Stopped;
+let eval_direct t ~batch_id ~batch_size (req : Request.t) =
   Obs.with_span "engine.eval" @@ fun () ->
   let m0 = if Obs.enabled () then Obs.snapshot () else [] in
   let t_start = Util.Timer.wall () in
@@ -743,8 +754,104 @@ let eval_one t ~batch_id ~batch_size (req : Request.t) =
         solve_s = t_end -. t_compiled -. bound_s;
         total_s = t_end -. t_start;
         metrics;
+        shards = None;
       };
   }
+
+(* ------------------------------------------------------------------ *)
+(* Sharded dispatch (ROADMAP item 2)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let c_sharded_evals = Obs.counter "engine.sharded_evals"
+
+(* Classic-query requests on an engine configured with [shards > 1]
+   scatter to the sharded session store instead of the local pool.
+   Compilation (which interns labels, mutating the database) stays on
+   the coordinator; workers get a read-only view. The coordinator's
+   merge re-folds per-session probabilities in global session order, so
+   the answer is bit-identical to the unsharded path — unless shards
+   failed, which the summary types as a partial (lower-bound) answer
+   instead of raising. *)
+let eval_sharded t cluster ~batch_id ~batch_size (req : Request.t) q =
+  Obs.with_span "engine.eval" @@ fun () ->
+  let m0 = if Obs.enabled () then Obs.snapshot () else [] in
+  let t_start = Util.Timer.wall () in
+  let compiled =
+    Obs.with_span "compile" (fun () -> Ppd.Compile.compile req.Request.db q)
+  in
+  let lab = Ppd.Database.labeling req.Request.db in
+  let lab_canon =
+    Array.init (Prefs.Labeling.n_items lab) (Prefs.Labeling.labels_of lab)
+  in
+  let t_compiled = Util.Timer.wall () in
+  let job =
+    {
+      Shard.solver = req.Request.solver;
+      seed = req.Request.seed;
+      budget = req.Request.budget;
+      kernel = t.config.Config.kernel;
+      lab;
+      lab_canon;
+      deadline = req.Request.deadline;
+    }
+  in
+  let p_rel = Ppd.Database.p_name compiled.Ppd.Compile.p_rel in
+  let requests = compiled.Ppd.Compile.requests in
+  let answer, per_session, summary =
+    match req.Request.task with
+    | Request.Boolean ->
+        let p, ps, s = Shard.boolean cluster job ~p_rel requests in
+        (Response.Probability p, ps, s)
+    | Request.Count ->
+        let c, ps, s = Shard.count cluster job ~p_rel requests in
+        (Response.Expectation c, ps, s)
+    | Request.Top_k { k; strategy } ->
+        let ranked, ps, s =
+          Shard.top_k cluster job ~k ~strategy ~p_rel requests
+        in
+        (Response.Ranked ranked, ps, s)
+  in
+  let t_end = Util.Timer.wall () in
+  Obs.Counter.incr c_sharded_evals;
+  Obs.Counter.add c_evals 1;
+  Obs.Counter.add c_sessions (List.length requests);
+  Obs.Counter.add c_solver_calls summary.Shard.solved_sessions;
+  let metrics = if Obs.enabled () then Obs.diff m0 (Obs.snapshot ()) else [] in
+  {
+    Response.answer;
+    per_session;
+    stats =
+      {
+        Response.sessions = List.length requests;
+        distinct = summary.Shard.solved_sessions;
+        cache_hits = 0;
+        cache_misses = 0;
+        sf_joins = 0;
+        term_hits = 0;
+        term_misses = 0;
+        solver_calls = summary.Shard.solved_sessions;
+        jobs = Pool.size t.pool;
+        batch_id;
+        batch_size;
+        compile_s = t_compiled -. t_start;
+        bound_s = 0.;
+        solve_s = t_end -. t_compiled;
+        total_s = t_end -. t_start;
+        metrics;
+        shards = Some summary;
+      };
+  }
+
+(* Route one request: the sharded data plane serves classic-query
+   sources (Boolean / Count / Top-k over a parsed CQ); plan sources
+   keep the pooled path — their lowered forms carry plan-level folds the
+   coordinator does not replicate. *)
+let eval_one t ~batch_id ~batch_size (req : Request.t) =
+  if Atomic.get t.stopped then raise Stopped;
+  match (t.cluster, req.Request.source) with
+  | Some cluster, Request.Query q ->
+      eval_sharded t cluster ~batch_id ~batch_size req q
+  | _ -> eval_direct t ~batch_id ~batch_size req
 
 let next_batch_id t = Atomic.fetch_and_add t.batch_ids 1
 
@@ -1031,6 +1138,7 @@ let serve t ?(on_frame = fun (_ : Hardq.Anytime.frame) -> ())
                 solve_s = t_end -. t_compiled;
                 total_s = t_end -. t_start;
                 metrics;
+                shards = None;
               };
           }
         in

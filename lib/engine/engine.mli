@@ -70,6 +70,15 @@ module Config : sig
             valid across kernels; the knob trades the boxed reference
             layout against the flat production layout for debugging and
             differential testing. *)
+    shards : int;
+        (** session-store shard count (default 1 = unsharded). When
+            [> 1] the engine also spins up a {!Shard.t} cluster and
+            routes classic-query requests (Boolean / Count / Top-k over
+            a parsed CQ) through scatter-gather; plan-source requests
+            keep the pooled path. Sharded answers are bit-identical to
+            the unsharded ones at any shard count — see {!Shard} — and
+            carry a per-shard accounting block in
+            [Response.stats.shards]. *)
   }
 
   val default : t
@@ -80,6 +89,7 @@ module Config : sig
   val with_batch_window : float -> t -> t
   val with_batch_max : int -> t -> t
   val with_kernel : Hardq.Kernel.t -> t -> t
+  val with_shards : int -> t -> t
 end
 
 type t

@@ -15,6 +15,7 @@ type stats = {
   solve_s : float;
   total_s : float;
   metrics : Obs.snapshot;
+  shards : Shard.summary option;
 }
 
 type answer =
@@ -50,6 +51,15 @@ let pp_stats ppf s =
          s.term_misses
      else "")
     s.compile_s s.bound_s s.solve_s s.total_s;
+  (match s.shards with
+  | None -> ()
+  | Some sh ->
+      Format.fprintf ppf
+        "@.shards: %d (%d answered, %d timed out, %d errored, %d pruned, %d \
+         deep)%s"
+        sh.Shard.shards sh.Shard.answered sh.Shard.timed_out sh.Shard.errored
+        sh.Shard.pruned_shards sh.Shard.deep_shards
+        (if sh.Shard.exact then "" else " -- partial answer"));
   match s.metrics with
   | [] -> ()
   | metrics ->

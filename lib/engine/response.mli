@@ -31,6 +31,12 @@ type stats = {
           activity...). Empty unless [Obs.enabled ()] — and then it is a
           process-wide delta, so concurrent evaluations on other engines
           bleed into it. *)
+  shards : Shard.summary option;
+      (** Scatter-gather accounting when the request ran on the sharded
+          session store ([Config.shards > 1] and a classic query
+          source): which shards answered, timed out or errored, the
+          cross-shard top-k prune counts, and whether the answer is
+          exact or a typed lower bound. [None] on the unsharded path. *)
 }
 
 type answer =

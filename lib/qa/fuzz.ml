@@ -125,6 +125,9 @@ let kernel_diff ?(log = Format.std_formatter) path =
 let anytime_diff ?(log = Format.std_formatter) path =
   sweep ~log ~check:(fun case -> Oracle.anytime case) path
 
+let shard_diff ?(log = Format.std_formatter) path =
+  sweep ~log ~check:(fun case -> Oracle.shard_diff case) path
+
 (* The acceptance bar for the planner: besides every per-case check
    passing, the corpus as a whole must route at least one query to each
    plan node kind — a corpus that never exercises, say, the sampling

@@ -59,6 +59,13 @@ val anytime_diff : ?log:Format.formatter -> string -> outcome
     frame-byte determinism) — over one [.case] file or a directory of
     them, with the same per-file verdict lines as {!replay}. *)
 
+val shard_diff : ?log:Format.formatter -> string -> outcome
+(** [shard_diff path] runs {!Oracle.shard_diff} — the sharded
+    scatter-gather byte-identity sweep at shard counts 1, 2 and 4, with
+    the two-phase top-k prune-soundness asserts — over one [.case] file
+    or a directory of them, with the same per-file verdict lines as
+    {!replay}. *)
+
 val lang_diff : ?log:Format.formatter -> string -> outcome
 (** [lang_diff path] runs {!Oracle.lang_diff} — the query-language
     frontend and planner differential sweep — over one [.case] file or

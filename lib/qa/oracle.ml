@@ -663,6 +663,160 @@ let kernel_diff ?(budget = 0.5) (case : Ppd.Case.t) =
   | Util.Timer.Out_of_time -> Skip "solver budget exhausted"
   | Failure msg -> Skip ("solver gave up: " ^ msg)
 
+(* Sharded scatter-gather sweep (make shard-diff / hardq_qa shard-diff):
+   the case is evaluated through engines at shard counts {2, 4} and
+   every answer — Boolean, Count-Session, and both top-k strategies —
+   must be byte-identical to the sequential [Ppd.Solve] reference and
+   the unsharded engine. On top of bit-identity, the scatter-gather
+   accounting is asserted: all shards answered (exact answer, no
+   failures), and the two-phase top-k never deep-queried a shard whose
+   phase-1 upper bound fell below the final k-th answer (nor pruned one
+   whose bound survived it). *)
+let shard_diff ?(budget = 0.5) (case : Ppd.Case.t) =
+  let { Ppd.Case.db; query; _ } = case in
+  let n_checks = ref 0 in
+  let ran fmt = Printf.ksprintf (fun _ -> incr n_checks) fmt in
+  try
+    (* Sequential references: one shared rng in session order, exactly
+       what the coordinator's index-ordered merge must reproduce. *)
+    let count_ref = Ppd.Solve.count_sessions ~group:true db query (Util.Rng.make 42) in
+    let bool_ref = Ppd.Solve.boolean_prob ~group:true db query (Util.Rng.make 42) in
+    let k = 3 in
+    let topk_ref =
+      (Ppd.Solve.top_k ~strategy:`Naive ~k db query (Util.Rng.make 42)).Ppd.Solve.results
+    in
+    let eval_at shards task =
+      let cfg =
+        Engine.Config.(
+          default |> with_cache false
+          |> fun c -> if shards > 1 then with_shards shards c else c)
+      in
+      Engine.with_engine cfg (fun engine ->
+          Engine.eval engine (Engine.Request.make ~task ~budget ~seed:42 db query))
+    in
+    List.iter
+      (fun shards ->
+        let tag check = Printf.sprintf "%s (shards=%d)" check shards in
+        let summary_of (resp : Engine.Response.t) check =
+          match resp.Engine.Response.stats.Engine.Response.shards with
+          | Some s when shards > 1 ->
+              if s.Shard.shards <> shards then
+                fail (tag check) "summary reports %d shard(s), engine configured %d"
+                  s.Shard.shards shards;
+              if not s.Shard.exact then
+                fail (tag check)
+                  "healthy cluster produced a partial answer (%d answered, %d \
+                   timed out, %d errored)"
+                  s.Shard.answered s.Shard.timed_out s.Shard.errored;
+              Some s
+          | Some _ -> fail (tag check) "unsharded engine attached a shards block"
+          | None when shards > 1 ->
+              fail (tag check) "sharded engine returned no shards block"
+          | None -> None
+        in
+        (* Count-Session: scattered partials re-folded in global session
+           order must equal the sequential left fold bitwise. *)
+        let resp_c = eval_at shards Engine.Request.Count in
+        ignore (summary_of resp_c "count summary");
+        let c = Engine.Response.answer_float resp_c in
+        if c <> count_ref then
+          fail (tag "count bit-identity") "sharded=%.17g reference=%.17g" c count_ref;
+        ran "count";
+        (* Boolean: same merge, different fold. *)
+        let resp_b = eval_at shards Engine.Request.Boolean in
+        ignore (summary_of resp_b "boolean summary");
+        let p = Engine.Response.answer_float resp_b in
+        if p <> bool_ref then
+          fail (tag "boolean bit-identity") "sharded=%.17g reference=%.17g" p bool_ref;
+        ran "boolean";
+        (* Top-k, both strategies: the ranked list must match the naive
+           sequential reference row for row — the strict cross-shard
+           pruning keeps every tie at the k-th probability. *)
+        List.iter
+          (fun (sname, strategy) ->
+            let resp =
+              eval_at shards (Engine.Request.Top_k { k; strategy })
+            in
+            let summary = summary_of resp (sname ^ " summary") in
+            let ranked = Engine.Response.ranked resp in
+            if List.length ranked <> List.length topk_ref then
+              fail
+                (tag (sname ^ " length"))
+                "sharded ranked %d session(s), reference %d" (List.length ranked)
+                (List.length topk_ref);
+            (* Probabilities must match the naive reference row for row,
+               bitwise. Ranked keys must match too, except on the
+               unsharded engine's sequential `Edges path, which orders
+               equal-probability ties by evaluation order (and may stop
+               inside a tie group) — the sharded merge canonicalizes
+               ties to global session order, the naive order. *)
+            let check_keys = shards > 1 || sname = "topk-naive" in
+            List.iter2
+              (fun ((s : Ppd.Database.session), p)
+                   ((s' : Ppd.Database.session), p') ->
+                if p <> p' then
+                  fail
+                    (tag (sname ^ " bit-identity"))
+                    "sharded=%.17g reference=%.17g" p p';
+                if check_keys && s.Ppd.Database.key <> s'.Ppd.Database.key then
+                  fail
+                    (tag (sname ^ " rank order"))
+                    "ranked a different session than the reference at p=%.17g" p)
+              ranked topk_ref;
+            ran "topk %s" sname;
+            (* Prune-counter invariant (two-phase bound pruning): with a
+               full ranking, a deep-queried shard's phase-1 bound must
+               be at least the final k-th answer, and a pruned shard's
+               strictly below it. *)
+            match summary with
+            | Some s when strategy <> `Naive && List.length ranked >= k -> (
+                match s.Shard.kth with
+                | None -> fail (tag "kth recorded") "full ranking but kth = None"
+                | Some kth ->
+                    Array.iteri
+                      (fun i outcome ->
+                        let bound = s.Shard.best_bounds.(i) in
+                        match outcome with
+                        | Shard.Skipped_by_bound ->
+                            if bound >= kth then
+                              fail
+                                (tag "no over-pruning")
+                                "shard %d pruned with bound %.17g >= kth %.17g" i
+                                bound kth
+                        | Shard.Answered ->
+                            if bound < kth then
+                              fail
+                                (tag "no wasted deep query")
+                                "shard %d deep-queried with bound %.17g < kth %.17g"
+                                i bound kth
+                        | Shard.Timed_out | Shard.Errored _ -> ())
+                      s.Shard.outcomes;
+                    (* pruned + deep = phase-1 survivors holding sessions;
+                       empty shards are neither. *)
+                    if s.Shard.pruned_shards + s.Shard.deep_shards > s.Shard.shards
+                    then
+                      fail
+                        (tag "phase accounting")
+                        "pruned %d + deep %d > shards %d" s.Shard.pruned_shards
+                        s.Shard.deep_shards s.Shard.shards;
+                    ran "prune invariant")
+            | _ -> ())
+          [ ("topk-naive", `Naive); ("topk-edges", `Edges 1) ])
+      [ 1; 2; 4 ];
+    let sessions =
+      try List.length (Ppd.Compile.compile db query).Ppd.Compile.requests
+      with _ -> 0
+    in
+    Pass
+      { sessions; nontrivial = sessions; checks = !n_checks; answer = count_ref }
+  with
+  | Failed (check, detail) -> Fail { check; detail }
+  | Skipped msg -> Skip msg
+  | Ppd.Compile.Unsupported msg -> Skip ("compile unsupported: " ^ msg)
+  | Ppd.Compile.Grounding_too_large msg -> Skip ("grounding: " ^ msg)
+  | Util.Timer.Out_of_time -> Skip "solver budget exhausted"
+  | Failure msg -> Skip ("solver gave up: " ^ msg)
+
 (* Anytime serving sweep (make anytime-diff / hardq_qa anytime-diff):
    the case is served under accuracy SLOs with a forced sampling solver
    and every streamed frame is checked against the exact answer.

@@ -103,6 +103,17 @@ val lang_diff : ?eps:float -> ?budget:float -> Ppd.Case.t -> result * string lis
     the {!Plan.node_kinds} exercised, in no particular order — the
     corpus sweep unions them to assert routing coverage. *)
 
+val shard_diff : ?budget:float -> Ppd.Case.t -> result
+(** Sharded scatter-gather sweep on one case ([make shard-diff]): the
+    case is evaluated through engines at shard counts 1, 2 and 4, and
+    the Boolean, Count-Session and top-k answers (both strategies) must
+    be byte-identical to the sequential [Ppd.Solve] reference — exact
+    [=], no eps. The scatter-gather accounting is asserted on top: a
+    healthy cluster reports every shard answered and the answer exact,
+    and the two-phase top-k neither deep-queried a shard whose phase-1
+    upper bound fell below the final k-th answer nor pruned one whose
+    bound survived it (prune-soundness both ways). *)
+
 val anytime : ?eps:float -> ?budget:float -> Ppd.Case.t -> result
 (** Anytime serving sweep on one case ([make anytime-diff]): with a
     forced sampling solver under a [`Ci_width] SLO, (a) every streamed

@@ -463,6 +463,22 @@ type anytime = {
   any_ci_hi : float;
 }
 
+(* Scatter-gather accounting of a request served by the sharded session
+   store: how many shards there are, how each fared, the cross-shard
+   top-k prune counts, and whether the answer is exact or a typed lower
+   bound (some shards timed out or errored). A v1 additive reply block
+   with the same contract as "cache"/"anytime" — pre-sharding peers
+   ignore it, unsharded servers omit it. *)
+type shards_block = {
+  sh_count : int;
+  sh_answered : int;
+  sh_timed_out : int;
+  sh_errored : int;
+  sh_pruned : int;
+  sh_deep : int;
+  sh_exact : bool;
+}
+
 type reply = { reply_id : Json.t option; result : result_body }
 
 and result_body =
@@ -473,6 +489,9 @@ and result_body =
       anytime : anytime option;
           (* v1 additive block; [None] on plain (no-SLO) evaluation or
              when the peer predates it *)
+      shards : shards_block option;
+          (* v1 additive block; [None] on unsharded servers or when the
+             peer predates it *)
     }
   | Metrics_snapshot of Json.t
   | Pong
@@ -648,6 +667,50 @@ let anytime_of_json j =
             (Some { any_status; any_rounds; any_draws; any_ci_lo; any_ci_hi })
       | _ -> None)
 
+let shards_to_json (s : shards_block) =
+  Json.Obj
+    [
+      ("count", Json.Int s.sh_count);
+      ("answered", Json.Int s.sh_answered);
+      ("timed_out", Json.Int s.sh_timed_out);
+      ("errored", Json.Int s.sh_errored);
+      ("pruned", Json.Int s.sh_pruned);
+      ("deep", Json.Int s.sh_deep);
+      ("exact", Json.Bool s.sh_exact);
+    ]
+
+(* Same contract as "cache"/"anytime": an absent "shards" member is fine
+   (unsharded or pre-sharding peer), a malformed one is a decode
+   failure. *)
+let shards_of_json j =
+  match Json.member "shards" j with
+  | None -> Some None
+  | Some s -> (
+      let int k = Option.bind (Json.member k s) Json.to_int in
+      let bool k =
+        match Json.member k s with Some (Json.Bool b) -> Some b | _ -> None
+      in
+      match
+        ( (int "count", int "answered"),
+          (int "timed_out", int "errored"),
+          (int "pruned", int "deep", bool "exact") )
+      with
+      | ( (Some sh_count, Some sh_answered),
+          (Some sh_timed_out, Some sh_errored),
+          (Some sh_pruned, Some sh_deep, Some sh_exact) ) ->
+          Some
+            (Some
+               {
+                 sh_count;
+                 sh_answered;
+                 sh_timed_out;
+                 sh_errored;
+                 sh_pruned;
+                 sh_deep;
+                 sh_exact;
+               })
+      | _ -> None)
+
 let progress_to_json (p : progress) =
   Json.Obj
     (("v", Json.Int version)
@@ -752,12 +815,15 @@ let reply_to_json (r : reply) =
                   ("message", Json.String e.message);
                 ] );
           ])
-  | Answer { answer; per_session; stats; anytime } ->
+  | Answer { answer; per_session; stats; anytime; shards } ->
       Json.Obj
         (id
         @ [ ("ok", Json.Bool true); ("answer", answer_to_json answer) ]
         @ (match anytime with
           | Some a -> [ ("anytime", anytime_to_json a) ]
+          | None -> [])
+        @ (match shards with
+          | Some s -> [ ("shards", shards_to_json s) ]
           | None -> [])
         @ (match per_session with
           | Some rows ->
@@ -792,9 +858,10 @@ let reply_of_json j =
           match
             ( answer_of_json ans,
               Option.bind (Json.member "stats" j) stats_of_json,
-              anytime_of_json j )
+              anytime_of_json j,
+              shards_of_json j )
           with
-          | Some answer, Some stats, Some anytime ->
+          | Some answer, Some stats, Some anytime, Some shards ->
               let per_session =
                 match Json.member "per_session" j with
                 | Some (Json.List rows) ->
@@ -807,7 +874,8 @@ let reply_of_json j =
               Ok
                 {
                   reply_id;
-                  result = Answer { answer; per_session; stats; anytime };
+                  result =
+                    Answer { answer; per_session; stats; anytime; shards };
                 }
           | _ -> Stdlib.Error "malformed answer reply")
       | _ -> Stdlib.Error "ok reply without pong/metrics/answer")
@@ -846,6 +914,22 @@ let anytime_of_engine (a : Engine.anytime) =
         any_ci_hi = a.Engine.ci_hi;
       })
     status
+
+(* Project the engine's scatter-gather accounting (present iff the
+   request ran on the sharded session store) onto the wire block. *)
+let shards_of_response (resp : Engine.Response.t) =
+  Option.map
+    (fun (s : Shard.summary) ->
+      {
+        sh_count = s.Shard.shards;
+        sh_answered = s.Shard.answered;
+        sh_timed_out = s.Shard.timed_out;
+        sh_errored = s.Shard.errored;
+        sh_pruned = s.Shard.pruned_shards;
+        sh_deep = s.Shard.deep_shards;
+        sh_exact = s.Shard.exact;
+      })
+    resp.Engine.Response.stats.Engine.Response.shards
 
 let stats_of_response ~queue_s ~server_s (resp : Engine.Response.t) =
   let s = resp.Engine.Response.stats in

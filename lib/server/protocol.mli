@@ -213,6 +213,27 @@ type anytime = {
     pre-anytime servers ([None] after decode), rejected when present but
     malformed. *)
 
+type shards_block = {
+  sh_count : int;  (** shard count of the serving cluster *)
+  sh_answered : int;  (** shards that returned a full answer *)
+  sh_timed_out : int;  (** shards whose per-shard deadline expired *)
+  sh_errored : int;  (** shards that replied with an error *)
+  sh_pruned : int;
+      (** shards skipped by the two-phase top-k bound (their upper
+          bound fell below the running k-th answer) — 0 for
+          Count-Session / Boolean *)
+  sh_deep : int;  (** shards deep-queried in top-k phase 2 *)
+  sh_exact : bool;
+      (** [true]: every needed shard answered and the answer equals the
+          unsharded evaluation bit-for-bit. [false]: some shards failed
+          and the answer is a typed lower bound over the shards that
+          did answer — never silently claimed exact. *)
+}
+(** Wire field ["shards"], added in v1 as a non-breaking extension with
+    the same contract as ["cache"]/["anytime"]: absent from unsharded
+    and pre-sharding servers ([None] after decode), rejected when
+    present but malformed. *)
+
 type reply = { reply_id : Json.t option; result : result_body }
 
 and result_body =
@@ -221,6 +242,7 @@ and result_body =
       per_session : (Ppd.Value.t list * float) list option;
       stats : stats;
       anytime : anytime option;
+      shards : shards_block option;
     }
   | Metrics_snapshot of Json.t
   | Pong
@@ -267,6 +289,11 @@ val slo_of_eval : eval -> Engine.Request.slo option
 val anytime_of_engine : Engine.anytime -> anytime option
 (** Project a serve outcome onto the wire block. [None] for [`Cancelled]
     — the client that could have read it is gone. *)
+
+val shards_of_response : Engine.Response.t -> shards_block option
+(** Project the engine's scatter-gather accounting
+    ([Response.stats.shards]) onto the wire block; [None] when the
+    request ran unsharded. *)
 
 val key_of_session : Ppd.Database.session -> Ppd.Value.t list
 (** A session's wire identity: its key attribute values. *)

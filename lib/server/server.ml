@@ -31,6 +31,11 @@ type config = {
   kernel : Hardq.Kernel.t;
       (* DP layout of the exact solvers; answers are byte-identical for
          either kernel, so the knob is free to flip between restarts *)
+  shards : int;
+      (* session-store shard count; > 1 makes this server a scatter-
+         gather coordinator over in-process worker shards — replies
+         gain the additive "shards" accounting block, answers stay
+         bit-identical to the unsharded server *)
 }
 
 let default_config address =
@@ -51,6 +56,7 @@ let default_config address =
     batch_window_ms = 2.;
     batch_max = 16;
     kernel = Hardq.Kernel.default;
+    shards = 1;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -270,7 +276,13 @@ let finish ?anytime (job : job) start deadline_limited
         else None
       in
       Protocol.Answer
-        { answer = Protocol.answer_of_response resp; per_session; stats; anytime }
+        {
+          answer = Protocol.answer_of_response resp;
+          per_session;
+          stats;
+          anytime;
+          shards = Protocol.shards_of_response resp;
+        }
   | Error Util.Timer.Out_of_time ->
       (* Either the deadline-derived CPU cap or the engine's wall-clock
          guard fired; a genuinely-expired deadline wins the diagnosis
@@ -825,6 +837,7 @@ let start cfg =
             batch_window = cfg.batch_window_ms /. 1000.;
             batch_max = cfg.batch_max;
             kernel = cfg.kernel;
+            shards = cfg.shards;
           };
       registry = Registry.create ();
       queue = Bqueue.create ~capacity:cfg.queue_capacity;

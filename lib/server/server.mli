@@ -75,6 +75,13 @@ type config = {
   kernel : Hardq.Kernel.t;
       (** DP layout of the exact solvers (default {!Hardq.Kernel.Flat});
           answers are byte-identical for either kernel *)
+  shards : int;
+      (** session-store shard count (default 1 = unsharded). [> 1]
+          makes the server a scatter-gather coordinator: classic-query
+          evals scatter to in-process worker shards, replies gain the
+          additive ["shards"] accounting block, and partial shard
+          failure degrades to a typed lower-bound answer instead of an
+          error. Answers are bit-identical at any shard count. *)
 }
 
 val default_config : Protocol.address -> config
@@ -83,7 +90,7 @@ val default_config : Protocol.address -> config
     metrics path, no preloads, quiet (the binary's [--quiet] flag opts
     into silence explicitly; library embedders flip [quiet] off when
     they want the lifecycle log), intra-query parallelism on, 2 ms
-    gather window, 16 requests per batch. *)
+    gather window, 16 requests per batch, 1 shard (unsharded). *)
 
 type t
 

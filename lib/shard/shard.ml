@@ -1,0 +1,646 @@
+module Chash = Chash
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection (test seam)                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Inject = struct
+  type fault = Drop | Delay of float | Error of string
+
+  let table : (int, fault) Hashtbl.t = Hashtbl.create 8
+  let m = Mutex.create ()
+
+  let set ~shard fault =
+    Mutex.lock m;
+    Hashtbl.replace table shard fault;
+    Mutex.unlock m
+
+  let clear ~shard =
+    Mutex.lock m;
+    Hashtbl.remove table shard;
+    Mutex.unlock m
+
+  let reset () =
+    Mutex.lock m;
+    Hashtbl.reset table;
+    Mutex.unlock m
+
+  let find ~shard =
+    (* Cheap common case: replies only pay this probe. *)
+    Mutex.lock m;
+    let r = Hashtbl.find_opt table shard in
+    Mutex.unlock m;
+    r
+end
+
+(* ------------------------------------------------------------------ *)
+(* Mailboxes: the message-passing seam                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A worker's inbox blocks (Condition); a gather's reply mailbox polls
+   against an absolute deadline (stdlib Condition has no timed wait, and
+   sub-millisecond polling is far below any per-shard deadline). *)
+module Mailbox = struct
+  type 'a t = { m : Mutex.t; c : Condition.t; q : 'a Queue.t }
+
+  let create () = { m = Mutex.create (); c = Condition.create (); q = Queue.create () }
+
+  let push t x =
+    Mutex.lock t.m;
+    Queue.push x t.q;
+    Condition.signal t.c;
+    Mutex.unlock t.m
+
+  let pop t =
+    Mutex.lock t.m;
+    while Queue.is_empty t.q do
+      Condition.wait t.c t.m
+    done;
+    let x = Queue.pop t.q in
+    Mutex.unlock t.m;
+    x
+
+  let rec pop_before t ~deadline =
+    Mutex.lock t.m;
+    let r = if Queue.is_empty t.q then None else Some (Queue.pop t.q) in
+    Mutex.unlock t.m;
+    match r with
+    | Some _ -> r
+    | None ->
+        if Util.Timer.wall () > deadline then None
+        else begin
+          Thread.delay 0.0005;
+          pop_before t ~deadline
+        end
+end
+
+(* ------------------------------------------------------------------ *)
+(* The wire between coordinator and shards                             *)
+(* ------------------------------------------------------------------ *)
+
+type job = {
+  solver : Hardq.Solver.t;
+  seed : int;
+  budget : float;
+  kernel : Hardq.Kernel.t;
+  lab : Prefs.Labeling.t;
+  lab_canon : int list array;
+  deadline : float option;
+}
+
+type item = {
+  index : int; (* global position in the compiled request list *)
+  session : Ppd.Database.session;
+  union : Prefs.Pattern_union.t option;
+}
+
+type work =
+  | Probs of item array
+  | Bounds of { items : item array; n_edges : int }
+  | Deep of { items : (item * float) array; k : int; threshold : float }
+
+type reply_body =
+  | R_probs of (int * float) array
+  | R_bounds of { bounds : (int * float) array; best : float }
+  | R_deep of { evaluated : (int * float) array; skipped : int }
+  | R_timeout
+  | R_error of string
+
+type reply = { shard : int; gather : int; body : reply_body }
+
+type msg =
+  | Work of {
+      gather : int;
+      deadline : float;
+      job : job;
+      work : work;
+      reply_to : reply Mailbox.t;
+    }
+  | Stop
+
+(* ------------------------------------------------------------------ *)
+(* Observability                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let c_scatters = Obs.counter "shard.scatters"
+let c_gathers_partial = Obs.counter "shard.gathers.partial"
+let c_timeouts = Obs.counter "shard.timeouts"
+let c_errors = Obs.counter "shard.errors"
+let c_shards_pruned = Obs.counter "shard.topk.shards_pruned"
+let c_shards_deep = Obs.counter "shard.topk.shards_deep"
+let c_sessions_pruned = Obs.counter "shard.topk.sessions_pruned"
+let h_fanout = Obs.histogram "shard.scatter_fanout"
+
+(* ------------------------------------------------------------------ *)
+(* Worker shards                                                       *)
+(* ------------------------------------------------------------------ *)
+
+exception Expired
+
+type worker = {
+  id : int;
+  inbox : msg Mailbox.t;
+  c_msgs : Obs.Counter.t; (* shard.<i>.messages *)
+  c_solved : Obs.Counter.t; (* shard.<i>.solved *)
+}
+
+let key_seed solver seed =
+  match solver with Hardq.Solver.Exact _ -> 0 | Hardq.Solver.Approx _ -> seed
+
+(* Same canonical digest as the engine's [key_digest]: the RNG of one
+   inference is a pure function of its content and the request seed, so
+   a sampled probability is bit-identical to the unsharded engine's. *)
+let item_digest job (s : Ppd.Database.session) union =
+  let module D = Hardq.Digest in
+  let h = D.int D.empty (key_seed job.solver job.seed) in
+  let h = D.solver h job.solver in
+  let h = D.model h s.Ppd.Database.model in
+  let h = D.labels h job.lab_canon in
+  D.union h union
+
+(* Within-message dedup key — the paper's grouping optimization, scoped
+   to one shard. Duplicates share a digest, hence an RNG, so reuse is
+   bit-identical even for sampling solvers. *)
+let request_key (s : Ppd.Database.session) union =
+  ( Prefs.Ranking.to_array (Rim.Mallows.center s.Ppd.Database.model),
+    Rim.Mallows.phi s.Ppd.Database.model,
+    List.map
+      (fun g -> (Prefs.Pattern.nodes g, Prefs.Pattern.edges g))
+      (Prefs.Pattern_union.patterns union) )
+
+let check_deadline deadline = if Util.Timer.wall () > deadline then raise Expired
+
+let solve_item w job memo (s : Ppd.Database.session) u =
+  let key = request_key s u in
+  match Hashtbl.find_opt memo key with
+  | Some p -> p
+  | None ->
+      let budget =
+        if job.budget > 0. then Some (Util.Timer.budget job.budget) else None
+      in
+      let rng = Util.Rng.derive job.seed (Hardq.Digest.to_int (item_digest job s u)) in
+      let p = Hardq.Solver.prob ?budget ~kernel:job.kernel job.solver
+          s.Ppd.Database.model job.lab u rng
+      in
+      Hashtbl.add memo key p;
+      if Obs.enabled () then Obs.Counter.incr w.c_solved;
+      p
+
+(* The k-th best of the exact probabilities seen so far (neg_infinity
+   below k answers) — the shard-local strict prune threshold. *)
+let kth_of k probs =
+  match List.nth_opt (List.sort (fun a b -> compare b a) probs) (k - 1) with
+  | Some p -> p
+  | None -> neg_infinity
+
+let do_work w job deadline work =
+  match work with
+  | Probs items ->
+      let memo = Hashtbl.create 32 in
+      R_probs
+        (Array.map
+           (fun it ->
+             check_deadline deadline;
+             match it.union with
+             | None -> (it.index, 0.)
+             | Some u -> (it.index, solve_item w job memo it.session u))
+           items)
+  | Bounds { items; n_edges } ->
+      let bounds =
+        Array.map
+          (fun it ->
+            check_deadline deadline;
+            match it.union with
+            | None -> (it.index, 0.)
+            | Some u ->
+                let model = Rim.Mallows.to_rim it.session.Ppd.Database.model in
+                (it.index, Hardq.Upper_bound.upper_bound ~k:n_edges model job.lab u))
+          items
+      in
+      let best =
+        Array.fold_left (fun acc (_, b) -> if b > acc then b else acc)
+          neg_infinity bounds
+      in
+      R_bounds { bounds; best }
+  | Deep { items; k; threshold } ->
+      (* Items arrive in descending bound order. Skip a session only
+         when its bound is *strictly* below the strongest threshold
+         available — the global k-th lower bound or the shard-local one
+         (a subset's k-th never exceeds the global k-th, so both are
+         sound); strictness keeps every tie. *)
+      let memo = Hashtbl.create 32 in
+      let evaluated = ref [] and probs = ref [] and skipped = ref 0 in
+      Array.iter
+        (fun (it, ub) ->
+          check_deadline deadline;
+          let cut = Float.max threshold (kth_of k !probs) in
+          if ub < cut then incr skipped
+          else begin
+            let p =
+              match it.union with
+              | None -> 0.
+              | Some u -> solve_item w job memo it.session u
+            in
+            evaluated := (it.index, p) :: !evaluated;
+            probs := p :: !probs
+          end)
+        items;
+      R_deep { evaluated = Array.of_list (List.rev !evaluated); skipped = !skipped }
+
+let run_worker w =
+  let rec loop () =
+    match Mailbox.pop w.inbox with
+    | Stop -> ()
+    | Work { gather; deadline; job; work; reply_to } ->
+        if Obs.enabled () then Obs.Counter.incr w.c_msgs;
+        let body =
+          match do_work w job deadline work with
+          | body -> body
+          | exception Expired -> R_timeout
+          | exception Util.Timer.Out_of_time -> R_timeout
+          | exception e -> R_error (Printexc.to_string e)
+        in
+        let send body = Mailbox.push reply_to { shard = w.id; gather; body } in
+        (match Inject.find ~shard:w.id with
+        | None -> send body
+        | Some Inject.Drop -> ()
+        | Some (Inject.Delay d) ->
+            Thread.delay d;
+            send body
+        | Some (Inject.Error msg) -> send (R_error msg));
+        loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* The cluster                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  ring : Chash.t;
+  assign : string -> int;
+  workers : worker array;
+  threads : Thread.t array;
+  gather_ids : int Atomic.t;
+  gather_timeout : float;
+  stopped : bool Atomic.t;
+}
+
+let create ?(vnodes = 64) ?assign ?(gather_timeout = 30.) ~shards () =
+  if shards < 1 then invalid_arg "Shard.create: shards must be >= 1";
+  let ring = Chash.create ~vnodes shards in
+  let assign = match assign with Some f -> f | None -> Chash.shard_of ring in
+  let workers =
+    Array.init shards (fun id ->
+        {
+          id;
+          inbox = Mailbox.create ();
+          c_msgs = Obs.counter_indexed "shard.messages" id;
+          c_solved = Obs.counter_indexed "shard.solved" id;
+        })
+  in
+  let threads = Array.map (fun w -> Thread.create run_worker w) workers in
+  {
+    ring;
+    assign;
+    workers;
+    threads;
+    gather_ids = Atomic.make 0;
+    gather_timeout;
+    stopped = Atomic.make false;
+  }
+
+let shards t = Array.length t.workers
+let ring t = t.ring
+let assign t key = t.assign key
+
+let shutdown t =
+  if not (Atomic.exchange t.stopped true) then begin
+    Array.iter (fun w -> Mailbox.push w.inbox Stop) t.workers;
+    Array.iter Thread.join t.threads
+  end
+
+let session_key ~p_rel (s : Ppd.Database.session) =
+  let b = Buffer.create 32 in
+  Buffer.add_string b p_rel;
+  Array.iter
+    (fun v ->
+      Buffer.add_char b '\x00';
+      Buffer.add_string b (Ppd.Value.to_string v))
+    s.Ppd.Database.key;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Coordinator                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type outcome = Answered | Timed_out | Errored of string | Skipped_by_bound
+
+type summary = {
+  shards : int;
+  answered : int;
+  timed_out : int;
+  errored : int;
+  pruned_shards : int;
+  deep_shards : int;
+  pruned_sessions : int;
+  solved_sessions : int;
+  exact : bool;
+  outcomes : outcome array;
+  best_bounds : float array;
+  kth : float option;
+}
+
+(* Partition compiled requests into per-shard item lists (global session
+   order preserved inside each shard), pre-forcing the memoized
+   Mallows -> RIM conversion so workers only ever read the models. *)
+let partition t ~p_rel requests =
+  let n_shards = shards t in
+  let buckets = Array.make n_shards [] in
+  List.iteri
+    (fun index { Ppd.Compile.session; union } ->
+      ignore (Rim.Mallows.to_rim session.Ppd.Database.model);
+      let s = t.assign (session_key ~p_rel session) in
+      buckets.(s) <- { index; session; union } :: buckets.(s))
+    requests;
+  Array.map (fun items -> Array.of_list (List.rev items)) buckets
+
+let gather_deadline t (job : job) =
+  let cap = Util.Timer.wall () +. t.gather_timeout in
+  match job.deadline with Some d -> Float.min d cap | None -> cap
+
+let next_gather t = Atomic.fetch_and_add t.gather_ids 1
+
+let send t ~gather ~deadline ~job ~reply_to shard work =
+  Mailbox.push t.workers.(shard).inbox
+    (Work { gather; deadline; job; work; reply_to })
+
+(* Wait for one reply per shard in [expected]; late or stale replies
+   (earlier gathers' mailboxes are dead, but a re-used mailbox could see
+   them) are dropped by gather id. Returns per-shard outcomes. *)
+let collect ~gather ~deadline ~expected reply_to =
+  let pending = Hashtbl.create 8 in
+  List.iter (fun s -> Hashtbl.replace pending s ()) expected;
+  let got = Hashtbl.create 8 in
+  let rec loop () =
+    if Hashtbl.length pending = 0 then ()
+    else
+      match Mailbox.pop_before reply_to ~deadline with
+      | None -> ()
+      | Some r ->
+          if r.gather = gather && Hashtbl.mem pending r.shard then begin
+            Hashtbl.remove pending r.shard;
+            Hashtbl.replace got r.shard r.body
+          end;
+          loop ()
+  in
+  loop ();
+  got
+
+let fold_outcome (answered, timed_out, errored) = function
+  | Answered -> (answered + 1, timed_out, errored)
+  | Timed_out -> (answered, timed_out + 1, errored)
+  | Errored _ -> (answered, timed_out, errored + 1)
+  | Skipped_by_bound -> (answered, timed_out, errored)
+
+let summarize ?(pruned_shards = 0) ?(deep_shards = 0) ?(pruned_sessions = 0)
+    ?(best_bounds = [||]) ?kth ~solved_sessions t outcomes =
+  let answered, timed_out, errored =
+    Array.fold_left fold_outcome (0, 0, 0) outcomes
+  in
+  if Obs.enabled () then begin
+    Obs.Counter.add c_timeouts timed_out;
+    Obs.Counter.add c_errors errored;
+    Obs.Counter.add c_shards_pruned pruned_shards;
+    Obs.Counter.add c_shards_deep deep_shards;
+    Obs.Counter.add c_sessions_pruned pruned_sessions;
+    if timed_out + errored > 0 then Obs.Counter.incr c_gathers_partial
+  end;
+  {
+    shards = shards t;
+    answered;
+    timed_out;
+    errored;
+    pruned_shards;
+    deep_shards;
+    pruned_sessions;
+    solved_sessions;
+    exact = timed_out = 0 && errored = 0;
+    outcomes;
+    best_bounds;
+    kth;
+  }
+
+(* Merge (index, p) replies back into global session order. Missing
+   shards leave holes; the answered subset keeps the reference's order. *)
+let merge_probs requests_arr (parts : (int * float) array list) =
+  let n = Array.length requests_arr in
+  let filled = Array.make n None in
+  List.iter
+    (fun part -> Array.iter (fun (i, p) -> filled.(i) <- Some p) part)
+    parts;
+  let out = ref [] in
+  for i = n - 1 downto 0 do
+    match filled.(i) with
+    | None -> ()
+    | Some p ->
+        let { Ppd.Compile.session; _ } = requests_arr.(i) in
+        out := (session, p) :: !out
+  done;
+  !out
+
+let probs t job ~p_rel requests =
+  let requests_arr = Array.of_list requests in
+  let gather = next_gather t in
+  let deadline = gather_deadline t job in
+  let reply_to = Mailbox.create () in
+  let buckets, expected =
+    Obs.with_span "shard.scatter" (fun () ->
+        let buckets = partition t ~p_rel requests in
+        let expected = ref [] in
+        Array.iteri
+          (fun s items ->
+            if Array.length items > 0 then begin
+              expected := s :: !expected;
+              send t ~gather ~deadline ~job ~reply_to s (Probs items)
+            end)
+          buckets;
+        (buckets, List.rev !expected))
+  in
+  Obs.Counter.incr c_scatters;
+  Obs.Histogram.observe h_fanout (List.length expected);
+  let got =
+    Obs.with_span "shard.gather" (fun () ->
+        collect ~gather ~deadline ~expected reply_to)
+  in
+  let outcomes =
+    Array.init (shards t) (fun s ->
+        if Array.length buckets.(s) = 0 then Answered
+        else
+          match Hashtbl.find_opt got s with
+          | Some (R_probs _) -> Answered
+          | Some (R_error msg) -> Errored msg
+          | Some R_timeout | None -> Timed_out
+          | Some (R_bounds _ | R_deep _) -> Errored "protocol: unexpected reply")
+  in
+  let parts =
+    Hashtbl.fold
+      (fun _ body acc -> match body with R_probs a -> a :: acc | _ -> acc)
+      got []
+  in
+  let per_session = merge_probs requests_arr parts in
+  let solved = List.fold_left (fun n p -> n + Array.length p) 0 parts in
+  (per_session, summarize ~solved_sessions:solved t outcomes)
+
+let count t job ~p_rel requests =
+  let per_session, summary = probs t job ~p_rel requests in
+  (* Left fold in global session order: the reference's exact fold. *)
+  let c = List.fold_left (fun acc (_, p) -> acc +. p) 0. per_session in
+  (c, per_session, summary)
+
+let boolean t job ~p_rel requests =
+  let per_session, summary = probs t job ~p_rel requests in
+  let p =
+    1. -. List.fold_left (fun acc (_, p) -> acc *. (1. -. p)) 1. per_session
+  in
+  (p, per_session, summary)
+
+(* ------------------------------------------------------------------ *)
+(* Two-phase top-k                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let take k l =
+  let rec go n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: go (n - 1) rest
+  in
+  go k l
+
+let desc_by_snd l = List.stable_sort (fun (_, a) (_, b) -> compare b a) l
+
+let rank requests_arr k (parts : (int * float) array list) =
+  let evaluated = merge_probs requests_arr parts in
+  let ranked = take k (desc_by_snd evaluated) in
+  let kth =
+    if List.length ranked >= k then
+      Some (snd (List.nth ranked (k - 1)))
+    else None
+  in
+  (ranked, evaluated, kth)
+
+let top_k_naive t job ~k ~p_rel requests =
+  let per_session, summary = probs t job ~p_rel requests in
+  let ranked = take k (desc_by_snd per_session) in
+  let kth =
+    if List.length ranked >= k then Some (snd (List.nth ranked (k - 1)))
+    else None
+  in
+  (ranked, per_session, { summary with kth })
+
+let top_k_edges t job ~k ~n_edges ~p_rel requests =
+  let requests_arr = Array.of_list requests in
+  let buckets = partition t ~p_rel requests in
+  let n_shards = shards t in
+  let outcomes = Array.make n_shards Answered in
+  (* Phase 1: per-shard upper bounds. *)
+  let gather = next_gather t in
+  let deadline = gather_deadline t job in
+  let reply_to = Mailbox.create () in
+  let expected = ref [] in
+  Array.iteri
+    (fun s items ->
+      if Array.length items > 0 then begin
+        expected := s :: !expected;
+        send t ~gather ~deadline ~job ~reply_to s (Bounds { items; n_edges })
+      end)
+    buckets;
+  let expected = List.rev !expected in
+  Obs.Counter.incr c_scatters;
+  Obs.Histogram.observe h_fanout (List.length expected);
+  let got =
+    Obs.with_span "shard.bounds" (fun () ->
+        collect ~gather ~deadline ~expected reply_to)
+  in
+  let best_bounds = Array.make n_shards nan in
+  let shard_bounds = Array.make n_shards [||] in
+  List.iter
+    (fun s ->
+      match Hashtbl.find_opt got s with
+      | Some (R_bounds { bounds; best }) ->
+          best_bounds.(s) <- best;
+          shard_bounds.(s) <- bounds
+      | Some (R_error msg) -> outcomes.(s) <- Errored msg
+      | Some R_timeout | None -> outcomes.(s) <- Timed_out
+      | Some (R_probs _ | R_deep _) ->
+          outcomes.(s) <- Errored "protocol: unexpected reply")
+    expected;
+  let survivors =
+    List.filter (fun s -> outcomes.(s) = Answered) expected
+    (* Descending best bound; ties in shard-id order for determinism. *)
+    |> List.stable_sort (fun a b -> compare best_bounds.(b) best_bounds.(a))
+  in
+  (* Phase 2: deep-query shards in descending best-bound order, skipping
+     any whose bound falls strictly below the running k-th lower bound.
+     Sequential on purpose: each shard's answers tighten the threshold
+     the next decision uses, which is what makes the prune-soundness
+     invariant (skipped => bound < final k-th) hold exactly. *)
+  let parts = ref [] in
+  let pruned_shards = ref 0 and deep_shards = ref 0 and pruned_sessions = ref 0 in
+  let solved = ref 0 in
+  let threshold = ref neg_infinity in
+  let all_probs = ref [] in
+  Obs.with_span "shard.deep" (fun () ->
+      List.iter
+        (fun s ->
+          if best_bounds.(s) < !threshold then begin
+            outcomes.(s) <- Skipped_by_bound;
+            incr pruned_shards;
+            pruned_sessions := !pruned_sessions + Array.length buckets.(s)
+          end
+          else begin
+            incr deep_shards;
+            let by_index = Hashtbl.create 16 in
+            Array.iter (fun (i, b) -> Hashtbl.replace by_index i b)
+              shard_bounds.(s);
+            let items =
+              Array.map
+                (fun it ->
+                  (it, try Hashtbl.find by_index it.index with Not_found -> 0.))
+                buckets.(s)
+            in
+            (* Descending bound; ties in global session order. *)
+            Array.stable_sort (fun (_, a) (_, b) -> compare b a) items;
+            let gather = next_gather t in
+            let deadline = gather_deadline t job in
+            let reply_to = Mailbox.create () in
+            send t ~gather ~deadline ~job ~reply_to s
+              (Deep { items; k; threshold = !threshold });
+            match
+              collect ~gather ~deadline ~expected:[ s ] reply_to
+              |> fun got -> Hashtbl.find_opt got s
+            with
+            | Some (R_deep { evaluated; skipped }) ->
+                parts := evaluated :: !parts;
+                solved := !solved + Array.length evaluated;
+                pruned_sessions := !pruned_sessions + skipped;
+                Array.iter (fun (_, p) -> all_probs := p :: !all_probs)
+                  evaluated;
+                threshold := kth_of k !all_probs
+            | Some (R_error msg) -> outcomes.(s) <- Errored msg
+            | Some R_timeout | None -> outcomes.(s) <- Timed_out
+            | Some (R_probs _ | R_bounds _) ->
+                outcomes.(s) <- Errored "protocol: unexpected reply"
+          end)
+        survivors);
+  let ranked, evaluated, kth = rank requests_arr k (List.rev !parts) in
+  ( ranked,
+    evaluated,
+    summarize ~pruned_shards:!pruned_shards ~deep_shards:!deep_shards
+      ~pruned_sessions:!pruned_sessions ~best_bounds ?kth
+      ~solved_sessions:!solved t outcomes )
+
+let top_k t job ~k ~strategy ~p_rel requests =
+  match strategy with
+  | `Naive -> top_k_naive t job ~k ~p_rel requests
+  | `Edges n_edges -> top_k_edges t job ~k ~n_edges ~p_rel requests

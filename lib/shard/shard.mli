@@ -1,0 +1,179 @@
+(** The sharded session store: horizontal scale-out for the two
+    embarrassingly partitionable hard queries (ROADMAP item 2).
+
+    Count-Session is a sum of per-session probabilities and
+    Most-Probable-Session a global top-k of per-session scores, so both
+    partition cleanly across sessions. A cluster places every session on
+    a shard by consistent hashing over its session key ({!Chash}; the
+    placement is a pure function of the key string, so it is stable
+    across runs and stays out of every cache key), and a coordinator
+    runs scatter-gather over in-process worker shards that speak the
+    same message-passing interface — typed work messages in, typed
+    replies out through a per-gather mailbox, per-shard deadlines, late
+    replies dropped by gather id — that a multi-process deployment
+    would use. The one in-process simplification: workers share the
+    coordinator's compiled, read-only view of the database instead of
+    holding a physical sub-database.
+
+    {b Bit-identity.} Shards return [(global index, probability)] pairs,
+    never partial aggregates — float addition is not associative, so the
+    coordinator re-folds in global session order, reproducing the
+    sequential reference's fold exactly at any shard count. Per-item
+    RNGs derive from (request seed, structural digest) exactly like the
+    engine's, so even sampling solvers are bit-identical to the
+    unsharded engine. Top-k merges only exactly-evaluated sessions and
+    prunes {e strictly} ([bound < threshold], where the running
+    threshold never exceeds the true k-th probability), so the merged
+    ranking is bit-identical to the naive sequential reference —
+    including ties, which the strict comparison always keeps.
+
+    {b Partial failure.} A shard that misses its deadline, drops its
+    reply or answers with an error degrades the answer instead of
+    failing it: the {!summary} records per-shard outcomes and the
+    [exact] flag drops to [false] (a Count answer becomes a lower
+    bound; a ranking becomes best-effort over the answered shards).
+    The coordinator never hangs — gathers are bounded by
+    [gather_timeout] even when a request carries no deadline. *)
+
+module Chash = Chash
+
+(** Fault injection for tests: make shard [i] drop its next replies,
+    delay them past a deadline, or answer with an error. Process-global
+    and thread-safe; a no-op unless a fault was set, so the production
+    path pays one hashtable probe per reply. *)
+module Inject : sig
+  type fault =
+    | Drop  (** never send the reply (the coordinator times out) *)
+    | Delay of float  (** sleep this many seconds before replying *)
+    | Error of string  (** reply with a typed shard error *)
+
+  val set : shard:int -> fault -> unit
+  val clear : shard:int -> unit
+  val reset : unit -> unit
+  val find : shard:int -> fault option
+end
+
+type t
+(** A running cluster: [shards] worker threads, each with an inbox. *)
+
+val create :
+  ?vnodes:int ->
+  ?assign:(string -> int) ->
+  ?gather_timeout:float ->
+  shards:int ->
+  unit ->
+  t
+(** Spawn the worker shards. [assign] overrides the consistent-hash
+    placement (session-key string to shard id; tests use it to force
+    skew and empty shards); [gather_timeout] (default 30 s) bounds every
+    gather that has no request deadline, so an injected [Drop] can never
+    hang the coordinator. *)
+
+val shards : t -> int
+val ring : t -> Chash.t
+val assign : t -> string -> int
+(** The placement actually in force ([assign] override or the ring). *)
+
+val shutdown : t -> unit
+(** Stop and join every worker. Idempotent. *)
+
+val session_key : p_rel:string -> Ppd.Database.session -> string
+(** The placement key of a session: its p-relation name plus its key
+    attribute values, NUL-separated. *)
+
+type job = {
+  solver : Hardq.Solver.t;
+  seed : int;
+  budget : float;  (** CPU seconds per solver invocation; <= 0 = none *)
+  kernel : Hardq.Kernel.t;
+  lab : Prefs.Labeling.t;
+  lab_canon : int list array;
+  deadline : float option;
+      (** absolute [Util.Timer.wall] instant bounding every scatter's
+          gather and every worker's solve loop *)
+}
+(** Everything a worker needs to solve its items — the read-only slice
+    of an engine request. *)
+
+type outcome =
+  | Answered
+  | Timed_out  (** no reply before the per-shard deadline *)
+  | Errored of string
+  | Skipped_by_bound
+      (** top-k phase 2 never queried this shard: its best upper bound
+          fell strictly below the running k-th lower bound *)
+
+type summary = {
+  shards : int;
+  answered : int;
+  timed_out : int;
+  errored : int;
+  pruned_shards : int;  (** top-k shards skipped by bound *)
+  deep_shards : int;  (** top-k shards deep-queried in phase 2 *)
+  pruned_sessions : int;  (** sessions skipped by bound, both levels *)
+  solved_sessions : int;  (** exact per-session solves across shards *)
+  exact : bool;
+      (** every shard answered every phase: the answer equals the
+          sequential reference bit-for-bit. [false] marks a typed
+          degraded answer (lower bound / best effort), never a guess
+          presented as exact. *)
+  outcomes : outcome array;  (** per shard id *)
+  best_bounds : float array;
+      (** top-k phase 1: each shard's best upper bound ([nan] for
+          shards with no sessions); [[||]] for scatter-only tasks *)
+  kth : float option;
+      (** top-k: the final k-th ranked probability (the prune
+          threshold's fixpoint), when k answers exist *)
+}
+
+val probs :
+  t ->
+  job ->
+  p_rel:string ->
+  Ppd.Compile.request list ->
+  (Ppd.Database.session * float) list * summary
+(** Scatter per-session exact inference to every owning shard and merge
+    the [(index, probability)] replies back into global session order.
+    The list covers exactly the sessions of answered shards (all of
+    them when [summary.exact]). *)
+
+val count :
+  t ->
+  job ->
+  p_rel:string ->
+  Ppd.Compile.request list ->
+  float * (Ppd.Database.session * float) list * summary
+(** Count-Session: {!probs}, folded left in global session order —
+    bit-identical to [Ppd.Solve.count_sessions] when [exact], a lower
+    bound otherwise. *)
+
+val boolean :
+  t ->
+  job ->
+  p_rel:string ->
+  Ppd.Compile.request list ->
+  float * (Ppd.Database.session * float) list * summary
+(** [1 - prod (1 - p)] in global session order — bit-identical to
+    [Ppd.Solve.boolean_prob] when [exact], a lower bound otherwise. *)
+
+val top_k :
+  t ->
+  job ->
+  k:int ->
+  strategy:[ `Naive | `Edges of int ] ->
+  p_rel:string ->
+  Ppd.Compile.request list ->
+  (Ppd.Database.session * float) list
+  * (Ppd.Database.session * float) list
+  * summary
+(** Most-Probable-Session. [`Naive] scatters exact inference
+    everywhere and merges. [`Edges n] runs two-phase: gather each
+    shard's per-session upper bounds (paper §4.3.2, the k hardest
+    transitive-closure edges), then deep-query shards in descending
+    best-bound order — skipping any shard whose best bound is strictly
+    below the running k-th exact lower bound, and letting each
+    deep-queried shard skip its own sessions the same way. Returns
+    [(ranked, evaluated, summary)]: [ranked] is the top-k (bit-identical
+    to the naive sequential reference when [exact] — every session
+    whose probability ties or beats the k-th survives strict pruning),
+    [evaluated] the exactly-solved sessions in global order. *)

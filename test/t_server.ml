@@ -270,6 +270,7 @@ let unit_protocol_reply_roundtrip () =
           per_session = None;
           stats = sample_stats;
           anytime = None;
+          shards = None;
         };
       Protocol.Answer
         {
@@ -285,6 +286,7 @@ let unit_protocol_reply_roundtrip () =
                 any_ci_lo = 11.5;
                 any_ci_hi = 13.25;
               };
+          shards = None;
         };
       Protocol.Answer
         {
@@ -292,6 +294,17 @@ let unit_protocol_reply_roundtrip () =
           per_session = None;
           stats = sample_stats;
           anytime = None;
+          shards =
+            Some
+              {
+                Protocol.sh_count = 4;
+                sh_answered = 3;
+                sh_timed_out = 1;
+                sh_errored = 0;
+                sh_pruned = 2;
+                sh_deep = 1;
+                sh_exact = false;
+              };
         };
       Protocol.Pong;
       Protocol.Metrics_snapshot (Json.Obj [ ("counters", Json.Obj []) ]);
@@ -436,6 +449,17 @@ let unit_protocol_forward_compat () =
                   any_draws = 448;
                   any_ci_lo = 0.4;
                   any_ci_hi = 0.6;
+                };
+            shards =
+              Some
+                {
+                  Protocol.sh_count = 2;
+                  sh_answered = 2;
+                  sh_timed_out = 0;
+                  sh_errored = 0;
+                  sh_pruned = 1;
+                  sh_deep = 1;
+                  sh_exact = true;
                 };
           };
     }
@@ -1396,6 +1420,226 @@ let unit_server_metrics_op () =
   | Ok _ -> Alcotest.fail "metrics snapshot is not an object"
   | Error msg -> Alcotest.failf "metrics failed: %s" msg
 
+(* ------------------------------------------------------------------ *)
+(* Sharded coordinator over the wire                                   *)
+(* ------------------------------------------------------------------ *)
+
+let sharded_config ?(shards = 4) ?(spec = fast_spec) () =
+  let address = Protocol.Local (temp_socket ()) in
+  { (Server.default_config address) with Server.preload = [ spec ]; shards }
+
+(* The wire "shards" block: present exactly on sharded answers, exact on
+   a healthy cluster, and the answers bit-identical to the unsharded
+   engine. *)
+let unit_server_sharded_wire_block () =
+  let ref_count = reference_response fast_spec Engine.Request.Count ~per_session:false in
+  (* The sharded merge canonicalizes ties at p_k to global session order,
+     which is exactly the naive reference order; the sequential `Edges
+     engine may order those ties by evaluation order instead. *)
+  let ref_topk =
+    reference_response fast_spec
+      (Engine.Request.Top_k { k = 3; strategy = `Naive })
+      ~per_session:false
+  in
+  let ref_ranked =
+    List.map
+      (fun (s, p) -> (Protocol.key_of_session s, p))
+      (Engine.Response.ranked ref_topk)
+  in
+  with_server (sharded_config ()) @@ fun server ->
+  let client = Server.Client.connect ~retries:40 (Server.address server) in
+  Fun.protect ~finally:(fun () -> Server.Client.close client) @@ fun () ->
+  (match
+     Server.Client.eval client
+       (Protocol.eval ~task:Engine.Request.Count fast_spec sample_query)
+   with
+  | Ok (Protocol.Answer { answer = Protocol.Expectation e; shards = Some b; _ })
+    ->
+      check_float_eq "sharded count = unsharded engine"
+        (Engine.Response.answer_float ref_count)
+        e;
+      Alcotest.(check int) "block counts the cluster" 4 b.Protocol.sh_count;
+      Alcotest.(check bool) "healthy cluster is exact" true b.Protocol.sh_exact;
+      Alcotest.(check int) "nothing timed out" 0 b.Protocol.sh_timed_out;
+      Alcotest.(check int) "nothing errored" 0 b.Protocol.sh_errored
+  | Ok (Protocol.Answer { shards = None; _ }) ->
+      Alcotest.fail "sharded server sent no shards block"
+  | Ok _ -> Alcotest.fail "unexpected count reply"
+  | Error msg -> Alcotest.failf "count failed: %s" msg);
+  (* Two-phase top-k: identical ranking, and the block's prune counters
+     account for every shard. *)
+  match
+    Server.Client.eval client
+      (Protocol.eval
+         ~task:(Engine.Request.Top_k { k = 3; strategy = `Edges 1 })
+         fast_spec sample_query)
+  with
+  | Ok (Protocol.Answer { answer = Protocol.Ranked rows; shards = Some b; _ }) ->
+      if rows <> ref_ranked then Alcotest.fail "sharded ranking differs";
+      Alcotest.(check bool) "exact" true b.Protocol.sh_exact;
+      if b.Protocol.sh_pruned + b.Protocol.sh_deep > b.Protocol.sh_count then
+        Alcotest.failf "pruned %d + deep %d > shards %d" b.Protocol.sh_pruned
+          b.Protocol.sh_deep b.Protocol.sh_count
+  | Ok _ -> Alcotest.fail "unexpected top-k reply"
+  | Error msg -> Alcotest.failf "top-k failed: %s" msg
+
+(* Pipelined sharded requests from two connections at once: the
+   scatter-gathers interleave on one cluster, yet every reply routes to
+   the id that asked and stays bit-identical to the unsharded engine. *)
+let unit_server_sharded_pipelined_interleave () =
+  let ref_count = reference_response fast_spec Engine.Request.Count ~per_session:false in
+  let ref_topk =
+    reference_response fast_spec
+      (Engine.Request.Top_k { k = 3; strategy = `Naive })
+      ~per_session:false
+  in
+  let ref_ranked =
+    List.map
+      (fun (s, p) -> (Protocol.key_of_session s, p))
+      (Engine.Response.ranked ref_topk)
+  in
+  with_server (sharded_config ()) @@ fun server ->
+  let n_conns = 2 and per_conn = 4 in
+  let results = Array.make n_conns [] in
+  let errors = Server.Bqueue.create ~capacity:8 in
+  let fail fmt =
+    Printf.ksprintf (fun m -> ignore (Server.Bqueue.try_push errors m)) fmt
+  in
+  let task_of k =
+    if k land 1 = 0 then Engine.Request.Count
+    else Engine.Request.Top_k { k = 3; strategy = `Edges 1 }
+  in
+  let run_conn c =
+    let fd = raw_connect server in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        (* All requests on the wire before reading anything back. *)
+        List.iter
+          (fun k ->
+            raw_send fd
+              {
+                Protocol.id = Some (Json.Int ((100 * (c + 1)) + k));
+                op = Protocol.Eval (Protocol.eval ~task:(task_of k) fast_spec sample_query);
+              })
+          (List.init per_conn Fun.id);
+        let r = raw_reader fd in
+        let replies = ref [] in
+        while List.length !replies < per_conn do
+          match raw_line r with
+          | None ->
+              fail "conn %d: eof after %d replies" c (List.length !replies);
+              replies := List.init per_conn (fun _ -> Json.Null)
+          | Some line -> replies := decode_json line :: !replies
+        done;
+        results.(c) <- !replies)
+  in
+  let threads = List.init n_conns (fun c -> Thread.create run_conn c) in
+  List.iter Thread.join threads;
+  Server.Bqueue.close errors;
+  (match Server.Bqueue.pop errors with None -> () | Some m -> Alcotest.fail m);
+  Array.iteri
+    (fun c lines ->
+      List.iter
+        (fun k ->
+          let id = (100 * (c + 1)) + k in
+          match List.filter (fun j -> id_of j = id) lines with
+          | [ j ] -> (
+              match Protocol.reply_of_json j with
+              | Ok { Protocol.result = Protocol.Answer { answer; shards = Some b; _ }; _ } -> (
+                  Alcotest.(check int)
+                    (Printf.sprintf "id %d: cluster size" id)
+                    4 b.Protocol.sh_count;
+                  Alcotest.(check bool)
+                    (Printf.sprintf "id %d: exact" id)
+                    true b.Protocol.sh_exact;
+                  match (task_of k, answer) with
+                  | Engine.Request.Count, Protocol.Expectation e ->
+                      check_float_eq "interleaved count"
+                        (Engine.Response.answer_float ref_count)
+                        e
+                  | Engine.Request.Top_k _, Protocol.Ranked rows ->
+                      if rows <> ref_ranked then
+                        Alcotest.failf "id %d: interleaved ranking differs" id
+                  | _ -> Alcotest.failf "id %d: wrong answer shape" id)
+              | Ok _ -> Alcotest.failf "id %d: no sharded answer" id
+              | Error msg -> Alcotest.failf "id %d: undecodable: %s" id msg)
+          | l -> Alcotest.failf "id %d: %d replies" id (List.length l))
+        (List.init per_conn Fun.id))
+    results
+
+(* A shard that sleeps past the request deadline degrades the reply to a
+   typed partial answer — the connection must NOT stall for the length
+   of the injected delay, and must NOT claim exactness. *)
+let unit_server_sharded_deadline_partial () =
+  with_server (sharded_config ~shards:2 ()) @@ fun server ->
+  Fun.protect ~finally:Shard.Inject.reset @@ fun () ->
+  (* Delay every shard: whichever ones hold sessions will miss the
+     deadline (empty shards are never scattered to and stay healthy). *)
+  Shard.Inject.set ~shard:0 (Shard.Inject.Delay 1.5);
+  Shard.Inject.set ~shard:1 (Shard.Inject.Delay 1.5);
+  let client = Server.Client.connect ~retries:40 (Server.address server) in
+  Fun.protect ~finally:(fun () -> Server.Client.close client) @@ fun () ->
+  let t0 = Unix.gettimeofday () in
+  let reply =
+    Server.Client.eval client
+      (Protocol.eval ~task:Engine.Request.Count ~timeout_ms:200. fast_spec
+         sample_query)
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  if elapsed > 1.2 then
+    Alcotest.failf "reply took %.2fs: the gather waited out the injected delay"
+      elapsed;
+  match reply with
+  | Ok (Protocol.Answer { answer = Protocol.Expectation _; shards = Some b; _ })
+    ->
+      if b.Protocol.sh_exact then
+        Alcotest.fail "partial answer still claimed exact";
+      if b.Protocol.sh_timed_out < 1 then
+        Alcotest.failf "expected a timed-out shard, got %d answered / %d timed out"
+          b.Protocol.sh_answered b.Protocol.sh_timed_out
+  | Ok (Protocol.Answer { shards = None; _ }) ->
+      Alcotest.fail "partial reply lost its shards block"
+  | Ok (Protocol.Err { code = Protocol.Deadline_exceeded; _ }) ->
+      (* Acceptable only if the whole gather missed the deadline before
+         any shard answered; but the reply must still be prompt. *)
+      ()
+  | Ok _ -> Alcotest.fail "unexpected reply"
+  | Error msg -> Alcotest.failf "transport error: %s" msg
+
+(* Drain with a sharded scatter-gather in flight: the coordinator's
+   gather must complete and answer before the cluster shuts down. *)
+let unit_server_sharded_drain_completes_inflight () =
+  let config = sharded_config ~shards:2 ~spec:slow_spec () in
+  let server = Server.start config in
+  let inflight = ref (Error "never ran") in
+  let t =
+    Thread.create
+      (fun () ->
+        let client = Server.Client.connect ~retries:40 (Server.address server) in
+        Fun.protect ~finally:(fun () -> Server.Client.close client) @@ fun () ->
+        inflight :=
+          Server.Client.eval client
+            (Protocol.eval ~task:Engine.Request.Count slow_spec sample_query))
+      ()
+  in
+  Thread.delay 0.1;
+  Server.drain server;
+  Thread.join t;
+  match !inflight with
+  | Ok (Protocol.Answer { shards = Some b; _ }) ->
+      Alcotest.(check int) "cluster size" 2 b.Protocol.sh_count;
+      Alcotest.(check bool) "in-flight gather finished exact" true
+        b.Protocol.sh_exact
+  | Ok (Protocol.Answer { shards = None; _ }) ->
+      Alcotest.fail "in-flight sharded request answered without a shards block"
+  | Ok (Protocol.Err e) ->
+      Alcotest.failf "in-flight request got %s: %s"
+        (Protocol.error_code_to_string e.Protocol.code)
+        e.Protocol.message
+  | Ok _ -> Alcotest.fail "unexpected reply"
+  | Error msg -> Alcotest.failf "in-flight request lost: %s" msg
+
 let suites =
   [
     ( "server.json",
@@ -1456,5 +1700,16 @@ let suites =
         tc "metrics op returns the Obs registry" `Quick unit_server_metrics_op;
         tc "SIGTERM: binary drains, flushes metrics, exits 0" `Quick
           unit_server_binary_sigterm;
+      ] );
+    ( "server.sharded",
+      [
+        tc "wire shards block present, exact, bit-identical answers" `Quick
+          unit_server_sharded_wire_block;
+        tc "pipelined sharded requests interleave and route by id" `Quick
+          unit_server_sharded_pipelined_interleave;
+        tc "per-shard deadline expiry yields a partial reply, not a stall"
+          `Quick unit_server_sharded_deadline_partial;
+        tc "graceful drain completes an in-flight scatter-gather" `Quick
+          unit_server_sharded_drain_completes_inflight;
       ] );
   ]
